@@ -1,0 +1,69 @@
+//! Ablation ◆: proactive pruning (Algorithms 1–2) vs build-complete-then-
+//! filter (the \[66\] approach) for incomplete-octree construction, plus the
+//! cost of 2:1 balancing.
+
+use carve_baseline::build_then_filter;
+use carve_core::{construct_balanced, construct_boundary_refined};
+use carve_geom::{CarvedSolids, RetainBox, Sphere};
+use carve_sfc::Curve;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn sphere_domain() -> CarvedSolids<3> {
+    CarvedSolids::new(vec![Box::new(Sphere::new([0.5; 3], 0.25))])
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("construction");
+    g.sample_size(10);
+    let (base, boundary) = (4u8, 6u8);
+
+    g.bench_function("carve_proactive_sphere", |b| {
+        b.iter(|| {
+            let domain = sphere_domain();
+            let t = construct_boundary_refined(&domain, Curve::Hilbert, base, boundary);
+            construct_balanced(&domain, Curve::Hilbert, &t)
+        })
+    });
+    g.bench_function("build_then_filter_sphere", |b| {
+        b.iter(|| {
+            let domain = sphere_domain();
+            build_then_filter(&domain, Curve::Hilbert, base, boundary)
+        })
+    });
+
+    // The anisotropic case is where proactive pruning shines: the channel
+    // occupies 1/256 of its bounding cube.
+    g.bench_function("carve_proactive_channel", |b| {
+        b.iter(|| {
+            let domain = RetainBox::<3>::channel([1.0, 1.0 / 16.0, 1.0 / 16.0]);
+            let t = construct_boundary_refined(&domain, Curve::Hilbert, 5, 7);
+            construct_balanced(&domain, Curve::Hilbert, &t)
+        })
+    });
+    g.bench_function("build_then_filter_channel", |b| {
+        b.iter(|| {
+            let domain = RetainBox::<3>::channel([1.0, 1.0 / 16.0, 1.0 / 16.0]);
+            build_then_filter(&domain, Curve::Hilbert, 5, 7)
+        })
+    });
+
+    // Balance cost alone.
+    let domain = sphere_domain();
+    let adaptive = construct_boundary_refined(&domain, Curve::Hilbert, base, boundary);
+    g.bench_function("balance_2to1_sphere", |b| {
+        b.iter(|| construct_balanced(&domain, Curve::Hilbert, &adaptive))
+    });
+
+    // F-evaluation pruning effect: classify call count is what differs; time
+    // the uniform construction at a deeper level to expose it.
+    g.bench_function("construct_uniform_carved_l6", |b| {
+        b.iter(|| {
+            let domain = sphere_domain();
+            carve_core::construct_uniform(&domain, Curve::Morton, 6)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! TreeSort (comparison-free MSD radix, SFC-permuted buckets) vs a
+//! comparison sort — the memory-locality claim of \[23, 30\].
+
+use carve_sfc::{sfc_cmp, treesort, Curve, Octant};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+
+fn random_octants(n: usize, max_level: u8, seed: u64) -> Vec<Octant<3>> {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let level = rng.gen_range(1..=max_level);
+            let mut o = Octant::<3>::ROOT;
+            for _ in 0..level {
+                o = o.child(rng.gen_range(0..8));
+            }
+            o
+        })
+        .collect()
+}
+
+fn bench_sorts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("treesort");
+    g.sample_size(10);
+    for &n in &[10_000usize, 100_000] {
+        let input = random_octants(n, 8, 42);
+        for curve in [Curve::Morton, Curve::Hilbert] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("treesort_{curve:?}"), n),
+                &input,
+                |b, input| {
+                    b.iter(|| {
+                        let mut v = input.clone();
+                        treesort(&mut v, curve);
+                        v
+                    })
+                },
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("comparison_sort_{curve:?}"), n),
+                &input,
+                |b, input| {
+                    b.iter(|| {
+                        let mut v = input.clone();
+                        v.sort_by(|x, y| sfc_cmp(curve, x, y));
+                        v
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sorts);
+criterion_main!(benches);

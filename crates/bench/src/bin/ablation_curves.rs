@@ -1,0 +1,61 @@
+//! Ablation ◆ — Morton vs Hilbert space-filling curve: partition surface
+//! quality (ghost nodes = communication volume) on the same carved meshes.
+//! The paper builds on Dendro's SFC machinery where Hilbert ordering is the
+//! locality-preserving option; this quantifies what it buys on carved
+//! domains.
+
+use carve_bench::analyze_partition;
+use carve_core::Mesh;
+use carve_geom::{CarvedSolids, RetainBox, Sphere, Subdomain};
+use carve_io::Table;
+use carve_sfc::Curve;
+
+fn sweep<const DIM: usize>(
+    name: &str,
+    domain: &dyn Subdomain<3>,
+    base: u8,
+    boundary: u8,
+    table: &mut Table,
+) {
+    let _ = DIM;
+    for curve in [Curve::Morton, Curve::Hilbert] {
+        let mesh = Mesh::build(domain, curve, base, boundary, 1);
+        for ranks in [64usize, 256, 1024] {
+            if mesh.num_elems() < ranks * 4 {
+                continue;
+            }
+            let a = analyze_partition(&mesh, ranks);
+            let (mean_g, std_g, eta) = a.ghost_stats();
+            let total_ghost: usize = a.loads.iter().map(|l| l.ghost_nodes).sum();
+            table.row(&[
+                name.to_string(),
+                format!("{curve:?}"),
+                mesh.num_elems().to_string(),
+                ranks.to_string(),
+                total_ghost.to_string(),
+                format!("{mean_g:.1}"),
+                format!("{std_g:.1}"),
+                format!("{eta:.4}"),
+            ]);
+        }
+    }
+}
+
+fn main() {
+    let mut table = Table::new(
+        "Ablation: Morton vs Hilbert partition surface (total/mean ghost nodes; lower = less communication)",
+        &[
+            "mesh", "curve", "elements", "ranks", "total ghosts", "mean ghosts", "std", "eta",
+        ],
+    );
+    let sphere = CarvedSolids::new(vec![Box::new(Sphere::new([0.5; 3], 0.25))]);
+    sweep::<3>("sphere", &sphere, 4, 6, &mut table);
+    let channel = RetainBox::<3>::channel([1.0, 1.0 / 16.0, 1.0 / 16.0]);
+    sweep::<3>("channel", &channel, 5, 7, &mut table);
+    table.print();
+    println!("\nexpected: Hilbert's face-continuity yields fewer ghosts per rank than");
+    println!("Morton's jumps, with the gap widening at higher rank counts.");
+    table
+        .to_csv(std::path::Path::new("results/ablation_curves.csv"))
+        .ok();
+}

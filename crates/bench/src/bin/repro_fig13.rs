@@ -1,0 +1,128 @@
+//! Fig. 13 — drag coefficient of a sphere across Reynolds numbers,
+//! including the drag crisis.
+//!
+//! The paper validates its VMS solver against Achenbach's experiments and
+//! Almedeij's all-regime correlation \[4\] (cited in the paper) over
+//! Re ∈ O(1…10⁶), capturing the crisis (C_d drops from ~0.5 to ~0.1 near
+//! Re ≈ 3×10⁵). On this machine the full 40M-element LES is out of reach;
+//! the harness (a) prints the reference correlation across the whole sweep
+//! — the curve the paper's Fig. 13 overlays — and (b) *runs the actual
+//! carved-mesh VMS solver* at the low-Re points where the default mesh
+//! resolves the flow, reporting solver C_d vs correlation. Add more solved
+//! points with CARVE_SOLVE_RE=100,300,... and a finer mesh with
+//! CARVE_MESH=large.
+
+use carve_bench::DragSphereWorkload;
+use carve_core::NodeFlags;
+use carve_io::Table;
+use carve_ns::{drag_on_surrogate, FlowSolver, NodeBc, VmsParams};
+
+/// Almedeij (2008): drag coefficient of a smooth sphere for all Re,
+/// including the drag crisis.
+fn almedeij_cd(re: f64) -> f64 {
+    let phi1 = (24.0 / re).powi(10)
+        + (21.0 / re.powf(0.67)).powi(10)
+        + (4.0 / re.powf(0.33)).powi(10)
+        + 0.4f64.powi(10);
+    let phi2 = 1.0 / ((0.148 * re.powf(0.11)).powi(-10) + 0.5f64.powi(-10));
+    let phi3 = (1.57e8 / re.powf(1.625)).powi(10);
+    let phi4 = 1.0 / ((6e-17 * re.powf(2.63)).powi(-10) + 0.2f64.powi(-10));
+    (1.0 / ((phi1 + phi2).recip() + phi3.recip()) + phi4).powf(0.1)
+}
+
+fn solve_cd(re: f64, base: u8, boundary: u8) -> (f64, usize) {
+    let w = DragSphereWorkload::new();
+    let mesh = w.mesh(base, boundary, 1);
+    let scale = w.scale;
+    let d_phys = 1.0; // sphere diameter in physical units
+    let u_in = 1.0;
+    let nu = u_in * d_phys / re;
+    let center = w.sphere.center;
+    let bc = move |x: &[f64; 3], fl: NodeFlags| -> NodeBc<3> {
+        let eps = 1e-9;
+        if x[0] >= 1.0 - eps {
+            return NodeBc::Pressure(0.0); // outlet
+        }
+        if fl.is_carved_boundary() {
+            // Distinguish sphere surface (no-slip) from domain walls
+            // (free-stream velocity, per the paper's setup).
+            let dx = x[0] - center[0];
+            let dy = x[1] - center[1];
+            let dz = x[2] - center[2];
+            if (dx * dx + dy * dy + dz * dz).sqrt() < 0.1 {
+                return NodeBc::Velocity([0.0, 0.0, 0.0]);
+            }
+            return NodeBc::Velocity([u_in, 0.0, 0.0]);
+        }
+        NodeBc::Free
+    };
+    let params = VmsParams::new(nu, 0.25);
+    let mut solver = FlowSolver::new(&mesh, params, scale, &bc);
+    let zero = |_: &[f64; 3]| [0.0; 3];
+    let steps: usize = std::env::var("CARVE_STEPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    // Bounded inner solves: the 1-core container cannot afford fully
+    // converged BiCGStab at every Picard step; the traction integral is
+    // already meaningful from a partially converged steady state (raise
+    // CARVE_STEPS for a tighter Cd).
+    solver.max_picard = 2;
+    solver.lin_max_iter = 2_500;
+    let _rep = solver.run_to_steady(&zero, steps, 1e-4);
+    let on_sphere = move |x: &[f64; 3]| {
+        let dx = x[0] - center[0];
+        let dy = x[1] - center[1];
+        let dz = x[2] - center[2];
+        (dx * dx + dy * dy + dz * dz).sqrt() < 0.1
+    };
+    let f = drag_on_surrogate(&solver, &on_sphere);
+    // Cd = F / (1/2 rho U^2 A), A = pi d^2 / 4 (physical units; force from
+    // the solver is already in physical units via `scale`).
+    let area = std::f64::consts::PI * d_phys * d_phys / 4.0;
+    let cd = f[0] / (0.5 * u_in * u_in * area);
+    (cd, mesh.num_elems())
+}
+
+fn main() {
+    let re_sweep = [
+        10.0, 100.0, 1000.0, 1.6e4, 1e5, 1.6e5, 3e5, 1e6, 2e6,
+    ];
+    let solve_re: Vec<f64> = std::env::var("CARVE_SOLVE_RE")
+        .ok()
+        .map(|s| s.split(',').filter_map(|x| x.trim().parse().ok()).collect())
+        .unwrap_or_else(|| vec![100.0]);
+    let (base, boundary) = if std::env::var("CARVE_MESH").as_deref() == Ok("large") {
+        (5u8, 7u8)
+    } else {
+        (4, 6)
+    };
+    let mut table = Table::new(
+        "Fig 13: sphere drag coefficient across the drag-crisis regime",
+        &["Re", "Cd (correlation)", "Cd (VMS solver)", "elements"],
+    );
+    for &re in &re_sweep {
+        let reference = almedeij_cd(re);
+        let solved = solve_re.iter().any(|r| (r - re).abs() < 1e-9);
+        let (cd_s, ne) = if solved {
+            let (cd, ne) = solve_cd(re, base, boundary);
+            (format!("{cd:.3}"), ne.to_string())
+        } else {
+            ("-".into(), "-".into())
+        };
+        table.row(&[
+            format!("{re:.1e}"),
+            format!("{reference:.3}"),
+            cd_s,
+            ne,
+        ]);
+    }
+    table.print();
+    println!("\npaper shape check: correlation Cd ~0.4-0.5 subcritical (Re 1e4-2e5),");
+    println!("crisis drop to ~0.1-0.2 by Re 1e6-2e6 — the curve the paper overlays;");
+    println!("solver Cd at the solved low-Re points should sit within ~30% of the");
+    println!("correlation at this voxel resolution.");
+    table
+        .to_csv(std::path::Path::new("results/fig13_drag_crisis.csv"))
+        .ok();
+}

@@ -1,0 +1,76 @@
+//! Fig. 6 — convergence of the Poisson operator on a 2D disk (R = 0.5,
+//! center (0.5, 0.5), f = 1, exact u = (R² − r²)/4): naive voxel-boundary
+//! Dirichlet is first order; the Shifted Boundary Method recovers second
+//! order in both L2 and L∞.
+
+use carve_core::Mesh;
+use carve_fem::{l2_linf_error, solve_poisson, BcMode, PoissonProblem, SbmParams};
+use carve_geom::{RetainSolid, Solid, Sphere};
+use carve_io::Table;
+use carve_sfc::Curve;
+
+fn main() {
+    let max_level: u8 = std::env::var("CARVE_MAX_LEVEL")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    let disk = Sphere::<2>::new([0.5, 0.5], 0.5);
+    let domain = RetainSolid::new(disk);
+    let one = |_: &[f64; 2]| 1.0;
+    let zero = |_: &[f64; 2]| 0.0;
+    let closest = move |x: &[f64; 2]| disk.closest_boundary_point(x);
+    let exact = |x: &[f64; 2]| {
+        let r2 = (x[0] - 0.5).powi(2) + (x[1] - 0.5).powi(2);
+        0.25 * (0.25 - r2)
+    };
+
+    let mut table = Table::new(
+        "Fig 6: Poisson on a disk, naive BC vs Shifted Boundary Method (linear elements)",
+        &[
+            "level", "dofs", "naive L2", "naive Linf", "SBM L2", "SBM Linf", "L2 rate naive",
+            "L2 rate SBM",
+        ],
+    );
+    let mut prev_naive: Option<f64> = None;
+    let mut prev_sbm: Option<f64> = None;
+    for level in 4..=max_level {
+        let mesh = Mesh::build(&domain, Curve::Morton, level, level, 1);
+        let mut norms = Vec::new();
+        for bc in [BcMode::Naive, BcMode::Sbm(SbmParams::default())] {
+            let prob = PoissonProblem {
+                scale: 1.0,
+                f: &one,
+                dirichlet: &zero,
+                closest_boundary: Some(&closest),
+                strong_cube_bc: false,
+                bc,
+            };
+            let sol = solve_poisson(&mesh, &domain, &prob);
+            if !sol.krylov.converged {
+                eprintln!("warning: level {level} solve stalled: {:?}", sol.krylov);
+            }
+            norms.push(l2_linf_error(&mesh, &domain, &sol.u, &exact, 1.0));
+        }
+        let rate = |prev: &Option<f64>, cur: f64| {
+            prev.map(|p| format!("{:.2}", (p / cur).log2()))
+                .unwrap_or_else(|| "-".into())
+        };
+        table.row(&[
+            level.to_string(),
+            mesh.num_dofs().to_string(),
+            format!("{:.3e}", norms[0].l2),
+            format!("{:.3e}", norms[0].linf),
+            format!("{:.3e}", norms[1].l2),
+            format!("{:.3e}", norms[1].linf),
+            rate(&prev_naive, norms[0].l2),
+            rate(&prev_sbm, norms[1].l2),
+        ]);
+        prev_naive = Some(norms[0].l2);
+        prev_sbm = Some(norms[1].l2);
+    }
+    table.print();
+    println!("\npaper shape check: naive rate ~1, SBM rate ~2, SBM error far below naive.");
+    table
+        .to_csv(std::path::Path::new("results/fig6_convergence.csv"))
+        .ok();
+}

@@ -1,0 +1,192 @@
+//! Figs. 7–10 + Table 3 — strong and weak MATVEC scaling for the elongated
+//! channel (16×1×1) and the carved sphere, linear vs quadratic elements,
+//! with the per-phase breakdown (leaf compute / traversal / communication).
+//!
+//! Meshes, partitions, and ghost volumes come from the real algorithms;
+//! wall-clock at rank counts beyond this box is produced by the calibrated
+//! partition-replay model (DESIGN.md §2). Mesh sizes are scaled down from
+//! the paper's 13.5M/17.5M elements (override: CARVE_MESH=large).
+
+use carve_bench::{analyze_partition, calibrate, ChannelWorkload, SphereWorkload};
+use carve_core::Mesh;
+use carve_io::Table;
+
+fn strong_scaling(
+    name: &str,
+    mesh_p1: &Mesh<3>,
+    mesh_p2: &Mesh<3>,
+    ranks: &[usize],
+) -> (f64, f64) {
+    let mut table = Table::new(
+        &format!(
+            "Fig 7/9 (strong, {name}): parallel cost = time x ranks; {} elements, {} dofs (p1) / {} dofs (p2)",
+            mesh_p1.num_elems(),
+            mesh_p1.num_dofs(),
+            mesh_p2.num_dofs()
+        ),
+        &[
+            "ranks", "order", "t_leaf", "t_traversal", "t_comm", "t_total", "cost (t x P)",
+            "efficiency",
+        ],
+    );
+    let (model1, _) = calibrate(mesh_p1, 2);
+    let (model2, _) = calibrate(mesh_p2, 2);
+    let mut eff = (0.0, 0.0);
+    for (order, mesh, model) in [(1u64, mesh_p1, &model1), (2, mesh_p2, &model2)] {
+        let mut base_cost = None;
+        for &p in ranks {
+            // Keep the grain in the paper's regime (>= ~60 elements/rank;
+            // the paper's strong runs span ~60K down to ~500).
+            if mesh.num_elems() / p < 60 {
+                continue;
+            }
+            let a = analyze_partition(mesh, p);
+            let (total, leaf, trav, comm) = a.modeled_time(model);
+            let cost = total * p as f64;
+            let base = *base_cost.get_or_insert(cost);
+            let e = base / cost;
+            table.row(&[
+                p.to_string(),
+                if order == 1 { "linear".into() } else { "quadratic".into() },
+                format!("{leaf:.4e}"),
+                format!("{trav:.4e}"),
+                format!("{comm:.4e}"),
+                format!("{total:.4e}"),
+                format!("{cost:.4e}"),
+                format!("{e:.2}"),
+            ]);
+            if order == 1 {
+                eff.0 = e;
+            } else {
+                eff.1 = e;
+            }
+        }
+    }
+    table.print();
+    table
+        .to_csv(std::path::Path::new(&format!(
+            "results/strong_scaling_{name}.csv"
+        )))
+        .ok();
+    println!();
+    eff
+}
+
+fn weak_scaling(
+    name: &str,
+    meshes: &[(usize, Mesh<3>, Mesh<3>)], // (ranks, p1 mesh, p2 mesh)
+) -> (f64, f64) {
+    let mut table = Table::new(
+        &format!("Fig 8/10 (weak, {name}): MATVEC execution time at fixed elements/rank"),
+        &[
+            "ranks", "order", "elements", "elems/rank", "dofs", "t_total", "efficiency",
+        ],
+    );
+    let mut eff = (0.0, 0.0);
+    for (order_idx, order_name) in ["linear", "quadratic"].iter().enumerate() {
+        let mut base_time = None;
+        // One machine model per series, calibrated on the largest mesh —
+        // the hardware doesn't change between weak-scaling points.
+        let cal_mesh = if order_idx == 0 { &meshes.last().unwrap().1 } else { &meshes.last().unwrap().2 };
+        let (model, _) = calibrate(cal_mesh, 2);
+        for (p, m1, m2) in meshes {
+            let mesh = if order_idx == 0 { m1 } else { m2 };
+            let a = analyze_partition(mesh, *p);
+            let (total, _, _, _) = a.modeled_time(&model);
+            let base = *base_time.get_or_insert(total);
+            let e = base / total;
+            table.row(&[
+                p.to_string(),
+                order_name.to_string(),
+                mesh.num_elems().to_string(),
+                (mesh.num_elems() / p).to_string(),
+                mesh.num_dofs().to_string(),
+                format!("{total:.4e}"),
+                format!("{e:.2}"),
+            ]);
+            if order_idx == 0 {
+                eff.0 = e;
+            } else {
+                eff.1 = e;
+            }
+        }
+    }
+    table.print();
+    table
+        .to_csv(std::path::Path::new(&format!(
+            "results/weak_scaling_{name}.csv"
+        )))
+        .ok();
+    println!();
+    eff
+}
+
+/// Builds a weak-scaling series with truly fixed grain: rank count per mesh
+/// is elements / grain, where the grain comes from the coarsest mesh at 7
+/// ranks.
+fn weak_meshes_fixed_grain(
+    build: &dyn Fn(u8, u8, u64) -> Mesh<3>,
+    levels: &[(u8, u8)],
+) -> Vec<(usize, Mesh<3>, Mesh<3>)> {
+    let mut out = Vec::new();
+    let mut grain = 0usize;
+    for (i, &(b, f)) in levels.iter().enumerate() {
+        let m1 = build(b, f, 1);
+        let m2 = build(b, f, 2);
+        if i == 0 {
+            grain = (m1.num_elems() / 7).max(1);
+        }
+        let p = (m1.num_elems() / grain).max(1);
+        out.push((p, m1, m2));
+    }
+    out
+}
+
+fn main() {
+    let large = std::env::var("CARVE_MESH").as_deref() == Ok("large");
+    // --- Channel ---------------------------------------------------------
+    let chan = ChannelWorkload::new();
+    let (cb, cf) = if large { (6, 9) } else { (5, 8) };
+    let chan_p1 = chan.mesh(cb, cf, 1);
+    let chan_p2 = chan.mesh(cb, cf, 2);
+    let ranks = [28usize, 56, 112, 224, 448, 896, 1792, 3584];
+    let chan_strong = strong_scaling("channel", &chan_p1, &chan_p2, &ranks);
+    // Weak: grow boundary refinement with rank count at fixed grain; rank
+    // counts are derived from the element counts so elements/rank is
+    // actually constant (the paper's setup).
+    let weak_levels: &[(u8, u8)] = if large {
+        &[(4, 7), (5, 8), (6, 9)]
+    } else {
+        &[(4, 6), (4, 7), (5, 8)]
+    };
+    let chan_weak_meshes = weak_meshes_fixed_grain(&|b, f, o| chan.mesh(b, f, o), weak_levels);
+    let chan_weak = weak_scaling("channel", &chan_weak_meshes);
+
+    // --- Sphere ----------------------------------------------------------
+    let sph = SphereWorkload::new();
+    let (sb, sf) = if large { (5, 8) } else { (4, 7) };
+    let sph_p1 = sph.mesh(sb, sf, 1);
+    let sph_p2 = sph.mesh(sb, sf, 2);
+    let sph_strong = strong_scaling("sphere", &sph_p1, &sph_p2, &ranks);
+    let sph_weak_levels: &[(u8, u8)] = if large {
+        &[(4, 7), (5, 8), (6, 9)]
+    } else {
+        &[(3, 6), (4, 7), (5, 8)]
+    };
+    let sph_weak_meshes = weak_meshes_fixed_grain(&|b, f, o| sph.mesh(b, f, o), sph_weak_levels);
+    let sph_weak = weak_scaling("sphere", &sph_weak_meshes);
+
+    // --- Table 3 summary ---------------------------------------------------
+    let mut t3 = Table::new(
+        "Table 3: scaling-efficiency summary (paper: channel 0.81/0.90 strong, 0.82/0.86 weak; sphere 0.90/0.96 strong, 0.74/0.83 weak)",
+        &["case", "order", "strong eff", "weak eff"],
+    );
+    t3.row(&["channel".into(), "linear".into(), format!("{:.2}", chan_strong.0), format!("{:.2}", chan_weak.0)]);
+    t3.row(&["channel".into(), "quadratic".into(), format!("{:.2}", chan_strong.1), format!("{:.2}", chan_weak.1)]);
+    t3.row(&["sphere".into(), "linear".into(), format!("{:.2}", sph_strong.0), format!("{:.2}", sph_weak.0)]);
+    t3.row(&["sphere".into(), "quadratic".into(), format!("{:.2}", sph_strong.1), format!("{:.2}", sph_weak.1)]);
+    t3.print();
+    println!("\npaper shape check: quadratic scales better than linear (eta ∝ 1/(p+1));");
+    println!("strong-scaling cost stays near-flat until elements/rank gets small.");
+    t3.to_csv(std::path::Path::new("results/table3_summary.csv")).ok();
+}

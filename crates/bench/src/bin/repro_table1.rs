@@ -1,0 +1,103 @@
+//! Table 1 — condition number of the 2D Laplace operator on an elongated
+//! channel: complete octree with stretched elements vs incomplete octree
+//! with unit-aspect elements.
+//!
+//! Paper setup: channel of physical size `L × 1`, `L ∈ {1,2,4,8,16}`, grid
+//! resolution fixed at 32 elements along the long axis. The complete-octree
+//! route stretches every element to aspect `L`; the carved route keeps
+//! square elements and simply has fewer of them (1089 vs 99 DOFs at L=16).
+//! Condition numbers via the Hager–Higham 1-norm estimate (Matlab
+//! `condest`).
+
+use carve_core::{enumerate_nodes, resolve_slot, SlotRef};
+use carve_fem::poisson::stiffness_matrix_anisotropic;
+use carve_geom::{FullDomain, RetainBox, Subdomain};
+use carve_io::Table;
+use carve_la::{condest, CooBuilder};
+use carve_sfc::Curve;
+
+/// Assembles the Dirichlet-constrained 2D Laplacian over a mesh whose
+/// elements get the given per-axis physical sizes (as a function of their
+/// unit-cube size), then estimates cond₁.
+fn channel_condition(
+    domain: &dyn Subdomain<2>,
+    level: u8,
+    elem_h: &dyn Fn(f64) -> [f64; 2],
+) -> (usize, f64) {
+    let elems = carve_core::construct_uniform(domain, Curve::Morton, level);
+    let nodes = enumerate_nodes(domain, &elems, 1);
+    let n = nodes.len();
+    let mut coo = CooBuilder::new(n);
+    for e in &elems {
+        let (_, h_u) = e.bounds_unit();
+        let ke = stiffness_matrix_anisotropic::<2>(1, &elem_h(h_u));
+        // Direct scatter (uniform grid: no hanging nodes).
+        let slots: Vec<usize> = (0..4)
+            .map(|lin| {
+                let idx = carve_core::nodes::lattice_index::<2>(lin, 1);
+                let c = carve_core::nodes::elem_node_coord(e, 1, &idx);
+                match resolve_slot(&nodes, e, &c) {
+                    SlotRef::Direct(i) => i,
+                    SlotRef::Hanging(_) => unreachable!("uniform grid"),
+                }
+            })
+            .collect();
+        for i in 0..4 {
+            for j in 0..4 {
+                coo.add(slots[i], slots[j], ke[(i, j)]);
+            }
+        }
+    }
+    let mut a = coo.build();
+    // Dirichlet on every boundary node (walls for the channel; square
+    // perimeter for the full domain).
+    for i in 0..n {
+        if nodes.flags[i].is_any_boundary() {
+            for k in a.row_ptr[i]..a.row_ptr[i + 1] {
+                a.vals[k] = if a.cols[k] as usize == i { 1.0 } else { 0.0 };
+            }
+        }
+    }
+    (n, condest(&a.to_dense()))
+}
+
+fn main() {
+    let level: u8 = std::env::var("CARVE_LEVEL")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5); // 32x32 base grid = 1089 DOFs, as in the paper
+    let mut table = Table::new(
+        "Table 1: condition number, stretched complete octree vs incomplete octree",
+        &[
+            "channel length",
+            "complete DOFs",
+            "complete cond",
+            "incomplete DOFs",
+            "incomplete cond",
+        ],
+    );
+    for aspect in [1u32, 2, 4, 8, 16] {
+        let l = aspect as f64;
+        // Complete: full unit square, every element stretched to aspect L
+        // (physical element L/32 x 1/32).
+        let (n_c, cond_c) =
+            channel_condition(&FullDomain, level, &|h_u| [h_u * l, h_u]);
+        // Incomplete: carve the channel [0,1]x[0,1/L] out of the square,
+        // scale the whole cube by L: square physical elements of size L/32.
+        let channel = RetainBox::<2>::channel([1.0, 1.0 / l]);
+        let (n_i, cond_i) = channel_condition(&channel, level, &|h_u| [h_u * l, h_u * l]);
+        table.row(&[
+            aspect.to_string(),
+            n_c.to_string(),
+            format!("{cond_c:.1}"),
+            n_i.to_string(),
+            format!("{cond_i:.1}"),
+        ]);
+    }
+    table.print();
+    println!("\npaper: complete cond grows 402.6 -> 10580.5 as length 1 -> 16;");
+    println!("       incomplete cond *drops* 402.6 -> 5.0 with DOFs 1089 -> 99.");
+    table
+        .to_csv(std::path::Path::new("results/table1_conditioning.csv"))
+        .ok();
+}

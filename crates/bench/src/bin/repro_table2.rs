@@ -1,0 +1,68 @@
+//! Table 2 — element and DOF overhead of *immersing* vs *carving*: the
+//! ratios `f_elem` and `f_DOF` for a sphere and the dragon, base refinement
+//! 4, object refinement swept.
+//!
+//! The paper sweeps object levels 11–14 at Frontera scale and reports
+//! f_elem ≈ 1.75–1.92 and f_DOF ≈ 1.30–1.43; the ratios are governed by the
+//! object's surface/volume and plateau with level, so a scaled-down sweep
+//! (default 6–9, override with CARVE_LEVELS=a,b,...) reproduces the shape.
+
+use carve_baseline::ImmersedMesh;
+use carve_core::Mesh;
+use carve_geom::dragon::{dragon_mesh, DragonParams};
+use carve_geom::{CarvedSolids, Sphere, TriMeshSolid};
+use carve_io::Table;
+use carve_sfc::Curve;
+
+fn levels() -> Vec<u8> {
+    std::env::var("CARVE_LEVELS")
+        .ok()
+        .map(|s| s.split(',').filter_map(|x| x.trim().parse().ok()).collect())
+        .unwrap_or_else(|| vec![6, 7, 8, 9])
+}
+
+fn sweep(name: &str, make_domain: &dyn Fn() -> CarvedSolids<3>, table: &mut Table) {
+    for level in levels() {
+        let domain = make_domain();
+        let carved = Mesh::build(&domain, Curve::Hilbert, 4, level, 1);
+        let domain2 = make_domain();
+        let immersed = ImmersedMesh::build(&domain2, Curve::Hilbert, 4, level, 1);
+        let f_elem = immersed.mesh.num_elems() as f64 / carved.num_elems() as f64;
+        let f_dof = immersed.mesh.num_dofs() as f64 / carved.num_dofs() as f64;
+        table.row(&[
+            name.to_string(),
+            level.to_string(),
+            carved.num_elems().to_string(),
+            immersed.mesh.num_elems().to_string(),
+            format!("{f_elem:.2}"),
+            format!("{f_dof:.2}"),
+        ]);
+    }
+}
+
+fn main() {
+    let mut table = Table::new(
+        "Table 2: immersed/carved ratios (paper: sphere f_elem 1.75-1.82, f_DOF 1.30-1.33; dragon 1.84-1.92 / 1.36-1.43)",
+        &["object", "refine level", "carved elems", "immersed elems", "f_elem", "f_DOF"],
+    );
+    sweep(
+        "sphere",
+        &|| CarvedSolids::new(vec![Box::new(Sphere::new([0.5; 3], 0.25))]),
+        &mut table,
+    );
+    sweep(
+        "dragon",
+        &|| {
+            CarvedSolids::new(vec![Box::new(TriMeshSolid::new(dragon_mesh(
+                &DragonParams::default(),
+            )))])
+        },
+        &mut table,
+    );
+    table.print();
+    println!("\npaper shape check: f_elem ~1.8-1.9 >> f_DOF ~1.3-1.4 (CG node sharing),");
+    println!("dragon ratios above sphere ratios (higher surface/volume), both rising with level.");
+    table
+        .to_csv(std::path::Path::new("results/table2_immersed_vs_carved.csv"))
+        .ok();
+}

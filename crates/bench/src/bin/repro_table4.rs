@@ -1,0 +1,136 @@
+//! Table 4 — comparison with the complete-octree (Dendro-style) framework
+//! on the `128×4×1` microfluidic channel: mesh-generation time and
+//! Navier–Stokes MATVEC time.
+//!
+//! Paper shape: ~20× faster mesh generation, ~5× faster MATVEC; Dendro runs
+//! out of memory at base refinement ≥ 12 because the complete tree fills
+//! the bounding cube with void octants. Here both pipelines run for real
+//! (sequentially, with the per-rank times modeled from the measured
+//! sequential cost and the replayed partition): the carved pipeline prunes
+//! during construction, the baseline builds the complete immersed tree and
+//! filters afterwards, and its partition balances void octants.
+
+use carve_baseline::{complete_tree_partition_active_counts, Immersed};
+use carve_bench::LongChannelWorkload;
+use carve_core::Mesh;
+use carve_geom::RegionLabel;
+use carve_io::Table;
+use carve_ns::{element_ns_system, VmsParams};
+use carve_sfc::{Curve, Octant};
+use std::time::Instant;
+
+/// NS-like heavy leaf kernel (the elemental VMS operator is rebuilt per
+/// element — the "leaf MATVEC dominates" regime of Table 4).
+fn ns_leaf_cost(elems: &[Octant<3>], scale: f64) -> f64 {
+    let params = VmsParams::new(1e-3, 0.1);
+    let a = vec![0.1; 8 * 3];
+    let uo = vec![0.0; 8 * 3];
+    let f = |_: &[f64; 3]| [0.0; 3];
+    let t0 = Instant::now();
+    for e in elems {
+        let (emin_u, h_u) = e.bounds_unit();
+        let emin = [emin_u[0] * scale, emin_u[1] * scale, emin_u[2] * scale];
+        let (ke, _) = element_ns_system::<3>(&params, &emin, h_u * scale, &a, &uo, &f);
+        std::hint::black_box(&ke);
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let w = LongChannelWorkload::new();
+    let configs: Vec<(u8, u8)> = std::env::var("CARVE_MESH")
+        .ok()
+        .filter(|s| s == "large")
+        .map(|_| vec![(7u8, 9u8), (7, 10), (8, 9), (8, 10)])
+        .unwrap_or_else(|| vec![(6, 8), (6, 9), (7, 8), (7, 9)]);
+    let procs = [448usize, 896, 1792];
+
+    let mut table = Table::new(
+        "Table 4: mesh generation + NS MATVEC, Dendro-style complete octree vs carved (modeled at P ranks from measured sequential cost)",
+        &[
+            "base", "boundary", "elems (carved)", "P", "dendro mesh (s)", "dendro matvec (s)",
+            "carve mesh (s)", "carve matvec (s)", "mesh speedup", "matvec speedup",
+        ],
+    );
+    for (base, boundary) in configs {
+        // --- carved pipeline: proactive pruning --------------------------
+        let t0 = Instant::now();
+        let carved = Mesh::build(&w.domain, Curve::Hilbert, base, boundary, 1);
+        let t_mesh_carve = t0.elapsed().as_secs_f64();
+        // --- Dendro-style: complete immersed tree, then filter ------------
+        let t0 = Instant::now();
+        let immersed = Immersed { object: &w.domain };
+        let complete = {
+            let adaptive = carve_core::construct_boundary_refined(
+                &immersed,
+                Curve::Hilbert,
+                base,
+                boundary,
+            );
+            carve_core::construct_balanced(&immersed, Curve::Hilbert, &adaptive)
+        };
+        let labels: Vec<RegionLabel> = complete
+            .iter()
+            .map(|e| carve_core::classify_octant(&w.domain, e))
+            .collect();
+        let _filtered: Vec<&Octant<3>> = complete
+            .iter()
+            .zip(&labels)
+            .filter(|(_, l)| **l != RegionLabel::Carved)
+            .map(|(e, _)| e)
+            .collect();
+        // Complete-tree pipeline also enumerates nodes over the full tree.
+        let _nodes = carve_core::enumerate_nodes(&immersed, &complete, 1);
+        let t_mesh_dendro = t0.elapsed().as_secs_f64();
+
+        // --- sequential NS leaf cost --------------------------------------
+        let active: Vec<Octant<3>> = complete
+            .iter()
+            .zip(&labels)
+            .filter(|(_, l)| **l != RegionLabel::Carved)
+            .map(|(e, _)| *e)
+            .collect();
+        let t_active = ns_leaf_cost(&carved.elems, w.scale);
+        let per_elem = t_active / carved.num_elems() as f64;
+
+        for &p in &procs {
+            // Carved: equal split of active elements.
+            let carve_mv = (carved.num_elems() as f64 / p as f64) * per_elem;
+            // Dendro: complete tree split equally; the busiest rank's active
+            // count sets the time (void octants occupy partition slots).
+            let counts = complete_tree_partition_active_counts(&labels, p);
+            let max_active = counts.iter().copied().max().unwrap_or(0);
+            let dendro_mv = max_active as f64 * per_elem;
+            // Mesh generation: measured sequential, divided by P (both
+            // pipelines parallelize construction); Dendro pays the complete
+            // tree.
+            let carve_mesh_p = t_mesh_carve / p as f64;
+            let dendro_mesh_p = t_mesh_dendro / p as f64;
+            table.row(&[
+                base.to_string(),
+                boundary.to_string(),
+                carved.num_elems().to_string(),
+                p.to_string(),
+                format!("{dendro_mesh_p:.4}"),
+                format!("{dendro_mv:.4}"),
+                format!("{carve_mesh_p:.4}"),
+                format!("{carve_mv:.4}"),
+                format!("{:.1}x", dendro_mesh_p / carve_mesh_p),
+                format!("{:.1}x", dendro_mv / carve_mv),
+            ]);
+        }
+        println!(
+            "base {base} boundary {boundary}: complete tree {} vs carved {} elements ({} active in complete)",
+            complete.len(),
+            carved.num_elems(),
+            active.len()
+        );
+    }
+    table.print();
+    println!("\npaper shape check: mesh-generation speedup >> matvec speedup; matvec");
+    println!("speedup driven by void-octant load imbalance; speedups grow with the");
+    println!("carvable volume fraction (this channel fills ~1/32 of its bounding cube).");
+    table
+        .to_csv(std::path::Path::new("results/table4_dendro_comparison.csv"))
+        .ok();
+}

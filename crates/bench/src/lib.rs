@@ -1,0 +1,15 @@
+//! Reproduction harness: workload builders for every experiment in the
+//! paper's evaluation, plus the partition-replay performance model that
+//! stands in for the 448-28K-core Frontera runs (see DESIGN.md §2).
+//!
+//! Everything algorithmic is *real* — meshes, partitions, ghost structure,
+//! per-rank work counts come from the actual `carve-core` algorithms; only
+//! wall-clock at scale is modeled, with kernel unit costs calibrated by
+//! measuring the real single-rank kernels on this machine and an α-β model
+//! on the exact communication volumes.
+
+pub mod model;
+pub mod workloads;
+
+pub use model::{analyze_partition, calibrate, copy_estimate, MachineModel, PartitionAnalysis, RankLoad};
+pub use workloads::*;

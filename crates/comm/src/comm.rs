@@ -1,0 +1,433 @@
+//! The per-rank communicator and the SPMD launcher.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
+
+type Packet = (usize, u64, Box<dyn Any + Send>);
+
+/// Reduction operator for [`Comm::all_reduce_f64`] / [`Comm::all_reduce_u64`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Min,
+    Max,
+}
+
+/// Communication counters for one rank (exact byte accounting).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CommStats {
+    /// Payload bytes sent by this rank (point-to-point and collectives).
+    pub bytes_sent: u64,
+    /// Number of messages sent.
+    pub messages: u64,
+}
+
+struct BarrierState {
+    count: Mutex<(usize, u64)>, // (arrived, generation)
+    cv: Condvar,
+}
+
+/// One rank's handle to the simulated cluster.
+///
+/// Not `Sync`: each rank owns its handle on its own thread, like an MPI rank.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    senders: Arc<Vec<Sender<Packet>>>,
+    receiver: Receiver<Packet>,
+    /// Out-of-order messages parked until a matching `recv`.
+    inbox: RefCell<Vec<Packet>>,
+    barrier: Arc<BarrierState>,
+    /// Monotonic collective-operation counter; identical across ranks because
+    /// execution is SPMD, so it doubles as a collision-free message tag.
+    op_counter: Cell<u64>,
+    stats: Cell<CommStats>,
+}
+
+/// Tags with this bit set are reserved for user point-to-point traffic.
+const USER_TAG_BIT: u64 = 1 << 63;
+
+impl Comm {
+    /// A size-1 communicator: collectives become no-ops/identity. Useful for
+    /// running distributed algorithms sequentially.
+    pub fn solo() -> Self {
+        let (tx, rx) = unbounded();
+        Comm {
+            rank: 0,
+            size: 1,
+            senders: Arc::new(vec![tx]),
+            receiver: rx,
+            inbox: RefCell::new(Vec::new()),
+            barrier: Arc::new(BarrierState {
+                count: Mutex::new((0, 0)),
+                cv: Condvar::new(),
+            }),
+            op_counter: Cell::new(0),
+            stats: Cell::new(CommStats::default()),
+        }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Exact communication counters accumulated so far on this rank.
+    pub fn stats(&self) -> CommStats {
+        self.stats.get()
+    }
+
+    fn account(&self, bytes: u64) {
+        let mut s = self.stats.get();
+        s.bytes_sent += bytes;
+        s.messages += 1;
+        self.stats.set(s);
+    }
+
+    fn next_tag(&self) -> u64 {
+        let t = self.op_counter.get();
+        self.op_counter.set(t + 1);
+        t
+    }
+
+    fn send_raw<T: Send + 'static>(&self, to: usize, tag: u64, msg: T, bytes: u64) {
+        self.account(bytes);
+        self.senders[to]
+            .send((self.rank, tag, Box::new(msg)))
+            .expect("receiver alive");
+    }
+
+    fn recv_raw<T: Send + 'static>(&self, from: usize, tag: u64) -> T {
+        // First check parked messages.
+        {
+            let mut inbox = self.inbox.borrow_mut();
+            if let Some(pos) = inbox.iter().position(|(f, t, _)| *f == from && *t == tag) {
+                let (_, _, b) = inbox.swap_remove(pos);
+                return *b.downcast::<T>().expect("message type mismatch");
+            }
+        }
+        loop {
+            let (f, t, b) = self.receiver.recv().expect("senders alive");
+            if f == from && t == tag {
+                return *b.downcast::<T>().expect("message type mismatch");
+            }
+            self.inbox.borrow_mut().push((f, t, b));
+        }
+    }
+
+    /// Point-to-point send of a typed vector. `tag` must fit in 63 bits.
+    pub fn send<T: Send + 'static>(&self, to: usize, tag: u64, msg: Vec<T>) {
+        let bytes = (msg.len() * std::mem::size_of::<T>()) as u64;
+        self.send_raw(to, USER_TAG_BIT | tag, msg, bytes);
+    }
+
+    /// Matching receive for [`Comm::send`].
+    pub fn recv<T: Send + 'static>(&self, from: usize, tag: u64) -> Vec<T> {
+        self.recv_raw(from, USER_TAG_BIT | tag)
+    }
+
+    /// Barrier across all ranks.
+    pub fn barrier(&self) {
+        if self.size == 1 {
+            return;
+        }
+        let mut guard = self.barrier.count.lock();
+        let gen = guard.1;
+        guard.0 += 1;
+        if guard.0 == self.size {
+            guard.0 = 0;
+            guard.1 += 1;
+            self.barrier.cv.notify_all();
+        } else {
+            while guard.1 == gen {
+                self.barrier.cv.wait(&mut guard);
+            }
+        }
+    }
+
+    /// Gathers one value from every rank, returned on all ranks in rank
+    /// order (MPI `Allgather`).
+    pub fn all_gather<T: Clone + Send + 'static>(&self, v: T) -> Vec<T> {
+        self.all_gatherv(vec![v])
+            .into_iter()
+            .map(|mut x| x.pop().expect("one element per rank"))
+            .collect()
+    }
+
+    /// Gathers a vector from every rank (MPI `Allgatherv`); result `r[i]` is
+    /// rank `i`'s contribution.
+    pub fn all_gatherv<T: Clone + Send + 'static>(&self, v: Vec<T>) -> Vec<Vec<T>> {
+        let tag = self.next_tag();
+        if self.size == 1 {
+            return vec![v];
+        }
+        let bytes = (v.len() * std::mem::size_of::<T>()) as u64;
+        for to in 0..self.size {
+            if to != self.rank {
+                self.account(bytes);
+                self.senders[to]
+                    .send((self.rank, tag, Box::new(v.clone())))
+                    .expect("receiver alive");
+            }
+        }
+        let mut out: Vec<Vec<T>> = Vec::with_capacity(self.size);
+        for from in 0..self.size {
+            if from == self.rank {
+                out.push(v.clone());
+            } else {
+                out.push(self.recv_raw(from, tag));
+            }
+        }
+        out
+    }
+
+    /// All-reduce of `f64`/`usize`-like scalars via [`ReduceOp`].
+    pub fn all_reduce_f64(&self, v: f64, op: ReduceOp) -> f64 {
+        let all = self.all_gather(v);
+        match op {
+            ReduceOp::Sum => all.iter().sum(),
+            ReduceOp::Min => all.iter().cloned().fold(f64::INFINITY, f64::min),
+            ReduceOp::Max => all.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// All-reduce for u64.
+    pub fn all_reduce_u64(&self, v: u64, op: ReduceOp) -> u64 {
+        let all = self.all_gather(v);
+        match op {
+            ReduceOp::Sum => all.iter().sum(),
+            ReduceOp::Min => all.iter().cloned().min().unwrap(),
+            ReduceOp::Max => all.iter().cloned().max().unwrap(),
+        }
+    }
+
+    /// Exclusive prefix sum across ranks (MPI `Exscan`; rank 0 gets 0).
+    pub fn exscan_u64(&self, v: u64) -> u64 {
+        let all = self.all_gather(v);
+        all[..self.rank].iter().sum()
+    }
+
+    /// Personalized all-to-all (MPI `Alltoallv`): `sends[i]` goes to rank
+    /// `i`; the result's `r[i]` is what rank `i` sent here.
+    pub fn all_to_allv<T: Clone + Send + 'static>(&self, mut sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        assert_eq!(sends.len(), self.size);
+        let tag = self.next_tag();
+        if self.size == 1 {
+            return sends;
+        }
+        for to in 0..self.size {
+            if to != self.rank {
+                let payload = std::mem::take(&mut sends[to]);
+                let bytes = (payload.len() * std::mem::size_of::<T>()) as u64;
+                self.account(bytes);
+                self.senders[to]
+                    .send((self.rank, tag, Box::new(payload)))
+                    .expect("receiver alive");
+            }
+        }
+        let mut out: Vec<Vec<T>> = Vec::with_capacity(self.size);
+        for from in 0..self.size {
+            if from == self.rank {
+                out.push(std::mem::take(&mut sends[from]));
+            } else {
+                out.push(self.recv_raw(from, tag));
+            }
+        }
+        out
+    }
+
+    /// Broadcast from `root` to all ranks.
+    pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, v: Option<Vec<T>>) -> Vec<T> {
+        let tag = self.next_tag();
+        if self.size == 1 {
+            return v.expect("root provides the value");
+        }
+        if self.rank == root {
+            let v = v.expect("root provides the value");
+            let bytes = (v.len() * std::mem::size_of::<T>()) as u64;
+            for to in 0..self.size {
+                if to != root {
+                    self.account(bytes);
+                    self.senders[to]
+                        .send((self.rank, tag, Box::new(v.clone())))
+                        .expect("receiver alive");
+                }
+            }
+            v
+        } else {
+            self.recv_raw(root, tag)
+        }
+    }
+}
+
+/// Runs `f` as an SPMD program over `nranks` ranks (threads); returns every
+/// rank's result in rank order.
+pub fn run_spmd<R, F>(nranks: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Send + Sync,
+{
+    assert!(nranks >= 1);
+    if nranks == 1 {
+        let comm = Comm::solo();
+        return vec![f(&comm)];
+    }
+    let mut txs = Vec::with_capacity(nranks);
+    let mut rxs = Vec::with_capacity(nranks);
+    for _ in 0..nranks {
+        let (tx, rx) = unbounded();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let senders = Arc::new(txs);
+    let barrier = Arc::new(BarrierState {
+        count: Mutex::new((0, 0)),
+        cv: Condvar::new(),
+    });
+    let mut results: Vec<Option<R>> = (0..nranks).map(|_| None).collect();
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (rank, rx) in rxs.into_iter().enumerate() {
+            let senders = Arc::clone(&senders);
+            let barrier = Arc::clone(&barrier);
+            let f = &f;
+            handles.push(s.spawn(move |_| {
+                let comm = Comm {
+                    rank,
+                    size: nranks,
+                    senders,
+                    receiver: rx,
+                    inbox: RefCell::new(Vec::new()),
+                    barrier,
+                    op_counter: Cell::new(0),
+                    stats: Cell::new(CommStats::default()),
+                };
+                f(&comm)
+            }));
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            results[rank] = Some(h.join().expect("rank panicked"));
+        }
+    })
+    .expect("spmd scope");
+    results.into_iter().map(|r| r.expect("joined")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_gather_orders_by_rank() {
+        let res = run_spmd(4, |c| c.all_gather(c.rank() * 10));
+        for r in res {
+            assert_eq!(r, vec![0, 10, 20, 30]);
+        }
+    }
+
+    #[test]
+    fn all_reduce_ops() {
+        let res = run_spmd(5, |c| {
+            (
+                c.all_reduce_f64(c.rank() as f64, ReduceOp::Sum),
+                c.all_reduce_u64(c.rank() as u64 + 1, ReduceOp::Min),
+                c.all_reduce_u64(c.rank() as u64, ReduceOp::Max),
+            )
+        });
+        for (s, mn, mx) in res {
+            assert_eq!(s, 10.0);
+            assert_eq!(mn, 1);
+            assert_eq!(mx, 4);
+        }
+    }
+
+    #[test]
+    fn exscan() {
+        let res = run_spmd(4, |c| c.exscan_u64(c.rank() as u64 + 1));
+        assert_eq!(res, vec![0, 1, 3, 6]);
+    }
+
+    #[test]
+    fn all_to_allv_transposes() {
+        let res = run_spmd(3, |c| {
+            let sends: Vec<Vec<u32>> = (0..3)
+                .map(|to| vec![(c.rank() * 100 + to) as u32])
+                .collect();
+            c.all_to_allv(sends)
+        });
+        // rank r receives [r, 100+r, 200+r]
+        for (r, got) in res.iter().enumerate() {
+            let flat: Vec<u32> = got.iter().flatten().copied().collect();
+            assert_eq!(flat, vec![r as u32, 100 + r as u32, 200 + r as u32]);
+        }
+    }
+
+    #[test]
+    fn point_to_point_ring() {
+        let res = run_spmd(4, |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.send(next, 7, vec![c.rank() as u64]);
+            c.recv::<u64>(prev, 7)[0]
+        });
+        assert_eq!(res, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_parked() {
+        let res = run_spmd(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, vec![1u8]);
+                c.send(1, 2, vec![2u8]);
+                0
+            } else {
+                // Receive in reverse order of sending.
+                let b = c.recv::<u8>(0, 2)[0];
+                let a = c.recv::<u8>(0, 1)[0];
+                (a as usize) * 10 + b as usize
+            }
+        });
+        assert_eq!(res[1], 12);
+    }
+
+    #[test]
+    fn bcast_from_nonzero_root() {
+        let res = run_spmd(3, |c| {
+            let v = if c.rank() == 2 { Some(vec![42u32, 7]) } else { None };
+            c.bcast(2, v)
+        });
+        for r in res {
+            assert_eq!(r, vec![42, 7]);
+        }
+    }
+
+    #[test]
+    fn stats_count_bytes() {
+        let res = run_spmd(2, |c| {
+            c.send((c.rank() + 1) % 2, 0, vec![0u64; 10]);
+            let _ = c.recv::<u64>((c.rank() + 1) % 2, 0);
+            c.stats()
+        });
+        for s in res {
+            assert_eq!(s.bytes_sent, 80);
+            assert_eq!(s.messages, 1);
+        }
+    }
+
+    #[test]
+    fn barrier_many_rounds() {
+        let res = run_spmd(6, |c| {
+            for _ in 0..50 {
+                c.barrier();
+            }
+            c.rank()
+        });
+        assert_eq!(res, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,303 @@
+//! DistTreeSort: distributed SFC sample sort of octants with duplicate /
+//! overlap resolution — the partitioning workhorse of Algorithm 3.
+//!
+//! The key property inherited from the paper: the sort only ever sees the
+//! octants it is given (the *active*, retained region of the incomplete
+//! tree), so the resulting partition balances actual FEM work instead of
+//! balancing void octants (the failure mode of complete-tree partitioners
+//! that Table 4 measures).
+
+use carve_sfc::{sfc_cmp, treesort, Curve, Octant};
+use std::cmp::Ordering;
+
+use crate::comm::Comm;
+
+/// Number of regular samples each rank contributes to splitter selection.
+const OVERSAMPLE: usize = 64;
+
+/// Distributed TreeSort: globally sorts octants (SFC order, ancestors first),
+/// removes exact duplicates and resolves ancestor/descendant overlaps across
+/// rank boundaries *keeping the finer octants*, and leaves the result
+/// distributed with balanced counts.
+pub fn dist_tree_sort<const DIM: usize>(
+    comm: &Comm,
+    mut local: Vec<Octant<DIM>>,
+    curve: Curve,
+) -> Vec<Octant<DIM>> {
+    treesort(&mut local, curve);
+    if comm.size() > 1 {
+        local = sample_sort_exchange(comm, local, curve);
+    }
+    local.dedup();
+    carve_sfc::treesort::linearize_keep_finer(&mut local);
+    if comm.size() > 1 {
+        resolve_boundaries(comm, &mut local, curve);
+        local = rebalance_equal_counts(comm, local);
+    }
+    local
+}
+
+/// Sample-sort exchange: pick P-1 splitter keys from gathered regular
+/// samples, route every octant to its bucket rank, locally re-sort.
+fn sample_sort_exchange<const DIM: usize>(
+    comm: &Comm,
+    local: Vec<Octant<DIM>>,
+    curve: Curve,
+) -> Vec<Octant<DIM>> {
+    let p = comm.size();
+    // Regular samples from the locally sorted data.
+    let mut samples = Vec::new();
+    if !local.is_empty() {
+        let stride = (local.len() / OVERSAMPLE).max(1);
+        samples.extend(local.iter().step_by(stride).copied());
+    }
+    let mut all_samples: Vec<Octant<DIM>> =
+        comm.all_gatherv(samples).into_iter().flatten().collect();
+    treesort(&mut all_samples, curve);
+    all_samples.dedup();
+
+    let mut splitters: Vec<Octant<DIM>> = Vec::with_capacity(p.saturating_sub(1));
+    if !all_samples.is_empty() {
+        for i in 1..p {
+            let idx = (i * all_samples.len()) / p;
+            splitters.push(all_samples[idx.min(all_samples.len() - 1)]);
+        }
+    }
+
+    let mut sends: Vec<Vec<Octant<DIM>>> = (0..p).map(|_| Vec::new()).collect();
+    for o in local {
+        // Destination: number of splitters <= o.
+        let dest = splitters
+            .partition_point(|s| sfc_cmp(curve, s, &o) != Ordering::Greater);
+        sends[dest.min(p - 1)].push(o);
+    }
+    let mut recv: Vec<Octant<DIM>> = comm.all_to_allv(sends).into_iter().flatten().collect();
+    treesort(&mut recv, curve);
+    recv
+}
+
+/// Cross-rank duplicate/overlap resolution: each rank learns the first
+/// octant owned by any successor rank and pops its own tail while the tail
+/// octant equals or is an ancestor of that head (finer octants win).
+/// Iterates until globally quiescent (an ancestor chain can span ranks).
+fn resolve_boundaries<const DIM: usize>(
+    comm: &Comm,
+    local: &mut Vec<Octant<DIM>>,
+    _curve: Curve,
+) {
+    loop {
+        let heads: Vec<Option<Octant<DIM>>> = comm.all_gather(local.first().copied());
+        let next_head = heads[comm.rank() + 1..]
+            .iter()
+            .find_map(|h| h.as_ref().copied());
+        let mut changed = 0u64;
+        if let Some(head) = next_head {
+            while let Some(last) = local.last() {
+                if *last == head || last.is_ancestor_of(&head) {
+                    local.pop();
+                    changed = 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        if comm.all_reduce_u64(changed, crate::comm::ReduceOp::Max) == 0 {
+            break;
+        }
+    }
+}
+
+/// Re-partitions a globally sorted distributed list so every rank holds an
+/// equal (±1) share, preserving global order.
+pub fn rebalance_equal_counts<const DIM: usize>(
+    comm: &Comm,
+    local: Vec<Octant<DIM>>,
+) -> Vec<Octant<DIM>> {
+    let p = comm.size();
+    let n_local = local.len() as u64;
+    let total = comm.all_reduce_u64(n_local, crate::comm::ReduceOp::Sum);
+    let offset = comm.exscan_u64(n_local);
+    // Rank r's target range: [r*total/p, (r+1)*total/p).
+    let target_start = |r: u64| (r * total) / p as u64;
+    let mut sends: Vec<Vec<Octant<DIM>>> = (0..p).map(|_| Vec::new()).collect();
+    for (i, o) in local.into_iter().enumerate() {
+        let g = offset + i as u64;
+        // Find destination rank: the r with target_start(r) <= g < target_start(r+1).
+        let mut r = ((g * p as u64) / total.max(1)) as usize;
+        r = r.min(p - 1);
+        while r > 0 && g < target_start(r as u64) {
+            r -= 1;
+        }
+        while r + 1 < p && g >= target_start(r as u64 + 1) {
+            r += 1;
+        }
+        sends[r].push(o);
+    }
+    comm.all_to_allv(sends).into_iter().flatten().collect()
+}
+
+/// Splitter selection with load tolerance for the *replay* (sequential
+/// analysis) path: given per-element weights of a globally sorted tree and
+/// optionally the element levels, returns `nparts + 1` boundary indices.
+///
+/// With `levels` provided and `tol > 0`, each cut may shift by up to
+/// `tol * grain` elements to land on the coarsest available subtree boundary
+/// — the paper's "large tolerance partitions the tree at coarse levels"
+/// knob. `tol = 0` gives the exact equal-weight partition.
+pub fn partition_splitters_by_weight(
+    weights: &[f64],
+    levels: Option<&[u8]>,
+    nparts: usize,
+    tol: f64,
+) -> Vec<usize> {
+    assert!(nparts >= 1);
+    let n = weights.len();
+    let total: f64 = weights.iter().sum();
+    let mut prefix = Vec::with_capacity(n + 1);
+    let mut acc = 0.0;
+    prefix.push(0.0);
+    for &w in weights {
+        acc += w;
+        prefix.push(acc);
+    }
+    let mut bounds = Vec::with_capacity(nparts + 1);
+    bounds.push(0usize);
+    for i in 1..nparts {
+        let target = total * i as f64 / nparts as f64;
+        // First index with prefix >= target.
+        let mut cut = prefix.partition_point(|&x| x < target).min(n);
+        if let Some(levels) = levels {
+            if tol > 0.0 {
+                let grain = (n / nparts).max(1);
+                let slack = ((grain as f64) * tol).floor() as usize;
+                let lo = cut.saturating_sub(slack).max(*bounds.last().unwrap());
+                let hi = (cut + slack).min(n);
+                // Prefer the coarsest cut point in the window (a cut at index
+                // j splits between elements j-1 and j; we pick j whose
+                // element starts the shallowest subtree).
+                let mut best = cut;
+                let mut best_level = if cut < n { levels[cut] } else { u8::MAX };
+                for j in lo..=hi.min(n.saturating_sub(1)) {
+                    if levels[j] < best_level {
+                        best_level = levels[j];
+                        best = j;
+                    }
+                }
+                cut = best;
+            }
+        }
+        let floor = *bounds.last().unwrap();
+        bounds.push(cut.max(floor));
+    }
+    bounds.push(n);
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::run_spmd;
+    use rand::{Rng, SeedableRng};
+
+    fn random_octants<const DIM: usize>(n: usize, max_level: u8, seed: u64) -> Vec<Octant<DIM>> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let level = rng.gen_range(1..=max_level);
+                let mut o = Octant::<DIM>::ROOT;
+                for _ in 0..level {
+                    o = o.child(rng.gen_range(0..(1 << DIM)));
+                }
+                o
+            })
+            .collect()
+    }
+
+    fn sequential_reference<const DIM: usize>(
+        mut all: Vec<Octant<DIM>>,
+        curve: Curve,
+    ) -> Vec<Octant<DIM>> {
+        treesort(&mut all, curve);
+        all.dedup();
+        carve_sfc::treesort::linearize_keep_finer(&mut all);
+        all
+    }
+
+    #[test]
+    fn dist_sort_matches_sequential() {
+        for curve in [Curve::Morton, Curve::Hilbert] {
+            for p in [1usize, 2, 3, 5] {
+                let per_rank = 150;
+                let res = run_spmd(p, |c| {
+                    let local =
+                        random_octants::<3>(per_rank, 5, 42 + c.rank() as u64);
+                    dist_tree_sort(c, local, curve)
+                });
+                let mut all: Vec<Octant<3>> = Vec::new();
+                for r in 0..p {
+                    all.extend(random_octants::<3>(per_rank, 5, 42 + r as u64));
+                }
+                let reference = sequential_reference(all, curve);
+                let flat: Vec<Octant<3>> = res.into_iter().flatten().collect();
+                assert_eq!(flat, reference, "curve {curve:?} p {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn dist_sort_balances_counts() {
+        let p = 4;
+        let res = run_spmd(p, |c| {
+            let local = random_octants::<2>(200, 6, 7 + c.rank() as u64);
+            dist_tree_sort(c, local, Curve::Hilbert).len()
+        });
+        let total: usize = res.iter().sum();
+        for &n in &res {
+            assert!(n.abs_diff(total / p) <= 1, "counts {res:?}");
+        }
+    }
+
+    #[test]
+    fn splitters_equal_weight() {
+        let w = vec![1.0; 100];
+        let b = partition_splitters_by_weight(&w, None, 4, 0.0);
+        assert_eq!(b, vec![0, 25, 50, 75, 100]);
+    }
+
+    #[test]
+    fn splitters_weighted() {
+        // All weight in the first half: cuts crowd there.
+        let mut w = vec![3.0; 50];
+        w.extend(vec![1.0; 50]);
+        let b = partition_splitters_by_weight(&w, None, 2, 0.0);
+        assert!(b[1] < 50, "cut {b:?} should fall in heavy half");
+        // Each part's weight within one element of half the total.
+        let part0: f64 = w[..b[1]].iter().sum();
+        assert!((part0 - 100.0).abs() <= 3.0);
+    }
+
+    #[test]
+    fn splitters_snap_to_coarse_levels() {
+        let n = 64;
+        let w = vec![1.0; n];
+        // Levels: mostly fine (5), one coarse boundary at index 30.
+        let mut levels = vec![5u8; n];
+        levels[30] = 2;
+        let b = partition_splitters_by_weight(&w, Some(&levels), 2, 0.2);
+        assert_eq!(b[1], 30, "cut should snap to the coarse subtree boundary");
+        let b0 = partition_splitters_by_weight(&w, Some(&levels), 2, 0.0);
+        assert_eq!(b0[1], 32, "zero tolerance keeps the exact split");
+    }
+
+    #[test]
+    fn splitters_monotone_and_cover() {
+        let w: Vec<f64> = (0..37).map(|i| (i % 5) as f64 + 0.5).collect();
+        for parts in 1..8 {
+            let b = partition_splitters_by_weight(&w, None, parts, 0.0);
+            assert_eq!(b.len(), parts + 1);
+            assert_eq!(b[0], 0);
+            assert_eq!(*b.last().unwrap(), 37);
+            assert!(b.windows(2).all(|x| x[0] <= x[1]));
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Simulated-MPI SPMD runtime for the `carve` workspace.
+//!
+//! The paper runs on Frontera with MPI; Rust MPI bindings are thin and this
+//! reproduction targets a single box, so the distributed-memory substrate is
+//! built from scratch:
+//!
+//! * [`Comm`] — a per-rank communicator handle with MPI-style point-to-point
+//!   (`send` / `recv`) and collectives (`barrier`, `all_gather`,
+//!   `all_gatherv`, `all_reduce`, `exscan`, `all_to_allv`, `bcast`), carried
+//!   over crossbeam channels between OS threads. Every byte sent is counted,
+//!   so communication-volume results (Fig. 11) are exact.
+//! * [`run_spmd`] — launches `P` ranks as scoped threads running the same
+//!   closure (SPMD), returns every rank's result.
+//! * [`disttreesort`] — the distributed sample-sort version of TreeSort used
+//!   by Algorithm 3, with duplicate removal and keep-finer overlap
+//!   resolution across rank boundaries, plus the load-tolerance splitter
+//!   selection.
+//!
+//! Collectives are implemented with simple star/all-pairs exchanges: the
+//! point of this substrate is *algorithmic fidelity and exact accounting*,
+//! not network performance (wall-clock scaling is modeled separately in the
+//! benchmark harness, see DESIGN.md §2).
+
+pub mod comm;
+pub mod disttreesort;
+
+pub use comm::{run_spmd, Comm, CommStats, ReduceOp};
+pub use disttreesort::{dist_tree_sort, partition_splitters_by_weight};

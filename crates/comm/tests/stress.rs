@@ -1,0 +1,124 @@
+//! Stress and adversarial-input tests for the simulated-MPI substrate:
+//! many ranks, empty payloads, duplicate-heavy and ancestor-chain octant
+//! inputs — the failure modes a distributed sort meets in practice.
+
+use carve_comm::{dist_tree_sort, run_spmd, Comm, ReduceOp};
+use carve_sfc::{sfc_cmp, Curve, Octant};
+
+#[test]
+fn sixteen_ranks_interleaved_collectives() {
+    let res = run_spmd(16, |c: &Comm| {
+        let mut acc = 0u64;
+        for round in 0..20 {
+            let v = (c.rank() as u64 + round) % 7;
+            acc += c.all_reduce_u64(v, ReduceOp::Sum);
+            c.barrier();
+            let g = c.all_gather(c.rank() as u64 * round);
+            assert_eq!(g.len(), 16);
+            let scan = c.exscan_u64(1);
+            assert_eq!(scan, c.rank() as u64);
+        }
+        acc
+    });
+    // All ranks computed identical reductions.
+    assert!(res.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn alltoallv_with_empty_and_fat_lanes() {
+    let res = run_spmd(8, |c: &Comm| {
+        // Rank r sends r copies of its id to rank (r+1)%8, nothing else.
+        let mut sends: Vec<Vec<u64>> = (0..8).map(|_| Vec::new()).collect();
+        sends[(c.rank() + 1) % 8] = vec![c.rank() as u64; c.rank()];
+        let recv = c.all_to_allv(sends);
+        // We receive from (rank+7)%8: that many copies of its id.
+        let from = (c.rank() + 7) % 8;
+        let lane: Vec<u64> = recv[from].clone();
+        assert_eq!(lane.len(), from);
+        assert!(lane.iter().all(|&x| x == from as u64));
+        // Every other lane is empty.
+        recv.iter()
+            .enumerate()
+            .filter(|(q, _)| *q != from)
+            .for_each(|(_, l)| assert!(l.is_empty()));
+        lane.len()
+    });
+    assert_eq!(res.iter().sum::<usize>(), (0..8).sum());
+}
+
+#[test]
+fn dist_sort_all_duplicates() {
+    // Every rank contributes the same handful of octants; the global result
+    // must be the deduplicated set.
+    let octs: Vec<Octant<2>> = vec![
+        Octant::ROOT.child(0),
+        Octant::ROOT.child(1),
+        Octant::ROOT.child(0), // duplicate
+        Octant::ROOT.child(3),
+    ];
+    let res = run_spmd(5, |c: &Comm| dist_tree_sort(c, octs.clone(), Curve::Morton));
+    let flat: Vec<Octant<2>> = res.into_iter().flatten().collect();
+    assert_eq!(
+        flat,
+        vec![
+            Octant::<2>::ROOT.child(0),
+            Octant::ROOT.child(1),
+            Octant::ROOT.child(3)
+        ]
+    );
+}
+
+#[test]
+fn dist_sort_ancestor_chains_keep_finest() {
+    // A full ancestor chain split across ranks: only the deepest survives.
+    let deepest = Octant::<2>::ROOT.child(2).child(1).child(3).child(0);
+    let res = run_spmd(4, |c: &Comm| {
+        // Rank r holds the ancestor at depth r+1.
+        let mut o = Octant::<2>::ROOT;
+        let path = [2usize, 1, 3, 0];
+        for &p in path.iter().take(c.rank() + 1) {
+            o = o.child(p);
+        }
+        dist_tree_sort(c, vec![o], Curve::Hilbert)
+    });
+    let flat: Vec<Octant<2>> = res.into_iter().flatten().collect();
+    assert_eq!(flat, vec![deepest]);
+}
+
+#[test]
+fn dist_sort_some_ranks_empty() {
+    let res = run_spmd(6, |c: &Comm| {
+        let local = if c.rank() % 2 == 0 {
+            vec![Octant::<3>::ROOT.child(c.rank() % 8)]
+        } else {
+            Vec::new()
+        };
+        dist_tree_sort(c, local, Curve::Hilbert)
+    });
+    let flat: Vec<Octant<3>> = res.into_iter().flatten().collect();
+    assert_eq!(flat.len(), 3);
+    assert!(flat
+        .windows(2)
+        .all(|w| sfc_cmp(Curve::Hilbert, &w[0], &w[1]) == std::cmp::Ordering::Less));
+}
+
+#[test]
+fn point_to_point_many_outstanding_messages() {
+    // Flood a rank with out-of-order tags; the inbox must park and match
+    // them all.
+    let res = run_spmd(2, |c: &Comm| {
+        if c.rank() == 0 {
+            for tag in (0..50u64).rev() {
+                c.send(1, tag, vec![tag]);
+            }
+            0
+        } else {
+            let mut sum = 0;
+            for tag in 0..50u64 {
+                sum += c.recv::<u64>(0, tag)[0];
+            }
+            sum
+        }
+    });
+    assert_eq!(res[1], (0..50).sum::<u64>());
+}

@@ -1,0 +1,178 @@
+//! 2:1 balancing: Algorithms 4 and 5.
+//!
+//! Bottom-up seed propagation (Sundar et al. \[56\] style): for every octant,
+//! the neighbors of its parent are added one level coarser; after all levels
+//! are processed, re-running the constrained construction over the enlarged
+//! seed set yields a 2:1-balanced tree.
+//!
+//! §3.3's correctness subtlety is honored: carved octants generated as
+//! neighbors-of-parents are **not** discarded during seeding — pruning only
+//! happens in the final `ConstructConstrained` pass — otherwise two leaves
+//! of ratio ≥ 4:1 could meet across a carved region.
+
+use crate::construct::construct_constrained;
+use carve_geom::Subdomain;
+use carve_sfc::{Curve, Octant, MAX_LEVEL};
+use std::collections::HashSet;
+
+/// Algorithm 5 — `BottomUpConstrainNeighbors`: expands a set of seed leaves
+/// into a balanced seed set (no `F` applied, per the paper).
+pub fn bottom_up_constrain_neighbors<const DIM: usize>(
+    leaves: &[Octant<DIM>],
+) -> Vec<Octant<DIM>> {
+    // Stratify by level, finest to coarsest.
+    let mut by_level: Vec<HashSet<Octant<DIM>>> =
+        (0..=MAX_LEVEL as usize).map(|_| HashSet::new()).collect();
+    for o in leaves {
+        by_level[o.level as usize].insert(*o);
+    }
+    for l in (2..=MAX_LEVEL as usize).rev() {
+        if by_level[l].is_empty() {
+            continue;
+        }
+        let this_level: Vec<Octant<DIM>> = by_level[l].iter().copied().collect();
+        for t in this_level {
+            let parent = t.parent();
+            for n in parent.neighbors() {
+                // add_unique; do NOT apply F (carved seeds must survive).
+                by_level[l - 1].insert(n);
+            }
+        }
+    }
+    let mut out: Vec<Octant<DIM>> = by_level.into_iter().flatten().collect();
+    carve_sfc::treesort(&mut out, Curve::Morton);
+    out.dedup();
+    out
+}
+
+/// Algorithm 4 — construct a 2:1-balanced incomplete tree from seed octants
+/// (sequential version; see `dist` for the distributed one).
+pub fn construct_balanced<const DIM: usize>(
+    domain: &dyn Subdomain<DIM>,
+    curve: Curve,
+    seeds: &[Octant<DIM>],
+) -> Vec<Octant<DIM>> {
+    let mut s = seeds.to_vec();
+    carve_sfc::treesort(&mut s, curve);
+    let t1 = construct_constrained(domain, curve, &s);
+    let mut t2 = bottom_up_constrain_neighbors(&t1);
+    carve_sfc::treesort(&mut t2, curve);
+    construct_constrained(domain, curve, &t2)
+}
+
+/// Verifies the 2:1 balance property over the *retained* leaves: any two
+/// leaves whose closed regions touch differ by at most one level.
+pub fn check_2to1<const DIM: usize>(tree: &[Octant<DIM>]) -> Result<(), String> {
+    // Hash the leaf set for ancestor queries.
+    let set: HashSet<Octant<DIM>> = tree.iter().copied().collect();
+    for o in tree {
+        if o.level < 2 {
+            continue;
+        }
+        // If any neighbor of the grandparent-level ancestor region is
+        // occupied by a leaf at level <= o.level - 2 touching o, balance is
+        // violated. Equivalently: check that no leaf coarser by >= 2 levels
+        // touches o. Search candidate coarse leaves among ancestors of o's
+        // neighbor regions.
+        for n in o.neighbors() {
+            // The leaf covering region n (if any) is n or an ancestor.
+            let mut anc = n;
+            loop {
+                if set.contains(&anc) {
+                    if (anc.level as i32) < o.level as i32 - 1 {
+                        return Err(format!(
+                            "2:1 violation: {o:?} touches {anc:?}"
+                        ));
+                    }
+                    break;
+                }
+                if anc.level == 0 {
+                    break; // region carved: nothing covers it
+                }
+                anc = anc.parent();
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::{check_tree_invariants, construct_boundary_refined};
+    use carve_geom::{CarvedSolids, FullDomain, RetainBox, Sphere};
+
+    #[test]
+    fn single_deep_seed_gets_graded_neighborhood() {
+        let deep = Octant::<2>::ROOT.child(0).child(0).child(0).child(0).child(0);
+        let tree = construct_balanced(&FullDomain, Curve::Morton, &[deep]);
+        check_tree_invariants(&FullDomain, Curve::Morton, &tree).unwrap();
+        check_2to1(&tree).unwrap();
+        assert!(tree.contains(&deep));
+        // Coverage of the unit square.
+        let area: f64 = tree
+            .iter()
+            .map(|o| {
+                let s = o.bounds_unit().1;
+                s * s
+            })
+            .sum();
+        assert!((area - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_refined_disk_balances() {
+        let domain =
+            CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.3))]);
+        let adaptive = construct_boundary_refined(&domain, Curve::Hilbert, 2, 6);
+        let tree = construct_balanced(&domain, Curve::Hilbert, &adaptive);
+        check_tree_invariants(&domain, Curve::Hilbert, &tree).unwrap();
+        check_2to1(&tree).unwrap();
+        // Balance may only refine: at least as many leaves.
+        assert!(tree.len() >= adaptive.len());
+    }
+
+    #[test]
+    fn balance_holds_across_carved_regions() {
+        // A thin carved wall between a very fine region and a coarse one:
+        // the §3.3 pitfall. Carve a narrow vertical slab and refine on one
+        // side only; leaves on opposite sides of the slab share edges at the
+        // slab's ends if the slab is thinner than the elements.
+        let domain = CarvedSolids::<2>::new(vec![Box::new(
+            carve_geom::AxisBox::new([0.49, 0.0], [0.51, 0.75]),
+        )]);
+        let adaptive = construct_boundary_refined(&domain, Curve::Morton, 2, 7);
+        let tree = construct_balanced(&domain, Curve::Morton, &adaptive);
+        check_tree_invariants(&domain, Curve::Morton, &tree).unwrap();
+        check_2to1(&tree).unwrap();
+    }
+
+    #[test]
+    fn balance_3d_sphere() {
+        let domain =
+            CarvedSolids::<3>::new(vec![Box::new(Sphere::new([0.5; 3], 0.25))]);
+        let adaptive = construct_boundary_refined(&domain, Curve::Hilbert, 2, 4);
+        let tree = construct_balanced(&domain, Curve::Hilbert, &adaptive);
+        check_tree_invariants(&domain, Curve::Hilbert, &tree).unwrap();
+        check_2to1(&tree).unwrap();
+    }
+
+    #[test]
+    fn balanced_tree_is_idempotent() {
+        let domain =
+            CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.3, 0.7], 0.2))]);
+        let adaptive = construct_boundary_refined(&domain, Curve::Morton, 2, 5);
+        let t1 = construct_balanced(&domain, Curve::Morton, &adaptive);
+        let t2 = construct_balanced(&domain, Curve::Morton, &t1);
+        assert_eq!(t1, t2, "balancing twice must be a fixed point");
+    }
+
+    #[test]
+    fn channel_balance() {
+        let domain = RetainBox::<3>::channel([1.0, 0.25, 0.25]);
+        let adaptive = construct_boundary_refined(&domain, Curve::Hilbert, 2, 4);
+        let tree = construct_balanced(&domain, Curve::Hilbert, &adaptive);
+        check_2to1(&tree).unwrap();
+        check_tree_invariants(&domain, Curve::Hilbert, &tree).unwrap();
+    }
+}

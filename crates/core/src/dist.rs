@@ -1,0 +1,730 @@
+//! Distributed incomplete-octree meshes: Algorithm 3
+//! (`DistributedConstructConstrained`) plus ghost elements, node ownership,
+//! ghost exchange, and the distributed traversal MATVEC.
+//!
+//! Partitioning only ever sees the *active* (retained) octants — the paper's
+//! central load-balancing argument versus complete-tree frameworks — because
+//! carved subtrees were pruned during construction and `DistTreeSort`
+//! operates on whatever it is given.
+//!
+//! Node ownership uses a two-round broker protocol: every rank routes each
+//! needed nodal coordinate to a deterministic *broker* rank (by SFC bin of
+//! the coordinate's finest containing cell); brokers elect the minimum
+//! requesting rank as owner and reply; a final round with the owners
+//! assigns global DOF ids and builds the ghost send/recv plans. Ownership is
+//! therefore derived from actual users, so every ghost node is guaranteed
+//! to exist on its owner.
+
+use crate::balance::bottom_up_constrain_neighbors;
+use crate::construct::{construct_constrained, construct_uniform};
+use crate::matvec::{traversal_matvec, TraversalTimings};
+use crate::nodes::{
+    elem_node_coord, enumerate_nodes, lattice_index, nodes_per_elem, resolve_slot, NodeSet,
+    SlotRef,
+};
+use carve_comm::{dist_tree_sort, Comm};
+use carve_geom::{RegionLabel, Subdomain};
+use carve_sfc::morton::{finest_cell_of_point, point_cmp_morton};
+use carve_sfc::{sfc_cmp, Curve, Octant};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::time::Instant;
+
+/// Per-rank ghost statistics (Fig. 11's raw data).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GhostStats {
+    pub owned_nodes: usize,
+    pub ghost_nodes: usize,
+    pub owned_elems: usize,
+    pub ghost_elems: usize,
+    /// Bytes exchanged per ghost-read of one scalar field.
+    pub ghost_read_bytes: u64,
+}
+
+impl GhostStats {
+    /// η = N_G / N_L (the ratio the paper shows behaves like 1/(p+1)).
+    pub fn eta(&self) -> f64 {
+        if self.owned_nodes == 0 {
+            0.0
+        } else {
+            self.ghost_nodes as f64 / self.owned_nodes as f64
+        }
+    }
+}
+
+/// A distributed, 2:1-balanced incomplete-octree mesh on one rank.
+pub struct DistMesh<const DIM: usize> {
+    pub curve: Curve,
+    pub order: u64,
+    /// Owned + ghost elements, SFC-sorted; owned are the contiguous `owned`
+    /// range (ghosts sort strictly before/after by the splitter property).
+    pub elems: Vec<Octant<DIM>>,
+    pub owned: Range<usize>,
+    /// Per-element subdomain labels (aligned with `elems`).
+    pub labels: Vec<RegionLabel>,
+    /// Needed nodes (owned + ghost), point-Morton sorted.
+    pub nodes: NodeSet<DIM>,
+    /// Owning rank per node.
+    pub owner: Vec<u32>,
+    /// Global DOF id per node.
+    pub global_id: Vec<u32>,
+    pub n_owned_nodes: usize,
+    pub n_global_dofs: usize,
+    /// `send_plan[q]` = local indices of owned nodes whose values rank `q`
+    /// needs; `recv_plan[q]` = local indices of ghost nodes owned by `q`
+    /// (ordered to match `q`'s send plan).
+    send_plan: Vec<Vec<u32>>,
+    recv_plan: Vec<Vec<u32>>,
+}
+
+/// Bin of an octant key among rank splitters: the largest rank whose
+/// splitter is `<=` the key. Ranks without elements never win a bin.
+fn splitter_bin<const DIM: usize>(
+    splitters: &[Option<Octant<DIM>>],
+    curve: Curve,
+    key: &Octant<DIM>,
+) -> usize {
+    let mut bin = 0usize;
+    for (r, s) in splitters.iter().enumerate() {
+        if let Some(s) = s {
+            if sfc_cmp(curve, s, key) != Ordering::Greater {
+                bin = r;
+            } else {
+                break;
+            }
+        }
+    }
+    bin
+}
+
+/// SFC range of leaf-level keys covered by subtree `n`:
+/// `[first_descendant, last_descendant]`.
+fn descendant_key_range<const DIM: usize>(n: &Octant<DIM>) -> (Octant<DIM>, Octant<DIM>) {
+    let first = Octant {
+        anchor: n.anchor,
+        level: carve_sfc::MAX_LEVEL,
+    };
+    let mut last_anchor = n.anchor;
+    let side = n.side();
+    for a in last_anchor.iter_mut() {
+        *a += side - 1;
+    }
+    let last = Octant {
+        anchor: last_anchor,
+        level: carve_sfc::MAX_LEVEL,
+    };
+    (first, last)
+}
+
+impl<const DIM: usize> DistMesh<DIM> {
+    /// Distributed mesh construction: Algorithm 4 over Algorithm 3, then
+    /// ghost elements, nodal enumeration, ownership, and exchange plans.
+    pub fn build(
+        comm: &Comm,
+        domain: &dyn Subdomain<DIM>,
+        curve: Curve,
+        base_level: u8,
+        boundary_level: u8,
+        order: u64,
+    ) -> Self {
+        // --- Local adaptive seed generation -----------------------------
+        // Deterministic global adaptive refinement, sliced by rank: every
+        // rank refines its slice of the base tree near the boundary.
+        let base = construct_uniform(domain, curve, base_level);
+        let p = comm.size();
+        let r = comm.rank();
+        let lo = r * base.len() / p;
+        let hi = (r + 1) * base.len() / p;
+        let mut local: Vec<Octant<DIM>> = base[lo..hi].to_vec();
+        // Refine intercepted leaves to the boundary level (children pruned
+        // when carved).
+        loop {
+            let mut next = Vec::with_capacity(local.len());
+            let mut changed = false;
+            for oct in &local {
+                if oct.level < boundary_level
+                    && crate::construct::classify_octant(domain, oct)
+                        == RegionLabel::RetainBoundary
+                {
+                    changed = true;
+                    for c in 0..(1usize << DIM) {
+                        let ch = oct.child(c);
+                        if crate::construct::classify_octant(domain, &ch)
+                            != RegionLabel::Carved
+                        {
+                            next.push(ch);
+                        }
+                    }
+                } else {
+                    next.push(*oct);
+                }
+            }
+            local = next;
+            if !changed {
+                break;
+            }
+        }
+        Self::build_from_seeds(comm, domain, curve, local, order)
+    }
+
+    /// Algorithm 4 distributed: balance the given distributed seed leaves
+    /// and build the mesh.
+    pub fn build_from_seeds(
+        comm: &Comm,
+        domain: &dyn Subdomain<DIM>,
+        curve: Curve,
+        local_seeds: Vec<Octant<DIM>>,
+        order: u64,
+    ) -> Self {
+        // T1 = DistributedConstructConstrained(seeds)
+        let t1 = dist_construct_constrained(comm, domain, curve, local_seeds);
+        // T2 = BottomUpConstrainNeighbors(T1)   (F not applied)
+        let t2 = bottom_up_constrain_neighbors(&t1);
+        // T3 = DistributedConstructConstrained(T2)
+        let owned_elems = dist_construct_constrained(comm, domain, curve, t2);
+        Self::finish(comm, domain, curve, owned_elems, order)
+    }
+
+    /// Ghost elements + nodes + ownership for an already-partitioned,
+    /// balanced owned-element list.
+    pub fn finish(
+        comm: &Comm,
+        domain: &dyn Subdomain<DIM>,
+        curve: Curve,
+        owned_elems: Vec<Octant<DIM>>,
+        order: u64,
+    ) -> Self {
+        let p = comm.size();
+        let my = comm.rank();
+        let splitters: Vec<Option<Octant<DIM>>> = comm.all_gather(owned_elems.first().copied());
+
+        // --- Ghost element exchange --------------------------------------
+        // Request regions: same-level neighbors of each owned element and of
+        // its ancestors up to three levels (covers hanging-source chains).
+        let mut regions: Vec<Octant<DIM>> = Vec::new();
+        for e in &owned_elems {
+            let mut a = *e;
+            for _ in 0..4 {
+                regions.push(a);
+                for n in a.neighbors() {
+                    regions.push(n);
+                }
+                if a.level == 0 {
+                    break;
+                }
+                a = a.parent();
+            }
+        }
+        carve_sfc::treesort(&mut regions, curve);
+        regions.dedup();
+        // Route each region to the rank bins covering its descendant range.
+        let mut requests: Vec<Vec<Octant<DIM>>> = (0..p).map(|_| Vec::new()).collect();
+        for n in &regions {
+            let (first, last) = descendant_key_range(n);
+            let b0 = splitter_bin(&splitters, curve, &first);
+            let b1 = splitter_bin(&splitters, curve, &last);
+            for b in b0..=b1 {
+                if b != my {
+                    requests[b].push(*n);
+                }
+            }
+        }
+        let incoming = comm.all_to_allv(requests);
+        // Reply with owned elements overlapping any requested region.
+        let mut replies: Vec<Vec<Octant<DIM>>> = (0..p).map(|_| Vec::new()).collect();
+        for (q, regs) in incoming.iter().enumerate() {
+            if regs.is_empty() {
+                continue;
+            }
+            for e in &owned_elems {
+                if regs
+                    .iter()
+                    .any(|n| n.is_ancestor_or_self(e) || e.is_ancestor_or_self(n) || e.closed_regions_touch(n))
+                {
+                    replies[q].push(*e);
+                }
+            }
+        }
+        let ghost_in = comm.all_to_allv(replies);
+        let mut elems = owned_elems.clone();
+        for v in ghost_in {
+            elems.extend(v);
+        }
+        carve_sfc::treesort(&mut elems, curve);
+        elems.dedup();
+        // Owned range within the merged list.
+        let owned_start = elems
+            .iter()
+            .position(|e| Some(e) == owned_elems.first())
+            .unwrap_or(0);
+        let owned = owned_start..owned_start + owned_elems.len();
+        debug_assert_eq!(&elems[owned.clone()], &owned_elems[..]);
+
+        // --- Nodes --------------------------------------------------------
+        let full_nodes = enumerate_nodes(domain, &elems, order);
+        // Needed set: coords referenced by owned elements directly or via
+        // hanging stencils.
+        let mut needed = vec![false; full_nodes.len()];
+        let npe = nodes_per_elem::<DIM>(order);
+        for e in &elems[owned.clone()] {
+            for lin in 0..npe {
+                let idx = lattice_index::<DIM>(lin, order);
+                let c = elem_node_coord(e, order, &idx);
+                match resolve_slot(&full_nodes, e, &c) {
+                    SlotRef::Direct(i) => needed[i] = true,
+                    SlotRef::Hanging(st) => {
+                        for (i, _) in st {
+                            needed[i] = true;
+                        }
+                    }
+                }
+            }
+        }
+        let mut coords = Vec::new();
+        let mut flags = Vec::new();
+        for i in 0..full_nodes.len() {
+            if needed[i] {
+                coords.push(full_nodes.coords[i]);
+                flags.push(full_nodes.flags[i]);
+            }
+        }
+        let nodes = NodeSet {
+            order,
+            coords,
+            flags,
+        };
+
+        // --- Ownership via brokers ----------------------------------------
+        // Broker of a coord = splitter bin of its finest containing cell.
+        let broker_of = |c: &[u64; DIM]| -> usize {
+            let mut pt = [0u64; DIM];
+            for k in 0..DIM {
+                pt[k] = c[k] / order;
+            }
+            splitter_bin(&splitters, curve, &finest_cell_of_point(&pt))
+        };
+        let mut to_broker: Vec<Vec<[u64; DIM]>> = (0..p).map(|_| Vec::new()).collect();
+        for c in &nodes.coords {
+            to_broker[broker_of(c)].push(*c);
+        }
+        let broker_in = comm.all_to_allv(to_broker.clone());
+        // Elect owners: the broker rank itself when it is a user of the
+        // node (the natural SFC owner — the broker is the rank whose
+        // splitter range contains the node's cell), otherwise the minimum
+        // requesting rank.
+        let mut owner_map: HashMap<[u64; DIM], u32> = HashMap::new();
+        for (q, cs) in broker_in.iter().enumerate() {
+            for c in cs {
+                if q == my {
+                    owner_map.insert(*c, my as u32);
+                } else {
+                    owner_map
+                        .entry(*c)
+                        .and_modify(|o| {
+                            if *o != my as u32 {
+                                *o = (*o).min(q as u32)
+                            }
+                        })
+                        .or_insert(q as u32);
+                }
+            }
+        }
+        // Reply to each requester with owners, in request order.
+        let replies: Vec<Vec<u32>> = broker_in
+            .iter()
+            .map(|cs| cs.iter().map(|c| owner_map[c]).collect())
+            .collect();
+        let owner_replies = comm.all_to_allv(replies);
+        // Scatter owner ranks back to node order.
+        let mut owner = vec![u32::MAX; nodes.len()];
+        {
+            let mut cursors = vec![0usize; p];
+            for (i, c) in nodes.coords.iter().enumerate() {
+                let b = broker_of(c);
+                owner[i] = owner_replies[b][cursors[b]];
+                cursors[b] += 1;
+            }
+        }
+
+        // --- Global ids ----------------------------------------------------
+        let n_owned_nodes = owner.iter().filter(|&&o| o == my as u32).count();
+        let offset = comm.exscan_u64(n_owned_nodes as u64) as u32;
+        let n_global_dofs = comm.all_reduce_u64(n_owned_nodes as u64, carve_comm::ReduceOp::Sum) as usize;
+        let mut global_id = vec![u32::MAX; nodes.len()];
+        {
+            let mut next = offset;
+            for i in 0..nodes.len() {
+                if owner[i] == my as u32 {
+                    global_id[i] = next;
+                    next += 1;
+                }
+            }
+        }
+        // Ghosts: request ids from owners.
+        let mut ghost_req: Vec<Vec<[u64; DIM]>> = (0..p).map(|_| Vec::new()).collect();
+        let mut ghost_req_idx: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
+        for i in 0..nodes.len() {
+            let o = owner[i] as usize;
+            if o != my {
+                ghost_req[o].push(nodes.coords[i]);
+                ghost_req_idx[o].push(i as u32);
+            }
+        }
+        let req_in = comm.all_to_allv(ghost_req);
+        // Owners answer with global ids and record send plans.
+        let mut send_plan: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
+        let mut id_replies: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
+        for (q, cs) in req_in.iter().enumerate() {
+            for c in cs {
+                let li = nodes
+                    .coords
+                    .binary_search_by(|x| point_cmp_morton(x, c))
+                    .unwrap_or_else(|_| panic!("owner rank {my} missing requested node"));
+                debug_assert_eq!(owner[li], my as u32, "request routed to non-owner");
+                send_plan[q].push(li as u32);
+                id_replies[q].push(global_id[li]);
+            }
+        }
+        let id_in = comm.all_to_allv(id_replies);
+        for q in 0..p {
+            for (slot, &gid) in ghost_req_idx[q].iter().zip(&id_in[q]) {
+                global_id[*slot as usize] = gid;
+            }
+        }
+        let recv_plan = ghost_req_idx;
+        debug_assert!(global_id.iter().all(|&g| g != u32::MAX));
+
+        let labels = elems
+            .iter()
+            .map(|e| crate::construct::classify_octant(domain, e))
+            .collect();
+        DistMesh {
+            curve,
+            order,
+            elems,
+            owned,
+            labels,
+            nodes,
+            owner,
+            global_id,
+            n_owned_nodes,
+            n_global_dofs,
+            send_plan,
+            recv_plan,
+        }
+    }
+
+    pub fn num_owned_elems(&self) -> usize {
+        self.owned.len()
+    }
+
+    /// Refreshes ghost node entries of `values` from their owners.
+    /// Returns bytes sent by this rank.
+    pub fn ghost_read(&self, comm: &Comm, values: &mut [f64]) -> u64 {
+        let p = comm.size();
+        let mut sends: Vec<Vec<f64>> = Vec::with_capacity(p);
+        let mut bytes = 0u64;
+        for q in 0..p {
+            let payload: Vec<f64> = self.send_plan[q]
+                .iter()
+                .map(|&i| values[i as usize])
+                .collect();
+            bytes += (payload.len() * 8) as u64;
+            sends.push(payload);
+        }
+        let recv = comm.all_to_allv(sends);
+        for q in 0..p {
+            for (slot, v) in self.recv_plan[q].iter().zip(&recv[q]) {
+                values[*slot as usize] = *v;
+            }
+        }
+        bytes
+    }
+
+    /// Sends ghost partial sums to their owners and adds them there; ghost
+    /// entries are zeroed locally (their authoritative value now lives at
+    /// the owner).
+    pub fn ghost_accumulate(&self, comm: &Comm, values: &mut [f64]) -> u64 {
+        let p = comm.size();
+        let mut sends: Vec<Vec<f64>> = Vec::with_capacity(p);
+        let mut bytes = 0u64;
+        for q in 0..p {
+            let payload: Vec<f64> = self.recv_plan[q]
+                .iter()
+                .map(|&i| {
+                    let v = values[i as usize];
+                    v
+                })
+                .collect();
+            bytes += (payload.len() * 8) as u64;
+            sends.push(payload);
+        }
+        for q in 0..p {
+            for &i in &self.recv_plan[q] {
+                values[i as usize] = 0.0;
+            }
+        }
+        let recv = comm.all_to_allv(sends);
+        for q in 0..p {
+            for (slot, v) in self.send_plan[q].iter().zip(&recv[q]) {
+                values[*slot as usize] += *v;
+            }
+        }
+        bytes
+    }
+
+    /// Distributed MATVEC `y = A x` on local vectors (indexed like
+    /// `self.nodes`): ghost-read of `x`, restricted traversal, ghost
+    /// accumulation of `y`, final ghost-read of `y` so every rank holds
+    /// consistent values. Returns (timings, communication seconds).
+    pub fn matvec<K>(
+        &self,
+        comm: &Comm,
+        x: &[f64],
+        y: &mut [f64],
+        kernel: &mut K,
+    ) -> (TraversalTimings, f64)
+    where
+        K: FnMut(&Octant<DIM>, &[f64], &mut [f64]),
+    {
+        let mut xg = x.to_vec();
+        let t0 = Instant::now();
+        self.ghost_read(comm, &mut xg);
+        let mut comm_time = t0.elapsed().as_secs_f64();
+        y.iter_mut().for_each(|v| *v = 0.0);
+        let timings = traversal_matvec(
+            &self.elems,
+            self.owned.clone(),
+            self.curve,
+            &self.nodes,
+            &xg,
+            y,
+            kernel,
+        );
+        let t1 = Instant::now();
+        self.ghost_accumulate(comm, y);
+        self.ghost_read(comm, y);
+        comm_time += t1.elapsed().as_secs_f64();
+        (timings, comm_time)
+    }
+
+    /// Ghost statistics for Fig. 11.
+    pub fn ghost_stats(&self) -> GhostStats {
+        let ghost_nodes = self.nodes.len() - self.n_owned_nodes;
+        GhostStats {
+            owned_nodes: self.n_owned_nodes,
+            ghost_nodes,
+            owned_elems: self.owned.len(),
+            ghost_elems: self.elems.len() - self.owned.len(),
+            ghost_read_bytes: self
+                .send_plan
+                .iter()
+                .map(|v| (v.len() * 8) as u64)
+                .sum(),
+        }
+    }
+}
+
+/// Algorithm 3 — `DistributedConstructConstrained`: sorts/partitions the
+/// seeds, constructs each rank's constrained tree, then globally sorts,
+/// dedups, and resolves overlaps keeping finer octants.
+pub fn dist_construct_constrained<const DIM: usize>(
+    comm: &Comm,
+    domain: &dyn Subdomain<DIM>,
+    curve: Curve,
+    local_seeds: Vec<Octant<DIM>>,
+) -> Vec<Octant<DIM>> {
+    let seeds = dist_tree_sort(comm, local_seeds, curve);
+    let t_tmp = construct_constrained(domain, curve, &seeds);
+    dist_tree_sort(comm, t_tmp, curve)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::Mesh;
+    use carve_comm::run_spmd;
+    use carve_geom::{CarvedSolids, FullDomain, RetainBox, Sphere};
+    use rand::{Rng, SeedableRng};
+
+    fn sphere_domain_2d() -> CarvedSolids<2> {
+        CarvedSolids::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.28))])
+    }
+
+    #[test]
+    fn dist_construction_matches_sequential_union() {
+        for p in [1usize, 2, 4] {
+            let union: Vec<Octant<2>> = run_spmd(p, |c| {
+                let domain = sphere_domain_2d();
+                let m = DistMesh::<2>::build(c, &domain, Curve::Hilbert, 3, 5, 1);
+                m.elems[m.owned.clone()].to_vec()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+            let domain = sphere_domain_2d();
+            let seq = Mesh::build(&domain, Curve::Hilbert, 3, 5, 1);
+            assert_eq!(union, seq.elems, "p={p}");
+        }
+    }
+
+    #[test]
+    fn dist_global_dof_count_matches_sequential() {
+        for p in [1usize, 3] {
+            let counts: Vec<usize> = run_spmd(p, |c| {
+                let domain = sphere_domain_2d();
+                let m = DistMesh::<2>::build(c, &domain, Curve::Morton, 3, 5, 2);
+                m.n_global_dofs
+            });
+            let domain = sphere_domain_2d();
+            let seq = Mesh::build(&domain, Curve::Morton, 3, 5, 2);
+            for n in counts {
+                assert_eq!(n, seq.num_dofs(), "p={p}");
+            }
+        }
+    }
+
+    fn toy_kernel<const DIM: usize>() -> impl FnMut(&Octant<DIM>, &[f64], &mut [f64]) {
+        |e: &Octant<DIM>, u: &[f64], v: &mut [f64]| {
+            let h = e.bounds_unit().1;
+            let scale = h.powi(DIM as i32);
+            let npe = u.len();
+            let sum: f64 = u.iter().sum();
+            for i in 0..npe {
+                v[i] = scale * (2.0 * u[i] + sum / npe as f64);
+            }
+        }
+    }
+
+    fn check_dist_matvec(p: usize, order: u64, curve: Curve) {
+        // Sequential reference.
+        let domain = sphere_domain_2d();
+        let seq = Mesh::build(&domain, curve, 3, 5, order);
+        let n = seq.num_dofs();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
+        let x_global: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut y_ref = vec![0.0; n];
+        traversal_matvec(
+            &seq.elems,
+            0..seq.elems.len(),
+            curve,
+            &seq.nodes,
+            &x_global,
+            &mut y_ref,
+            &mut toy_kernel::<2>(),
+        );
+        // Distributed: global ids on the distributed side must map onto the
+        // sequential node order for comparison; both sides sort nodes by
+        // point-Morton, and owned ranges follow rank order, so the global id
+        // ordering is a permutation we can recover via coordinates.
+        let results: Vec<Vec<([u64; 2], f64)>> = run_spmd(p, |c| {
+            let domain = sphere_domain_2d();
+            let m = DistMesh::<2>::build(c, &domain, curve, 3, 5, order);
+            // Fill x from the same global field by coordinate lookup.
+            let seq_nodes = &m.nodes;
+            let x_local: Vec<f64> = (0..seq_nodes.len())
+                .map(|i| {
+                    // deterministic pseudo-random keyed by coordinate
+                    let c = seq_nodes.coords[i];
+                    let h = c[0].wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(c[1]);
+                    ((h >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+                })
+                .collect();
+            let mut y = vec![0.0; x_local.len()];
+            let (_t, _c) = m.matvec(c, &x_local, &mut y, &mut toy_kernel::<2>());
+            // Report owned node results keyed by coordinate.
+            (0..m.nodes.len())
+                .filter(|&i| m.owner[i] as usize == c.rank())
+                .map(|i| (m.nodes.coords[i], y[i]))
+                .collect()
+        });
+        // Rebuild the same coordinate-keyed input on the sequential mesh.
+        let x_keyed: Vec<f64> = (0..n)
+            .map(|i| {
+                let c = seq.nodes.coords[i];
+                let h = c[0].wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(c[1]);
+                ((h >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect();
+        let mut y_keyed = vec![0.0; n];
+        traversal_matvec(
+            &seq.elems,
+            0..seq.elems.len(),
+            curve,
+            &seq.nodes,
+            &x_keyed,
+            &mut y_keyed,
+            &mut toy_kernel::<2>(),
+        );
+        let mut seen = 0;
+        for per_rank in &results {
+            for (coord, val) in per_rank {
+                let i = seq.nodes.find(coord).expect("dist node exists in seq");
+                assert!(
+                    (val - y_keyed[i]).abs() < 1e-11 * (1.0 + y_keyed[i].abs()),
+                    "p={p} order={order} coord {coord:?}: {val} vs {}",
+                    y_keyed[i]
+                );
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, n, "every global DOF owned exactly once");
+    }
+
+    #[test]
+    fn dist_matvec_matches_sequential_linear() {
+        for p in [2usize, 3] {
+            check_dist_matvec(p, 1, Curve::Hilbert);
+        }
+    }
+
+    #[test]
+    fn dist_matvec_matches_sequential_quadratic() {
+        check_dist_matvec(2, 2, Curve::Morton);
+        check_dist_matvec(4, 2, Curve::Hilbert);
+    }
+
+    #[test]
+    fn ghost_read_then_accumulate_roundtrip() {
+        let p = 3;
+        let sums: Vec<f64> = run_spmd(p, |c| {
+            let domain = RetainBox::<2>::channel([1.0, 0.5]);
+            let m = DistMesh::<2>::build(c, &domain, Curve::Morton, 3, 3, 1);
+            // Set every owned node to 1, ghosts to 0; read makes ghosts 1;
+            // accumulate-of-ones then gives each owned node (1 + #users).
+            let mut v: Vec<f64> = (0..m.nodes.len())
+                .map(|i| if m.owner[i] as usize == c.rank() { 1.0 } else { 0.0 })
+                .collect();
+            m.ghost_read(c, &mut v);
+            assert!(v.iter().all(|&x| (x - 1.0).abs() < 1e-15));
+            m.ghost_accumulate(c, &mut v);
+            // Sum over owned nodes of v  = n_owned + total ghost instances.
+            (0..m.nodes.len())
+                .filter(|&i| m.owner[i] as usize == c.rank())
+                .map(|i| v[i])
+                .sum()
+        });
+        let total: f64 = sums.iter().sum();
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn ghost_stats_reasonable() {
+        let p = 4;
+        let stats: Vec<GhostStats> = run_spmd(p, |c| {
+            let domain = FullDomain;
+            let m = DistMesh::<2>::build(c, &domain, Curve::Hilbert, 4, 4, 1);
+            m.ghost_stats()
+        });
+        let owned_total: usize = stats.iter().map(|s| s.owned_nodes).sum();
+        assert_eq!(owned_total, 17 * 17); // level-4 uniform 2D grid
+        // Under SFC ownership the rank at the domain's max corner may own
+        // every node it touches; but most ranks must carry ghosts.
+        let with_ghosts = stats.iter().filter(|s| s.ghost_nodes > 0).count();
+        assert!(with_ghosts >= p - 1, "stats {stats:?}");
+        for s in &stats {
+            assert!(s.eta() < 1.0, "eta should be far from the 1-elem limit");
+        }
+    }
+}

@@ -1,0 +1,689 @@
+//! Traversal-based matrix-free MATVEC (§3.5) and matrix assembly (§3.6).
+//!
+//! No element-to-node map exists anywhere. Instead, top-down traversal of
+//! the (incomplete) octree buckets nodal data into child subtrees — a node
+//! incident on several children is *duplicated* — until each leaf holds its
+//! elemental nodes contiguously; the elemental operator is applied there;
+//! the bottom-up phase accumulates duplicated contributions back to single
+//! values. Hanging lattice slots are interpolated from ancestor buckets on
+//! the way down and transposed (scattered with the same weights) on the way
+//! up, so the operator equals the assembled constrained matrix to machine
+//! precision.
+//!
+//! The traversal only descends into subtrees containing *owned* elements, so
+//! incomplete trees and distributed ownership need no special treatment —
+//! the property the paper calls "gracefully handles incomplete octrees".
+
+use crate::nodes::{elem_node_coord, lattice_index, nodes_per_elem, NodeSet};
+use carve_la::CooBuilder;
+use carve_la::DenseMatrix;
+use carve_sfc::morton::point_cmp_morton;
+use carve_sfc::{Curve, Octant, SfcState};
+use std::ops::Range;
+use std::time::Instant;
+
+/// Per-phase wall-clock breakdown of one MATVEC execution (the quantities
+/// plotted in Figs. 7–10: top-down, bottom-up, leaf compute; communication
+/// is timed by the distributed driver).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TraversalTimings {
+    pub top_down: f64,
+    pub leaf: f64,
+    pub bottom_up: f64,
+    /// Number of leaf kernels applied.
+    pub leaves: usize,
+    /// Total node copies performed by bucketing (memory-traffic proxy).
+    pub node_copies: usize,
+}
+
+impl TraversalTimings {
+    pub fn total(&self) -> f64 {
+        self.top_down + self.leaf + self.bottom_up
+    }
+    pub fn add(&mut self, o: &TraversalTimings) {
+        self.top_down += o.top_down;
+        self.leaf += o.leaf;
+        self.bottom_up += o.bottom_up;
+        self.leaves += o.leaves;
+        self.node_copies += o.node_copies;
+    }
+}
+
+/// One level's worth of bucketed nodal data along the current traversal
+/// path. `parent_slot[i]` is the index of entry `i` in the parent bucket.
+struct Bucket<const DIM: usize> {
+    coords: Vec<[u64; DIM]>,
+    parent_slot: Vec<u32>,
+    ids: Vec<u32>,
+    vin: Vec<f64>,
+    vout: Vec<f64>,
+}
+
+impl<const DIM: usize> Bucket<DIM> {
+    fn find(&self, coord: &[u64; DIM]) -> Option<usize> {
+        self.coords
+            .binary_search_by(|c| point_cmp_morton(c, coord))
+            .ok()
+    }
+}
+
+/// What to do at each owned leaf.
+trait LeafVisitor<const DIM: usize> {
+    fn leaf(&mut self, leaf: &Octant<DIM>, stack: &mut [Bucket<DIM>], p: u64);
+}
+
+/// Generates the one-level-up interpolation sources for a hanging
+/// coordinate: `coord` belongs to the p-lattice of `oct` but is not a real
+/// node; the sources live on the minimal face of `parent(oct)` containing
+/// it, with tensor-Lagrange weights.
+fn hanging_sources<const DIM: usize>(
+    oct: &Octant<DIM>,
+    coord: &[u64; DIM],
+    p: u64,
+) -> Vec<([u64; DIM], f64)> {
+    assert!(oct.level > 0, "hanging coordinate at the root: invalid mesh");
+    let parent = oct.parent();
+    let pside = parent.side() as u64;
+    let mut fixed = [false; DIM];
+    let mut t = [0.0f64; DIM];
+    for k in 0..DIM {
+        let off = coord[k] - parent.anchor[k] as u64 * p;
+        if off == 0 || off == p * pside {
+            fixed[k] = true;
+        }
+        t[k] = off as f64 / pside as f64;
+    }
+    debug_assert!(fixed.iter().any(|&f| f));
+    let free_axes: Vec<usize> = (0..DIM).filter(|&k| !fixed[k]).collect();
+    let combos = (p + 1).pow(free_axes.len() as u32);
+    let mut out = Vec::with_capacity(combos as usize);
+    for combo in 0..combos {
+        let mut rem = combo;
+        let mut w = 1.0;
+        let mut src = *coord;
+        for &k in &free_axes {
+            let j = rem % (p + 1);
+            rem /= p + 1;
+            w *= crate::nodes::lagrange_1d(p, j, t[k]);
+            src[k] = parent.anchor[k] as u64 * p + j * pside;
+        }
+        if w != 0.0 {
+            out.push((src, w));
+        }
+    }
+    out
+}
+
+/// Evaluates the FE value at `coord` (p-lattice of the level-`depth`
+/// ancestor of `leaf`) from the bucket stack, resolving hanging chains.
+fn eval_coord<const DIM: usize>(
+    stack: &[Bucket<DIM>],
+    leaf: &Octant<DIM>,
+    depth: usize,
+    coord: &[u64; DIM],
+    p: u64,
+) -> f64 {
+    if let Some(i) = stack[depth].find(coord) {
+        return stack[depth].vin[i];
+    }
+    let oct = leaf.ancestor_at(depth as u8);
+    let mut v = 0.0;
+    for (src, w) in hanging_sources(&oct, coord, p) {
+        v += w * eval_coord(stack, leaf, depth - 1, &src, p);
+    }
+    v
+}
+
+/// Transpose of [`eval_coord`]: scatters `val` into the bucket stack.
+fn scatter_coord<const DIM: usize>(
+    stack: &mut [Bucket<DIM>],
+    leaf: &Octant<DIM>,
+    depth: usize,
+    coord: &[u64; DIM],
+    val: f64,
+    p: u64,
+) {
+    if let Some(i) = stack[depth].find(coord) {
+        stack[depth].vout[i] += val;
+        return;
+    }
+    let oct = leaf.ancestor_at(depth as u8);
+    for (src, w) in hanging_sources(&oct, coord, p) {
+        scatter_coord(stack, leaf, depth - 1, &src, w * val, p);
+    }
+}
+
+/// Resolves `coord` into a `(global id, weight)` stencil (assembly path).
+fn stencil_coord<const DIM: usize>(
+    stack: &[Bucket<DIM>],
+    leaf: &Octant<DIM>,
+    depth: usize,
+    coord: &[u64; DIM],
+    weight: f64,
+    p: u64,
+    out: &mut Vec<(u32, f64)>,
+) {
+    if let Some(i) = stack[depth].find(coord) {
+        out.push((stack[depth].ids[i], weight));
+        return;
+    }
+    let oct = leaf.ancestor_at(depth as u8);
+    for (src, w) in hanging_sources(&oct, coord, p) {
+        stencil_coord(stack, leaf, depth - 1, &src, weight * w, p, out);
+    }
+}
+
+/// The shared top-down / bottom-up engine.
+struct Traversal<'a, const DIM: usize, V: LeafVisitor<DIM>> {
+    elems: &'a [Octant<DIM>],
+    owned: Range<usize>,
+    curve: Curve,
+    p: u64,
+    visitor: V,
+    timings: TraversalTimings,
+    carry_values: bool,
+    carry_ids: bool,
+}
+
+impl<'a, const DIM: usize, V: LeafVisitor<DIM>> Traversal<'a, DIM, V> {
+    fn run(&mut self, root_bucket: Bucket<DIM>) -> Bucket<DIM> {
+        let mut stack = vec![root_bucket];
+        let all = 0..self.elems.len();
+        self.rec(Octant::ROOT, SfcState::ROOT, all, &mut stack);
+        stack.pop().expect("root bucket survives")
+    }
+
+    fn rec(
+        &mut self,
+        subtree: Octant<DIM>,
+        st: SfcState,
+        range: Range<usize>,
+        stack: &mut Vec<Bucket<DIM>>,
+    ) {
+        debug_assert!(!range.is_empty());
+        if range.len() == 1 && self.elems[range.start] == subtree {
+            if self.owned.contains(&range.start) {
+                let t0 = Instant::now();
+                self.visitor.leaf(&subtree, stack, self.p);
+                self.timings.leaf += t0.elapsed().as_secs_f64();
+                self.timings.leaves += 1;
+            }
+            return;
+        }
+        // Partition the (SFC-sorted) element range by SFC child rank; the
+        // runs are contiguous and in rank order.
+        let child_level = subtree.level + 1;
+        let mut lo = range.start;
+        for r in 0..(1usize << DIM) {
+            let mut hi = lo;
+            while hi < range.end
+                && st.morton_to_sfc(
+                    self.curve,
+                    DIM,
+                    self.elems[hi].child_bits_at(child_level),
+                ) == r
+            {
+                hi += 1;
+            }
+            if hi == lo {
+                continue;
+            }
+            // Skip subtrees with no owned elements (distributed restriction).
+            if lo >= self.owned.end || hi <= self.owned.start {
+                lo = hi;
+                continue;
+            }
+            let m = st.sfc_to_morton(self.curve, DIM, r);
+            let child_oct = subtree.child(m);
+            let child_st = st.child(self.curve, DIM, r);
+            // Top-down: bucket nodes incident on the child's closed region.
+            let t0 = Instant::now();
+            let parent = stack.last().expect("bucket stack nonempty");
+            let mut coords = Vec::new();
+            let mut parent_slot = Vec::new();
+            let mut ids = Vec::new();
+            let mut vin = Vec::new();
+            let side = child_oct.side() as u64;
+            let p = self.p;
+            for (i, c) in parent.coords.iter().enumerate() {
+                let mut incident = true;
+                for k in 0..DIM {
+                    let a = child_oct.anchor[k] as u64 * p;
+                    if c[k] < a || c[k] > a + side * p {
+                        incident = false;
+                        break;
+                    }
+                }
+                if incident {
+                    coords.push(*c);
+                    parent_slot.push(i as u32);
+                    if self.carry_ids {
+                        ids.push(parent.ids[i]);
+                    }
+                    if self.carry_values {
+                        vin.push(parent.vin[i]);
+                    }
+                }
+            }
+            self.timings.node_copies += coords.len();
+            let n = coords.len();
+            let child_bucket = Bucket {
+                coords,
+                parent_slot,
+                ids,
+                vin,
+                vout: if self.carry_values {
+                    vec![0.0; n]
+                } else {
+                    Vec::new()
+                },
+            };
+            self.timings.top_down += t0.elapsed().as_secs_f64();
+            stack.push(child_bucket);
+            self.rec(child_oct, child_st, lo..hi, stack);
+            // Bottom-up: accumulate duplicated node contributions.
+            let t1 = Instant::now();
+            let child = stack.pop().expect("child bucket");
+            if self.carry_values {
+                let parent = stack.last_mut().expect("parent bucket");
+                for (i, &ps) in child.parent_slot.iter().enumerate() {
+                    parent.vout[ps as usize] += child.vout[i];
+                }
+            }
+            self.timings.bottom_up += t1.elapsed().as_secs_f64();
+            lo = hi;
+        }
+        debug_assert_eq!(lo, range.end, "elements not fully bucketed");
+    }
+}
+
+struct MatvecVisitor<'k, const DIM: usize, K> {
+    kernel: &'k mut K,
+    in_vals: Vec<f64>,
+    out_vals: Vec<f64>,
+    slots: Vec<Option<usize>>,
+}
+
+impl<'k, const DIM: usize, K> LeafVisitor<DIM> for MatvecVisitor<'k, DIM, K>
+where
+    K: FnMut(&Octant<DIM>, &[f64], &mut [f64]),
+{
+    fn leaf(&mut self, leaf: &Octant<DIM>, stack: &mut [Bucket<DIM>], p: u64) {
+        let npe = nodes_per_elem::<DIM>(p);
+        let depth = leaf.level as usize;
+        debug_assert_eq!(stack.len(), depth + 1);
+        self.in_vals.resize(npe, 0.0);
+        self.out_vals.resize(npe, 0.0);
+        self.slots.resize(npe, None);
+        for lin in 0..npe {
+            let idx = lattice_index::<DIM>(lin, p);
+            let c = elem_node_coord(leaf, p, &idx);
+            match stack[depth].find(&c) {
+                Some(i) => {
+                    self.slots[lin] = Some(i);
+                    self.in_vals[lin] = stack[depth].vin[i];
+                }
+                None => {
+                    self.slots[lin] = None;
+                    self.in_vals[lin] = eval_coord(stack, leaf, depth, &c, p);
+                }
+            }
+            self.out_vals[lin] = 0.0;
+        }
+        (self.kernel)(leaf, &self.in_vals, &mut self.out_vals);
+        for lin in 0..npe {
+            match self.slots[lin] {
+                Some(i) => stack[depth].vout[i] += self.out_vals[lin],
+                None => {
+                    let idx = lattice_index::<DIM>(lin, p);
+                    let c = elem_node_coord(leaf, p, &idx);
+                    scatter_coord(stack, leaf, depth, &c, self.out_vals[lin], p);
+                }
+            }
+        }
+    }
+}
+
+/// Applies the global operator `y += A x` matrix-free via octree traversal.
+///
+/// * `elems` — SFC-sorted leaf elements (owned + ghost in the distributed
+///   case); `owned` restricts which leaves apply their elemental kernel.
+/// * `kernel(e, u_e, v_e)` — the elemental operator (`v_e = K_e u_e`).
+pub fn traversal_matvec<const DIM: usize, K>(
+    elems: &[Octant<DIM>],
+    owned: Range<usize>,
+    curve: Curve,
+    nodes: &NodeSet<DIM>,
+    x: &[f64],
+    y: &mut [f64],
+    kernel: &mut K,
+) -> TraversalTimings
+where
+    K: FnMut(&Octant<DIM>, &[f64], &mut [f64]),
+{
+    assert_eq!(x.len(), nodes.len());
+    assert_eq!(y.len(), nodes.len());
+    if elems.is_empty() || owned.is_empty() {
+        return TraversalTimings::default();
+    }
+    let root = Bucket {
+        coords: nodes.coords.clone(),
+        parent_slot: Vec::new(),
+        ids: Vec::new(),
+        vin: x.to_vec(),
+        vout: vec![0.0; nodes.len()],
+    };
+    let visitor = MatvecVisitor::<DIM, K> {
+        kernel,
+        in_vals: Vec::new(),
+        out_vals: Vec::new(),
+        slots: Vec::new(),
+    };
+    let mut tr = Traversal {
+        elems,
+        owned,
+        curve,
+        p: nodes.order,
+        visitor,
+        timings: TraversalTimings::default(),
+        carry_values: true,
+        carry_ids: false,
+    };
+    let root = tr.run(root);
+    for (yi, vo) in y.iter_mut().zip(&root.vout) {
+        *yi += vo;
+    }
+    tr.timings
+}
+
+struct AssemblyVisitor<'k, const DIM: usize, K> {
+    kernel: &'k mut K,
+    coo: &'k mut CooBuilder,
+    stencils: Vec<Vec<(u32, f64)>>,
+}
+
+impl<'k, const DIM: usize, K> LeafVisitor<DIM> for AssemblyVisitor<'k, DIM, K>
+where
+    K: FnMut(&Octant<DIM>) -> DenseMatrix,
+{
+    fn leaf(&mut self, leaf: &Octant<DIM>, stack: &mut [Bucket<DIM>], p: u64) {
+        let npe = nodes_per_elem::<DIM>(p);
+        let depth = leaf.level as usize;
+        self.stencils.resize(npe, Vec::new());
+        for lin in 0..npe {
+            let idx = lattice_index::<DIM>(lin, p);
+            let c = elem_node_coord(leaf, p, &idx);
+            self.stencils[lin].clear();
+            stencil_coord(stack, leaf, depth, &c, 1.0, p, &mut self.stencils[lin]);
+        }
+        let ke = (self.kernel)(leaf);
+        debug_assert_eq!(ke.rows, npe);
+        debug_assert_eq!(ke.cols, npe);
+        // Emit W^T K_e W: every (row stencil) x (col stencil) product.
+        for i in 0..npe {
+            for j in 0..npe {
+                let v = ke[(i, j)];
+                if v == 0.0 {
+                    continue;
+                }
+                for &(ri, rw) in &self.stencils[i] {
+                    for &(cj, cw) in &self.stencils[j] {
+                        self.coo.add(ri as usize, cj as usize, rw * cw * v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Assembles the global sparse matrix via octree traversal (§3.6): node
+/// *ids* are bucketed instead of values; at each leaf the elemental matrix
+/// entries are emitted with global indices (duplicates merge by addition in
+/// the builder, the PETSc `ADD_VALUES` contract). No bottom-up phase.
+pub fn traversal_assemble<const DIM: usize, K>(
+    elems: &[Octant<DIM>],
+    owned: Range<usize>,
+    curve: Curve,
+    nodes: &NodeSet<DIM>,
+    global_ids: &[u32],
+    coo: &mut CooBuilder,
+    kernel: &mut K,
+) -> TraversalTimings
+where
+    K: FnMut(&Octant<DIM>) -> DenseMatrix,
+{
+    assert_eq!(global_ids.len(), nodes.len());
+    if elems.is_empty() || owned.is_empty() {
+        return TraversalTimings::default();
+    }
+    let root = Bucket {
+        coords: nodes.coords.clone(),
+        parent_slot: Vec::new(),
+        ids: global_ids.to_vec(),
+        vin: Vec::new(),
+        vout: Vec::new(),
+    };
+    let visitor = AssemblyVisitor::<DIM, K> {
+        kernel,
+        coo,
+        stencils: Vec::new(),
+    };
+    let mut tr = Traversal {
+        elems,
+        owned,
+        curve,
+        p: nodes.order,
+        visitor,
+        timings: TraversalTimings::default(),
+        carry_values: false,
+        carry_ids: true,
+    };
+    tr.run(root);
+    tr.timings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balance::construct_balanced;
+    use crate::construct::{construct_boundary_refined, construct_uniform};
+    use crate::nodes::enumerate_nodes;
+    use carve_geom::{CarvedSolids, FullDomain, Sphere, Subdomain};
+    use rand::{Rng, SeedableRng};
+
+    /// A simple symmetric elemental "mass-like" kernel: K_e = h^DIM *
+    /// (I + ones/npe), giving a well-defined global SPD operator.
+    fn toy_kernel<const DIM: usize>(_p: u64) -> impl FnMut(&Octant<DIM>, &[f64], &mut [f64]) {
+        move |e: &Octant<DIM>, u: &[f64], v: &mut [f64]| {
+            let h = e.bounds_unit().1;
+            let scale = h.powi(DIM as i32);
+            let npe = u.len();
+            let sum: f64 = u.iter().sum();
+            for i in 0..npe {
+                v[i] = scale * (u[i] + sum / npe as f64);
+            }
+        }
+    }
+
+    fn toy_matrix<const DIM: usize>(p: u64) -> impl FnMut(&Octant<DIM>) -> DenseMatrix {
+        move |e: &Octant<DIM>| {
+            let h = e.bounds_unit().1;
+            let scale = h.powi(DIM as i32);
+            let npe = nodes_per_elem::<DIM>(p);
+            let mut m = DenseMatrix::zeros(npe, npe);
+            for i in 0..npe {
+                for j in 0..npe {
+                    m[(i, j)] = scale * (if i == j { 1.0 } else { 0.0 } + 1.0 / npe as f64);
+                }
+            }
+            m
+        }
+    }
+
+    fn matvec_equals_assembled<const DIM: usize>(
+        domain: &dyn Subdomain<DIM>,
+        elems: &[Octant<DIM>],
+        p: u64,
+        curve: Curve,
+        seed: u64,
+    ) {
+        let nodes = enumerate_nodes(domain, elems, p);
+        let n = nodes.len();
+        assert!(n > 0);
+        let ids: Vec<u32> = (0..n as u32).collect();
+        let mut coo = CooBuilder::new(n);
+        traversal_assemble(
+            elems,
+            0..elems.len(),
+            curve,
+            &nodes,
+            &ids,
+            &mut coo,
+            &mut toy_matrix::<DIM>(p),
+        );
+        let a = coo.build();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..3 {
+            let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut y_mf = vec![0.0; n];
+            traversal_matvec(
+                elems,
+                0..elems.len(),
+                curve,
+                &nodes,
+                &x,
+                &mut y_mf,
+                &mut toy_kernel::<DIM>(p),
+            );
+            let mut y_as = vec![0.0; n];
+            a.matvec(&x, &mut y_as);
+            for (i, (a, b)) in y_mf.iter().zip(&y_as).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-11 * (1.0 + b.abs()),
+                    "mismatch at node {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_matches_assembly_uniform_2d() {
+        for p in [1u64, 2] {
+            for curve in [Curve::Morton, Curve::Hilbert] {
+                let elems = construct_uniform::<2>(&FullDomain, curve, 3);
+                matvec_equals_assembled(&FullDomain, &elems, p, curve, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_matches_assembly_adaptive_carved_2d() {
+        let domain =
+            CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.28))]);
+        for p in [1u64, 2] {
+            for curve in [Curve::Morton, Curve::Hilbert] {
+                let t = construct_boundary_refined(&domain, curve, 2, 5);
+                let elems = construct_balanced(&domain, curve, &t);
+                matvec_equals_assembled(&domain, &elems, p, curve, 7);
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_matches_assembly_adaptive_3d() {
+        let domain =
+            CarvedSolids::<3>::new(vec![Box::new(Sphere::new([0.5; 3], 0.3))]);
+        for p in [1u64, 2] {
+            let t = construct_boundary_refined(&domain, Curve::Hilbert, 2, 4);
+            let elems = construct_balanced(&domain, Curve::Hilbert, &t);
+            matvec_equals_assembled(&domain, &elems, p, Curve::Hilbert, 11);
+        }
+    }
+
+    #[test]
+    fn hanging_interpolation_preserves_constants() {
+        // For a partition-of-unity kernel (mass-like), A·1 must equal the
+        // row sums of the assembled matrix — and more fundamentally, the
+        // hanging interpolation of a constant vector is the same constant.
+        let domain =
+            CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.3, 0.6], 0.2))]);
+        let t = construct_boundary_refined(&domain, Curve::Morton, 2, 5);
+        let elems = construct_balanced(&domain, Curve::Morton, &t);
+        let nodes = enumerate_nodes(&domain, &elems, 1);
+        let n = nodes.len();
+        let ones = vec![1.0; n];
+        let mut y = vec![0.0; n];
+        // Kernel returning the input (identity on elemental nodes): the
+        // output at each node is then Σ_elems (interp weights), and for a
+        // constant input every elemental value must be exactly 1.
+        let mut probe = |_e: &Octant<2>, u: &[f64], v: &mut [f64]| {
+            for ui in u {
+                assert!((ui - 1.0).abs() < 1e-13, "hanging interp broke constants");
+            }
+            v.copy_from_slice(u);
+        };
+        traversal_matvec(&elems, 0..elems.len(), Curve::Morton, &nodes, &ones, &mut y, &mut probe);
+    }
+
+    #[test]
+    fn owned_subrange_sums_to_full() {
+        // Splitting the element list into owned ranges and summing the
+        // partial MATVECs must reproduce the full MATVEC (the distributed
+        // decomposition property).
+        let domain =
+            CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.25))]);
+        let t = construct_boundary_refined(&domain, Curve::Hilbert, 2, 4);
+        let elems = construct_balanced(&domain, Curve::Hilbert, &t);
+        let nodes = enumerate_nodes(&domain, &elems, 2);
+        let n = nodes.len();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut y_full = vec![0.0; n];
+        traversal_matvec(
+            &elems,
+            0..elems.len(),
+            Curve::Hilbert,
+            &nodes,
+            &x,
+            &mut y_full,
+            &mut toy_kernel::<2>(2),
+        );
+        let mid = elems.len() / 3;
+        let mut y_parts = vec![0.0; n];
+        for range in [0..mid, mid..elems.len()] {
+            traversal_matvec(
+                &elems,
+                range,
+                Curve::Hilbert,
+                &nodes,
+                &x,
+                &mut y_parts,
+                &mut toy_kernel::<2>(2),
+            );
+        }
+        for (a, b) in y_full.iter().zip(&y_parts) {
+            assert!((a - b).abs() < 1e-12 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let elems = construct_uniform::<2>(&FullDomain, Curve::Morton, 4);
+        let nodes = enumerate_nodes(&FullDomain, &elems, 1);
+        let n = nodes.len();
+        let x = vec![1.0; n];
+        let mut y = vec![0.0; n];
+        let t = traversal_matvec(
+            &elems,
+            0..elems.len(),
+            Curve::Morton,
+            &nodes,
+            &x,
+            &mut y,
+            &mut toy_kernel::<2>(1),
+        );
+        assert_eq!(t.leaves, elems.len());
+        assert!(t.node_copies > 0);
+        assert!(t.total() >= 0.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Convenience mesh type tying construction, balancing, and nodal
+//! enumeration together — the sequential "distributed array" of the
+//! framework.
+
+use crate::balance::construct_balanced;
+use crate::construct::{classify_octant, construct_boundary_refined};
+use crate::nodes::{enumerate_nodes, NodeSet};
+use carve_geom::{RegionLabel, Subdomain};
+use carve_sfc::{Curve, Octant};
+
+/// A 2:1-balanced incomplete-octree FEM mesh with enumerated DOFs.
+#[derive(Clone, Debug)]
+pub struct Mesh<const DIM: usize> {
+    pub curve: Curve,
+    /// Element order `p`.
+    pub order: u64,
+    /// SFC-sorted leaf elements (all retained).
+    pub elems: Vec<Octant<DIM>>,
+    /// Per-element subdomain label (`RetainBoundary` = intercepted).
+    pub labels: Vec<RegionLabel>,
+    /// Unique non-hanging nodes.
+    pub nodes: NodeSet<DIM>,
+}
+
+impl<const DIM: usize> Mesh<DIM> {
+    /// Builds a 2:1-balanced mesh with `base_level` background refinement
+    /// and `boundary_level` refinement on intercepted octants — the paper's
+    /// standard two-level experimental setup.
+    pub fn build(
+        domain: &dyn Subdomain<DIM>,
+        curve: Curve,
+        base_level: u8,
+        boundary_level: u8,
+        order: u64,
+    ) -> Self {
+        let adaptive = construct_boundary_refined(domain, curve, base_level, boundary_level);
+        let elems = construct_balanced(domain, curve, &adaptive);
+        Self::from_balanced_elems(domain, curve, elems, order)
+    }
+
+    /// Wraps an already balanced, SFC-sorted element list.
+    pub fn from_balanced_elems(
+        domain: &dyn Subdomain<DIM>,
+        curve: Curve,
+        elems: Vec<Octant<DIM>>,
+        order: u64,
+    ) -> Self {
+        let labels = elems.iter().map(|e| classify_octant(domain, e)).collect();
+        let nodes = enumerate_nodes(domain, &elems, order);
+        Mesh {
+            curve,
+            order,
+            elems,
+            labels,
+            nodes,
+        }
+    }
+
+    pub fn num_elems(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Number of DOFs (independent, non-hanging nodes).
+    pub fn num_dofs(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Indices of intercepted (subdomain-boundary) elements.
+    pub fn intercepted_elems(&self) -> Vec<usize> {
+        (0..self.elems.len())
+            .filter(|&i| self.labels[i] == RegionLabel::RetainBoundary)
+            .collect()
+    }
+
+    /// Physical element size of element `i`, given the physical side length
+    /// of the root cube (domain scaling).
+    pub fn elem_size(&self, i: usize, domain_scale: f64) -> f64 {
+        self.elems[i].bounds_unit().1 * domain_scale
+    }
+}
+
+/// Finds the leaf (index into the SFC-sorted `elems`) whose region contains
+/// the given finest-level cell, if any — the coverage probe used for
+/// surrogate-boundary-face detection and point location.
+pub fn find_leaf<const DIM: usize>(
+    elems: &[Octant<DIM>],
+    curve: Curve,
+    cell: &Octant<DIM>,
+) -> Option<usize> {
+    use std::cmp::Ordering;
+    let idx = elems.partition_point(|e| carve_sfc::sfc_cmp(curve, e, cell) != Ordering::Greater);
+    if idx == 0 {
+        return None;
+    }
+    let cand = &elems[idx - 1];
+    if cand.is_ancestor_or_self(cell) {
+        Some(idx - 1)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carve_geom::{CarvedSolids, FullDomain, Sphere};
+
+    #[test]
+    fn find_leaf_locates_points() {
+        let domain =
+            CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.3))]);
+        let mesh = Mesh::build(&domain, Curve::Hilbert, 3, 5, 1);
+        // Center of the disk: carved, no leaf.
+        let center_cell = carve_sfc::morton::finest_cell_of_point(&[
+            (carve_sfc::octant::ROOT_SIDE / 2) as u64,
+            (carve_sfc::octant::ROOT_SIDE / 2) as u64,
+        ]);
+        assert!(find_leaf(&mesh.elems, mesh.curve, &center_cell).is_none());
+        // A corner point: retained.
+        let corner_cell = carve_sfc::morton::finest_cell_of_point(&[1, 1]);
+        let leaf = find_leaf(&mesh.elems, mesh.curve, &corner_cell).unwrap();
+        assert!(mesh.elems[leaf].closed_contains_point(&[1, 1]));
+        // Every element finds itself via its center cell.
+        for (i, e) in mesh.elems.iter().enumerate() {
+            let side = e.side() as u64;
+            let c = [
+                e.anchor[0] as u64 + side / 2,
+                e.anchor[1] as u64 + side / 2,
+            ];
+            let cell = carve_sfc::morton::finest_cell_of_point(&c);
+            assert_eq!(find_leaf(&mesh.elems, mesh.curve, &cell), Some(i));
+        }
+    }
+
+    #[test]
+    fn build_pipeline_produces_consistent_mesh() {
+        let domain =
+            CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.3))]);
+        let mesh = Mesh::build(&domain, Curve::Hilbert, 3, 5, 1);
+        assert!(mesh.num_elems() > 0);
+        assert!(mesh.num_dofs() > mesh.num_elems() / 2);
+        assert_eq!(mesh.labels.len(), mesh.num_elems());
+        crate::balance::check_2to1(&mesh.elems).unwrap();
+        assert!(!mesh.intercepted_elems().is_empty());
+    }
+
+    #[test]
+    fn uniform_mesh_dof_count() {
+        let mesh = Mesh::<3>::build(&FullDomain, Curve::Morton, 2, 2, 1);
+        assert_eq!(mesh.num_elems(), 64);
+        assert_eq!(mesh.num_dofs(), 5 * 5 * 5);
+    }
+}

@@ -1,0 +1,522 @@
+//! Nodal enumeration on incomplete trees (§3.4).
+//!
+//! Every leaf element carries a `(p+1)^DIM` Lagrange node lattice. Shared
+//! nodes are deduplicated by sorting nodal coordinates (TreeSort-style order:
+//! point Morton); *hanging* nodes are detected with the paper's cancellation
+//! trick: each element also emits temporary *cancellation nodes* at the
+//! half-lattice positions on its boundary (where hypothetical finer
+//! neighbors would put nodes). After sorting, any coordinate carrying a
+//! cancellation instance is incident on a coarser face/edge and therefore
+//! hanging — it is discarded. The survivors are exactly the independent
+//! DOFs of the continuous-Galerkin grid.
+//!
+//! Nodal coordinates live on the integer lattice `[0, p·2^MAX_LEVEL]^DIM`
+//! (element anchor × p + offset × side), which is exact for `p ≤ 2` and
+//! `level ≤ MAX_LEVEL - 1`.
+
+use carve_geom::Subdomain;
+use carve_sfc::morton::point_cmp_morton;
+use carve_sfc::{Octant, MAX_LEVEL};
+use std::cmp::Ordering;
+
+/// Per-node classification flags.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct NodeFlags(u8);
+
+impl NodeFlags {
+    /// Node lies in the closed carved set `C` (on or inside the immersed
+    /// object / outside the retained region) — a subdomain-boundary node
+    /// where Dirichlet data is imposed (directly or via SBM).
+    pub const CARVED_BOUNDARY: u8 = 1;
+    /// Node lies on the boundary of the root cube.
+    pub const CUBE_BOUNDARY: u8 = 2;
+
+    pub fn is_carved_boundary(self) -> bool {
+        self.0 & Self::CARVED_BOUNDARY != 0
+    }
+    pub fn is_cube_boundary(self) -> bool {
+        self.0 & Self::CUBE_BOUNDARY != 0
+    }
+    pub fn is_any_boundary(self) -> bool {
+        self.0 != 0
+    }
+}
+
+/// The unique, non-hanging nodes of a (local or global) element list.
+#[derive(Clone, Debug)]
+pub struct NodeSet<const DIM: usize> {
+    /// Element order `p` (1 = linear, 2 = quadratic).
+    pub order: u64,
+    /// Node lattice coordinates, sorted by point-Morton order.
+    pub coords: Vec<[u64; DIM]>,
+    pub flags: Vec<NodeFlags>,
+}
+
+/// Iterates the multi-indices of a `(q+1)^DIM` lattice, x-fastest.
+#[inline]
+pub fn lattice_index<const DIM: usize>(linear: usize, q: u64) -> [u64; DIM] {
+    let base = q + 1;
+    let mut rem = linear as u64;
+    let mut idx = [0u64; DIM];
+    for slot in idx.iter_mut() {
+        *slot = rem % base;
+        rem /= base;
+    }
+    idx
+}
+
+/// Number of nodes per element for order `p`.
+#[inline]
+pub fn nodes_per_elem<const DIM: usize>(p: u64) -> usize {
+    ((p + 1) as usize).pow(DIM as u32)
+}
+
+/// Coordinate of lattice point `idx` (each component `0..=p`) of element `e`.
+#[inline]
+pub fn elem_node_coord<const DIM: usize>(e: &Octant<DIM>, p: u64, idx: &[u64; DIM]) -> [u64; DIM] {
+    let side = e.side() as u64;
+    let mut c = [0u64; DIM];
+    for k in 0..DIM {
+        c[k] = e.anchor[k] as u64 * p + idx[k] * side;
+    }
+    c
+}
+
+/// Converts a nodal lattice coordinate to unit-cube coordinates.
+#[inline]
+pub fn node_unit_coords<const DIM: usize>(coord: &[u64; DIM], p: u64) -> [f64; DIM] {
+    let scale = 1.0 / (p as f64 * (1u64 << MAX_LEVEL) as f64);
+    let mut out = [0.0; DIM];
+    for k in 0..DIM {
+        out[k] = coord[k] as f64 * scale;
+    }
+    out
+}
+
+/// Enumerates unique non-hanging nodes for a 2:1-balanced element list
+/// (Algorithm of §3.4: generate + cancellation + sort + filter + tag).
+pub fn enumerate_nodes<const DIM: usize>(
+    domain: &dyn Subdomain<DIM>,
+    elems: &[Octant<DIM>],
+    p: u64,
+) -> NodeSet<DIM> {
+    assert!(p == 1 || p == 2, "orders 1 and 2 supported");
+    let npe = nodes_per_elem::<DIM>(p);
+    // (coord, is_cancellation)
+    let mut pts: Vec<([u64; DIM], bool)> = Vec::with_capacity(elems.len() * npe * 2);
+    for e in elems {
+        assert!(
+            e.level < MAX_LEVEL,
+            "elements at MAX_LEVEL cannot host cancellation lattices"
+        );
+        // Ordinary nodes.
+        for lin in 0..npe {
+            let idx = lattice_index::<DIM>(lin, p);
+            pts.push((elem_node_coord(e, p, &idx), false));
+        }
+        // Cancellation nodes: the (2p)-lattice points on ∂e that are not
+        // p-lattice points (at least one odd component; at least one
+        // component on a face).
+        let side = e.side() as u64;
+        let half = side / 2;
+        let q = 2 * p;
+        let n2 = ((q + 1) as usize).pow(DIM as u32);
+        for lin in 0..n2 {
+            let idx = lattice_index::<DIM>(lin, q);
+            let mut on_boundary = false;
+            let mut any_odd = false;
+            for k in 0..DIM {
+                if idx[k] == 0 || idx[k] == q {
+                    on_boundary = true;
+                }
+                if idx[k] % 2 == 1 {
+                    any_odd = true;
+                }
+            }
+            if on_boundary && any_odd {
+                let mut c = [0u64; DIM];
+                for k in 0..DIM {
+                    c[k] = e.anchor[k] as u64 * p + idx[k] * half;
+                }
+                pts.push((c, true));
+            }
+        }
+    }
+    // Sort by coordinate (point-Morton), cancellation instances
+    // tie-broken after ordinary so a single pass can scan groups.
+    pts.sort_unstable_by(|a, b| match point_cmp_morton(&a.0, &b.0) {
+        Ordering::Equal => a.1.cmp(&b.1),
+        o => o,
+    });
+    let mut coords = Vec::new();
+    let mut i = 0;
+    while i < pts.len() {
+        let c = pts[i].0;
+        let mut has_ordinary = false;
+        let mut has_cancel = false;
+        let mut j = i;
+        while j < pts.len() && pts[j].0 == c {
+            if pts[j].1 {
+                has_cancel = true;
+            } else {
+                has_ordinary = true;
+            }
+            j += 1;
+        }
+        if has_ordinary && !has_cancel {
+            coords.push(c);
+        }
+        i = j;
+    }
+    // Tag nodes.
+    let cube_max = p * (1u64 << MAX_LEVEL);
+    let flags = coords
+        .iter()
+        .map(|c| {
+            let mut f = 0u8;
+            let unit = node_unit_coords(c, p);
+            if domain.point_in_carved(&unit) {
+                f |= NodeFlags::CARVED_BOUNDARY;
+            }
+            if c.iter().any(|&x| x == 0 || x == cube_max) {
+                f |= NodeFlags::CUBE_BOUNDARY;
+            }
+            NodeFlags(f)
+        })
+        .collect();
+    NodeSet {
+        order: p,
+        coords,
+        flags,
+    }
+}
+
+impl<const DIM: usize> NodeSet<DIM> {
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Binary search for a coordinate; `None` means hanging (or absent).
+    pub fn find(&self, coord: &[u64; DIM]) -> Option<usize> {
+        self.coords
+            .binary_search_by(|c| point_cmp_morton(c, coord))
+            .ok()
+    }
+
+    /// Unit-cube position of node `i`.
+    pub fn unit_coords(&self, i: usize) -> [f64; DIM] {
+        node_unit_coords(&self.coords[i], self.order)
+    }
+
+    /// Indices of nodes carrying any boundary flag.
+    pub fn boundary_nodes(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.flags[i].is_any_boundary())
+            .collect()
+    }
+}
+
+/// Resolution of one element lattice slot against the global node set:
+/// either a real DOF or a hanging point with its (recursively resolved)
+/// interpolation stencil.
+#[derive(Clone, Debug)]
+pub enum SlotRef {
+    Direct(usize),
+    /// `(node index, weight)` pairs; weights sum to 1.
+    Hanging(Vec<(usize, f64)>),
+}
+
+/// Resolves the hanging-node constraint for lattice coordinate `coord` of an
+/// octant at `level` (i.e. `coord` belongs to the p-lattice of an ancestor
+/// path octant at that level). Standard conforming constraint: interpolate
+/// on the minimal containing face of the *parent* octant, recursing when a
+/// source is itself hanging.
+pub fn resolve_slot<const DIM: usize>(
+    nodes: &NodeSet<DIM>,
+    elem: &Octant<DIM>,
+    coord: &[u64; DIM],
+) -> SlotRef {
+    if let Some(i) = nodes.find(coord) {
+        return SlotRef::Direct(i);
+    }
+    let mut acc: Vec<(usize, f64)> = Vec::new();
+    accumulate_hanging(nodes, elem, coord, 1.0, &mut acc);
+    // Merge duplicate node indices.
+    acc.sort_unstable_by_key(|e| e.0);
+    let mut merged: Vec<(usize, f64)> = Vec::with_capacity(acc.len());
+    for (i, w) in acc {
+        if let Some(last) = merged.last_mut() {
+            if last.0 == i {
+                last.1 += w;
+                continue;
+            }
+        }
+        merged.push((i, w));
+    }
+    SlotRef::Hanging(merged)
+}
+
+fn accumulate_hanging<const DIM: usize>(
+    nodes: &NodeSet<DIM>,
+    oct: &Octant<DIM>,
+    coord: &[u64; DIM],
+    weight: f64,
+    acc: &mut Vec<(usize, f64)>,
+) {
+    if let Some(i) = nodes.find(coord) {
+        acc.push((i, weight));
+        return;
+    }
+    assert!(
+        oct.level > 0,
+        "hanging coordinate {coord:?} unresolved at the root"
+    );
+    let p = nodes.order;
+    let parent = oct.parent();
+    let pside = parent.side() as u64;
+    // Axis role: fixed if the coordinate lies on a parent lattice plane at
+    // the parent's face (offset 0 or p·side); free otherwise.
+    // Parametric position t_k in [0, p] on the parent lattice.
+    let mut fixed = [false; DIM];
+    let mut t = [0.0f64; DIM];
+    for k in 0..DIM {
+        let off = coord[k] - parent.anchor[k] as u64 * p;
+        debug_assert!(off <= p * pside);
+        if off == 0 || off == p * pside {
+            fixed[k] = true;
+        }
+        t[k] = off as f64 / pside as f64; // in [0, p]
+    }
+    debug_assert!(
+        fixed.iter().any(|&f| f),
+        "hanging coordinate must lie on the parent boundary"
+    );
+    // Tensor-product Lagrange weights over free axes at the p-lattice of the
+    // parent restricted to the minimal face.
+    let free_axes: Vec<usize> = (0..DIM).filter(|&k| !fixed[k]).collect();
+    let nfree = free_axes.len();
+    let combos = (p + 1).pow(nfree as u32);
+    for combo in 0..combos {
+        let mut rem = combo;
+        let mut w = weight;
+        let mut src = *coord;
+        for &k in &free_axes {
+            let j = rem % (p + 1);
+            rem /= p + 1;
+            w *= lagrange_1d(p, j, t[k]);
+            src[k] = parent.anchor[k] as u64 * p + j * pside;
+        }
+        if w.abs() < 1e-300 {
+            continue;
+        }
+        accumulate_hanging(nodes, &parent, &src, w, acc);
+    }
+}
+
+/// 1D Lagrange basis `L_j(t)` on the nodes `{0, 1, ..., p}` evaluated at `t`.
+#[inline]
+pub fn lagrange_1d(p: u64, j: u64, t: f64) -> f64 {
+    let mut w = 1.0;
+    for m in 0..=p {
+        if m != j {
+            w *= (t - m as f64) / (j as f64 - m as f64);
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balance::construct_balanced;
+    use crate::construct::{construct_boundary_refined, construct_uniform};
+    use carve_geom::{CarvedSolids, FullDomain, RetainBox, Sphere};
+    use carve_sfc::Curve;
+
+    #[test]
+    fn uniform_grid_node_count_2d() {
+        // Uniform level-L quadtree with order p: (p·2^L + 1)^2 nodes.
+        for (l, p) in [(3u8, 1u64), (3, 2), (4, 1)] {
+            let tree = construct_uniform::<2>(&FullDomain, Curve::Morton, l);
+            let nodes = enumerate_nodes(&FullDomain, &tree, p);
+            let n1d = p * (1 << l) + 1;
+            assert_eq!(nodes.len() as u64, n1d * n1d, "l={l} p={p}");
+        }
+    }
+
+    #[test]
+    fn uniform_grid_node_count_3d() {
+        let tree = construct_uniform::<3>(&FullDomain, Curve::Hilbert, 2);
+        let nodes = enumerate_nodes(&FullDomain, &tree, 2);
+        let n1d = 2u64 * 4 + 1;
+        assert_eq!(nodes.len() as u64, n1d.pow(3));
+    }
+
+    #[test]
+    fn hanging_nodes_are_dropped_2d() {
+        // One refined quadrant next to coarse ones: the classic 2:1 pattern.
+        let root = Octant::<2>::ROOT;
+        let mut elems = vec![
+            root.child(0).child(0),
+            root.child(0).child(1),
+            root.child(0).child(2),
+            root.child(0).child(3),
+            root.child(1),
+            root.child(2),
+            root.child(3),
+        ];
+        carve_sfc::treesort(&mut elems, Curve::Morton);
+        let nodes = enumerate_nodes(&FullDomain, &elems, 1);
+        // Full level-2 grid in quadrant 0: 3x3; level-1 grid: 3x3 over the
+        // square = 9; shared/hanging accounting: total unique non-hanging:
+        // quadrant0 contributes 9 nodes; other corners add (0.5,1),(1,0.5),
+        // (1,1),(0.5,0.5) dups... Count explicitly: level-1 lattice nodes:
+        // (0,0),(h,0),(1,0),(0,h),(h,h),(1,h),(0,1),(h,1),(1,1) = 9.
+        // Level-2 lattice inside quadrant0: 3x3=9, overlapping 4 of the
+        // level-1 nodes; of the remaining 5, the two at (0.25 on the
+        // interface... coordinates (0.5,0.25),(0.25,0.5) are interface
+        // midpoints: NOT hanging because both sides are level 2? The right
+        // neighbor of quadrant0 at x=0.5 is child(1) at level 1 — coarser!
+        // So (0.5,0.25) IS hanging. (0.25,0.5) likewise.
+        // Unique non-hanging = 9 + (9 - 4 - 2) = 12.
+        assert_eq!(nodes.len(), 12);
+        // The hanging coordinates must be absent.
+        let p = 1u64;
+        let side2 = root.child(0).child(0).side() as u64;
+        let hang1 = [2 * side2 * p, side2 * p]; // (0.5, 0.25) scaled
+        assert!(nodes.find(&hang1).is_none());
+    }
+
+    #[test]
+    fn hanging_resolution_weights_sum_to_one() {
+        let root = Octant::<2>::ROOT;
+        let mut elems = vec![
+            root.child(0).child(0),
+            root.child(0).child(1),
+            root.child(0).child(2),
+            root.child(0).child(3),
+            root.child(1),
+            root.child(2),
+            root.child(3),
+        ];
+        carve_sfc::treesort(&mut elems, Curve::Morton);
+        let nodes = enumerate_nodes(&FullDomain, &elems, 1);
+        let e = root.child(0).child(1); // has hanging node on its right face
+        let side = e.side() as u64;
+        let hang = [2 * side, side]; // (0.5, 0.25)
+        match resolve_slot(&nodes, &e, &hang) {
+            SlotRef::Hanging(stencil) => {
+                let total: f64 = stencil.iter().map(|s| s.1).sum();
+                assert!((total - 1.0).abs() < 1e-14);
+                assert_eq!(stencil.len(), 2, "midpoint of a linear edge");
+                for (_, w) in &stencil {
+                    assert!((w - 0.5).abs() < 1e-14);
+                }
+            }
+            SlotRef::Direct(_) => panic!("expected hanging"),
+        }
+    }
+
+    #[test]
+    fn carved_boundary_nodes_are_tagged() {
+        let domain =
+            CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.3))]);
+        let tree = construct_boundary_refined(&domain, Curve::Morton, 3, 5);
+        let tree = construct_balanced(&domain, Curve::Morton, &tree);
+        let nodes = enumerate_nodes(&domain, &tree, 1);
+        let n_carved = nodes
+            .flags
+            .iter()
+            .filter(|f| f.is_carved_boundary())
+            .count();
+        assert!(n_carved > 0, "intercepted elements leave carved nodes");
+        // Every carved-tagged node is inside/on the disk; every untagged
+        // node is strictly outside.
+        for i in 0..nodes.len() {
+            let u = nodes.unit_coords(i);
+            let r = ((u[0] - 0.5).powi(2) + (u[1] - 0.5).powi(2)).sqrt();
+            if nodes.flags[i].is_carved_boundary() {
+                assert!(r <= 0.3 + 1e-12);
+            } else {
+                assert!(r > 0.3 - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn channel_wall_nodes_are_boundary() {
+        let domain = RetainBox::<2>::channel([1.0, 0.25]);
+        let tree = construct_uniform(&domain, Curve::Morton, 4);
+        let nodes = enumerate_nodes(&domain, &tree, 1);
+        // Channel: 16x4 elements → 17x5 nodes.
+        assert_eq!(nodes.len(), 17 * 5);
+        for i in 0..nodes.len() {
+            let u = nodes.unit_coords(i);
+            let on_wall = u[0] < 1e-12
+                || u[0] > 1.0 - 1e-12
+                || u[1] < 1e-12
+                || u[1] > 0.25 - 1e-12;
+            assert_eq!(
+                nodes.flags[i].is_carved_boundary() || nodes.flags[i].is_cube_boundary(),
+                on_wall,
+                "node {u:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_hanging_node_on_carved_boundary() {
+        // §3.4: "ensuring the absence of hanging nodes at the carved
+        // boundary is essential". Boundary refinement puts every intercepted
+        // element at the finest level, so lattice points lying in the closed
+        // carved set (the subdomain-boundary nodes) are shared between
+        // same-level elements and must all be real (non-hanging) DOFs.
+        let domain =
+            CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.29))]);
+        let tree = construct_boundary_refined(&domain, Curve::Morton, 3, 6);
+        let tree = construct_balanced(&domain, Curve::Morton, &tree);
+        let nodes = enumerate_nodes(&domain, &tree, 1);
+        let mut checked = 0;
+        for e in &tree {
+            if crate::construct::classify_octant(&domain, e)
+                == carve_geom::RegionLabel::RetainBoundary
+            {
+                for lin in 0..nodes_per_elem::<2>(1) {
+                    let idx = lattice_index::<2>(lin, 1);
+                    let c = elem_node_coord(e, 1, &idx);
+                    let unit = node_unit_coords(&c, 1);
+                    if domain.point_in_carved(&unit) {
+                        assert!(
+                            nodes.find(&c).is_some(),
+                            "hanging node {c:?} on the carved boundary of {e:?}"
+                        );
+                        checked += 1;
+                    }
+                }
+            }
+        }
+        assert!(checked > 0, "test must exercise carved-boundary nodes");
+    }
+
+    #[test]
+    fn quadratic_lagrange_partition_of_unity() {
+        for p in [1u64, 2] {
+            for t in [0.0, 0.3, 1.0, 1.7, 2.0f64.min(p as f64)] {
+                let s: f64 = (0..=p).map(|j| lagrange_1d(p, j, t)).sum();
+                assert!((s - 1.0).abs() < 1e-13, "p={p} t={t}");
+            }
+            // Kronecker property.
+            for j in 0..=p {
+                for m in 0..=p {
+                    let v = lagrange_1d(p, j, m as f64);
+                    let want = if j == m { 1.0 } else { 0.0 };
+                    assert!((v - want).abs() < 1e-13);
+                }
+            }
+        }
+    }
+}

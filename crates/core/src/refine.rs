@@ -1,0 +1,332 @@
+//! On-the-fly refinement and coarsening of incomplete octrees, and
+//! point-cloud-driven construction — the "capable of on-the-fly refinement
+//! and coarsening that matches the arbitrary function within the refinement
+//! tolerance" and the "containing more than a maximal number of points from
+//! an initial point cloud distribution" criteria the paper mentions
+//! alongside Algorithms 1–2.
+
+use crate::construct::classify_octant;
+use carve_geom::{RegionLabel, Subdomain};
+use carve_sfc::{sfc_cmp, Curve, Octant, MAX_LEVEL};
+use std::cmp::Ordering;
+
+/// Per-element adaptation decision returned by the application's criterion.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Adapt {
+    Refine,
+    Keep,
+    /// Coarsen: honored only when all retained siblings agree and the
+    /// parent is not carved.
+    Coarsen,
+}
+
+/// One adaptation pass: splits elements flagged `Refine` (pruning carved
+/// children), merges complete sibling groups unanimously flagged `Coarsen`
+/// (only when the parent region is not carved and no sibling is missing for
+/// a non-carve reason), leaves the rest. The result is SFC-sorted but *not*
+/// rebalanced — run [`crate::balance::construct_balanced`] afterwards.
+pub fn adapt_once<const DIM: usize>(
+    domain: &dyn Subdomain<DIM>,
+    curve: Curve,
+    elems: &[Octant<DIM>],
+    criterion: &dyn Fn(&Octant<DIM>) -> Adapt,
+) -> Vec<Octant<DIM>> {
+    let nch = 1usize << DIM;
+    let mut out: Vec<Octant<DIM>> = Vec::with_capacity(elems.len());
+    let mut i = 0;
+    while i < elems.len() {
+        let e = &elems[i];
+        let decision = criterion(e);
+        // Try to coarsen a full sibling run: all retained children of the
+        // parent must be contiguous in SFC order and unanimously Coarsen.
+        // (The run may start at any child number — child 0 can be carved.)
+        let first_of_run = e.level > 0
+            && (i == 0
+                || elems[i - 1].level < e.level
+                || elems[i - 1].ancestor_at(e.level - 1) != e.parent());
+        if decision == Adapt::Coarsen && first_of_run {
+            // Gather the retained-sibling run starting here. Note: with
+            // carving, some siblings may legitimately be absent (carved);
+            // the group may still be merged iff every *retained* sibling is
+            // present, flagged Coarsen, and the parent is retained.
+            let parent = e.parent();
+            let mut j = i;
+            let mut present = Vec::with_capacity(nch);
+            while j < elems.len()
+                && elems[j].level == e.level
+                && elems[j].ancestor_at(e.level - 1) == parent
+            {
+                present.push(j);
+                j += 1;
+            }
+            let all_coarsen = present.iter().all(|&k| criterion(&elems[k]) == Adapt::Coarsen);
+            // Every non-carved child slot must be present (a child absent
+            // for structural reasons — e.g. refined further — blocks the
+            // merge; refined descendants would not match `level`).
+            let retained_children = (0..nch)
+                .filter(|&c| classify_octant(domain, &parent.child(c)) != RegionLabel::Carved)
+                .count();
+            let parent_ok = classify_octant(domain, &parent) != RegionLabel::Carved;
+            if all_coarsen && parent_ok && present.len() == retained_children {
+                out.push(parent);
+                i = j;
+                continue;
+            }
+        }
+        match decision {
+            Adapt::Refine if e.level < MAX_LEVEL - 1 => {
+                for c in 0..nch {
+                    let ch = e.child(c);
+                    if classify_octant(domain, &ch) != RegionLabel::Carved {
+                        out.push(ch);
+                    }
+                }
+            }
+            _ => out.push(*e),
+        }
+        i += 1;
+    }
+    carve_sfc::treesort(&mut out, curve);
+    out.dedup();
+    out
+}
+
+/// Constructs an incomplete tree from a point cloud: leaves are refined
+/// until no leaf holds more than `max_points` points (and carved leaves are
+/// pruned even if points fall inside them — e.g. sensor noise inside the
+/// body). Points are unit-cube coordinates.
+pub fn construct_from_points<const DIM: usize>(
+    domain: &dyn Subdomain<DIM>,
+    curve: Curve,
+    points: &[[f64; DIM]],
+    max_points: usize,
+    max_level: u8,
+) -> Vec<Octant<DIM>> {
+    assert!(max_points >= 1);
+    // Seed octants: the finest-permitted cell of each point; constrained
+    // construction then guarantees coverage, and we coarsen level by level
+    // via a top-down counting pass instead: simple recursive build.
+    let mut out = Vec::new();
+    let idx: Vec<usize> = (0..points.len()).collect();
+    rec_points(
+        domain,
+        curve,
+        Octant::ROOT,
+        points,
+        idx,
+        max_points,
+        max_level,
+        &mut out,
+    );
+    carve_sfc::treesort(&mut out, curve);
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rec_points<const DIM: usize>(
+    domain: &dyn Subdomain<DIM>,
+    curve: Curve,
+    s: Octant<DIM>,
+    points: &[[f64; DIM]],
+    mine: Vec<usize>,
+    max_points: usize,
+    max_level: u8,
+    out: &mut Vec<Octant<DIM>>,
+) {
+    if classify_octant(domain, &s) == RegionLabel::Carved {
+        return; // prune, points inside notwithstanding
+    }
+    if mine.len() <= max_points || s.level >= max_level {
+        out.push(s);
+        return;
+    }
+    let (min, side) = s.bounds_unit();
+    let half = side * 0.5;
+    let mut buckets: Vec<Vec<usize>> = (0..(1 << DIM)).map(|_| Vec::new()).collect();
+    for i in mine {
+        let p = &points[i];
+        let mut c = 0usize;
+        for k in 0..DIM {
+            if p[k] >= min[k] + half {
+                c |= 1 << k;
+            }
+        }
+        buckets[c].push(i);
+    }
+    for (c, bucket) in buckets.into_iter().enumerate() {
+        rec_points(
+            domain,
+            curve,
+            s.child(c),
+            points,
+            bucket,
+            max_points,
+            max_level,
+            out,
+        );
+    }
+}
+
+/// Checks that `tree` covers every retained point of a probe set and that
+/// levels respect the given bounds (used by adaptation tests).
+pub fn covers_point<const DIM: usize>(
+    tree: &[Octant<DIM>],
+    curve: Curve,
+    p: &[f64; DIM],
+) -> bool {
+    let side = carve_sfc::octant::ROOT_SIDE as f64;
+    let mut pt = [0u64; DIM];
+    for k in 0..DIM {
+        pt[k] = (p[k] * side) as u64;
+    }
+    let cell = carve_sfc::morton::finest_cell_of_point(&pt);
+    let idx = tree.partition_point(|e| sfc_cmp(curve, e, &cell) != Ordering::Greater);
+    idx > 0 && tree[idx - 1].is_ancestor_or_self(&cell)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balance::{check_2to1, construct_balanced};
+    use crate::construct::{check_tree_invariants, construct_uniform};
+    use carve_geom::{CarvedSolids, FullDomain, Sphere};
+
+    #[test]
+    fn refine_then_coarsen_roundtrips() {
+        let domain = FullDomain;
+        let base = construct_uniform::<2>(&domain, Curve::Morton, 3);
+        // Refine everything once, then coarsen everything: back to start.
+        let refined = adapt_once(&domain, Curve::Morton, &base, &|_| Adapt::Refine);
+        assert_eq!(refined.len(), base.len() * 4);
+        let coarsened = adapt_once(&domain, Curve::Morton, &refined, &|_| Adapt::Coarsen);
+        assert_eq!(coarsened, base);
+    }
+
+    #[test]
+    fn coarsen_blocked_by_partial_agreement() {
+        let domain = FullDomain;
+        let base = construct_uniform::<2>(&domain, Curve::Morton, 2);
+        // Only half the elements want to coarsen: sibling groups with mixed
+        // votes must stay.
+        let crit = |e: &Octant<2>| {
+            if e.anchor[0] < carve_sfc::octant::ROOT_SIDE / 2 {
+                Adapt::Coarsen
+            } else {
+                Adapt::Keep
+            }
+        };
+        let adapted = adapt_once(&domain, Curve::Morton, &base, &crit);
+        // Left half (x < 0.5): whole sibling groups lie in the left half at
+        // level 2 (groups are level-1 quadrants): quadrants 0 and 2 merge.
+        assert!(adapted.len() < base.len());
+        assert!(adapted.len() > base.len() / 4);
+        check_tree_invariants(&domain, Curve::Morton, &adapted).unwrap();
+    }
+
+    #[test]
+    fn coarsen_respects_carved_regions() {
+        let domain =
+            CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.3))]);
+        let tree = construct_uniform(&domain, Curve::Hilbert, 4);
+        let coarsened = adapt_once(&domain, Curve::Hilbert, &tree, &|_| Adapt::Coarsen);
+        check_tree_invariants(&domain, Curve::Hilbert, &coarsened).unwrap();
+        // No carved leaf appeared, and area is preserved... coarsening near
+        // the disk may recover area that the level-4 carving removed, so
+        // area can only grow (coarser staircase hugs the circle less
+        // tightly).
+        let area = |t: &[Octant<2>]| -> f64 {
+            t.iter()
+                .map(|o| {
+                    let s = o.bounds_unit().1;
+                    s * s
+                })
+                .sum()
+        };
+        assert!(area(&coarsened) >= area(&tree) - 1e-12);
+    }
+
+    #[test]
+    fn adapt_then_balance_is_valid() {
+        let domain =
+            CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.3, 0.6], 0.2))]);
+        let mut tree = construct_uniform(&domain, Curve::Hilbert, 3);
+        // Refine elements near the disk twice, then coarsen far ones.
+        for _ in 0..2 {
+            tree = adapt_once(&domain, Curve::Hilbert, &tree, &|e: &Octant<2>| {
+                let c = e.center_unit();
+                let d = ((c[0] - 0.3f64).powi(2) + (c[1] - 0.6).powi(2)).sqrt();
+                if d < 0.3 {
+                    Adapt::Refine
+                } else if d > 0.6 {
+                    Adapt::Coarsen
+                } else {
+                    Adapt::Keep
+                }
+            });
+        }
+        let balanced = construct_balanced(&domain, Curve::Hilbert, &tree);
+        check_tree_invariants(&domain, Curve::Hilbert, &balanced).unwrap();
+        check_2to1(&balanced).unwrap();
+    }
+
+    #[test]
+    fn point_cloud_construction_bounds_occupancy() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        // Clustered points around two hot spots.
+        let mut pts: Vec<[f64; 2]> = Vec::new();
+        for _ in 0..500 {
+            pts.push([
+                (0.2 + 0.05 * rng.gen::<f64>()).min(0.999),
+                (0.7 + 0.05 * rng.gen::<f64>()).min(0.999),
+            ]);
+        }
+        for _ in 0..100 {
+            pts.push([rng.gen(), rng.gen()]);
+        }
+        let domain = FullDomain;
+        let tree = construct_from_points(&domain, Curve::Morton, &pts, 20, 9);
+        check_tree_invariants(&domain, Curve::Morton, &tree).unwrap();
+        // Occupancy bound: count points per leaf.
+        for e in &tree {
+            if e.level >= 9 {
+                continue; // level cap may exceed occupancy
+            }
+            let (min, side) = e.bounds_unit();
+            let inside = pts
+                .iter()
+                .filter(|p| {
+                    (0..2).all(|k| p[k] >= min[k] && p[k] < min[k] + side)
+                })
+                .count();
+            assert!(inside <= 20, "leaf {e:?} holds {inside} points");
+        }
+        // Hot spots produce deeper refinement than the sparse region.
+        let depth_at = |x: f64, y: f64| -> u8 {
+            tree.iter()
+                .find(|e| {
+                    let (min, side) = e.bounds_unit();
+                    x >= min[0] && x < min[0] + side && y >= min[1] && y < min[1] + side
+                })
+                .map(|e| e.level)
+                .unwrap_or(0)
+        };
+        assert!(depth_at(0.22, 0.72) > depth_at(0.8, 0.2));
+    }
+
+    #[test]
+    fn point_cloud_prunes_carved_even_with_points_inside() {
+        let domain =
+            CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.25))]);
+        let pts: Vec<[f64; 2]> = (0..64)
+            .map(|i| {
+                let t = i as f64 / 64.0 * std::f64::consts::TAU;
+                [0.5 + 0.1 * t.cos(), 0.5 + 0.1 * t.sin()] // all inside disk
+            })
+            .collect();
+        let tree = construct_from_points(&domain, Curve::Hilbert, &pts, 4, 8);
+        check_tree_invariants(&domain, Curve::Hilbert, &tree).unwrap();
+        assert!(!covers_point(&tree, Curve::Hilbert, &[0.5, 0.5]));
+        assert!(covers_point(&tree, Curve::Hilbert, &[0.05, 0.05]));
+    }
+}

@@ -1,0 +1,194 @@
+//! 1D Lagrange bases on the unit interval and Gauss–Legendre quadrature.
+//!
+//! Reference element is `\[0,1\]^DIM`; order-`p` nodes sit at `i/p`,
+//! enumerated x-fastest to match `carve_core::nodes::lattice_index`.
+
+/// A 1D quadrature rule on `\[0,1\]`.
+#[derive(Clone, Debug)]
+pub struct Quadrature {
+    pub points: Vec<f64>,
+    pub weights: Vec<f64>,
+}
+
+/// Gauss–Legendre rule with `n` points on `\[0,1\]` (exact for degree
+/// `2n - 1`). Supports `n = 1..=5`.
+pub fn gauss_rule(n: usize) -> Quadrature {
+    // Abscissae/weights on [-1,1], mapped to [0,1].
+    let (x, w): (Vec<f64>, Vec<f64>) = match n {
+        1 => (vec![0.0], vec![2.0]),
+        2 => {
+            let a = 1.0 / 3.0f64.sqrt();
+            (vec![-a, a], vec![1.0, 1.0])
+        }
+        3 => {
+            let a = (3.0f64 / 5.0).sqrt();
+            (vec![-a, 0.0, a], vec![5.0 / 9.0, 8.0 / 9.0, 5.0 / 9.0])
+        }
+        4 => {
+            let a = (3.0f64 / 7.0 - 2.0 / 7.0 * (6.0f64 / 5.0).sqrt()).sqrt();
+            let b = (3.0f64 / 7.0 + 2.0 / 7.0 * (6.0f64 / 5.0).sqrt()).sqrt();
+            let wa = (18.0 + 30.0f64.sqrt()) / 36.0;
+            let wb = (18.0 - 30.0f64.sqrt()) / 36.0;
+            (vec![-b, -a, a, b], vec![wb, wa, wa, wb])
+        }
+        5 => {
+            let a = 1.0 / 3.0 * (5.0f64 - 2.0 * (10.0f64 / 7.0).sqrt()).sqrt();
+            let b = 1.0 / 3.0 * (5.0f64 + 2.0 * (10.0f64 / 7.0).sqrt()).sqrt();
+            let wa = (322.0 + 13.0 * 70.0f64.sqrt()) / 900.0;
+            let wb = (322.0 - 13.0 * 70.0f64.sqrt()) / 900.0;
+            (
+                vec![-b, -a, 0.0, a, b],
+                vec![wb, wa, 128.0 / 225.0, wa, wb],
+            )
+        }
+        _ => panic!("gauss_rule supports 1..=5 points"),
+    };
+    Quadrature {
+        points: x.iter().map(|xi| 0.5 * (xi + 1.0)).collect(),
+        weights: w.iter().map(|wi| 0.5 * wi).collect(),
+    }
+}
+
+/// Order-`p` Lagrange basis `φ_j` (nodes at `i/p` on `\[0,1\]`) at `t`.
+#[inline]
+pub fn lagrange_eval_unit(p: usize, j: usize, t: f64) -> f64 {
+    let mut v = 1.0;
+    let pj = j as f64 / p as f64;
+    for m in 0..=p {
+        if m != j {
+            let pm = m as f64 / p as f64;
+            v *= (t - pm) / (pj - pm);
+        }
+    }
+    v
+}
+
+/// Derivative `φ_j'(t)` on `\[0,1\]`.
+#[inline]
+pub fn lagrange_deriv_unit(p: usize, j: usize, t: f64) -> f64 {
+    let pj = j as f64 / p as f64;
+    let mut sum = 0.0;
+    for l in 0..=p {
+        if l == j {
+            continue;
+        }
+        let pl = l as f64 / p as f64;
+        let mut term = 1.0 / (pj - pl);
+        for m in 0..=p {
+            if m != j && m != l {
+                let pm = m as f64 / p as f64;
+                term *= (t - pm) / (pj - pm);
+            }
+        }
+        sum += term;
+    }
+    sum
+}
+
+/// Tabulated 1D basis values and derivatives at quadrature points:
+/// `b[q][j] = φ_j(x_q)`, `g[q][j] = φ_j'(x_q)`.
+#[derive(Clone, Debug)]
+pub struct Tabulated {
+    pub nq: usize,
+    pub nb: usize,
+    pub b: Vec<f64>,
+    pub g: Vec<f64>,
+    pub quad: Quadrature,
+}
+
+impl Tabulated {
+    pub fn new(p: usize, nq: usize) -> Self {
+        let quad = gauss_rule(nq);
+        let nb = p + 1;
+        let mut b = vec![0.0; nq * nb];
+        let mut g = vec![0.0; nq * nb];
+        for (q, &x) in quad.points.iter().enumerate() {
+            for j in 0..nb {
+                b[q * nb + j] = lagrange_eval_unit(p, j, x);
+                g[q * nb + j] = lagrange_deriv_unit(p, j, x);
+            }
+        }
+        Self { nq, nb, b, g, quad }
+    }
+
+    #[inline]
+    pub fn basis(&self, q: usize, j: usize) -> f64 {
+        self.b[q * self.nb + j]
+    }
+
+    #[inline]
+    pub fn deriv(&self, q: usize, j: usize) -> f64 {
+        self.g[q * self.nb + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauss_rules_integrate_polynomials_exactly() {
+        for n in 1..=5usize {
+            let q = gauss_rule(n);
+            assert!((q.weights.iter().sum::<f64>() - 1.0).abs() < 1e-14);
+            // Exact for x^k, k <= 2n-1: ∫_0^1 x^k = 1/(k+1).
+            for k in 0..=(2 * n - 1) {
+                let integral: f64 = q
+                    .points
+                    .iter()
+                    .zip(&q.weights)
+                    .map(|(x, w)| w * x.powi(k as i32))
+                    .sum();
+                assert!(
+                    (integral - 1.0 / (k as f64 + 1.0)).abs() < 1e-13,
+                    "n={n} k={k}: {integral}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lagrange_kronecker_and_partition() {
+        for p in [1usize, 2, 3] {
+            for j in 0..=p {
+                for i in 0..=p {
+                    let v = lagrange_eval_unit(p, j, i as f64 / p as f64);
+                    let want = if i == j { 1.0 } else { 0.0 };
+                    assert!((v - want).abs() < 1e-13);
+                }
+            }
+            for t in [0.0, 0.2, 0.55, 1.0] {
+                let s: f64 = (0..=p).map(|j| lagrange_eval_unit(p, j, t)).sum();
+                assert!((s - 1.0).abs() < 1e-13);
+                let ds: f64 = (0..=p).map(|j| lagrange_deriv_unit(p, j, t)).sum();
+                assert!(ds.abs() < 1e-12, "derivative of partition of unity");
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let h = 1e-6;
+        for p in [1usize, 2] {
+            for j in 0..=p {
+                for t in [0.13, 0.5, 0.78] {
+                    let fd = (lagrange_eval_unit(p, j, t + h) - lagrange_eval_unit(p, j, t - h))
+                        / (2.0 * h);
+                    let an = lagrange_deriv_unit(p, j, t);
+                    assert!((fd - an).abs() < 1e-7, "p={p} j={j} t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tabulated_consistency() {
+        let tab = Tabulated::new(2, 3);
+        assert_eq!(tab.nq, 3);
+        assert_eq!(tab.nb, 3);
+        for q in 0..3 {
+            let s: f64 = (0..3).map(|j| tab.basis(q, j)).sum();
+            assert!((s - 1.0).abs() < 1e-13);
+        }
+    }
+}

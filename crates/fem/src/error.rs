@@ -1,0 +1,169 @@
+//! Discretization-error norms against a manufactured/exact solution,
+//! computed by element quadrature restricted to the true (non-carved)
+//! domain.
+
+use crate::basis::{gauss_rule, lagrange_eval_unit};
+use carve_core::{resolve_slot, Mesh, SlotRef};
+use carve_geom::Subdomain;
+use carve_sfc::Octant;
+
+/// L2 and L∞ errors plus mesh metadata for convergence tables.
+#[derive(Clone, Copy, Debug)]
+pub struct ErrorNorms {
+    pub l2: f64,
+    pub linf: f64,
+    /// Finest element size (unit-cube units × scale).
+    pub h_min: f64,
+    pub dofs: usize,
+}
+
+/// Extracts the element-local nodal values of a grid vector, resolving
+/// hanging slots through their interpolation stencils.
+pub fn elem_values<const DIM: usize>(mesh: &Mesh<DIM>, u: &[f64], e: &Octant<DIM>) -> Vec<f64> {
+    let p = mesh.order;
+    let npe = carve_core::nodes::nodes_per_elem::<DIM>(p);
+    let mut vals = vec![0.0; npe];
+    for lin in 0..npe {
+        let idx = carve_core::nodes::lattice_index::<DIM>(lin, p);
+        let c = carve_core::nodes::elem_node_coord(e, p, &idx);
+        vals[lin] = match resolve_slot(&mesh.nodes, e, &c) {
+            SlotRef::Direct(i) => u[i],
+            SlotRef::Hanging(st) => st.iter().map(|(i, w)| u[*i] * w).sum(),
+        };
+    }
+    vals
+}
+
+/// Evaluates the FE solution at reference coordinates `tref ∈ \[0,1\]^DIM`
+/// inside element `e`, given its local nodal values.
+pub fn eval_local<const DIM: usize>(p: usize, vals: &[f64], tref: &[f64; DIM]) -> f64 {
+    let nb = p + 1;
+    let mut out = 0.0;
+    for (lin, v) in vals.iter().enumerate() {
+        let mut r = lin;
+        let mut b = 1.0;
+        for k in 0..DIM {
+            let j = r % nb;
+            r /= nb;
+            b *= lagrange_eval_unit(p, j, tref[k]);
+        }
+        out += v * b;
+    }
+    out
+}
+
+/// Computes ‖u_h − u‖ in L2 and L∞ over the retained domain, skipping
+/// quadrature points that fall in the carved set (where the PDE is not
+/// posed). Positions passed to `exact` are unit-cube coordinates scaled by
+/// `scale`.
+pub fn l2_linf_error<const DIM: usize>(
+    mesh: &Mesh<DIM>,
+    domain: &dyn Subdomain<DIM>,
+    u: &[f64],
+    exact: &dyn Fn(&[f64; DIM]) -> f64,
+    scale: f64,
+) -> ErrorNorms {
+    let p = mesh.order as usize;
+    let quad = gauss_rule((p + 2).min(5));
+    let nq1 = quad.points.len();
+    let nqs = nq1.pow(DIM as u32);
+    let mut l2 = 0.0;
+    let mut linf = 0.0f64;
+    let mut h_min = f64::INFINITY;
+    for e in &mesh.elems {
+        let (emin, h) = e.bounds_unit();
+        h_min = h_min.min(h * scale);
+        let vals = elem_values(mesh, u, e);
+        let vol_scale = (h * scale).powi(DIM as i32);
+        for qlin in 0..nqs {
+            let mut rem = qlin;
+            let mut tref = [0.0; DIM];
+            let mut w = 1.0;
+            for k in 0..DIM {
+                let qi = rem % nq1;
+                rem /= nq1;
+                tref[k] = quad.points[qi];
+                w *= quad.weights[qi];
+            }
+            let mut x_unit = [0.0; DIM];
+            let mut x_phys = [0.0; DIM];
+            for k in 0..DIM {
+                x_unit[k] = emin[k] + h * tref[k];
+                x_phys[k] = x_unit[k] * scale;
+            }
+            if domain.point_in_carved(&x_unit) {
+                continue; // outside the true domain
+            }
+            let uh = eval_local(mesh.order as usize, &vals, &tref);
+            let diff = uh - exact(&x_phys);
+            l2 += vol_scale * w * diff * diff;
+            linf = linf.max(diff.abs());
+        }
+    }
+    // Also check the nodal values on retained nodes (standard L∞ probe).
+    for i in 0..mesh.nodes.len() {
+        if mesh.nodes.flags[i].is_carved_boundary() {
+            continue;
+        }
+        let xu = mesh.nodes.unit_coords(i);
+        let mut xp = [0.0; DIM];
+        for k in 0..DIM {
+            xp[k] = xu[k] * scale;
+        }
+        linf = linf.max((u[i] - exact(&xp)).abs());
+    }
+    ErrorNorms {
+        l2: l2.sqrt(),
+        linf,
+        h_min,
+        dofs: mesh.num_dofs(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carve_geom::FullDomain;
+    use carve_sfc::Curve;
+
+    #[test]
+    fn interpolant_of_linear_function_has_zero_error() {
+        let mesh = Mesh::<2>::build(&FullDomain, Curve::Morton, 3, 3, 1);
+        let exact = |x: &[f64; 2]| 2.0 * x[0] - 0.5 * x[1] + 1.0;
+        let u: Vec<f64> = (0..mesh.num_dofs())
+            .map(|i| exact(&mesh.nodes.unit_coords(i)))
+            .collect();
+        let norms = l2_linf_error(&mesh, &FullDomain, &u, &exact, 1.0);
+        assert!(norms.l2 < 1e-13, "{norms:?}");
+        assert!(norms.linf < 1e-13);
+    }
+
+    #[test]
+    fn quadratic_interpolant_exact_for_p2() {
+        let mesh = Mesh::<2>::build(&FullDomain, Curve::Morton, 2, 2, 2);
+        let exact = |x: &[f64; 2]| x[0] * x[0] + 3.0 * x[0] * x[1] - x[1] * x[1];
+        let u: Vec<f64> = (0..mesh.num_dofs())
+            .map(|i| exact(&mesh.nodes.unit_coords(i)))
+            .collect();
+        let norms = l2_linf_error(&mesh, &FullDomain, &u, &exact, 1.0);
+        assert!(norms.l2 < 1e-12, "{norms:?}");
+    }
+
+    #[test]
+    fn interpolation_error_scales_second_order_p1() {
+        let exact = |x: &[f64; 2]| (3.0 * x[0]).sin() * (2.0 * x[1]).cos();
+        let mut errs = Vec::new();
+        for l in [3u8, 4, 5] {
+            let mesh = Mesh::<2>::build(&FullDomain, Curve::Morton, l, l, 1);
+            let u: Vec<f64> = (0..mesh.num_dofs())
+                .map(|i| exact(&mesh.nodes.unit_coords(i)))
+                .collect();
+            let norms = l2_linf_error(&mesh, &FullDomain, &u, &exact, 1.0);
+            errs.push(norms.l2);
+        }
+        let rate1 = (errs[0] / errs[1]).log2();
+        let rate2 = (errs[1] / errs[2]).log2();
+        assert!(rate1 > 1.8 && rate1 < 2.2, "rate {rate1}");
+        assert!(rate2 > 1.8 && rate2 < 2.2, "rate {rate2}");
+    }
+}

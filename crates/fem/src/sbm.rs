@@ -1,0 +1,303 @@
+//! The Shifted Boundary Method (§4.3): weak Dirichlet conditions on the
+//! *surrogate* (voxelated) boundary Γ̃, shifted to the true boundary Γ with a
+//! second-order Taylor correction through the distance vector `d`.
+//!
+//! The added weak-form terms (paper's equation, Main & Scovazzi / Atallah et
+//! al.):
+//!
+//! ```text
+//! −(w, ∇u·ñ)_Γ̃ − (∇w·ñ, u + ∇u·d − u_D)_Γ̃ + (α/h)(w + ∇w·d, u + ∇u·d − u_D)_Γ̃
+//! ```
+//!
+//! Without these terms (imposing `u = u_D` at voxel-boundary nodes), Fig. 6
+//! shows first-order convergence; with them, second order is recovered.
+
+use crate::basis::{gauss_rule, Tabulated};
+use carve_core::{find_leaf, Mesh};
+use carve_la::DenseMatrix;
+use carve_sfc::morton::finest_cell_of_point;
+
+
+/// One face of a retained element whose across-face region is carved: part
+/// of the surrogate boundary Γ̃.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SurrogateFace {
+    pub elem: usize,
+    pub axis: usize,
+    /// `true` if the outward normal is +axis.
+    pub positive: bool,
+}
+
+/// SBM parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SbmParams {
+    /// Nitsche penalty α (the paper's `α`; 4–10 is typical).
+    pub alpha: f64,
+    /// Face quadrature points per direction.
+    pub nq: usize,
+}
+
+impl Default for SbmParams {
+    fn default() -> Self {
+        Self { alpha: 10.0, nq: 3 }
+    }
+}
+
+/// Detects the surrogate boundary: faces of retained elements whose
+/// same-level across-face region is not covered by any retained leaf.
+///
+/// `include_cube_boundary` controls faces on the root-cube boundary: when
+/// the carved geometry reaches the cube edge (the Fig. 6 disk of R = 0.5 is
+/// tangent to all four edges; channel walls coincide with cube faces) those
+/// faces belong to Γ̃ too (with `d = 0` they reduce to Nitsche conditions).
+/// Pass `false` when the cube boundary carries strong Dirichlet data
+/// instead.
+pub fn surrogate_faces<const DIM: usize>(
+    mesh: &Mesh<DIM>,
+    include_cube_boundary: bool,
+) -> Vec<SurrogateFace> {
+    let mut faces = Vec::new();
+    for (i, e) in mesh.elems.iter().enumerate() {
+        let side = e.side();
+        for axis in 0..DIM {
+            for positive in [false, true] {
+                // Same-level neighbor across this face.
+                let mut anchor_i = [0i64; DIM];
+                for k in 0..DIM {
+                    anchor_i[k] = e.anchor[k] as i64;
+                }
+                anchor_i[axis] += if positive { side as i64 } else { -(side as i64) };
+                if anchor_i[axis] < 0
+                    || anchor_i[axis] >= carve_sfc::octant::ROOT_SIDE as i64
+                {
+                    if include_cube_boundary {
+                        faces.push(SurrogateFace {
+                            elem: i,
+                            axis,
+                            positive,
+                        });
+                    }
+                    continue;
+                }
+                // Probe just across the face center: the finest-level cell
+                // touching the middle of the face from the neighbor side.
+                // (Probing the neighbor's *center* would misclassify coarse
+                // elements whose same-level neighbor region is partially
+                // covered by finer leaves.)
+                let mut probe = [0u64; DIM];
+                for k in 0..DIM {
+                    probe[k] = e.anchor[k] as u64 + (side as u64) / 2;
+                }
+                probe[axis] = if positive {
+                    e.anchor[axis] as u64 + side as u64
+                } else {
+                    e.anchor[axis] as u64 - 1
+                };
+                let cell = finest_cell_of_point(&probe);
+                if find_leaf(&mesh.elems, mesh.curve, &cell).is_none() {
+                    faces.push(SurrogateFace {
+                        elem: i,
+                        axis,
+                        positive,
+                    });
+                }
+            }
+        }
+    }
+    faces
+}
+
+/// Computes the SBM face matrix and right-hand-side contributions for one
+/// surrogate face of an element with physical min-corner `min` and side `h`.
+///
+/// * `map_to_true(x)` returns the closest point on the true boundary Γ
+///   (so `d = map_to_true(x) − x`).
+/// * `u_d(x_gamma)` is the Dirichlet data evaluated *on Γ*.
+pub fn sbm_face_terms<const DIM: usize>(
+    p: usize,
+    min: &[f64; DIM],
+    h: f64,
+    face: (usize, bool),
+    params: &SbmParams,
+    map_to_true: &dyn Fn(&[f64; DIM]) -> [f64; DIM],
+    u_d: &dyn Fn(&[f64; DIM]) -> f64,
+) -> (DenseMatrix, Vec<f64>) {
+    let (axis, positive) = face;
+    let nb = p + 1;
+    let n = nb.pow(DIM as u32);
+    let tab = Tabulated::new(p, p + 1);
+    let quad = gauss_rule(params.nq.clamp(p + 1, 5));
+    let nq1 = quad.points.len();
+    let free: Vec<usize> = (0..DIM).filter(|&k| k != axis).collect();
+    let nqs = nq1.pow(free.len() as u32);
+    let mut a = DenseMatrix::zeros(n, n);
+    let mut b = vec![0.0; n];
+    // ñ: outward unit normal of the voxel domain.
+    let mut normal = [0.0; DIM];
+    normal[axis] = if positive { 1.0 } else { -1.0 };
+    let area = h.powi(DIM as i32 - 1);
+    let alpha_h = params.alpha / h;
+    // Reference coordinate on the face along `axis`.
+    let t_axis = if positive { 1.0 } else { 0.0 };
+    let mut phi = vec![0.0; n];
+    let mut grad = vec![[0.0; DIM]; n];
+    for qlin in 0..nqs {
+        // Reference point.
+        let mut tref = [0.0; DIM];
+        tref[axis] = t_axis;
+        let mut w = 1.0;
+        let mut rem = qlin;
+        for &k in &free {
+            let qi = rem % nq1;
+            rem /= nq1;
+            tref[k] = quad.points[qi];
+            w *= quad.weights[qi];
+        }
+        let ds = w * area;
+        // Physical point, distance vector, boundary data.
+        let mut x = [0.0; DIM];
+        for k in 0..DIM {
+            x[k] = min[k] + h * tref[k];
+        }
+        let x_gamma = map_to_true(&x);
+        let mut d = [0.0; DIM];
+        for k in 0..DIM {
+            d[k] = x_gamma[k] - x[k];
+        }
+        let ud = u_d(&x_gamma);
+        // Basis values and physical gradients at tref.
+        for i in 0..n {
+            let mut li = [0usize; DIM];
+            let mut r = i;
+            for slot in li.iter_mut() {
+                *slot = r % nb;
+                r /= nb;
+            }
+            let mut v = 1.0;
+            for k in 0..DIM {
+                v *= crate::basis::lagrange_eval_unit(p, li[k], tref[k]);
+            }
+            phi[i] = v;
+            for k in 0..DIM {
+                let mut g = 1.0;
+                for m in 0..DIM {
+                    if m == k {
+                        g *= crate::basis::lagrange_deriv_unit(p, li[m], tref[m]);
+                    } else {
+                        g *= crate::basis::lagrange_eval_unit(p, li[m], tref[m]);
+                    }
+                }
+                grad[i][k] = g / h;
+            }
+        }
+        let _ = &tab; // tabulation kept for parity with volume kernels
+        for i in 0..n {
+            let gn_i: f64 = (0..DIM).map(|k| grad[i][k] * normal[k]).sum();
+            let gd_i: f64 = (0..DIM).map(|k| grad[i][k] * d[k]).sum();
+            let wi = phi[i] + gd_i; // w + ∇w·d
+            for j in 0..n {
+                let gn_j: f64 = (0..DIM).map(|k| grad[j][k] * normal[k]).sum();
+                let gd_j: f64 = (0..DIM).map(|k| grad[j][k] * d[k]).sum();
+                let uj = phi[j] + gd_j; // u + ∇u·d
+                a[(i, j)] += ds * (-phi[i] * gn_j - gn_i * uj + alpha_h * wi * uj);
+            }
+            b[i] += ds * (-gn_i * ud + alpha_h * wi * ud);
+        }
+    }
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carve_geom::{RetainSolid, Sphere};
+    use carve_sfc::Curve;
+
+    #[test]
+    fn disk_mesh_has_closed_surrogate_boundary() {
+        let domain = RetainSolid::new(Sphere::<2>::new([0.5, 0.5], 0.35));
+        let mesh = Mesh::build(&domain, Curve::Morton, 3, 5, 1);
+        let faces = surrogate_faces(&mesh, false);
+        assert!(!faces.is_empty());
+        // All surrogate faces belong to intercepted elements... or at least
+        // to elements near the circle; check each face's owning element
+        // touches the carved region (outward probe is carved).
+        for f in &faces {
+            let e = &mesh.elems[f.elem];
+            let (emin, h) = e.bounds_unit();
+            // Face center, nudged outward, must be outside the disk.
+            let mut x = [emin[0] + 0.5 * h, emin[1] + 0.5 * h];
+            x[f.axis] = if f.positive { emin[f.axis] + h } else { emin[f.axis] };
+            let mut probe = x;
+            probe[f.axis] += if f.positive { 1e-9 } else { -1e-9 };
+            let r = ((probe[0] - 0.5f64).powi(2) + (probe[1] - 0.5).powi(2)).sqrt();
+            assert!(r > 0.35 - 1e-6, "surrogate face points into the disk");
+        }
+        // Total surrogate perimeter ≈ circle circumference (voxelated, so
+        // between 4/π and ~1.6 times 2πR; the staircase length for a circle
+        // is exactly 8R in the fine limit... just check the right scale).
+        let perim: f64 = faces
+            .iter()
+            .map(|f| mesh.elems[f.elem].bounds_unit().1)
+            .sum();
+        let circ = 2.0 * std::f64::consts::PI * 0.35;
+        assert!(perim > circ * 0.9 && perim < circ * 1.5, "perimeter {perim}");
+    }
+
+    #[test]
+    fn face_matrix_consistency_constant_solution() {
+        // For u ≡ u_D = const and d arbitrary: residual contribution must
+        // vanish: A·1 == b when u_D = 1 (consistency of the SBM terms).
+        let p = 1;
+        let params = SbmParams::default();
+        let map = |x: &[f64; 2]| [x[0] + 0.03, x[1] - 0.02];
+        let ud = |_: &[f64; 2]| 1.0;
+        let (a, b) = sbm_face_terms::<2>(p, &[0.0, 0.0], 0.25, (0, true), &params, &map, &ud);
+        let ones = vec![1.0; 4];
+        let mut a1 = vec![0.0; 4];
+        a.matvec(&ones, &mut a1);
+        for (ai, bi) in a1.iter().zip(&b) {
+            assert!((ai - bi).abs() < 1e-12, "{ai} vs {bi}");
+        }
+    }
+
+    #[test]
+    fn face_matrix_consistency_linear_solution() {
+        // For u(x) = c·x with u_D(x_Γ) = c·x_Γ, the SBM residual terms
+        // vanish exactly (the Taylor shift is exact for linears), leaving
+        // only the consistency term −(φ_i, ∇u·ñ)_face — the piece that
+        // cancels against the volume integration by parts. Verify
+        // A·u − b == −(∇u·ñ) ∫ φ_i dS.
+        let p = 1;
+        let params = SbmParams { alpha: 6.0, nq: 3 };
+        let c = [0.7, -0.4];
+        let map = |x: &[f64; 2]| [x[0] + 0.05, x[1] + 0.02];
+        let ud = move |x: &[f64; 2]| c[0] * x[0] + c[1] * x[1];
+        let h = 0.5;
+        let min = [0.25, 0.25];
+        // Face (axis=1, negative): normal (0,-1), so ∇u·ñ = −c[1] = 0.4.
+        let (a, b) = sbm_face_terms::<2>(p, &min, h, (1, false), &params, &map, &ud);
+        let mut u = vec![0.0; 4];
+        for i in 0..4 {
+            let xi = [
+                min[0] + h * (i % 2) as f64,
+                min[1] + h * (i / 2) as f64,
+            ];
+            u[i] = c[0] * xi[0] + c[1] * xi[1];
+        }
+        let mut au = vec![0.0; 4];
+        a.matvec(&u, &mut au);
+        let grad_n = -c[1];
+        // ∫φ_i over the face y = min[1]: h/2 for the two face nodes (0, 1),
+        // zero for the opposite nodes (2, 3).
+        let expected = [-grad_n * h / 2.0, -grad_n * h / 2.0, 0.0, 0.0];
+        for i in 0..4 {
+            let resid = au[i] - b[i];
+            assert!(
+                (resid - expected[i]).abs() < 1e-12,
+                "node {i}: {resid} vs {}",
+                expected[i]
+            );
+        }
+    }
+}

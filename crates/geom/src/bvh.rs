@@ -1,0 +1,312 @@
+//! A bounding-volume hierarchy over triangles: closest-point and ray
+//! queries, used for STL In/Out tests (ray parity) and signed distance
+//! (Fig. 5 / Appendix B.1).
+
+/// Axis-aligned bounding box in 3D.
+#[derive(Clone, Copy, Debug)]
+pub struct Aabb {
+    pub min: [f64; 3],
+    pub max: [f64; 3],
+}
+
+impl Aabb {
+    pub const EMPTY: Self = Self {
+        min: [f64::INFINITY; 3],
+        max: [f64::NEG_INFINITY; 3],
+    };
+
+    pub fn grow(&mut self, p: &[f64; 3]) {
+        for k in 0..3 {
+            self.min[k] = self.min[k].min(p[k]);
+            self.max[k] = self.max[k].max(p[k]);
+        }
+    }
+
+    pub fn merge(&mut self, other: &Aabb) {
+        for k in 0..3 {
+            self.min[k] = self.min[k].min(other.min[k]);
+            self.max[k] = self.max[k].max(other.max[k]);
+        }
+    }
+
+    pub fn center(&self) -> [f64; 3] {
+        [
+            0.5 * (self.min[0] + self.max[0]),
+            0.5 * (self.min[1] + self.max[1]),
+            0.5 * (self.min[2] + self.max[2]),
+        ]
+    }
+
+    /// Squared distance from a point to the box (0 inside).
+    pub fn dist2(&self, p: &[f64; 3]) -> f64 {
+        let mut d2 = 0.0;
+        for k in 0..3 {
+            let d = (self.min[k] - p[k]).max(0.0).max(p[k] - self.max[k]);
+            d2 += d * d;
+        }
+        d2
+    }
+
+    /// Slab test: does the ray `o + t*dir`, `t >= 0`, hit the box?
+    pub fn hit_by_ray(&self, o: &[f64; 3], inv_dir: &[f64; 3]) -> bool {
+        let mut tmin = 0.0f64;
+        let mut tmax = f64::INFINITY;
+        for k in 0..3 {
+            let t1 = (self.min[k] - o[k]) * inv_dir[k];
+            let t2 = (self.max[k] - o[k]) * inv_dir[k];
+            let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+            tmin = tmin.max(lo);
+            tmax = tmax.min(hi);
+            if tmin > tmax {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+enum Node {
+    Leaf {
+        bounds: Aabb,
+        start: usize,
+        count: usize,
+    },
+    Inner {
+        bounds: Aabb,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// Median-split BVH over a triangle soup.
+pub struct Bvh {
+    nodes: Vec<Node>,
+    /// Triangle indices permuted so leaves reference contiguous ranges.
+    pub order: Vec<u32>,
+    root: usize,
+}
+
+const LEAF_SIZE: usize = 8;
+
+impl Bvh {
+    /// Builds over triangle bounding boxes & centroids.
+    pub fn build(tri_bounds: &[Aabb]) -> Self {
+        let n = tri_bounds.len();
+        assert!(n > 0, "empty mesh");
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut nodes = Vec::with_capacity(2 * n / LEAF_SIZE + 2);
+        let root = Self::build_rec(tri_bounds, &mut order, 0, n, &mut nodes);
+        Self { nodes, order, root }
+    }
+
+    fn build_rec(
+        tb: &[Aabb],
+        order: &mut [u32],
+        start: usize,
+        end: usize,
+        nodes: &mut Vec<Node>,
+    ) -> usize {
+        let mut bounds = Aabb::EMPTY;
+        for &t in &order[start..end] {
+            bounds.merge(&tb[t as usize]);
+        }
+        if end - start <= LEAF_SIZE {
+            nodes.push(Node::Leaf {
+                bounds,
+                start,
+                count: end - start,
+            });
+            return nodes.len() - 1;
+        }
+        // Split along the widest axis at the median centroid.
+        let mut widest = 0;
+        let mut wid = -1.0;
+        for k in 0..3 {
+            let w = bounds.max[k] - bounds.min[k];
+            if w > wid {
+                wid = w;
+                widest = k;
+            }
+        }
+        let mid = (start + end) / 2;
+        order[start..end].select_nth_unstable_by(mid - start, |&a, &b| {
+            tb[a as usize].center()[widest]
+                .partial_cmp(&tb[b as usize].center()[widest])
+                .unwrap()
+        });
+        let left = Self::build_rec(tb, order, start, mid, nodes);
+        let right = Self::build_rec(tb, order, mid, end, nodes);
+        nodes.push(Node::Inner {
+            bounds,
+            left,
+            right,
+        });
+        nodes.len() - 1
+    }
+
+    /// Visits every triangle range whose box passes `accept`; prunes the rest.
+    fn visit<A: FnMut(&Aabb) -> bool, V: FnMut(usize, usize)>(
+        &self,
+        accept: &mut A,
+        visit_leaf: &mut V,
+    ) {
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            match &self.nodes[id] {
+                Node::Leaf {
+                    bounds,
+                    start,
+                    count,
+                } => {
+                    if accept(bounds) {
+                        visit_leaf(*start, *count);
+                    }
+                }
+                Node::Inner {
+                    bounds,
+                    left,
+                    right,
+                } => {
+                    if accept(bounds) {
+                        stack.push(*left);
+                        stack.push(*right);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Finds the triangle minimizing `tri_dist2` (squared distance from a
+    /// query point to triangle `i`), with best-first pruning on box distance.
+    pub fn closest<F: FnMut(u32) -> f64>(&self, p: &[f64; 3], mut tri_dist2: F) -> (u32, f64) {
+        let mut best = (u32::MAX, f64::INFINITY);
+        // Best-first via sorted stack would be ideal; a pruned DFS is fine
+        // at our mesh sizes.
+        self.closest_rec(self.root, p, &mut tri_dist2, &mut best);
+        best
+    }
+
+    fn closest_rec<F: FnMut(u32) -> f64>(
+        &self,
+        id: usize,
+        p: &[f64; 3],
+        tri_dist2: &mut F,
+        best: &mut (u32, f64),
+    ) {
+        match &self.nodes[id] {
+            Node::Leaf {
+                bounds,
+                start,
+                count,
+            } => {
+                if bounds.dist2(p) >= best.1 {
+                    return;
+                }
+                for &t in &self.order[*start..*start + *count] {
+                    let d2 = tri_dist2(t);
+                    if d2 < best.1 {
+                        *best = (t, d2);
+                    }
+                }
+            }
+            Node::Inner {
+                bounds,
+                left,
+                right,
+            } => {
+                if bounds.dist2(p) >= best.1 {
+                    return;
+                }
+                // Descend nearer child first.
+                let (bl, br) = (self.node_bounds(*left), self.node_bounds(*right));
+                if bl.dist2(p) <= br.dist2(p) {
+                    self.closest_rec(*left, p, tri_dist2, best);
+                    self.closest_rec(*right, p, tri_dist2, best);
+                } else {
+                    self.closest_rec(*right, p, tri_dist2, best);
+                    self.closest_rec(*left, p, tri_dist2, best);
+                }
+            }
+        }
+    }
+
+    fn node_bounds(&self, id: usize) -> &Aabb {
+        match &self.nodes[id] {
+            Node::Leaf { bounds, .. } => bounds,
+            Node::Inner { bounds, .. } => bounds,
+        }
+    }
+
+    /// Calls `hit(t)` for every triangle whose leaf box is hit by the ray.
+    pub fn ray_candidates<F: FnMut(u32)>(&self, o: &[f64; 3], dir: &[f64; 3], mut hit: F) {
+        let inv = [1.0 / dir[0], 1.0 / dir[1], 1.0 / dir[2]];
+        let order = &self.order;
+        self.visit(&mut |b: &Aabb| b.hit_by_ray(o, &inv), &mut |start, count| {
+            for &t in &order[start..start + count] {
+                hit(t);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aabb_dist2() {
+        let mut b = Aabb::EMPTY;
+        b.grow(&[0.0, 0.0, 0.0]);
+        b.grow(&[1.0, 1.0, 1.0]);
+        assert_eq!(b.dist2(&[0.5, 0.5, 0.5]), 0.0);
+        assert!((b.dist2(&[2.0, 0.5, 0.5]) - 1.0).abs() < 1e-15);
+        assert!((b.dist2(&[2.0, 2.0, 0.5]) - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn aabb_ray() {
+        let mut b = Aabb::EMPTY;
+        b.grow(&[0.0; 3]);
+        b.grow(&[1.0; 3]);
+        let inv = [1.0 / 1.0, 1.0 / 1e-30, 1.0 / 1e-30];
+        assert!(b.hit_by_ray(&[-1.0, 0.5, 0.5], &inv));
+        assert!(!b.hit_by_ray(&[-1.0, 2.5, 0.5], &inv));
+        // Pointing away.
+        let inv_neg = [-1.0, 1.0 / 1e-30, 1.0 / 1e-30];
+        assert!(!b.hit_by_ray(&[-1.0, 0.5, 0.5], &inv_neg));
+    }
+
+    #[test]
+    fn bvh_closest_brute_force_agreement() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        // Random "triangles" as points (distance to centroid) — exercises
+        // the tree search logic.
+        let pts: Vec<[f64; 3]> = (0..200)
+            .map(|_| [rng.gen(), rng.gen(), rng.gen()])
+            .collect();
+        let boxes: Vec<Aabb> = pts
+            .iter()
+            .map(|p| {
+                let mut b = Aabb::EMPTY;
+                b.grow(p);
+                b
+            })
+            .collect();
+        let bvh = Bvh::build(&boxes);
+        for _ in 0..50 {
+            let q = [rng.gen(), rng.gen(), rng.gen()];
+            let d2 = |t: u32| {
+                let p = &pts[t as usize];
+                (0..3).map(|k| (p[k] - q[k]) * (p[k] - q[k])).sum::<f64>()
+            };
+            let (ti, td) = bvh.closest(&q, d2);
+            let (bi, bd) = (0..200u32)
+                .map(|t| (t, d2(t)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap();
+            assert_eq!(ti, bi);
+            assert!((td - bd).abs() < 1e-15);
+        }
+    }
+}

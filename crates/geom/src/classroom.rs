@@ -1,0 +1,230 @@
+//! The procedural classroom scene of §5: complex furniture, seated students
+//! (optionally with monitors), and a standing instructor, inside a room of
+//! physical size `4.83 × 3.34 × 1` (lengths non-dimensionalized by room
+//! height). One student is "infected" and acts as the viral-load source for
+//! the scalar-transport application.
+//!
+//! Coordinates: the scene is authored in *physical* units and embedded into
+//! the unit cube by dividing by [`ClassroomScene::scale`] (= the longest room
+//! extent). The octree lives on the unit cube; everything outside the room
+//! box is carved — exactly the anisotropic-domain situation incomplete
+//! octrees exist for.
+
+use crate::domain::{CarvedSolids, CompositeDomain, RetainBox, Solid};
+use crate::shapes::{AxisBox, Capsule, Sphere};
+
+/// Room extents in physical units (paper: 4.83 × 3.34 × 1).
+pub const ROOM: [f64; 3] = [4.83, 3.34, 1.0];
+
+/// Fraction of room height at which the infected student's mouth sits.
+const MOUTH_HEIGHT: f64 = 0.80;
+
+/// Scene description + the subdomain function for the octree builder.
+pub struct ClassroomScene {
+    /// The composite subdomain: retain the room box, carve the contents.
+    pub domain: CompositeDomain<3>,
+    /// Physical-to-unit scale (unit cube side in physical units).
+    pub scale: f64,
+    /// Monitors present? (Fig. 16 compares both scenarios.)
+    pub with_monitors: bool,
+    /// Viral-load source center, unit-cube coordinates.
+    pub source_center: [f64; 3],
+    /// Source radius (unit-cube units).
+    pub source_radius: f64,
+    /// Ceiling inlet strips (x ranges, physical), full width in y.
+    inlets_x: Vec<(f64, f64)>,
+    /// Ceiling outlet strips (x ranges, physical).
+    outlets_x: Vec<(f64, f64)>,
+}
+
+/// Desk grid: 3 columns (x) × 3 rows (y).
+const DESK_X: [f64; 3] = [1.5, 2.6, 3.7];
+const DESK_Y: [f64; 3] = [0.70, 1.67, 2.64];
+
+impl ClassroomScene {
+    /// Builds the scene. `infected` selects the student by (column, row) in
+    /// the 3×3 desk grid (paper: one specific seated mannequin is marked).
+    pub fn new(with_monitors: bool, infected: (usize, usize)) -> Self {
+        let scale = ROOM[0]; // 4.83: unit cube side in physical units
+        let mut solids: Vec<Box<dyn Solid<3>>> = Vec::new();
+        let s = scale;
+        let u = |p: [f64; 3]| [p[0] / s, p[1] / s, p[2] / s];
+
+        let mut source_center = [0.0; 3];
+        for (ci, &dx) in DESK_X.iter().enumerate() {
+            for (ri, &dy) in DESK_Y.iter().enumerate() {
+                // Desk tabletop.
+                solids.push(Box::new(AxisBox::new(
+                    u([dx - 0.30, dy - 0.25, 0.40]),
+                    u([dx + 0.30, dy + 0.25, 0.44]),
+                )));
+                // Seated student behind (+x of) the desk: torso, head, legs.
+                let px = dx + 0.45;
+                solids.push(Box::new(Capsule::new(
+                    u([px, dy, 0.45]),
+                    u([px, dy, 0.72]),
+                    0.10 / s,
+                )));
+                let head = [px, dy, MOUTH_HEIGHT + 0.04];
+                solids.push(Box::new(Sphere::new(u(head), 0.075 / s)));
+                // Thighs toward the desk.
+                solids.push(Box::new(Capsule::new(
+                    u([px, dy - 0.07, 0.42]),
+                    u([px - 0.35, dy - 0.07, 0.42]),
+                    0.05 / s,
+                )));
+                solids.push(Box::new(Capsule::new(
+                    u([px, dy + 0.07, 0.42]),
+                    u([px - 0.35, dy + 0.07, 0.42]),
+                    0.05 / s,
+                )));
+                // Chair seat.
+                solids.push(Box::new(AxisBox::new(
+                    u([px - 0.15, dy - 0.18, 0.36]),
+                    u([px + 0.15, dy + 0.18, 0.40]),
+                )));
+                if with_monitors {
+                    // Thin monitor standing on the desk, facing the student.
+                    solids.push(Box::new(AxisBox::new(
+                        u([dx - 0.05, dy - 0.22, 0.44]),
+                        u([dx - 0.01, dy + 0.22, 0.78]),
+                    )));
+                }
+                if (ci, ri) == infected {
+                    source_center = u([px + 0.09, dy, MOUTH_HEIGHT]);
+                }
+            }
+        }
+        // Standing instructor at the front (low x).
+        let ix = 0.55;
+        let iy = 1.67;
+        solids.push(Box::new(Capsule::new(
+            u([ix, iy, 0.05]),
+            u([ix, iy, 0.80]),
+            0.11 / s,
+        )));
+        solids.push(Box::new(Sphere::new(u([ix, iy, 0.90]), 0.08 / s)));
+        // Teacher's table.
+        solids.push(Box::new(AxisBox::new(
+            u([0.85, 1.25, 0.40]),
+            u([1.15, 2.09, 0.44]),
+        )));
+
+        let retain = RetainBox::new([0.0; 3], [ROOM[0] / s, ROOM[1] / s, ROOM[2] / s]);
+        ClassroomScene {
+            domain: CompositeDomain {
+                retain,
+                carved: CarvedSolids::new(solids),
+            },
+            scale,
+            with_monitors,
+            source_center,
+            source_radius: 0.08 / s,
+            inlets_x: vec![(0.6, 1.1), (2.3, 2.8)],
+            outlets_x: vec![(1.45, 1.95), (3.6, 4.1)],
+        }
+    }
+
+    /// Converts a unit-cube point to physical coordinates.
+    pub fn to_physical(&self, p: &[f64; 3]) -> [f64; 3] {
+        [p[0] * self.scale, p[1] * self.scale, p[2] * self.scale]
+    }
+
+    /// True if the physical point lies on a ceiling *velocity inlet* strip
+    /// (inlet velocity (0,0,-1), §5).
+    pub fn is_inlet(&self, phys: &[f64; 3]) -> bool {
+        self.on_ceiling(phys)
+            && self
+                .inlets_x
+                .iter()
+                .any(|&(lo, hi)| phys[0] >= lo && phys[0] <= hi)
+    }
+
+    /// True if the physical point lies on a ceiling *pressure outlet* strip.
+    pub fn is_outlet(&self, phys: &[f64; 3]) -> bool {
+        self.on_ceiling(phys)
+            && self
+                .outlets_x
+                .iter()
+                .any(|&(lo, hi)| phys[0] >= lo && phys[0] <= hi)
+    }
+
+    fn on_ceiling(&self, phys: &[f64; 3]) -> bool {
+        (phys[2] - ROOM[2]).abs() < 1e-9 * self.scale + 1e-12
+            || (phys[2] - ROOM[2]).abs() < 1e-6
+    }
+
+    /// Number of carved solids (scene complexity measure).
+    pub fn solid_count(&self) -> usize {
+        self.domain.carved.solids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::{RegionLabel, Subdomain};
+
+    #[test]
+    fn scene_has_expected_complexity() {
+        let scene = ClassroomScene::new(true, (1, 1));
+        // 9 desks * 7 solids (desk, torso, head, 2 legs, chair, monitor)
+        // + instructor (2) + teacher table (1).
+        assert_eq!(scene.solid_count(), 9 * 7 + 3);
+        let no_mon = ClassroomScene::new(false, (1, 1));
+        assert_eq!(no_mon.solid_count(), 9 * 6 + 3);
+    }
+
+    #[test]
+    fn room_interior_is_retained_and_outside_carved() {
+        let scene = ClassroomScene::new(false, (0, 0));
+        // A point in free air inside the room.
+        let free = [2.0 / scene.scale, 1.0 / scene.scale, 0.95 / scene.scale];
+        assert!(!scene.domain.point_in_carved(&free));
+        // Above the room (rest of the unit cube): carved.
+        let above = [0.5, 0.5, 0.9];
+        assert!(scene.domain.point_in_carved(&above));
+        assert_eq!(
+            scene.domain.classify_region(&[0.5, 0.5, 0.5], 0.2),
+            RegionLabel::Carved
+        );
+    }
+
+    #[test]
+    fn furniture_is_carved() {
+        let scene = ClassroomScene::new(true, (0, 0));
+        let s = scene.scale;
+        // Inside the first desk top.
+        let in_desk = [1.5 / s, 0.70 / s, 0.42 / s];
+        assert!(scene.domain.point_in_carved(&in_desk));
+        // Inside the infected student's head.
+        let in_head = [(1.5 + 0.45) / s, 0.70 / s, 0.84 / s];
+        assert!(scene.domain.point_in_carved(&in_head));
+    }
+
+    #[test]
+    fn source_sits_in_free_air() {
+        for infected in [(0usize, 0usize), (1, 1), (2, 2)] {
+            let scene = ClassroomScene::new(true, infected);
+            assert!(
+                !scene.domain.point_in_carved(&scene.source_center),
+                "source must be outside all solids for {infected:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn inlets_and_outlets_disjoint() {
+        let scene = ClassroomScene::new(false, (0, 0));
+        for x in 0..100 {
+            let p = [x as f64 * ROOM[0] / 100.0, 1.0, ROOM[2]];
+            assert!(
+                !(scene.is_inlet(&p) && scene.is_outlet(&p)),
+                "overlap at {p:?}"
+            );
+        }
+        assert!(scene.is_inlet(&[0.8, 1.0, ROOM[2]]));
+        assert!(scene.is_outlet(&[1.7, 1.0, ROOM[2]]));
+        assert!(!scene.is_inlet(&[0.8, 1.0, 0.5]));
+    }
+}

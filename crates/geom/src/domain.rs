@@ -1,0 +1,320 @@
+//! The subdomain abstraction `F(ē)` of §3.1.
+
+/// Classification of a closed cube region against the carved set `C`.
+///
+/// The convention matters for correctness (§3.1.1): `C` is *closed* (it
+/// contains its boundary `∂C`), `C'` is *open*. A region flush against `∂C`
+/// is therefore `RetainBoundary`, while a *point* on `∂C` is inside `C`
+/// ("carved" — which is how boundary nodes get tagged).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RegionLabel {
+    /// `ē ⊂ C`: fully inside the carved (discarded) set.
+    Carved,
+    /// Intercepted by `∂C`: retained, marked as a subdomain-boundary octant.
+    RetainBoundary,
+    /// `ē ⊂ C'`: fully in the retained open complement.
+    RetainInternal,
+}
+
+/// The application-supplied subdomain: classifies octant regions and points.
+///
+/// Implementations must be *conservative in the safe direction*: `Carved`
+/// and `RetainInternal` may be reported only when certain; when in doubt
+/// report `RetainBoundary` (this can only cost unnecessary refinement, never
+/// correctness).
+pub trait Subdomain<const DIM: usize>: Sync {
+    /// Classifies the closed cube `[min, min + side]^DIM` (unit-cube
+    /// coordinates).
+    fn classify_region(&self, min: &[f64; DIM], side: f64) -> RegionLabel;
+
+    /// True if the point lies in the closed carved set `C` (hence a point on
+    /// `∂C` returns `true` — such nodal points become subdomain-boundary
+    /// nodes).
+    fn point_in_carved(&self, p: &[f64; DIM]) -> bool;
+}
+
+/// An implicit solid: a closed point set that can be carved from the domain.
+pub trait Solid<const DIM: usize>: Sync + Send {
+    /// True if `p` lies in the closed solid.
+    fn contains(&self, p: &[f64; DIM]) -> bool;
+
+    /// Exact-or-conservative classification of the closed cube against this
+    /// solid (treated as the carved set `C`).
+    fn classify_region(&self, min: &[f64; DIM], side: f64) -> RegionLabel;
+
+    /// Signed distance to the solid surface; **positive inside** (the
+    /// paper's Appendix B.1 convention), negative outside.
+    fn signed_distance(&self, p: &[f64; DIM]) -> f64;
+
+    /// Closest point on the solid boundary `∂C` to `p`; used by the Shifted
+    /// Boundary Method to build the distance vector `d`.
+    fn closest_boundary_point(&self, p: &[f64; DIM]) -> [f64; DIM];
+}
+
+/// The trivial subdomain: nothing carved (a complete octree).
+pub struct FullDomain;
+
+impl<const DIM: usize> Subdomain<DIM> for FullDomain {
+    fn classify_region(&self, _min: &[f64; DIM], _side: f64) -> RegionLabel {
+        RegionLabel::RetainInternal
+    }
+    fn point_in_carved(&self, _p: &[f64; DIM]) -> bool {
+        false
+    }
+}
+
+/// Subdomain that carves out the union of a set of solids (objects immersed
+/// in the domain; e.g. the sphere, the dragon, classroom furniture).
+///
+/// For the union, `Carved` is reported when any solid fully covers the
+/// region, `RetainInternal` when every solid reports internal — a safe,
+/// exact-for-disjoint-objects approximation (overlapping objects degrade
+/// only to extra `RetainBoundary` labels).
+pub struct CarvedSolids<const DIM: usize> {
+    pub solids: Vec<Box<dyn Solid<DIM>>>,
+}
+
+impl<const DIM: usize> CarvedSolids<DIM> {
+    pub fn new(solids: Vec<Box<dyn Solid<DIM>>>) -> Self {
+        Self { solids }
+    }
+
+    /// Signed distance to the union (positive inside any solid): the maximum
+    /// of the member signed distances.
+    pub fn signed_distance(&self, p: &[f64; DIM]) -> f64 {
+        self.solids
+            .iter()
+            .map(|s| s.signed_distance(p))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Closest boundary point among all member solids.
+    pub fn closest_boundary_point(&self, p: &[f64; DIM]) -> [f64; DIM] {
+        let mut best = None;
+        let mut best_d = f64::INFINITY;
+        for s in &self.solids {
+            let q = s.closest_boundary_point(p);
+            let d: f64 = (0..DIM).map(|k| (q[k] - p[k]) * (q[k] - p[k])).sum();
+            if d < best_d {
+                best_d = d;
+                best = Some(q);
+            }
+        }
+        best.expect("at least one solid")
+    }
+}
+
+impl<const DIM: usize> Subdomain<DIM> for CarvedSolids<DIM> {
+    fn classify_region(&self, min: &[f64; DIM], side: f64) -> RegionLabel {
+        let mut all_internal = true;
+        for s in &self.solids {
+            match s.classify_region(min, side) {
+                RegionLabel::Carved => return RegionLabel::Carved,
+                RegionLabel::RetainBoundary => all_internal = false,
+                RegionLabel::RetainInternal => {}
+            }
+        }
+        if all_internal {
+            RegionLabel::RetainInternal
+        } else {
+            RegionLabel::RetainBoundary
+        }
+    }
+
+    fn point_in_carved(&self, p: &[f64; DIM]) -> bool {
+        self.solids.iter().any(|s| s.contains(p))
+    }
+}
+
+/// Subdomain that *retains* an axis-aligned box and carves everything else —
+/// the anisotropic-domain case (elongated channels) that complete octrees
+/// can only reach by stretching elements (Table 1).
+///
+/// The retained set is the open box; the carved set `C` is the closed
+/// complement, so points on the channel walls are tagged as boundary nodes.
+pub struct RetainBox<const DIM: usize> {
+    pub min: [f64; DIM],
+    pub max: [f64; DIM],
+}
+
+impl<const DIM: usize> RetainBox<DIM> {
+    pub fn new(min: [f64; DIM], max: [f64; DIM]) -> Self {
+        Self { min, max }
+    }
+
+    /// A channel `[0, extent0] x [0, extent1] x ...` inside the unit cube;
+    /// extents must be `<= 1`.
+    pub fn channel(extents: [f64; DIM]) -> Self {
+        Self {
+            min: [0.0; DIM],
+            max: extents,
+        }
+    }
+}
+
+impl<const DIM: usize> Subdomain<DIM> for RetainBox<DIM> {
+    fn classify_region(&self, min: &[f64; DIM], side: f64) -> RegionLabel {
+        let eps = 1e-12;
+        // inside: the closed cube lies strictly within the open box, i.e.
+        // never touches a wall. outside: the closed cube does not intersect
+        // the open box at all (it is within the closed carved complement).
+        let mut inside = true;
+        let mut intersects_open = true;
+        for k in 0..DIM {
+            let lo = min[k];
+            let hi = min[k] + side;
+            if !(lo > self.min[k] + eps && hi < self.max[k] - eps) {
+                inside = false;
+            }
+            if hi <= self.min[k] + eps || lo >= self.max[k] - eps {
+                intersects_open = false;
+            }
+        }
+        let outside = !intersects_open;
+        if inside {
+            RegionLabel::RetainInternal
+        } else if outside {
+            RegionLabel::Carved
+        } else {
+            RegionLabel::RetainBoundary
+        }
+    }
+
+    fn point_in_carved(&self, p: &[f64; DIM]) -> bool {
+        // Carved set is the closed complement of the open box: a point on
+        // the wall is carved (it is a boundary node).
+        let eps = 1e-12;
+        for k in 0..DIM {
+            if p[k] <= self.min[k] + eps || p[k] >= self.max[k] - eps {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Subdomain that *retains the inside* of a solid and carves everything
+/// else — e.g. the Fig. 6 Poisson problem posed on a disk. The carved set is
+/// the closed complement of the solid's interior, so points on the solid
+/// surface are tagged as boundary nodes.
+pub struct RetainSolid<const DIM: usize, S: Solid<DIM>> {
+    pub solid: S,
+}
+
+impl<const DIM: usize, S: Solid<DIM>> RetainSolid<DIM, S> {
+    pub fn new(solid: S) -> Self {
+        Self { solid }
+    }
+}
+
+impl<const DIM: usize, S: Solid<DIM>> Subdomain<DIM> for RetainSolid<DIM, S> {
+    fn classify_region(&self, min: &[f64; DIM], side: f64) -> RegionLabel {
+        // Invert the solid's classification: inside the solid = retained.
+        match self.solid.classify_region(min, side) {
+            RegionLabel::Carved => RegionLabel::RetainInternal,
+            RegionLabel::RetainInternal => RegionLabel::Carved,
+            RegionLabel::RetainBoundary => RegionLabel::RetainBoundary,
+        }
+    }
+
+    fn point_in_carved(&self, p: &[f64; DIM]) -> bool {
+        // Positive-inside convention: carved iff not strictly inside.
+        self.solid.signed_distance(p) <= 1e-14
+    }
+}
+
+/// Combines a retained outer region with carved solids inside it (e.g. the
+/// classroom: retain the room box, carve furniture and mannequins).
+pub struct CompositeDomain<const DIM: usize> {
+    pub retain: RetainBox<DIM>,
+    pub carved: CarvedSolids<DIM>,
+}
+
+impl<const DIM: usize> Subdomain<DIM> for CompositeDomain<DIM> {
+    fn classify_region(&self, min: &[f64; DIM], side: f64) -> RegionLabel {
+        match self.retain.classify_region(min, side) {
+            RegionLabel::Carved => RegionLabel::Carved,
+            outer => match self.carved.classify_region(min, side) {
+                RegionLabel::Carved => RegionLabel::Carved,
+                RegionLabel::RetainBoundary => RegionLabel::RetainBoundary,
+                RegionLabel::RetainInternal => outer,
+            },
+        }
+    }
+
+    fn point_in_carved(&self, p: &[f64; DIM]) -> bool {
+        self.retain.point_in_carved(p) || self.carved.point_in_carved(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes::Sphere;
+
+    #[test]
+    fn full_domain_retains_everything() {
+        let d = FullDomain;
+        assert_eq!(
+            Subdomain::<3>::classify_region(&d, &[0.0; 3], 1.0),
+            RegionLabel::RetainInternal
+        );
+        assert!(!Subdomain::<3>::point_in_carved(&d, &[0.5; 3]));
+    }
+
+    #[test]
+    fn retain_box_channel() {
+        // Channel occupying [0,1] x [0,0.25] of the unit square.
+        let d = RetainBox::<2>::channel([1.0, 0.25]);
+        // Fully inside the channel: [0.4,0.5]x[0.05,0.15] is strictly inside
+        // the open box (0,1)x(0,0.25).
+        assert_eq!(
+            d.classify_region(&[0.4, 0.05], 0.1),
+            RegionLabel::RetainInternal
+        );
+        // Fully above the channel: carved.
+        assert_eq!(d.classify_region(&[0.4, 0.5], 0.1), RegionLabel::Carved);
+        // Straddling the channel wall: boundary.
+        assert_eq!(
+            d.classify_region(&[0.4, 0.2], 0.1),
+            RegionLabel::RetainBoundary
+        );
+        // An element flush with the wall from inside: boundary (C is closed).
+        assert_eq!(
+            d.classify_region(&[0.0, 0.0], 0.125),
+            RegionLabel::RetainBoundary
+        );
+        // Points: wall points are carved (they become boundary nodes).
+        assert!(d.point_in_carved(&[0.5, 0.25]));
+        assert!(d.point_in_carved(&[0.0, 0.1]));
+        assert!(!d.point_in_carved(&[0.5, 0.1]));
+    }
+
+    #[test]
+    fn carved_sphere_union() {
+        let s1 = Sphere::<2>::new([0.25, 0.25], 0.1);
+        let s2 = Sphere::<2>::new([0.75, 0.75], 0.1);
+        let d = CarvedSolids::new(vec![Box::new(s1), Box::new(s2)]);
+        assert_eq!(
+            d.classify_region(&[0.2, 0.2], 0.05),
+            RegionLabel::Carved
+        );
+        assert_eq!(
+            d.classify_region(&[0.45, 0.45], 0.1),
+            RegionLabel::RetainInternal
+        );
+        assert!(d.point_in_carved(&[0.25, 0.25]));
+        assert!(d.point_in_carved(&[0.75, 0.8])); // near second sphere, inside
+        assert!(!d.point_in_carved(&[0.5, 0.5]));
+        // Union signed distance: positive inside either solid.
+        assert!(d.signed_distance(&[0.25, 0.25]) > 0.0);
+        assert!(d.signed_distance(&[0.5, 0.5]) < 0.0);
+    }
+
+    #[test]
+    fn point_on_sphere_surface_is_carved() {
+        let s = Sphere::<2>::new([0.5, 0.5], 0.25);
+        let d = CarvedSolids::new(vec![Box::new(s)]);
+        assert!(d.point_in_carved(&[0.75, 0.5]));
+    }
+}

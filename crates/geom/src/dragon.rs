@@ -1,0 +1,190 @@
+//! A procedural stand-in for the Stanford dragon (Fig. 5).
+//!
+//! The paper voxelizes the dragon STL and measures the signed-distance error
+//! of boundary nodes vs refinement. Any watertight, non-convex, curved body
+//! with high surface-to-volume ratio exercises the same code path; this
+//! module generates one deterministically: a bumpy tube swept around a
+//! closed undulating spine (torus topology — watertight by construction),
+//! with radius modulation producing concavities, ridges, and a tapering
+//! "tail". A real `dragon.stl` can be substituted via [`crate::stl::read_stl`].
+
+use crate::trimesh::TriMesh;
+use std::f64::consts::TAU;
+
+/// Parameters of the procedural body.
+#[derive(Clone, Copy, Debug)]
+pub struct DragonParams {
+    /// Segments along the spine.
+    pub n_spine: usize,
+    /// Segments around the tube circumference.
+    pub n_ring: usize,
+    /// Center of the body in the unit cube.
+    pub center: [f64; 3],
+    /// Overall radius of the spine loop (unit-cube units).
+    pub loop_radius: f64,
+    /// Base tube radius.
+    pub tube_radius: f64,
+}
+
+impl Default for DragonParams {
+    fn default() -> Self {
+        Self {
+            n_spine: 160,
+            n_ring: 32,
+            center: [0.5, 0.5, 0.5],
+            loop_radius: 0.27,
+            tube_radius: 0.085,
+        }
+    }
+}
+
+fn normalize(v: [f64; 3]) -> [f64; 3] {
+    let n = (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt();
+    [v[0] / n, v[1] / n, v[2] / n]
+}
+
+fn cross(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ]
+}
+
+/// Spine curve: a loop around the z-axis with radial and vertical
+/// undulation (periodic in `t ∈ [0, 2π)`).
+fn spine(p: &DragonParams, t: f64) -> [f64; 3] {
+    let r = p.loop_radius * (1.0 + 0.18 * (2.0 * t).sin() + 0.07 * (3.0 * t).cos());
+    [
+        p.center[0] + r * t.cos(),
+        p.center[1] + r * t.sin(),
+        p.center[2] + 0.16 * (3.0 * t).sin() * p.loop_radius / 0.27,
+    ]
+}
+
+fn spine_tangent(p: &DragonParams, t: f64) -> [f64; 3] {
+    let h = 1e-5;
+    let a = spine(p, t + h);
+    let b = spine(p, t - h);
+    normalize([
+        (a[0] - b[0]) / (2.0 * h),
+        (a[1] - b[1]) / (2.0 * h),
+        (a[2] - b[2]) / (2.0 * h),
+    ])
+}
+
+/// Tube radius with "scales" and a tapering tail: strictly positive,
+/// periodic in both parameters.
+fn tube_radius(p: &DragonParams, t: f64, theta: f64) -> f64 {
+    let taper = 1.0 - 0.55 * (0.5 * t).sin().powi(2); // thick "head", thin "tail"
+    let scales = 1.0 + 0.22 * (6.0 * t).sin() + 0.10 * (9.0 * t + 2.0 * theta).sin()
+        + 0.08 * (3.0 * theta).cos();
+    (p.tube_radius * taper * scales).max(0.25 * p.tube_radius)
+}
+
+/// Generates the watertight procedural body.
+pub fn dragon_mesh(p: &DragonParams) -> TriMesh {
+    let ns = p.n_spine;
+    let nc = p.n_ring;
+    assert!(ns >= 8 && nc >= 6);
+    let mut vertices = Vec::with_capacity(ns * nc);
+    for i in 0..ns {
+        let t = TAU * i as f64 / ns as f64;
+        let c = spine(p, t);
+        let tan = spine_tangent(p, t);
+        // Periodic frame from the cylindrical radial direction: every
+        // ingredient is 2π-periodic in t, so the seam closes exactly.
+        let e_r = [t.cos(), t.sin(), 0.0];
+        let n1 = {
+            // Component of e_r orthogonal to the tangent.
+            let d = e_r[0] * tan[0] + e_r[1] * tan[1] + e_r[2] * tan[2];
+            normalize([e_r[0] - d * tan[0], e_r[1] - d * tan[1], e_r[2] - d * tan[2]])
+        };
+        let n2 = normalize(cross(tan, n1));
+        for j in 0..nc {
+            let theta = TAU * j as f64 / nc as f64;
+            let r = tube_radius(p, t, theta);
+            vertices.push([
+                c[0] + r * (theta.cos() * n1[0] + theta.sin() * n2[0]),
+                c[1] + r * (theta.cos() * n1[1] + theta.sin() * n2[1]),
+                c[2] + r * (theta.cos() * n1[2] + theta.sin() * n2[2]),
+            ]);
+        }
+    }
+    let idx = |i: usize, j: usize| -> u32 { ((i % ns) * nc + (j % nc)) as u32 };
+    let mut tris = Vec::with_capacity(2 * ns * nc);
+    for i in 0..ns {
+        for j in 0..nc {
+            let a = idx(i, j);
+            let b = idx(i + 1, j);
+            let c = idx(i + 1, j + 1);
+            let d = idx(i, j + 1);
+            tris.push([a, b, c]);
+            tris.push([a, c, d]);
+        }
+    }
+    let mut mesh = TriMesh::new(vertices, tris);
+    // Guarantee outward orientation (positive volume).
+    if mesh.signed_volume() < 0.0 {
+        for t in mesh.tris.iter_mut() {
+            t.swap(1, 2);
+        }
+    }
+    mesh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Solid;
+    use crate::trimesh::TriMeshSolid;
+
+    #[test]
+    fn dragon_is_watertight_and_oriented() {
+        let m = dragon_mesh(&DragonParams::default());
+        assert!(m.is_watertight());
+        assert!(m.signed_volume() > 0.0);
+        assert!(m.vertices.len() > 1000);
+    }
+
+    #[test]
+    fn dragon_fits_in_unit_cube() {
+        let m = dragon_mesh(&DragonParams::default());
+        let b = m.bounds();
+        for k in 0..3 {
+            assert!(b.min[k] > 0.0 && b.max[k] < 1.0, "bounds {b:?}");
+        }
+    }
+
+    #[test]
+    fn dragon_has_high_surface_to_volume() {
+        // The paper's point about the dragon: large surface area relative to
+        // volume (compare with a sphere of equal volume: ratio >> 1).
+        let m = dragon_mesh(&DragonParams::default());
+        let vol = m.signed_volume();
+        let area = m.area();
+        let r_eq = (3.0 * vol / (4.0 * std::f64::consts::PI)).cbrt();
+        let sphere_area = 4.0 * std::f64::consts::PI * r_eq * r_eq;
+        assert!(
+            area / sphere_area > 2.0,
+            "area ratio {}",
+            area / sphere_area
+        );
+    }
+
+    #[test]
+    fn dragon_in_out_center_of_tube_is_inside() {
+        let p = DragonParams {
+            n_spine: 64,
+            n_ring: 16,
+            ..Default::default()
+        };
+        let m = dragon_mesh(&p);
+        let solid = TriMeshSolid::new(m);
+        // A point on the spine is inside; the cube corner is outside.
+        let on_spine = super::spine(&p, 1.0);
+        assert!(solid.contains(&on_spine));
+        assert!(!solid.contains(&[0.02, 0.02, 0.02]));
+        assert!(!solid.contains(&p.center), "loop center is in the hole");
+    }
+}

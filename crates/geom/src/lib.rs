@@ -1,0 +1,34 @@
+//! Geometry substrate: the subdomain abstraction of §3.1 and every In/Out
+//! oracle the paper's experiments need.
+//!
+//! The octree algorithms never see geometry directly — they call a
+//! user-supplied classification function `F(ē)` on closed cubes (octant
+//! regions or points):
+//!
+//! ```text
+//! F(ē) = Carved          if ē ⊂ C        (the closed carved set)
+//!        RetainInternal  if ē ⊂ C'       (the open retained complement)
+//!        RetainBoundary  otherwise       (intercepted by ∂C)
+//! ```
+//!
+//! This crate provides [`Subdomain`] (that function), implicit solids with
+//! exact region classification where possible (sphere, box, capsule),
+//! triangle meshes with BVH-accelerated ray-cast In/Out tests and signed
+//! distances (for STL geometry à la the Stanford dragon), and the procedural
+//! scenes used by the reproduction: a dragon-like watertight body and the
+//! classroom of §5.
+
+pub mod bvh;
+pub mod classroom;
+pub mod domain;
+pub mod dragon;
+pub mod shapes;
+pub mod stl;
+pub mod trimesh;
+
+pub use domain::{
+    CarvedSolids, CompositeDomain, FullDomain, RegionLabel, RetainBox, RetainSolid, Solid,
+    Subdomain,
+};
+pub use shapes::{AxisBox, Capsule, Sphere};
+pub use trimesh::{TriMesh, TriMeshSolid};

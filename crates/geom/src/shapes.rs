@@ -1,0 +1,366 @@
+//! Analytic implicit solids with *exact* cube-region classification.
+
+use crate::domain::{RegionLabel, Solid};
+
+#[inline]
+fn norm<const DIM: usize>(v: &[f64; DIM]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// A solid ball (disk in 2D, sphere in 3D).
+#[derive(Clone, Copy, Debug)]
+pub struct Sphere<const DIM: usize> {
+    pub center: [f64; DIM],
+    pub radius: f64,
+}
+
+impl<const DIM: usize> Sphere<DIM> {
+    pub fn new(center: [f64; DIM], radius: f64) -> Self {
+        assert!(radius > 0.0);
+        Self { center, radius }
+    }
+
+    /// Minimum and maximum distance from the sphere center to the closed
+    /// cube `[min, min+side]^DIM` — both exact, enabling exact octant
+    /// classification.
+    fn dist_range_to_cube(&self, min: &[f64; DIM], side: f64) -> (f64, f64) {
+        let mut dmin2 = 0.0;
+        let mut dmax2 = 0.0;
+        for k in 0..DIM {
+            let lo = min[k];
+            let hi = min[k] + side;
+            let c = self.center[k];
+            let dlo = (lo - c).abs();
+            let dhi = (hi - c).abs();
+            dmax2 += dlo.max(dhi).powi(2);
+            if c < lo {
+                dmin2 += (lo - c) * (lo - c);
+            } else if c > hi {
+                dmin2 += (c - hi) * (c - hi);
+            }
+        }
+        (dmin2.sqrt(), dmax2.sqrt())
+    }
+}
+
+impl<const DIM: usize> Solid<DIM> for Sphere<DIM> {
+    fn contains(&self, p: &[f64; DIM]) -> bool {
+        let mut d = [0.0; DIM];
+        for k in 0..DIM {
+            d[k] = p[k] - self.center[k];
+        }
+        norm(&d) <= self.radius * (1.0 + 1e-14) + 1e-300
+    }
+
+    fn classify_region(&self, min: &[f64; DIM], side: f64) -> RegionLabel {
+        let (dmin, dmax) = self.dist_range_to_cube(min, side);
+        if dmax <= self.radius {
+            RegionLabel::Carved
+        } else if dmin >= self.radius {
+            // dmin == radius: cube touches ∂C (closed), hence intercepted
+            // only at measure-zero contact — still classified internal only
+            // when strictly outside.
+            if dmin > self.radius {
+                RegionLabel::RetainInternal
+            } else {
+                RegionLabel::RetainBoundary
+            }
+        } else {
+            RegionLabel::RetainBoundary
+        }
+    }
+
+    fn signed_distance(&self, p: &[f64; DIM]) -> f64 {
+        let mut d = [0.0; DIM];
+        for k in 0..DIM {
+            d[k] = p[k] - self.center[k];
+        }
+        self.radius - norm(&d) // positive inside
+    }
+
+    fn closest_boundary_point(&self, p: &[f64; DIM]) -> [f64; DIM] {
+        let mut d = [0.0; DIM];
+        for k in 0..DIM {
+            d[k] = p[k] - self.center[k];
+        }
+        let n = norm(&d);
+        let mut q = self.center;
+        if n < 1e-300 {
+            // Degenerate: pick any direction.
+            q[0] += self.radius;
+            return q;
+        }
+        for k in 0..DIM {
+            q[k] = self.center[k] + d[k] / n * self.radius;
+        }
+        q
+    }
+}
+
+/// An axis-aligned solid box (a carved obstacle: tables, monitors, walls).
+#[derive(Clone, Copy, Debug)]
+pub struct AxisBox<const DIM: usize> {
+    pub min: [f64; DIM],
+    pub max: [f64; DIM],
+}
+
+impl<const DIM: usize> AxisBox<DIM> {
+    pub fn new(min: [f64; DIM], max: [f64; DIM]) -> Self {
+        for k in 0..DIM {
+            assert!(min[k] < max[k]);
+        }
+        Self { min, max }
+    }
+}
+
+impl<const DIM: usize> Solid<DIM> for AxisBox<DIM> {
+    fn contains(&self, p: &[f64; DIM]) -> bool {
+        (0..DIM).all(|k| p[k] >= self.min[k] - 1e-14 && p[k] <= self.max[k] + 1e-14)
+    }
+
+    fn classify_region(&self, min: &[f64; DIM], side: f64) -> RegionLabel {
+        let mut cube_inside_box = true;
+        let mut disjoint = false;
+        for k in 0..DIM {
+            let lo = min[k];
+            let hi = min[k] + side;
+            if !(lo >= self.min[k] && hi <= self.max[k]) {
+                cube_inside_box = false;
+            }
+            if hi < self.min[k] || lo > self.max[k] {
+                disjoint = true;
+            }
+        }
+        if cube_inside_box {
+            RegionLabel::Carved
+        } else if disjoint {
+            RegionLabel::RetainInternal
+        } else {
+            RegionLabel::RetainBoundary
+        }
+    }
+
+    fn signed_distance(&self, p: &[f64; DIM]) -> f64 {
+        // Positive inside.
+        let mut outside2 = 0.0;
+        let mut inside = f64::INFINITY;
+        for k in 0..DIM {
+            let lo = self.min[k] - p[k]; // >0 when p below box
+            let hi = p[k] - self.max[k]; // >0 when p above box
+            let out = lo.max(hi);
+            if out > 0.0 {
+                outside2 += out * out;
+            } else {
+                inside = inside.min(-out);
+            }
+        }
+        if outside2 > 0.0 {
+            -outside2.sqrt()
+        } else {
+            inside
+        }
+    }
+
+    fn closest_boundary_point(&self, p: &[f64; DIM]) -> [f64; DIM] {
+        let inside = self.contains(p);
+        let mut q = *p;
+        if !inside {
+            for k in 0..DIM {
+                q[k] = p[k].clamp(self.min[k], self.max[k]);
+            }
+            q
+        } else {
+            // Project to the nearest face.
+            let mut best_axis = 0;
+            let mut best_val = f64::INFINITY;
+            let mut snap = 0.0;
+            for k in 0..DIM {
+                let dlo = p[k] - self.min[k];
+                let dhi = self.max[k] - p[k];
+                if dlo < best_val {
+                    best_val = dlo;
+                    best_axis = k;
+                    snap = self.min[k];
+                }
+                if dhi < best_val {
+                    best_val = dhi;
+                    best_axis = k;
+                    snap = self.max[k];
+                }
+            }
+            q[best_axis] = snap;
+            q
+        }
+    }
+}
+
+/// A capsule: all points within `radius` of the segment `[a, b]` (limbs and
+/// torsos of the classroom mannequins).
+#[derive(Clone, Copy, Debug)]
+pub struct Capsule<const DIM: usize> {
+    pub a: [f64; DIM],
+    pub b: [f64; DIM],
+    pub radius: f64,
+}
+
+impl<const DIM: usize> Capsule<DIM> {
+    pub fn new(a: [f64; DIM], b: [f64; DIM], radius: f64) -> Self {
+        assert!(radius > 0.0);
+        Self { a, b, radius }
+    }
+
+    fn dist_to_axis(&self, p: &[f64; DIM]) -> f64 {
+        let mut ab = [0.0; DIM];
+        let mut ap = [0.0; DIM];
+        for k in 0..DIM {
+            ab[k] = self.b[k] - self.a[k];
+            ap[k] = p[k] - self.a[k];
+        }
+        let ab2: f64 = ab.iter().map(|x| x * x).sum();
+        let t = if ab2 > 0.0 {
+            (ap.iter().zip(&ab).map(|(x, y)| x * y).sum::<f64>() / ab2).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let mut d = [0.0; DIM];
+        for k in 0..DIM {
+            d[k] = p[k] - (self.a[k] + t * ab[k]);
+        }
+        norm(&d)
+    }
+}
+
+impl<const DIM: usize> Solid<DIM> for Capsule<DIM> {
+    fn contains(&self, p: &[f64; DIM]) -> bool {
+        self.dist_to_axis(p) <= self.radius + 1e-14
+    }
+
+    fn classify_region(&self, min: &[f64; DIM], side: f64) -> RegionLabel {
+        // Conservative via the Lipschitz-1 property of the distance field:
+        // compare the center distance against the cube half-diagonal.
+        let mut c = [0.0; DIM];
+        for k in 0..DIM {
+            c[k] = min[k] + 0.5 * side;
+        }
+        let rho = 0.5 * side * (DIM as f64).sqrt();
+        let d = self.dist_to_axis(&c);
+        if d + rho <= self.radius {
+            RegionLabel::Carved
+        } else if d - rho >= self.radius {
+            RegionLabel::RetainInternal
+        } else {
+            RegionLabel::RetainBoundary
+        }
+    }
+
+    fn signed_distance(&self, p: &[f64; DIM]) -> f64 {
+        self.radius - self.dist_to_axis(p)
+    }
+
+    fn closest_boundary_point(&self, p: &[f64; DIM]) -> [f64; DIM] {
+        // Walk from p along the gradient of the axis distance.
+        let mut ab = [0.0; DIM];
+        let mut ap = [0.0; DIM];
+        for k in 0..DIM {
+            ab[k] = self.b[k] - self.a[k];
+            ap[k] = p[k] - self.a[k];
+        }
+        let ab2: f64 = ab.iter().map(|x| x * x).sum();
+        let t = if ab2 > 0.0 {
+            (ap.iter().zip(&ab).map(|(x, y)| x * y).sum::<f64>() / ab2).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let mut axis_pt = [0.0; DIM];
+        for k in 0..DIM {
+            axis_pt[k] = self.a[k] + t * ab[k];
+        }
+        let mut d = [0.0; DIM];
+        for k in 0..DIM {
+            d[k] = p[k] - axis_pt[k];
+        }
+        let n = norm(&d);
+        let mut q = axis_pt;
+        if n < 1e-300 {
+            q[0] += self.radius;
+            return q;
+        }
+        for k in 0..DIM {
+            q[k] = axis_pt[k] + d[k] / n * self.radius;
+        }
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sphere_classify_exact() {
+        let s = Sphere::<3>::new([0.5; 3], 0.25);
+        assert_eq!(s.classify_region(&[0.45; 3], 0.1), RegionLabel::Carved);
+        assert_eq!(s.classify_region(&[0.0; 3], 0.1), RegionLabel::RetainInternal);
+        assert_eq!(
+            s.classify_region(&[0.2, 0.45, 0.45], 0.1),
+            RegionLabel::RetainBoundary
+        );
+        // Whole domain: intercepted.
+        assert_eq!(s.classify_region(&[0.0; 3], 1.0), RegionLabel::RetainBoundary);
+    }
+
+    #[test]
+    fn sphere_sdf_sign_convention() {
+        // Paper's B.1: positive inside.
+        let s = Sphere::<3>::new([0.5; 3], 0.25);
+        assert!(s.signed_distance(&[0.5; 3]) > 0.0);
+        assert!((s.signed_distance(&[0.5; 3]) - 0.25).abs() < 1e-15);
+        assert!(s.signed_distance(&[0.0; 3]) < 0.0);
+        assert!(s.signed_distance(&[0.75, 0.5, 0.5]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sphere_closest_point_on_surface() {
+        let s = Sphere::<2>::new([0.5, 0.5], 0.25);
+        let q = s.closest_boundary_point(&[0.9, 0.5]);
+        assert!((q[0] - 0.75).abs() < 1e-14 && (q[1] - 0.5).abs() < 1e-14);
+        let q2 = s.closest_boundary_point(&[0.5, 0.6]); // from inside
+        assert!((q2[1] - 0.75).abs() < 1e-14);
+    }
+
+    #[test]
+    fn axis_box_classify_and_sdf() {
+        let b = AxisBox::<3>::new([0.25; 3], [0.75; 3]);
+        assert_eq!(b.classify_region(&[0.3; 3], 0.2), RegionLabel::Carved);
+        assert_eq!(b.classify_region(&[0.8; 3], 0.1), RegionLabel::RetainInternal);
+        assert_eq!(b.classify_region(&[0.2; 3], 0.2), RegionLabel::RetainBoundary);
+        assert!((b.signed_distance(&[0.5; 3]) - 0.25).abs() < 1e-15);
+        assert!((b.signed_distance(&[1.0, 0.5, 0.5]) + 0.25).abs() < 1e-15);
+        // Outside diagonal distance.
+        let d = b.signed_distance(&[1.0, 1.0, 0.5]);
+        assert!((d + (2.0f64 * 0.25 * 0.25).sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn box_closest_boundary_point() {
+        let b = AxisBox::<2>::new([0.0, 0.0], [1.0, 1.0]);
+        let q = b.closest_boundary_point(&[1.5, 0.5]);
+        assert_eq!(q, [1.0, 0.5]);
+        let q_in = b.closest_boundary_point(&[0.9, 0.5]);
+        assert_eq!(q_in, [1.0, 0.5]);
+    }
+
+    #[test]
+    fn capsule_basics() {
+        let c = Capsule::<3>::new([0.3, 0.5, 0.5], [0.7, 0.5, 0.5], 0.1);
+        assert!(c.contains(&[0.5, 0.5, 0.55]));
+        assert!(!c.contains(&[0.5, 0.5, 0.65]));
+        assert!((c.signed_distance(&[0.5, 0.5, 0.5]) - 0.1).abs() < 1e-15);
+        // Beyond the cap.
+        assert!((c.signed_distance(&[0.9, 0.5, 0.5]) + 0.1).abs() < 1e-15);
+        assert_eq!(c.classify_region(&[0.45, 0.48, 0.48], 0.02), RegionLabel::Carved);
+        assert_eq!(c.classify_region(&[0.0; 3], 0.05), RegionLabel::RetainInternal);
+        let q = c.closest_boundary_point(&[0.5, 0.5, 0.8]);
+        assert!((q[2] - 0.6).abs() < 1e-14);
+    }
+}

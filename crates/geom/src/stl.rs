@@ -1,0 +1,203 @@
+//! STL reading/writing (binary and ASCII), so real scan geometry (e.g. the
+//! Stanford dragon) drops into the Fig. 5 pipeline unchanged.
+
+use crate::trimesh::TriMesh;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Reads an STL file, auto-detecting binary vs ASCII.
+pub fn read_stl(path: &Path) -> io::Result<TriMesh> {
+    let bytes = std::fs::read(path)?;
+    parse_stl(&bytes)
+}
+
+/// Parses STL bytes, auto-detecting the variant.
+pub fn parse_stl(bytes: &[u8]) -> io::Result<TriMesh> {
+    // ASCII files start with "solid" AND actually contain "facet"; binary
+    // files may also start with "solid" in the comment header, so check the
+    // size invariant too.
+    let looks_ascii = bytes.starts_with(b"solid")
+        && std::str::from_utf8(&bytes[..bytes.len().min(1024)])
+            .map(|s| s.contains("facet"))
+            .unwrap_or(false);
+    if looks_ascii {
+        parse_ascii(bytes)
+    } else {
+        parse_binary(bytes)
+    }
+}
+
+fn parse_binary(bytes: &[u8]) -> io::Result<TriMesh> {
+    if bytes.len() < 84 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated STL"));
+    }
+    let n = u32::from_le_bytes(bytes[80..84].try_into().unwrap()) as usize;
+    let expected = 84 + n * 50;
+    if bytes.len() < expected {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("binary STL claims {n} tris but file is short"),
+        ));
+    }
+    let mut mesh = TriMesh::default();
+    let mut cursor = 84;
+    for _ in 0..n {
+        // Skip the normal (12 bytes); read 3 vertices.
+        let mut idx = [0u32; 3];
+        for (k, slot) in idx.iter_mut().enumerate() {
+            let off = cursor + 12 + k * 12;
+            let mut v = [0.0f64; 3];
+            for a in 0..3 {
+                let f = f32::from_le_bytes(bytes[off + 4 * a..off + 4 * a + 4].try_into().unwrap());
+                v[a] = f as f64;
+            }
+            mesh.vertices.push(v);
+            *slot = (mesh.vertices.len() - 1) as u32;
+        }
+        mesh.tris.push(idx);
+        cursor += 50;
+    }
+    Ok(weld(mesh))
+}
+
+fn parse_ascii(bytes: &[u8]) -> io::Result<TriMesh> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let mut mesh = TriMesh::default();
+    let mut current: Vec<[f64; 3]> = Vec::with_capacity(3);
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("vertex") {
+            let mut it = rest.split_whitespace();
+            let mut v = [0.0; 3];
+            for x in v.iter_mut() {
+                *x = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad vertex"))?;
+            }
+            current.push(v);
+        } else if line.starts_with("endfacet") {
+            if current.len() != 3 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "facet without 3 vertices",
+                ));
+            }
+            let base = mesh.vertices.len() as u32;
+            mesh.vertices.extend(current.drain(..));
+            mesh.tris.push([base, base + 1, base + 2]);
+        }
+    }
+    Ok(weld(mesh))
+}
+
+/// Welds duplicate vertices (exact bit match after rounding to f32 grid),
+/// so STL soup becomes an indexed, watertight-checkable mesh.
+fn weld(mesh: TriMesh) -> TriMesh {
+    use std::collections::HashMap;
+    let mut map: HashMap<[u64; 3], u32> = HashMap::new();
+    let mut vertices = Vec::new();
+    let mut remap = Vec::with_capacity(mesh.vertices.len());
+    for v in &mesh.vertices {
+        let key = [v[0].to_bits(), v[1].to_bits(), v[2].to_bits()];
+        let id = *map.entry(key).or_insert_with(|| {
+            vertices.push(*v);
+            (vertices.len() - 1) as u32
+        });
+        remap.push(id);
+    }
+    let tris = mesh
+        .tris
+        .iter()
+        .map(|t| [remap[t[0] as usize], remap[t[1] as usize], remap[t[2] as usize]])
+        .collect();
+    TriMesh { vertices, tris }
+}
+
+/// Writes a binary STL.
+pub fn write_stl(path: &Path, mesh: &TriMesh) -> io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let mut header = [0u8; 80];
+    header[..14].copy_from_slice(b"carve-stl-mesh");
+    f.write_all(&header)?;
+    f.write_all(&(mesh.tris.len() as u32).to_le_bytes())?;
+    for t in 0..mesh.tris.len() {
+        let [a, b, c] = mesh.tri_vertices(t);
+        // Face normal.
+        let u = [b[0] - a[0], b[1] - a[1], b[2] - a[2]];
+        let v = [c[0] - a[0], c[1] - a[1], c[2] - a[2]];
+        let mut n = [
+            u[1] * v[2] - u[2] * v[1],
+            u[2] * v[0] - u[0] * v[2],
+            u[0] * v[1] - u[1] * v[0],
+        ];
+        let len = (n[0] * n[0] + n[1] * n[1] + n[2] * n[2]).sqrt();
+        if len > 0.0 {
+            for x in n.iter_mut() {
+                *x /= len;
+            }
+        }
+        for x in n {
+            f.write_all(&(x as f32).to_le_bytes())?;
+        }
+        for p in [a, b, c] {
+            for x in p {
+                f.write_all(&(x as f32).to_le_bytes())?;
+            }
+        }
+        f.write_all(&0u16.to_le_bytes())?;
+    }
+    f.flush()
+}
+
+/// Reads any reader fully then parses (convenience for tests).
+pub fn read_stl_from<R: Read>(mut r: R) -> io::Result<TriMesh> {
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    parse_stl(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trimesh::cube_mesh;
+
+    #[test]
+    fn binary_roundtrip_preserves_topology() {
+        let m = cube_mesh(0.0, 1.0);
+        let dir = std::env::temp_dir().join("carve_stl_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("cube.stl");
+        write_stl(&p, &m).unwrap();
+        let m2 = read_stl(&p).unwrap();
+        assert_eq!(m2.tris.len(), 12);
+        assert_eq!(m2.vertices.len(), 8, "weld should merge shared vertices");
+        assert!(m2.is_watertight());
+        assert!((m2.signed_volume() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ascii_parse() {
+        let ascii = r#"solid tri
+facet normal 0 0 1
+ outer loop
+  vertex 0 0 0
+  vertex 1 0 0
+  vertex 0 1 0
+ endloop
+endfacet
+endsolid tri
+"#;
+        let m = parse_stl(ascii.as_bytes()).unwrap();
+        assert_eq!(m.tris.len(), 1);
+        assert_eq!(m.vertices.len(), 3);
+        assert!((m.area() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_truncated_binary() {
+        let bytes = vec![0u8; 50];
+        assert!(parse_stl(&bytes).is_err());
+    }
+}

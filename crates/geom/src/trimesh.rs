@@ -1,0 +1,402 @@
+//! Triangle meshes: the geometry representation behind STL input, with
+//! BVH-accelerated ray-cast In/Out tests and signed distances.
+
+use crate::bvh::{Aabb, Bvh};
+use crate::domain::{RegionLabel, Solid};
+
+/// An indexed triangle mesh (counter-clockwise triangles, outward normals).
+#[derive(Clone, Debug, Default)]
+pub struct TriMesh {
+    pub vertices: Vec<[f64; 3]>,
+    pub tris: Vec<[u32; 3]>,
+}
+
+impl TriMesh {
+    pub fn new(vertices: Vec<[f64; 3]>, tris: Vec<[u32; 3]>) -> Self {
+        Self { vertices, tris }
+    }
+
+    pub fn tri_vertices(&self, t: usize) -> [[f64; 3]; 3] {
+        let [a, b, c] = self.tris[t];
+        [
+            self.vertices[a as usize],
+            self.vertices[b as usize],
+            self.vertices[c as usize],
+        ]
+    }
+
+    pub fn bounds(&self) -> Aabb {
+        let mut b = Aabb::EMPTY;
+        for v in &self.vertices {
+            b.grow(v);
+        }
+        b
+    }
+
+    /// Total surface area.
+    pub fn area(&self) -> f64 {
+        (0..self.tris.len())
+            .map(|t| {
+                let [a, b, c] = self.tri_vertices(t);
+                let u = sub(&b, &a);
+                let v = sub(&c, &a);
+                0.5 * norm(&cross(&u, &v))
+            })
+            .sum()
+    }
+
+    /// Signed volume via the divergence theorem (positive for outward
+    /// orientation).
+    pub fn signed_volume(&self) -> f64 {
+        (0..self.tris.len())
+            .map(|t| {
+                let [a, b, c] = self.tri_vertices(t);
+                dot(&a, &cross(&b, &c)) / 6.0
+            })
+            .sum()
+    }
+
+    /// Watertightness: every undirected edge is used by exactly two
+    /// triangles, with opposite directions (2-manifold, consistently
+    /// oriented).
+    pub fn is_watertight(&self) -> bool {
+        use std::collections::HashMap;
+        let mut dir_edges: HashMap<(u32, u32), i32> = HashMap::new();
+        for t in &self.tris {
+            for e in 0..3 {
+                let a = t[e];
+                let b = t[(e + 1) % 3];
+                if a == b {
+                    return false;
+                }
+                *dir_edges.entry((a.min(b), a.max(b))).or_insert(0) +=
+                    if a < b { 1 } else { -1 };
+            }
+        }
+        // Each undirected edge must be traversed once in each direction, and
+        // exactly twice total. Count totals separately.
+        let mut counts: HashMap<(u32, u32), u32> = HashMap::new();
+        for t in &self.tris {
+            for e in 0..3 {
+                let a = t[e];
+                let b = t[(e + 1) % 3];
+                *counts.entry((a.min(b), a.max(b))).or_insert(0) += 1;
+            }
+        }
+        counts.values().all(|&c| c == 2) && dir_edges.values().all(|&s| s == 0)
+    }
+}
+
+#[inline]
+fn sub(a: &[f64; 3], b: &[f64; 3]) -> [f64; 3] {
+    [a[0] - b[0], a[1] - b[1], a[2] - b[2]]
+}
+#[inline]
+fn cross(a: &[f64; 3], b: &[f64; 3]) -> [f64; 3] {
+    [
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ]
+}
+#[inline]
+fn dot(a: &[f64; 3], b: &[f64; 3]) -> f64 {
+    a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+}
+#[inline]
+fn norm(a: &[f64; 3]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Closest point on triangle `(a,b,c)` to `p` (Ericson, *Real-Time Collision
+/// Detection*, §5.1.5).
+pub fn closest_point_on_triangle(p: &[f64; 3], a: &[f64; 3], b: &[f64; 3], c: &[f64; 3]) -> [f64; 3] {
+    let ab = sub(b, a);
+    let ac = sub(c, a);
+    let ap = sub(p, a);
+    let d1 = dot(&ab, &ap);
+    let d2 = dot(&ac, &ap);
+    if d1 <= 0.0 && d2 <= 0.0 {
+        return *a;
+    }
+    let bp = sub(p, b);
+    let d3 = dot(&ab, &bp);
+    let d4 = dot(&ac, &bp);
+    if d3 >= 0.0 && d4 <= d3 {
+        return *b;
+    }
+    let vc = d1 * d4 - d3 * d2;
+    if vc <= 0.0 && d1 >= 0.0 && d3 <= 0.0 {
+        let v = d1 / (d1 - d3);
+        return [a[0] + v * ab[0], a[1] + v * ab[1], a[2] + v * ab[2]];
+    }
+    let cp = sub(p, c);
+    let d5 = dot(&ab, &cp);
+    let d6 = dot(&ac, &cp);
+    if d6 >= 0.0 && d5 <= d6 {
+        return *c;
+    }
+    let vb = d5 * d2 - d1 * d6;
+    if vb <= 0.0 && d2 >= 0.0 && d6 <= 0.0 {
+        let w = d2 / (d2 - d6);
+        return [a[0] + w * ac[0], a[1] + w * ac[1], a[2] + w * ac[2]];
+    }
+    let va = d3 * d6 - d5 * d4;
+    if va <= 0.0 && (d4 - d3) >= 0.0 && (d5 - d6) >= 0.0 {
+        let w = (d4 - d3) / ((d4 - d3) + (d5 - d6));
+        return [
+            b[0] + w * (c[0] - b[0]),
+            b[1] + w * (c[1] - b[1]),
+            b[2] + w * (c[2] - b[2]),
+        ];
+    }
+    let denom = 1.0 / (va + vb + vc);
+    let v = vb * denom;
+    let w = vc * denom;
+    [
+        a[0] + ab[0] * v + ac[0] * w,
+        a[1] + ab[1] * v + ac[1] * w,
+        a[2] + ab[2] * v + ac[2] * w,
+    ]
+}
+
+/// Möller–Trumbore ray/triangle intersection; returns `t` if the ray
+/// `o + t·dir` (t > eps) hits the triangle's interior.
+pub fn ray_triangle(
+    o: &[f64; 3],
+    dir: &[f64; 3],
+    a: &[f64; 3],
+    b: &[f64; 3],
+    c: &[f64; 3],
+) -> Option<f64> {
+    let e1 = sub(b, a);
+    let e2 = sub(c, a);
+    let pvec = cross(dir, &e2);
+    let det = dot(&e1, &pvec);
+    if det.abs() < 1e-14 {
+        return None;
+    }
+    let inv_det = 1.0 / det;
+    let tvec = sub(o, a);
+    let u = dot(&tvec, &pvec) * inv_det;
+    if !(0.0..=1.0).contains(&u) {
+        return None;
+    }
+    let qvec = cross(&tvec, &e1);
+    let v = dot(dir, &qvec) * inv_det;
+    if v < 0.0 || u + v > 1.0 {
+        return None;
+    }
+    let t = dot(&e2, &qvec) * inv_det;
+    if t > 1e-12 {
+        Some(t)
+    } else {
+        None
+    }
+}
+
+/// A watertight triangle mesh as an implicit solid: In/Out by ray-parity
+/// voting, unsigned distance by BVH closest-triangle, sign by containment.
+///
+/// This is the "ray-tracing based In/Out test" the classroom pipeline uses
+/// (§5), and the signed-distance oracle of Fig. 5 / Appendix B.1.
+pub struct TriMeshSolid {
+    pub mesh: TriMesh,
+    bvh: Bvh,
+}
+
+impl TriMeshSolid {
+    pub fn new(mesh: TriMesh) -> Self {
+        let boxes: Vec<Aabb> = (0..mesh.tris.len())
+            .map(|t| {
+                let vs = mesh.tri_vertices(t);
+                let mut b = Aabb::EMPTY;
+                for v in &vs {
+                    b.grow(v);
+                }
+                b
+            })
+            .collect();
+        let bvh = Bvh::build(&boxes);
+        Self { mesh, bvh }
+    }
+
+    /// Counts crossings of a ray from `p` in direction `dir`.
+    fn ray_parity(&self, p: &[f64; 3], dir: &[f64; 3]) -> usize {
+        let mut hits = 0usize;
+        self.bvh.ray_candidates(p, dir, |t| {
+            let [a, b, c] = self.mesh.tri_vertices(t as usize);
+            if ray_triangle(p, dir, &a, &b, &c).is_some() {
+                hits += 1;
+            }
+        });
+        hits
+    }
+
+    /// Unsigned distance and closest surface point.
+    pub fn closest_surface_point(&self, p: &[f64; 3]) -> ([f64; 3], f64) {
+        let (t, d2) = self.bvh.closest(p, |t| {
+            let [a, b, c] = self.mesh.tri_vertices(t as usize);
+            let q = closest_point_on_triangle(p, &a, &b, &c);
+            (0..3).map(|k| (q[k] - p[k]) * (q[k] - p[k])).sum::<f64>()
+        });
+        let [a, b, c] = self.mesh.tri_vertices(t as usize);
+        let q = closest_point_on_triangle(p, &a, &b, &c);
+        (q, d2.sqrt())
+    }
+}
+
+impl Solid<3> for TriMeshSolid {
+    fn contains(&self, p: &[f64; 3]) -> bool {
+        // Majority vote over three skew rays — robust against edge grazing.
+        let dirs = [
+            [0.577_215_664, 0.301_029_995, 0.757_872_156],
+            [-0.693_147_180, 0.482_426_149, 0.535_533_905],
+            [0.141_421_356, -0.866_025_403, 0.479_425_538],
+        ];
+        let mut inside_votes = 0;
+        for d in &dirs {
+            if self.ray_parity(p, d) % 2 == 1 {
+                inside_votes += 1;
+            }
+        }
+        inside_votes >= 2
+    }
+
+    fn classify_region(&self, min: &[f64; 3], side: f64) -> RegionLabel {
+        // Lipschitz-1 argument on the unsigned distance field: if the region
+        // center is farther from the surface than the half-diagonal, the
+        // whole closed cube is on one side.
+        let c = [
+            min[0] + 0.5 * side,
+            min[1] + 0.5 * side,
+            min[2] + 0.5 * side,
+        ];
+        let rho = 0.5 * side * 3.0f64.sqrt();
+        let (_, d) = self.closest_surface_point(&c);
+        if d <= rho {
+            return RegionLabel::RetainBoundary;
+        }
+        if self.contains(&c) {
+            RegionLabel::Carved
+        } else {
+            RegionLabel::RetainInternal
+        }
+    }
+
+    fn signed_distance(&self, p: &[f64; 3]) -> f64 {
+        let (_, d) = self.closest_surface_point(p);
+        if self.contains(p) {
+            d // positive inside (paper's convention)
+        } else {
+            -d
+        }
+    }
+
+    fn closest_boundary_point(&self, p: &[f64; 3]) -> [f64; 3] {
+        self.closest_surface_point(p).0
+    }
+}
+
+/// A unit-ish cube test mesh `[lo, hi]^3` (12 triangles, outward normals).
+pub fn cube_mesh(lo: f64, hi: f64) -> TriMesh {
+    let v = |x: u32| -> [f64; 3] {
+        [
+            if x & 1 == 1 { hi } else { lo },
+            if x & 2 == 2 { hi } else { lo },
+            if x & 4 == 4 { hi } else { lo },
+        ]
+    };
+    let vertices: Vec<[f64; 3]> = (0..8).map(v).collect();
+    // Each face as two CCW triangles viewed from outside.
+    let tris: Vec<[u32; 3]> = vec![
+        // -z (normal (0,0,-1)): viewed from below, order 0,2,3,1
+        [0, 2, 3],
+        [0, 3, 1],
+        // +z
+        [4, 5, 7],
+        [4, 7, 6],
+        // -y
+        [0, 1, 5],
+        [0, 5, 4],
+        // +y
+        [2, 6, 7],
+        [2, 7, 3],
+        // -x
+        [0, 4, 6],
+        [0, 6, 2],
+        // +x
+        [1, 3, 7],
+        [1, 7, 5],
+    ];
+    TriMesh::new(vertices, tris)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_mesh_is_watertight_and_oriented() {
+        let m = cube_mesh(0.0, 1.0);
+        assert!(m.is_watertight());
+        assert!((m.signed_volume() - 1.0).abs() < 1e-12, "v={}", m.signed_volume());
+        assert!((m.area() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closest_point_on_triangle_regions() {
+        let a = [0.0, 0.0, 0.0];
+        let b = [1.0, 0.0, 0.0];
+        let c = [0.0, 1.0, 0.0];
+        // Interior projection.
+        let q = closest_point_on_triangle(&[0.25, 0.25, 1.0], &a, &b, &c);
+        assert!((q[0] - 0.25).abs() < 1e-14 && (q[1] - 0.25).abs() < 1e-14 && q[2].abs() < 1e-14);
+        // Vertex region.
+        let q = closest_point_on_triangle(&[-1.0, -1.0, 0.0], &a, &b, &c);
+        assert_eq!(q, a);
+        // Edge region.
+        let q = closest_point_on_triangle(&[0.5, -1.0, 0.0], &a, &b, &c);
+        assert!((q[0] - 0.5).abs() < 1e-14 && q[1].abs() < 1e-14);
+        // Hypotenuse edge region.
+        let q = closest_point_on_triangle(&[1.0, 1.0, 0.0], &a, &b, &c);
+        assert!((q[0] - 0.5).abs() < 1e-14 && (q[1] - 0.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn ray_triangle_hit_and_miss() {
+        let a = [0.0, 0.0, 1.0];
+        let b = [1.0, 0.0, 1.0];
+        let c = [0.0, 1.0, 1.0];
+        let t = ray_triangle(&[0.2, 0.2, 0.0], &[0.0, 0.0, 1.0], &a, &b, &c);
+        assert!((t.unwrap() - 1.0).abs() < 1e-14);
+        assert!(ray_triangle(&[0.9, 0.9, 0.0], &[0.0, 0.0, 1.0], &a, &b, &c).is_none());
+        // Behind the origin.
+        assert!(ray_triangle(&[0.2, 0.2, 2.0], &[0.0, 0.0, 1.0], &a, &b, &c).is_none());
+    }
+
+    #[test]
+    fn cube_solid_in_out_and_sdf() {
+        let solid = TriMeshSolid::new(cube_mesh(0.25, 0.75));
+        assert!(solid.contains(&[0.5, 0.5, 0.5]));
+        assert!(!solid.contains(&[0.9, 0.5, 0.5]));
+        assert!(!solid.contains(&[0.1, 0.1, 0.1]));
+        // Signed distance: positive inside, matches box distance.
+        assert!((solid.signed_distance(&[0.5, 0.5, 0.5]) - 0.25).abs() < 1e-12);
+        assert!((solid.signed_distance(&[1.0, 0.5, 0.5]) + 0.25).abs() < 1e-12);
+        let (q, d) = solid.closest_surface_point(&[0.5, 0.5, 0.9]);
+        assert!((d - 0.15).abs() < 1e-12);
+        assert!((q[2] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cube_solid_classify_region() {
+        let solid = TriMeshSolid::new(cube_mesh(0.25, 0.75));
+        assert_eq!(solid.classify_region(&[0.45, 0.45, 0.45], 0.05), RegionLabel::Carved);
+        assert_eq!(solid.classify_region(&[0.0, 0.0, 0.0], 0.05), RegionLabel::RetainInternal);
+        assert_eq!(
+            solid.classify_region(&[0.2, 0.45, 0.45], 0.1),
+            RegionLabel::RetainBoundary
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Structured experiment records (JSON via serde): every `repro_*` binary
+//! can persist a machine-readable record next to its CSV, so runs are
+//! diffable across machines and commits.
+
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// One reproduction run of a paper table/figure.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct ExperimentRecord {
+    /// Paper artifact id, e.g. "fig6", "table1".
+    pub id: String,
+    /// Human description of the workload.
+    pub description: String,
+    /// Free-form parameters (mesh levels, orders, rank counts...).
+    pub params: Vec<(String, String)>,
+    /// Data series: name → (x, y) pairs.
+    pub series: Vec<Series>,
+    /// Shape criteria checked by the harness, with outcomes.
+    pub checks: Vec<ShapeCheck>,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct Series {
+    pub name: String,
+    pub points: Vec<(f64, f64)>,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct ShapeCheck {
+    /// E.g. "SBM L2 rate in [1.6, 2.4]".
+    pub criterion: String,
+    pub passed: bool,
+    pub measured: f64,
+}
+
+impl ExperimentRecord {
+    pub fn new(id: &str, description: &str) -> Self {
+        Self {
+            id: id.to_string(),
+            description: description.to_string(),
+            params: Vec::new(),
+            series: Vec::new(),
+            checks: Vec::new(),
+        }
+    }
+
+    pub fn param(&mut self, key: &str, value: impl ToString) -> &mut Self {
+        self.params.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    pub fn series(&mut self, name: &str, points: Vec<(f64, f64)>) -> &mut Self {
+        self.series.push(Series {
+            name: name.to_string(),
+            points,
+        });
+        self
+    }
+
+    /// Records a shape check: `lo <= measured <= hi`.
+    pub fn check_range(&mut self, criterion: &str, measured: f64, lo: f64, hi: f64) -> bool {
+        let passed = measured >= lo && measured <= hi;
+        self.checks.push(ShapeCheck {
+            criterion: format!("{criterion} in [{lo}, {hi}]"),
+            passed,
+            measured,
+        });
+        passed
+    }
+
+    /// All shape checks passed?
+    pub fn all_passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// Writes the record as pretty JSON.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        f.write_all(json.as_bytes())?;
+        f.flush()
+    }
+
+    /// Loads a record back.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let s = std::fs::read_to_string(path)?;
+        serde_json::from_str(&s)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrip() {
+        let mut rec = ExperimentRecord::new("fig6", "disk convergence");
+        rec.param("order", 1)
+            .param("levels", "4..7")
+            .series("naive_l2", vec![(4.0, 3.99e-3), (5.0, 2.42e-3)]);
+        assert!(rec.check_range("naive rate", 0.84, 0.5, 1.5));
+        assert!(!rec.check_range("sbm rate (broken on purpose)", 0.5, 1.6, 2.4));
+        assert!(!rec.all_passed());
+        let dir = std::env::temp_dir().join("carve_results_test");
+        let p = dir.join("fig6.json");
+        rec.save(&p).unwrap();
+        let back = ExperimentRecord::load(&p).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn check_range_boundaries_inclusive() {
+        let mut rec = ExperimentRecord::new("x", "y");
+        assert!(rec.check_range("lo edge", 1.0, 1.0, 2.0));
+        assert!(rec.check_range("hi edge", 2.0, 1.0, 2.0));
+        assert!(rec.all_passed());
+    }
+}

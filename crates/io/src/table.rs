@@ -1,0 +1,150 @@
+//! Fixed-width console tables and CSV output for the reproduction
+//! harnesses.
+
+use std::io::Write;
+use std::path::Path;
+
+/// A simple column-aligned table builder.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("== {} ==\n", self.title));
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..ncol {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>width$}", cells[i], width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncol - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Writes the table as CSV.
+    pub fn to_csv(&self, path: &Path) -> std::io::Result<()> {
+        write_csv(path, &self.headers, &self.rows)
+    }
+}
+
+/// Writes rows as CSV (simple quoting: fields containing commas are
+/// quoted).
+pub fn write_csv(path: &Path, headers: &[String], rows: &[Vec<String>]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let esc = |s: &str| {
+        if s.contains(',') || s.contains('"') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    writeln!(
+        f,
+        "{}",
+        headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+    )?;
+    for r in rows {
+        writeln!(f, "{}", r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","))?;
+    }
+    f.flush()
+}
+
+/// Formats a float compactly for tables.
+pub fn fmt_g(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 0.01 && x.abs() < 100000.0 {
+        format!("{x:.3}")
+    } else {
+        format!("{x:.3e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["a", "long_header", "c"]);
+        t.row(&["1".into(), "2".into(), "3.5".into()]);
+        t.row(&["100".into(), "x".into(), "y".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // All data lines have the same length.
+        assert_eq!(lines[1].len(), lines[3].len());
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn csv_roundtrip_quoting() {
+        let dir = std::env::temp_dir().join("carve_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.csv");
+        write_csv(
+            &p,
+            &["x".into(), "y,z".into()],
+            &[vec!["a\"b".into(), "2".into()]],
+        )
+        .unwrap();
+        let s = std::fs::read_to_string(&p).unwrap();
+        assert!(s.contains("\"y,z\""));
+        assert!(s.contains("\"a\"\"b\""));
+    }
+
+    #[test]
+    fn fmt_g_ranges() {
+        assert_eq!(fmt_g(0.0), "0");
+        assert_eq!(fmt_g(1.5), "1.500");
+        assert!(fmt_g(1e-7).contains('e'));
+    }
+}

@@ -1,0 +1,88 @@
+//! Legacy-ASCII VTK unstructured-grid output (hexahedra in 3D, quads in
+//! 2D), enough to visualize carved meshes and solution fields (the Fig.
+//! 14/16 style pictures) in ParaView.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Writes an unstructured grid.
+///
+/// * `points` — 3D coordinates (pad 2D with z = 0).
+/// * `cells` — connectivity per cell; length 8 → `VTK_HEXAHEDRON` (VTK
+///   vertex order), length 4 → `VTK_QUAD`.
+/// * `point_data` — named scalar fields over points.
+pub fn write_vtk_mesh(
+    path: &Path,
+    points: &[[f64; 3]],
+    cells: &[Vec<u32>],
+    point_data: &[(&str, &[f64])],
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "# vtk DataFile Version 3.0")?;
+    writeln!(f, "carve mesh")?;
+    writeln!(f, "ASCII")?;
+    writeln!(f, "DATASET UNSTRUCTURED_GRID")?;
+    writeln!(f, "POINTS {} double", points.len())?;
+    for p in points {
+        writeln!(f, "{} {} {}", p[0], p[1], p[2])?;
+    }
+    let total: usize = cells.iter().map(|c| c.len() + 1).sum();
+    writeln!(f, "CELLS {} {}", cells.len(), total)?;
+    for c in cells {
+        write!(f, "{}", c.len())?;
+        for v in c {
+            write!(f, " {v}")?;
+        }
+        writeln!(f)?;
+    }
+    writeln!(f, "CELL_TYPES {}", cells.len())?;
+    for c in cells {
+        let t = match c.len() {
+            8 => 12, // VTK_HEXAHEDRON
+            4 => 9,  // VTK_QUAD
+            _ => panic!("unsupported cell size {}", c.len()),
+        };
+        writeln!(f, "{t}")?;
+    }
+    if !point_data.is_empty() {
+        writeln!(f, "POINT_DATA {}", points.len())?;
+        for (name, data) in point_data {
+            assert_eq!(data.len(), points.len(), "field {name} length mismatch");
+            writeln!(f, "SCALARS {name} double 1")?;
+            writeln!(f, "LOOKUP_TABLE default")?;
+            for v in *data {
+                writeln!(f, "{v}")?;
+            }
+        }
+    }
+    f.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_valid_quad_file() {
+        let dir = std::env::temp_dir().join("carve_vtk_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("quad.vtk");
+        let pts = vec![
+            [0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0],
+            [1.0, 1.0, 0.0],
+            [0.0, 1.0, 0.0],
+        ];
+        let cells = vec![vec![0u32, 1, 2, 3]];
+        let field = vec![0.0, 1.0, 2.0, 3.0];
+        write_vtk_mesh(&p, &pts, &cells, &[("u", &field)]).unwrap();
+        let s = std::fs::read_to_string(&p).unwrap();
+        assert!(s.contains("POINTS 4 double"));
+        assert!(s.contains("CELLS 1 5"));
+        assert!(s.contains("CELL_TYPES 1"));
+        assert!(s.contains("SCALARS u double 1"));
+    }
+}

@@ -1,0 +1,262 @@
+//! Dense matrices with partial-pivot LU factorization.
+
+/// A dense row-major matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseMatrix {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows[0].len();
+        let mut m = Self::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c);
+            m.data[i * c..(i + 1) * c].copy_from_slice(row);
+        }
+        m
+    }
+
+    /// `y = A x`.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols);
+        assert_eq!(y.len(), self.rows);
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            y[i] = crate::vector::dot(row, x);
+        }
+    }
+
+    /// `y = Aᵀ x`.
+    pub fn matvec_t(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.rows);
+        assert_eq!(y.len(), self.cols);
+        y.fill(0.0);
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for (yj, aij) in y.iter_mut().zip(row) {
+                *yj += aij * x[i];
+            }
+        }
+    }
+
+    /// Max column-absolute-sum norm (‖A‖₁).
+    pub fn norm1(&self) -> f64 {
+        let mut best = 0.0f64;
+        for j in 0..self.cols {
+            let mut s = 0.0;
+            for i in 0..self.rows {
+                s += self[(i, j)].abs();
+            }
+            best = best.max(s);
+        }
+        best
+    }
+
+    /// LU factorization with partial pivoting. Errors on (numerical)
+    /// singularity.
+    pub fn lu(&self) -> Result<LuFactors, &'static str> {
+        assert_eq!(self.rows, self.cols, "LU needs a square matrix");
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut piv: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Pivot search.
+            let mut p = k;
+            let mut best = a[k * n + k].abs();
+            for i in k + 1..n {
+                let v = a[i * n + k].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best < 1e-300 {
+                return Err("singular matrix in LU");
+            }
+            if p != k {
+                for j in 0..n {
+                    a.swap(k * n + j, p * n + j);
+                }
+                piv.swap(k, p);
+            }
+            let pivot = a[k * n + k];
+            for i in k + 1..n {
+                let l = a[i * n + k] / pivot;
+                a[i * n + k] = l;
+                for j in k + 1..n {
+                    a[i * n + j] -= l * a[k * n + j];
+                }
+            }
+        }
+        Ok(LuFactors { n, lu: a, piv })
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// LU factors with the pivot permutation.
+#[derive(Clone, Debug)]
+pub struct LuFactors {
+    n: usize,
+    lu: Vec<f64>,
+    piv: Vec<usize>,
+}
+
+impl LuFactors {
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A x = b` in place.
+    pub fn solve(&self, b: &mut [f64]) {
+        assert_eq!(b.len(), self.n);
+        let n = self.n;
+        // Apply the permutation.
+        let mut x: Vec<f64> = self.piv.iter().map(|&p| b[p]).collect();
+        // Forward substitution (unit lower).
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = s;
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in i + 1..n {
+                s -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = s / self.lu[i * n + i];
+        }
+        b.copy_from_slice(&x);
+    }
+
+    /// Solves `Aᵀ x = b` in place (needed by the 1-norm condition
+    /// estimator).
+    pub fn solve_t(&self, b: &mut [f64]) {
+        assert_eq!(b.len(), self.n);
+        let n = self.n;
+        let mut x = b.to_vec();
+        // Aᵀ = (P⁻¹ L U)ᵀ = Uᵀ Lᵀ P⁻ᵀ; solve Uᵀ y = b, then Lᵀ z = y,
+        // then un-permute.
+        for i in 0..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[j * n + i] * x[j];
+            }
+            x[i] = s / self.lu[i * n + i];
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in i + 1..n {
+                s -= self.lu[j * n + i] * x[j];
+            }
+            x[i] = s;
+        }
+        // b[piv[i]] = x[i]
+        for (i, &p) in self.piv.iter().enumerate() {
+            b[p] = x[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lu_solves_known_system() {
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let lu = a.lu().unwrap();
+        let mut b = vec![5.0, 10.0];
+        lu.solve(&mut b);
+        // x = [1, 3]
+        assert!((b[0] - 1.0).abs() < 1e-14);
+        assert!((b[1] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn lu_random_roundtrip() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        for n in [1usize, 2, 5, 20, 50] {
+            let mut a = DenseMatrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    a[(i, j)] = rng.gen_range(-1.0..1.0);
+                }
+                a[(i, i)] += 4.0; // diagonally dominant: nonsingular
+            }
+            let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 1.5).collect();
+            let mut b = vec![0.0; n];
+            a.matvec(&x_true, &mut b);
+            let lu = a.lu().unwrap();
+            lu.solve(&mut b);
+            for (xi, ti) in b.iter().zip(&x_true) {
+                assert!((xi - ti).abs() < 1e-10);
+            }
+            // Transpose solve.
+            let mut bt = vec![0.0; n];
+            a.matvec_t(&x_true, &mut bt);
+            lu.solve_t(&mut bt);
+            for (xi, ti) in bt.iter().zip(&x_true) {
+                assert!((xi - ti).abs() < 1e-10, "transpose solve n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn lu_detects_singular() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(a.lu().is_err());
+    }
+
+    #[test]
+    fn norm1_is_max_column_sum() {
+        let a = DenseMatrix::from_rows(&[&[1.0, -7.0], &[-2.0, 3.0]]);
+        assert_eq!(a.norm1(), 10.0);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = a.lu().unwrap();
+        let mut b = vec![2.0, 3.0];
+        lu.solve(&mut b);
+        assert_eq!(b, vec![3.0, 2.0]);
+    }
+}

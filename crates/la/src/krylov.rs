@@ -1,0 +1,457 @@
+//! Krylov solvers (CG, BiCGStab) over abstract operators, with Jacobi and
+//! overlapping Additive-Schwarz preconditioners — the `-ksp_type bcgs
+//! -pc_type asm` configuration of the paper's Appendix B.2.
+
+use crate::csr::CsrMatrix;
+use crate::dense::LuFactors;
+use crate::vector::{axpy, dot, norm2};
+
+/// An abstract linear operator `y = A x` — implemented both by assembled
+/// [`CsrMatrix`] and by the matrix-free traversal MATVEC of `carve-core`.
+pub trait LinOp {
+    fn size(&self) -> usize;
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+}
+
+impl<F: Fn(&[f64], &mut [f64])> LinOp for (usize, F) {
+    fn size(&self) -> usize {
+        self.0
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        (self.1)(x, y)
+    }
+}
+
+/// A preconditioner: `z = M⁻¹ r`.
+pub trait Precond {
+    fn apply(&self, r: &[f64], z: &mut [f64]);
+}
+
+/// No preconditioning.
+pub struct IdentityPrecond;
+
+impl Precond for IdentityPrecond {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(r);
+    }
+}
+
+/// Diagonal (Jacobi) preconditioner.
+pub struct JacobiPrecond {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiPrecond {
+    pub fn new(diag: &[f64]) -> Self {
+        Self {
+            inv_diag: diag
+                .iter()
+                .map(|&d| if d.abs() > 1e-300 { 1.0 / d } else { 1.0 })
+                .collect(),
+        }
+    }
+
+    pub fn from_matrix(a: &CsrMatrix) -> Self {
+        Self::new(&a.diagonal())
+    }
+}
+
+impl Precond for JacobiPrecond {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        for ((zi, ri), di) in z.iter_mut().zip(r).zip(&self.inv_diag) {
+            *zi = ri * di;
+        }
+    }
+}
+
+/// Restricted overlapping Additive Schwarz: the index range is split into
+/// blocks with `overlap` shared indices; each block is solved exactly with a
+/// dense LU, and only the *owned* (non-overlap) part of each local solution
+/// is written back (restricted-ASM avoids double counting).
+pub struct AsmPrecond {
+    blocks: Vec<AsmBlock>,
+    n: usize,
+}
+
+struct AsmBlock {
+    idx: Vec<usize>,
+    own_start: usize,
+    own_end: usize,
+    lu: LuFactors,
+}
+
+impl AsmPrecond {
+    /// Builds from an assembled matrix, with `nblocks` contiguous index
+    /// blocks and the given overlap width.
+    pub fn new(a: &CsrMatrix, nblocks: usize, overlap: usize) -> Self {
+        let n = a.n;
+        let nblocks = nblocks.clamp(1, n.max(1));
+        let mut blocks = Vec::with_capacity(nblocks);
+        for b in 0..nblocks {
+            let own_lo = b * n / nblocks;
+            let own_hi = (b + 1) * n / nblocks;
+            if own_lo >= own_hi {
+                continue;
+            }
+            let lo = own_lo.saturating_sub(overlap);
+            let hi = (own_hi + overlap).min(n);
+            let idx: Vec<usize> = (lo..hi).collect();
+            let dense = a.dense_block(&idx);
+            let lu = dense
+                .lu()
+                .unwrap_or_else(|_| regularized_lu(&dense));
+            blocks.push(AsmBlock {
+                own_start: own_lo - lo,
+                own_end: own_hi - lo,
+                idx,
+                lu,
+            });
+        }
+        Self { blocks, n }
+    }
+}
+
+fn regularized_lu(a: &crate::dense::DenseMatrix) -> LuFactors {
+    // Fall back to A + eps I if a block is singular (can happen with
+    // constrained rows); preconditioners only need to be invertible.
+    let mut m = a.clone();
+    let scale = a.norm1().max(1.0);
+    for i in 0..m.rows {
+        m[(i, i)] += 1e-10 * scale;
+    }
+    m.lu().expect("regularized block is nonsingular")
+}
+
+impl Precond for AsmPrecond {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        assert_eq!(r.len(), self.n);
+        z.fill(0.0);
+        let mut local = Vec::new();
+        for blk in &self.blocks {
+            local.clear();
+            local.extend(blk.idx.iter().map(|&g| r[g]));
+            blk.lu.solve(&mut local);
+            for li in blk.own_start..blk.own_end {
+                z[blk.idx[li]] = local[li];
+            }
+        }
+    }
+}
+
+/// Iteration report for the Krylov solvers.
+#[derive(Clone, Copy, Debug)]
+pub struct KrylovResult {
+    pub converged: bool,
+    pub iterations: usize,
+    /// Final absolute residual 2-norm.
+    pub residual: f64,
+}
+
+/// Preconditioned conjugate gradients for SPD operators. Stops when
+/// `‖r‖ <= rtol * ‖b‖ + atol`.
+pub fn cg<A: LinOp, M: Precond>(
+    a: &A,
+    b: &[f64],
+    x: &mut [f64],
+    m: &M,
+    rtol: f64,
+    atol: f64,
+    max_iter: usize,
+) -> KrylovResult {
+    let n = a.size();
+    assert_eq!(b.len(), n);
+    assert_eq!(x.len(), n);
+    let mut r = vec![0.0; n];
+    a.apply(x, &mut r);
+    for (ri, bi) in r.iter_mut().zip(b) {
+        *ri = bi - *ri;
+    }
+    let bnorm = norm2(b).max(1e-300);
+    let tol = rtol * bnorm + atol;
+    let mut z = vec![0.0; n];
+    m.apply(&r, &mut z);
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut ap = vec![0.0; n];
+    for it in 0..max_iter {
+        let rn = norm2(&r);
+        if rn <= tol {
+            return KrylovResult {
+                converged: true,
+                iterations: it,
+                residual: rn,
+            };
+        }
+        a.apply(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap.abs() < 1e-300 {
+            return KrylovResult {
+                converged: false,
+                iterations: it,
+                residual: rn,
+            };
+        }
+        let alpha = rz / pap;
+        axpy(alpha, &p, x);
+        axpy(-alpha, &ap, &mut r);
+        m.apply(&r, &mut z);
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for (pi, zi) in p.iter_mut().zip(&z) {
+            *pi = zi + beta * *pi;
+        }
+    }
+    KrylovResult {
+        converged: norm2(&r) <= tol,
+        iterations: max_iter,
+        residual: norm2(&r),
+    }
+}
+
+/// Preconditioned BiCGStab for general (nonsymmetric) operators — the
+/// paper's `-ksp_type bcgs`.
+pub fn bicgstab<A: LinOp, M: Precond>(
+    a: &A,
+    b: &[f64],
+    x: &mut [f64],
+    m: &M,
+    rtol: f64,
+    atol: f64,
+    max_iter: usize,
+) -> KrylovResult {
+    let n = a.size();
+    let mut r = vec![0.0; n];
+    a.apply(x, &mut r);
+    for (ri, bi) in r.iter_mut().zip(b) {
+        *ri = bi - *ri;
+    }
+    let bnorm = norm2(b).max(1e-300);
+    let tol = rtol * bnorm + atol;
+    let r0 = r.clone();
+    let mut rho = 1.0;
+    let mut alpha = 1.0;
+    let mut omega = 1.0;
+    let mut v = vec![0.0; n];
+    let mut p = vec![0.0; n];
+    let mut phat = vec![0.0; n];
+    let mut shat = vec![0.0; n];
+    let mut t = vec![0.0; n];
+    for it in 0..max_iter {
+        let rn = norm2(&r);
+        if rn <= tol {
+            return KrylovResult {
+                converged: true,
+                iterations: it,
+                residual: rn,
+            };
+        }
+        let rho_new = dot(&r0, &r);
+        if rho_new.abs() < 1e-300 {
+            return KrylovResult {
+                converged: false,
+                iterations: it,
+                residual: rn,
+            };
+        }
+        if it == 0 {
+            p.copy_from_slice(&r);
+        } else {
+            let beta = (rho_new / rho) * (alpha / omega);
+            for k in 0..n {
+                p[k] = r[k] + beta * (p[k] - omega * v[k]);
+            }
+        }
+        rho = rho_new;
+        m.apply(&p, &mut phat);
+        a.apply(&phat, &mut v);
+        let r0v = dot(&r0, &v);
+        if r0v.abs() < 1e-300 {
+            return KrylovResult {
+                converged: false,
+                iterations: it,
+                residual: rn,
+            };
+        }
+        alpha = rho / r0v;
+        // s = r - alpha v  (reuse r)
+        axpy(-alpha, &v, &mut r);
+        if norm2(&r) <= tol {
+            axpy(alpha, &phat, x);
+            return KrylovResult {
+                converged: true,
+                iterations: it + 1,
+                residual: norm2(&r),
+            };
+        }
+        m.apply(&r, &mut shat);
+        a.apply(&shat, &mut t);
+        let tt = dot(&t, &t);
+        if tt.abs() < 1e-300 {
+            return KrylovResult {
+                converged: false,
+                iterations: it,
+                residual: norm2(&r),
+            };
+        }
+        omega = dot(&t, &r) / tt;
+        axpy(alpha, &phat, x);
+        axpy(omega, &shat, x);
+        axpy(-omega, &t, &mut r);
+        if omega.abs() < 1e-300 {
+            return KrylovResult {
+                converged: false,
+                iterations: it + 1,
+                residual: norm2(&r),
+            };
+        }
+    }
+    KrylovResult {
+        converged: norm2(&r) <= tol,
+        iterations: max_iter,
+        residual: norm2(&r),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CooBuilder;
+
+    /// 1D Laplacian (tridiagonal SPD).
+    fn laplace_1d(n: usize) -> CsrMatrix {
+        let mut b = CooBuilder::new(n);
+        for i in 0..n {
+            b.add(i, i, 2.0);
+            if i > 0 {
+                b.add(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                b.add(i, i + 1, -1.0);
+            }
+        }
+        b.build()
+    }
+
+    /// Nonsymmetric advection-diffusion-like matrix.
+    fn advdiff_1d(n: usize) -> CsrMatrix {
+        let mut b = CooBuilder::new(n);
+        for i in 0..n {
+            b.add(i, i, 3.0);
+            if i > 0 {
+                b.add(i, i - 1, -2.0);
+            }
+            if i + 1 < n {
+                b.add(i, i + 1, -0.5);
+            }
+        }
+        b.build()
+    }
+
+    fn check_solution(a: &CsrMatrix, x: &[f64], b: &[f64], tol: f64) {
+        let mut r = vec![0.0; a.n];
+        a.matvec(x, &mut r);
+        for (ri, bi) in r.iter_mut().zip(b) {
+            *ri -= bi;
+        }
+        assert!(norm2(&r) < tol, "residual {}", norm2(&r));
+    }
+
+    #[test]
+    fn cg_solves_laplace() {
+        let a = laplace_1d(100);
+        let b: Vec<f64> = (0..100).map(|i| ((i as f64) * 0.1).sin()).collect();
+        let mut x = vec![0.0; 100];
+        let res = cg(&a, &b, &mut x, &IdentityPrecond, 1e-10, 0.0, 1000);
+        assert!(res.converged, "{res:?}");
+        check_solution(&a, &x, &b, 1e-7);
+    }
+
+    #[test]
+    fn jacobi_precond_reduces_iterations_on_scaled_system() {
+        // Badly diagonally scaled SPD system.
+        let n = 80;
+        let mut bld = CooBuilder::new(n);
+        for i in 0..n {
+            let s = 10.0f64.powi((i % 5) as i32);
+            bld.add(i, i, 2.0 * s);
+            if i > 0 {
+                bld.add(i, i - 1, -0.5);
+            }
+            if i + 1 < n {
+                bld.add(i, i + 1, -0.5);
+            }
+        }
+        let a = bld.build();
+        let b = vec![1.0; n];
+        let mut x1 = vec![0.0; n];
+        let r1 = cg(&a, &b, &mut x1, &IdentityPrecond, 1e-10, 0.0, 10_000);
+        let mut x2 = vec![0.0; n];
+        let jac = JacobiPrecond::from_matrix(&a);
+        let r2 = cg(&a, &b, &mut x2, &jac, 1e-10, 0.0, 10_000);
+        assert!(r2.converged);
+        assert!(
+            r2.iterations < r1.iterations,
+            "jacobi {} vs none {}",
+            r2.iterations,
+            r1.iterations
+        );
+        check_solution(&a, &x2, &b, 1e-6);
+    }
+
+    #[test]
+    fn bicgstab_solves_nonsymmetric() {
+        let a = advdiff_1d(120);
+        let b: Vec<f64> = (0..120).map(|i| 1.0 + (i % 7) as f64).collect();
+        let mut x = vec![0.0; 120];
+        let res = bicgstab(&a, &b, &mut x, &IdentityPrecond, 1e-10, 0.0, 2000);
+        assert!(res.converged, "{res:?}");
+        check_solution(&a, &x, &b, 1e-6);
+    }
+
+    #[test]
+    fn asm_precond_accelerates_bicgstab() {
+        let a = laplace_1d(200);
+        let b = vec![1.0; 200];
+        let mut x_plain = vec![0.0; 200];
+        let r_plain = bicgstab(&a, &b, &mut x_plain, &IdentityPrecond, 1e-10, 0.0, 5000);
+        let asm = AsmPrecond::new(&a, 8, 4);
+        let mut x_asm = vec![0.0; 200];
+        let r_asm = bicgstab(&a, &b, &mut x_asm, &asm, 1e-10, 0.0, 5000);
+        assert!(r_asm.converged);
+        assert!(
+            r_asm.iterations < r_plain.iterations,
+            "asm {} vs plain {}",
+            r_asm.iterations,
+            r_plain.iterations
+        );
+        check_solution(&a, &x_asm, &b, 1e-6);
+    }
+
+    #[test]
+    fn asm_single_block_is_direct_solve() {
+        let a = laplace_1d(30);
+        let asm = AsmPrecond::new(&a, 1, 0);
+        let b = vec![1.0; 30];
+        let mut z = vec![0.0; 30];
+        asm.apply(&b, &mut z);
+        check_solution(&a, &z, &b, 1e-9);
+    }
+
+    #[test]
+    fn matrix_free_closure_operator() {
+        // LinOp via (n, closure): y = 2x.
+        let op = (4usize, |x: &[f64], y: &mut [f64]| {
+            for (yi, xi) in y.iter_mut().zip(x) {
+                *yi = 2.0 * xi;
+            }
+        });
+        let b = vec![2.0, 4.0, 6.0, 8.0];
+        let mut x = vec![0.0; 4];
+        let res = cg(&op, &b, &mut x, &IdentityPrecond, 1e-12, 0.0, 10);
+        assert!(res.converged);
+        for (xi, want) in x.iter().zip([1.0, 2.0, 3.0, 4.0]) {
+            assert!((xi - want).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Newton's method with backtracking line search — the PETSc `NEWTONLS`
+//! class the paper uses for the nonlinear Navier–Stokes solves.
+
+use crate::csr::CsrMatrix;
+use crate::krylov::{bicgstab, AsmPrecond, Precond};
+use crate::vector::norm2;
+
+/// Options controlling the nonlinear solve (defaults mirror the paper's
+/// tolerances: rtol = atol = 1e-6).
+#[derive(Clone, Copy, Debug)]
+pub struct NewtonOptions {
+    pub rtol: f64,
+    pub atol: f64,
+    pub max_iter: usize,
+    /// Linear (inner) solve relative tolerance.
+    pub lin_rtol: f64,
+    pub lin_max_iter: usize,
+    /// Number of ASM blocks for the inner preconditioner.
+    pub asm_blocks: usize,
+    pub asm_overlap: usize,
+    /// Max halvings in the backtracking line search.
+    pub max_backtracks: usize,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        Self {
+            rtol: 1e-6,
+            atol: 1e-6,
+            max_iter: 25,
+            lin_rtol: 1e-6,
+            lin_max_iter: 2000,
+            asm_blocks: 8,
+            asm_overlap: 2,
+            max_backtracks: 8,
+        }
+    }
+}
+
+/// Outcome of a Newton solve.
+#[derive(Clone, Copy, Debug)]
+pub struct NewtonResult {
+    pub converged: bool,
+    pub iterations: usize,
+    pub residual: f64,
+    /// Total inner Krylov iterations.
+    pub linear_iterations: usize,
+}
+
+/// Solves `F(x) = 0` by Newton–Krylov with backtracking line search.
+///
+/// * `residual(x, out)` evaluates `F(x)`.
+/// * `jacobian(x)` assembles the Jacobian at `x`.
+pub fn newton<FR, FJ>(
+    x: &mut [f64],
+    mut residual: FR,
+    mut jacobian: FJ,
+    opts: &NewtonOptions,
+) -> NewtonResult
+where
+    FR: FnMut(&[f64], &mut [f64]),
+    FJ: FnMut(&[f64]) -> CsrMatrix,
+{
+    let n = x.len();
+    let mut f = vec![0.0; n];
+    residual(x, &mut f);
+    let f0 = norm2(&f);
+    let tol = opts.rtol * f0 + opts.atol;
+    let mut fnorm = f0;
+    let mut lin_total = 0usize;
+    for it in 0..opts.max_iter {
+        if fnorm <= tol {
+            return NewtonResult {
+                converged: true,
+                iterations: it,
+                residual: fnorm,
+                linear_iterations: lin_total,
+            };
+        }
+        let jac = jacobian(x);
+        // Solve J dx = -F.
+        let rhs: Vec<f64> = f.iter().map(|v| -v).collect();
+        let mut dx = vec![0.0; n];
+        let pre = AsmPrecond::new(&jac, opts.asm_blocks, opts.asm_overlap);
+        let lin = bicgstab(
+            &jac,
+            &rhs,
+            &mut dx,
+            &pre,
+            opts.lin_rtol,
+            0.0,
+            opts.lin_max_iter,
+        );
+        lin_total += lin.iterations;
+        if !lin.converged && lin.residual > 0.1 * norm2(&rhs) {
+            // Linear solve failed badly; try Jacobi as a fallback.
+            dx.fill(0.0);
+            let jac_pre = crate::krylov::JacobiPrecond::from_matrix(&jac);
+            let lin2 = bicgstab(
+                &jac,
+                &rhs,
+                &mut dx,
+                &jac_pre,
+                opts.lin_rtol,
+                0.0,
+                opts.lin_max_iter,
+            );
+            lin_total += lin2.iterations;
+        }
+        // Backtracking line search on ‖F‖.
+        let mut lambda = 1.0;
+        let mut accepted = false;
+        let x_old = x.to_vec();
+        for _ in 0..=opts.max_backtracks {
+            for k in 0..n {
+                x[k] = x_old[k] + lambda * dx[k];
+            }
+            residual(x, &mut f);
+            let newnorm = norm2(&f);
+            if newnorm < (1.0 - 1e-4 * lambda) * fnorm || newnorm <= tol {
+                fnorm = newnorm;
+                accepted = true;
+                break;
+            }
+            lambda *= 0.5;
+        }
+        if !accepted {
+            // Keep the last (smallest) step anyway; Newton may still creep.
+            fnorm = norm2(&f);
+        }
+    }
+    NewtonResult {
+        converged: fnorm <= tol,
+        iterations: opts.max_iter,
+        residual: fnorm,
+        linear_iterations: lin_total,
+    }
+}
+
+/// Apply a preconditioner (convenience re-export for callers needing direct
+/// access in tests).
+pub fn apply_precond<M: Precond>(m: &M, r: &[f64], z: &mut [f64]) {
+    m.apply(r, z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CooBuilder;
+
+    #[test]
+    fn solves_scalar_quadratic_system() {
+        // F(x) = x.^2 - c, componentwise; root sqrt(c).
+        let c = [4.0, 9.0, 16.0];
+        let mut x = vec![1.0, 1.0, 1.0];
+        let res = newton(
+            &mut x,
+            |x, out| {
+                for i in 0..3 {
+                    out[i] = x[i] * x[i] - c[i];
+                }
+            },
+            |x| {
+                let mut b = CooBuilder::new(3);
+                for i in 0..3 {
+                    b.add(i, i, 2.0 * x[i]);
+                }
+                b.build()
+            },
+            &NewtonOptions::default(),
+        );
+        assert!(res.converged, "{res:?}");
+        for (xi, ci) in x.iter().zip(&c) {
+            assert!((xi - ci.sqrt()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn solves_coupled_nonlinear_system() {
+        // F1 = x0 + x1 - 3; F2 = x0^2 + x1^2 - 9 ; root (0,3) or (3,0).
+        let mut x = vec![1.0, 5.0];
+        let res = newton(
+            &mut x,
+            |x, out| {
+                out[0] = x[0] + x[1] - 3.0;
+                out[1] = x[0] * x[0] + x[1] * x[1] - 9.0;
+            },
+            |x| {
+                let mut b = CooBuilder::new(2);
+                b.add(0, 0, 1.0);
+                b.add(0, 1, 1.0);
+                b.add(1, 0, 2.0 * x[0]);
+                b.add(1, 1, 2.0 * x[1]);
+                b.build()
+            },
+            &NewtonOptions {
+                rtol: 1e-12,
+                atol: 1e-10,
+                lin_rtol: 1e-10,
+                ..Default::default()
+            },
+        );
+        assert!(res.converged);
+        let f1: f64 = x[0] + x[1] - 3.0;
+        let f2: f64 = x[0] * x[0] + x[1] * x[1] - 9.0;
+        assert!(f1.abs() < 1e-6 && f2.abs() < 1e-6);
+    }
+
+    #[test]
+    fn line_search_handles_bad_initial_guess() {
+        // f(x) = atan(x): full Newton overshoots for |x0| > ~1.39; the line
+        // search must save it.
+        let mut x = vec![3.0];
+        let res = newton(
+            &mut x,
+            |x, out| out[0] = x[0].atan(),
+            |x| {
+                let mut b = CooBuilder::new(1);
+                b.add(0, 0, 1.0 / (1.0 + x[0] * x[0]));
+                b.build()
+            },
+            &NewtonOptions {
+                atol: 1e-10,
+                rtol: 1e-10,
+                max_iter: 50,
+                ..Default::default()
+            },
+        );
+        assert!(res.converged, "{res:?}");
+        assert!(x[0].abs() < 1e-8);
+    }
+}

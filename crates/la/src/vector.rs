@@ -1,0 +1,63 @@
+//! Dense vector helpers used throughout the solvers.
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y = x + beta * y` (classic `xpby` used by CG updates).
+#[inline]
+pub fn xpby(x: &[f64], beta: f64, y: &mut [f64]) {
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = xi + beta * *yi;
+    }
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Max (infinity) norm.
+#[inline]
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0, |m, x| m.max(x.abs()))
+}
+
+/// 1-norm.
+#[inline]
+pub fn norm1(a: &[f64]) -> f64 {
+    a.iter().map(|x| x.abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let a = [1.0, -2.0, 3.0];
+        let mut b = vec![1.0, 1.0, 1.0];
+        assert_eq!(dot(&a, &b), 2.0);
+        axpy(2.0, &a, &mut b);
+        assert_eq!(b, vec![3.0, -3.0, 7.0]);
+        assert_eq!(norm_inf(&a), 3.0);
+        assert_eq!(norm1(&a), 6.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        let mut y = vec![1.0, 2.0];
+        xpby(&[10.0, 20.0], 0.5, &mut y);
+        assert_eq!(y, vec![10.5, 21.0]);
+    }
+}

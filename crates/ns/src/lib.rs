@@ -1,0 +1,20 @@
+//! Incompressible Navier–Stokes on carved octree meshes with residual-based
+//! VMS/SUPG/PSPG stabilization (Bazilevs et al. \[12\], the formulation the
+//! paper couples to its meshes in §5), plus drag extraction on the
+//! voxelated object surface (Fig. 13) and SUPG scalar transport for the
+//! viral-load application (Fig. 16).
+//!
+//! Equal-order linear (p=1) velocity/pressure on axis-aligned cube
+//! elements; BDF1 time stepping; Picard linearization per step; assembled
+//! systems solved with BiCGStab + additive Schwarz (the paper's PETSc
+//! `bcgs`/`asm` configuration).
+
+pub mod drag;
+pub mod flow;
+pub mod transport;
+pub mod vms;
+
+pub use drag::drag_on_surrogate;
+pub use flow::{FlowBc, FlowSolver, NodeBc, StepReport};
+pub use transport::TransportSolver;
+pub use vms::{element_ns_system, taus, VmsParams};

@@ -1,0 +1,274 @@
+//! Elemental VMS-stabilized Navier–Stokes operators (Picard-linearized).
+//!
+//! Block layout per element: node-major, `(DIM velocities, 1 pressure)` per
+//! node. The weak form per element, with advection field `a` frozen from
+//! the previous Picard iterate and BDF1 in time:
+//!
+//! ```text
+//! (w, u/Δt + a·∇u) + ν(∇w, ∇u) − (∇·w, p) + (q, ∇·u)
+//!   + (a·∇w + ∇q, τ_M r_M(u,p)) + (∇·w, τ_C ∇·u) = (w, u_old/Δt + f) + …
+//! ```
+//!
+//! with `r_M = u/Δt + a·∇u + ∇p − u_old/Δt − f` (the ν Δu term vanishes for
+//! linears on cubes), `τ_M = ((2/Δt)² + (2|a|/h)² + (C_I ν/h²)²)^{-1/2}`,
+//! `τ_C = h²/(4·d·τ_M)`.
+
+use carve_fem::basis::{gauss_rule, lagrange_deriv_unit, lagrange_eval_unit};
+use carve_la::DenseMatrix;
+
+/// Stabilization and material parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct VmsParams {
+    /// Kinematic viscosity (1/Re for unit velocity/length scales).
+    pub nu: f64,
+    /// BDF1 time step; `f64::INFINITY` for a steady solve.
+    pub dt: f64,
+    /// Inverse-estimate constant in τ_M (typically 9–36 for linears).
+    pub c_i: f64,
+}
+
+impl VmsParams {
+    pub fn new(nu: f64, dt: f64) -> Self {
+        Self { nu, dt, c_i: 36.0 }
+    }
+}
+
+/// Computes `(τ_M, τ_C)` for element size `h` and local advection speed.
+pub fn taus<const DIM: usize>(params: &VmsParams, h: f64, a_norm: f64) -> (f64, f64) {
+    let dt_term = if params.dt.is_finite() {
+        (2.0 / params.dt).powi(2)
+    } else {
+        0.0
+    };
+    let adv = (2.0 * a_norm / h).powi(2);
+    let visc = (params.c_i * params.nu / (h * h)).powi(2);
+    let tau_m = 1.0 / (dt_term + adv + visc).sqrt().max(1e-300);
+    let tau_c = h * h / (4.0 * DIM as f64 * tau_m);
+    (tau_m, tau_c)
+}
+
+/// Number of element unknowns: `(DIM+1)` per node.
+#[inline]
+pub fn elem_dofs<const DIM: usize>() -> usize {
+    (DIM + 1) * (1usize << DIM)
+}
+
+/// Assembles the elemental Picard matrix and right-hand side for one cube
+/// element of size `h`, given the element-local previous-iterate velocities
+/// `a_nodes` (advection field, `npe × DIM`, node-major) and previous-step
+/// velocities `u_old` (same layout), and a body force `f` (evaluated at
+/// physical points `emin + h·t_ref`).
+pub fn element_ns_system<const DIM: usize>(
+    params: &VmsParams,
+    emin: &[f64; DIM],
+    h: f64,
+    a_nodes: &[f64],
+    u_old: &[f64],
+    f: &dyn Fn(&[f64; DIM]) -> [f64; DIM],
+) -> (DenseMatrix, Vec<f64>) {
+    let p = 1usize;
+    let nb = p + 1;
+    let npe = nb.pow(DIM as u32);
+    let ndof = (DIM + 1) * npe;
+    debug_assert_eq!(a_nodes.len(), npe * DIM);
+    debug_assert_eq!(u_old.len(), npe * DIM);
+    let quad = gauss_rule(2);
+    let nq1 = quad.points.len();
+    let nqs = nq1.pow(DIM as u32);
+    let mut ke = DenseMatrix::zeros(ndof, ndof);
+    let mut rhs = vec![0.0; ndof];
+    let vol = h.powi(DIM as i32);
+    let inv_dt = if params.dt.is_finite() {
+        1.0 / params.dt
+    } else {
+        0.0
+    };
+    let nu = params.nu;
+
+    let mut phi = vec![0.0; npe];
+    let mut grad = vec![[0.0; DIM]; npe];
+    for qlin in 0..nqs {
+        // Reference point and weight.
+        let mut rem = qlin;
+        let mut tref = [0.0; DIM];
+        let mut w = 1.0;
+        for k in 0..DIM {
+            let qi = rem % nq1;
+            rem /= nq1;
+            tref[k] = quad.points[qi];
+            w *= quad.weights[qi];
+        }
+        let jw = w * vol;
+        // Basis values / physical gradients.
+        for i in 0..npe {
+            let mut r = i;
+            let mut li = [0usize; DIM];
+            for slot in li.iter_mut() {
+                *slot = r % nb;
+                r /= nb;
+            }
+            let mut v = 1.0;
+            for k in 0..DIM {
+                v *= lagrange_eval_unit(p, li[k], tref[k]);
+            }
+            phi[i] = v;
+            for k in 0..DIM {
+                let mut g = 1.0;
+                for m in 0..DIM {
+                    if m == k {
+                        g *= lagrange_deriv_unit(p, li[m], tref[m]);
+                    } else {
+                        g *= lagrange_eval_unit(p, li[m], tref[m]);
+                    }
+                }
+                grad[i][k] = g / h;
+            }
+        }
+        // Advection velocity and old velocity at qp.
+        let mut a = [0.0; DIM];
+        let mut uo = [0.0; DIM];
+        for i in 0..npe {
+            for k in 0..DIM {
+                a[k] += phi[i] * a_nodes[i * DIM + k];
+                uo[k] += phi[i] * u_old[i * DIM + k];
+            }
+        }
+        let a_norm = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let (tau_m, tau_c) = taus::<DIM>(params, h, a_norm);
+        // Body force at physical point.
+        let mut x = [0.0; DIM];
+        for k in 0..DIM {
+            x[k] = emin[k] + h * tref[k];
+        }
+        let fx = f(&x);
+
+        // Precompute a·∇φ per shape function.
+        let adv_phi: Vec<f64> = (0..npe)
+            .map(|i| (0..DIM).map(|k| a[k] * grad[i][k]).sum())
+            .collect();
+
+        let vel = |node: usize, comp: usize| node * (DIM + 1) + comp;
+        let prs = |node: usize| node * (DIM + 1) + DIM;
+
+        for i in 0..npe {
+            for j in 0..npe {
+                // --- momentum(test k) x velocity(trial k) -----------------
+                // Galerkin: mass/dt + advection + viscosity (componentwise).
+                let gal = inv_dt * phi[i] * phi[j] + phi[i] * adv_phi[j]
+                    + nu * (0..DIM).map(|k| grad[i][k] * grad[j][k]).sum::<f64>();
+                // SUPG: (a·∇w_i) τ_M (u_j/dt + a·∇u_j).
+                let supg = adv_phi[i] * tau_m * (inv_dt * phi[j] + adv_phi[j]);
+                for k in 0..DIM {
+                    ke[(vel(i, k), vel(j, k))] += jw * (gal + supg);
+                    // grad-div (τ_C) couples components: (∂_k w)(τ_C ∂_l u_l).
+                    for l in 0..DIM {
+                        ke[(vel(i, k), vel(j, l))] += jw * tau_c * grad[i][k] * grad[j][l];
+                    }
+                }
+                // --- momentum x pressure: −(∇·w, p) + SUPG ∇p -------------
+                for k in 0..DIM {
+                    ke[(vel(i, k), prs(j))] +=
+                        jw * (-grad[i][k] * phi[j] + adv_phi[i] * tau_m * grad[j][k]);
+                }
+                // --- continuity x velocity: (q, ∇·u) + PSPG ----------------
+                for k in 0..DIM {
+                    ke[(prs(i), vel(j, k))] += jw
+                        * (phi[i] * grad[j][k]
+                            + grad[i][k] * tau_m * (inv_dt * phi[j] + adv_phi[j]));
+                }
+                // --- continuity x pressure: PSPG Laplacian -----------------
+                ke[(prs(i), prs(j))] +=
+                    jw * tau_m * (0..DIM).map(|k| grad[i][k] * grad[j][k]).sum::<f64>();
+            }
+            // --- RHS ------------------------------------------------------
+            for k in 0..DIM {
+                let r = inv_dt * uo[k] + fx[k];
+                rhs[vel(i, k)] += jw * (phi[i] * r + adv_phi[i] * tau_m * r);
+                rhs[prs(i)] += jw * grad[i][k] * tau_m * r;
+            }
+        }
+    }
+    (ke, rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taus_limits() {
+        let p = VmsParams::new(0.01, f64::INFINITY);
+        // Advection-dominated: τ_M ≈ h/(2|a|).
+        let (tm, _) = taus::<2>(&p, 0.1, 10.0);
+        assert!((tm - 0.1 / 20.0).abs() / tm < 0.05, "{tm}");
+        // Diffusion-dominated: τ_M ≈ h²/(C ν).
+        let (tm2, _) = taus::<2>(&p, 0.01, 0.0);
+        assert!((tm2 - 0.0001 / (36.0 * 0.01)).abs() / tm2 < 1e-6);
+        // Unsteady-dominated: τ_M ≈ Δt/2.
+        let pu = VmsParams::new(1e-9, 0.002);
+        let (tm3, _) = taus::<2>(&pu, 1.0, 0.0);
+        assert!((tm3 - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn element_matrix_has_consistent_size() {
+        let params = VmsParams::new(0.1, 0.1);
+        let npe = 4;
+        let a = vec![0.0; npe * 2];
+        let uo = vec![0.0; npe * 2];
+        let (ke, rhs) = element_ns_system::<2>(
+            &params,
+            &[0.0, 0.0],
+            0.25,
+            &a,
+            &uo,
+            &|_| [0.0, 0.0],
+        );
+        assert_eq!(ke.rows, 12);
+        assert_eq!(rhs.len(), 12);
+    }
+
+    #[test]
+    fn stokes_momentum_rows_annihilate_constant_pressure_gradient_free_flow() {
+        // With a = 0 and steady Stokes, constant velocity + zero pressure is
+        // in the kernel of the viscous+advective part: K * [c,c,0] has zero
+        // momentum rows (mass/dt = 0 in steady mode; grad-div of constant =
+        // 0; viscous of constant = 0), and continuity rows vanish too.
+        let params = VmsParams {
+            nu: 0.3,
+            dt: f64::INFINITY,
+            c_i: 36.0,
+        };
+        let npe = 4;
+        let a = vec![0.0; npe * 2];
+        let uo = vec![0.0; npe * 2];
+        let (ke, _) =
+            element_ns_system::<2>(&params, &[0.0, 0.0], 0.5, &a, &uo, &|_| [0.0, 0.0]);
+        let mut x = vec![0.0; 12];
+        for i in 0..npe {
+            x[i * 3] = 2.0; // u = const
+            x[i * 3 + 1] = -1.0; // v = const
+        }
+        let mut y = vec![0.0; 12];
+        ke.matvec(&x, &mut y);
+        for (i, v) in y.iter().enumerate() {
+            assert!(v.abs() < 1e-12, "row {i}: {v}");
+        }
+    }
+
+    #[test]
+    fn rhs_scales_with_body_force() {
+        let params = VmsParams::new(0.1, f64::INFINITY);
+        let npe = 8;
+        let a = vec![0.0; npe * 3];
+        let uo = vec![0.0; npe * 3];
+        let (_, rhs) =
+            element_ns_system::<3>(&params, &[0.0; 3], 0.5, &a, &uo, &|_| [1.0, 0.0, 0.0]);
+        // Total x-momentum load = volume * 1.
+        let total: f64 = (0..npe).map(|i| rhs[i * 4]).sum();
+        assert!((total - 0.125).abs() < 1e-12, "{total}");
+        // y-momentum load zero.
+        let ty: f64 = (0..npe).map(|i| rhs[i * 4 + 1]).sum();
+        assert!(ty.abs() < 1e-14);
+    }
+}

@@ -1,0 +1,44 @@
+//! Space-filling-curve infrastructure for linear (in)complete octrees.
+//!
+//! This crate provides the lowest-level substrate of the `carve` workspace:
+//!
+//! * [`Octant`] — a dimension-agnostic octree key (quadrant in 2D, octant in
+//!   3D): an anchor on an integer lattice plus a refinement level.
+//! * [`Curve`] / [`SfcState`] — the *SFC oracle* of Algorithms 1–2 of the
+//!   paper: given the curve state of a subtree, it maps SFC child ranks to
+//!   Morton child numbers (`sfc2Morton`) and produces the child state
+//!   (`I.child(c)`). Both Morton and Hilbert (any dimension, via Hamilton's
+//!   gray-code construction) are supported.
+//! * [`treesort()`](treesort::treesort) — the comparison-free MSD radix "TreeSort" of
+//!   Sundar/Fernando/Ishii: buckets are permuted at every level according to
+//!   the SFC, so one pass over the data per level yields SFC-sorted octants.
+//! * neighbor / ancestry utilities used by 2:1 balancing (Algorithm 5).
+//!
+//! All algorithms are dimension-agnostic through `const DIM: usize`; the rest
+//! of the workspace instantiates `DIM = 2` and `DIM = 3`.
+
+pub mod morton;
+pub mod octant;
+pub mod oracle;
+pub mod treesort;
+
+pub use octant::{Octant, MAX_LEVEL};
+pub use oracle::{Curve, SfcState};
+pub use treesort::{sfc_cmp, treesort, treesort_by_key};
+
+/// Number of children of a subtree in `dim` dimensions.
+pub const fn num_children(dim: usize) -> usize {
+    1 << dim
+}
+
+/// Number of potential same-level neighbors (face+edge+corner) in `dim`
+/// dimensions, i.e. `3^dim - 1`.
+pub const fn num_neighbors(dim: usize) -> usize {
+    let mut n = 1;
+    let mut i = 0;
+    while i < dim {
+        n *= 3;
+        i += 1;
+    }
+    n - 1
+}

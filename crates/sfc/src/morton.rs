@@ -1,0 +1,111 @@
+//! Point-order utilities: Morton (Z-order) comparison of lattice points
+//! without constructing interleaved indices (Chan's most-significant-bit
+//! trick), used to TreeSort nodal coordinates in §3.4.
+
+use crate::octant::{Octant, MAX_LEVEL, ROOT_SIDE};
+use std::cmp::Ordering;
+
+/// True if `msb(a) < msb(b)` (with `msb(0) = -inf`).
+#[inline]
+fn less_msb(a: u64, b: u64) -> bool {
+    a < b && a < (a ^ b)
+}
+
+/// Compares two lattice points in Morton (Z-curve) order.
+///
+/// This is Chan's comparison: the axis whose coordinates differ in the
+/// highest bit dominates; ties broken by lower axes implicitly through the
+/// scan. Total order; equal only for identical points.
+#[inline]
+pub fn point_cmp_morton<const DIM: usize>(a: &[u64; DIM], b: &[u64; DIM]) -> Ordering {
+    let mut dominant = 0usize;
+    let mut x = a[0] ^ b[0];
+    for k in 1..DIM {
+        let y = a[k] ^ b[k];
+        // On equal msb positions the higher axis index dominates, matching
+        // the interleave convention where axis k occupies bit DIM*b + k.
+        if !less_msb(y, x) {
+            dominant = k;
+            x = y;
+        }
+    }
+    a[dominant].cmp(&b[dominant])
+}
+
+/// The deepest-level octant containing the lattice point `p` (coordinates on
+/// the `[0, ROOT_SIDE]` closed lattice; the far domain boundary is clamped
+/// inward so every point maps to an existing cell).
+///
+/// Used to give nodal points an octant key comparable against partition
+/// splitters for ownership decisions.
+pub fn finest_cell_of_point<const DIM: usize>(p: &[u64; DIM]) -> Octant<DIM> {
+    let mut anchor = [0u32; DIM];
+    for k in 0..DIM {
+        debug_assert!(p[k] <= ROOT_SIDE as u64);
+        anchor[k] = (p[k].min(ROOT_SIDE as u64 - 1)) as u32;
+    }
+    Octant {
+        anchor,
+        level: MAX_LEVEL,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interleave2(p: &[u64; 2]) -> u128 {
+        let mut out = 0u128;
+        for bit in 0..64 {
+            out |= (((p[0] >> bit) & 1) as u128) << (2 * bit);
+            out |= (((p[1] >> bit) & 1) as u128) << (2 * bit + 1);
+        }
+        out
+    }
+
+    #[test]
+    fn matches_explicit_interleave_2d() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let a = [rng.gen_range(0..1u64 << 40), rng.gen_range(0..1u64 << 40)];
+            let b = [rng.gen_range(0..1u64 << 40), rng.gen_range(0..1u64 << 40)];
+            assert_eq!(
+                point_cmp_morton(&a, &b),
+                interleave2(&a).cmp(&interleave2(&b)),
+                "a={a:?} b={b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn total_order_3d() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(8);
+        let mut pts: Vec<[u64; 3]> = (0..500)
+            .map(|_| {
+                [
+                    rng.gen_range(0..1u64 << 20),
+                    rng.gen_range(0..1u64 << 20),
+                    rng.gen_range(0..1u64 << 20),
+                ]
+            })
+            .collect();
+        pts.sort_by(|a, b| point_cmp_morton(a, b));
+        for w in pts.windows(2) {
+            assert_ne!(point_cmp_morton(&w[0], &w[1]), Ordering::Greater);
+            // antisymmetry
+            if point_cmp_morton(&w[0], &w[1]) == Ordering::Less {
+                assert_eq!(point_cmp_morton(&w[1], &w[0]), Ordering::Greater);
+            }
+        }
+    }
+
+    #[test]
+    fn finest_cell_clamps_far_boundary() {
+        let p = [ROOT_SIDE as u64, 0];
+        let c = finest_cell_of_point::<2>(&p);
+        assert_eq!(c.anchor[0], ROOT_SIDE - 1);
+        assert!(c.closed_contains_point(&p));
+    }
+}

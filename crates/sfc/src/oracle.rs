@@ -1,0 +1,277 @@
+//! SFC oracles: the `I` of Algorithms 1–2.
+//!
+//! An oracle answers, for a subtree in a given *curve state*, (a) which Morton
+//! child corresponds to the `c`-th child along the space-filling curve
+//! (`sfc2Morton`), and (b) what the curve state of that child subtree is
+//! (`I.child(c)`).
+//!
+//! The Morton curve is stateless (the oracle is the identity). The Hilbert
+//! curve uses Hamilton's compact-Hilbert construction (*Compact Hilbert
+//! Indices*, Dalhousie CS-2006-07): a state is an (entry corner `e`,
+//! intra-subcube direction `d`) pair, child orders come from the Gray code,
+//! and state composition uses bit rotations. This works in any dimension.
+
+/// Which space-filling curve orders the octree.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Curve {
+    /// Morton / Z-order: cheap, stateless, more partition surface.
+    #[default]
+    Morton,
+    /// Hilbert order: face-continuous, better partition locality.
+    Hilbert,
+}
+
+/// Curve state of a subtree (entry corner and direction for Hilbert;
+/// ignored for Morton).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SfcState {
+    e: u16,
+    d: u8,
+}
+
+/// Gray code.
+#[inline]
+fn gc(i: u32) -> u32 {
+    i ^ (i >> 1)
+}
+
+/// Inverse Gray code: prefix-xor scan.
+#[inline]
+fn gc_inv(g: u32) -> u32 {
+    let mut acc = 0u32;
+    let mut x = g;
+    while x != 0 {
+        acc ^= x;
+        x >>= 1;
+    }
+    acc
+}
+
+/// Number of trailing set bits.
+#[inline]
+fn trailing_ones(i: u32) -> u32 {
+    i.trailing_ones()
+}
+
+/// Rotate `b` left by `k` within `n` bits.
+#[inline]
+fn rol(b: u32, k: u32, n: u32) -> u32 {
+    let k = k % n;
+    let mask = (1u32 << n) - 1;
+    ((b << k) | (b >> (n - k).min(31))) & mask
+}
+
+/// Rotate `b` right by `k` within `n` bits.
+#[inline]
+fn ror(b: u32, k: u32, n: u32) -> u32 {
+    let k = k % n;
+    rol(b, n - k, n)
+}
+
+/// Hamilton's `e(i)`: entry corner of the `i`-th subcube along the curve.
+#[inline]
+fn entry(i: u32) -> u32 {
+    if i == 0 {
+        0
+    } else {
+        gc(2 * ((i - 1) / 2))
+    }
+}
+
+/// Hamilton's `d(i)`: intra-subcube direction of the `i`-th subcube.
+#[inline]
+fn direction(i: u32, n: u32) -> u32 {
+    if i == 0 {
+        0
+    } else if i % 2 == 0 {
+        trailing_ones(i - 1) % n
+    } else {
+        trailing_ones(i) % n
+    }
+}
+
+impl SfcState {
+    /// State of the root subtree.
+    pub const ROOT: Self = Self { e: 0, d: 0 };
+
+    /// Morton child number of the `sfc_rank`-th child along the curve
+    /// (`sfc2Morton` in Algorithm 2).
+    #[inline]
+    pub fn sfc_to_morton(&self, curve: Curve, dim: usize, sfc_rank: usize) -> usize {
+        debug_assert!(sfc_rank < (1 << dim));
+        match curve {
+            Curve::Morton => sfc_rank,
+            Curve::Hilbert => {
+                let n = dim as u32;
+                (rol(gc(sfc_rank as u32), self.d as u32 + 1, n) ^ self.e as u32) as usize
+            }
+        }
+    }
+
+    /// SFC rank of the Morton child number `morton` — the bucket permutation
+    /// used by TreeSort and by the seed-bucketing of Algorithm 2.
+    #[inline]
+    pub fn morton_to_sfc(&self, curve: Curve, dim: usize, morton: usize) -> usize {
+        debug_assert!(morton < (1 << dim));
+        match curve {
+            Curve::Morton => morton,
+            Curve::Hilbert => {
+                let n = dim as u32;
+                gc_inv(ror(morton as u32 ^ self.e as u32, self.d as u32 + 1, n)) as usize
+            }
+        }
+    }
+
+    /// Curve state of the `sfc_rank`-th child subtree (`I.child(c)`).
+    #[inline]
+    pub fn child(&self, curve: Curve, dim: usize, sfc_rank: usize) -> Self {
+        match curve {
+            Curve::Morton => *self,
+            Curve::Hilbert => {
+                let n = dim as u32;
+                let w = sfc_rank as u32;
+                let e = self.e as u32 ^ rol(entry(w), self.d as u32 + 1, n);
+                let d = (self.d as u32 + direction(w, n) + 1) % n;
+                Self {
+                    e: e as u16,
+                    d: d as u8,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gray_code_basics() {
+        for i in 0..64 {
+            assert_eq!(gc_inv(gc(i)), i);
+        }
+        // Consecutive gray codes differ in exactly one bit.
+        for i in 0..63u32 {
+            assert_eq!((gc(i) ^ gc(i + 1)).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn rotations() {
+        assert_eq!(rol(0b001, 1, 3), 0b010);
+        assert_eq!(rol(0b100, 1, 3), 0b001);
+        assert_eq!(ror(rol(0b101, 2, 3), 2, 3), 0b101);
+        for b in 0..8u32 {
+            for k in 0..6 {
+                assert_eq!(ror(rol(b, k, 3), k, 3), b);
+            }
+        }
+    }
+
+    fn check_bijection(curve: Curve, dim: usize, st: SfcState) {
+        let nch = 1usize << dim;
+        let mut seen = vec![false; nch];
+        for r in 0..nch {
+            let m = st.sfc_to_morton(curve, dim, r);
+            assert!(!seen[m], "duplicate morton child");
+            seen[m] = true;
+            assert_eq!(st.morton_to_sfc(curve, dim, m), r, "inverse mismatch");
+        }
+    }
+
+    #[test]
+    fn oracle_is_bijective_all_reachable_states() {
+        for curve in [Curve::Morton, Curve::Hilbert] {
+            for dim in [2usize, 3, 4] {
+                // BFS over reachable states from the root.
+                let mut states = vec![SfcState::ROOT];
+                let mut i = 0;
+                while i < states.len() && states.len() < 512 {
+                    let st = states[i];
+                    check_bijection(curve, dim, st);
+                    for r in 0..(1 << dim) {
+                        let c = st.child(curve, dim, r);
+                        if !states.contains(&c) {
+                            states.push(c);
+                        }
+                    }
+                    i += 1;
+                }
+                assert!(i == states.len(), "state space did not close");
+            }
+        }
+    }
+
+    /// Enumerate the full curve at `depth` and return cell anchors in curve
+    /// order, on the lattice `[0, 2^depth)^DIM`.
+    fn enumerate_curve(curve: Curve, dim: usize, depth: u32) -> Vec<Vec<u32>> {
+        fn rec(
+            curve: Curve,
+            dim: usize,
+            st: SfcState,
+            anchor: &mut Vec<u32>,
+            level: u32,
+            depth: u32,
+            out: &mut Vec<Vec<u32>>,
+        ) {
+            if level == depth {
+                out.push(anchor.clone());
+                return;
+            }
+            let half = 1u32 << (depth - level - 1);
+            for r in 0..(1usize << dim) {
+                let m = st.sfc_to_morton(curve, dim, r);
+                for k in 0..dim {
+                    if (m >> k) & 1 == 1 {
+                        anchor[k] += half;
+                    }
+                }
+                rec(curve, dim, st.child(curve, dim, r), anchor, level + 1, depth, out);
+                for k in 0..dim {
+                    if (m >> k) & 1 == 1 {
+                        anchor[k] -= half;
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        rec(curve, dim, SfcState::ROOT, &mut vec![0; dim], 0, depth, &mut out);
+        out
+    }
+
+    #[test]
+    fn hilbert_curve_is_face_continuous() {
+        // The defining property of the Hilbert curve: consecutive cells share
+        // a (d-1)-face, i.e. their anchors differ by exactly 1 in exactly one
+        // coordinate. Morton does NOT have this property.
+        for dim in [2usize, 3] {
+            for depth in 1..=3u32 {
+                let cells = enumerate_curve(Curve::Hilbert, dim, depth);
+                assert_eq!(cells.len(), 1usize << (dim as u32 * depth));
+                // All cells visited exactly once.
+                let mut sorted = cells.clone();
+                sorted.sort();
+                sorted.dedup();
+                assert_eq!(sorted.len(), cells.len());
+                for w in cells.windows(2) {
+                    let dist: u32 = (0..dim)
+                        .map(|k| w[0][k].abs_diff(w[1][k]))
+                        .sum();
+                    assert_eq!(dist, 1, "hilbert jump at {:?} -> {:?}", w[0], w[1]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn morton_curve_matches_bit_interleave() {
+        let cells = enumerate_curve(Curve::Morton, 2, 2);
+        // Z-order on a 4x4 grid: (0,0),(1,0),(0,1),(1,1),(2,0),...
+        assert_eq!(cells[0], vec![0, 0]);
+        assert_eq!(cells[1], vec![1, 0]);
+        assert_eq!(cells[2], vec![0, 1]);
+        assert_eq!(cells[3], vec![1, 1]);
+        assert_eq!(cells[4], vec![2, 0]);
+        assert_eq!(cells[15], vec![3, 3]);
+    }
+}

@@ -1,0 +1,263 @@
+//! TreeSort: comparison-free MSD bucket sort of octants in SFC order.
+//!
+//! Instead of comparison-based merge/quick sort, TreeSort performs an MSD
+//! radix sort whose `2^DIM` buckets are permuted at every level according to
+//! the SFC oracle (Fernando et al. \[23\], Ishii et al. \[30\]). Each pass
+//! streams the data once, which is what gives the method its memory-locality
+//! advantage. Ancestors sort *before* their descendants, which is the
+//! convention required by duplicate/overlap removal in Algorithm 3.
+
+use crate::octant::Octant;
+use crate::oracle::{Curve, SfcState};
+use std::cmp::Ordering;
+
+/// Below this bucket size the recursion falls back to a comparison sort;
+/// the radix passes no longer pay off.
+const SMALL_SORT_CUTOFF: usize = 16;
+
+/// Compares two octants in SFC order (ancestors first).
+///
+/// Walks the two key paths from the root, tracking the curve state, and
+/// compares the first differing child by its SFC rank. If one key is a
+/// prefix (ancestor) of the other, the ancestor orders first.
+pub fn sfc_cmp<const DIM: usize>(curve: Curve, a: &Octant<DIM>, b: &Octant<DIM>) -> Ordering {
+    let mut st = SfcState::ROOT;
+    let max_l = a.level.max(b.level);
+    for l in 1..=max_l {
+        if l > a.level {
+            return Ordering::Less; // a is an ancestor of b
+        }
+        if l > b.level {
+            return Ordering::Greater; // b is an ancestor of a
+        }
+        let ca = a.child_bits_at(l);
+        let cb = b.child_bits_at(l);
+        if ca != cb {
+            let ra = st.morton_to_sfc(curve, DIM, ca);
+            let rb = st.morton_to_sfc(curve, DIM, cb);
+            return ra.cmp(&rb);
+        }
+        let r = st.morton_to_sfc(curve, DIM, ca);
+        st = st.child(curve, DIM, r);
+    }
+    Ordering::Equal
+}
+
+/// Sorts octants in SFC order via TreeSort.
+pub fn treesort<const DIM: usize>(items: &mut [Octant<DIM>], curve: Curve) {
+    treesort_by_key(items, curve, |o| *o);
+}
+
+/// Sorts arbitrary items by an octant key in SFC order via TreeSort.
+///
+/// MSD bucket sort: at tree level `l`, every item in the current range is a
+/// descendant (or equal) of the current subtree. Items equal to the subtree
+/// go first; the rest are bucketed by SFC child rank, then each bucket is
+/// recursed with the child's curve state.
+pub fn treesort_by_key<T, const DIM: usize, F>(items: &mut [T], curve: Curve, key: F)
+where
+    T: Clone,
+    F: Fn(&T) -> Octant<DIM> + Copy,
+{
+    if items.is_empty() {
+        return;
+    }
+    let mut scratch: Vec<T> = items.to_vec();
+    sort_rec(items, &mut scratch, curve, SfcState::ROOT, 0, key);
+}
+
+fn sort_rec<T, const DIM: usize, F>(
+    items: &mut [T],
+    scratch: &mut [T],
+    curve: Curve,
+    st: SfcState,
+    level: u8,
+    key: F,
+) where
+    T: Clone,
+    F: Fn(&T) -> Octant<DIM> + Copy,
+{
+    let nch = 1usize << DIM;
+    if items.len() <= 1 {
+        return;
+    }
+    if items.len() <= SMALL_SORT_CUTOFF {
+        items.sort_by(|a, b| sfc_cmp(curve, &key(a), &key(b)));
+        return;
+    }
+    debug_assert_eq!(items.len(), scratch.len());
+    let child_level = level + 1;
+
+    // Bucket 0 holds octants exactly at this subtree's level (the subtree
+    // itself, given sortedness preconditions); buckets 1..=2^D the children
+    // by SFC rank.
+    let mut counts = [0usize; 1 + (1 << 8)]; // oversized stack array is fine for DIM<=4
+    let counts = &mut counts[..1 + nch];
+    for it in items.iter() {
+        let o = key(it);
+        if o.level < child_level {
+            counts[0] += 1;
+        } else {
+            let r = st.morton_to_sfc(curve, DIM, o.child_bits_at(child_level));
+            counts[1 + r] += 1;
+        }
+    }
+    let mut offsets = [0usize; 2 + (1 << 8)];
+    let offsets_slice = &mut offsets[..counts.len() + 1];
+    for i in 0..counts.len() {
+        offsets_slice[i + 1] = offsets_slice[i] + counts[i];
+    }
+    let mut cursor = [0usize; 1 + (1 << 8)];
+    cursor[..counts.len()].copy_from_slice(&offsets_slice[..counts.len()]);
+    for it in items.iter() {
+        let o = key(it);
+        let b = if o.level < child_level {
+            0
+        } else {
+            1 + st.morton_to_sfc(curve, DIM, o.child_bits_at(child_level))
+        };
+        scratch[cursor[b]] = it.clone();
+        cursor[b] += 1;
+    }
+    items.clone_from_slice(scratch);
+
+    for r in 0..nch {
+        let lo = offsets_slice[1 + r];
+        let hi = offsets_slice[2 + r];
+        if hi - lo > 1 {
+            let child_st = st.child(curve, DIM, r);
+            let (it, sc) = (&mut items[lo..hi], &mut scratch[lo..hi]);
+            sort_rec(it, sc, curve, child_st, child_level, key);
+        }
+    }
+}
+
+/// Removes exact duplicates from an SFC-sorted slice (in place; returns the
+/// deduplicated prefix length when used through `Vec::dedup`-like callers).
+pub fn dedup_sorted<const DIM: usize>(octs: &mut Vec<Octant<DIM>>) {
+    octs.dedup();
+}
+
+/// Removes ancestor/descendant overlaps from an SFC-sorted, deduplicated
+/// list, *keeping the finer octants* — the resolution rule of Algorithm 3
+/// ("finer octants are preferred to coarser overlapping octants").
+pub fn linearize_keep_finer<const DIM: usize>(octs: &mut Vec<Octant<DIM>>) {
+    let mut out: Vec<Octant<DIM>> = Vec::with_capacity(octs.len());
+    for o in octs.iter() {
+        while let Some(last) = out.last() {
+            if last.is_ancestor_of(o) {
+                out.pop();
+            } else {
+                break;
+            }
+        }
+        out.push(*o);
+    }
+    *octs = out;
+}
+
+/// Checks whether a slice is SFC-sorted (strictly, no duplicates).
+pub fn is_sorted_unique<const DIM: usize>(octs: &[Octant<DIM>], curve: Curve) -> bool {
+    octs.windows(2)
+        .all(|w| sfc_cmp(curve, &w[0], &w[1]) == Ordering::Less)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_octants<const DIM: usize>(n: usize, max_level: u8, seed: u64) -> Vec<Octant<DIM>> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let level = rng.gen_range(0..=max_level);
+                let mut o = Octant::<DIM>::ROOT;
+                for _ in 0..level {
+                    o = o.child(rng.gen_range(0..(1 << DIM)));
+                }
+                o
+            })
+            .collect()
+    }
+
+    #[test]
+    fn treesort_matches_comparison_sort() {
+        for curve in [Curve::Morton, Curve::Hilbert] {
+            for seed in 0..5 {
+                let mut a = random_octants::<3>(800, 6, seed);
+                let mut b = a.clone();
+                treesort(&mut a, curve);
+                b.sort_by(|x, y| sfc_cmp(curve, x, y));
+                assert_eq!(a, b, "curve {curve:?} seed {seed}");
+                assert!(a.windows(2).all(|w| sfc_cmp(curve, &w[0], &w[1]) != Ordering::Greater));
+            }
+        }
+    }
+
+    #[test]
+    fn treesort_2d() {
+        for curve in [Curve::Morton, Curve::Hilbert] {
+            let mut a = random_octants::<2>(500, 8, 3);
+            let mut b = a.clone();
+            treesort(&mut a, curve);
+            b.sort_by(|x, y| sfc_cmp(curve, x, y));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn ancestors_sort_first() {
+        let parent = Octant::<3>::ROOT.child(3);
+        for c in 0..8 {
+            let child = parent.child(c);
+            assert_eq!(sfc_cmp(Curve::Morton, &parent, &child), Ordering::Less);
+            assert_eq!(sfc_cmp(Curve::Hilbert, &parent, &child), Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn sfc_cmp_total_order_properties() {
+        let octs = random_octants::<3>(120, 5, 11);
+        for curve in [Curve::Morton, Curve::Hilbert] {
+            for a in &octs {
+                assert_eq!(sfc_cmp(curve, a, a), Ordering::Equal);
+                for b in &octs {
+                    let ab = sfc_cmp(curve, a, b);
+                    let ba = sfc_cmp(curve, b, a);
+                    assert_eq!(ab, ba.reverse());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linearize_keeps_finer() {
+        let root = Octant::<2>::ROOT;
+        let c0 = root.child(0);
+        let c00 = c0.child(0);
+        let c3 = root.child(3);
+        let mut v = vec![root, c0, c00, c3];
+        // already in Morton SFC order: root < c0 < c00 < c3
+        assert!(is_sorted_unique(&v, Curve::Morton));
+        linearize_keep_finer(&mut v);
+        assert_eq!(v, vec![c00, c3]);
+    }
+
+    #[test]
+    fn siblings_cover_parent_in_order() {
+        // Sorting all 4 children of each child of the root gives the full
+        // level-2 curve; consecutive Hilbert cells must be face-adjacent.
+        let mut leaves: Vec<Octant<2>> = Vec::new();
+        for a in 0..4 {
+            for b in 0..4 {
+                leaves.push(Octant::<2>::ROOT.child(a).child(b));
+            }
+        }
+        treesort(&mut leaves, Curve::Hilbert);
+        for w in leaves.windows(2) {
+            let d = w[0].anchor[0].abs_diff(w[1].anchor[0]) + w[0].anchor[1].abs_diff(w[1].anchor[1]);
+            assert_eq!(d, w[0].side(), "hilbert neighbors must share a face");
+        }
+    }
+}

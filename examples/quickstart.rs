@@ -1,0 +1,63 @@
+//! Quickstart: carve a disk-shaped domain out of the unit square, build a
+//! 2:1-balanced incomplete quadtree, solve a Poisson problem with the
+//! Shifted Boundary Method, and check the error against the exact solution.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use carve::core::Mesh;
+use carve::fem::{l2_linf_error, solve_poisson, BcMode, PoissonProblem, SbmParams};
+use carve::geom::{RetainSolid, Solid, Sphere};
+use carve::sfc::Curve;
+
+fn main() {
+    // 1. Geometry: the PDE domain is a disk of radius 0.5 — everything
+    //    outside it is carved away. Any `Subdomain` implementation works;
+    //    all the octree code ever asks is In/Out/Intercepted.
+    let disk = Sphere::<2>::new([0.5, 0.5], 0.5);
+    let domain = RetainSolid::new(disk);
+
+    // 2. Mesh: uniform level-6 refinement; carved subtrees are pruned
+    //    during construction, the tree is 2:1 balanced, and hanging nodes
+    //    are resolved by cancellation (§3.2–3.4 of the paper).
+    let mesh = Mesh::build(&domain, Curve::Hilbert, 6, 6, 1);
+    println!(
+        "mesh: {} elements, {} dofs, {} intercepted boundary elements",
+        mesh.num_elems(),
+        mesh.num_dofs(),
+        mesh.intercepted_elems().len()
+    );
+
+    // 3. Solve −Δu = 1, u = 0 on the circle. The voxelated boundary is
+    //    corrected to the true circle by the Shifted Boundary Method.
+    let one = |_: &[f64; 2]| 1.0;
+    let zero = |_: &[f64; 2]| 0.0;
+    let closest = move |x: &[f64; 2]| disk.closest_boundary_point(x);
+    let prob = PoissonProblem {
+        scale: 1.0,
+        f: &one,
+        dirichlet: &zero,
+        closest_boundary: Some(&closest),
+        strong_cube_bc: false,
+        bc: BcMode::Sbm(SbmParams::default()),
+    };
+    let sol = solve_poisson(&mesh, &domain, &prob);
+    println!(
+        "solve: {} BiCGStab iterations, residual {:.2e}",
+        sol.krylov.iterations, sol.krylov.residual
+    );
+
+    // 4. Compare with the exact solution u = (R² − r²)/4.
+    let exact = |x: &[f64; 2]| {
+        let r2 = (x[0] - 0.5).powi(2) + (x[1] - 0.5).powi(2);
+        0.25 * (0.25 - r2)
+    };
+    let norms = l2_linf_error(&mesh, &domain, &sol.u, &exact, 1.0);
+    println!(
+        "error: L2 = {:.3e}, Linf = {:.3e} (h = {:.4})",
+        norms.l2, norms.linf, norms.h_min
+    );
+    assert!(norms.l2 < 1e-3, "SBM at level 6 should be well under 1e-3");
+    println!("ok: second-order-accurate solution on a carved domain.");
+}

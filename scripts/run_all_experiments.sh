@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the paper in one go. CSVs land in
+# results/. Heavier settings: CARVE_MESH=large, CARVE_SOLVE_RE=100,1000.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p carve-bench
+
+bins=(
+  repro_fig5
+  repro_table1
+  repro_fig6
+  repro_table2
+  repro_scaling
+  repro_fig11
+  repro_fig12
+  repro_table4
+  repro_fig13
+  repro_table5
+  repro_table6
+  ablation_curves
+)
+for b in "${bins[@]}"; do
+  echo "==================== $b ===================="
+  cargo run --release -p carve-bench --bin "$b"
+  echo
+done
+echo "all experiment outputs written to results/"

@@ -1,0 +1,15 @@
+//! Umbrella crate re-exporting the whole `carve` workspace.
+//!
+//! `carve` is a Rust reproduction of *"Scalable adaptive PDE solvers in
+//! arbitrary domains"* (SC '21): incomplete-octree mesh generation for
+//! arbitrary carved geometries, traversal-based matrix-free FEM, the Shifted
+//! Boundary Method, and a VMS-stabilized Navier-Stokes solver.
+pub use carve_baseline as baseline;
+pub use carve_comm as comm;
+pub use carve_core as core;
+pub use carve_fem as fem;
+pub use carve_geom as geom;
+pub use carve_io as io;
+pub use carve_la as la;
+pub use carve_ns as ns;
+pub use carve_sfc as sfc;
