@@ -289,10 +289,10 @@ mod tests {
         let domain = disk_domain();
         let mesh = Mesh::build(&domain, Curve::Hilbert, 3, 5, 1);
         let a = analyze_partition(&mesh, p);
-        for r in 0..p {
+        for (r, s) in stats.iter().enumerate().take(p) {
             assert_eq!(
                 (a.loads[r].owned_nodes, a.loads[r].ghost_nodes),
-                stats[r],
+                *s,
                 "rank {r}"
             );
         }

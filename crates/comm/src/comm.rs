@@ -1,12 +1,66 @@
-//! The per-rank communicator and the SPMD launcher.
+//! The per-rank communicator and the fault-tolerant SPMD launcher.
+//!
+//! Failure model (see DESIGN.md "Failure model"):
+//!
+//! * every rank runs under `catch_unwind`; a panic on one rank trips a
+//!   cluster-wide **abort flag** instead of deadlocking the survivors;
+//! * every blocking wait (`recv`, `barrier`, collectives) polls that flag
+//!   and a **watchdog deadline** (`CARVE_COMM_TIMEOUT` seconds, or
+//!   [`SpmdOptions::timeout`]); on expiry the rank emits a diagnostic
+//!   naming what it awaited and which messages are parked, then aborts the
+//!   cluster;
+//! * all failures surface as structured [`CommError`]s collected into one
+//!   [`SpmdError`] by [`try_run_spmd`] / [`run_spmd_with`];
+//! * a seeded [`FaultPlan`] can delay, reorder, and duplicate deliveries or
+//!   kill a rank at a chosen op count, deterministically per seed.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
-use std::any::Any;
+use std::any::{type_name, Any};
 use std::cell::{Cell, RefCell};
-use std::sync::Arc;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::error::{CommError, FailureKind, RankFailure, SpmdError};
+use crate::fault::FaultPlan;
 
 type Packet = (usize, u64, Box<dyn Any + Send>);
+
+/// How often blocking waits wake to re-check the abort flag and deadline.
+const POLL: Duration = Duration::from_millis(2);
+
+/// Environment variable holding the watchdog deadline in (fractional)
+/// seconds for every blocking communication wait.
+pub const TIMEOUT_ENV: &str = "CARVE_COMM_TIMEOUT";
+
+/// Default watchdog deadline when neither [`TIMEOUT_ENV`] nor
+/// [`SpmdOptions::timeout`] is set: generous enough for debug-build meshes,
+/// far short of "hung forever".
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn default_timeout() -> Duration {
+    std::env::var(TIMEOUT_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse::<f64>().ok())
+        .filter(|s| *s > 0.0)
+        .map(Duration::from_secs_f64)
+        .unwrap_or(DEFAULT_TIMEOUT)
+}
+
+/// Mutex poisoning is irrelevant here: the abort protocol owns failure
+/// propagation, so a lock held across a panic is still structurally sound.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn fmt_tag(tag: u64) -> String {
+    if tag & USER_TAG_BIT != 0 {
+        format!("user tag {}", tag & !USER_TAG_BIT)
+    } else {
+        format!("collective op {tag}")
+    }
+}
 
 /// Reduction operator for [`Comm::all_reduce_f64`] / [`Comm::all_reduce_u64`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -16,19 +70,59 @@ pub enum ReduceOp {
     Max,
 }
 
-/// Communication counters for one rank (exact byte accounting).
+/// Communication counters for one rank (exact byte accounting, both
+/// directions; Fig. 11's raw data).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CommStats {
     /// Payload bytes sent by this rank (point-to-point and collectives).
     pub bytes_sent: u64,
     /// Number of messages sent.
     pub messages: u64,
+    /// Payload bytes received by this rank; in a fault-free run the cluster
+    /// totals of `bytes_sent` and `bytes_received` are equal.
+    pub bytes_received: u64,
+    /// Number of messages received.
+    pub messages_received: u64,
 }
 
 struct BarrierState {
     count: Mutex<(usize, u64)>, // (arrived, generation)
     cv: Condvar,
 }
+
+/// Cluster-wide abort flag: first failure wins the `origin` slot; every
+/// blocking wait polls `flag`.
+#[derive(Default)]
+struct AbortState {
+    flag: AtomicBool,
+    origin: Mutex<Option<(usize, String)>>,
+}
+
+impl AbortState {
+    fn trip(&self, rank: usize, reason: &str) {
+        {
+            let mut o = lock_ignore_poison(&self.origin);
+            if o.is_none() {
+                *o = Some((rank, reason.to_string()));
+            }
+        }
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    fn tripped(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> (usize, String) {
+        lock_ignore_poison(&self.origin)
+            .clone()
+            .unwrap_or((usize::MAX, String::from("unknown origin")))
+    }
+}
+
+/// Typed panic payload carrying a structured comm error through an unwind;
+/// [`run_spmd_with`] downcasts it back into the [`SpmdError`] report.
+pub(crate) struct CommFailure(pub(crate) CommError);
 
 /// One rank's handle to the simulated cluster.
 ///
@@ -41,10 +135,20 @@ pub struct Comm {
     /// Out-of-order messages parked until a matching `recv`.
     inbox: RefCell<Vec<Packet>>,
     barrier: Arc<BarrierState>,
+    abort: Arc<AbortState>,
     /// Monotonic collective-operation counter; identical across ranks because
     /// execution is SPMD, so it doubles as a collision-free message tag.
     op_counter: Cell<u64>,
+    /// Total communication ops on this rank (collectives + point-to-point);
+    /// drives fault-injection kill points and timeout diagnostics.
+    ops: Cell<u64>,
     stats: Cell<CommStats>,
+    /// Watchdog deadline for every blocking wait.
+    timeout: Duration,
+    fault: Option<FaultPlan>,
+    /// Sends held back by fault-injection reordering, released after the
+    /// next send (or at the next blocking op / drop).
+    deferred: RefCell<Vec<(usize, Packet)>>,
 }
 
 /// Tags with this bit set are reserved for user point-to-point traffic.
@@ -54,7 +158,7 @@ impl Comm {
     /// A size-1 communicator: collectives become no-ops/identity. Useful for
     /// running distributed algorithms sequentially.
     pub fn solo() -> Self {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         Comm {
             rank: 0,
             size: 1,
@@ -65,8 +169,13 @@ impl Comm {
                 count: Mutex::new((0, 0)),
                 cv: Condvar::new(),
             }),
+            abort: Arc::new(AbortState::default()),
             op_counter: Cell::new(0),
+            ops: Cell::new(0),
             stats: Cell::new(CommStats::default()),
+            timeout: default_timeout(),
+            fault: None,
+            deferred: RefCell::new(Vec::new()),
         }
     }
 
@@ -83,71 +192,332 @@ impl Comm {
         self.stats.get()
     }
 
-    fn account(&self, bytes: u64) {
+    /// Total communication operations performed by this rank so far
+    /// (collectives and point-to-point calls each count once). This is the
+    /// counter [`FaultPlan`] kill points refer to.
+    pub fn op_count(&self) -> u64 {
+        self.ops.get()
+    }
+
+    /// The watchdog deadline applied to every blocking wait on this rank.
+    pub fn watchdog_timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    // --- Failure machinery -----------------------------------------------
+
+    /// Trips the cluster abort flag and unwinds this rank with a structured
+    /// error. Never returns.
+    fn fail(&self, err: CommError) -> ! {
+        self.abort.trip(self.rank, &err.to_string());
+        self.barrier.cv.notify_all();
+        panic::panic_any(CommFailure(err));
+    }
+
+    /// Unwinds this rank because *another* rank tripped the abort flag.
+    fn raise_cluster_abort(&self) -> ! {
+        let (origin, reason) = self.abort.snapshot();
+        panic::panic_any(CommFailure(CommError::ClusterAborted {
+            rank: self.rank,
+            origin,
+            reason,
+        }));
+    }
+
+    /// Raises a structured protocol-violation error (replaces the bare
+    /// panics of pre-fault-tolerance call sites, e.g. "owner rank missing
+    /// requested node"), aborting the whole cluster instead of deadlocking
+    /// the survivors.
+    pub fn protocol_error(&self, detail: impl Into<String>) -> ! {
+        self.fail(CommError::Protocol {
+            rank: self.rank,
+            detail: detail.into(),
+        })
+    }
+
+    fn check_abort(&self) {
+        if self.abort.tripped() {
+            self.raise_cluster_abort();
+        }
+    }
+
+    /// Op-count bookkeeping at every public comm-op entry: abort check plus
+    /// the fault-injection kill point.
+    fn tick_op(&self) {
+        self.check_abort();
+        let n = self.ops.get() + 1;
+        self.ops.set(n);
+        if let Some(f) = &self.fault {
+            if f.should_kill(self.rank, n) {
+                self.fail(CommError::FaultInjected {
+                    rank: self.rank,
+                    op: n,
+                });
+            }
+        }
+    }
+
+    // --- Accounting -------------------------------------------------------
+
+    fn account_send(&self, bytes: u64) {
         let mut s = self.stats.get();
         s.bytes_sent += bytes;
         s.messages += 1;
         self.stats.set(s);
     }
 
+    fn account_recv(&self, bytes: u64) {
+        let mut s = self.stats.get();
+        s.bytes_received += bytes;
+        s.messages_received += 1;
+        self.stats.set(s);
+    }
+
     fn next_tag(&self) -> u64 {
+        self.tick_op();
+        self.flush_deferred();
         let t = self.op_counter.get();
         self.op_counter.set(t + 1);
         t
     }
 
-    fn send_raw<T: Send + 'static>(&self, to: usize, tag: u64, msg: T, bytes: u64) {
-        self.account(bytes);
-        self.senders[to]
-            .send((self.rank, tag, Box::new(msg)))
-            .expect("receiver alive");
+    // --- Transport --------------------------------------------------------
+
+    /// Releases any fault-deferred sends (in original order, after whatever
+    /// jumped the queue).
+    fn flush_deferred(&self) {
+        if self.fault.is_none() {
+            return;
+        }
+        let packets: Vec<(usize, Packet)> = self.deferred.borrow_mut().drain(..).collect();
+        for (to, pkt) in packets {
+            if self.senders[to].send(pkt).is_err() {
+                self.check_abort();
+                self.fail(CommError::ChannelClosed {
+                    rank: self.rank,
+                    to,
+                });
+            }
+        }
     }
 
-    fn recv_raw<T: Send + 'static>(&self, from: usize, tag: u64) -> T {
-        // First check parked messages.
-        {
-            let mut inbox = self.inbox.borrow_mut();
-            if let Some(pos) = inbox.iter().position(|(f, t, _)| *f == from && *t == tag) {
-                let (_, _, b) = inbox.swap_remove(pos);
-                return *b.downcast::<T>().expect("message type mismatch");
+    /// Sends one packet, applying fault-injection delay/reorder.
+    fn dispatch(&self, to: usize, tag: u64, msg: Box<dyn Any + Send>, salt: u64) {
+        if let Some(f) = &self.fault {
+            let ops = self.ops.get();
+            if let Some(d) = f.delay_for(self.rank, ops, salt) {
+                std::thread::sleep(d);
+            }
+            if f.should_reorder(self.rank, ops, salt) {
+                self.deferred.borrow_mut().push((to, (self.rank, tag, msg)));
+                return;
             }
         }
-        loop {
-            let (f, t, b) = self.receiver.recv().expect("senders alive");
-            if f == from && t == tag {
-                return *b.downcast::<T>().expect("message type mismatch");
+        if self.senders[to].send((self.rank, tag, msg)).is_err() {
+            self.check_abort();
+            self.fail(CommError::ChannelClosed {
+                rank: self.rank,
+                to,
+            });
+        }
+        // Anything deferred earlier now goes out *after* this packet: that
+        // is the reorder.
+        self.flush_deferred();
+    }
+
+    /// Fault-injection duplicate of a collective payload. The receiver's
+    /// matcher consumes exactly one copy per `recv`; the spare parks in the
+    /// inbox under a never-reused collective tag, so correctness requires
+    /// (and chaos tests verify) that parked garbage is never matched.
+    /// Duplicates are not accounted in [`CommStats`]: they are faults, not
+    /// protocol traffic.
+    fn maybe_duplicate<T: Clone + Send + 'static>(&self, to: usize, tag: u64, v: &[T]) {
+        if let Some(f) = &self.fault {
+            if f.should_duplicate(self.rank, self.ops.get(), to as u64) {
+                let _ = self.senders[to].send((self.rank, tag, Box::new(v.to_vec())));
             }
-            self.inbox.borrow_mut().push((f, t, b));
         }
     }
+
+    fn send_raw<T: Send + 'static>(&self, to: usize, tag: u64, msg: T, bytes: u64) {
+        self.account_send(bytes);
+        self.dispatch(to, tag, Box::new(msg), to as u64);
+    }
+
+    fn downcast_payload<T: Send + 'static>(
+        &self,
+        from: usize,
+        tag: u64,
+        b: Box<dyn Any + Send>,
+    ) -> T {
+        match b.downcast::<T>() {
+            Ok(v) => *v,
+            Err(_) => self.fail(CommError::TypeMismatch {
+                rank: self.rank,
+                from,
+                tag: fmt_tag(tag),
+                expected: type_name::<T>(),
+            }),
+        }
+    }
+
+    fn take_from_inbox(&self, from: usize, tag: u64) -> Option<Packet> {
+        let mut inbox = self.inbox.borrow_mut();
+        inbox
+            .iter()
+            .position(|(f, t, _)| *f == from && *t == tag)
+            .map(|pos| inbox.swap_remove(pos))
+    }
+
+    /// Per-rank diagnostic attached to a watchdog timeout.
+    fn recv_wait_context(&self, from: usize, tag: u64) -> String {
+        let inbox = self.inbox.borrow();
+        let mut parked: Vec<String> = inbox
+            .iter()
+            .take(16)
+            .map(|(f, t, _)| format!("({f}, {})", fmt_tag(*t)))
+            .collect();
+        if inbox.len() > 16 {
+            parked.push(format!("... {} more", inbox.len() - 16));
+        }
+        format!(
+            "waiting on recv(from rank {from}, {}); {} parked message(s) [{}]",
+            fmt_tag(tag),
+            inbox.len(),
+            parked.join(", ")
+        )
+    }
+
+    /// Blocking matched receive with abort polling and watchdog deadline.
+    fn recv_raw<T: Send + 'static>(&self, from: usize, tag: u64) -> T {
+        self.flush_deferred();
+        if let Some((f, t, b)) = self.take_from_inbox(from, tag) {
+            return self.downcast_payload(f, t, b);
+        }
+        let start = Instant::now();
+        loop {
+            self.check_abort();
+            let waited = start.elapsed();
+            if waited >= self.timeout {
+                self.fail(CommError::Timeout {
+                    rank: self.rank,
+                    op: self.ops.get(),
+                    waited_secs: waited.as_secs_f64(),
+                    context: self.recv_wait_context(from, tag),
+                });
+            }
+            match self.receiver.recv_timeout(POLL) {
+                Ok((f, t, b)) => {
+                    if f == from && t == tag {
+                        if let Some(fp) = &self.fault {
+                            if let Some(d) = fp.delay_for(self.rank, self.ops.get(), f as u64 | 0x8000)
+                            {
+                                std::thread::sleep(d);
+                            }
+                        }
+                        return self.downcast_payload(f, t, b);
+                    }
+                    self.inbox.borrow_mut().push((f, t, b));
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Unreachable while this rank lives (it holds a sender to
+                    // itself via the shared sender table), so treat it as a
+                    // protocol violation rather than ignoring it.
+                    self.protocol_error("all senders disconnected while receiving");
+                }
+            }
+        }
+    }
+
+    /// Typed receive of a `Vec` payload, with exact-byte receive accounting.
+    fn recv_vec<T: Send + 'static>(&self, from: usize, tag: u64) -> Vec<T> {
+        let v: Vec<T> = self.recv_raw(from, tag);
+        self.account_recv((v.len() * std::mem::size_of::<T>()) as u64);
+        v
+    }
+
+    // --- Point-to-point ---------------------------------------------------
 
     /// Point-to-point send of a typed vector. `tag` must fit in 63 bits.
     pub fn send<T: Send + 'static>(&self, to: usize, tag: u64, msg: Vec<T>) {
+        self.tick_op();
+        if tag & USER_TAG_BIT != 0 {
+            self.protocol_error("user tag must fit in 63 bits");
+        }
         let bytes = (msg.len() * std::mem::size_of::<T>()) as u64;
         self.send_raw(to, USER_TAG_BIT | tag, msg, bytes);
     }
 
     /// Matching receive for [`Comm::send`].
     pub fn recv<T: Send + 'static>(&self, from: usize, tag: u64) -> Vec<T> {
-        self.recv_raw(from, USER_TAG_BIT | tag)
+        self.tick_op();
+        self.recv_vec(from, USER_TAG_BIT | tag)
     }
 
-    /// Barrier across all ranks.
+    // --- Collectives ------------------------------------------------------
+
+    /// Barrier across all ranks, with abort polling and watchdog deadline.
     pub fn barrier(&self) {
+        self.barrier_with_deadline(self.timeout, "barrier");
+    }
+
+    /// The finalize barrier run by the SPMD driver after user code returns.
+    ///
+    /// Uses a doubled deadline: a peer genuinely stuck in a *communication*
+    /// op trips its own 1× watchdog first, so a rank parked here reports a
+    /// sympathetic abort rather than racing the stuck rank for root-cause
+    /// attribution. The 2× expiry only fires when a peer is wedged outside
+    /// comm entirely (e.g. an infinite loop in user code), where this is
+    /// the only diagnostic left.
+    pub(crate) fn finalize_barrier(&self) {
+        self.barrier_with_deadline(
+            self.timeout.saturating_mul(2),
+            "finalize barrier (peer never finished its closure)",
+        );
+    }
+
+    fn barrier_with_deadline(&self, deadline: Duration, label: &str) {
+        self.tick_op();
+        self.flush_deferred();
         if self.size == 1 {
             return;
         }
-        let mut guard = self.barrier.count.lock();
+        let start = Instant::now();
+        let mut guard = lock_ignore_poison(&self.barrier.count);
         let gen = guard.1;
         guard.0 += 1;
         if guard.0 == self.size {
             guard.0 = 0;
             guard.1 += 1;
             self.barrier.cv.notify_all();
-        } else {
-            while guard.1 == gen {
-                self.barrier.cv.wait(&mut guard);
+            return;
+        }
+        while guard.1 == gen {
+            if self.abort.tripped() {
+                drop(guard);
+                self.raise_cluster_abort();
             }
+            let waited = start.elapsed();
+            if waited >= deadline {
+                let arrived = guard.0;
+                drop(guard);
+                self.fail(CommError::Timeout {
+                    rank: self.rank,
+                    op: self.ops.get(),
+                    waited_secs: waited.as_secs_f64(),
+                    context: format!(
+                        "waiting in {label} generation {gen}: {arrived}/{} ranks arrived",
+                        self.size
+                    ),
+                });
+            }
+            let (g, _) = self
+                .barrier
+                .cv
+                .wait_timeout(guard, POLL)
+                .unwrap_or_else(PoisonError::into_inner);
+            guard = g;
         }
     }
 
@@ -156,7 +526,10 @@ impl Comm {
     pub fn all_gather<T: Clone + Send + 'static>(&self, v: T) -> Vec<T> {
         self.all_gatherv(vec![v])
             .into_iter()
-            .map(|mut x| x.pop().expect("one element per rank"))
+            .map(|mut x| match x.pop() {
+                Some(last) if x.is_empty() => last,
+                _ => self.protocol_error("all_gather: expected exactly one element per rank"),
+            })
             .collect()
     }
 
@@ -170,10 +543,9 @@ impl Comm {
         let bytes = (v.len() * std::mem::size_of::<T>()) as u64;
         for to in 0..self.size {
             if to != self.rank {
-                self.account(bytes);
-                self.senders[to]
-                    .send((self.rank, tag, Box::new(v.clone())))
-                    .expect("receiver alive");
+                self.account_send(bytes);
+                self.maybe_duplicate(to, tag, &v);
+                self.dispatch(to, tag, Box::new(v.clone()), to as u64);
             }
         }
         let mut out: Vec<Vec<T>> = Vec::with_capacity(self.size);
@@ -181,19 +553,34 @@ impl Comm {
             if from == self.rank {
                 out.push(v.clone());
             } else {
-                out.push(self.recv_raw(from, tag));
+                out.push(self.recv_vec(from, tag));
             }
         }
         out
     }
 
-    /// All-reduce of `f64`/`usize`-like scalars via [`ReduceOp`].
+    /// All-reduce of `f64` scalars via [`ReduceOp`]. NaN propagates through
+    /// **all** operators (including Min/Max, where `f64::min`/`f64::max`
+    /// would silently drop it): every rank agrees on whether the reduction
+    /// went bad, which the divergence guards in `carve-la` rely on.
     pub fn all_reduce_f64(&self, v: f64, op: ReduceOp) -> f64 {
         let all = self.all_gather(v);
         match op {
             ReduceOp::Sum => all.iter().sum(),
-            ReduceOp::Min => all.iter().cloned().fold(f64::INFINITY, f64::min),
-            ReduceOp::Max => all.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            ReduceOp::Min => all.iter().fold(f64::INFINITY, |a, &x| {
+                if a.is_nan() || x.is_nan() {
+                    f64::NAN
+                } else {
+                    a.min(x)
+                }
+            }),
+            ReduceOp::Max => all.iter().fold(f64::NEG_INFINITY, |a, &x| {
+                if a.is_nan() || x.is_nan() {
+                    f64::NAN
+                } else {
+                    a.max(x)
+                }
+            }),
         }
     }
 
@@ -202,8 +589,8 @@ impl Comm {
         let all = self.all_gather(v);
         match op {
             ReduceOp::Sum => all.iter().sum(),
-            ReduceOp::Min => all.iter().cloned().min().unwrap(),
-            ReduceOp::Max => all.iter().cloned().max().unwrap(),
+            ReduceOp::Min => all.iter().copied().min().unwrap_or(v),
+            ReduceOp::Max => all.iter().copied().max().unwrap_or(v),
         }
     }
 
@@ -216,27 +603,32 @@ impl Comm {
     /// Personalized all-to-all (MPI `Alltoallv`): `sends[i]` goes to rank
     /// `i`; the result's `r[i]` is what rank `i` sent here.
     pub fn all_to_allv<T: Clone + Send + 'static>(&self, mut sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
-        assert_eq!(sends.len(), self.size);
+        if sends.len() != self.size {
+            self.protocol_error(format!(
+                "all_to_allv: {} send lanes for {} ranks",
+                sends.len(),
+                self.size
+            ));
+        }
         let tag = self.next_tag();
         if self.size == 1 {
             return sends;
         }
-        for to in 0..self.size {
+        for (to, lane) in sends.iter_mut().enumerate() {
             if to != self.rank {
-                let payload = std::mem::take(&mut sends[to]);
+                let payload = std::mem::take(lane);
                 let bytes = (payload.len() * std::mem::size_of::<T>()) as u64;
-                self.account(bytes);
-                self.senders[to]
-                    .send((self.rank, tag, Box::new(payload)))
-                    .expect("receiver alive");
+                self.account_send(bytes);
+                self.maybe_duplicate(to, tag, &payload);
+                self.dispatch(to, tag, Box::new(payload), to as u64);
             }
         }
         let mut out: Vec<Vec<T>> = Vec::with_capacity(self.size);
-        for from in 0..self.size {
+        for (from, lane) in sends.iter_mut().enumerate() {
             if from == self.rank {
-                out.push(std::mem::take(&mut sends[from]));
+                out.push(std::mem::take(lane));
             } else {
-                out.push(self.recv_raw(from, tag));
+                out.push(self.recv_vec(from, tag));
             }
         }
         out
@@ -245,43 +637,113 @@ impl Comm {
     /// Broadcast from `root` to all ranks.
     pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, v: Option<Vec<T>>) -> Vec<T> {
         let tag = self.next_tag();
+        let unwrap_root = |v: Option<Vec<T>>| match v {
+            Some(v) => v,
+            None => self.protocol_error("bcast: root must provide the value"),
+        };
         if self.size == 1 {
-            return v.expect("root provides the value");
+            return unwrap_root(v);
         }
         if self.rank == root {
-            let v = v.expect("root provides the value");
+            let v = unwrap_root(v);
             let bytes = (v.len() * std::mem::size_of::<T>()) as u64;
             for to in 0..self.size {
                 if to != root {
-                    self.account(bytes);
-                    self.senders[to]
-                        .send((self.rank, tag, Box::new(v.clone())))
-                        .expect("receiver alive");
+                    self.account_send(bytes);
+                    self.maybe_duplicate(to, tag, &v);
+                    self.dispatch(to, tag, Box::new(v.clone()), to as u64);
                 }
             }
             v
         } else {
-            self.recv_raw(root, tag)
+            self.recv_vec(root, tag)
         }
     }
 }
 
-/// Runs `f` as an SPMD program over `nranks` ranks (threads); returns every
-/// rank's result in rank order.
-pub fn run_spmd<R, F>(nranks: usize, f: F) -> Vec<R>
+impl Drop for Comm {
+    fn drop(&mut self) {
+        // Release fault-deferred sends so a *successfully finishing* rank
+        // never silently swallows messages. A rank dropping mid-abort keeps
+        // them: it is dead, and dead ranks do not deliver.
+        if !self.abort.tripped() {
+            let mut d = self.deferred.borrow_mut();
+            for (to, pkt) in d.drain(..) {
+                let _ = self.senders[to].send(pkt);
+            }
+        }
+    }
+}
+
+/// Options for [`run_spmd_with`].
+#[derive(Clone, Debug, Default)]
+pub struct SpmdOptions {
+    /// Watchdog deadline for blocking waits; defaults to `CARVE_COMM_TIMEOUT`
+    /// seconds from the environment, then [`DEFAULT_TIMEOUT`].
+    pub timeout: Option<Duration>,
+    /// Seeded chaos injection; `None` runs clean.
+    pub fault: Option<FaultPlan>,
+}
+
+impl SpmdOptions {
+    pub fn with_timeout(timeout: Duration) -> Self {
+        SpmdOptions {
+            timeout: Some(timeout),
+            fault: None,
+        }
+    }
+
+    pub fn with_fault(fault: FaultPlan) -> Self {
+        SpmdOptions {
+            timeout: None,
+            fault: Some(fault),
+        }
+    }
+
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+}
+
+fn failure_from_payload(rank: usize, payload: Box<dyn Any + Send>) -> RankFailure {
+    let payload = match payload.downcast::<CommFailure>() {
+        Ok(cf) => {
+            return RankFailure {
+                rank,
+                kind: FailureKind::Comm(cf.0),
+            }
+        }
+        Err(p) => p,
+    };
+    let msg = if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else {
+        String::from("<non-string panic payload>")
+    };
+    RankFailure {
+        rank,
+        kind: FailureKind::Panic(msg),
+    }
+}
+
+/// Runs `f` as an SPMD program over `nranks` ranks (threads) with explicit
+/// fault-tolerance options. Rank panics are contained: the first failure
+/// trips the cluster abort flag, surviving ranks unwind at their next
+/// blocking wait, and the whole outcome is reported as one [`SpmdError`].
+pub fn run_spmd_with<R, F>(nranks: usize, opts: SpmdOptions, f: F) -> Result<Vec<R>, SpmdError>
 where
     R: Send,
     F: Fn(&Comm) -> R + Send + Sync,
 {
     assert!(nranks >= 1);
-    if nranks == 1 {
-        let comm = Comm::solo();
-        return vec![f(&comm)];
-    }
+    let timeout = opts.timeout.unwrap_or_else(default_timeout);
     let mut txs = Vec::with_capacity(nranks);
     let mut rxs = Vec::with_capacity(nranks);
     for _ in 0..nranks {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         txs.push(tx);
         rxs.push(rx);
     }
@@ -290,14 +752,16 @@ where
         count: Mutex::new((0, 0)),
         cv: Condvar::new(),
     });
-    let mut results: Vec<Option<R>> = (0..nranks).map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
+    let abort = Arc::new(AbortState::default());
+    let outcomes: Vec<Result<R, RankFailure>> = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(nranks);
         for (rank, rx) in rxs.into_iter().enumerate() {
             let senders = Arc::clone(&senders);
             let barrier = Arc::clone(&barrier);
+            let abort = Arc::clone(&abort);
+            let fault = opts.fault.clone();
             let f = &f;
-            handles.push(s.spawn(move |_| {
+            handles.push(s.spawn(move || {
                 let comm = Comm {
                     rank,
                     size: nranks,
@@ -305,21 +769,95 @@ where
                     receiver: rx,
                     inbox: RefCell::new(Vec::new()),
                     barrier,
+                    abort,
                     op_counter: Cell::new(0),
+                    ops: Cell::new(0),
                     stats: Cell::new(CommStats::default()),
+                    timeout,
+                    fault,
+                    deferred: RefCell::new(Vec::new()),
                 };
-                f(&comm)
+                match panic::catch_unwind(AssertUnwindSafe(|| {
+                    let r = f(&comm);
+                    // Finalize barrier (MPI_Finalize-style): no rank drops
+                    // its receiver while peers may still hold protocol
+                    // traffic for it — e.g. a fault-deferred send whose
+                    // duplicate already satisfied the receiver. Barrier
+                    // entry flushes this rank's deferred queue while every
+                    // receiver is still alive. Runs on a relaxed deadline so
+                    // a peer stuck in a real comm op keeps root-cause credit.
+                    comm.finalize_barrier();
+                    r
+                })) {
+                    Ok(v) => Ok(v),
+                    Err(payload) => {
+                        let failure = failure_from_payload(rank, payload);
+                        // Contain the panic: poison the cluster so ranks
+                        // blocked on this one unwind promptly (first trip
+                        // wins the origin slot; comm-layer failures already
+                        // tripped it inside `fail`).
+                        comm.abort.trip(rank, &failure.to_string());
+                        comm.barrier.cv.notify_all();
+                        Err(failure)
+                    }
+                }
             }));
         }
-        for (rank, h) in handles.into_iter().enumerate() {
-            results[rank] = Some(h.join().expect("rank panicked"));
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| {
+                h.join().unwrap_or_else(|_| {
+                    Err(RankFailure {
+                        rank,
+                        kind: FailureKind::Panic(String::from("spmd runtime wrapper panicked")),
+                    })
+                })
+            })
+            .collect()
+    });
+    let mut results = Vec::with_capacity(nranks);
+    let mut failures = Vec::new();
+    for out in outcomes {
+        match out {
+            Ok(r) => results.push(r),
+            Err(fl) => failures.push(fl),
         }
-    })
-    .expect("spmd scope");
-    results.into_iter().map(|r| r.expect("joined")).collect()
+    }
+    if failures.is_empty() {
+        Ok(results)
+    } else {
+        Err(SpmdError { failures })
+    }
+}
+
+/// Fault-tolerant SPMD launch with default options: returns every rank's
+/// result in rank order, or a structured [`SpmdError`] naming the failing
+/// rank(s).
+pub fn try_run_spmd<R, F>(nranks: usize, f: F) -> Result<Vec<R>, SpmdError>
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Send + Sync,
+{
+    run_spmd_with(nranks, SpmdOptions::default(), f)
+}
+
+/// Runs `f` as an SPMD program over `nranks` ranks (threads); returns every
+/// rank's result in rank order. Panicking wrapper around [`try_run_spmd`]
+/// for call sites that treat a distributed failure as fatal.
+pub fn run_spmd<R, F>(nranks: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Send + Sync,
+{
+    match try_run_spmd(nranks, f) {
+        Ok(v) => v,
+        Err(e) => panic!("run_spmd failed: {e}"),
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -344,6 +882,33 @@ mod tests {
             assert_eq!(s, 10.0);
             assert_eq!(mn, 1);
             assert_eq!(mx, 4);
+        }
+    }
+
+    #[test]
+    fn all_reduce_f64_propagates_nan_through_min_max() {
+        // Regression: f64::min/f64::max silently swallow NaN, so ranks could
+        // disagree on whether a reduction went bad; Sum propagated it but
+        // Min/Max did not. All three must now agree on NaN everywhere.
+        for op in [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max] {
+            let res = run_spmd(4, move |c| {
+                let v = if c.rank() == 2 { f64::NAN } else { c.rank() as f64 };
+                c.all_reduce_f64(v, op)
+            });
+            for (r, x) in res.iter().enumerate() {
+                assert!(x.is_nan(), "op {op:?} rank {r}: got {x}, want NaN");
+            }
+        }
+        // And NaN-free reductions still give exact answers.
+        let res = run_spmd(4, |c| {
+            (
+                c.all_reduce_f64(c.rank() as f64, ReduceOp::Min),
+                c.all_reduce_f64(c.rank() as f64, ReduceOp::Max),
+            )
+        });
+        for (mn, mx) in res {
+            assert_eq!(mn, 0.0);
+            assert_eq!(mx, 3.0);
         }
     }
 
@@ -408,7 +973,7 @@ mod tests {
     }
 
     #[test]
-    fn stats_count_bytes() {
+    fn stats_count_bytes_both_directions() {
         let res = run_spmd(2, |c| {
             c.send((c.rank() + 1) % 2, 0, vec![0u64; 10]);
             let _ = c.recv::<u64>((c.rank() + 1) % 2, 0);
@@ -417,6 +982,37 @@ mod tests {
         for s in res {
             assert_eq!(s.bytes_sent, 80);
             assert_eq!(s.messages, 1);
+            assert_eq!(s.bytes_received, 80);
+            assert_eq!(s.messages_received, 1);
+        }
+    }
+
+    #[test]
+    fn collective_receive_accounting_balances_sends() {
+        // Every byte a collective sends must be counted once by its
+        // receiver: cluster totals of sent and received agree exactly.
+        let stats = run_spmd(4, |c| {
+            let _ = c.all_gatherv(vec![c.rank() as u64; c.rank() + 1]);
+            let sends: Vec<Vec<u32>> = (0..4).map(|to| vec![to as u32; 3]).collect();
+            let _ = c.all_to_allv(sends);
+            let _ = c.bcast(1, if c.rank() == 1 { Some(vec![9u8; 5]) } else { None });
+            c.stats()
+        });
+        let sent: u64 = stats.iter().map(|s| s.bytes_sent).sum();
+        let received: u64 = stats.iter().map(|s| s.bytes_received).sum();
+        assert_eq!(sent, received, "stats {stats:?}");
+        let msgs_sent: u64 = stats.iter().map(|s| s.messages).sum();
+        let msgs_received: u64 = stats.iter().map(|s| s.messages_received).sum();
+        assert_eq!(msgs_sent, msgs_received);
+        // all_gatherv: rank r sends (r+1)*8 bytes to 3 peers and receives
+        // every other rank's payload exactly once.
+        let expect_gatherv_recv =
+            |r: u64| -> u64 { (0..4u64).filter(|&q| q != r).map(|q| (q + 1) * 8).sum() };
+        for (r, s) in stats.iter().enumerate() {
+            assert!(
+                s.bytes_received >= expect_gatherv_recv(r as u64),
+                "rank {r} stats {s:?}"
+            );
         }
     }
 
@@ -429,5 +1025,106 @@ mod tests {
             c.rank()
         });
         assert_eq!(res, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn rank_panic_is_contained_and_named() {
+        let err = try_run_spmd(4, |c| {
+            if c.rank() == 2 {
+                panic!("rank 2 exploded");
+            }
+            // Survivors block on a barrier the dead rank never reaches; the
+            // abort flag must wake them promptly.
+            c.barrier();
+            c.rank()
+        })
+        .unwrap_err();
+        assert_eq!(err.failed_ranks(), vec![2]);
+        let primary = err.primary();
+        assert!(matches!(primary[0].kind, FailureKind::Panic(ref m) if m.contains("exploded")));
+        // Survivors recorded sympathetic aborts, not hangs.
+        assert!(err.failures.len() >= 2, "{err}");
+    }
+
+    #[test]
+    fn watchdog_reports_mismatched_tag_instead_of_hanging() {
+        let t0 = Instant::now();
+        let err = run_spmd_with(
+            2,
+            SpmdOptions::with_timeout(Duration::from_millis(150)),
+            |c| {
+                if c.rank() == 0 {
+                    c.send(1, 7, vec![1u8]);
+                } else {
+                    // Wrong tag: this would previously park rank 1 forever.
+                    let _ = c.recv::<u8>(0, 8);
+                }
+                c.rank()
+            },
+        )
+        .unwrap_err();
+        assert!(t0.elapsed() < Duration::from_secs(5), "watchdog too slow");
+        assert_eq!(err.failed_ranks(), vec![1]);
+        match &err.primary()[0].kind {
+            FailureKind::Comm(CommError::Timeout { context, .. }) => {
+                assert!(context.contains("user tag 8"), "context: {context}");
+                assert!(context.contains("parked"), "context: {context}");
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn type_mismatch_is_a_structured_error() {
+        let err = run_spmd_with(
+            2,
+            SpmdOptions::with_timeout(Duration::from_secs(5)),
+            |c| {
+                if c.rank() == 0 {
+                    c.send(1, 3, vec![1.0f64]);
+                } else {
+                    let _ = c.recv::<u32>(0, 3);
+                }
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.failed_ranks(), vec![1]);
+        assert!(
+            matches!(
+                &err.primary()[0].kind,
+                FailureKind::Comm(CommError::TypeMismatch { expected, .. }) if expected.contains("u32")
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn run_spmd_panics_with_structured_message() {
+        let caught = panic::catch_unwind(|| {
+            run_spmd(2, |c| {
+                if c.rank() == 0 {
+                    panic!("boom");
+                }
+                c.barrier();
+            })
+        });
+        let payload = caught.unwrap_err();
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("rank 0"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn solo_comm_collectives_are_identity() {
+        let c = Comm::solo();
+        assert_eq!(c.all_gather(5u32), vec![5]);
+        assert_eq!(c.all_reduce_f64(2.5, ReduceOp::Max), 2.5);
+        assert_eq!(c.exscan_u64(9), 0);
+        c.barrier();
+        let out = c.all_to_allv(vec![vec![1u8, 2]]);
+        assert_eq!(out, vec![vec![1, 2]]);
     }
 }

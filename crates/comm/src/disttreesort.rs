@@ -170,23 +170,24 @@ pub fn partition_splitters_by_weight(
             if tol > 0.0 {
                 let grain = (n / nparts).max(1);
                 let slack = ((grain as f64) * tol).floor() as usize;
-                let lo = cut.saturating_sub(slack).max(*bounds.last().unwrap());
+                let lo = cut.saturating_sub(slack).max(bounds[bounds.len() - 1]);
                 let hi = (cut + slack).min(n);
                 // Prefer the coarsest cut point in the window (a cut at index
                 // j splits between elements j-1 and j; we pick j whose
                 // element starts the shallowest subtree).
                 let mut best = cut;
                 let mut best_level = if cut < n { levels[cut] } else { u8::MAX };
-                for j in lo..=hi.min(n.saturating_sub(1)) {
-                    if levels[j] < best_level {
-                        best_level = levels[j];
+                let window_end = hi.min(n.saturating_sub(1));
+                for (j, &lvl) in levels.iter().enumerate().take(window_end + 1).skip(lo) {
+                    if lvl < best_level {
+                        best_level = lvl;
                         best = j;
                     }
                 }
                 cut = best;
             }
         }
-        let floor = *bounds.last().unwrap();
+        let floor = bounds[bounds.len() - 1];
         bounds.push(cut.max(floor));
     }
     bounds.push(n);
@@ -194,6 +195,7 @@ pub fn partition_splitters_by_weight(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::comm::run_spmd;

@@ -1,0 +1,235 @@
+//! Structured errors for the SPMD runtime.
+//!
+//! The failure model (DESIGN.md "Failure model"): any rank that hits a
+//! communication fault raises a [`CommError`], trips the cluster-wide abort
+//! flag, and unwinds. Surviving ranks observe the flag inside their next
+//! blocking wait (or op entry), raise [`CommError::ClusterAborted`], and
+//! unwind too. [`crate::try_run_spmd`] catches every rank's unwind and
+//! reports the whole cluster's outcome as one [`SpmdError`].
+
+use std::fmt;
+
+/// A communication-layer failure on one rank.
+#[derive(Debug, Clone)]
+pub enum CommError {
+    /// A blocking wait (`recv`, `barrier`, collective) exceeded the watchdog
+    /// deadline. `context` carries the per-rank diagnostic: what was awaited,
+    /// which messages are parked, the barrier generation, and the op counter.
+    Timeout {
+        rank: usize,
+        op: u64,
+        waited_secs: f64,
+        context: String,
+    },
+    /// A received message's payload type did not match the `recv` call.
+    TypeMismatch {
+        rank: usize,
+        from: usize,
+        tag: String,
+        expected: &'static str,
+    },
+    /// A send found the destination rank's channel closed (rank exited or
+    /// died without the abort flag being set first).
+    ChannelClosed { rank: usize, to: usize },
+    /// Another rank tripped the cluster abort flag; this rank unwound in
+    /// sympathy. `origin` is the rank that failed first.
+    ClusterAborted {
+        rank: usize,
+        origin: usize,
+        reason: String,
+    },
+    /// An SPMD protocol invariant was violated (e.g. an owner rank missing a
+    /// node that was routed to it).
+    Protocol { rank: usize, detail: String },
+    /// The rank was killed by a [`crate::FaultPlan`] at the given op count.
+    FaultInjected { rank: usize, op: u64 },
+}
+
+impl CommError {
+    /// The rank on which this error was raised.
+    pub fn rank(&self) -> usize {
+        match *self {
+            CommError::Timeout { rank, .. }
+            | CommError::TypeMismatch { rank, .. }
+            | CommError::ChannelClosed { rank, .. }
+            | CommError::ClusterAborted { rank, .. }
+            | CommError::Protocol { rank, .. }
+            | CommError::FaultInjected { rank, .. } => rank,
+        }
+    }
+
+    /// True for the sympathetic unwind of a survivor, false for a root cause.
+    pub fn is_sympathetic(&self) -> bool {
+        matches!(self, CommError::ClusterAborted { .. })
+    }
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::Timeout {
+                rank,
+                op,
+                waited_secs,
+                context,
+            } => write!(
+                f,
+                "rank {rank}: watchdog timeout after {waited_secs:.3}s at op {op}: {context}"
+            ),
+            CommError::TypeMismatch {
+                rank,
+                from,
+                tag,
+                expected,
+            } => write!(
+                f,
+                "rank {rank}: message type mismatch receiving from rank {from} ({tag}): expected {expected}"
+            ),
+            CommError::ChannelClosed { rank, to } => {
+                write!(f, "rank {rank}: channel to rank {to} closed")
+            }
+            CommError::ClusterAborted {
+                rank,
+                origin,
+                reason,
+            } => write!(
+                f,
+                "rank {rank}: aborted because rank {origin} failed: {reason}"
+            ),
+            CommError::Protocol { rank, detail } => {
+                write!(f, "rank {rank}: protocol violation: {detail}")
+            }
+            CommError::FaultInjected { rank, op } => {
+                write!(f, "rank {rank}: killed by fault injection at op {op}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Why one rank of an SPMD run failed.
+#[derive(Debug, Clone)]
+pub enum FailureKind {
+    /// The rank's closure panicked (message extracted when possible).
+    Panic(String),
+    /// The communication layer raised a structured error.
+    Comm(CommError),
+}
+
+/// One rank's failure record.
+#[derive(Debug, Clone)]
+pub struct RankFailure {
+    pub rank: usize,
+    pub kind: FailureKind,
+}
+
+impl RankFailure {
+    /// Sympathetic failures are survivors unwinding on the abort flag; they
+    /// are consequences, not causes.
+    pub fn is_sympathetic(&self) -> bool {
+        matches!(&self.kind, FailureKind::Comm(e) if e.is_sympathetic())
+    }
+}
+
+impl fmt::Display for RankFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            FailureKind::Panic(msg) => write!(f, "rank {} panicked: {msg}", self.rank),
+            FailureKind::Comm(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// Aggregate failure of an SPMD run: every rank that did not return a value.
+#[derive(Debug, Clone)]
+pub struct SpmdError {
+    pub failures: Vec<RankFailure>,
+}
+
+impl SpmdError {
+    /// Root-cause failures (everything except sympathetic cluster aborts).
+    /// Falls back to all failures if only sympathetic ones were recorded.
+    pub fn primary(&self) -> Vec<&RankFailure> {
+        let roots: Vec<&RankFailure> =
+            self.failures.iter().filter(|f| !f.is_sympathetic()).collect();
+        if roots.is_empty() {
+            self.failures.iter().collect()
+        } else {
+            roots
+        }
+    }
+
+    /// Ranks responsible for the failure (root causes only), ascending.
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        let mut ranks: Vec<usize> = self.primary().iter().map(|f| f.rank).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        ranks
+    }
+}
+
+impl fmt::Display for SpmdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let primary = self.primary();
+        write!(f, "spmd run failed on {} rank(s): ", primary.len())?;
+        for (i, p) in primary.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        let sympathetic = self.failures.len() - primary.len().min(self.failures.len());
+        if sympathetic > 0 {
+            write!(f, " ({sympathetic} rank(s) aborted in sympathy)")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SpmdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_filters_sympathetic_aborts() {
+        let err = SpmdError {
+            failures: vec![
+                RankFailure {
+                    rank: 0,
+                    kind: FailureKind::Comm(CommError::ClusterAborted {
+                        rank: 0,
+                        origin: 2,
+                        reason: "x".into(),
+                    }),
+                },
+                RankFailure {
+                    rank: 2,
+                    kind: FailureKind::Comm(CommError::FaultInjected { rank: 2, op: 7 }),
+                },
+            ],
+        };
+        assert_eq!(err.failed_ranks(), vec![2]);
+        let msg = err.to_string();
+        assert!(msg.contains("rank 2"), "{msg}");
+        assert!(msg.contains("fault injection"), "{msg}");
+        assert!(msg.contains("sympathy"), "{msg}");
+    }
+
+    #[test]
+    fn all_sympathetic_falls_back_to_everything() {
+        let err = SpmdError {
+            failures: vec![RankFailure {
+                rank: 1,
+                kind: FailureKind::Comm(CommError::ClusterAborted {
+                    rank: 1,
+                    origin: 0,
+                    reason: "y".into(),
+                }),
+            }],
+        };
+        assert_eq!(err.failed_ranks(), vec![1]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Seeded chaos injection for the SPMD runtime.
+//!
+//! A [`FaultPlan`] attached to a run via [`crate::SpmdOptions`] perturbs the
+//! communication schedule deterministically: every decision is a pure
+//! function of `(seed, rank, op counter, salt)`, so a failing chaos test
+//! replays bit-identically from its seed. Four perturbations:
+//!
+//! * **delay** — sleep a bounded pseudo-random duration before a send or
+//!   after matching a receive, scrambling cross-rank interleavings;
+//! * **reorder** — defer a point-to-point/collective send and release it
+//!   after the *next* send, swapping in-channel delivery order (stresses the
+//!   out-of-order inbox parking);
+//! * **duplicate** — deliver a collective payload twice (the dup parks in
+//!   the receiver's inbox; a correct matcher must never consume it);
+//! * **kill** — panic a chosen rank once its op counter reaches a chosen
+//!   value, exercising panic containment and cluster abort.
+
+use std::time::Duration;
+
+/// Kill one rank at one op count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KillSpec {
+    pub rank: usize,
+    pub at_op: u64,
+}
+
+/// Deterministic, seeded fault-injection plan for one SPMD run.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    pub seed: u64,
+    /// Kill this rank when its op counter reaches `at_op`.
+    pub kill: Option<KillSpec>,
+    /// Probability of delaying any single send/receive.
+    pub delay_prob: f64,
+    /// Upper bound on an injected delay.
+    pub max_delay: Duration,
+    /// Probability of deferring a send past the next one (reorder).
+    pub reorder_prob: f64,
+    /// Probability of duplicating a collective payload.
+    pub duplicate_prob: f64,
+}
+
+impl FaultPlan {
+    /// A hostile-schedule plan: delays, reorders, and duplicates, no kill.
+    pub fn chaos(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            kill: None,
+            delay_prob: 0.15,
+            max_delay: Duration::from_micros(300),
+            reorder_prob: 0.15,
+            duplicate_prob: 0.10,
+        }
+    }
+
+    /// A plan that only kills `rank` at op `at_op`.
+    pub fn kill_rank(rank: usize, at_op: u64) -> Self {
+        FaultPlan {
+            kill: Some(KillSpec { rank, at_op }),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Builder: add a kill to an existing (e.g. chaos) plan.
+    pub fn with_kill(mut self, rank: usize, at_op: u64) -> Self {
+        self.kill = Some(KillSpec { rank, at_op });
+        self
+    }
+
+    /// Should `rank` die now, given its op counter?
+    pub(crate) fn should_kill(&self, rank: usize, ops: u64) -> bool {
+        matches!(self.kill, Some(k) if k.rank == rank && ops >= k.at_op)
+    }
+
+    /// Deterministic unit draw for a decision site.
+    fn draw(&self, rank: usize, ops: u64, salt: u64) -> f64 {
+        let mut z = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((rank as u64) << 32)
+            .wrapping_add(ops)
+            .wrapping_add(salt.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    pub(crate) fn delay_for(&self, rank: usize, ops: u64, salt: u64) -> Option<Duration> {
+        if self.delay_prob <= 0.0 {
+            return None;
+        }
+        let u = self.draw(rank, ops, salt);
+        if u < self.delay_prob {
+            let frac = self.draw(rank, ops, salt ^ 0xA5A5);
+            Some(Duration::from_nanos(
+                (self.max_delay.as_nanos() as f64 * frac) as u64,
+            ))
+        } else {
+            None
+        }
+    }
+
+    pub(crate) fn should_reorder(&self, rank: usize, ops: u64, salt: u64) -> bool {
+        self.reorder_prob > 0.0 && self.draw(rank, ops, salt ^ 0x5A5A) < self.reorder_prob
+    }
+
+    pub(crate) fn should_duplicate(&self, rank: usize, ops: u64, salt: u64) -> bool {
+        self.duplicate_prob > 0.0 && self.draw(rank, ops, salt ^ 0x3C3C) < self.duplicate_prob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let a = FaultPlan::chaos(9);
+        let b = FaultPlan::chaos(9);
+        let c = FaultPlan::chaos(10);
+        let mut differs = false;
+        for ops in 0..200 {
+            assert_eq!(
+                a.delay_for(1, ops, 3).is_some(),
+                b.delay_for(1, ops, 3).is_some()
+            );
+            assert_eq!(a.should_reorder(2, ops, 0), b.should_reorder(2, ops, 0));
+            if a.should_reorder(2, ops, 0) != c.should_reorder(2, ops, 0) {
+                differs = true;
+            }
+        }
+        assert!(differs, "different seeds should give different schedules");
+    }
+
+    #[test]
+    fn kill_triggers_at_threshold() {
+        let p = FaultPlan::kill_rank(3, 10);
+        assert!(!p.should_kill(3, 9));
+        assert!(p.should_kill(3, 10));
+        assert!(p.should_kill(3, 11));
+        assert!(!p.should_kill(2, 99));
+    }
+
+    #[test]
+    fn default_plan_is_inert() {
+        let p = FaultPlan::default();
+        for ops in 0..100 {
+            assert!(p.delay_for(0, ops, 0).is_none());
+            assert!(!p.should_reorder(0, ops, 0));
+            assert!(!p.should_duplicate(0, ops, 0));
+            assert!(!p.should_kill(0, ops));
+        }
+    }
+}

@@ -7,10 +7,18 @@
 //! * [`Comm`] — a per-rank communicator handle with MPI-style point-to-point
 //!   (`send` / `recv`) and collectives (`barrier`, `all_gather`,
 //!   `all_gatherv`, `all_reduce`, `exscan`, `all_to_allv`, `bcast`), carried
-//!   over crossbeam channels between OS threads. Every byte sent is counted,
-//!   so communication-volume results (Fig. 11) are exact.
-//! * [`run_spmd`] — launches `P` ranks as scoped threads running the same
-//!   closure (SPMD), returns every rank's result.
+//!   over std `mpsc` channels between OS threads. Every byte sent *and
+//!   received* is counted, so communication-volume results (Fig. 11) are
+//!   exact.
+//! * [`run_spmd`] / [`try_run_spmd`] / [`run_spmd_with`] — launch `P` ranks
+//!   as scoped threads running the same closure (SPMD). The runtime is
+//!   fault-tolerant: rank panics are contained via `catch_unwind`, a
+//!   cluster-wide abort flag unwinds the survivors promptly, every blocking
+//!   wait carries a watchdog deadline (`CARVE_COMM_TIMEOUT`), and failures
+//!   surface as structured [`SpmdError`]s naming the responsible rank(s).
+//! * [`FaultPlan`] — seeded, deterministic chaos injection (delay / reorder /
+//!   duplicate deliveries, kill a rank at a chosen op count) for stress
+//!   testing the distributed algorithms.
 //! * [`disttreesort`] — the distributed sample-sort version of TreeSort used
 //!   by Algorithm 3, with duplicate removal and keep-finer overlap
 //!   resolution across rank boundaries, plus the load-tolerance splitter
@@ -21,8 +29,18 @@
 //! not network performance (wall-clock scaling is modeled separately in the
 //! benchmark harness, see DESIGN.md §2).
 
+// Robustness policy: every "can't happen" in this crate must surface as a
+// structured CommError, not an unwrap/expect panic. Tests are exempt.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod comm;
 pub mod disttreesort;
+pub mod error;
+pub mod fault;
 
-pub use comm::{run_spmd, Comm, CommStats, ReduceOp};
+pub use comm::{
+    run_spmd, run_spmd_with, try_run_spmd, Comm, CommStats, ReduceOp, SpmdOptions, TIMEOUT_ENV,
+};
 pub use disttreesort::{dist_tree_sort, partition_splitters_by_weight};
+pub use error::{CommError, FailureKind, RankFailure, SpmdError};
+pub use fault::{FaultPlan, KillSpec};

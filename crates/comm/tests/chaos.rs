@@ -1,0 +1,127 @@
+//! Chaos tests for the fault-tolerant SPMD runtime: a rank killed in the
+//! middle of `dist_tree_sort` must surface as a structured [`SpmdError`]
+//! naming the dead rank — promptly (no deadlock, no watchdog expiry) and
+//! deterministically per seed. Hostile schedules (delays, reorders,
+//! duplicated collective payloads) must not change any result.
+
+use carve_comm::{
+    dist_tree_sort, run_spmd_with, CommError, FailureKind, FaultPlan, SpmdOptions,
+};
+use carve_sfc::{Curve, Octant};
+use std::time::{Duration, Instant};
+
+/// Deterministic per-rank octant workload (splitmix64 walk, no rand dep).
+fn seeded_octants<const DIM: usize>(n: usize, max_level: u8, seed: u64) -> Vec<Octant<DIM>> {
+    let mut z = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = z;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    };
+    (0..n)
+        .map(|_| {
+            let level = 1 + (next() % max_level as u64) as u8;
+            let mut o = Octant::<DIM>::ROOT;
+            for _ in 0..level {
+                o = o.child((next() % (1 << DIM)) as usize);
+            }
+            o
+        })
+        .collect()
+}
+
+fn sorted_under(plan: Option<FaultPlan>, p: usize) -> Result<Vec<Octant<3>>, carve_comm::SpmdError> {
+    let mut opts = SpmdOptions::default().timeout(Duration::from_secs(20));
+    opts.fault = plan;
+    run_spmd_with(p, opts, |c| {
+        let local = seeded_octants::<3>(120, 5, 1000 + c.rank() as u64);
+        dist_tree_sort(c, local, Curve::Hilbert)
+    })
+    .map(|per_rank| per_rank.into_iter().flatten().collect())
+}
+
+/// The ISSUE acceptance criterion: kill one rank mid-sort; the run completes
+/// well inside the watchdog deadline with a structured error naming exactly
+/// the dead rank, and the outcome is identical on a re-run.
+#[test]
+fn kill_mid_sort_names_dead_rank_within_deadline() {
+    const VICTIM: usize = 2;
+    const AT_OP: u64 = 3;
+    let deadline = Duration::from_secs(20);
+    let start = Instant::now();
+    let err = sorted_under(Some(FaultPlan::kill_rank(VICTIM, AT_OP)), 4)
+        .expect_err("a killed rank must fail the run");
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < deadline,
+        "cluster took {elapsed:?} to unwind — watchdog deadline was the backstop, \
+         abort-flag propagation should be near-instant"
+    );
+
+    // Exactly the victim is the root cause; survivors abort in sympathy.
+    assert_eq!(err.failed_ranks(), vec![VICTIM]);
+    let primary = err.primary();
+    assert_eq!(primary.len(), 1);
+    match &primary[0].kind {
+        FailureKind::Comm(CommError::FaultInjected { rank, op }) => {
+            assert_eq!(*rank, VICTIM);
+            assert_eq!(*op, AT_OP);
+        }
+        other => panic!("expected FaultInjected root cause, got {other:?}"),
+    }
+    let msg = err.to_string();
+    assert!(msg.contains("rank 2"), "{msg}");
+    assert!(msg.contains("fault injection"), "{msg}");
+
+    // Deterministic per seed: an identical plan reproduces the identical
+    // structured outcome, byte for byte.
+    let again = sorted_under(Some(FaultPlan::kill_rank(VICTIM, AT_OP)), 4)
+        .expect_err("re-run must fail identically");
+    assert_eq!(again.to_string(), msg);
+}
+
+/// Killing at different points of the sort never hangs and always indicts
+/// the right rank, whichever collective it dies inside.
+#[test]
+fn kill_points_across_the_sort_are_all_contained() {
+    for (victim, at_op) in [(0usize, 1u64), (1, 2), (3, 4), (2, 6)] {
+        let start = Instant::now();
+        match sorted_under(Some(FaultPlan::kill_rank(victim, at_op)), 4) {
+            Ok(_) => panic!("kill({victim}, {at_op}) never fired — sort finished"),
+            Err(e) => assert_eq!(
+                e.failed_ranks(),
+                vec![victim],
+                "kill({victim}, {at_op}): {e}"
+            ),
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(20),
+            "kill({victim}, {at_op}) took too long to unwind"
+        );
+    }
+}
+
+/// A hostile delivery schedule — random delays, reordered sends, duplicated
+/// collective payloads — must leave the sorted result bit-identical to the
+/// clean run (which itself matches the sequential reference, per the unit
+/// tests in `disttreesort.rs`).
+#[test]
+fn chaos_schedule_does_not_change_sort_result() {
+    let clean = sorted_under(None, 4).expect("clean run");
+    for seed in [7u64, 99, 4242] {
+        let stressed = sorted_under(Some(FaultPlan::chaos(seed)), 4)
+            .unwrap_or_else(|e| panic!("chaos seed {seed} broke the run: {e}"));
+        assert_eq!(stressed, clean, "chaos seed {seed} changed the result");
+    }
+}
+
+/// Chaos plus a kill: the hostile schedule must not mask the structured
+/// root-cause report.
+#[test]
+fn chaos_with_kill_still_names_the_victim() {
+    let err = sorted_under(Some(FaultPlan::chaos(17).with_kill(1, 4)), 4)
+        .expect_err("killed rank must fail the run under chaos too");
+    assert_eq!(err.failed_ranks(), vec![1]);
+}

@@ -88,7 +88,7 @@ fn dist_sort_ancestor_chains_keep_finest() {
 #[test]
 fn dist_sort_some_ranks_empty() {
     let res = run_spmd(6, |c: &Comm| {
-        let local = if c.rank() % 2 == 0 {
+        let local = if c.rank().is_multiple_of(2) {
             vec![Octant::<3>::ROOT.child(c.rank() % 8)]
         } else {
             Vec::new()

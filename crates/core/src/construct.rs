@@ -170,31 +170,27 @@ pub fn construct_boundary_refined<const DIM: usize>(
     base_level: u8,
     boundary_level: u8,
 ) -> Vec<Octant<DIM>> {
-    use rayon::prelude::*;
     assert!(boundary_level >= base_level);
     let mut tree = construct_uniform(domain, curve, base_level);
     loop {
         // The In/Out tests dominate this loop for mesh-based geometry
         // (ray tracing per octant, §5) — classify in parallel, splice
         // serially to keep the output deterministic.
-        let split_lists: Vec<Option<Vec<Octant<DIM>>>> = tree
-            .par_iter()
-            .map(|oct| {
-                let needs_split = oct.level < boundary_level
-                    && classify_octant(domain, oct) == RegionLabel::RetainBoundary;
-                if !needs_split {
-                    return None;
+        let split_lists: Vec<Option<Vec<Octant<DIM>>>> = crate::par::par_map(&tree, |oct| {
+            let needs_split = oct.level < boundary_level
+                && classify_octant(domain, oct) == RegionLabel::RetainBoundary;
+            if !needs_split {
+                return None;
+            }
+            let mut children = Vec::with_capacity(1 << DIM);
+            for c in 0..(1usize << DIM) {
+                let ch = oct.child(c);
+                if classify_octant(domain, &ch) != RegionLabel::Carved {
+                    children.push(ch);
                 }
-                let mut children = Vec::with_capacity(1 << DIM);
-                for c in 0..(1usize << DIM) {
-                    let ch = oct.child(c);
-                    if classify_octant(domain, &ch) != RegionLabel::Carved {
-                        children.push(ch);
-                    }
-                }
-                Some(children)
-            })
-            .collect();
+            }
+            Some(children)
+        });
         let changed = split_lists.iter().any(|s| s.is_some());
         let mut next = Vec::with_capacity(tree.len());
         for (oct, split) in tree.iter().zip(split_lists) {

@@ -224,9 +224,9 @@ impl<const DIM: usize> DistMesh<DIM> {
             let (first, last) = descendant_key_range(n);
             let b0 = splitter_bin(&splitters, curve, &first);
             let b1 = splitter_bin(&splitters, curve, &last);
-            for b in b0..=b1 {
+            for (b, lane) in requests.iter_mut().enumerate().take(b1 + 1).skip(b0) {
                 if b != my {
-                    requests[b].push(*n);
+                    lane.push(*n);
                 }
             }
         }
@@ -283,8 +283,8 @@ impl<const DIM: usize> DistMesh<DIM> {
         }
         let mut coords = Vec::new();
         let mut flags = Vec::new();
-        for i in 0..full_nodes.len() {
-            if needed[i] {
+        for (i, &need) in needed.iter().enumerate() {
+            if need {
                 coords.push(full_nodes.coords[i]);
                 flags.push(full_nodes.flags[i]);
             }
@@ -364,8 +364,8 @@ impl<const DIM: usize> DistMesh<DIM> {
         // Ghosts: request ids from owners.
         let mut ghost_req: Vec<Vec<[u64; DIM]>> = (0..p).map(|_| Vec::new()).collect();
         let mut ghost_req_idx: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
-        for i in 0..nodes.len() {
-            let o = owner[i] as usize;
+        for (i, &ow) in owner.iter().enumerate() {
+            let o = ow as usize;
             if o != my {
                 ghost_req[o].push(nodes.coords[i]);
                 ghost_req_idx[o].push(i as u32);
@@ -380,7 +380,14 @@ impl<const DIM: usize> DistMesh<DIM> {
                 let li = nodes
                     .coords
                     .binary_search_by(|x| point_cmp_morton(x, c))
-                    .unwrap_or_else(|_| panic!("owner rank {my} missing requested node"));
+                    // A structured protocol error aborts the whole cluster;
+                    // a bare panic here used to deadlock the other ranks
+                    // inside the next all_to_allv.
+                    .unwrap_or_else(|_| {
+                        comm.protocol_error(format!(
+                            "owner rank {my} missing requested node {c:?} (broker routed a node to a non-user)"
+                        ))
+                    });
                 debug_assert_eq!(owner[li], my as u32, "request routed to non-owner");
                 send_plan[q].push(li as u32);
                 id_replies[q].push(global_id[li]);
@@ -434,8 +441,8 @@ impl<const DIM: usize> DistMesh<DIM> {
             sends.push(payload);
         }
         let recv = comm.all_to_allv(sends);
-        for q in 0..p {
-            for (slot, v) in self.recv_plan[q].iter().zip(&recv[q]) {
+        for (plan, lane) in self.recv_plan.iter().zip(&recv) {
+            for (slot, v) in plan.iter().zip(lane) {
                 values[*slot as usize] = *v;
             }
         }
@@ -452,10 +459,7 @@ impl<const DIM: usize> DistMesh<DIM> {
         for q in 0..p {
             let payload: Vec<f64> = self.recv_plan[q]
                 .iter()
-                .map(|&i| {
-                    let v = values[i as usize];
-                    v
-                })
+                .map(|&i| values[i as usize])
                 .collect();
             bytes += (payload.len() * 8) as u64;
             sends.push(payload);
@@ -466,8 +470,8 @@ impl<const DIM: usize> DistMesh<DIM> {
             }
         }
         let recv = comm.all_to_allv(sends);
-        for q in 0..p {
-            for (slot, v) in self.send_plan[q].iter().zip(&recv[q]) {
+        for (plan, lane) in self.send_plan.iter().zip(&recv) {
+            for (slot, v) in plan.iter().zip(lane) {
                 values[*slot as usize] += *v;
             }
         }
@@ -536,7 +540,15 @@ pub fn dist_construct_constrained<const DIM: usize>(
     local_seeds: Vec<Octant<DIM>>,
 ) -> Vec<Octant<DIM>> {
     let seeds = dist_tree_sort(comm, local_seeds, curve);
-    let t_tmp = construct_constrained(domain, curve, &seeds);
+    // Graceful incompleteness (§3.5): a rank left without seeds (more ranks
+    // than octants) must still join every collective, but running Algorithm 2
+    // with zero constraints would emit the root octant and shadow-cover the
+    // whole domain; it contributes nothing instead.
+    let t_tmp = if seeds.is_empty() {
+        Vec::new()
+    } else {
+        construct_constrained(domain, curve, &seeds)
+    };
     dist_tree_sort(comm, t_tmp, curve)
 }
 
@@ -707,6 +719,88 @@ mod tests {
         });
         let total: f64 = sums.iter().sum();
         assert!(total > 0.0);
+    }
+
+    #[test]
+    fn zero_octant_rank_participates_gracefully() {
+        // Graceful incompleteness (§3.5): more ranks than elements. A level-1
+        // uniform 2D mesh has 4 elements; over 5 ranks at least one rank owns
+        // nothing, yet construction and both ghost exchanges must complete
+        // without deadlock and the global mesh must stay intact.
+        let p = 5;
+        let results: Vec<(usize, usize, f64)> = run_spmd(p, |c| {
+            let domain = FullDomain;
+            let m = DistMesh::<2>::build(c, &domain, Curve::Morton, 1, 1, 1);
+            let mut v: Vec<f64> = (0..m.nodes.len())
+                .map(|i| if m.owner[i] as usize == c.rank() { 1.0 } else { 0.0 })
+                .collect();
+            m.ghost_read(c, &mut v);
+            m.ghost_accumulate(c, &mut v);
+            let owned_sum: f64 = (0..m.nodes.len())
+                .filter(|&i| m.owner[i] as usize == c.rank())
+                .map(|i| v[i])
+                .sum();
+            (m.num_owned_elems(), m.n_global_dofs, owned_sum)
+        });
+        let total_elems: usize = results.iter().map(|r| r.0).sum();
+        assert_eq!(total_elems, 4, "{results:?}");
+        assert!(
+            results.iter().any(|r| r.0 == 0),
+            "at least one rank must own zero octants: {results:?}"
+        );
+        // Level-1 uniform 2D grid has 3x3 nodes, and every rank agrees.
+        for (_, ndofs, owned_sum) in &results {
+            assert_eq!(*ndofs, 9, "{results:?}");
+            assert!(owned_sum.is_finite());
+        }
+    }
+
+    #[test]
+    fn chaos_schedule_leaves_dist_construction_and_ghosts_exact() {
+        // Hostile delivery schedules (delays, reorders, duplicated collective
+        // payloads) must not change a single bit of the distributed build or
+        // the ghost exchanges.
+        use carve_comm::{run_spmd_with, FaultPlan, SpmdOptions};
+        let p = 4;
+        let run = |fault: Option<FaultPlan>| -> Vec<(Vec<Octant<2>>, usize, Vec<f64>)> {
+            let mut opts = SpmdOptions::default().timeout(std::time::Duration::from_secs(20));
+            opts.fault = fault;
+            run_spmd_with(p, opts, |c| {
+                let domain = sphere_domain_2d();
+                let m = DistMesh::<2>::build(c, &domain, Curve::Hilbert, 3, 5, 1);
+                let mut v: Vec<f64> = (0..m.nodes.len())
+                    .map(|i| if m.owner[i] as usize == c.rank() { 1.0 } else { 0.0 })
+                    .collect();
+                m.ghost_read(c, &mut v);
+                m.ghost_accumulate(c, &mut v);
+                let owned: Vec<f64> = (0..m.nodes.len())
+                    .filter(|&i| m.owner[i] as usize == c.rank())
+                    .map(|i| v[i])
+                    .collect();
+                (m.elems[m.owned.clone()].to_vec(), m.n_global_dofs, owned)
+            })
+            .expect("chaos schedule must not break the run")
+        };
+        let clean = run(None);
+        for seed in [3u64, 271] {
+            assert_eq!(run(Some(FaultPlan::chaos(seed))), clean, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn killed_rank_during_dist_build_is_reported_not_deadlocked() {
+        // A rank dying inside dist_construct_constrained's collectives must
+        // surface as a structured error naming it — the survivors unwind on
+        // the abort flag instead of waiting on a dead peer.
+        use carve_comm::{run_spmd_with, FaultPlan, SpmdOptions};
+        let opts = SpmdOptions::with_fault(FaultPlan::kill_rank(1, 2))
+            .timeout(std::time::Duration::from_secs(20));
+        let err = run_spmd_with(3, opts, |c| {
+            let domain = sphere_domain_2d();
+            DistMesh::<2>::build(c, &domain, Curve::Morton, 3, 5, 1).n_global_dofs
+        })
+        .expect_err("killed rank must fail the build");
+        assert_eq!(err.failed_ranks(), vec![1], "{err}");
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod dist;
 pub mod matvec;
 pub mod mesh;
 pub mod nodes;
+pub mod par;
 pub mod refine;
 
 pub use balance::{bottom_up_constrain_neighbors, check_2to1, construct_balanced};
@@ -33,4 +34,5 @@ pub use dist::{DistMesh, GhostStats};
 pub use matvec::{traversal_assemble, traversal_matvec, TraversalTimings};
 pub use mesh::{find_leaf, Mesh};
 pub use nodes::{enumerate_nodes, resolve_slot, NodeFlags, NodeSet, SlotRef};
+pub use par::par_map;
 pub use refine::{adapt_once, construct_from_points, Adapt};

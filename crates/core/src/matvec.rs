@@ -247,9 +247,9 @@ impl<'a, const DIM: usize, V: LeafVisitor<DIM>> Traversal<'a, DIM, V> {
             let p = self.p;
             for (i, c) in parent.coords.iter().enumerate() {
                 let mut incident = true;
-                for k in 0..DIM {
-                    let a = child_oct.anchor[k] as u64 * p;
-                    if c[k] < a || c[k] > a + side * p {
+                for (&ck, &ak) in c.iter().zip(&child_oct.anchor) {
+                    let a = ak as u64 * p;
+                    if ck < a || ck > a + side * p {
                         incident = false;
                         break;
                     }

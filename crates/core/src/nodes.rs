@@ -125,11 +125,11 @@ pub fn enumerate_nodes<const DIM: usize>(
             let idx = lattice_index::<DIM>(lin, q);
             let mut on_boundary = false;
             let mut any_odd = false;
-            for k in 0..DIM {
-                if idx[k] == 0 || idx[k] == q {
+            for &ik in idx.iter().take(DIM) {
+                if ik == 0 || ik == q {
                     on_boundary = true;
                 }
-                if idx[k] % 2 == 1 {
+                if ik % 2 == 1 {
                     any_odd = true;
                 }
             }

@@ -1,0 +1,84 @@
+//! Minimal data-parallel map over OS threads.
+//!
+//! The only data-parallel hot spot in this crate is the In/Out
+//! classification pass of `construct_boundary_refined` (ray tracing per
+//! octant for mesh-based geometry, §5), which was previously a `rayon`
+//! `par_iter`. The build environment has no registry access, and one call
+//! site does not justify a work-stealing pool, so this is a chunked
+//! fork-join over `std::thread::scope`: deterministic output order,
+//! `available_parallelism` workers, sequential fallback for small inputs.
+
+use std::num::NonZeroUsize;
+
+/// Smallest input worth forking for: below this the thread spawn overhead
+/// dwarfs the work.
+const MIN_PAR_LEN: usize = 64;
+
+/// Maps `f` over `items`, preserving order, splitting the slice into one
+/// contiguous chunk per worker thread. `f` runs exactly once per item.
+pub fn par_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(items: &[T], f: F) -> Vec<R> {
+    let workers = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if workers <= 1 || items.len() < MIN_PAR_LEN {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    let f = &f;
+    std::thread::scope(|s| {
+        // Pair each input chunk with its output chunk; disjoint &mut slices
+        // let every worker write results in place without locking.
+        let mut rest = out.as_mut_slice();
+        for piece in items.chunks(chunk) {
+            let (head, tail) = rest.split_at_mut(piece.len());
+            rest = tail;
+            s.spawn(move || {
+                for (slot, item) in head.iter_mut().zip(piece) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| match r {
+            Some(v) => v,
+            // Unreachable: every slot is paired with exactly one input item.
+            None => unreachable!("par_map worker skipped a slot"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_map_and_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        let par = par_map(&items, |x| x * x + 1);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn small_and_empty_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |x| *x).is_empty());
+        assert_eq!(par_map(&[7u32], |x| x + 1), vec![8]);
+        let small: Vec<u32> = (0..10).collect();
+        assert_eq!(par_map(&small, |x| x * 2), (0..20).step_by(2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uneven_chunking() {
+        // Lengths around the MIN_PAR_LEN threshold and non-divisible counts.
+        for n in [63usize, 64, 65, 127, 129, 1001] {
+            let items: Vec<usize> = (0..n).collect();
+            let got = par_map(&items, |x| x + 3);
+            assert_eq!(got, (3..n + 3).collect::<Vec<_>>(), "n={n}");
+        }
+    }
+}

@@ -110,7 +110,6 @@ pub fn construct_from_points<const DIM: usize>(
     let idx: Vec<usize> = (0..points.len()).collect();
     rec_points(
         domain,
-        curve,
         Octant::ROOT,
         points,
         idx,
@@ -125,7 +124,6 @@ pub fn construct_from_points<const DIM: usize>(
 #[allow(clippy::too_many_arguments)]
 fn rec_points<const DIM: usize>(
     domain: &dyn Subdomain<DIM>,
-    curve: Curve,
     s: Octant<DIM>,
     points: &[[f64; DIM]],
     mine: Vec<usize>,
@@ -156,7 +154,6 @@ fn rec_points<const DIM: usize>(
     for (c, bucket) in buckets.into_iter().enumerate() {
         rec_points(
             domain,
-            curve,
             s.child(c),
             points,
             bucket,

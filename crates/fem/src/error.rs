@@ -23,10 +23,10 @@ pub fn elem_values<const DIM: usize>(mesh: &Mesh<DIM>, u: &[f64], e: &Octant<DIM
     let p = mesh.order;
     let npe = carve_core::nodes::nodes_per_elem::<DIM>(p);
     let mut vals = vec![0.0; npe];
-    for lin in 0..npe {
+    for (lin, v) in vals.iter_mut().enumerate().take(npe) {
         let idx = carve_core::nodes::lattice_index::<DIM>(lin, p);
         let c = carve_core::nodes::elem_node_coord(e, p, &idx);
-        vals[lin] = match resolve_slot(&mesh.nodes, e, &c) {
+        *v = match resolve_slot(&mesh.nodes, e, &c) {
             SlotRef::Direct(i) => u[i],
             SlotRef::Hanging(st) => st.iter().map(|(i, w)| u[*i] * w).sum(),
         };
@@ -42,10 +42,10 @@ pub fn eval_local<const DIM: usize>(p: usize, vals: &[f64], tref: &[f64; DIM]) -
     for (lin, v) in vals.iter().enumerate() {
         let mut r = lin;
         let mut b = 1.0;
-        for k in 0..DIM {
+        for &tk in tref.iter().take(DIM) {
             let j = r % nb;
             r /= nb;
-            b *= lagrange_eval_unit(p, j, tref[k]);
+            b *= lagrange_eval_unit(p, j, tk);
         }
         out += v * b;
     }
@@ -79,10 +79,10 @@ pub fn l2_linf_error<const DIM: usize>(
             let mut rem = qlin;
             let mut tref = [0.0; DIM];
             let mut w = 1.0;
-            for k in 0..DIM {
+            for tk in tref.iter_mut().take(DIM) {
                 let qi = rem % nq1;
                 rem /= nq1;
-                tref[k] = quad.points[qi];
+                *tk = quad.points[qi];
                 w *= quad.weights[qi];
             }
             let mut x_unit = [0.0; DIM];
@@ -101,16 +101,16 @@ pub fn l2_linf_error<const DIM: usize>(
         }
     }
     // Also check the nodal values on retained nodes (standard L∞ probe).
-    for i in 0..mesh.nodes.len() {
+    for (i, &ui) in u.iter().enumerate() {
         if mesh.nodes.flags[i].is_carved_boundary() {
             continue;
         }
         let xu = mesh.nodes.unit_coords(i);
         let mut xp = [0.0; DIM];
-        for k in 0..DIM {
-            xp[k] = xu[k] * scale;
+        for (xpk, &xuk) in xp.iter_mut().zip(&xu) {
+            *xpk = xuk * scale;
         }
-        linf = linf.max((u[i] - exact(&xp)).abs());
+        linf = linf.max((ui - exact(&xp)).abs());
     }
     ErrorNorms {
         l2: l2.sqrt(),

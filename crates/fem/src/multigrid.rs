@@ -82,12 +82,12 @@ pub fn build_transfer<const DIM: usize>(coarse: &Mesh<DIM>, fine: &Mesh<DIM>) ->
         let li = (0..(1usize << DIM))
             .find_map(|combo| {
                 let mut pt2 = pt;
-                for k in 0..DIM {
+                for (k, p2) in pt2.iter_mut().enumerate() {
                     if (combo >> k) & 1 == 1 {
-                        if pt2[k] == 0 {
+                        if *p2 == 0 {
                             return None;
                         }
-                        pt2[k] -= 1;
+                        *p2 -= 1;
                     }
                 }
                 find_leaf(&coarse.elems, coarse.curve, &finest_cell_of_point(&pt2))
@@ -268,11 +268,9 @@ impl<const DIM: usize> Multigrid<DIM> {
         let mut a = coo.build().to_dense();
         for i in 0..n {
             if coarse.constrained[i] {
+                // Rows only (columns keep their entries, SPD-ish).
                 for j in 0..n {
                     a[(i, j)] = if i == j { 1.0 } else { 0.0 };
-                    if i != j {
-                        a[(j, i)] = a[(j, i)]; // rows only; keep SPD-ish
-                    }
                 }
             }
         }
@@ -420,6 +418,7 @@ impl<const DIM: usize> Multigrid<DIM> {
 /// Convenience: multigrid-preconditioned CG for `−Δu = f` with zero
 /// Dirichlet data on the selected boundary. Returns (solution, report,
 /// levels).
+#[allow(clippy::too_many_arguments)]
 pub fn mg_pcg<const DIM: usize>(
     domain: &dyn Subdomain<DIM>,
     base: u8,
@@ -444,22 +443,22 @@ pub fn mg_pcg<const DIM: usize>(
             emin[k] = emin_u[k] * scale;
         }
         let local = crate::poisson::load_vector::<DIM>(p, &emin, h_u * scale, f, p + 2);
-        for lin in 0..npe {
+        for (lin, &lv) in local.iter().enumerate().take(npe) {
             let idx = carve_core::nodes::lattice_index::<DIM>(lin, order);
             let c = carve_core::nodes::elem_node_coord(e, order, &idx);
             match resolve_slot(&mesh.nodes, e, &c) {
-                SlotRef::Direct(i) => rhs[i] += local[lin],
+                SlotRef::Direct(i) => rhs[i] += lv,
                 SlotRef::Hanging(st) => {
                     for (i, w) in st {
-                        rhs[i] += w * local[lin];
+                        rhs[i] += w * lv;
                     }
                 }
             }
         }
     }
-    for i in 0..n {
+    for (i, r) in rhs.iter_mut().enumerate() {
         if mesh.nodes.flags[i].is_any_boundary() {
-            rhs[i] = 0.0;
+            *r = 0.0;
         }
     }
     let mut x = vec![0.0; n];
@@ -486,9 +485,9 @@ mod tests {
             .collect();
         let mut uf = vec![0.0; fine.num_dofs()];
         t.prolong(&uc, &mut uf);
-        for i in 0..fine.num_dofs() {
+        for (i, &ufi) in uf.iter().enumerate() {
             let want = lin(&fine.nodes.unit_coords(i));
-            assert!((uf[i] - want).abs() < 1e-12, "node {i}: {} vs {want}", uf[i]);
+            assert!((ufi - want).abs() < 1e-12, "node {i}: {ufi} vs {want}");
         }
     }
 
@@ -568,11 +567,11 @@ mod tests {
         // Solution is positive inside, zero-ish at the boundary nodes.
         let mesh = mg.finest();
         let mut interior_max = 0.0f64;
-        for i in 0..mesh.num_dofs() {
+        for (i, &xi) in x.iter().enumerate() {
             if !mesh.nodes.flags[i].is_any_boundary() {
-                interior_max = interior_max.max(x[i]);
+                interior_max = interior_max.max(xi);
             } else {
-                assert!(x[i].abs() < 1e-9);
+                assert!(xi.abs() < 1e-9);
             }
         }
         assert!(interior_max > 0.0);

@@ -145,13 +145,13 @@ impl<const DIM: usize> ElementCache<DIM> {
     pub fn apply_stiffness_dense(&self, h: f64, u: &[f64], v: &mut [f64]) {
         let scale = h.powi(DIM as i32 - 2);
         let n = u.len();
-        for i in 0..n {
+        for (i, vi) in v.iter_mut().enumerate().take(n) {
             let row = &self.kref.data[i * n..(i + 1) * n];
             let mut s = 0.0;
             for (a, b) in row.iter().zip(u) {
                 s += a * b;
             }
-            v[i] += scale * s;
+            *vi += scale * s;
         }
     }
 
@@ -201,8 +201,8 @@ impl<const DIM: usize> ElementCache<DIM> {
                 );
                 std::mem::swap(&mut self.scratch_a, &mut self.scratch_b);
             }
-            for i in 0..n {
-                v[i] += scale * self.scratch_a[i];
+            for (vi, &si) in v.iter_mut().zip(&self.scratch_a) {
+                *vi += scale * si;
             }
         }
     }
@@ -270,13 +270,13 @@ pub fn load_vector<const DIM: usize>(
             x[k] = min[k] + h * quad.points[q[k]];
         }
         let fx = f(&x);
-        for i in 0..n {
+        for (i, oi) in out.iter_mut().enumerate().take(n) {
             let li = lattice::<DIM>(i, p + 1);
             let mut bi = 1.0;
             for k in 0..DIM {
                 bi *= tab.basis(q[k], li[k]);
             }
-            out[i] += vol * w * fx * bi;
+            *oi += vol * w * fx * bi;
         }
     }
     out
@@ -304,7 +304,7 @@ pub fn stiffness_matrix_anisotropic<const DIM: usize>(p: usize, h: &[f64; DIM]) 
             for j in 0..n {
                 let lj = lattice::<DIM>(j, p + 1);
                 let mut dot = 0.0;
-                for axis in 0..DIM {
+                for (axis, &ha) in h.iter().enumerate().take(DIM) {
                     let mut gi = 1.0;
                     let mut gj = 1.0;
                     for m in 0..DIM {
@@ -317,7 +317,7 @@ pub fn stiffness_matrix_anisotropic<const DIM: usize>(p: usize, h: &[f64; DIM]) 
                         }
                     }
                     // Physical gradients pick up 1/h_axis each.
-                    dot += gi * gj / (h[axis] * h[axis]);
+                    dot += gi * gj / (ha * ha);
                 }
                 k[(i, j)] += w * vol * dot;
             }

@@ -63,8 +63,8 @@ pub fn surrogate_faces<const DIM: usize>(
             for positive in [false, true] {
                 // Same-level neighbor across this face.
                 let mut anchor_i = [0i64; DIM];
-                for k in 0..DIM {
-                    anchor_i[k] = e.anchor[k] as i64;
+                for (ai, &ea) in anchor_i.iter_mut().zip(&e.anchor) {
+                    *ai = ea as i64;
                 }
                 anchor_i[axis] += if positive { side as i64 } else { -(side as i64) };
                 if anchor_i[axis] < 0
@@ -85,8 +85,8 @@ pub fn surrogate_faces<const DIM: usize>(
                 // elements whose same-level neighbor region is partially
                 // covered by finer leaves.)
                 let mut probe = [0u64; DIM];
-                for k in 0..DIM {
-                    probe[k] = e.anchor[k] as u64 + (side as u64) / 2;
+                for (pk, &ea) in probe.iter_mut().zip(&e.anchor) {
+                    *pk = ea as u64 + (side as u64) / 2;
                 }
                 probe[axis] = if positive {
                     e.anchor[axis] as u64 + side as u64
@@ -178,7 +178,7 @@ pub fn sbm_face_terms<const DIM: usize>(
                 v *= crate::basis::lagrange_eval_unit(p, li[k], tref[k]);
             }
             phi[i] = v;
-            for k in 0..DIM {
+            for (k, gk) in grad[i].iter_mut().enumerate() {
                 let mut g = 1.0;
                 for m in 0..DIM {
                     if m == k {
@@ -187,7 +187,7 @@ pub fn sbm_face_terms<const DIM: usize>(
                         g *= crate::basis::lagrange_eval_unit(p, li[m], tref[m]);
                     }
                 }
-                grad[i][k] = g / h;
+                *gk = g / h;
             }
         }
         let _ = &tab; // tabulation kept for parity with volume kernels
@@ -278,12 +278,12 @@ mod tests {
         // Face (axis=1, negative): normal (0,-1), so ∇u·ñ = −c[1] = 0.4.
         let (a, b) = sbm_face_terms::<2>(p, &min, h, (1, false), &params, &map, &ud);
         let mut u = vec![0.0; 4];
-        for i in 0..4 {
+        for (i, ui) in u.iter_mut().enumerate() {
             let xi = [
                 min[0] + h * (i % 2) as f64,
                 min[1] + h * (i / 2) as f64,
             ];
-            u[i] = c[0] * xi[0] + c[1] * xi[1];
+            *ui = c[0] * xi[0] + c[1] * xi[1];
         }
         let mut au = vec![0.0; 4];
         a.matvec(&u, &mut au);

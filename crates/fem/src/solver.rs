@@ -19,6 +19,9 @@ pub enum BcMode {
     Sbm(SbmParams),
 }
 
+/// Closest-point map onto the true boundary Γ (physical coordinates).
+pub type ClosestBoundaryMap<'a, const DIM: usize> = &'a dyn Fn(&[f64; DIM]) -> [f64; DIM];
+
 /// Problem data; positions are unit-cube coordinates × `scale`.
 pub struct PoissonProblem<'a, const DIM: usize> {
     /// Physical size of the root cube.
@@ -30,7 +33,7 @@ pub struct PoissonProblem<'a, const DIM: usize> {
     pub dirichlet: &'a dyn Fn(&[f64; DIM]) -> f64,
     /// Closest point on the true boundary Γ (physical coordinates); only
     /// required for SBM.
-    pub closest_boundary: Option<&'a dyn Fn(&[f64; DIM]) -> [f64; DIM]>,
+    pub closest_boundary: Option<ClosestBoundaryMap<'a, DIM>>,
     /// Impose `dirichlet` strongly at root-cube boundary nodes.
     pub strong_cube_bc: bool,
     pub bc: BcMode,
@@ -142,14 +145,14 @@ pub fn solve_poisson<const DIM: usize>(
                 *x += y;
             }
         }
-        for lin in 0..npe {
+        for (lin, &lv) in local.iter().enumerate().take(npe) {
             let idx = carve_core::nodes::lattice_index::<DIM>(lin, mesh.order);
             let c = carve_core::nodes::elem_node_coord(e, mesh.order, &idx);
             match resolve_slot(&mesh.nodes, e, &c) {
-                SlotRef::Direct(i) => rhs[i] += local[lin],
+                SlotRef::Direct(i) => rhs[i] += lv,
                 SlotRef::Hanging(st) => {
                     for (i, w) in st {
-                        rhs[i] += w * local[lin];
+                        rhs[i] += w * lv;
                     }
                 }
             }
@@ -160,13 +163,13 @@ pub fn solve_poisson<const DIM: usize>(
 
     // Strong Dirichlet rows.
     let mut constrained = vec![false; n];
-    for i in 0..n {
+    for (i, ci) in constrained.iter_mut().enumerate() {
         let fl = mesh.nodes.flags[i];
         let naive = matches!(prob.bc, BcMode::Naive);
         if (naive && fl.is_carved_boundary())
             || (prob.strong_cube_bc && fl.is_cube_boundary())
         {
-            constrained[i] = true;
+            *ci = true;
         }
     }
     for i in 0..n {
@@ -190,6 +193,17 @@ pub fn solve_poisson<const DIM: usize>(
             }
             rhs[i] = (prob.dirichlet)(&xp);
         }
+    }
+
+    // Divergence guard: a NaN/Inf in the assembled system (bad boundary
+    // data, degenerate SBM map) poisons every Krylov iterate; bail out with
+    // a structured `diverged` report instead of burning 50k iterations.
+    if !rhs.iter().all(|v| v.is_finite()) || !a.vals.iter().all(|v| v.is_finite()) {
+        return PoissonSolution {
+            u: vec![0.0; n],
+            krylov: KrylovResult::divergence(0, f64::NAN),
+            nnz: a.nnz(),
+        };
     }
 
     // The paper's solver configuration: BiCGStab with additive Schwarz.
@@ -295,6 +309,27 @@ mod tests {
             out.push(norms.l2);
         }
         out
+    }
+
+    #[test]
+    fn nan_boundary_data_reports_divergence_not_hang() {
+        // NaN Dirichlet data poisons the right-hand side; the solver must
+        // return a structured diverged report instead of iterating on NaN.
+        let f = |_: &[f64; 2]| 1.0;
+        let bad = |_: &[f64; 2]| f64::NAN;
+        let mesh = Mesh::<2>::build(&FullDomain, Curve::Morton, 3, 3, 1);
+        let prob = PoissonProblem {
+            scale: 1.0,
+            f: &f,
+            dirichlet: &bad,
+            closest_boundary: None,
+            strong_cube_bc: true,
+            bc: BcMode::Naive,
+        };
+        let sol = solve_poisson(&mesh, &FullDomain, &prob);
+        assert!(sol.krylov.diverged, "{:?}", sol.krylov);
+        assert!(!sol.krylov.converged);
+        assert_eq!(sol.krylov.iterations, 0, "guard must fire before iterating");
     }
 
     #[test]

@@ -16,9 +16,9 @@ impl Aabb {
     };
 
     pub fn grow(&mut self, p: &[f64; 3]) {
-        for k in 0..3 {
-            self.min[k] = self.min[k].min(p[k]);
-            self.max[k] = self.max[k].max(p[k]);
+        for (k, &pk) in p.iter().enumerate() {
+            self.min[k] = self.min[k].min(pk);
+            self.max[k] = self.max[k].max(pk);
         }
     }
 
@@ -40,8 +40,8 @@ impl Aabb {
     /// Squared distance from a point to the box (0 inside).
     pub fn dist2(&self, p: &[f64; 3]) -> f64 {
         let mut d2 = 0.0;
-        for k in 0..3 {
-            let d = (self.min[k] - p[k]).max(0.0).max(p[k] - self.max[k]);
+        for (k, &pk) in p.iter().enumerate() {
+            let d = (self.min[k] - pk).max(0.0).max(pk - self.max[k]);
             d2 += d * d;
         }
         d2

@@ -160,13 +160,12 @@ impl<const DIM: usize> Subdomain<DIM> for RetainBox<DIM> {
         // the open box at all (it is within the closed carved complement).
         let mut inside = true;
         let mut intersects_open = true;
-        for k in 0..DIM {
-            let lo = min[k];
-            let hi = min[k] + side;
-            if !(lo > self.min[k] + eps && hi < self.max[k] - eps) {
+        for ((&lo, &blo), &bhi) in min.iter().zip(&self.min).zip(&self.max) {
+            let hi = lo + side;
+            if !(lo > blo + eps && hi < bhi - eps) {
                 inside = false;
             }
-            if hi <= self.min[k] + eps || lo >= self.max[k] - eps {
+            if hi <= blo + eps || lo >= bhi - eps {
                 intersects_open = false;
             }
         }
@@ -184,8 +183,8 @@ impl<const DIM: usize> Subdomain<DIM> for RetainBox<DIM> {
         // Carved set is the closed complement of the open box: a point on
         // the wall is carved (it is a boundary node).
         let eps = 1e-12;
-        for k in 0..DIM {
-            if p[k] <= self.min[k] + eps || p[k] >= self.max[k] - eps {
+        for ((&pk, &blo), &bhi) in p.iter().zip(&self.min).zip(&self.max) {
+            if pk <= blo + eps || pk >= bhi - eps {
                 return true;
             }
         }

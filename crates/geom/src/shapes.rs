@@ -26,10 +26,8 @@ impl<const DIM: usize> Sphere<DIM> {
     fn dist_range_to_cube(&self, min: &[f64; DIM], side: f64) -> (f64, f64) {
         let mut dmin2 = 0.0;
         let mut dmax2 = 0.0;
-        for k in 0..DIM {
-            let lo = min[k];
-            let hi = min[k] + side;
-            let c = self.center[k];
+        for (&lo, &c) in min.iter().zip(&self.center) {
+            let hi = lo + side;
             let dlo = (lo - c).abs();
             let dhi = (hi - c).abs();
             dmax2 += dlo.max(dhi).powi(2);
@@ -121,13 +119,12 @@ impl<const DIM: usize> Solid<DIM> for AxisBox<DIM> {
     fn classify_region(&self, min: &[f64; DIM], side: f64) -> RegionLabel {
         let mut cube_inside_box = true;
         let mut disjoint = false;
-        for k in 0..DIM {
-            let lo = min[k];
-            let hi = min[k] + side;
-            if !(lo >= self.min[k] && hi <= self.max[k]) {
+        for ((&lo, &blo), &bhi) in min.iter().zip(&self.min).zip(&self.max) {
+            let hi = lo + side;
+            if !(lo >= blo && hi <= bhi) {
                 cube_inside_box = false;
             }
-            if hi < self.min[k] || lo > self.max[k] {
+            if hi < blo || lo > bhi {
                 disjoint = true;
             }
         }
@@ -144,9 +141,9 @@ impl<const DIM: usize> Solid<DIM> for AxisBox<DIM> {
         // Positive inside.
         let mut outside2 = 0.0;
         let mut inside = f64::INFINITY;
-        for k in 0..DIM {
-            let lo = self.min[k] - p[k]; // >0 when p below box
-            let hi = p[k] - self.max[k]; // >0 when p above box
+        for ((&pk, &blo), &bhi) in p.iter().zip(&self.min).zip(&self.max) {
+            let lo = blo - pk; // >0 when p below box
+            let hi = pk - bhi; // >0 when p above box
             let out = lo.max(hi);
             if out > 0.0 {
                 outside2 += out * out;
@@ -174,9 +171,9 @@ impl<const DIM: usize> Solid<DIM> for AxisBox<DIM> {
             let mut best_axis = 0;
             let mut best_val = f64::INFINITY;
             let mut snap = 0.0;
-            for k in 0..DIM {
-                let dlo = p[k] - self.min[k];
-                let dhi = self.max[k] - p[k];
+            for (k, &pk) in p.iter().enumerate() {
+                let dlo = pk - self.min[k];
+                let dhi = self.max[k] - pk;
                 if dlo < best_val {
                     best_val = dlo;
                     best_axis = k;

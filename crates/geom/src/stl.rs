@@ -85,7 +85,7 @@ fn parse_ascii(bytes: &[u8]) -> io::Result<TriMesh> {
                 ));
             }
             let base = mesh.vertices.len() as u32;
-            mesh.vertices.extend(current.drain(..));
+            mesh.vertices.append(&mut current);
             mesh.tris.push([base, base + 1, base + 2]);
         }
     }

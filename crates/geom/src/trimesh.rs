@@ -250,8 +250,8 @@ impl Solid<3> for TriMeshSolid {
     fn contains(&self, p: &[f64; 3]) -> bool {
         // Majority vote over three skew rays — robust against edge grazing.
         let dirs = [
-            [0.577_215_664, 0.301_029_995, 0.757_872_156],
-            [-0.693_147_180, 0.482_426_149, 0.535_533_905],
+            [0.577_215_664, 0.301_047_317, 0.757_872_156],
+            [-0.693_128_947, 0.482_426_149, 0.535_533_905],
             [0.141_421_356, -0.866_025_403, 0.479_425_538],
         ];
         let mut inside_votes = 0;

@@ -2,10 +2,12 @@
 //! prints through these), CSV/JSON result files, and legacy-ASCII VTK
 //! unstructured-grid output for visualization (Fig. 14/16 style dumps).
 
+pub mod json;
 pub mod results;
 pub mod table;
 pub mod vtk;
 
+pub use json::Json;
 pub use results::{ExperimentRecord, Series, ShapeCheck};
 pub use table::{write_csv, Table};
 pub use vtk::write_vtk_mesh;

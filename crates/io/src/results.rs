@@ -1,13 +1,14 @@
-//! Structured experiment records (JSON via serde): every `repro_*` binary
-//! can persist a machine-readable record next to its CSV, so runs are
-//! diffable across machines and commits.
+//! Structured experiment records (JSON via the in-crate [`crate::json`]
+//! module): every `repro_*` binary can persist a machine-readable record
+//! next to its CSV, so runs are diffable across machines and commits. The
+//! on-disk format is unchanged from the earlier serde-based builds.
 
-use serde::{Deserialize, Serialize};
+use crate::json::Json;
 use std::io::Write;
 use std::path::Path;
 
 /// One reproduction run of a paper table/figure.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ExperimentRecord {
     /// Paper artifact id, e.g. "fig6", "table1".
     pub id: String,
@@ -21,18 +22,96 @@ pub struct ExperimentRecord {
     pub checks: Vec<ShapeCheck>,
 }
 
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Series {
     pub name: String,
     pub points: Vec<(f64, f64)>,
 }
 
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ShapeCheck {
     /// E.g. "SBM L2 rate in [1.6, 2.4]".
     pub criterion: String,
     pub passed: bool,
     pub measured: f64,
+}
+
+fn invalid(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+fn field<'a>(j: &'a Json, key: &str) -> std::io::Result<&'a Json> {
+    j.get(key)
+        .ok_or_else(|| invalid(format!("missing field '{key}'")))
+}
+
+fn str_field(j: &Json, key: &str) -> std::io::Result<String> {
+    field(j, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| invalid(format!("field '{key}' is not a string")))
+}
+
+fn pair_f64(j: &Json) -> std::io::Result<(f64, f64)> {
+    match j.as_arr() {
+        Some([a, b]) => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => Ok((x, y)),
+            _ => Err(invalid("point entries must be numbers")),
+        },
+        _ => Err(invalid("point must be a two-element array")),
+    }
+}
+
+impl Series {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            (
+                "points".into(),
+                Json::Arr(
+                    self.points
+                        .iter()
+                        .map(|&(x, y)| Json::Arr(vec![Json::Num(x), Json::Num(y)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(j: &Json) -> std::io::Result<Self> {
+        let points = field(j, "points")?
+            .as_arr()
+            .ok_or_else(|| invalid("'points' is not an array"))?
+            .iter()
+            .map(pair_f64)
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(Series {
+            name: str_field(j, "name")?,
+            points,
+        })
+    }
+}
+
+impl ShapeCheck {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("criterion".into(), Json::Str(self.criterion.clone())),
+            ("passed".into(), Json::Bool(self.passed)),
+            ("measured".into(), Json::Num(self.measured)),
+        ])
+    }
+
+    fn from_json(j: &Json) -> std::io::Result<Self> {
+        Ok(ShapeCheck {
+            criterion: str_field(j, "criterion")?,
+            passed: field(j, "passed")?
+                .as_bool()
+                .ok_or_else(|| invalid("'passed' is not a bool"))?,
+            measured: field(j, "measured")?
+                .as_f64()
+                .ok_or_else(|| invalid("'measured' is not a number"))?,
+        })
+    }
 }
 
 impl ExperimentRecord {
@@ -75,23 +154,81 @@ impl ExperimentRecord {
         self.checks.iter().all(|c| c.passed)
     }
 
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("id".into(), Json::Str(self.id.clone())),
+            ("description".into(), Json::Str(self.description.clone())),
+            (
+                "params".into(),
+                Json::Arr(
+                    self.params
+                        .iter()
+                        .map(|(k, v)| {
+                            Json::Arr(vec![Json::Str(k.clone()), Json::Str(v.clone())])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "series".into(),
+                Json::Arr(self.series.iter().map(Series::to_json).collect()),
+            ),
+            (
+                "checks".into(),
+                Json::Arr(self.checks.iter().map(ShapeCheck::to_json).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(j: &Json) -> std::io::Result<Self> {
+        let params = field(j, "params")?
+            .as_arr()
+            .ok_or_else(|| invalid("'params' is not an array"))?
+            .iter()
+            .map(|p| match p.as_arr() {
+                Some([k, v]) => match (k.as_str(), v.as_str()) {
+                    (Some(k), Some(v)) => Ok((k.to_string(), v.to_string())),
+                    _ => Err(invalid("param entries must be strings")),
+                },
+                _ => Err(invalid("param must be a two-element array")),
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        let series = field(j, "series")?
+            .as_arr()
+            .ok_or_else(|| invalid("'series' is not an array"))?
+            .iter()
+            .map(Series::from_json)
+            .collect::<std::io::Result<Vec<_>>>()?;
+        let checks = field(j, "checks")?
+            .as_arr()
+            .ok_or_else(|| invalid("'checks' is not an array"))?
+            .iter()
+            .map(ShapeCheck::from_json)
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(ExperimentRecord {
+            id: str_field(j, "id")?,
+            description: str_field(j, "description")?,
+            params,
+            series,
+            checks,
+        })
+    }
+
     /// Writes the record as pretty JSON.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
         }
         let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-        let json = serde_json::to_string_pretty(self)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        f.write_all(json.as_bytes())?;
+        f.write_all(self.to_json().to_string_pretty().as_bytes())?;
         f.flush()
     }
 
     /// Loads a record back.
     pub fn load(path: &Path) -> std::io::Result<Self> {
         let s = std::fs::read_to_string(path)?;
-        serde_json::from_str(&s)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        let j = Json::parse(&s).map_err(|e| invalid(e.to_string()))?;
+        Self::from_json(&j)
     }
 }
 
@@ -121,5 +258,27 @@ mod tests {
         assert!(rec.check_range("lo edge", 1.0, 1.0, 2.0));
         assert!(rec.check_range("hi edge", 2.0, 1.0, 2.0));
         assert!(rec.all_passed());
+    }
+
+    #[test]
+    fn load_rejects_malformed_records() {
+        let dir = std::env::temp_dir().join("carve_results_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("broken.json");
+        std::fs::write(&p, "{\"id\": \"x\"}").unwrap();
+        let err = ExperimentRecord::load(&p).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::write(&p, "not json at all").unwrap();
+        assert!(ExperimentRecord::load(&p).is_err());
+    }
+
+    #[test]
+    fn record_with_special_characters_roundtrips() {
+        let mut rec = ExperimentRecord::new("t\"1", "line\nbreak \\ tab\t π");
+        rec.param("geometry", "carved \"sphere\"");
+        let dir = std::env::temp_dir().join("carve_results_test");
+        let p = dir.join("special.json");
+        rec.save(&p).unwrap();
+        assert_eq!(ExperimentRecord::load(&p).unwrap(), rec);
     }
 }

@@ -84,12 +84,12 @@ impl CsrMatrix {
     pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
-        for i in 0..self.n {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut s = 0.0;
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
                 s += self.vals[k] * x[self.cols[k] as usize];
             }
-            y[i] = s;
+            *yi = s;
         }
     }
 
@@ -98,9 +98,9 @@ impl CsrMatrix {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
         y.fill(0.0);
-        for i in 0..self.n {
+        for (i, &xi) in x.iter().enumerate() {
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
-                y[self.cols[k] as usize] += self.vals[k] * x[i];
+                y[self.cols[k] as usize] += self.vals[k] * xi;
             }
         }
     }
@@ -108,10 +108,10 @@ impl CsrMatrix {
     /// The diagonal (zeros where no entry is stored).
     pub fn diagonal(&self) -> Vec<f64> {
         let mut d = vec![0.0; self.n];
-        for i in 0..self.n {
+        for (i, di) in d.iter_mut().enumerate() {
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
                 if self.cols[k] as usize == i {
-                    d[i] += self.vals[k];
+                    *di += self.vals[k];
                 }
             }
         }

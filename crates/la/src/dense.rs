@@ -40,9 +40,9 @@ impl DenseMatrix {
     pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols);
         assert_eq!(y.len(), self.rows);
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            y[i] = crate::vector::dot(row, x);
+            *yi = crate::vector::dot(row, x);
         }
     }
 
@@ -51,10 +51,10 @@ impl DenseMatrix {
         assert_eq!(x.len(), self.rows);
         assert_eq!(y.len(), self.cols);
         y.fill(0.0);
-        for i in 0..self.rows {
+        for (i, &xi) in x.iter().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
             for (yj, aij) in y.iter_mut().zip(row) {
-                *yj += aij * x[i];
+                *yj += aij * xi;
             }
         }
     }
@@ -149,16 +149,16 @@ impl LuFactors {
         // Forward substitution (unit lower).
         for i in 1..n {
             let mut s = x[i];
-            for j in 0..i {
-                s -= self.lu[i * n + j] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                s -= self.lu[i * n + j] * xj;
             }
             x[i] = s;
         }
         // Back substitution.
         for i in (0..n).rev() {
             let mut s = x[i];
-            for j in i + 1..n {
-                s -= self.lu[i * n + j] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                s -= self.lu[i * n + j] * xj;
             }
             x[i] = s / self.lu[i * n + i];
         }
@@ -175,15 +175,15 @@ impl LuFactors {
         // then un-permute.
         for i in 0..n {
             let mut s = x[i];
-            for j in 0..i {
-                s -= self.lu[j * n + i] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                s -= self.lu[j * n + i] * xj;
             }
             x[i] = s / self.lu[i * n + i];
         }
         for i in (0..n).rev() {
             let mut s = x[i];
-            for j in i + 1..n {
-                s -= self.lu[j * n + i] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                s -= self.lu[j * n + i] * xj;
             }
             x[i] = s;
         }

@@ -6,6 +6,7 @@ use crate::krylov::{KrylovResult, LinOp, Precond};
 use crate::vector::{axpy, dot, norm2};
 
 /// Right-preconditioned GMRES(m).
+#[allow(clippy::too_many_arguments)]
 pub fn gmres<A: LinOp, M: Precond>(
     a: &A,
     b: &[f64],
@@ -30,11 +31,15 @@ pub fn gmres<A: LinOp, M: Precond>(
             *ri = bi - *ri;
         }
         let beta = norm2(&r);
+        if !beta.is_finite() {
+            return KrylovResult::divergence(total_iters, beta);
+        }
         if beta <= tol || total_iters >= max_iter {
             return KrylovResult {
                 converged: beta <= tol,
                 iterations: total_iters,
                 residual: beta,
+                diverged: false,
             };
         }
         // Arnoldi with Givens rotations.
@@ -114,6 +119,12 @@ pub fn gmres<A: LinOp, M: Precond>(
 /// Chebyshev polynomial smoother/solver for SPD operators with spectrum
 /// inside `[lambda_min, lambda_max]`: applies a degree-`degree` Chebyshev
 /// iteration to `x` (a standard multigrid smoother).
+///
+/// A smoother has no convergence tolerance, so the returned report means:
+/// `iterations` is the degree actually applied, `residual` the final
+/// residual 2-norm, and `converged`/`diverged` report whether the sweep was
+/// numerically sound — a non-finite residual (NaN/Inf in the operator or
+/// data) flips `diverged` and aborts the remaining applications early.
 pub fn chebyshev<A: LinOp>(
     a: &A,
     b: &[f64],
@@ -121,7 +132,7 @@ pub fn chebyshev<A: LinOp>(
     lambda_min: f64,
     lambda_max: f64,
     degree: usize,
-) {
+) -> KrylovResult {
     assert!(lambda_max > lambda_min && lambda_min > 0.0);
     let n = a.size();
     let theta = 0.5 * (lambda_max + lambda_min);
@@ -134,18 +145,23 @@ pub fn chebyshev<A: LinOp>(
         *ri = bi - *ri;
     }
     let mut d: Vec<f64> = r.iter().map(|ri| ri / theta).collect();
-    for _k in 0..degree {
+    for k in 0..degree {
         axpy(1.0, &d, x);
         // r -= A d
         let mut ad = vec![0.0; n];
         a.apply(&d, &mut ad);
         axpy(-1.0, &ad, &mut r);
+        let rn = norm2(&r);
+        if !rn.is_finite() {
+            return KrylovResult::divergence(k + 1, rn);
+        }
         let rho = 1.0 / (2.0 * sigma - rho_old);
         for (di, ri) in d.iter_mut().zip(&r) {
             *di = rho * rho_old * *di + 2.0 * rho / delta * ri;
         }
         rho_old = rho;
     }
+    KrylovResult::success(degree, norm2(&r))
 }
 
 /// Estimates the largest eigenvalue of an SPD operator by power iteration
@@ -263,12 +279,39 @@ mod tests {
             a.matvec(&x, &mut ax);
             norm2(&ax)
         };
-        chebyshev(&a, &b, &mut x, lmax / 10.0, lmax * 1.05, 6);
+        let rep = chebyshev(&a, &b, &mut x, lmax / 10.0, lmax * 1.05, 6);
+        assert!(rep.converged && !rep.diverged, "{rep:?}");
+        assert_eq!(rep.iterations, 6);
         let r1 = {
             let mut ax = vec![0.0; n];
             a.matvec(&x, &mut ax);
             norm2(&ax)
         };
         assert!(r1 < 0.2 * r0, "chebyshev must crush the rough mode: {r0} -> {r1}");
+    }
+
+    #[test]
+    fn gmres_flags_divergence_on_nan_rhs() {
+        let n = 20;
+        let a = laplace(n);
+        let mut b = vec![1.0; n];
+        b[3] = f64::NAN;
+        let mut x = vec![0.0; n];
+        let res = gmres(&a, &b, &mut x, &IdentityPrecond, 10, 1e-10, 0.0, 100);
+        assert!(res.diverged, "{res:?}");
+        assert!(!res.converged);
+    }
+
+    #[test]
+    fn chebyshev_flags_divergence_on_nan_operator() {
+        // Operator that injects NaN: y = NaN * x.
+        let op = (8usize, |_x: &[f64], y: &mut [f64]| {
+            y.fill(f64::NAN);
+        });
+        let b = vec![1.0; 8];
+        let mut x = vec![1.0; 8];
+        let res = chebyshev(&op, &b, &mut x, 0.1, 2.0, 5);
+        assert!(res.diverged, "{res:?}");
+        assert!(res.iterations <= 5);
     }
 }

@@ -145,6 +145,44 @@ pub struct KrylovResult {
     pub iterations: usize,
     /// Final absolute residual 2-norm.
     pub residual: f64,
+    /// The iteration produced a non-finite residual (NaN/Inf): the operator,
+    /// right-hand side, or preconditioner injected garbage. Distinct from the
+    /// benign "ran out of iterations / breakdown" non-convergence — a
+    /// diverged solve must not be retried with more iterations.
+    pub diverged: bool,
+}
+
+impl KrylovResult {
+    /// Converged stop.
+    pub fn success(iterations: usize, residual: f64) -> Self {
+        KrylovResult {
+            converged: true,
+            iterations,
+            residual,
+            diverged: false,
+        }
+    }
+
+    /// Benign non-convergence (breakdown or iteration cap) — unless the
+    /// residual itself is non-finite, which upgrades it to divergence.
+    pub fn stalled(iterations: usize, residual: f64) -> Self {
+        KrylovResult {
+            converged: false,
+            iterations,
+            residual,
+            diverged: !residual.is_finite(),
+        }
+    }
+
+    /// Definite divergence: NaN/Inf contaminated the iteration.
+    pub fn divergence(iterations: usize, residual: f64) -> Self {
+        KrylovResult {
+            converged: false,
+            iterations,
+            residual,
+            diverged: true,
+        }
+    }
 }
 
 /// Preconditioned conjugate gradients for SPD operators. Stops when
@@ -175,21 +213,16 @@ pub fn cg<A: LinOp, M: Precond>(
     let mut ap = vec![0.0; n];
     for it in 0..max_iter {
         let rn = norm2(&r);
+        if !rn.is_finite() {
+            return KrylovResult::divergence(it, rn);
+        }
         if rn <= tol {
-            return KrylovResult {
-                converged: true,
-                iterations: it,
-                residual: rn,
-            };
+            return KrylovResult::success(it, rn);
         }
         a.apply(&p, &mut ap);
         let pap = dot(&p, &ap);
-        if pap.abs() < 1e-300 {
-            return KrylovResult {
-                converged: false,
-                iterations: it,
-                residual: rn,
-            };
+        if pap.abs() < 1e-300 || !pap.is_finite() {
+            return KrylovResult::stalled(it, rn);
         }
         let alpha = rz / pap;
         axpy(alpha, &p, x);
@@ -202,10 +235,12 @@ pub fn cg<A: LinOp, M: Precond>(
             *pi = zi + beta * *pi;
         }
     }
+    let rn = norm2(&r);
     KrylovResult {
-        converged: norm2(&r) <= tol,
+        converged: rn <= tol,
         iterations: max_iter,
-        residual: norm2(&r),
+        residual: rn,
+        diverged: !rn.is_finite(),
     }
 }
 
@@ -239,20 +274,15 @@ pub fn bicgstab<A: LinOp, M: Precond>(
     let mut t = vec![0.0; n];
     for it in 0..max_iter {
         let rn = norm2(&r);
+        if !rn.is_finite() {
+            return KrylovResult::divergence(it, rn);
+        }
         if rn <= tol {
-            return KrylovResult {
-                converged: true,
-                iterations: it,
-                residual: rn,
-            };
+            return KrylovResult::success(it, rn);
         }
         let rho_new = dot(&r0, &r);
-        if rho_new.abs() < 1e-300 {
-            return KrylovResult {
-                converged: false,
-                iterations: it,
-                residual: rn,
-            };
+        if rho_new.abs() < 1e-300 || !rho_new.is_finite() {
+            return KrylovResult::stalled(it, rn);
         }
         if it == 0 {
             p.copy_from_slice(&r);
@@ -266,50 +296,40 @@ pub fn bicgstab<A: LinOp, M: Precond>(
         m.apply(&p, &mut phat);
         a.apply(&phat, &mut v);
         let r0v = dot(&r0, &v);
-        if r0v.abs() < 1e-300 {
-            return KrylovResult {
-                converged: false,
-                iterations: it,
-                residual: rn,
-            };
+        if r0v.abs() < 1e-300 || !r0v.is_finite() {
+            return KrylovResult::stalled(it, rn);
         }
         alpha = rho / r0v;
         // s = r - alpha v  (reuse r)
         axpy(-alpha, &v, &mut r);
-        if norm2(&r) <= tol {
+        let sn = norm2(&r);
+        if !sn.is_finite() {
+            return KrylovResult::divergence(it + 1, sn);
+        }
+        if sn <= tol {
             axpy(alpha, &phat, x);
-            return KrylovResult {
-                converged: true,
-                iterations: it + 1,
-                residual: norm2(&r),
-            };
+            return KrylovResult::success(it + 1, sn);
         }
         m.apply(&r, &mut shat);
         a.apply(&shat, &mut t);
         let tt = dot(&t, &t);
-        if tt.abs() < 1e-300 {
-            return KrylovResult {
-                converged: false,
-                iterations: it,
-                residual: norm2(&r),
-            };
+        if tt.abs() < 1e-300 || !tt.is_finite() {
+            return KrylovResult::stalled(it, sn);
         }
         omega = dot(&t, &r) / tt;
         axpy(alpha, &phat, x);
         axpy(omega, &shat, x);
         axpy(-omega, &t, &mut r);
         if omega.abs() < 1e-300 {
-            return KrylovResult {
-                converged: false,
-                iterations: it + 1,
-                residual: norm2(&r),
-            };
+            return KrylovResult::stalled(it + 1, norm2(&r));
         }
     }
+    let rn = norm2(&r);
     KrylovResult {
-        converged: norm2(&r) <= tol,
+        converged: rn <= tol,
         iterations: max_iter,
-        residual: norm2(&r),
+        residual: rn,
+        diverged: !rn.is_finite(),
     }
 }
 
@@ -436,6 +456,30 @@ mod tests {
         let mut z = vec![0.0; 30];
         asm.apply(&b, &mut z);
         check_solution(&a, &z, &b, 1e-9);
+    }
+
+    #[test]
+    fn cg_and_bicgstab_flag_divergence_on_nan() {
+        let a = laplace_1d(30);
+        let mut b = vec![1.0; 30];
+        b[7] = f64::NAN;
+        let mut x = vec![0.0; 30];
+        let res = cg(&a, &b, &mut x, &IdentityPrecond, 1e-10, 0.0, 100);
+        assert!(res.diverged && !res.converged, "{res:?}");
+        let mut x = vec![0.0; 30];
+        let res = bicgstab(&a, &b, &mut x, &IdentityPrecond, 1e-10, 0.0, 100);
+        assert!(res.diverged && !res.converged, "{res:?}");
+    }
+
+    #[test]
+    fn stall_is_not_divergence() {
+        // Iteration cap with a finite residual: non-converged but not diverged.
+        let a = laplace_1d(200);
+        let b = vec![1.0; 200];
+        let mut x = vec![0.0; 200];
+        let res = cg(&a, &b, &mut x, &IdentityPrecond, 1e-14, 0.0, 3);
+        assert!(!res.converged && !res.diverged, "{res:?}");
+        assert!(res.residual.is_finite());
     }
 
     #[test]

@@ -156,14 +156,14 @@ mod tests {
         let res = newton(
             &mut x,
             |x, out| {
-                for i in 0..3 {
-                    out[i] = x[i] * x[i] - c[i];
+                for (o, (&xi, &ci)) in out.iter_mut().zip(x.iter().zip(&c)) {
+                    *o = xi * xi - ci;
                 }
             },
             |x| {
                 let mut b = CooBuilder::new(3);
-                for i in 0..3 {
-                    b.add(i, i, 2.0 * x[i]);
+                for (i, &xi) in x.iter().enumerate() {
+                    b.add(i, i, 2.0 * xi);
                 }
                 b.build()
             },

@@ -100,7 +100,8 @@ pub fn drag_on_surrogate<const DIM: usize>(
                     phi *= lagrange_eval_unit(1, li[k], tref[k]);
                 }
                 press += phi * p_e[lin];
-                for kd in 0..DIM {
+                let mut gvec = [0.0; DIM];
+                for (kd, gk) in gvec.iter_mut().enumerate() {
                     let mut g = 1.0;
                     for m in 0..DIM {
                         if m == kd {
@@ -109,9 +110,12 @@ pub fn drag_on_surrogate<const DIM: usize>(
                             g *= lagrange_eval_unit(1, li[m], tref[m]);
                         }
                     }
-                    let g = g / h;
-                    for comp in 0..DIM {
-                        grad_u[comp][kd] += g * u_e[lin * DIM + comp];
+                    *gk = g / h;
+                }
+                for (comp, gu_row) in grad_u.iter_mut().enumerate() {
+                    let u_c = u_e[lin * DIM + comp];
+                    for (gur, &g) in gu_row.iter_mut().zip(&gvec) {
+                        *gur += g * u_c;
                     }
                 }
             }

@@ -104,8 +104,8 @@ impl<'a, const DIM: usize> FlowSolver<'a, DIM> {
     /// Velocity of node `i`.
     pub fn velocity(&self, i: usize) -> [f64; DIM] {
         let mut v = [0.0; DIM];
-        for k in 0..DIM {
-            v[k] = self.state[i * (DIM + 1) + k];
+        for (k, vk) in v.iter_mut().enumerate() {
+            *vk = self.state[i * (DIM + 1) + k];
         }
         v
     }
@@ -151,11 +151,7 @@ impl<'a, const DIM: usize> FlowSolver<'a, DIM> {
         let n = self.mesh.num_dofs();
         let ndof = n * (DIM + 1);
         let u_old_state = self.state.clone();
-        let mut linear = KrylovResult {
-            converged: false,
-            iterations: 0,
-            residual: 0.0,
-        };
+        let mut linear = KrylovResult::stalled(0, 0.0);
         let mut picard_iters = 0;
         for _picard in 0..self.max_picard {
             picard_iters += 1;
@@ -218,16 +214,16 @@ impl<'a, const DIM: usize> FlowSolver<'a, DIM> {
                 };
                 match self.bc[i] {
                     NodeBc::Velocity(v) => {
-                        for k in 0..DIM {
-                            constrain(&mut a, &mut rhs, i * (DIM + 1) + k, v[k]);
+                        for (k, &vk) in v.iter().enumerate() {
+                            constrain(&mut a, &mut rhs, i * (DIM + 1) + k, vk);
                         }
                     }
                     NodeBc::Pressure(p) => {
                         constrain(&mut a, &mut rhs, i * (DIM + 1) + DIM, p);
                     }
                     NodeBc::VelocityAndPressure(v, p) => {
-                        for k in 0..DIM {
-                            constrain(&mut a, &mut rhs, i * (DIM + 1) + k, v[k]);
+                        for (k, &vk) in v.iter().enumerate() {
+                            constrain(&mut a, &mut rhs, i * (DIM + 1) + k, vk);
                         }
                         constrain(&mut a, &mut rhs, i * (DIM + 1) + DIM, p);
                     }
@@ -295,10 +291,10 @@ impl<'a, const DIM: usize> FlowSolver<'a, DIM> {
                 let mut rem = qlin;
                 let mut tref = [0.0; DIM];
                 let mut w = 1.0;
-                for k in 0..DIM {
+                for tk in tref.iter_mut().take(DIM) {
                     let qi = rem % nq1;
                     rem /= nq1;
-                    tref[k] = quad.points[qi];
+                    *tk = quad.points[qi];
                     w *= quad.weights[qi];
                 }
                 let mut div = 0.0;

@@ -104,10 +104,10 @@ impl<'a, const DIM: usize> TransportSolver<'a, DIM> {
                 let mut rem = qlin;
                 let mut tref = [0.0; DIM];
                 let mut w = 1.0;
-                for k in 0..DIM {
+                for tk in tref.iter_mut().take(DIM) {
                     let qi = rem % nq1;
                     rem /= nq1;
-                    tref[k] = quad.points[qi];
+                    *tk = quad.points[qi];
                     w *= quad.weights[qi];
                 }
                 let jw = w * vol;
@@ -125,7 +125,7 @@ impl<'a, const DIM: usize> TransportSolver<'a, DIM> {
                         v *= lagrange_eval_unit(1, li[k], tref[k]);
                     }
                     phi[i] = v;
-                    for k in 0..DIM {
+                    for (k, gk) in grad[i].iter_mut().enumerate() {
                         let mut g = 1.0;
                         for m in 0..DIM {
                             if m == k {
@@ -134,7 +134,7 @@ impl<'a, const DIM: usize> TransportSolver<'a, DIM> {
                                 g *= lagrange_eval_unit(1, li[m], tref[m]);
                             }
                         }
-                        grad[i][k] = g / h;
+                        *gk = g / h;
                     }
                 }
                 let mut a = [0.0; DIM];
@@ -194,8 +194,8 @@ impl<'a, const DIM: usize> TransportSolver<'a, DIM> {
             }
         }
         let mut a = coo.build();
-        for i in 0..n {
-            if let Some(v) = self.dirichlet[i] {
+        for (i, d) in self.dirichlet.iter().enumerate().take(n) {
+            if let Some(v) = *d {
                 for k in a.row_ptr[i]..a.row_ptr[i + 1] {
                     a.vals[k] = if a.cols[k] as usize == i { 1.0 } else { 0.0 };
                 }

@@ -92,10 +92,10 @@ pub fn element_ns_system<const DIM: usize>(
         let mut rem = qlin;
         let mut tref = [0.0; DIM];
         let mut w = 1.0;
-        for k in 0..DIM {
+        for tk in tref.iter_mut().take(DIM) {
             let qi = rem % nq1;
             rem /= nq1;
-            tref[k] = quad.points[qi];
+            *tk = quad.points[qi];
             w *= quad.weights[qi];
         }
         let jw = w * vol;
@@ -112,7 +112,7 @@ pub fn element_ns_system<const DIM: usize>(
                 v *= lagrange_eval_unit(p, li[k], tref[k]);
             }
             phi[i] = v;
-            for k in 0..DIM {
+            for (k, gk) in grad[i].iter_mut().enumerate() {
                 let mut g = 1.0;
                 for m in 0..DIM {
                     if m == k {
@@ -121,7 +121,7 @@ pub fn element_ns_system<const DIM: usize>(
                         g *= lagrange_eval_unit(p, li[m], tref[m]);
                     }
                 }
-                grad[i][k] = g / h;
+                *gk = g / h;
             }
         }
         // Advection velocity and old velocity at qp.

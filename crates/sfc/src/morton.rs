@@ -91,7 +91,7 @@ mod tests {
                 ]
             })
             .collect();
-        pts.sort_by(|a, b| point_cmp_morton(a, b));
+        pts.sort_by(point_cmp_morton);
         for w in pts.windows(2) {
             assert_ne!(point_cmp_morton(&w[0], &w[1]), Ordering::Greater);
             // antisymmetry

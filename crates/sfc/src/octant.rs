@@ -149,17 +149,17 @@ impl<const DIM: usize> Octant<DIM> {
             let mut c = combo;
             let mut anchor = [0u32; DIM];
             let mut is_self = true;
-            for k in 0..DIM {
+            for (a, &sa) in anchor.iter_mut().zip(&self.anchor) {
                 let off = (c % 3) as i64 - 1; // -1, 0, +1
                 c /= 3;
                 if off != 0 {
                     is_self = false;
                 }
-                let coord = self.anchor[k] as i64 + off * side;
+                let coord = sa as i64 + off * side;
                 if coord < 0 || coord >= ROOT_SIDE as i64 {
                     continue 'combo;
                 }
-                anchor[k] = coord as u32;
+                *a = coord as u32;
             }
             if !is_self {
                 out.push(Self {
@@ -175,8 +175,8 @@ impl<const DIM: usize> Octant<DIM> {
     pub fn bounds_unit(&self) -> ([f64; DIM], f64) {
         let scale = 1.0 / ROOT_SIDE as f64;
         let mut min = [0.0; DIM];
-        for k in 0..DIM {
-            min[k] = self.anchor[k] as f64 * scale;
+        for (m, &a) in min.iter_mut().zip(&self.anchor) {
+            *m = a as f64 * scale;
         }
         (min, self.side() as f64 * scale)
     }
@@ -193,9 +193,9 @@ impl<const DIM: usize> Octant<DIM> {
 
     /// True if the closed region contains the integer lattice point `p`.
     pub fn closed_contains_point(&self, p: &[u64; DIM]) -> bool {
-        for k in 0..DIM {
-            let a = self.anchor[k] as u64;
-            if p[k] < a || p[k] > a + self.side() as u64 {
+        for (&pk, &ak) in p.iter().zip(&self.anchor) {
+            let a = ak as u64;
+            if pk < a || pk > a + self.side() as u64 {
                 return false;
             }
         }

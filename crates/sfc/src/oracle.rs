@@ -83,7 +83,7 @@ fn entry(i: u32) -> u32 {
 fn direction(i: u32, n: u32) -> u32 {
     if i == 0 {
         0
-    } else if i % 2 == 0 {
+    } else if i.is_multiple_of(2) {
         trailing_ones(i - 1) % n
     } else {
         trailing_ones(i) % n
@@ -221,15 +221,15 @@ mod tests {
             let half = 1u32 << (depth - level - 1);
             for r in 0..(1usize << dim) {
                 let m = st.sfc_to_morton(curve, dim, r);
-                for k in 0..dim {
+                for (k, a) in anchor.iter_mut().enumerate().take(dim) {
                     if (m >> k) & 1 == 1 {
-                        anchor[k] += half;
+                        *a += half;
                     }
                 }
                 rec(curve, dim, st.child(curve, dim, r), anchor, level + 1, depth, out);
-                for k in 0..dim {
+                for (k, a) in anchor.iter_mut().enumerate().take(dim) {
                     if (m >> k) & 1 == 1 {
-                        anchor[k] -= half;
+                        *a -= half;
                     }
                 }
             }

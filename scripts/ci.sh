@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full test suite, clippy with warnings denied.
+# Run before every merge. Works offline (all deps are vendored or std).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test -q --workspace
+# carve-comm additionally denies unwrap/expect crate-wide (lib.rs).
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: build + tests + clippy all green"
