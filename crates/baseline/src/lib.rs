@@ -177,7 +177,8 @@ pub fn build_then_filter<const DIM: usize>(
     boundary_level: u8,
 ) -> (Vec<Octant<DIM>>, usize) {
     let immersed = Immersed { object };
-    let adaptive = carve_core::construct_boundary_refined(&immersed, curve, base_level, boundary_level);
+    let adaptive =
+        carve_core::construct_boundary_refined(&immersed, curve, base_level, boundary_level);
     let complete = carve_core::construct_balanced(&immersed, curve, &adaptive);
     let complete_size = complete.len();
     let filtered: Vec<Octant<DIM>> = complete
@@ -249,7 +250,10 @@ mod tests {
         let f_dof = imm.mesh.num_dofs() as f64 / carved.num_dofs() as f64;
         assert!(f_elem > 1.05, "f_elem {f_elem}");
         assert!(f_dof > 1.02, "f_dof {f_dof}");
-        assert!(f_elem > f_dof, "element excess exceeds DOF excess (CG sharing)");
+        assert!(
+            f_elem > f_dof,
+            "element excess exceeds DOF excess (CG sharing)"
+        );
     }
 
     #[test]

@@ -60,11 +60,13 @@ fn bench_matvec(c: &mut Criterion) {
                 let mut y = vec![0.0; n];
                 b.iter(|| {
                     y.iter_mut().for_each(|v| *v = 0.0);
-                    baseline.matvec(&x, &mut y, &mut |e: &Octant<3>,
-                                                      u: &[f64],
-                                                      v: &mut [f64]| {
-                        cache.apply_stiffness_tensor(e.bounds_unit().1, u, v);
-                    });
+                    baseline.matvec(
+                        &x,
+                        &mut y,
+                        &mut |e: &Octant<3>, u: &[f64], v: &mut [f64]| {
+                            cache.apply_stiffness_tensor(e.bounds_unit().1, u, v);
+                        },
+                    );
                     y[0]
                 })
             },

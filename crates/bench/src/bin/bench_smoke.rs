@@ -1,0 +1,72 @@
+//! Smoke benchmark emitter / comparator for the CI perf gate.
+//!
+//! ```sh
+//! bench_smoke BENCH_PR2.json              # run workloads, write report
+//! bench_smoke --compare OLD.json NEW.json # diff reports, exit 1 on regression
+//! ```
+//!
+//! Comparison knobs (env): `BENCH_GATE_TOLERANCE` (fractional slowdown
+//! allowed on a phase's mean seconds, default 0.25) and
+//! `BENCH_GATE_MIN_SECS` (phases faster than this in both reports are
+//! ignored as noise, default 0.005).
+
+use carve_bench::smoke::{compare_reports, run_smoke};
+use carve_io::Json;
+use std::process::ExitCode;
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e:?}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [flag, old_path, new_path] if flag == "--compare" => {
+            let (old, new) = match (load(old_path), load(new_path)) {
+                (Ok(a), Ok(b)) => (a, b),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("bench_smoke: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let tolerance = env_f64("BENCH_GATE_TOLERANCE", 0.25);
+            let min_secs = env_f64("BENCH_GATE_MIN_SECS", 0.005);
+            let failures = compare_reports(&old, &new, tolerance, min_secs);
+            if failures.is_empty() {
+                println!(
+                    "bench_smoke: {new_path} within {:.0}% of {old_path}",
+                    tolerance * 100.0
+                );
+                ExitCode::SUCCESS
+            } else {
+                for f in &failures {
+                    eprintln!("bench_smoke: REGRESSION: {f}");
+                }
+                ExitCode::FAILURE
+            }
+        }
+        [out_path] => {
+            let report = run_smoke();
+            let mut text = report.to_string_pretty();
+            text.push('\n');
+            if let Err(e) = std::fs::write(out_path, text) {
+                eprintln!("bench_smoke: write {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("bench_smoke: wrote {out_path}");
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: bench_smoke OUT.json | bench_smoke --compare OLD.json NEW.json");
+            ExitCode::FAILURE
+        }
+    }
+}

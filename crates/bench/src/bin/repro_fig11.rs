@@ -18,7 +18,12 @@ fn main() {
     let mut table = Table::new(
         "Fig 11: ghost nodes per rank and eta = N_G/N_L (sphere carved from 10^3 cube)",
         &[
-            "ranks", "order", "mean ghosts", "std ghosts", "mean eta", "eta(p2)/eta(p1)",
+            "ranks",
+            "order",
+            "mean ghosts",
+            "std ghosts",
+            "mean eta",
+            "eta(p2)/eta(p1)",
         ],
     );
     let ranks: Vec<usize> = std::env::var("CARVE_RANKS")

@@ -50,7 +50,11 @@ fn kernel_sweep(mesh: &Mesh<3>, p: usize, reps: usize) -> (f64, u64, u64) {
     let mut v = vec![0.0f64; ne * npe];
     // Warm up.
     for (ei, &h) in hs.iter().enumerate() {
-        cache.apply_stiffness_tensor(h, &u[ei * npe..(ei + 1) * npe], &mut v[ei * npe..(ei + 1) * npe]);
+        cache.apply_stiffness_tensor(
+            h,
+            &u[ei * npe..(ei + 1) * npe],
+            &mut v[ei * npe..(ei + 1) * npe],
+        );
     }
     let t0 = Instant::now();
     for _ in 0..reps {
@@ -101,7 +105,11 @@ fn main() {
             ai[mi][pi] = this_ai;
             table.row(&[
                 name.to_string(),
-                if *p == 1 { "linear".into() } else { "quadratic".into() },
+                if *p == 1 {
+                    "linear".into()
+                } else {
+                    "quadratic".into()
+                },
                 mesh.num_elems().to_string(),
                 format!("{this_ai:.3}"),
                 format!("{:.2}", flops as f64 / secs / 1e9),

@@ -85,9 +85,7 @@ fn solve_cd(re: f64, base: u8, boundary: u8) -> (f64, usize) {
 }
 
 fn main() {
-    let re_sweep = [
-        10.0, 100.0, 1000.0, 1.6e4, 1e5, 1.6e5, 3e5, 1e6, 2e6,
-    ];
+    let re_sweep = [10.0, 100.0, 1000.0, 1.6e4, 1e5, 1.6e5, 3e5, 1e6, 2e6];
     let solve_re: Vec<f64> = std::env::var("CARVE_SOLVE_RE")
         .ok()
         .map(|s| s.split(',').filter_map(|x| x.trim().parse().ok()).collect())
@@ -110,12 +108,7 @@ fn main() {
         } else {
             ("-".into(), "-".into())
         };
-        table.row(&[
-            format!("{re:.1e}"),
-            format!("{reference:.3}"),
-            cd_s,
-            ne,
-        ]);
+        table.row(&[format!("{re:.1e}"), format!("{reference:.3}"), cd_s, ne]);
     }
     table.print();
     println!("\npaper shape check: correlation Cd ~0.4-0.5 subcritical (Re 1e4-2e5),");

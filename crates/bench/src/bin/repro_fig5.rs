@@ -41,13 +41,11 @@ fn main() {
     let mut prev: Option<f64> = None;
     for level in 4..=max_level {
         // One solid instance per level to keep borrows simple.
-        let domain = CarvedSolids::new(vec![Box::new(TriMeshSolid::new(
-            if args.len() > 1 {
-                carve_geom::stl::read_stl(std::path::Path::new(&args[1])).unwrap()
-            } else {
-                dragon_mesh(&DragonParams::default())
-            },
-        ))]);
+        let domain = CarvedSolids::new(vec![Box::new(TriMeshSolid::new(if args.len() > 1 {
+            carve_geom::stl::read_stl(std::path::Path::new(&args[1])).unwrap()
+        } else {
+            dragon_mesh(&DragonParams::default())
+        }))]);
         let mesh = Mesh::build(&domain, Curve::Hilbert, 4, level, 1);
         let mut max_d: f64 = 0.0;
         let mut nb = 0usize;

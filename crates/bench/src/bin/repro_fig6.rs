@@ -27,7 +27,13 @@ fn main() {
     let mut table = Table::new(
         "Fig 6: Poisson on a disk, naive BC vs Shifted Boundary Method (linear elements)",
         &[
-            "level", "dofs", "naive L2", "naive Linf", "SBM L2", "SBM Linf", "L2 rate naive",
+            "level",
+            "dofs",
+            "naive L2",
+            "naive Linf",
+            "SBM L2",
+            "SBM Linf",
+            "L2 rate naive",
             "L2 rate SBM",
         ],
     );

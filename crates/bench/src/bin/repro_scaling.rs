@@ -11,12 +11,7 @@ use carve_bench::{analyze_partition, calibrate, ChannelWorkload, SphereWorkload}
 use carve_core::Mesh;
 use carve_io::Table;
 
-fn strong_scaling(
-    name: &str,
-    mesh_p1: &Mesh<3>,
-    mesh_p2: &Mesh<3>,
-    ranks: &[usize],
-) -> (f64, f64) {
+fn strong_scaling(name: &str, mesh_p1: &Mesh<3>, mesh_p2: &Mesh<3>, ranks: &[usize]) -> (f64, f64) {
     let mut table = Table::new(
         &format!(
             "Fig 7/9 (strong, {name}): parallel cost = time x ranks; {} elements, {} dofs (p1) / {} dofs (p2)",
@@ -47,7 +42,11 @@ fn strong_scaling(
             let e = base / cost;
             table.row(&[
                 p.to_string(),
-                if order == 1 { "linear".into() } else { "quadratic".into() },
+                if order == 1 {
+                    "linear".into()
+                } else {
+                    "quadratic".into()
+                },
                 format!("{leaf:.4e}"),
                 format!("{trav:.4e}"),
                 format!("{comm:.4e}"),
@@ -79,7 +78,13 @@ fn weak_scaling(
     let mut table = Table::new(
         &format!("Fig 8/10 (weak, {name}): MATVEC execution time at fixed elements/rank"),
         &[
-            "ranks", "order", "elements", "elems/rank", "dofs", "t_total", "efficiency",
+            "ranks",
+            "order",
+            "elements",
+            "elems/rank",
+            "dofs",
+            "t_total",
+            "efficiency",
         ],
     );
     let mut eff = (0.0, 0.0);
@@ -87,7 +92,11 @@ fn weak_scaling(
         let mut base_time = None;
         // One machine model per series, calibrated on the largest mesh —
         // the hardware doesn't change between weak-scaling points.
-        let cal_mesh = if order_idx == 0 { &meshes.last().unwrap().1 } else { &meshes.last().unwrap().2 };
+        let cal_mesh = if order_idx == 0 {
+            &meshes.last().unwrap().1
+        } else {
+            &meshes.last().unwrap().2
+        };
         let (model, _) = calibrate(cal_mesh, 2);
         for (p, m1, m2) in meshes {
             let mesh = if order_idx == 0 { m1 } else { m2 };
@@ -181,12 +190,33 @@ fn main() {
         "Table 3: scaling-efficiency summary (paper: channel 0.81/0.90 strong, 0.82/0.86 weak; sphere 0.90/0.96 strong, 0.74/0.83 weak)",
         &["case", "order", "strong eff", "weak eff"],
     );
-    t3.row(&["channel".into(), "linear".into(), format!("{:.2}", chan_strong.0), format!("{:.2}", chan_weak.0)]);
-    t3.row(&["channel".into(), "quadratic".into(), format!("{:.2}", chan_strong.1), format!("{:.2}", chan_weak.1)]);
-    t3.row(&["sphere".into(), "linear".into(), format!("{:.2}", sph_strong.0), format!("{:.2}", sph_weak.0)]);
-    t3.row(&["sphere".into(), "quadratic".into(), format!("{:.2}", sph_strong.1), format!("{:.2}", sph_weak.1)]);
+    t3.row(&[
+        "channel".into(),
+        "linear".into(),
+        format!("{:.2}", chan_strong.0),
+        format!("{:.2}", chan_weak.0),
+    ]);
+    t3.row(&[
+        "channel".into(),
+        "quadratic".into(),
+        format!("{:.2}", chan_strong.1),
+        format!("{:.2}", chan_weak.1),
+    ]);
+    t3.row(&[
+        "sphere".into(),
+        "linear".into(),
+        format!("{:.2}", sph_strong.0),
+        format!("{:.2}", sph_weak.0),
+    ]);
+    t3.row(&[
+        "sphere".into(),
+        "quadratic".into(),
+        format!("{:.2}", sph_strong.1),
+        format!("{:.2}", sph_weak.1),
+    ]);
     t3.print();
     println!("\npaper shape check: quadratic scales better than linear (eta ∝ 1/(p+1));");
     println!("strong-scaling cost stays near-flat until elements/rank gets small.");
-    t3.to_csv(std::path::Path::new("results/table3_summary.csv")).ok();
+    t3.to_csv(std::path::Path::new("results/table3_summary.csv"))
+        .ok();
 }

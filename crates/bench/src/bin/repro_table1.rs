@@ -80,8 +80,7 @@ fn main() {
         let l = aspect as f64;
         // Complete: full unit square, every element stretched to aspect L
         // (physical element L/32 x 1/32).
-        let (n_c, cond_c) =
-            channel_condition(&FullDomain, level, &|h_u| [h_u * l, h_u]);
+        let (n_c, cond_c) = channel_condition(&FullDomain, level, &|h_u| [h_u * l, h_u]);
         // Incomplete: carve the channel [0,1]x[0,1/L] out of the square,
         // scale the whole cube by L: square physical elements of size L/32.
         let channel = RetainBox::<2>::channel([1.0, 1.0 / l]);

@@ -63,6 +63,8 @@ fn main() {
     println!("\npaper shape check: f_elem ~1.8-1.9 >> f_DOF ~1.3-1.4 (CG node sharing),");
     println!("dragon ratios above sphere ratios (higher surface/volume), both rising with level.");
     table
-        .to_csv(std::path::Path::new("results/table2_immersed_vs_carved.csv"))
+        .to_csv(std::path::Path::new(
+            "results/table2_immersed_vs_carved.csv",
+        ))
         .ok();
 }

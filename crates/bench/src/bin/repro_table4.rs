@@ -61,12 +61,8 @@ fn main() {
         let t0 = Instant::now();
         let immersed = Immersed { object: &w.domain };
         let complete = {
-            let adaptive = carve_core::construct_boundary_refined(
-                &immersed,
-                Curve::Hilbert,
-                base,
-                boundary,
-            );
+            let adaptive =
+                carve_core::construct_boundary_refined(&immersed, Curve::Hilbert, base, boundary);
             carve_core::construct_balanced(&immersed, Curve::Hilbert, &adaptive)
         };
         let labels: Vec<RegionLabel> = complete

@@ -72,9 +72,17 @@ fn main() {
     let mut table = Table::new(
         "Table 5: classroom — immersed vs carved (f_excess = immersed/carved elements)",
         &[
-            "base", "body", "carved elems", "immersed elems", "f_excess",
-            "imm mesh (s)", "carve mesh (s)", "imm solve (s)", "carve solve (s)",
-            "mesh speedup", "solve speedup",
+            "base",
+            "body",
+            "carved elems",
+            "immersed elems",
+            "f_excess",
+            "imm mesh (s)",
+            "carve mesh (s)",
+            "imm solve (s)",
+            "carve solve (s)",
+            "mesh speedup",
+            "solve speedup",
         ],
     );
     for (base, body) in configs {

@@ -21,7 +21,14 @@ fn main() {
     let procs = [224usize, 448, 896, 1792, 3584];
     let mut table = Table::new(
         "Table 6: classroom strong scaling (paper: eff 1.0 -> 0.90 over 16x ranks)",
-        &["base", "body", "elements", "ranks", "modeled time (s)", "efficiency"],
+        &[
+            "base",
+            "body",
+            "elements",
+            "ranks",
+            "modeled time (s)",
+            "efficiency",
+        ],
     );
     // Solve-dominated cost: measured NS elemental-assembly cost dominates;
     // use a representative per-element solve cost with the replayed

@@ -9,7 +9,11 @@
 //! on the exact communication volumes.
 
 pub mod model;
+pub mod smoke;
 pub mod workloads;
 
-pub use model::{analyze_partition, calibrate, copy_estimate, MachineModel, PartitionAnalysis, RankLoad};
+pub use model::{
+    analyze_partition, calibrate, copy_estimate, MachineModel, PartitionAnalysis, RankLoad,
+};
+pub use smoke::{compare_reports, run_smoke, strip_secs};
 pub use workloads::*;

@@ -44,10 +44,7 @@ impl Default for MachineModel {
 /// path from the root.
 pub fn copy_estimate<const DIM: usize>(elems: &[Octant<DIM>], order: u64) -> usize {
     let npe = nodes_per_elem::<DIM>(order);
-    elems
-        .iter()
-        .map(|e| npe * (e.level as usize + 1))
-        .sum()
+    elems.iter().map(|e| npe * (e.level as usize + 1)).sum()
 }
 
 /// Measures `t_leaf` and `t_copy` by running the real traversal MATVEC with
@@ -59,11 +56,13 @@ pub fn calibrate<const DIM: usize>(mesh: &Mesh<DIM>, reps: usize) -> (MachineMod
     let mut cache = ElementCache::<DIM>::new(p);
     let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
     let mut y = vec![0.0; n];
-    let mut total = carve_core::TraversalTimings::default();
-    let t0 = std::time::Instant::now();
+    // Phase timings come from the observability layer; the thread-local
+    // snapshot diff is immune to concurrent activity on other threads.
+    let _e = carve_obs::force_enabled();
+    let before = carve_obs::thread_snapshot();
     for _ in 0..reps.max(1) {
         y.iter_mut().for_each(|v| *v = 0.0);
-        let t = traversal_matvec(
+        traversal_matvec(
             &mesh.elems,
             0..mesh.elems.len(),
             mesh.curve,
@@ -75,13 +74,20 @@ pub fn calibrate<const DIM: usize>(mesh: &Mesh<DIM>, reps: usize) -> (MachineMod
                 cache.apply_stiffness_tensor(h, u, v);
             },
         );
-        total.add(&t);
     }
-    let wall = t0.elapsed().as_secs_f64() / reps.max(1) as f64;
+    let d = carve_obs::thread_snapshot().diff(&before);
+    let phase = |name: &str| d.phases.get(name).cloned().unwrap_or_default();
+    let (leaf, top_down, bottom_up) = (
+        phase("matvec/leaf"),
+        phase("matvec/top_down"),
+        phase("matvec/bottom_up"),
+    );
+    let leaves = leaf.counters.get("leaves").copied().unwrap_or(0);
+    let wall = phase("matvec").secs / reps.max(1) as f64;
     let copies = copy_estimate(&mesh.elems, mesh.order) * reps.max(1);
     let model = MachineModel {
-        t_leaf: total.leaf / total.leaves.max(1) as f64,
-        t_copy: (total.top_down + total.bottom_up) / copies.max(1) as f64,
+        t_leaf: leaf.secs / leaves.max(1) as f64,
+        t_copy: (top_down.secs + bottom_up.secs) / copies.max(1) as f64,
         ..MachineModel::default()
     };
     (model, wall)
@@ -110,8 +116,7 @@ impl PartitionAnalysis {
     /// η = N_G/N_L statistics over ranks: (mean ghost, std ghost, mean η).
     pub fn ghost_stats(&self) -> (f64, f64, f64) {
         let n = self.loads.len() as f64;
-        let mean_g =
-            self.loads.iter().map(|l| l.ghost_nodes as f64).sum::<f64>() / n;
+        let mean_g = self.loads.iter().map(|l| l.ghost_nodes as f64).sum::<f64>() / n;
         let var = self
             .loads
             .iter()
@@ -162,10 +167,7 @@ impl PartitionAnalysis {
 /// computes each rank's exact element/node/ghost structure, using the same
 /// node-ownership rule as the distributed implementation (natural SFC bin
 /// when the bin rank is a user, else minimum user).
-pub fn analyze_partition<const DIM: usize>(
-    mesh: &Mesh<DIM>,
-    nparts: usize,
-) -> PartitionAnalysis {
+pub fn analyze_partition<const DIM: usize>(mesh: &Mesh<DIM>, nparts: usize) -> PartitionAnalysis {
     let ne = mesh.num_elems();
     let nn = mesh.num_dofs();
     let p = mesh.order;

@@ -1,0 +1,270 @@
+//! Smoke benchmark behind `scripts/bench_gate.sh`: two fixed small
+//! workloads (the §4.5.1 channel and a carved sphere) through the full
+//! pipeline — distributed build + MATVECs on simulated ranks, then a
+//! sequential Poisson solve — with every phase recorded by `carve-obs`.
+//!
+//! The emitted `BENCH_PR<k>.json` is deterministic modulo the `secs`
+//! fields: same phases, same call counts, same counters on every run (see
+//! `tests/smoke_determinism.rs`), so the CI gate can diff structure exactly
+//! and timings within a tolerance.
+
+use carve_comm::run_spmd;
+use carve_core::{DistMesh, Mesh};
+use carve_fem::{solve_poisson, BcMode, ElementCache, PoissonProblem};
+use carve_geom::{CarvedSolids, RetainBox, Sphere, Subdomain};
+use carve_io::{report_to_json, Json};
+use carve_obs::Snapshot;
+use carve_sfc::{Curve, Octant};
+
+/// Simulated ranks for the distributed stage of each workload.
+pub const SMOKE_RANKS: usize = 2;
+
+/// Schema tag written into every smoke report.
+pub const SMOKE_SCHEMA: &str = "carve-bench-phase-report-v1";
+
+/// One fixed-size smoke workload.
+#[derive(Clone, Copy)]
+struct SmokeCase {
+    name: &'static str,
+    /// Fresh domain per thread (trait objects are built rank-locally).
+    domain: fn() -> Box<dyn Subdomain<3>>,
+    base: u8,
+    boundary: u8,
+    /// Physical size of the root cube (for the stiffness kernel / solve).
+    scale: f64,
+}
+
+fn channel_domain() -> Box<dyn Subdomain<3>> {
+    Box::new(RetainBox::channel([1.0, 1.0 / 16.0, 1.0 / 16.0]))
+}
+
+fn carved_sphere_domain() -> Box<dyn Subdomain<3>> {
+    Box::new(CarvedSolids::new(vec![Box::new(Sphere::new(
+        [0.5; 3], 0.2,
+    ))]))
+}
+
+const CASES: [SmokeCase; 2] = [
+    SmokeCase {
+        name: "channel",
+        domain: channel_domain,
+        base: 3,
+        boundary: 5,
+        scale: 16.0,
+    },
+    SmokeCase {
+        name: "carved_sphere",
+        domain: carved_sphere_domain,
+        base: 3,
+        boundary: 4,
+        scale: 10.0,
+    },
+];
+
+/// Distributed stage: build the `DistMesh` on [`SMOKE_RANKS`] simulated
+/// ranks and apply three distributed Poisson MATVECs. Each rank thread is
+/// fresh, so its thread snapshot contains exactly this workload's phases.
+fn dist_snapshots(case: &SmokeCase) -> Vec<Snapshot> {
+    let SmokeCase {
+        domain,
+        base,
+        boundary,
+        scale,
+        ..
+    } = *case;
+    run_spmd(SMOKE_RANKS, move |c| {
+        let domain = domain();
+        let dm = DistMesh::<3>::build(c, &*domain, Curve::Hilbert, base, boundary, 1);
+        let mut cache = ElementCache::<3>::new(1);
+        let x: Vec<f64> = (0..dm.nodes.len())
+            .map(|i| (i as f64 * 0.37).sin())
+            .collect();
+        let mut y = vec![0.0; dm.nodes.len()];
+        for _ in 0..3 {
+            dm.matvec(
+                c,
+                &x,
+                &mut y,
+                &mut |e: &Octant<3>, u: &[f64], v: &mut [f64]| {
+                    cache.apply_stiffness_tensor(e.bounds_unit().1 * scale, u, v);
+                },
+            );
+        }
+        assert!(
+            y.iter().all(|v| v.is_finite()),
+            "matvec produced non-finite values"
+        );
+        carve_obs::thread_snapshot()
+    })
+}
+
+/// Sequential stage: assemble and solve `−Δu = 1` with homogeneous strong
+/// boundary conditions, in its own thread so the snapshot is clean.
+fn solve_snapshot(case: &SmokeCase) -> Snapshot {
+    let SmokeCase {
+        domain,
+        base,
+        boundary,
+        scale,
+        ..
+    } = *case;
+    std::thread::spawn(move || {
+        let domain = domain();
+        let mesh = Mesh::build(&*domain, Curve::Hilbert, base, boundary, 1);
+        let f = |_: &[f64; 3]| 1.0;
+        let zero = |_: &[f64; 3]| 0.0;
+        let prob = PoissonProblem {
+            scale,
+            f: &f,
+            dirichlet: &zero,
+            closest_boundary: None,
+            strong_cube_bc: true,
+            bc: BcMode::Naive,
+        };
+        let sol = solve_poisson(&mesh, &*domain, &prob);
+        assert!(
+            sol.krylov.converged,
+            "smoke solve diverged: {:?}",
+            sol.krylov
+        );
+        carve_obs::thread_snapshot()
+    })
+    .join()
+    .expect("smoke solve thread panicked")
+}
+
+/// Runs both smoke workloads and returns the full report document:
+/// `{"schema": ..., "workloads": {name: {"ranks": ..., "phases": ...}}}`.
+pub fn run_smoke() -> Json {
+    let _e = carve_obs::force_enabled();
+    let mut workloads = Vec::new();
+    for case in &CASES {
+        let mut snaps = dist_snapshots(case);
+        snaps.push(solve_snapshot(case));
+        let report = carve_obs::aggregate(&snaps);
+        workloads.push((case.name.to_string(), report_to_json(&report)));
+    }
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(SMOKE_SCHEMA.into())),
+        ("workloads".into(), Json::Obj(workloads)),
+    ])
+}
+
+/// Recursively drops every object field named `"secs"` — the only
+/// nondeterministic part of a smoke report.
+pub fn strip_secs(j: &Json) -> Json {
+    match j {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .iter()
+                .filter(|(k, _)| k != "secs")
+                .map(|(k, v)| (k.clone(), strip_secs(v)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(strip_secs).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Compares two smoke reports for the CI gate. Returns regression messages
+/// (empty = pass): a workload or phase present in `old` but missing in
+/// `new`, or a phase whose mean seconds grew beyond `1 + tolerance`
+/// (phases faster than `min_secs` in both reports are exempt — they are
+/// noise at smoke sizes).
+pub fn compare_reports(old: &Json, new: &Json, tolerance: f64, min_secs: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    let old_workloads = match old.get("workloads") {
+        Some(Json::Obj(w)) => w,
+        _ => return vec!["old report: missing \"workloads\" object".into()],
+    };
+    for (wname, old_report) in old_workloads {
+        let new_report = match new.get("workloads").and_then(|w| w.get(wname)) {
+            Some(r) => r,
+            None => {
+                failures.push(format!(
+                    "workload {wname:?} disappeared from the new report"
+                ));
+                continue;
+            }
+        };
+        let old_phases = match old_report.get("phases") {
+            Some(Json::Obj(p)) => p,
+            _ => continue,
+        };
+        for (phase, old_p) in old_phases {
+            let new_p = match new_report.get("phases").and_then(|p| p.get(phase)) {
+                Some(p) => p,
+                None => {
+                    failures.push(format!("{wname}: phase {phase:?} disappeared"));
+                    continue;
+                }
+            };
+            let mean = |p: &Json| {
+                p.get("secs")
+                    .and_then(|s| s.get("mean"))
+                    .and_then(Json::as_f64)
+            };
+            let (old_mean, new_mean) = match (mean(old_p), mean(new_p)) {
+                (Some(a), Some(b)) => (a, b),
+                _ => continue,
+            };
+            if old_mean.max(new_mean) < min_secs {
+                continue;
+            }
+            if new_mean > old_mean * (1.0 + tolerance) {
+                failures.push(format!(
+                    "{wname}: {phase} regressed {old_mean:.4}s -> {new_mean:.4}s \
+                     (+{:.0}% > {:.0}% tolerance)",
+                    (new_mean / old_mean - 1.0) * 100.0,
+                    tolerance * 100.0,
+                ));
+            }
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(mean: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"schema": "carve-bench-phase-report-v1", "workloads": {{
+                 "w": {{"ranks": 2, "phases": {{
+                   "matvec": {{"calls": 6, "ranks": 2,
+                     "secs": {{"min": {mean}, "mean": {mean}, "max": {mean}}},
+                     "counters": {{}}}}}}}}}}}}"#
+        ))
+        .expect("valid test report")
+    }
+
+    #[test]
+    fn comparator_flags_slowdowns_and_structure() {
+        let old = report(0.1);
+        assert!(compare_reports(&old, &report(0.11), 0.25, 0.005).is_empty());
+        let fails = compare_reports(&old, &report(0.2), 0.25, 0.005);
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("regressed"), "{fails:?}");
+        // Below the floor, both directions pass.
+        assert!(compare_reports(&report(0.001), &report(0.004), 0.25, 0.005).is_empty());
+        // Structural losses fail loudly.
+        let empty = Json::parse(r#"{"workloads": {}}"#).unwrap();
+        let fails = compare_reports(&old, &empty, 0.25, 0.005);
+        assert!(fails[0].contains("disappeared"), "{fails:?}");
+    }
+
+    #[test]
+    fn strip_secs_removes_only_secs() {
+        let j = report(0.5);
+        let stripped = strip_secs(&j);
+        let phase = stripped
+            .get("workloads")
+            .and_then(|w| w.get("w"))
+            .and_then(|r| r.get("phases"))
+            .and_then(|p| p.get("matvec"))
+            .expect("phase kept");
+        assert!(phase.get("secs").is_none());
+        assert!(phase.get("calls").is_some());
+    }
+}

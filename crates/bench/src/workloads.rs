@@ -1,9 +1,7 @@
 //! Workload builders: the exact domains of the paper's evaluation section.
 
 use carve_core::Mesh;
-use carve_geom::{
-    CarvedSolids, CompositeDomain, RetainBox, Sphere, Subdomain,
-};
+use carve_geom::{CarvedSolids, CompositeDomain, RetainBox, Sphere, Subdomain};
 use carve_sfc::Curve;
 
 /// §4.5.1: the `16×1×1` elongated channel carved from the unit cube

@@ -1,0 +1,66 @@
+//! The smoke benchmark must be deterministic modulo wall-clock: two runs in
+//! the same process produce identical phases, call counts, and counters —
+//! the property the CI perf gate relies on to diff structure exactly.
+
+use carve_bench::smoke::{run_smoke, strip_secs};
+use carve_io::Json;
+
+fn phase<'a>(report: &'a Json, workload: &str, path: &str) -> &'a Json {
+    report
+        .get("workloads")
+        .and_then(|w| w.get(workload))
+        .and_then(|r| r.get("phases"))
+        .and_then(|p| p.get(path))
+        .unwrap_or_else(|| panic!("missing phase {path:?} in workload {workload:?}"))
+}
+
+fn calls(report: &Json, workload: &str, path: &str) -> f64 {
+    phase(report, workload, path)
+        .get("calls")
+        .and_then(Json::as_f64)
+        .expect("calls is a number")
+}
+
+fn counter(report: &Json, workload: &str, path: &str, name: &str) -> f64 {
+    phase(report, workload, path)
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("missing counter {name:?} on {workload}/{path}"))
+}
+
+#[test]
+fn smoke_report_is_deterministic_modulo_secs() {
+    let a = run_smoke();
+    let b = run_smoke();
+    assert_eq!(
+        strip_secs(&a).to_string_pretty(),
+        strip_secs(&b).to_string_pretty(),
+        "two smoke runs disagree beyond the secs fields"
+    );
+
+    // The acceptance phases: matvec breakdown and ghost-exchange bytes must
+    // be present and non-zero in both workloads.
+    for w in ["channel", "carved_sphere"] {
+        for p in [
+            "matvec",
+            "matvec/top_down",
+            "matvec/leaf",
+            "matvec/bottom_up",
+        ] {
+            assert!(calls(&a, w, p) > 0.0, "{w}/{p} has zero calls");
+        }
+        assert!(counter(&a, w, "matvec/leaf", "leaves") > 0.0);
+        assert!(counter(&a, w, "matvec/top_down", "node_copies") > 0.0);
+        assert!(counter(&a, w, "ghost_read", "bytes_sent") > 0.0);
+        assert!(counter(&a, w, "ghost_read", "bytes_received") > 0.0);
+        assert!(counter(&a, w, "ghost_accumulate", "bytes_sent") > 0.0);
+        // Sequential solve phases from the same workload document.
+        assert!(calls(&a, w, "assemble") > 0.0);
+        assert!(counter(&a, w, "krylov", "iterations") > 0.0);
+        // Mesh pipeline phases.
+        for p in ["construct", "balance", "nodes", "treesort", "ownership"] {
+            assert!(calls(&a, w, p) > 0.0, "{w}/{p} has zero calls");
+        }
+    }
+}

@@ -264,6 +264,10 @@ impl Comm {
         s.bytes_sent += bytes;
         s.messages += 1;
         self.stats.set(s);
+        // Mirror into the observability layer: the counter lands on the
+        // phase active on this rank thread (e.g. ghost_read, treesort),
+        // giving per-phase communication volumes for free.
+        carve_obs::counter("bytes_sent", bytes);
     }
 
     fn account_recv(&self, bytes: u64) {
@@ -271,6 +275,7 @@ impl Comm {
         s.bytes_received += bytes;
         s.messages_received += 1;
         self.stats.set(s);
+        carve_obs::counter("bytes_received", bytes);
     }
 
     fn next_tag(&self) -> u64 {
@@ -410,7 +415,8 @@ impl Comm {
                 Ok((f, t, b)) => {
                     if f == from && t == tag {
                         if let Some(fp) = &self.fault {
-                            if let Some(d) = fp.delay_for(self.rank, self.ops.get(), f as u64 | 0x8000)
+                            if let Some(d) =
+                                fp.delay_for(self.rank, self.ops.get(), f as u64 | 0x8000)
                             {
                                 std::thread::sleep(d);
                             }
@@ -892,7 +898,11 @@ mod tests {
         // Min/Max did not. All three must now agree on NaN everywhere.
         for op in [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max] {
             let res = run_spmd(4, move |c| {
-                let v = if c.rank() == 2 { f64::NAN } else { c.rank() as f64 };
+                let v = if c.rank() == 2 {
+                    f64::NAN
+                } else {
+                    c.rank() as f64
+                };
                 c.all_reduce_f64(v, op)
             });
             for (r, x) in res.iter().enumerate() {
@@ -964,7 +974,11 @@ mod tests {
     #[test]
     fn bcast_from_nonzero_root() {
         let res = run_spmd(3, |c| {
-            let v = if c.rank() == 2 { Some(vec![42u32, 7]) } else { None };
+            let v = if c.rank() == 2 {
+                Some(vec![42u32, 7])
+            } else {
+                None
+            };
             c.bcast(2, v)
         });
         for r in res {
@@ -995,7 +1009,14 @@ mod tests {
             let _ = c.all_gatherv(vec![c.rank() as u64; c.rank() + 1]);
             let sends: Vec<Vec<u32>> = (0..4).map(|to| vec![to as u32; 3]).collect();
             let _ = c.all_to_allv(sends);
-            let _ = c.bcast(1, if c.rank() == 1 { Some(vec![9u8; 5]) } else { None });
+            let _ = c.bcast(
+                1,
+                if c.rank() == 1 {
+                    Some(vec![9u8; 5])
+                } else {
+                    None
+                },
+            );
             c.stats()
         });
         let sent: u64 = stats.iter().map(|s| s.bytes_sent).sum();
@@ -1076,17 +1097,13 @@ mod tests {
 
     #[test]
     fn type_mismatch_is_a_structured_error() {
-        let err = run_spmd_with(
-            2,
-            SpmdOptions::with_timeout(Duration::from_secs(5)),
-            |c| {
-                if c.rank() == 0 {
-                    c.send(1, 3, vec![1.0f64]);
-                } else {
-                    let _ = c.recv::<u32>(0, 3);
-                }
-            },
-        )
+        let err = run_spmd_with(2, SpmdOptions::with_timeout(Duration::from_secs(5)), |c| {
+            if c.rank() == 0 {
+                c.send(1, 3, vec![1.0f64]);
+            } else {
+                let _ = c.recv::<u32>(0, 3);
+            }
+        })
         .unwrap_err();
         assert_eq!(err.failed_ranks(), vec![1]);
         assert!(

@@ -24,6 +24,7 @@ pub fn dist_tree_sort<const DIM: usize>(
     mut local: Vec<Octant<DIM>>,
     curve: Curve,
 ) -> Vec<Octant<DIM>> {
+    let _obs = carve_obs::scope("treesort");
     treesort(&mut local, curve);
     if comm.size() > 1 {
         local = sample_sort_exchange(comm, local, curve);
@@ -67,8 +68,7 @@ fn sample_sort_exchange<const DIM: usize>(
     let mut sends: Vec<Vec<Octant<DIM>>> = (0..p).map(|_| Vec::new()).collect();
     for o in local {
         // Destination: number of splitters <= o.
-        let dest = splitters
-            .partition_point(|s| sfc_cmp(curve, s, &o) != Ordering::Greater);
+        let dest = splitters.partition_point(|s| sfc_cmp(curve, s, &o) != Ordering::Greater);
         sends[dest.min(p - 1)].push(o);
     }
     let mut recv: Vec<Octant<DIM>> = comm.all_to_allv(sends).into_iter().flatten().collect();
@@ -80,11 +80,7 @@ fn sample_sort_exchange<const DIM: usize>(
 /// octant owned by any successor rank and pops its own tail while the tail
 /// octant equals or is an ancestor of that head (finer octants win).
 /// Iterates until globally quiescent (an ancestor chain can span ranks).
-fn resolve_boundaries<const DIM: usize>(
-    comm: &Comm,
-    local: &mut Vec<Octant<DIM>>,
-    _curve: Curve,
-) {
+fn resolve_boundaries<const DIM: usize>(comm: &Comm, local: &mut Vec<Octant<DIM>>, _curve: Curve) {
     loop {
         let heads: Vec<Option<Octant<DIM>>> = comm.all_gather(local.first().copied());
         let next_head = heads[comm.rank() + 1..]
@@ -231,8 +227,7 @@ mod tests {
             for p in [1usize, 2, 3, 5] {
                 let per_rank = 150;
                 let res = run_spmd(p, |c| {
-                    let local =
-                        random_octants::<3>(per_rank, 5, 42 + c.rank() as u64);
+                    let local = random_octants::<3>(per_rank, 5, 42 + c.rank() as u64);
                     dist_tree_sort(c, local, curve)
                 });
                 let mut all: Vec<Octant<3>> = Vec::new();

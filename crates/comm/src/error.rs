@@ -151,8 +151,11 @@ impl SpmdError {
     /// Root-cause failures (everything except sympathetic cluster aborts).
     /// Falls back to all failures if only sympathetic ones were recorded.
     pub fn primary(&self) -> Vec<&RankFailure> {
-        let roots: Vec<&RankFailure> =
-            self.failures.iter().filter(|f| !f.is_sympathetic()).collect();
+        let roots: Vec<&RankFailure> = self
+            .failures
+            .iter()
+            .filter(|f| !f.is_sympathetic())
+            .collect();
         if roots.is_empty() {
             self.failures.iter().collect()
         } else {

@@ -4,9 +4,7 @@
 //! deterministically per seed. Hostile schedules (delays, reorders,
 //! duplicated collective payloads) must not change any result.
 
-use carve_comm::{
-    dist_tree_sort, run_spmd_with, CommError, FailureKind, FaultPlan, SpmdOptions,
-};
+use carve_comm::{dist_tree_sort, run_spmd_with, CommError, FailureKind, FaultPlan, SpmdOptions};
 use carve_sfc::{Curve, Octant};
 use std::time::{Duration, Instant};
 
@@ -32,7 +30,10 @@ fn seeded_octants<const DIM: usize>(n: usize, max_level: u8, seed: u64) -> Vec<O
         .collect()
 }
 
-fn sorted_under(plan: Option<FaultPlan>, p: usize) -> Result<Vec<Octant<3>>, carve_comm::SpmdError> {
+fn sorted_under(
+    plan: Option<FaultPlan>,
+    p: usize,
+) -> Result<Vec<Octant<3>>, carve_comm::SpmdError> {
     let mut opts = SpmdOptions::default().timeout(Duration::from_secs(20));
     opts.fault = plan;
     run_spmd_with(p, opts, |c| {

@@ -17,9 +17,8 @@ use std::collections::HashSet;
 
 /// Algorithm 5 — `BottomUpConstrainNeighbors`: expands a set of seed leaves
 /// into a balanced seed set (no `F` applied, per the paper).
-pub fn bottom_up_constrain_neighbors<const DIM: usize>(
-    leaves: &[Octant<DIM>],
-) -> Vec<Octant<DIM>> {
+pub fn bottom_up_constrain_neighbors<const DIM: usize>(leaves: &[Octant<DIM>]) -> Vec<Octant<DIM>> {
+    let _obs = carve_obs::scope("balance");
     // Stratify by level, finest to coarsest.
     let mut by_level: Vec<HashSet<Octant<DIM>>> =
         (0..=MAX_LEVEL as usize).map(|_| HashSet::new()).collect();
@@ -80,9 +79,7 @@ pub fn check_2to1<const DIM: usize>(tree: &[Octant<DIM>]) -> Result<(), String> 
             loop {
                 if set.contains(&anc) {
                     if (anc.level as i32) < o.level as i32 - 1 {
-                        return Err(format!(
-                            "2:1 violation: {o:?} touches {anc:?}"
-                        ));
+                        return Err(format!("2:1 violation: {o:?} touches {anc:?}"));
                     }
                     break;
                 }
@@ -104,7 +101,12 @@ mod tests {
 
     #[test]
     fn single_deep_seed_gets_graded_neighborhood() {
-        let deep = Octant::<2>::ROOT.child(0).child(0).child(0).child(0).child(0);
+        let deep = Octant::<2>::ROOT
+            .child(0)
+            .child(0)
+            .child(0)
+            .child(0)
+            .child(0);
         let tree = construct_balanced(&FullDomain, Curve::Morton, &[deep]);
         check_tree_invariants(&FullDomain, Curve::Morton, &tree).unwrap();
         check_2to1(&tree).unwrap();
@@ -122,8 +124,7 @@ mod tests {
 
     #[test]
     fn boundary_refined_disk_balances() {
-        let domain =
-            CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.3))]);
+        let domain = CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.3))]);
         let adaptive = construct_boundary_refined(&domain, Curve::Hilbert, 2, 6);
         let tree = construct_balanced(&domain, Curve::Hilbert, &adaptive);
         check_tree_invariants(&domain, Curve::Hilbert, &tree).unwrap();
@@ -138,9 +139,10 @@ mod tests {
         // the §3.3 pitfall. Carve a narrow vertical slab and refine on one
         // side only; leaves on opposite sides of the slab share edges at the
         // slab's ends if the slab is thinner than the elements.
-        let domain = CarvedSolids::<2>::new(vec![Box::new(
-            carve_geom::AxisBox::new([0.49, 0.0], [0.51, 0.75]),
-        )]);
+        let domain = CarvedSolids::<2>::new(vec![Box::new(carve_geom::AxisBox::new(
+            [0.49, 0.0],
+            [0.51, 0.75],
+        ))]);
         let adaptive = construct_boundary_refined(&domain, Curve::Morton, 2, 7);
         let tree = construct_balanced(&domain, Curve::Morton, &adaptive);
         check_tree_invariants(&domain, Curve::Morton, &tree).unwrap();
@@ -149,8 +151,7 @@ mod tests {
 
     #[test]
     fn balance_3d_sphere() {
-        let domain =
-            CarvedSolids::<3>::new(vec![Box::new(Sphere::new([0.5; 3], 0.25))]);
+        let domain = CarvedSolids::<3>::new(vec![Box::new(Sphere::new([0.5; 3], 0.25))]);
         let adaptive = construct_boundary_refined(&domain, Curve::Hilbert, 2, 4);
         let tree = construct_balanced(&domain, Curve::Hilbert, &adaptive);
         check_tree_invariants(&domain, Curve::Hilbert, &tree).unwrap();
@@ -159,8 +160,7 @@ mod tests {
 
     #[test]
     fn balanced_tree_is_idempotent() {
-        let domain =
-            CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.3, 0.7], 0.2))]);
+        let domain = CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.3, 0.7], 0.2))]);
         let adaptive = construct_boundary_refined(&domain, Curve::Morton, 2, 5);
         let t1 = construct_balanced(&domain, Curve::Morton, &adaptive);
         let t2 = construct_balanced(&domain, Curve::Morton, &t1);

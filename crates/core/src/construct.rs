@@ -25,6 +25,7 @@ pub fn construct_uniform<const DIM: usize>(
     curve: Curve,
     level: u8,
 ) -> Vec<Octant<DIM>> {
+    let _obs = carve_obs::scope("construct");
     let mut out = Vec::new();
     rec_uniform(
         domain,
@@ -82,6 +83,7 @@ pub fn construct_constrained<const DIM: usize>(
     curve: Curve,
     seeds: &[Octant<DIM>],
 ) -> Vec<Octant<DIM>> {
+    let _obs = carve_obs::scope("construct");
     let mut out = Vec::new();
     rec_constrained(
         domain,
@@ -172,6 +174,7 @@ pub fn construct_boundary_refined<const DIM: usize>(
 ) -> Vec<Octant<DIM>> {
     assert!(boundary_level >= base_level);
     let mut tree = construct_uniform(domain, curve, base_level);
+    let _obs = carve_obs::scope("refine");
     loop {
         // The In/Out tests dominate this loop for mesh-based geometry
         // (ray tracing per octant, §5) — classify in parallel, splice
@@ -249,8 +252,7 @@ mod tests {
 
     #[test]
     fn uniform_carved_disk_removes_interior() {
-        let domain =
-            CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.3))]);
+        let domain = CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.3))]);
         let tree = construct_uniform(&domain, Curve::Morton, 5);
         // Carved area fraction ≈ π r² ≈ 0.2827; retained leaves < full grid.
         let full = 1usize << (2 * 5);
@@ -285,17 +287,19 @@ mod tests {
         // The seed octant itself must appear as a leaf.
         assert!(tree.contains(&seed));
         // Coverage: areas sum to 1.
-        let area: f64 = tree.iter().map(|o| {
-            let s = o.bounds_unit().1;
-            s * s
-        }).sum();
+        let area: f64 = tree
+            .iter()
+            .map(|o| {
+                let s = o.bounds_unit().1;
+                s * s
+            })
+            .sum();
         assert!((area - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn constrained_prunes_carved_seed_regions() {
-        let domain =
-            CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.25, 0.25], 0.2))]);
+        let domain = CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.25, 0.25], 0.2))]);
         // Seed deep inside the carved disk ([0.25,0.3125]^2, max corner
         // distance 0.088 < r): output must NOT contain it.
         let deep = Octant::<2>::ROOT.child(0).child(3).child(0).child(0);
@@ -308,8 +312,7 @@ mod tests {
 
     #[test]
     fn boundary_refined_two_levels() {
-        let domain =
-            CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.3))]);
+        let domain = CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.3))]);
         let tree = construct_boundary_refined(&domain, Curve::Hilbert, 3, 6);
         check_tree_invariants(&domain, Curve::Hilbert, &tree).unwrap();
         let min_level = tree.iter().map(|o| o.level).min().unwrap();

@@ -17,10 +17,9 @@
 
 use crate::balance::bottom_up_constrain_neighbors;
 use crate::construct::{construct_constrained, construct_uniform};
-use crate::matvec::{traversal_matvec, TraversalTimings};
+use crate::matvec::traversal_matvec;
 use crate::nodes::{
-    elem_node_coord, enumerate_nodes, lattice_index, nodes_per_elem, resolve_slot, NodeSet,
-    SlotRef,
+    elem_node_coord, enumerate_nodes, lattice_index, nodes_per_elem, resolve_slot, NodeSet, SlotRef,
 };
 use carve_comm::{dist_tree_sort, Comm};
 use carve_geom::{RegionLabel, Subdomain};
@@ -29,7 +28,6 @@ use carve_sfc::{sfc_cmp, Curve, Octant};
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::ops::Range;
-use std::time::Instant;
 
 /// Per-rank ghost statistics (Fig. 11's raw data).
 #[derive(Clone, Copy, Debug, Default)]
@@ -139,20 +137,18 @@ impl<const DIM: usize> DistMesh<DIM> {
         let mut local: Vec<Octant<DIM>> = base[lo..hi].to_vec();
         // Refine intercepted leaves to the boundary level (children pruned
         // when carved).
+        let _obs = carve_obs::scope("refine");
         loop {
             let mut next = Vec::with_capacity(local.len());
             let mut changed = false;
             for oct in &local {
                 if oct.level < boundary_level
-                    && crate::construct::classify_octant(domain, oct)
-                        == RegionLabel::RetainBoundary
+                    && crate::construct::classify_octant(domain, oct) == RegionLabel::RetainBoundary
                 {
                     changed = true;
                     for c in 0..(1usize << DIM) {
                         let ch = oct.child(c);
-                        if crate::construct::classify_octant(domain, &ch)
-                            != RegionLabel::Carved
-                        {
+                        if crate::construct::classify_octant(domain, &ch) != RegionLabel::Carved {
                             next.push(ch);
                         }
                     }
@@ -165,6 +161,7 @@ impl<const DIM: usize> DistMesh<DIM> {
                 break;
             }
         }
+        drop(_obs);
         Self::build_from_seeds(comm, domain, curve, local, order)
     }
 
@@ -200,6 +197,7 @@ impl<const DIM: usize> DistMesh<DIM> {
         let splitters: Vec<Option<Octant<DIM>>> = comm.all_gather(owned_elems.first().copied());
 
         // --- Ghost element exchange --------------------------------------
+        let obs_ghost = carve_obs::scope("ghost_elems");
         // Request regions: same-level neighbors of each owned element and of
         // its ancestors up to three levels (covers hanging-source chains).
         let mut regions: Vec<Octant<DIM>> = Vec::new();
@@ -238,10 +236,11 @@ impl<const DIM: usize> DistMesh<DIM> {
                 continue;
             }
             for e in &owned_elems {
-                if regs
-                    .iter()
-                    .any(|n| n.is_ancestor_or_self(e) || e.is_ancestor_or_self(n) || e.closed_regions_touch(n))
-                {
+                if regs.iter().any(|n| {
+                    n.is_ancestor_or_self(e)
+                        || e.is_ancestor_or_self(n)
+                        || e.closed_regions_touch(n)
+                }) {
                     replies[q].push(*e);
                 }
             }
@@ -260,6 +259,7 @@ impl<const DIM: usize> DistMesh<DIM> {
             .unwrap_or(0);
         let owned = owned_start..owned_start + owned_elems.len();
         debug_assert_eq!(&elems[owned.clone()], &owned_elems[..]);
+        drop(obs_ghost);
 
         // --- Nodes --------------------------------------------------------
         let full_nodes = enumerate_nodes(domain, &elems, order);
@@ -296,6 +296,7 @@ impl<const DIM: usize> DistMesh<DIM> {
         };
 
         // --- Ownership via brokers ----------------------------------------
+        let _obs = carve_obs::scope("ownership");
         // Broker of a coord = splitter bin of its finest containing cell.
         let broker_of = |c: &[u64; DIM]| -> usize {
             let mut pt = [0u64; DIM];
@@ -350,7 +351,8 @@ impl<const DIM: usize> DistMesh<DIM> {
         // --- Global ids ----------------------------------------------------
         let n_owned_nodes = owner.iter().filter(|&&o| o == my as u32).count();
         let offset = comm.exscan_u64(n_owned_nodes as u64) as u32;
-        let n_global_dofs = comm.all_reduce_u64(n_owned_nodes as u64, carve_comm::ReduceOp::Sum) as usize;
+        let n_global_dofs =
+            comm.all_reduce_u64(n_owned_nodes as u64, carve_comm::ReduceOp::Sum) as usize;
         let mut global_id = vec![u32::MAX; nodes.len()];
         {
             let mut next = offset;
@@ -429,6 +431,7 @@ impl<const DIM: usize> DistMesh<DIM> {
     /// Refreshes ghost node entries of `values` from their owners.
     /// Returns bytes sent by this rank.
     pub fn ghost_read(&self, comm: &Comm, values: &mut [f64]) -> u64 {
+        let _obs = carve_obs::scope("ghost_read");
         let p = comm.size();
         let mut sends: Vec<Vec<f64>> = Vec::with_capacity(p);
         let mut bytes = 0u64;
@@ -453,6 +456,7 @@ impl<const DIM: usize> DistMesh<DIM> {
     /// entries are zeroed locally (their authoritative value now lives at
     /// the owner).
     pub fn ghost_accumulate(&self, comm: &Comm, values: &mut [f64]) -> u64 {
+        let _obs = carve_obs::scope("ghost_accumulate");
         let p = comm.size();
         let mut sends: Vec<Vec<f64>> = Vec::with_capacity(p);
         let mut bytes = 0u64;
@@ -481,23 +485,16 @@ impl<const DIM: usize> DistMesh<DIM> {
     /// Distributed MATVEC `y = A x` on local vectors (indexed like
     /// `self.nodes`): ghost-read of `x`, restricted traversal, ghost
     /// accumulation of `y`, final ghost-read of `y` so every rank holds
-    /// consistent values. Returns (timings, communication seconds).
-    pub fn matvec<K>(
-        &self,
-        comm: &Comm,
-        x: &[f64],
-        y: &mut [f64],
-        kernel: &mut K,
-    ) -> (TraversalTimings, f64)
+    /// consistent values. Phase timings (matvec top-down/leaf/bottom-up,
+    /// ghost_read/ghost_accumulate) report through `carve-obs`.
+    pub fn matvec<K>(&self, comm: &Comm, x: &[f64], y: &mut [f64], kernel: &mut K)
     where
         K: FnMut(&Octant<DIM>, &[f64], &mut [f64]),
     {
         let mut xg = x.to_vec();
-        let t0 = Instant::now();
         self.ghost_read(comm, &mut xg);
-        let mut comm_time = t0.elapsed().as_secs_f64();
         y.iter_mut().for_each(|v| *v = 0.0);
-        let timings = traversal_matvec(
+        traversal_matvec(
             &self.elems,
             self.owned.clone(),
             self.curve,
@@ -506,11 +503,8 @@ impl<const DIM: usize> DistMesh<DIM> {
             y,
             kernel,
         );
-        let t1 = Instant::now();
         self.ghost_accumulate(comm, y);
         self.ghost_read(comm, y);
-        comm_time += t1.elapsed().as_secs_f64();
-        (timings, comm_time)
     }
 
     /// Ghost statistics for Fig. 11.
@@ -521,11 +515,7 @@ impl<const DIM: usize> DistMesh<DIM> {
             ghost_nodes,
             owned_elems: self.owned.len(),
             ghost_elems: self.elems.len() - self.owned.len(),
-            ghost_read_bytes: self
-                .send_plan
-                .iter()
-                .map(|v| (v.len() * 8) as u64)
-                .sum(),
+            ghost_read_bytes: self.send_plan.iter().map(|v| (v.len() * 8) as u64).sum(),
         }
     }
 }
@@ -644,7 +634,7 @@ mod tests {
                 })
                 .collect();
             let mut y = vec![0.0; x_local.len()];
-            let (_t, _c) = m.matvec(c, &x_local, &mut y, &mut toy_kernel::<2>());
+            m.matvec(c, &x_local, &mut y, &mut toy_kernel::<2>());
             // Report owned node results keyed by coordinate.
             (0..m.nodes.len())
                 .filter(|&i| m.owner[i] as usize == c.rank())
@@ -706,7 +696,13 @@ mod tests {
             // Set every owned node to 1, ghosts to 0; read makes ghosts 1;
             // accumulate-of-ones then gives each owned node (1 + #users).
             let mut v: Vec<f64> = (0..m.nodes.len())
-                .map(|i| if m.owner[i] as usize == c.rank() { 1.0 } else { 0.0 })
+                .map(|i| {
+                    if m.owner[i] as usize == c.rank() {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
                 .collect();
             m.ghost_read(c, &mut v);
             assert!(v.iter().all(|&x| (x - 1.0).abs() < 1e-15));
@@ -732,7 +728,13 @@ mod tests {
             let domain = FullDomain;
             let m = DistMesh::<2>::build(c, &domain, Curve::Morton, 1, 1, 1);
             let mut v: Vec<f64> = (0..m.nodes.len())
-                .map(|i| if m.owner[i] as usize == c.rank() { 1.0 } else { 0.0 })
+                .map(|i| {
+                    if m.owner[i] as usize == c.rank() {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
                 .collect();
             m.ghost_read(c, &mut v);
             m.ghost_accumulate(c, &mut v);
@@ -769,7 +771,13 @@ mod tests {
                 let domain = sphere_domain_2d();
                 let m = DistMesh::<2>::build(c, &domain, Curve::Hilbert, 3, 5, 1);
                 let mut v: Vec<f64> = (0..m.nodes.len())
-                    .map(|i| if m.owner[i] as usize == c.rank() { 1.0 } else { 0.0 })
+                    .map(|i| {
+                        if m.owner[i] as usize == c.rank() {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    })
                     .collect();
                 m.ghost_read(c, &mut v);
                 m.ghost_accumulate(c, &mut v);
@@ -813,8 +821,8 @@ mod tests {
         });
         let owned_total: usize = stats.iter().map(|s| s.owned_nodes).sum();
         assert_eq!(owned_total, 17 * 17); // level-4 uniform 2D grid
-        // Under SFC ownership the rank at the domain's max corner may own
-        // every node it touches; but most ranks must carry ghosts.
+                                          // Under SFC ownership the rank at the domain's max corner may own
+                                          // every node it touches; but most ranks must carry ghosts.
         let with_ghosts = stats.iter().filter(|s| s.ghost_nodes > 0).count();
         assert!(with_ghosts >= p - 1, "stats {stats:?}");
         for s in &stats {

@@ -31,7 +31,7 @@ pub use construct::{
     construct_uniform,
 };
 pub use dist::{DistMesh, GhostStats};
-pub use matvec::{traversal_assemble, traversal_matvec, TraversalTimings};
+pub use matvec::{traversal_assemble, traversal_matvec};
 pub use mesh::{find_leaf, Mesh};
 pub use nodes::{enumerate_nodes, resolve_slot, NodeFlags, NodeSet, SlotRef};
 pub use par::par_map;

@@ -20,34 +20,13 @@ use carve_la::DenseMatrix;
 use carve_sfc::morton::point_cmp_morton;
 use carve_sfc::{Curve, Octant, SfcState};
 use std::ops::Range;
-use std::time::Instant;
 
-/// Per-phase wall-clock breakdown of one MATVEC execution (the quantities
-/// plotted in Figs. 7–10: top-down, bottom-up, leaf compute; communication
-/// is timed by the distributed driver).
-#[derive(Clone, Copy, Debug, Default)]
-pub struct TraversalTimings {
-    pub top_down: f64,
-    pub leaf: f64,
-    pub bottom_up: f64,
-    /// Number of leaf kernels applied.
-    pub leaves: usize,
-    /// Total node copies performed by bucketing (memory-traffic proxy).
-    pub node_copies: usize,
-}
-
-impl TraversalTimings {
-    pub fn total(&self) -> f64 {
-        self.top_down + self.leaf + self.bottom_up
-    }
-    pub fn add(&mut self, o: &TraversalTimings) {
-        self.top_down += o.top_down;
-        self.leaf += o.leaf;
-        self.bottom_up += o.bottom_up;
-        self.leaves += o.leaves;
-        self.node_copies += o.node_copies;
-    }
-}
+// Phase taxonomy (see DESIGN.md §"Observability"): the traversal engine
+// reports through `carve-obs` under its caller's root scope — `"matvec"`
+// for the operator apply, `"assemble"` for sparse assembly — with nested
+// `top_down` / `leaf` / `bottom_up` phases (the Figs. 7–10 breakdown), a
+// `leaves` counter on the leaf phase, and a `node_copies` counter (the
+// bucketing memory-traffic proxy) on the top-down phase.
 
 /// One level's worth of bucketed nodal data along the current traversal
 /// path. `parent_slot[i]` is the index of entry `i` in the parent bucket.
@@ -81,7 +60,10 @@ fn hanging_sources<const DIM: usize>(
     coord: &[u64; DIM],
     p: u64,
 ) -> Vec<([u64; DIM], f64)> {
-    assert!(oct.level > 0, "hanging coordinate at the root: invalid mesh");
+    assert!(
+        oct.level > 0,
+        "hanging coordinate at the root: invalid mesh"
+    );
     let parent = oct.parent();
     let pside = parent.side() as u64;
     let mut fixed = [false; DIM];
@@ -180,7 +162,6 @@ struct Traversal<'a, const DIM: usize, V: LeafVisitor<DIM>> {
     curve: Curve,
     p: u64,
     visitor: V,
-    timings: TraversalTimings,
     carry_values: bool,
     carry_ids: bool,
 }
@@ -203,10 +184,9 @@ impl<'a, const DIM: usize, V: LeafVisitor<DIM>> Traversal<'a, DIM, V> {
         debug_assert!(!range.is_empty());
         if range.len() == 1 && self.elems[range.start] == subtree {
             if self.owned.contains(&range.start) {
-                let t0 = Instant::now();
+                let _obs = carve_obs::scope("leaf");
+                carve_obs::counter("leaves", 1);
                 self.visitor.leaf(&subtree, stack, self.p);
-                self.timings.leaf += t0.elapsed().as_secs_f64();
-                self.timings.leaves += 1;
             }
             return;
         }
@@ -217,11 +197,7 @@ impl<'a, const DIM: usize, V: LeafVisitor<DIM>> Traversal<'a, DIM, V> {
         for r in 0..(1usize << DIM) {
             let mut hi = lo;
             while hi < range.end
-                && st.morton_to_sfc(
-                    self.curve,
-                    DIM,
-                    self.elems[hi].child_bits_at(child_level),
-                ) == r
+                && st.morton_to_sfc(self.curve, DIM, self.elems[hi].child_bits_at(child_level)) == r
             {
                 hi += 1;
             }
@@ -237,7 +213,7 @@ impl<'a, const DIM: usize, V: LeafVisitor<DIM>> Traversal<'a, DIM, V> {
             let child_oct = subtree.child(m);
             let child_st = st.child(self.curve, DIM, r);
             // Top-down: bucket nodes incident on the child's closed region.
-            let t0 = Instant::now();
+            let obs_td = carve_obs::scope("top_down");
             let parent = stack.last().expect("bucket stack nonempty");
             let mut coords = Vec::new();
             let mut parent_slot = Vec::new();
@@ -265,7 +241,7 @@ impl<'a, const DIM: usize, V: LeafVisitor<DIM>> Traversal<'a, DIM, V> {
                     }
                 }
             }
-            self.timings.node_copies += coords.len();
+            carve_obs::counter("node_copies", coords.len() as u64);
             let n = coords.len();
             let child_bucket = Bucket {
                 coords,
@@ -278,11 +254,11 @@ impl<'a, const DIM: usize, V: LeafVisitor<DIM>> Traversal<'a, DIM, V> {
                     Vec::new()
                 },
             };
-            self.timings.top_down += t0.elapsed().as_secs_f64();
+            drop(obs_td);
             stack.push(child_bucket);
             self.rec(child_oct, child_st, lo..hi, stack);
             // Bottom-up: accumulate duplicated node contributions.
-            let t1 = Instant::now();
+            let _obs_bu = carve_obs::scope("bottom_up");
             let child = stack.pop().expect("child bucket");
             if self.carry_values {
                 let parent = stack.last_mut().expect("parent bucket");
@@ -290,7 +266,6 @@ impl<'a, const DIM: usize, V: LeafVisitor<DIM>> Traversal<'a, DIM, V> {
                     parent.vout[ps as usize] += child.vout[i];
                 }
             }
-            self.timings.bottom_up += t1.elapsed().as_secs_f64();
             lo = hi;
         }
         debug_assert_eq!(lo, range.end, "elements not fully bucketed");
@@ -357,15 +332,15 @@ pub fn traversal_matvec<const DIM: usize, K>(
     x: &[f64],
     y: &mut [f64],
     kernel: &mut K,
-) -> TraversalTimings
-where
+) where
     K: FnMut(&Octant<DIM>, &[f64], &mut [f64]),
 {
     assert_eq!(x.len(), nodes.len());
     assert_eq!(y.len(), nodes.len());
     if elems.is_empty() || owned.is_empty() {
-        return TraversalTimings::default();
+        return;
     }
+    let _obs = carve_obs::scope("matvec");
     let root = Bucket {
         coords: nodes.coords.clone(),
         parent_slot: Vec::new(),
@@ -385,7 +360,6 @@ where
         curve,
         p: nodes.order,
         visitor,
-        timings: TraversalTimings::default(),
         carry_values: true,
         carry_ids: false,
     };
@@ -393,7 +367,6 @@ where
     for (yi, vo) in y.iter_mut().zip(&root.vout) {
         *yi += vo;
     }
-    tr.timings
 }
 
 struct AssemblyVisitor<'k, const DIM: usize, K> {
@@ -448,14 +421,14 @@ pub fn traversal_assemble<const DIM: usize, K>(
     global_ids: &[u32],
     coo: &mut CooBuilder,
     kernel: &mut K,
-) -> TraversalTimings
-where
+) where
     K: FnMut(&Octant<DIM>) -> DenseMatrix,
 {
     assert_eq!(global_ids.len(), nodes.len());
     if elems.is_empty() || owned.is_empty() {
-        return TraversalTimings::default();
+        return;
     }
+    let _obs = carve_obs::scope("assemble");
     let root = Bucket {
         coords: nodes.coords.clone(),
         parent_slot: Vec::new(),
@@ -474,12 +447,10 @@ where
         curve,
         p: nodes.order,
         visitor,
-        timings: TraversalTimings::default(),
         carry_values: false,
         carry_ids: true,
     };
     tr.run(root);
-    tr.timings
 }
 
 #[cfg(test)]
@@ -578,8 +549,7 @@ mod tests {
 
     #[test]
     fn matvec_matches_assembly_adaptive_carved_2d() {
-        let domain =
-            CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.28))]);
+        let domain = CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.28))]);
         for p in [1u64, 2] {
             for curve in [Curve::Morton, Curve::Hilbert] {
                 let t = construct_boundary_refined(&domain, curve, 2, 5);
@@ -591,8 +561,7 @@ mod tests {
 
     #[test]
     fn matvec_matches_assembly_adaptive_3d() {
-        let domain =
-            CarvedSolids::<3>::new(vec![Box::new(Sphere::new([0.5; 3], 0.3))]);
+        let domain = CarvedSolids::<3>::new(vec![Box::new(Sphere::new([0.5; 3], 0.3))]);
         for p in [1u64, 2] {
             let t = construct_boundary_refined(&domain, Curve::Hilbert, 2, 4);
             let elems = construct_balanced(&domain, Curve::Hilbert, &t);
@@ -605,8 +574,7 @@ mod tests {
         // For a partition-of-unity kernel (mass-like), A·1 must equal the
         // row sums of the assembled matrix — and more fundamentally, the
         // hanging interpolation of a constant vector is the same constant.
-        let domain =
-            CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.3, 0.6], 0.2))]);
+        let domain = CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.3, 0.6], 0.2))]);
         let t = construct_boundary_refined(&domain, Curve::Morton, 2, 5);
         let elems = construct_balanced(&domain, Curve::Morton, &t);
         let nodes = enumerate_nodes(&domain, &elems, 1);
@@ -622,7 +590,15 @@ mod tests {
             }
             v.copy_from_slice(u);
         };
-        traversal_matvec(&elems, 0..elems.len(), Curve::Morton, &nodes, &ones, &mut y, &mut probe);
+        traversal_matvec(
+            &elems,
+            0..elems.len(),
+            Curve::Morton,
+            &nodes,
+            &ones,
+            &mut y,
+            &mut probe,
+        );
     }
 
     #[test]
@@ -630,8 +606,7 @@ mod tests {
         // Splitting the element list into owned ranges and summing the
         // partial MATVECs must reproduce the full MATVEC (the distributed
         // decomposition property).
-        let domain =
-            CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.25))]);
+        let domain = CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.25))]);
         let t = construct_boundary_refined(&domain, Curve::Hilbert, 2, 4);
         let elems = construct_balanced(&domain, Curve::Hilbert, &t);
         let nodes = enumerate_nodes(&domain, &elems, 2);
@@ -667,13 +642,15 @@ mod tests {
     }
 
     #[test]
-    fn timings_are_populated() {
+    fn obs_phases_are_populated() {
+        let _e = carve_obs::force_enabled();
         let elems = construct_uniform::<2>(&FullDomain, Curve::Morton, 4);
         let nodes = enumerate_nodes(&FullDomain, &elems, 1);
         let n = nodes.len();
         let x = vec![1.0; n];
         let mut y = vec![0.0; n];
-        let t = traversal_matvec(
+        let before = carve_obs::thread_snapshot();
+        traversal_matvec(
             &elems,
             0..elems.len(),
             Curve::Morton,
@@ -682,8 +659,13 @@ mod tests {
             &mut y,
             &mut toy_kernel::<2>(1),
         );
-        assert_eq!(t.leaves, elems.len());
-        assert!(t.node_copies > 0);
-        assert!(t.total() >= 0.0);
+        let d = carve_obs::thread_snapshot().diff(&before);
+        let leaf = &d.phases["matvec/leaf"];
+        assert_eq!(leaf.calls, elems.len() as u64);
+        assert_eq!(leaf.counters["leaves"], elems.len() as u64);
+        let td = &d.phases["matvec/top_down"];
+        assert!(td.counters["node_copies"] > 0);
+        assert_eq!(d.phases["matvec"].calls, 1);
+        assert!(d.phases.contains_key("matvec/bottom_up"));
     }
 }

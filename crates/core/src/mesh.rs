@@ -107,8 +107,7 @@ mod tests {
 
     #[test]
     fn find_leaf_locates_points() {
-        let domain =
-            CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.3))]);
+        let domain = CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.3))]);
         let mesh = Mesh::build(&domain, Curve::Hilbert, 3, 5, 1);
         // Center of the disk: carved, no leaf.
         let center_cell = carve_sfc::morton::finest_cell_of_point(&[
@@ -123,10 +122,7 @@ mod tests {
         // Every element finds itself via its center cell.
         for (i, e) in mesh.elems.iter().enumerate() {
             let side = e.side() as u64;
-            let c = [
-                e.anchor[0] as u64 + side / 2,
-                e.anchor[1] as u64 + side / 2,
-            ];
+            let c = [e.anchor[0] as u64 + side / 2, e.anchor[1] as u64 + side / 2];
             let cell = carve_sfc::morton::finest_cell_of_point(&c);
             assert_eq!(find_leaf(&mesh.elems, mesh.curve, &cell), Some(i));
         }
@@ -134,8 +130,7 @@ mod tests {
 
     #[test]
     fn build_pipeline_produces_consistent_mesh() {
-        let domain =
-            CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.3))]);
+        let domain = CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.3))]);
         let mesh = Mesh::build(&domain, Curve::Hilbert, 3, 5, 1);
         assert!(mesh.num_elems() > 0);
         assert!(mesh.num_dofs() > mesh.num_elems() / 2);

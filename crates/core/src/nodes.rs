@@ -101,6 +101,7 @@ pub fn enumerate_nodes<const DIM: usize>(
     p: u64,
 ) -> NodeSet<DIM> {
     assert!(p == 1 || p == 2, "orders 1 and 2 supported");
+    let _obs = carve_obs::scope("nodes");
     let npe = nodes_per_elem::<DIM>(p);
     // (coord, is_cancellation)
     let mut pts: Vec<([u64; DIM], bool)> = Vec::with_capacity(elems.len() * npe * 2);
@@ -423,8 +424,7 @@ mod tests {
 
     #[test]
     fn carved_boundary_nodes_are_tagged() {
-        let domain =
-            CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.3))]);
+        let domain = CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.3))]);
         let tree = construct_boundary_refined(&domain, Curve::Morton, 3, 5);
         let tree = construct_balanced(&domain, Curve::Morton, &tree);
         let nodes = enumerate_nodes(&domain, &tree, 1);
@@ -456,10 +456,7 @@ mod tests {
         assert_eq!(nodes.len(), 17 * 5);
         for i in 0..nodes.len() {
             let u = nodes.unit_coords(i);
-            let on_wall = u[0] < 1e-12
-                || u[0] > 1.0 - 1e-12
-                || u[1] < 1e-12
-                || u[1] > 0.25 - 1e-12;
+            let on_wall = u[0] < 1e-12 || u[0] > 1.0 - 1e-12 || u[1] < 1e-12 || u[1] > 0.25 - 1e-12;
             assert_eq!(
                 nodes.flags[i].is_carved_boundary() || nodes.flags[i].is_cube_boundary(),
                 on_wall,
@@ -475,8 +472,7 @@ mod tests {
         // element at the finest level, so lattice points lying in the closed
         // carved set (the subdomain-boundary nodes) are shared between
         // same-level elements and must all be real (non-hanging) DOFs.
-        let domain =
-            CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.29))]);
+        let domain = CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.29))]);
         let tree = construct_boundary_refined(&domain, Curve::Morton, 3, 6);
         let tree = construct_balanced(&domain, Curve::Morton, &tree);
         let nodes = enumerate_nodes(&domain, &tree, 1);

@@ -69,7 +69,10 @@ mod tests {
         assert!(par_map(&empty, |x| *x).is_empty());
         assert_eq!(par_map(&[7u32], |x| x + 1), vec![8]);
         let small: Vec<u32> = (0..10).collect();
-        assert_eq!(par_map(&small, |x| x * 2), (0..20).step_by(2).collect::<Vec<_>>());
+        assert_eq!(
+            par_map(&small, |x| x * 2),
+            (0..20).step_by(2).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -80,5 +83,28 @@ mod tests {
             let got = par_map(&items, |x| x + 3);
             assert_eq!(got, (3..n + 3).collect::<Vec<_>>(), "n={n}");
         }
+    }
+
+    #[test]
+    fn obs_counters_accumulate_across_workers() {
+        // Counters bumped inside worker threads land in the *global*
+        // snapshot (each worker registers its own thread-local recorder),
+        // so a fork-join map must conserve the total count.
+        let _e = carve_obs::force_enabled();
+        let items: Vec<u64> = (0..1000).collect();
+        let key = "par_map_test_tally";
+        let before = carve_obs::snapshot();
+        let got = par_map(&items, |x| {
+            carve_obs::counter(key, *x);
+            *x
+        });
+        assert_eq!(got, items);
+        let d = carve_obs::snapshot().diff(&before);
+        let total: u64 = d
+            .phases
+            .values()
+            .filter_map(|ph| ph.counters.get(key))
+            .sum();
+        assert_eq!(total, items.iter().sum::<u64>());
     }
 }

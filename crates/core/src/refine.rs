@@ -31,6 +31,7 @@ pub fn adapt_once<const DIM: usize>(
     elems: &[Octant<DIM>],
     criterion: &dyn Fn(&Octant<DIM>) -> Adapt,
 ) -> Vec<Octant<DIM>> {
+    let _obs = carve_obs::scope("refine");
     let nch = 1usize << DIM;
     let mut out: Vec<Octant<DIM>> = Vec::with_capacity(elems.len());
     let mut i = 0;
@@ -59,7 +60,9 @@ pub fn adapt_once<const DIM: usize>(
                 present.push(j);
                 j += 1;
             }
-            let all_coarsen = present.iter().all(|&k| criterion(&elems[k]) == Adapt::Coarsen);
+            let all_coarsen = present
+                .iter()
+                .all(|&k| criterion(&elems[k]) == Adapt::Coarsen);
             // Every non-carved child slot must be present (a child absent
             // for structural reasons — e.g. refined further — blocks the
             // merge; refined descendants would not match `level`).
@@ -166,11 +169,7 @@ fn rec_points<const DIM: usize>(
 
 /// Checks that `tree` covers every retained point of a probe set and that
 /// levels respect the given bounds (used by adaptation tests).
-pub fn covers_point<const DIM: usize>(
-    tree: &[Octant<DIM>],
-    curve: Curve,
-    p: &[f64; DIM],
-) -> bool {
+pub fn covers_point<const DIM: usize>(tree: &[Octant<DIM>], curve: Curve, p: &[f64; DIM]) -> bool {
     let side = carve_sfc::octant::ROOT_SIDE as f64;
     let mut pt = [0u64; DIM];
     for k in 0..DIM {
@@ -222,8 +221,7 @@ mod tests {
 
     #[test]
     fn coarsen_respects_carved_regions() {
-        let domain =
-            CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.3))]);
+        let domain = CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.3))]);
         let tree = construct_uniform(&domain, Curve::Hilbert, 4);
         let coarsened = adapt_once(&domain, Curve::Hilbert, &tree, &|_| Adapt::Coarsen);
         check_tree_invariants(&domain, Curve::Hilbert, &coarsened).unwrap();
@@ -244,8 +242,7 @@ mod tests {
 
     #[test]
     fn adapt_then_balance_is_valid() {
-        let domain =
-            CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.3, 0.6], 0.2))]);
+        let domain = CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.3, 0.6], 0.2))]);
         let mut tree = construct_uniform(&domain, Curve::Hilbert, 3);
         // Refine elements near the disk twice, then coarsen far ones.
         for _ in 0..2 {
@@ -292,9 +289,7 @@ mod tests {
             let (min, side) = e.bounds_unit();
             let inside = pts
                 .iter()
-                .filter(|p| {
-                    (0..2).all(|k| p[k] >= min[k] && p[k] < min[k] + side)
-                })
+                .filter(|p| (0..2).all(|k| p[k] >= min[k] && p[k] < min[k] + side))
                 .count();
             assert!(inside <= 20, "leaf {e:?} holds {inside} points");
         }
@@ -313,8 +308,7 @@ mod tests {
 
     #[test]
     fn point_cloud_prunes_carved_even_with_points_inside() {
-        let domain =
-            CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.25))]);
+        let domain = CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.25))]);
         let pts: Vec<[f64; 2]> = (0..64)
             .map(|i| {
                 let t = i as f64 / 64.0 * std::f64::consts::TAU;

@@ -36,10 +36,7 @@ pub fn gauss_rule(n: usize) -> Quadrature {
             let b = 1.0 / 3.0 * (5.0f64 + 2.0 * (10.0f64 / 7.0).sqrt()).sqrt();
             let wa = (322.0 + 13.0 * 70.0f64.sqrt()) / 900.0;
             let wb = (322.0 - 13.0 * 70.0f64.sqrt()) / 900.0;
-            (
-                vec![-b, -a, 0.0, a, b],
-                vec![wb, wa, 128.0 / 225.0, wa, wb],
-            )
+            (vec![-b, -a, 0.0, a, b], vec![wb, wa, 128.0 / 225.0, wa, wb])
         }
         _ => panic!("gauss_rule supports 1..=5 points"),
     };

@@ -72,8 +72,14 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let mut c = FlopCount::default();
-        c.add(FlopCount { flops: 10, bytes: 5 });
-        c.add(FlopCount { flops: 30, bytes: 15 });
+        c.add(FlopCount {
+            flops: 10,
+            bytes: 5,
+        });
+        c.add(FlopCount {
+            flops: 30,
+            bytes: 15,
+        });
         assert_eq!(c.flops, 40);
         assert_eq!(c.ai(), 2.0);
     }

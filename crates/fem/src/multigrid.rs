@@ -19,9 +19,7 @@
 //!   Table 1 taken to its conclusion.
 
 use crate::poisson::ElementCache;
-use carve_core::{
-    find_leaf, resolve_slot, traversal_assemble, traversal_matvec, Mesh, SlotRef,
-};
+use carve_core::{find_leaf, resolve_slot, traversal_assemble, traversal_matvec, Mesh, SlotRef};
 use carve_geom::Subdomain;
 use carve_la::{CooBuilder, DenseMatrix, KrylovResult, LuFactors};
 use carve_sfc::morton::finest_cell_of_point;
@@ -184,7 +182,13 @@ impl<const DIM: usize> Multigrid<DIM> {
         let mut boundary = finest_boundary;
         let mut base = finest_base;
         loop {
-            meshes.push(Mesh::build(domain, carve_sfc::Curve::Hilbert, base, boundary, order));
+            meshes.push(Mesh::build(
+                domain,
+                carve_sfc::Curve::Hilbert,
+                base,
+                boundary,
+                order,
+            ));
             if base == min_level && boundary == min_level {
                 break;
             }
@@ -197,12 +201,7 @@ impl<const DIM: usize> Multigrid<DIM> {
         let cache = ElementCache::<DIM>::new(order as usize);
         let mut levels: Vec<Level<DIM>> = Vec::with_capacity(meshes.len());
         for (li, mesh) in meshes.into_iter().enumerate() {
-            let constrained: Vec<bool> = mesh
-                .nodes
-                .flags
-                .iter()
-                .map(|f| constrain(*f))
-                .collect();
+            let constrained: Vec<bool> = mesh.nodes.flags.iter().map(|f| constrain(*f)).collect();
             // Diagonal of the constrained operator via assembly of the
             // diagonal only (cheap: per-element diagonal entries).
             let mut diag = vec![0.0; mesh.num_dofs()];
@@ -253,9 +252,8 @@ impl<const DIM: usize> Multigrid<DIM> {
         let n = coarse.mesh.num_dofs();
         let mut coo = CooBuilder::new(n);
         let ids: Vec<u32> = (0..n as u32).collect();
-        let mut kernel = |e: &Octant<DIM>| -> DenseMatrix {
-            cache.stiffness(e.bounds_unit().1 * scale)
-        };
+        let mut kernel =
+            |e: &Octant<DIM>| -> DenseMatrix { cache.stiffness(e.bounds_unit().1 * scale) };
         traversal_assemble(
             &coarse.mesh.elems,
             0..coarse.mesh.elems.len(),

@@ -17,7 +17,6 @@ use carve_core::{find_leaf, Mesh};
 use carve_la::DenseMatrix;
 use carve_sfc::morton::finest_cell_of_point;
 
-
 /// One face of a retained element whose across-face region is carved: part
 /// of the surrogate boundary Γ̃.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -66,10 +65,12 @@ pub fn surrogate_faces<const DIM: usize>(
                 for (ai, &ea) in anchor_i.iter_mut().zip(&e.anchor) {
                     *ai = ea as i64;
                 }
-                anchor_i[axis] += if positive { side as i64 } else { -(side as i64) };
-                if anchor_i[axis] < 0
-                    || anchor_i[axis] >= carve_sfc::octant::ROOT_SIDE as i64
-                {
+                anchor_i[axis] += if positive {
+                    side as i64
+                } else {
+                    -(side as i64)
+                };
+                if anchor_i[axis] < 0 || anchor_i[axis] >= carve_sfc::octant::ROOT_SIDE as i64 {
                     if include_cube_boundary {
                         faces.push(SurrogateFace {
                             elem: i,
@@ -227,7 +228,11 @@ mod tests {
             let (emin, h) = e.bounds_unit();
             // Face center, nudged outward, must be outside the disk.
             let mut x = [emin[0] + 0.5 * h, emin[1] + 0.5 * h];
-            x[f.axis] = if f.positive { emin[f.axis] + h } else { emin[f.axis] };
+            x[f.axis] = if f.positive {
+                emin[f.axis] + h
+            } else {
+                emin[f.axis]
+            };
             let mut probe = x;
             probe[f.axis] += if f.positive { 1e-9 } else { -1e-9 };
             let r = ((probe[0] - 0.5f64).powi(2) + (probe[1] - 0.5).powi(2)).sqrt();
@@ -241,7 +246,10 @@ mod tests {
             .map(|f| mesh.elems[f.elem].bounds_unit().1)
             .sum();
         let circ = 2.0 * std::f64::consts::PI * 0.35;
-        assert!(perim > circ * 0.9 && perim < circ * 1.5, "perimeter {perim}");
+        assert!(
+            perim > circ * 0.9 && perim < circ * 1.5,
+            "perimeter {perim}"
+        );
     }
 
     #[test]
@@ -279,10 +287,7 @@ mod tests {
         let (a, b) = sbm_face_terms::<2>(p, &min, h, (1, false), &params, &map, &ud);
         let mut u = vec![0.0; 4];
         for (i, ui) in u.iter_mut().enumerate() {
-            let xi = [
-                min[0] + h * (i % 2) as f64,
-                min[1] + h * (i / 2) as f64,
-            ];
+            let xi = [min[0] + h * (i % 2) as f64, min[1] + h * (i / 2) as f64];
             *ui = c[0] * xi[0] + c[1] * xi[1];
         }
         let mut au = vec![0.0; 4];

@@ -166,9 +166,7 @@ pub fn solve_poisson<const DIM: usize>(
     for (i, ci) in constrained.iter_mut().enumerate() {
         let fl = mesh.nodes.flags[i];
         let naive = matches!(prob.bc, BcMode::Naive);
-        if (naive && fl.is_carved_boundary())
-            || (prob.strong_cube_bc && fl.is_cube_boundary())
-        {
+        if (naive && fl.is_carved_boundary()) || (prob.strong_cube_bc && fl.is_cube_boundary()) {
             *ci = true;
         }
     }
@@ -208,6 +206,7 @@ pub fn solve_poisson<const DIM: usize>(
 
     // The paper's solver configuration: BiCGStab with additive Schwarz.
     let mut u = vec![0.0; n];
+    let obs_krylov = carve_obs::scope("krylov");
     let krylov = if n > 2000 {
         let pre = AsmPrecond::new(&a, (n / 400).max(2), 8);
         bicgstab(&a, &rhs, &mut u, &pre, 1e-12, 1e-14, 50_000)
@@ -215,6 +214,8 @@ pub fn solve_poisson<const DIM: usize>(
         let pre = JacobiPrecond::from_matrix(&a);
         bicgstab(&a, &rhs, &mut u, &pre, 1e-12, 1e-14, 50_000)
     };
+    carve_obs::counter("iterations", krylov.iterations as u64);
+    drop(obs_krylov);
     let _ = domain;
     PoissonSolution {
         u,
@@ -336,7 +337,10 @@ mod tests {
     fn disk_naive_bc_is_first_order() {
         let errs = disk_errors(BcMode::Naive, &[4, 5, 6]);
         let rate = (errs[1] / errs[2]).log2();
-        assert!(rate < 1.6, "naive should be ~1st order, got {rate} ({errs:?})");
+        assert!(
+            rate < 1.6,
+            "naive should be ~1st order, got {rate} ({errs:?})"
+        );
     }
 
     #[test]

@@ -241,11 +241,14 @@ impl Bvh {
     pub fn ray_candidates<F: FnMut(u32)>(&self, o: &[f64; 3], dir: &[f64; 3], mut hit: F) {
         let inv = [1.0 / dir[0], 1.0 / dir[1], 1.0 / dir[2]];
         let order = &self.order;
-        self.visit(&mut |b: &Aabb| b.hit_by_ray(o, &inv), &mut |start, count| {
-            for &t in &order[start..start + count] {
-                hit(t);
-            }
-        });
+        self.visit(
+            &mut |b: &Aabb| b.hit_by_ray(o, &inv),
+            &mut |start, count| {
+                for &t in &order[start..start + count] {
+                    hit(t);
+                }
+            },
+        );
     }
 }
 

@@ -150,8 +150,7 @@ impl ClassroomScene {
     }
 
     fn on_ceiling(&self, phys: &[f64; 3]) -> bool {
-        (phys[2] - ROOM[2]).abs() < 1e-9 * self.scale + 1e-12
-            || (phys[2] - ROOM[2]).abs() < 1e-6
+        (phys[2] - ROOM[2]).abs() < 1e-9 * self.scale + 1e-12 || (phys[2] - ROOM[2]).abs() < 1e-6
     }
 
     /// Number of carved solids (scene complexity measure).

@@ -294,10 +294,7 @@ mod tests {
         let s1 = Sphere::<2>::new([0.25, 0.25], 0.1);
         let s2 = Sphere::<2>::new([0.75, 0.75], 0.1);
         let d = CarvedSolids::new(vec![Box::new(s1), Box::new(s2)]);
-        assert_eq!(
-            d.classify_region(&[0.2, 0.2], 0.05),
-            RegionLabel::Carved
-        );
+        assert_eq!(d.classify_region(&[0.2, 0.2], 0.05), RegionLabel::Carved);
         assert_eq!(
             d.classify_region(&[0.45, 0.45], 0.1),
             RegionLabel::RetainInternal

@@ -77,7 +77,9 @@ fn spine_tangent(p: &DragonParams, t: f64) -> [f64; 3] {
 /// periodic in both parameters.
 fn tube_radius(p: &DragonParams, t: f64, theta: f64) -> f64 {
     let taper = 1.0 - 0.55 * (0.5 * t).sin().powi(2); // thick "head", thin "tail"
-    let scales = 1.0 + 0.22 * (6.0 * t).sin() + 0.10 * (9.0 * t + 2.0 * theta).sin()
+    let scales = 1.0
+        + 0.22 * (6.0 * t).sin()
+        + 0.10 * (9.0 * t + 2.0 * theta).sin()
         + 0.08 * (3.0 * theta).cos();
     (p.tube_radius * taper * scales).max(0.25 * p.tube_radius)
 }
@@ -98,7 +100,11 @@ pub fn dragon_mesh(p: &DragonParams) -> TriMesh {
         let n1 = {
             // Component of e_r orthogonal to the tangent.
             let d = e_r[0] * tan[0] + e_r[1] * tan[1] + e_r[2] * tan[2];
-            normalize([e_r[0] - d * tan[0], e_r[1] - d * tan[1], e_r[2] - d * tan[2]])
+            normalize([
+                e_r[0] - d * tan[0],
+                e_r[1] - d * tan[1],
+                e_r[2] - d * tan[2],
+            ])
         };
         let n2 = normalize(cross(tan, n1));
         for j in 0..nc {

@@ -297,13 +297,19 @@ mod tests {
     fn sphere_classify_exact() {
         let s = Sphere::<3>::new([0.5; 3], 0.25);
         assert_eq!(s.classify_region(&[0.45; 3], 0.1), RegionLabel::Carved);
-        assert_eq!(s.classify_region(&[0.0; 3], 0.1), RegionLabel::RetainInternal);
+        assert_eq!(
+            s.classify_region(&[0.0; 3], 0.1),
+            RegionLabel::RetainInternal
+        );
         assert_eq!(
             s.classify_region(&[0.2, 0.45, 0.45], 0.1),
             RegionLabel::RetainBoundary
         );
         // Whole domain: intercepted.
-        assert_eq!(s.classify_region(&[0.0; 3], 1.0), RegionLabel::RetainBoundary);
+        assert_eq!(
+            s.classify_region(&[0.0; 3], 1.0),
+            RegionLabel::RetainBoundary
+        );
     }
 
     #[test]
@@ -329,8 +335,14 @@ mod tests {
     fn axis_box_classify_and_sdf() {
         let b = AxisBox::<3>::new([0.25; 3], [0.75; 3]);
         assert_eq!(b.classify_region(&[0.3; 3], 0.2), RegionLabel::Carved);
-        assert_eq!(b.classify_region(&[0.8; 3], 0.1), RegionLabel::RetainInternal);
-        assert_eq!(b.classify_region(&[0.2; 3], 0.2), RegionLabel::RetainBoundary);
+        assert_eq!(
+            b.classify_region(&[0.8; 3], 0.1),
+            RegionLabel::RetainInternal
+        );
+        assert_eq!(
+            b.classify_region(&[0.2; 3], 0.2),
+            RegionLabel::RetainBoundary
+        );
         assert!((b.signed_distance(&[0.5; 3]) - 0.25).abs() < 1e-15);
         assert!((b.signed_distance(&[1.0, 0.5, 0.5]) + 0.25).abs() < 1e-15);
         // Outside diagonal distance.
@@ -355,8 +367,14 @@ mod tests {
         assert!((c.signed_distance(&[0.5, 0.5, 0.5]) - 0.1).abs() < 1e-15);
         // Beyond the cap.
         assert!((c.signed_distance(&[0.9, 0.5, 0.5]) + 0.1).abs() < 1e-15);
-        assert_eq!(c.classify_region(&[0.45, 0.48, 0.48], 0.02), RegionLabel::Carved);
-        assert_eq!(c.classify_region(&[0.0; 3], 0.05), RegionLabel::RetainInternal);
+        assert_eq!(
+            c.classify_region(&[0.45, 0.48, 0.48], 0.02),
+            RegionLabel::Carved
+        );
+        assert_eq!(
+            c.classify_region(&[0.0; 3], 0.05),
+            RegionLabel::RetainInternal
+        );
         let q = c.closest_boundary_point(&[0.5, 0.5, 0.8]);
         assert!((q[2] - 0.6).abs() < 1e-14);
     }

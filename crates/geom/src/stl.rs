@@ -61,8 +61,8 @@ fn parse_binary(bytes: &[u8]) -> io::Result<TriMesh> {
 }
 
 fn parse_ascii(bytes: &[u8]) -> io::Result<TriMesh> {
-    let text = std::str::from_utf8(bytes)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let text =
+        std::str::from_utf8(bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     let mut mesh = TriMesh::default();
     let mut current: Vec<[f64; 3]> = Vec::with_capacity(3);
     for line in text.lines() {
@@ -110,7 +110,13 @@ fn weld(mesh: TriMesh) -> TriMesh {
     let tris = mesh
         .tris
         .iter()
-        .map(|t| [remap[t[0] as usize], remap[t[1] as usize], remap[t[2] as usize]])
+        .map(|t| {
+            [
+                remap[t[0] as usize],
+                remap[t[1] as usize],
+                remap[t[2] as usize],
+            ]
+        })
         .collect();
     TriMesh { vertices, tris }
 }

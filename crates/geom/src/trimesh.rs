@@ -69,8 +69,7 @@ impl TriMesh {
                 if a == b {
                     return false;
                 }
-                *dir_edges.entry((a.min(b), a.max(b))).or_insert(0) +=
-                    if a < b { 1 } else { -1 };
+                *dir_edges.entry((a.min(b), a.max(b))).or_insert(0) += if a < b { 1 } else { -1 };
             }
         }
         // Each undirected edge must be traversed once in each direction, and
@@ -110,7 +109,12 @@ fn norm(a: &[f64; 3]) -> f64 {
 
 /// Closest point on triangle `(a,b,c)` to `p` (Ericson, *Real-Time Collision
 /// Detection*, §5.1.5).
-pub fn closest_point_on_triangle(p: &[f64; 3], a: &[f64; 3], b: &[f64; 3], c: &[f64; 3]) -> [f64; 3] {
+pub fn closest_point_on_triangle(
+    p: &[f64; 3],
+    a: &[f64; 3],
+    b: &[f64; 3],
+    c: &[f64; 3],
+) -> [f64; 3] {
     let ab = sub(b, a);
     let ac = sub(c, a);
     let ap = sub(p, a);
@@ -340,7 +344,11 @@ mod tests {
     fn cube_mesh_is_watertight_and_oriented() {
         let m = cube_mesh(0.0, 1.0);
         assert!(m.is_watertight());
-        assert!((m.signed_volume() - 1.0).abs() < 1e-12, "v={}", m.signed_volume());
+        assert!(
+            (m.signed_volume() - 1.0).abs() < 1e-12,
+            "v={}",
+            m.signed_volume()
+        );
         assert!((m.area() - 6.0).abs() < 1e-12);
     }
 
@@ -392,8 +400,14 @@ mod tests {
     #[test]
     fn cube_solid_classify_region() {
         let solid = TriMeshSolid::new(cube_mesh(0.25, 0.75));
-        assert_eq!(solid.classify_region(&[0.45, 0.45, 0.45], 0.05), RegionLabel::Carved);
-        assert_eq!(solid.classify_region(&[0.0, 0.0, 0.0], 0.05), RegionLabel::RetainInternal);
+        assert_eq!(
+            solid.classify_region(&[0.45, 0.45, 0.45], 0.05),
+            RegionLabel::Carved
+        );
+        assert_eq!(
+            solid.classify_region(&[0.0, 0.0, 0.0], 0.05),
+            RegionLabel::RetainInternal
+        );
         assert_eq!(
             solid.classify_region(&[0.2, 0.45, 0.45], 0.1),
             RegionLabel::RetainBoundary

@@ -420,10 +420,7 @@ mod tests {
         let s = v.to_string_pretty();
         assert_eq!(Json::parse(&s).unwrap(), v);
         // And escapes written by other tools parse too.
-        assert_eq!(
-            Json::parse(r#""éA😀""#).unwrap(),
-            Json::Str("éA😀".into())
-        );
+        assert_eq!(Json::parse(r#""éA😀""#).unwrap(), Json::Str("éA😀".into()));
     }
 
     #[test]
@@ -452,7 +449,15 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        for bad in ["", "{", "[1,", "\"unterminated", "nul", "{\"a\" 1}", "[1] x"] {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "\"unterminated",
+            "nul",
+            "{\"a\" 1}",
+            "[1] x",
+        ] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
         }
     }

@@ -3,11 +3,13 @@
 //! unstructured-grid output for visualization (Fig. 14/16 style dumps).
 
 pub mod json;
+pub mod obs_report;
 pub mod results;
 pub mod table;
 pub mod vtk;
 
 pub use json::Json;
+pub use obs_report::{report_from_json, report_to_json};
 pub use results::{ExperimentRecord, Series, ShapeCheck};
 pub use table::{write_csv, Table};
 pub use vtk::write_vtk_mesh;

@@ -1,0 +1,180 @@
+//! JSON (de)serialization of observability [`Report`]s.
+//!
+//! This is the `BENCH_*.json` schema consumed by `scripts/bench_gate.sh`:
+//!
+//! ```json
+//! {
+//!   "ranks": 2,
+//!   "phases": {
+//!     "matvec/leaf": {
+//!       "calls": 96,
+//!       "ranks": 2,
+//!       "secs": { "min": 0.001, "mean": 0.002, "max": 0.003 },
+//!       "counters": { "leaves": 96 }
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! Phases and counters are `BTreeMap`-ordered on the Rust side and written
+//! in that order, so the output is deterministic modulo the `secs` values.
+
+use crate::json::Json;
+use carve_obs::{AggPhase, Report, SecsSummary};
+
+fn num(x: u64) -> Json {
+    // u64 counters in this workspace stay far below 2^53, where f64 is exact.
+    Json::Num(x as f64)
+}
+
+/// Encodes a [`Report`] as the `BENCH_*.json` phase-report object.
+pub fn report_to_json(report: &Report) -> Json {
+    let phases = report
+        .phases
+        .iter()
+        .map(|(path, p)| {
+            let secs = Json::Obj(vec![
+                ("min".into(), Json::Num(p.secs.min)),
+                ("mean".into(), Json::Num(p.secs.mean)),
+                ("max".into(), Json::Num(p.secs.max)),
+            ]);
+            let counters = Json::Obj(
+                p.counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), num(*v)))
+                    .collect(),
+            );
+            let obj = Json::Obj(vec![
+                ("calls".into(), num(p.calls)),
+                ("ranks".into(), num(p.ranks)),
+                ("secs".into(), secs),
+                ("counters".into(), counters),
+            ]);
+            (path.clone(), obj)
+        })
+        .collect();
+    Json::Obj(vec![
+        ("ranks".into(), num(report.ranks)),
+        ("phases".into(), Json::Obj(phases)),
+    ])
+}
+
+fn get_f64(j: &Json, key: &str, ctx: &str) -> Result<f64, String> {
+    j.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{ctx}: missing number field {key:?}"))
+}
+
+fn get_u64(j: &Json, key: &str, ctx: &str) -> Result<u64, String> {
+    Ok(get_f64(j, key, ctx)? as u64)
+}
+
+/// Decodes a phase-report object written by [`report_to_json`].
+pub fn report_from_json(j: &Json) -> Result<Report, String> {
+    let mut report = Report {
+        ranks: get_u64(j, "ranks", "report")?,
+        ..Report::default()
+    };
+    let phases = match j.get("phases") {
+        Some(Json::Obj(fields)) => fields,
+        _ => return Err("report: missing object field \"phases\"".into()),
+    };
+    for (path, pj) in phases {
+        let ctx = format!("phase {path:?}");
+        let sj = pj
+            .get("secs")
+            .ok_or_else(|| format!("{ctx}: missing object field \"secs\""))?;
+        let secs = SecsSummary {
+            min: get_f64(sj, "min", &ctx)?,
+            mean: get_f64(sj, "mean", &ctx)?,
+            max: get_f64(sj, "max", &ctx)?,
+        };
+        let mut counters = std::collections::BTreeMap::new();
+        if let Some(Json::Obj(cs)) = pj.get("counters") {
+            for (k, v) in cs {
+                let c = v
+                    .as_f64()
+                    .ok_or_else(|| format!("{ctx}: counter {k:?} is not a number"))?;
+                counters.insert(k.clone(), c as u64);
+            }
+        }
+        report.phases.insert(
+            path.clone(),
+            AggPhase {
+                calls: get_u64(pj, "calls", &ctx)?,
+                ranks: get_u64(pj, "ranks", &ctx)?,
+                secs,
+                counters,
+            },
+        );
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carve_obs::{aggregate, PhaseStats, Snapshot};
+    use std::collections::BTreeMap;
+
+    fn sample_report() -> Report {
+        let mk = |secs: f64, calls: u64, bytes: u64| {
+            let mut s = Snapshot::default();
+            s.phases.insert(
+                "matvec".into(),
+                PhaseStats {
+                    calls,
+                    secs: secs * 3.0,
+                    counters: BTreeMap::new(),
+                },
+            );
+            s.phases.insert(
+                "matvec/leaf".into(),
+                PhaseStats {
+                    calls: calls * 8,
+                    secs,
+                    counters: BTreeMap::from([("leaves".to_string(), calls * 8)]),
+                },
+            );
+            s.phases.insert(
+                "ghost_read".into(),
+                PhaseStats {
+                    calls,
+                    secs: secs / 2.0,
+                    counters: BTreeMap::from([("bytes_sent".to_string(), bytes)]),
+                },
+            );
+            s
+        };
+        aggregate(&[mk(0.25, 3, 1024), mk(0.5, 4, 2048)])
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = sample_report();
+        let j = report_to_json(&report);
+        let text = j.to_string_pretty();
+        let parsed = Json::parse(&text).expect("valid JSON");
+        let back = report_from_json(&parsed).expect("valid schema");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let report = sample_report();
+        assert_eq!(
+            report_to_json(&report).to_string_pretty(),
+            report_to_json(&report).to_string_pretty()
+        );
+    }
+
+    #[test]
+    fn malformed_reports_are_rejected() {
+        assert!(report_from_json(&Json::Obj(vec![])).is_err());
+        let no_phases = Json::Obj(vec![("ranks".into(), Json::Num(2.0))]);
+        assert!(report_from_json(&no_phases).is_err());
+        let bad_phase =
+            Json::parse(r#"{"ranks": 1, "phases": {"x": {"calls": 1, "ranks": 1}}}"#).unwrap();
+        assert!(report_from_json(&bad_phase).unwrap_err().contains("secs"));
+    }
+}

@@ -163,9 +163,7 @@ impl ExperimentRecord {
                 Json::Arr(
                     self.params
                         .iter()
-                        .map(|(k, v)| {
-                            Json::Arr(vec![Json::Str(k.clone()), Json::Str(v.clone())])
-                        })
+                        .map(|(k, v)| Json::Arr(vec![Json::Str(k.clone()), Json::Str(v.clone())]))
                         .collect(),
                 ),
             ),

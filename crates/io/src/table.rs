@@ -91,7 +91,11 @@ pub fn write_csv(path: &Path, headers: &[String], rows: &[Vec<String>]) -> std::
         headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
     )?;
     for r in rows {
-        writeln!(f, "{}", r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","))?;
+        writeln!(
+            f,
+            "{}",
+            r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+        )?;
     }
     f.flush()
 }

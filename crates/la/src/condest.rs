@@ -23,7 +23,10 @@ fn inv_norm1_estimate(lu: &crate::dense::LuFactors) -> f64 {
         let ynorm: f64 = y.iter().map(|v| v.abs()).sum();
         best = best.max(ynorm);
         // xi = sign(y)
-        let xi: Vec<f64> = y.iter().map(|v| if *v >= 0.0 { 1.0 } else { -1.0 }).collect();
+        let xi: Vec<f64> = y
+            .iter()
+            .map(|v| if *v >= 0.0 { 1.0 } else { -1.0 })
+            .collect();
         // z = A⁻ᵀ xi
         let mut z = xi;
         lu.solve_t(&mut z);
@@ -54,8 +57,7 @@ fn inv_norm1_estimate(lu: &crate::dense::LuFactors) -> f64 {
         })
         .collect();
     lu.solve(&mut probe);
-    let probe_norm: f64 =
-        probe.iter().map(|v| v.abs()).sum::<f64>() * 2.0 / (3.0 * n as f64);
+    let probe_norm: f64 = probe.iter().map(|v| v.abs()).sum::<f64>() * 2.0 / (3.0 * n as f64);
     best.max(probe_norm)
 }
 

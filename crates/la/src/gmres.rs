@@ -270,10 +270,15 @@ mod tests {
         let n = 64;
         let a = laplace(n);
         let lmax = lambda_max_estimate(&a, 50, 1);
-        assert!(lmax > 3.5 && lmax < 4.1, "1D Laplace lambda_max ~ 4: {lmax}");
+        assert!(
+            lmax > 3.5 && lmax < 4.1,
+            "1D Laplace lambda_max ~ 4: {lmax}"
+        );
         // Smoother reduces the residual of a rough initial guess.
         let b = vec![0.0; n];
-        let mut x: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let mut x: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let r0 = {
             let mut ax = vec![0.0; n];
             a.matvec(&x, &mut ax);
@@ -287,7 +292,10 @@ mod tests {
             a.matvec(&x, &mut ax);
             norm2(&ax)
         };
-        assert!(r1 < 0.2 * r0, "chebyshev must crush the rough mode: {r0} -> {r1}");
+        assert!(
+            r1 < 0.2 * r0,
+            "chebyshev must crush the rough mode: {r0} -> {r1}"
+        );
     }
 
     #[test]

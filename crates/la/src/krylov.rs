@@ -97,9 +97,7 @@ impl AsmPrecond {
             let hi = (own_hi + overlap).min(n);
             let idx: Vec<usize> = (lo..hi).collect();
             let dense = a.dense_block(&idx);
-            let lu = dense
-                .lu()
-                .unwrap_or_else(|_| regularized_lu(&dense));
+            let lu = dense.lu().unwrap_or_else(|_| regularized_lu(&dense));
             blocks.push(AsmBlock {
                 own_start: own_lo - lo,
                 own_end: own_hi - lo,

@@ -143,7 +143,7 @@ pub fn drag_on_surrogate<const DIM: usize>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flow::{NodeBc, FlowSolver};
+    use crate::flow::{FlowSolver, NodeBc};
     use crate::vms::VmsParams;
     use carve_core::Mesh;
     use carve_geom::{CarvedSolids, CompositeDomain, RetainBox, Sphere};

@@ -136,10 +136,9 @@ impl<'a, const DIM: usize> FlowSolver<'a, DIM> {
             for k in 0..DIM {
                 out[lin * DIM + k] = match slot {
                     SlotRef::Direct(i) => state[i * (DIM + 1) + k],
-                    SlotRef::Hanging(st) => st
-                        .iter()
-                        .map(|(i, w)| state[i * (DIM + 1) + k] * w)
-                        .sum(),
+                    SlotRef::Hanging(st) => {
+                        st.iter().map(|(i, w)| state[i * (DIM + 1) + k] * w).sum()
+                    }
                 };
             }
         }
@@ -203,15 +202,13 @@ impl<'a, const DIM: usize> FlowSolver<'a, DIM> {
             let mut a = coo.build();
             // Strong boundary conditions.
             for i in 0..n {
-                let constrain = |a: &mut carve_la::CsrMatrix,
-                                 rhs: &mut [f64],
-                                 dof: usize,
-                                 val: f64| {
-                    for k in a.row_ptr[dof]..a.row_ptr[dof + 1] {
-                        a.vals[k] = if a.cols[k] as usize == dof { 1.0 } else { 0.0 };
-                    }
-                    rhs[dof] = val;
-                };
+                let constrain =
+                    |a: &mut carve_la::CsrMatrix, rhs: &mut [f64], dof: usize, val: f64| {
+                        for k in a.row_ptr[dof]..a.row_ptr[dof + 1] {
+                            a.vals[k] = if a.cols[k] as usize == dof { 1.0 } else { 0.0 };
+                        }
+                        rhs[dof] = val;
+                    };
                 match self.bc[i] {
                     NodeBc::Velocity(v) => {
                         for (k, &vk) in v.iter().enumerate() {
@@ -377,7 +374,11 @@ mod tests {
         }
         assert!(checked >= 3);
         // Divergence must be small relative to the velocity scale.
-        assert!(solver.divergence_l2() < 0.05, "div {}", solver.divergence_l2());
+        assert!(
+            solver.divergence_l2() < 0.05,
+            "div {}",
+            solver.divergence_l2()
+        );
     }
 
     #[test]

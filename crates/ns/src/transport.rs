@@ -72,9 +72,7 @@ impl<'a, const DIM: usize> TransportSolver<'a, DIM> {
             for k in 0..COMP {
                 out[lin * COMP + k] = match slot {
                     SlotRef::Direct(i) => data[i * COMP + k],
-                    SlotRef::Hanging(st) => {
-                        st.iter().map(|(i, w)| data[i * COMP + k] * w).sum()
-                    }
+                    SlotRef::Hanging(st) => st.iter().map(|(i, w)| data[i * COMP + k] * w).sum(),
                 };
             }
         }
@@ -162,10 +160,9 @@ impl<'a, const DIM: usize> TransportSolver<'a, DIM> {
                     let wi = phi[i] + tau * adv_i;
                     for j in 0..npe {
                         let adv_j: f64 = (0..DIM).map(|k| a[k] * grad[j][k]).sum();
-                        let diff: f64 =
-                            (0..DIM).map(|k| grad[i][k] * grad[j][k]).sum::<f64>();
-                        ke[i * npe + j] += jw
-                            * (wi * (inv_dt * phi[j] + adv_j) + self.kappa * diff);
+                        let diff: f64 = (0..DIM).map(|k| grad[i][k] * grad[j][k]).sum::<f64>();
+                        ke[i * npe + j] +=
+                            jw * (wi * (inv_dt * phi[j] + adv_j) + self.kappa * diff);
                     }
                     re[i] += jw * wi * (inv_dt * co + s);
                 }

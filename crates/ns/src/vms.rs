@@ -154,7 +154,8 @@ pub fn element_ns_system<const DIM: usize>(
             for j in 0..npe {
                 // --- momentum(test k) x velocity(trial k) -----------------
                 // Galerkin: mass/dt + advection + viscosity (componentwise).
-                let gal = inv_dt * phi[i] * phi[j] + phi[i] * adv_phi[j]
+                let gal = inv_dt * phi[i] * phi[j]
+                    + phi[i] * adv_phi[j]
                     + nu * (0..DIM).map(|k| grad[i][k] * grad[j][k]).sum::<f64>();
                 // SUPG: (a·∇w_i) τ_M (u_j/dt + a·∇u_j).
                 let supg = adv_phi[i] * tau_m * (inv_dt * phi[j] + adv_phi[j]);
@@ -216,14 +217,8 @@ mod tests {
         let npe = 4;
         let a = vec![0.0; npe * 2];
         let uo = vec![0.0; npe * 2];
-        let (ke, rhs) = element_ns_system::<2>(
-            &params,
-            &[0.0, 0.0],
-            0.25,
-            &a,
-            &uo,
-            &|_| [0.0, 0.0],
-        );
+        let (ke, rhs) =
+            element_ns_system::<2>(&params, &[0.0, 0.0], 0.25, &a, &uo, &|_| [0.0, 0.0]);
         assert_eq!(ke.rows, 12);
         assert_eq!(rhs.len(), 12);
     }
@@ -242,8 +237,7 @@ mod tests {
         let npe = 4;
         let a = vec![0.0; npe * 2];
         let uo = vec![0.0; npe * 2];
-        let (ke, _) =
-            element_ns_system::<2>(&params, &[0.0, 0.0], 0.5, &a, &uo, &|_| [0.0, 0.0]);
+        let (ke, _) = element_ns_system::<2>(&params, &[0.0, 0.0], 0.5, &a, &uo, &|_| [0.0, 0.0]);
         let mut x = vec![0.0; 12];
         for i in 0..npe {
             x[i * 3] = 2.0; // u = const

@@ -226,7 +226,15 @@ mod tests {
                         *a += half;
                     }
                 }
-                rec(curve, dim, st.child(curve, dim, r), anchor, level + 1, depth, out);
+                rec(
+                    curve,
+                    dim,
+                    st.child(curve, dim, r),
+                    anchor,
+                    level + 1,
+                    depth,
+                    out,
+                );
                 for (k, a) in anchor.iter_mut().enumerate().take(dim) {
                     if (m >> k) & 1 == 1 {
                         *a -= half;
@@ -235,7 +243,15 @@ mod tests {
             }
         }
         let mut out = Vec::new();
-        rec(curve, dim, SfcState::ROOT, &mut vec![0; dim], 0, depth, &mut out);
+        rec(
+            curve,
+            dim,
+            SfcState::ROOT,
+            &mut vec![0; dim],
+            0,
+            depth,
+            &mut out,
+        );
         out
     }
 
@@ -254,9 +270,7 @@ mod tests {
                 sorted.dedup();
                 assert_eq!(sorted.len(), cells.len());
                 for w in cells.windows(2) {
-                    let dist: u32 = (0..dim)
-                        .map(|k| w[0][k].abs_diff(w[1][k]))
-                        .sum();
+                    let dist: u32 = (0..dim).map(|k| w[0][k].abs_diff(w[1][k])).sum();
                     assert_eq!(dist, 1, "hilbert jump at {:?} -> {:?}", w[0], w[1]);
                 }
             }

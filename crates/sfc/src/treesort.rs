@@ -190,7 +190,9 @@ mod tests {
                 treesort(&mut a, curve);
                 b.sort_by(|x, y| sfc_cmp(curve, x, y));
                 assert_eq!(a, b, "curve {curve:?} seed {seed}");
-                assert!(a.windows(2).all(|w| sfc_cmp(curve, &w[0], &w[1]) != Ordering::Greater));
+                assert!(a
+                    .windows(2)
+                    .all(|w| sfc_cmp(curve, &w[0], &w[1]) != Ordering::Greater));
             }
         }
     }
@@ -256,7 +258,8 @@ mod tests {
         }
         treesort(&mut leaves, Curve::Hilbert);
         for w in leaves.windows(2) {
-            let d = w[0].anchor[0].abs_diff(w[1].anchor[0]) + w[0].anchor[1].abs_diff(w[1].anchor[1]);
+            let d =
+                w[0].anchor[0].abs_diff(w[1].anchor[0]) + w[0].anchor[1].abs_diff(w[1].anchor[1]);
             assert_eq!(d, w[0].side(), "hilbert neighbors must share a face");
         }
     }

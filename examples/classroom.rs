@@ -29,7 +29,11 @@ fn main() {
         (5, 7)
     };
     let mesh = Mesh::build(&scene.domain, Curve::Hilbert, base, body, 1);
-    println!("mesh: {} elements, {} nodes", mesh.num_elems(), mesh.num_dofs());
+    println!(
+        "mesh: {} elements, {} nodes",
+        mesh.num_elems(),
+        mesh.num_dofs()
+    );
 
     // --- Flow: ceiling inlets blow down, outlets hold pressure ------------
     let scale = scene.scale;
@@ -68,7 +72,9 @@ fn main() {
     let vel = flow.velocity_field();
     let tbc = |x: &[f64; 3], _fl: NodeFlags| {
         let phys_z = x[2] * scale;
-        if (phys_z - ROOM[2]).abs() < 1e-6 && scene_ref.is_inlet(&[x[0] * scale, x[1] * scale, phys_z]) {
+        if (phys_z - ROOM[2]).abs() < 1e-6
+            && scene_ref.is_inlet(&[x[0] * scale, x[1] * scale, phys_z])
+        {
             Some(0.0) // clean air in
         } else {
             None

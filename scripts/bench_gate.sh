@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Perf-regression gate: run the smoke benchmark, write BENCH_PR<k>.json at
+# the repo root, and compare per-phase timings against the newest prior
+# BENCH_*.json. Fails (exit 1) if any phase's mean seconds regressed beyond
+# the tolerance; the first ever run just records the baseline.
+#
+# Knobs (env):
+#   BENCH_PR              force the PR number for the output file
+#   BENCH_GATE_TOLERANCE  fractional slowdown allowed per phase (default 0.25)
+#   BENCH_GATE_MIN_SECS   ignore phases faster than this (default 0.005)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p carve-bench --bin bench_smoke
+
+# Newest prior report = highest PR number among committed BENCH_PR*.json.
+prev=$(ls BENCH_PR*.json 2>/dev/null | sort -V | tail -n 1 || true)
+
+if [[ -n "${BENCH_PR:-}" ]]; then
+  k="$BENCH_PR"
+elif [[ -n "$prev" ]]; then
+  k=$(( $(basename "$prev" .json | sed 's/^BENCH_PR//') + 1 ))
+else
+  k=2 # PR numbering starts where the observability layer landed
+fi
+out="BENCH_PR${k}.json"
+
+./target/release/bench_smoke "$out"
+
+if [[ -n "$prev" && "$prev" != "$out" ]]; then
+  ./target/release/bench_smoke --compare "$prev" "$out"
+  echo "bench_gate: $out vs $prev — no regression"
+else
+  echo "bench_gate: recorded baseline $out (no prior report to compare)"
+fi

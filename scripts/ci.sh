@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
-# Tier-1 gate: release build, full test suite, clippy with warnings denied.
-# Run before every merge. Works offline (all deps are vendored or std).
+# Tier-1 gate: formatting, release build + tests, a debug-profile test pass
+# (catches debug_assert!-only failures), clippy and rustdoc with warnings
+# denied. Run before every merge. Works offline (all deps are vendored or std).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --all --check
+
 cargo build --release --workspace
+cargo test -q --release --workspace
 cargo test -q --workspace
+
 # carve-comm additionally denies unwrap/expect crate-wide (lib.rs).
 cargo clippy --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
-echo "ci: build + tests + clippy all green"
+echo "ci: fmt + build + tests (release & debug) + clippy + doc all green"

@@ -12,4 +12,5 @@ pub use carve_geom as geom;
 pub use carve_io as io;
 pub use carve_la as la;
 pub use carve_ns as ns;
+pub use carve_obs as obs;
 pub use carve_sfc as sfc;

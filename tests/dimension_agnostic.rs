@@ -85,7 +85,15 @@ fn traversal_matvec_matches_assembly_in_4d() {
     let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
     let mut y1 = vec![0.0; n];
     let mut k1 = kernel;
-    traversal_matvec(&elems, 0..elems.len(), Curve::Hilbert, &nodes, &x, &mut y1, &mut k1);
+    traversal_matvec(
+        &elems,
+        0..elems.len(),
+        Curve::Hilbert,
+        &nodes,
+        &x,
+        &mut y1,
+        &mut k1,
+    );
     let mut coo = CooBuilder::new(n);
     let ids: Vec<u32> = (0..n as u32).collect();
     let mut mk = |e: &Octant<4>| {
@@ -98,7 +106,15 @@ fn traversal_matvec_matches_assembly_in_4d() {
         }
         m
     };
-    traversal_assemble(&elems, 0..elems.len(), Curve::Hilbert, &nodes, &ids, &mut coo, &mut mk);
+    traversal_assemble(
+        &elems,
+        0..elems.len(),
+        Curve::Hilbert,
+        &nodes,
+        &ids,
+        &mut coo,
+        &mut mk,
+    );
     let a = coo.build();
     let mut y2 = vec![0.0; n];
     a.matvec(&x, &mut y2);

@@ -91,11 +91,14 @@ fn distributed_poisson_matvec_equals_sequential() {
             .collect();
         let mut y = vec![0.0; dm.nodes.len()];
         let cache = carve::fem::ElementCache::<2>::new(1);
-        dm.matvec(comm, &x_local, &mut y, &mut |e: &Octant<2>,
-                                                u: &[f64],
-                                                v: &mut [f64]| {
-            cache.apply_stiffness_dense(e.bounds_unit().1, u, v);
-        });
+        dm.matvec(
+            comm,
+            &x_local,
+            &mut y,
+            &mut |e: &Octant<2>, u: &[f64], v: &mut [f64]| {
+                cache.apply_stiffness_dense(e.bounds_unit().1, u, v);
+            },
+        );
         (0..dm.nodes.len())
             .filter(|&i| dm.owner[i] as usize == comm.rank())
             .map(|i| (dm.nodes.coords[i], y[i]))

@@ -27,10 +27,9 @@ fn build_domain(specs: &[SolidSpec]) -> CarvedSolids<2> {
             .map(|s| -> Box<dyn Solid<2>> {
                 match *s {
                     SolidSpec::Disk { x, y, r } => Box::new(Sphere::new([x, y], r)),
-                    SolidSpec::Box { x, y, w, h } => Box::new(AxisBox::new(
-                        [x, y],
-                        [(x + w).min(0.95), (y + h).min(0.95)],
-                    )),
+                    SolidSpec::Box { x, y, w, h } => {
+                        Box::new(AxisBox::new([x, y], [(x + w).min(0.95), (y + h).min(0.95)]))
+                    }
                 }
             })
             .collect(),

@@ -257,10 +257,10 @@ pub mod prop {
 }
 
 pub mod prelude {
-    pub use super::{
-        any, prop, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+    pub use super::{any, prop, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
     };
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
 }
 
 #[macro_export]
@@ -309,9 +309,7 @@ macro_rules! prop_assert_ne {
     ($a:expr, $b:expr $(,)?) => {{
         let (lhs, rhs) = (&$a, &$b);
         if lhs == rhs {
-            return ::std::result::Result::Err(format!(
-                "prop_assert_ne failed: both {:?}", lhs
-            ));
+            return ::std::result::Result::Err(format!("prop_assert_ne failed: both {:?}", lhs));
         }
     }};
 }
