@@ -75,20 +75,21 @@ fn dist_snapshots(case: &SmokeCase) -> Vec<Snapshot> {
     run_spmd(SMOKE_RANKS, move |c| {
         let domain = domain();
         let dm = DistMesh::<3>::build(c, &*domain, Curve::Hilbert, base, boundary, 1);
-        let mut cache = ElementCache::<3>::new(1);
         let x: Vec<f64> = (0..dm.nodes.len())
             .map(|i| (i as f64 * 0.37).sin())
             .collect();
         let mut y = vec![0.0; dm.nodes.len()];
+        // One workspace across the three applies: the second and third run
+        // entirely from the bucket arena (`arena_reuse` in the report).
+        let mut ws = carve_core::TraversalWorkspace::new();
+        let make_kernel = || {
+            let mut cache = ElementCache::<3>::new(1);
+            move |e: &Octant<3>, u: &[f64], v: &mut [f64]| {
+                cache.apply_stiffness_tensor(e.bounds_unit().1 * scale, u, v);
+            }
+        };
         for _ in 0..3 {
-            dm.matvec(
-                c,
-                &x,
-                &mut y,
-                &mut |e: &Octant<3>, u: &[f64], v: &mut [f64]| {
-                    cache.apply_stiffness_tensor(e.bounds_unit().1 * scale, u, v);
-                },
-            );
+            dm.matvec_par(c, &x, &mut y, &mut ws, &make_kernel);
         }
         assert!(
             y.iter().all(|v| v.is_finite()),

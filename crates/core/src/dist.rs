@@ -17,7 +17,7 @@
 
 use crate::balance::bottom_up_constrain_neighbors;
 use crate::construct::{construct_constrained, construct_uniform};
-use crate::matvec::traversal_matvec;
+use crate::matvec::{traversal_matvec_par, traversal_matvec_ws, TraversalWorkspace};
 use crate::nodes::{
     elem_node_coord, enumerate_nodes, lattice_index, nodes_per_elem, resolve_slot, NodeSet, SlotRef,
 };
@@ -491,17 +491,65 @@ impl<const DIM: usize> DistMesh<DIM> {
     where
         K: FnMut(&Octant<DIM>, &[f64], &mut [f64]),
     {
+        let mut ws = TraversalWorkspace::with_threads(1);
+        self.matvec_ws(comm, x, y, &mut ws, kernel);
+    }
+
+    /// [`Self::matvec`] reusing a caller-held [`TraversalWorkspace`] so
+    /// Krylov iterations stop re-allocating bucket vectors.
+    pub fn matvec_ws<K>(
+        &self,
+        comm: &Comm,
+        x: &[f64],
+        y: &mut [f64],
+        ws: &mut TraversalWorkspace<DIM>,
+        kernel: &mut K,
+    ) where
+        K: FnMut(&Octant<DIM>, &[f64], &mut [f64]),
+    {
         let mut xg = x.to_vec();
         self.ghost_read(comm, &mut xg);
         y.iter_mut().for_each(|v| *v = 0.0);
-        traversal_matvec(
+        traversal_matvec_ws(
             &self.elems,
             self.owned.clone(),
             self.curve,
             &self.nodes,
             &xg,
             y,
+            ws,
             kernel,
+        );
+        self.ghost_accumulate(comm, y);
+        self.ghost_read(comm, y);
+    }
+
+    /// Fork-join [`Self::matvec`]: intra-rank subtree tasks run on up to
+    /// `ws.threads()` workers, each with a kernel from `make_kernel`.
+    /// Output is bitwise identical for any thread count.
+    pub fn matvec_par<K, F>(
+        &self,
+        comm: &Comm,
+        x: &[f64],
+        y: &mut [f64],
+        ws: &mut TraversalWorkspace<DIM>,
+        make_kernel: &F,
+    ) where
+        K: FnMut(&Octant<DIM>, &[f64], &mut [f64]),
+        F: Fn() -> K + Sync,
+    {
+        let mut xg = x.to_vec();
+        self.ghost_read(comm, &mut xg);
+        y.iter_mut().for_each(|v| *v = 0.0);
+        traversal_matvec_par(
+            &self.elems,
+            self.owned.clone(),
+            self.curve,
+            &self.nodes,
+            &xg,
+            y,
+            ws,
+            make_kernel,
         );
         self.ghost_accumulate(comm, y);
         self.ghost_read(comm, y);
@@ -545,6 +593,7 @@ pub fn dist_construct_constrained<const DIM: usize>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matvec::traversal_matvec;
     use crate::mesh::Mesh;
     use carve_comm::run_spmd;
     use carve_geom::{CarvedSolids, FullDomain, RetainBox, Sphere};

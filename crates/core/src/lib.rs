@@ -31,7 +31,10 @@ pub use construct::{
     construct_uniform,
 };
 pub use dist::{DistMesh, GhostStats};
-pub use matvec::{traversal_assemble, traversal_matvec};
+pub use matvec::{
+    traversal_assemble, traversal_assemble_par, traversal_assemble_ws, traversal_matvec,
+    traversal_matvec_par, traversal_matvec_ws, TraversalWorkspace,
+};
 pub use mesh::{find_leaf, Mesh};
 pub use nodes::{enumerate_nodes, resolve_slot, NodeFlags, NodeSet, SlotRef};
 pub use par::par_map;

@@ -13,8 +13,31 @@
 //! The traversal only descends into subtrees containing *owned* elements, so
 //! incomplete trees and distributed ownership need no special treatment —
 //! the property the paper calls "gracefully handles incomplete octrees".
+//!
+//! # Execution model (DESIGN.md §6d)
+//!
+//! The engine splits the tree at a fixed *spine* depth into SFC-contiguous
+//! subtree **tasks**. The spine buckets are built serially; tasks then run
+//! either inline or fork-joined across scoped worker threads
+//! (`CARVE_PAR_THREADS` / `available_parallelism` via
+//! [`crate::par::thread_budget`]). A task owns its subtree's bucket stack;
+//! writes that would land in a shared ancestor bucket (hanging-node
+//! scatters) are appended to a per-task **scatter log** and replayed on the
+//! main thread at join time, in SFC task order, interleaved with the
+//! bottom-up bucket merges exactly where the sequential traversal would
+//! have performed them. Every floating-point accumulation therefore happens
+//! in the *same order for any thread count* (and any split depth): results
+//! are bitwise identical to the sequential engine by construction.
+//!
+//! All bucket vectors come from a [`TraversalWorkspace`] arena that pools
+//! them across recursion levels *and* across repeated calls (Krylov
+//! iterations), and leaves resolve their lattice slots with one merge-sweep
+//! over the (Morton-sorted) bucket instead of `npe` binary searches.
+//! Observability: `par_workers`, `arena_alloc`, `arena_reuse`, and
+//! `slot_sweep_hits` counters join the existing `leaves` / `node_copies`.
 
-use crate::nodes::{elem_node_coord, lattice_index, nodes_per_elem, NodeSet};
+use crate::nodes::{elem_node_coord, lattice_index, lattice_linear, nodes_per_elem, NodeSet};
+use crate::par;
 use carve_la::CooBuilder;
 use carve_la::DenseMatrix;
 use carve_sfc::morton::point_cmp_morton;
@@ -24,12 +47,20 @@ use std::ops::Range;
 // Phase taxonomy (see DESIGN.md §"Observability"): the traversal engine
 // reports through `carve-obs` under its caller's root scope — `"matvec"`
 // for the operator apply, `"assemble"` for sparse assembly — with nested
-// `top_down` / `leaf` / `bottom_up` phases (the Figs. 7–10 breakdown), a
-// `leaves` counter on the leaf phase, and a `node_copies` counter (the
-// bucketing memory-traffic proxy) on the top-down phase.
+// `top_down` / `leaf` / `bottom_up` phases (the Figs. 7–10 breakdown).
+// Worker threads record detached and are re-absorbed into the calling
+// rank's recorder (`carve_obs::absorb_rebased`), so per-rank snapshots
+// stay complete under fork-join execution.
+
+/// Scatter-log entry `(ancestor depth | row, bucket slot | col, value)`:
+/// the matvec path logs deferred ancestor-bucket accumulations, the
+/// assembly path reuses the same buffer for global `(row, col, val)`
+/// triplets. Either way the log is replayed in SFC task order.
+type OutLog = Vec<(u32, u32, f64)>;
 
 /// One level's worth of bucketed nodal data along the current traversal
 /// path. `parent_slot[i]` is the index of entry `i` in the parent bucket.
+#[derive(Default)]
 struct Bucket<const DIM: usize> {
     coords: Vec<[u64; DIM]>,
     parent_slot: Vec<u32>,
@@ -44,22 +75,228 @@ impl<const DIM: usize> Bucket<DIM> {
             .binary_search_by(|c| point_cmp_morton(c, coord))
             .ok()
     }
+
+    /// Empties contents, keeping capacity (arena reuse).
+    fn clear(&mut self) {
+        self.coords.clear();
+        self.parent_slot.clear();
+        self.ids.clear();
+        self.vin.clear();
+        self.vout.clear();
+    }
 }
 
-/// What to do at each owned leaf.
-trait LeafVisitor<const DIM: usize> {
-    fn leaf(&mut self, leaf: &Octant<DIM>, stack: &mut [Bucket<DIM>], p: u64);
+// --- Workspace arena ------------------------------------------------------
+
+/// Per-worker scratch: a bucket free-list for the task-local recursion, the
+/// hanging-source arena stack, and the depth stack container itself. Lives
+/// in the workspace so repeated matvecs (Krylov iterations) allocate
+/// nothing after warm-up.
+#[derive(Default)]
+struct WorkerScratch<const DIM: usize> {
+    buckets: Vec<Bucket<DIM>>,
+    own_stack: Vec<Bucket<DIM>>,
+    srcs: Vec<([u64; DIM], f64)>,
+    alloc: u64,
+    reuse: u64,
 }
 
-/// Generates the one-level-up interpolation sources for a hanging
-/// coordinate: `coord` belongs to the p-lattice of `oct` but is not a real
-/// node; the sources live on the minimal face of `parent(oct)` containing
-/// it, with tensor-Lagrange weights.
-fn hanging_sources<const DIM: usize>(
+/// Reusable arena for the traversal engine: bucket vectors, scatter logs,
+/// and per-worker scratch pooled across recursion levels and across calls.
+/// Also carries the intra-rank thread budget (`CARVE_PAR_THREADS` env or
+/// `available_parallelism`) and the spine split depth (`CARVE_PAR_SPLIT`
+/// env, default 1). Results never depend on either knob — see the module
+/// docs — only wall-clock does.
+pub struct TraversalWorkspace<const DIM: usize> {
+    threads: usize,
+    split_depth: u8,
+    bucket_pool: Vec<Bucket<DIM>>,
+    log_pool: Vec<OutLog>,
+    scratch: Vec<WorkerScratch<DIM>>,
+    alloc: u64,
+    reuse: u64,
+}
+
+impl<const DIM: usize> TraversalWorkspace<DIM> {
+    /// Workspace with the environment-resolved thread budget.
+    pub fn new() -> Self {
+        let split = std::env::var("CARVE_PAR_SPLIT")
+            .ok()
+            .and_then(|v| v.parse::<u8>().ok())
+            .filter(|&d| d >= 1)
+            .unwrap_or(1)
+            .min(8);
+        Self::build(par::thread_budget(), split)
+    }
+
+    /// Workspace with an explicit thread count (tests; avoids racy env
+    /// mutation under a parallel test harness).
+    pub fn with_threads(threads: usize) -> Self {
+        Self::build(threads, 1)
+    }
+
+    fn build(threads: usize, split_depth: u8) -> Self {
+        Self {
+            threads: threads.max(1),
+            split_depth: split_depth.max(1),
+            bucket_pool: Vec::new(),
+            log_pool: Vec::new(),
+            scratch: Vec::new(),
+            alloc: 0,
+            reuse: 0,
+        }
+    }
+
+    /// The intra-rank thread budget this workspace will fork up to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn acquire_bucket(&mut self) -> Bucket<DIM> {
+        match self.bucket_pool.pop() {
+            Some(mut b) => {
+                b.clear();
+                self.reuse += 1;
+                b
+            }
+            None => {
+                self.alloc += 1;
+                Bucket::default()
+            }
+        }
+    }
+
+    fn acquire_log(&mut self) -> OutLog {
+        let mut l = self.log_pool.pop().unwrap_or_default();
+        l.clear();
+        l
+    }
+
+    fn ensure_scratch(&mut self, n: usize) {
+        while self.scratch.len() < n {
+            self.scratch.push(WorkerScratch::default());
+        }
+    }
+
+    fn release_plan(&mut self, plan: SpinePlan<DIM>) {
+        for t in plan.tasks {
+            self.bucket_pool.push(t.bucket);
+            let mut log = t.out_log;
+            log.clear();
+            self.log_pool.push(log);
+        }
+        for n in plan.interior {
+            self.bucket_pool.push(n.bucket);
+        }
+    }
+
+    /// Emits and resets the arena's alloc/reuse tallies (engine + workers)
+    /// under the currently open obs scope.
+    fn emit_arena_counters(&mut self) {
+        let mut a = std::mem::take(&mut self.alloc);
+        let mut r = std::mem::take(&mut self.reuse);
+        for s in &mut self.scratch {
+            a += std::mem::take(&mut s.alloc);
+            r += std::mem::take(&mut s.reuse);
+        }
+        if a > 0 {
+            carve_obs::counter("arena_alloc", a);
+        }
+        if r > 0 {
+            carve_obs::counter("arena_reuse", r);
+        }
+    }
+}
+
+impl<const DIM: usize> Default for TraversalWorkspace<DIM> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// --- Task-local bucket stack view -----------------------------------------
+
+/// A task's view of the bucket stack: shared read-only ancestor prefix
+/// (spine buckets), the task's own base bucket, and the task-local stack of
+/// deeper buckets. Writes below the prefix boundary are deferred to the
+/// scatter log; everything else accumulates in place.
+struct Ctx<'a, const DIM: usize> {
+    prefix: &'a [&'a Bucket<DIM>],
+    base: &'a mut Bucket<DIM>,
+    own: Vec<Bucket<DIM>>,
+    log: &'a mut OutLog,
+    free: &'a mut Vec<Bucket<DIM>>,
+    alloc: &'a mut u64,
+    reuse: &'a mut u64,
+}
+
+impl<const DIM: usize> Ctx<'_, DIM> {
+    #[inline]
+    fn top_depth(&self) -> usize {
+        self.prefix.len() + self.own.len()
+    }
+
+    #[inline]
+    fn bucket(&self, depth: usize) -> &Bucket<DIM> {
+        let pl = self.prefix.len();
+        if depth < pl {
+            self.prefix[depth]
+        } else if depth == pl {
+            self.base
+        } else {
+            &self.own[depth - pl - 1]
+        }
+    }
+
+    #[inline]
+    fn top_bucket(&self) -> &Bucket<DIM> {
+        self.bucket(self.top_depth())
+    }
+
+    /// Adds `val` into `vout[slot]` of the depth-`depth` bucket — directly
+    /// when the bucket is task-owned, via the scatter log when it is a
+    /// shared spine ancestor (replayed in order at join).
+    #[inline]
+    fn vout_add(&mut self, depth: usize, slot: usize, val: f64) {
+        let pl = self.prefix.len();
+        if depth < pl {
+            self.log.push((depth as u32, slot as u32, val));
+        } else if depth == pl {
+            self.base.vout[slot] += val;
+        } else {
+            self.own[depth - pl - 1].vout[slot] += val;
+        }
+    }
+
+    fn acquire(&mut self) -> Bucket<DIM> {
+        match self.free.pop() {
+            Some(mut b) => {
+                b.clear();
+                *self.reuse += 1;
+                b
+            }
+            None => {
+                *self.alloc += 1;
+                Bucket::default()
+            }
+        }
+    }
+}
+
+// --- Hanging-node resolution ----------------------------------------------
+
+/// Pushes the one-level-up interpolation sources for a hanging coordinate
+/// onto the arena stack `srcs`: `coord` belongs to the p-lattice of `oct`
+/// but is not a real node; the sources live on the minimal face of
+/// `parent(oct)` containing it, with tensor-Lagrange weights. Callers
+/// record `srcs.len()` before the call and truncate back after consuming
+/// their segment, so recursive chains share one allocation.
+fn push_hanging_sources<const DIM: usize>(
     oct: &Octant<DIM>,
     coord: &[u64; DIM],
     p: u64,
-) -> Vec<([u64; DIM], f64)> {
+    srcs: &mut Vec<([u64; DIM], f64)>,
+) {
     assert!(
         oct.level > 0,
         "hanging coordinate at the root: invalid mesh"
@@ -76,318 +313,629 @@ fn hanging_sources<const DIM: usize>(
         t[k] = off as f64 / pside as f64;
     }
     debug_assert!(fixed.iter().any(|&f| f));
-    let free_axes: Vec<usize> = (0..DIM).filter(|&k| !fixed[k]).collect();
-    let combos = (p + 1).pow(free_axes.len() as u32);
-    let mut out = Vec::with_capacity(combos as usize);
+    let mut free_axes = [0usize; DIM];
+    let mut n_free = 0;
+    for (k, &fx) in fixed.iter().enumerate() {
+        if !fx {
+            free_axes[n_free] = k;
+            n_free += 1;
+        }
+    }
+    let combos = (p + 1).pow(n_free as u32);
     for combo in 0..combos {
         let mut rem = combo;
         let mut w = 1.0;
         let mut src = *coord;
-        for &k in &free_axes {
+        for &k in &free_axes[..n_free] {
             let j = rem % (p + 1);
             rem /= p + 1;
             w *= crate::nodes::lagrange_1d(p, j, t[k]);
             src[k] = parent.anchor[k] as u64 * p + j * pside;
         }
         if w != 0.0 {
-            out.push((src, w));
+            srcs.push((src, w));
         }
     }
-    out
 }
 
 /// Evaluates the FE value at `coord` (p-lattice of the level-`depth`
 /// ancestor of `leaf`) from the bucket stack, resolving hanging chains.
 fn eval_coord<const DIM: usize>(
-    stack: &[Bucket<DIM>],
+    ctx: &Ctx<'_, DIM>,
     leaf: &Octant<DIM>,
     depth: usize,
     coord: &[u64; DIM],
     p: u64,
+    srcs: &mut Vec<([u64; DIM], f64)>,
 ) -> f64 {
-    if let Some(i) = stack[depth].find(coord) {
-        return stack[depth].vin[i];
+    let b = ctx.bucket(depth);
+    if let Some(i) = b.find(coord) {
+        return b.vin[i];
     }
     let oct = leaf.ancestor_at(depth as u8);
+    let base = srcs.len();
+    push_hanging_sources(&oct, coord, p, srcs);
+    let end = srcs.len();
     let mut v = 0.0;
-    for (src, w) in hanging_sources(&oct, coord, p) {
-        v += w * eval_coord(stack, leaf, depth - 1, &src, p);
+    for k in base..end {
+        let (src, w) = srcs[k];
+        v += w * eval_coord(ctx, leaf, depth - 1, &src, p, srcs);
     }
+    srcs.truncate(base);
     v
 }
 
 /// Transpose of [`eval_coord`]: scatters `val` into the bucket stack.
 fn scatter_coord<const DIM: usize>(
-    stack: &mut [Bucket<DIM>],
+    ctx: &mut Ctx<'_, DIM>,
     leaf: &Octant<DIM>,
     depth: usize,
     coord: &[u64; DIM],
     val: f64,
     p: u64,
+    srcs: &mut Vec<([u64; DIM], f64)>,
 ) {
-    if let Some(i) = stack[depth].find(coord) {
-        stack[depth].vout[i] += val;
+    if let Some(i) = ctx.bucket(depth).find(coord) {
+        ctx.vout_add(depth, i, val);
         return;
     }
     let oct = leaf.ancestor_at(depth as u8);
-    for (src, w) in hanging_sources(&oct, coord, p) {
-        scatter_coord(stack, leaf, depth - 1, &src, w * val, p);
+    let base = srcs.len();
+    push_hanging_sources(&oct, coord, p, srcs);
+    let end = srcs.len();
+    for k in base..end {
+        let (src, w) = srcs[k];
+        scatter_coord(ctx, leaf, depth - 1, &src, w * val, p, srcs);
     }
+    srcs.truncate(base);
 }
 
 /// Resolves `coord` into a `(global id, weight)` stencil (assembly path).
+#[allow(clippy::too_many_arguments)]
 fn stencil_coord<const DIM: usize>(
-    stack: &[Bucket<DIM>],
+    ctx: &Ctx<'_, DIM>,
     leaf: &Octant<DIM>,
     depth: usize,
     coord: &[u64; DIM],
     weight: f64,
     p: u64,
+    srcs: &mut Vec<([u64; DIM], f64)>,
     out: &mut Vec<(u32, f64)>,
 ) {
-    if let Some(i) = stack[depth].find(coord) {
-        out.push((stack[depth].ids[i], weight));
+    let b = ctx.bucket(depth);
+    if let Some(i) = b.find(coord) {
+        out.push((b.ids[i], weight));
         return;
     }
     let oct = leaf.ancestor_at(depth as u8);
-    for (src, w) in hanging_sources(&oct, coord, p) {
-        stencil_coord(stack, leaf, depth - 1, &src, weight * w, p, out);
+    let base = srcs.len();
+    push_hanging_sources(&oct, coord, p, srcs);
+    let end = srcs.len();
+    for k in base..end {
+        let (src, w) = srcs[k];
+        stencil_coord(ctx, leaf, depth - 1, &src, weight * w, p, srcs, out);
     }
+    srcs.truncate(base);
 }
 
-/// The shared top-down / bottom-up engine.
-struct Traversal<'a, const DIM: usize, V: LeafVisitor<DIM>> {
+// --- Spine / task decomposition -------------------------------------------
+
+/// Immutable per-call traversal parameters.
+struct Env<'a, const DIM: usize> {
     elems: &'a [Octant<DIM>],
     owned: Range<usize>,
     curve: Curve,
     p: u64,
-    visitor: V,
     carry_values: bool,
     carry_ids: bool,
 }
 
-impl<'a, const DIM: usize, V: LeafVisitor<DIM>> Traversal<'a, DIM, V> {
-    fn run(&mut self, root_bucket: Bucket<DIM>) -> Bucket<DIM> {
-        let mut stack = vec![root_bucket];
-        let all = 0..self.elems.len();
-        self.rec(Octant::ROOT, SfcState::ROOT, all, &mut stack);
-        stack.pop().expect("root bucket survives")
-    }
+/// A spine node: a bucket on the serial prefix of the tree, shared
+/// read-only by the tasks below it.
+struct SpineNode<const DIM: usize> {
+    bucket: Bucket<DIM>,
+    kids: Vec<SpineChild>,
+}
 
-    fn rec(
-        &mut self,
-        subtree: Octant<DIM>,
-        st: SfcState,
-        range: Range<usize>,
-        stack: &mut Vec<Bucket<DIM>>,
-    ) {
-        debug_assert!(!range.is_empty());
-        if range.len() == 1 && self.elems[range.start] == subtree {
-            if self.owned.contains(&range.start) {
-                let _obs = carve_obs::scope("leaf");
-                carve_obs::counter("leaves", 1);
-                self.visitor.leaf(&subtree, stack, self.p);
-            }
-            return;
+#[derive(Clone, Copy)]
+enum SpineChild {
+    Interior(u32),
+    Task(u32),
+}
+
+/// An independent SFC-contiguous subtree of work.
+struct Task<const DIM: usize> {
+    oct: Octant<DIM>,
+    st: SfcState,
+    range: Range<usize>,
+    /// Spine indices of the ancestor buckets, root first; the last entry is
+    /// this task's parent. `len()` equals the task bucket's depth.
+    ancestors: Vec<u32>,
+    /// The task is itself a leaf element (no further descent).
+    is_leaf: bool,
+    bucket: Bucket<DIM>,
+    out_log: OutLog,
+}
+
+struct SpinePlan<const DIM: usize> {
+    interior: Vec<SpineNode<DIM>>,
+    tasks: Vec<Task<DIM>>,
+}
+
+/// Builds the spine buckets serially down to `split_depth` and carves the
+/// remaining subtrees into tasks (SFC order).
+fn build_spine<const DIM: usize>(
+    env: &Env<'_, DIM>,
+    split_depth: u8,
+    root_bucket: Bucket<DIM>,
+    ws: &mut TraversalWorkspace<DIM>,
+) -> SpinePlan<DIM> {
+    let mut plan = SpinePlan {
+        interior: Vec::new(),
+        tasks: Vec::new(),
+    };
+    let all = 0..env.elems.len();
+    if all.len() == 1 && env.elems[0] == Octant::ROOT {
+        // Degenerate single-element tree: the root bucket is the task.
+        plan.tasks.push(Task {
+            oct: Octant::ROOT,
+            st: SfcState::ROOT,
+            range: all,
+            ancestors: Vec::new(),
+            is_leaf: true,
+            bucket: root_bucket,
+            out_log: ws.acquire_log(),
+        });
+        return plan;
+    }
+    plan.interior.push(SpineNode {
+        bucket: root_bucket,
+        kids: Vec::new(),
+    });
+    let mut path = vec![0u32];
+    grow(
+        env,
+        split_depth,
+        0,
+        Octant::ROOT,
+        SfcState::ROOT,
+        all,
+        &mut path,
+        &mut plan,
+        ws,
+    );
+    plan
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grow<const DIM: usize>(
+    env: &Env<'_, DIM>,
+    split_depth: u8,
+    node: u32,
+    subtree: Octant<DIM>,
+    st: SfcState,
+    range: Range<usize>,
+    path: &mut Vec<u32>,
+    plan: &mut SpinePlan<DIM>,
+    ws: &mut TraversalWorkspace<DIM>,
+) {
+    let child_level = subtree.level + 1;
+    let mut lo = range.start;
+    for r in 0..(1usize << DIM) {
+        let mut hi = lo;
+        while hi < range.end
+            && st.morton_to_sfc(env.curve, DIM, env.elems[hi].child_bits_at(child_level)) == r
+        {
+            hi += 1;
         }
-        // Partition the (SFC-sorted) element range by SFC child rank; the
-        // runs are contiguous and in rank order.
-        let child_level = subtree.level + 1;
-        let mut lo = range.start;
-        for r in 0..(1usize << DIM) {
-            let mut hi = lo;
-            while hi < range.end
-                && st.morton_to_sfc(self.curve, DIM, self.elems[hi].child_bits_at(child_level)) == r
-            {
-                hi += 1;
-            }
-            if hi == lo {
-                continue;
-            }
-            // Skip subtrees with no owned elements (distributed restriction).
-            if lo >= self.owned.end || hi <= self.owned.start {
-                lo = hi;
-                continue;
-            }
-            let m = st.sfc_to_morton(self.curve, DIM, r);
-            let child_oct = subtree.child(m);
-            let child_st = st.child(self.curve, DIM, r);
-            // Top-down: bucket nodes incident on the child's closed region.
-            let obs_td = carve_obs::scope("top_down");
-            let parent = stack.last().expect("bucket stack nonempty");
-            let mut coords = Vec::new();
-            let mut parent_slot = Vec::new();
-            let mut ids = Vec::new();
-            let mut vin = Vec::new();
-            let side = child_oct.side() as u64;
-            let p = self.p;
-            for (i, c) in parent.coords.iter().enumerate() {
-                let mut incident = true;
-                for (&ck, &ak) in c.iter().zip(&child_oct.anchor) {
-                    let a = ak as u64 * p;
-                    if ck < a || ck > a + side * p {
-                        incident = false;
-                        break;
-                    }
-                }
-                if incident {
-                    coords.push(*c);
-                    parent_slot.push(i as u32);
-                    if self.carry_ids {
-                        ids.push(parent.ids[i]);
-                    }
-                    if self.carry_values {
-                        vin.push(parent.vin[i]);
-                    }
-                }
-            }
-            carve_obs::counter("node_copies", coords.len() as u64);
-            let n = coords.len();
-            let child_bucket = Bucket {
-                coords,
-                parent_slot,
-                ids,
-                vin,
-                vout: if self.carry_values {
-                    vec![0.0; n]
-                } else {
-                    Vec::new()
-                },
-            };
-            drop(obs_td);
-            stack.push(child_bucket);
-            self.rec(child_oct, child_st, lo..hi, stack);
-            // Bottom-up: accumulate duplicated node contributions.
-            let _obs_bu = carve_obs::scope("bottom_up");
-            let child = stack.pop().expect("child bucket");
-            if self.carry_values {
-                let parent = stack.last_mut().expect("parent bucket");
-                for (i, &ps) in child.parent_slot.iter().enumerate() {
-                    parent.vout[ps as usize] += child.vout[i];
-                }
-            }
+        if hi == lo {
+            continue;
+        }
+        // Skip subtrees with no owned elements (distributed restriction).
+        if lo >= env.owned.end || hi <= env.owned.start {
             lo = hi;
+            continue;
         }
-        debug_assert_eq!(lo, range.end, "elements not fully bucketed");
+        let m = st.sfc_to_morton(env.curve, DIM, r);
+        let child_oct = subtree.child(m);
+        let child_st = st.child(env.curve, DIM, r);
+        let obs_td = carve_obs::scope("top_down");
+        let mut b = ws.acquire_bucket();
+        fill_child_bucket(
+            &plan.interior[node as usize].bucket,
+            &child_oct,
+            env.p,
+            env.carry_values,
+            env.carry_ids,
+            &mut b,
+        );
+        carve_obs::counter("node_copies", b.coords.len() as u64);
+        drop(obs_td);
+        let single_leaf = hi - lo == 1 && env.elems[lo] == child_oct;
+        if single_leaf || child_level >= split_depth {
+            let ti = plan.tasks.len() as u32;
+            plan.tasks.push(Task {
+                oct: child_oct,
+                st: child_st,
+                range: lo..hi,
+                ancestors: path.clone(),
+                is_leaf: single_leaf,
+                bucket: b,
+                out_log: ws.acquire_log(),
+            });
+            plan.interior[node as usize].kids.push(SpineChild::Task(ti));
+        } else {
+            let ci = plan.interior.len() as u32;
+            plan.interior.push(SpineNode {
+                bucket: b,
+                kids: Vec::new(),
+            });
+            plan.interior[node as usize]
+                .kids
+                .push(SpineChild::Interior(ci));
+            path.push(ci);
+            grow(
+                env,
+                split_depth,
+                ci,
+                child_oct,
+                child_st,
+                lo..hi,
+                path,
+                plan,
+                ws,
+            );
+            path.pop();
+        }
+        lo = hi;
+    }
+    debug_assert_eq!(lo, range.end, "elements not fully bucketed");
+}
+
+/// Buckets the parent's nodes incident on `child_oct`'s closed region into
+/// `out` (which the arena has already cleared).
+fn fill_child_bucket<const DIM: usize>(
+    parent: &Bucket<DIM>,
+    child_oct: &Octant<DIM>,
+    p: u64,
+    carry_values: bool,
+    carry_ids: bool,
+    out: &mut Bucket<DIM>,
+) {
+    let side = child_oct.side() as u64;
+    for (i, c) in parent.coords.iter().enumerate() {
+        let mut incident = true;
+        for (&ck, &ak) in c.iter().zip(&child_oct.anchor) {
+            let a = ak as u64 * p;
+            if ck < a || ck > a + side * p {
+                incident = false;
+                break;
+            }
+        }
+        if incident {
+            out.coords.push(*c);
+            out.parent_slot.push(i as u32);
+            if carry_ids {
+                out.ids.push(parent.ids[i]);
+            }
+            if carry_values {
+                out.vin.push(parent.vin[i]);
+            }
+        }
+    }
+    if carry_values {
+        out.vout.resize(out.coords.len(), 0.0);
     }
 }
+
+// --- Task execution -------------------------------------------------------
+
+/// What to do at each owned leaf.
+trait LeafVisitor<const DIM: usize> {
+    fn leaf(
+        &mut self,
+        leaf: &Octant<DIM>,
+        ctx: &mut Ctx<'_, DIM>,
+        srcs: &mut Vec<([u64; DIM], f64)>,
+        p: u64,
+    );
+}
+
+/// Runs one task to completion against its ancestor prefix.
+fn run_task<const DIM: usize, V: LeafVisitor<DIM>>(
+    env: &Env<'_, DIM>,
+    task: &mut Task<DIM>,
+    interior: &[SpineNode<DIM>],
+    scr: &mut WorkerScratch<DIM>,
+    visitor: &mut V,
+) {
+    let prefix: Vec<&Bucket<DIM>> = task
+        .ancestors
+        .iter()
+        .map(|&i| &interior[i as usize].bucket)
+        .collect();
+    let WorkerScratch {
+        buckets,
+        own_stack,
+        srcs,
+        alloc,
+        reuse,
+    } = scr;
+    let mut ctx = Ctx {
+        prefix: &prefix,
+        base: &mut task.bucket,
+        own: std::mem::take(own_stack),
+        log: &mut task.out_log,
+        free: buckets,
+        alloc,
+        reuse,
+    };
+    if task.is_leaf {
+        if env.owned.contains(&task.range.start) {
+            let _obs = carve_obs::scope("leaf");
+            carve_obs::counter("leaves", 1);
+            visitor.leaf(&task.oct, &mut ctx, srcs, env.p);
+        }
+    } else {
+        rec(
+            env,
+            task.oct,
+            task.st,
+            task.range.clone(),
+            &mut ctx,
+            srcs,
+            visitor,
+        );
+    }
+    debug_assert!(ctx.own.is_empty());
+    *own_stack = ctx.own;
+}
+
+/// The recursive top-down / bottom-up sweep inside one task.
+fn rec<const DIM: usize, V: LeafVisitor<DIM>>(
+    env: &Env<'_, DIM>,
+    subtree: Octant<DIM>,
+    st: SfcState,
+    range: Range<usize>,
+    ctx: &mut Ctx<'_, DIM>,
+    srcs: &mut Vec<([u64; DIM], f64)>,
+    visitor: &mut V,
+) {
+    debug_assert!(!range.is_empty());
+    if range.len() == 1 && env.elems[range.start] == subtree {
+        if env.owned.contains(&range.start) {
+            let _obs = carve_obs::scope("leaf");
+            carve_obs::counter("leaves", 1);
+            visitor.leaf(&subtree, ctx, srcs, env.p);
+        }
+        return;
+    }
+    // Partition the (SFC-sorted) element range by SFC child rank; the
+    // runs are contiguous and in rank order.
+    let child_level = subtree.level + 1;
+    let mut lo = range.start;
+    for r in 0..(1usize << DIM) {
+        let mut hi = lo;
+        while hi < range.end
+            && st.morton_to_sfc(env.curve, DIM, env.elems[hi].child_bits_at(child_level)) == r
+        {
+            hi += 1;
+        }
+        if hi == lo {
+            continue;
+        }
+        if lo >= env.owned.end || hi <= env.owned.start {
+            lo = hi;
+            continue;
+        }
+        let m = st.sfc_to_morton(env.curve, DIM, r);
+        let child_oct = subtree.child(m);
+        let child_st = st.child(env.curve, DIM, r);
+        // Top-down: bucket nodes incident on the child's closed region.
+        let obs_td = carve_obs::scope("top_down");
+        let mut child = ctx.acquire();
+        fill_child_bucket(
+            ctx.top_bucket(),
+            &child_oct,
+            env.p,
+            env.carry_values,
+            env.carry_ids,
+            &mut child,
+        );
+        carve_obs::counter("node_copies", child.coords.len() as u64);
+        drop(obs_td);
+        ctx.own.push(child);
+        rec(env, child_oct, child_st, lo..hi, ctx, srcs, visitor);
+        // Bottom-up: accumulate duplicated node contributions.
+        let _obs_bu = carve_obs::scope("bottom_up");
+        let child = ctx.own.pop().expect("child bucket");
+        if env.carry_values {
+            let pd = ctx.top_depth();
+            for (i, &ps) in child.parent_slot.iter().enumerate() {
+                ctx.vout_add(pd, ps as usize, child.vout[i]);
+            }
+        }
+        ctx.free.push(child);
+        lo = hi;
+    }
+    debug_assert_eq!(lo, range.end, "elements not fully bucketed");
+}
+
+// --- Join (ordered merge) -------------------------------------------------
+
+/// Replays each task's deferred ancestor writes and merges bucket `vout`s
+/// up the spine, walking the spine tree in DFS (SFC) order so every
+/// accumulation happens exactly where the sequential traversal would have
+/// performed it. Only meaningful for the matvec path (`carry_values`).
+fn join_spine<const DIM: usize>(plan: &mut SpinePlan<DIM>) {
+    if !plan.interior.is_empty() {
+        join_rec(plan, 0);
+    }
+}
+
+fn join_rec<const DIM: usize>(plan: &mut SpinePlan<DIM>, node: u32) {
+    let kids = std::mem::take(&mut plan.interior[node as usize].kids);
+    for k in &kids {
+        match *k {
+            SpineChild::Task(ti) => {
+                let _obs = carve_obs::scope("bottom_up");
+                let SpinePlan { interior, tasks } = plan;
+                let t = &mut tasks[ti as usize];
+                for &(d, slot, val) in t.out_log.iter() {
+                    let anc = t.ancestors[d as usize] as usize;
+                    interior[anc].bucket.vout[slot as usize] += val;
+                }
+                t.out_log.clear();
+                let pb = &mut interior[node as usize].bucket;
+                for (i, &ps) in t.bucket.parent_slot.iter().enumerate() {
+                    pb.vout[ps as usize] += t.bucket.vout[i];
+                }
+            }
+            SpineChild::Interior(ci) => {
+                join_rec(plan, ci);
+                let _obs = carve_obs::scope("bottom_up");
+                let b = std::mem::take(&mut plan.interior[ci as usize].bucket);
+                let pb = &mut plan.interior[node as usize].bucket;
+                for (i, &ps) in b.parent_slot.iter().enumerate() {
+                    pb.vout[ps as usize] += b.vout[i];
+                }
+                plan.interior[ci as usize].bucket = b;
+            }
+        }
+    }
+    plan.interior[node as usize].kids = kids;
+}
+
+// --- Leaf visitors --------------------------------------------------------
 
 struct MatvecVisitor<'k, const DIM: usize, K> {
     kernel: &'k mut K,
     in_vals: Vec<f64>,
     out_vals: Vec<f64>,
-    slots: Vec<Option<usize>>,
+    slots: Vec<u32>,
 }
 
-impl<'k, const DIM: usize, K> LeafVisitor<DIM> for MatvecVisitor<'k, DIM, K>
+impl<'k, const DIM: usize, K> MatvecVisitor<'k, DIM, K> {
+    fn new(kernel: &'k mut K, npe: usize) -> Self {
+        Self {
+            kernel,
+            in_vals: Vec::with_capacity(npe),
+            out_vals: Vec::with_capacity(npe),
+            slots: Vec::with_capacity(npe),
+        }
+    }
+}
+
+/// Sentinel for "lattice slot not in the leaf bucket" (hanging node).
+const NO_SLOT: u32 = u32::MAX;
+
+impl<const DIM: usize, K> LeafVisitor<DIM> for MatvecVisitor<'_, DIM, K>
 where
     K: FnMut(&Octant<DIM>, &[f64], &mut [f64]),
 {
-    fn leaf(&mut self, leaf: &Octant<DIM>, stack: &mut [Bucket<DIM>], p: u64) {
+    fn leaf(
+        &mut self,
+        leaf: &Octant<DIM>,
+        ctx: &mut Ctx<'_, DIM>,
+        srcs: &mut Vec<([u64; DIM], f64)>,
+        p: u64,
+    ) {
         let npe = nodes_per_elem::<DIM>(p);
         let depth = leaf.level as usize;
-        debug_assert_eq!(stack.len(), depth + 1);
+        debug_assert_eq!(ctx.top_depth(), depth);
+        self.slots.clear();
+        self.slots.resize(npe, NO_SLOT);
         self.in_vals.resize(npe, 0.0);
         self.out_vals.resize(npe, 0.0);
-        self.slots.resize(npe, None);
-        for lin in 0..npe {
-            let idx = lattice_index::<DIM>(lin, p);
-            let c = elem_node_coord(leaf, p, &idx);
-            match stack[depth].find(&c) {
-                Some(i) => {
-                    self.slots[lin] = Some(i);
-                    self.in_vals[lin] = stack[depth].vin[i];
-                }
-                None => {
-                    self.slots[lin] = None;
-                    self.in_vals[lin] = eval_coord(stack, leaf, depth, &c, p);
-                }
+        // Merge-sweep: one pass over the (Morton-sorted) leaf bucket maps
+        // every on-lattice node to its slot; the map is injective, so this
+        // replaces npe binary searches with bucket_len divisibility checks.
+        let mut hits = 0u64;
+        for (i, c) in ctx.bucket(depth).coords.iter().enumerate() {
+            if let Some(lin) = lattice_linear(leaf, p, c) {
+                self.slots[lin] = i as u32;
+                hits += 1;
             }
+        }
+        carve_obs::counter("slot_sweep_hits", hits);
+        for lin in 0..npe {
+            let s = self.slots[lin];
+            self.in_vals[lin] = if s != NO_SLOT {
+                ctx.bucket(depth).vin[s as usize]
+            } else {
+                let idx = lattice_index::<DIM>(lin, p);
+                let c = elem_node_coord(leaf, p, &idx);
+                eval_coord(ctx, leaf, depth, &c, p, srcs)
+            };
             self.out_vals[lin] = 0.0;
         }
         (self.kernel)(leaf, &self.in_vals, &mut self.out_vals);
         for lin in 0..npe {
-            match self.slots[lin] {
-                Some(i) => stack[depth].vout[i] += self.out_vals[lin],
-                None => {
-                    let idx = lattice_index::<DIM>(lin, p);
-                    let c = elem_node_coord(leaf, p, &idx);
-                    scatter_coord(stack, leaf, depth, &c, self.out_vals[lin], p);
-                }
+            let s = self.slots[lin];
+            if s != NO_SLOT {
+                ctx.vout_add(depth, s as usize, self.out_vals[lin]);
+            } else {
+                let idx = lattice_index::<DIM>(lin, p);
+                let c = elem_node_coord(leaf, p, &idx);
+                scatter_coord(ctx, leaf, depth, &c, self.out_vals[lin], p, srcs);
             }
         }
-    }
-}
-
-/// Applies the global operator `y += A x` matrix-free via octree traversal.
-///
-/// * `elems` — SFC-sorted leaf elements (owned + ghost in the distributed
-///   case); `owned` restricts which leaves apply their elemental kernel.
-/// * `kernel(e, u_e, v_e)` — the elemental operator (`v_e = K_e u_e`).
-pub fn traversal_matvec<const DIM: usize, K>(
-    elems: &[Octant<DIM>],
-    owned: Range<usize>,
-    curve: Curve,
-    nodes: &NodeSet<DIM>,
-    x: &[f64],
-    y: &mut [f64],
-    kernel: &mut K,
-) where
-    K: FnMut(&Octant<DIM>, &[f64], &mut [f64]),
-{
-    assert_eq!(x.len(), nodes.len());
-    assert_eq!(y.len(), nodes.len());
-    if elems.is_empty() || owned.is_empty() {
-        return;
-    }
-    let _obs = carve_obs::scope("matvec");
-    let root = Bucket {
-        coords: nodes.coords.clone(),
-        parent_slot: Vec::new(),
-        ids: Vec::new(),
-        vin: x.to_vec(),
-        vout: vec![0.0; nodes.len()],
-    };
-    let visitor = MatvecVisitor::<DIM, K> {
-        kernel,
-        in_vals: Vec::new(),
-        out_vals: Vec::new(),
-        slots: Vec::new(),
-    };
-    let mut tr = Traversal {
-        elems,
-        owned,
-        curve,
-        p: nodes.order,
-        visitor,
-        carry_values: true,
-        carry_ids: false,
-    };
-    let root = tr.run(root);
-    for (yi, vo) in y.iter_mut().zip(&root.vout) {
-        *yi += vo;
     }
 }
 
 struct AssemblyVisitor<'k, const DIM: usize, K> {
     kernel: &'k mut K,
-    coo: &'k mut CooBuilder,
     stencils: Vec<Vec<(u32, f64)>>,
+    slots: Vec<u32>,
 }
 
-impl<'k, const DIM: usize, K> LeafVisitor<DIM> for AssemblyVisitor<'k, DIM, K>
+impl<'k, const DIM: usize, K> AssemblyVisitor<'k, DIM, K> {
+    fn new(kernel: &'k mut K, npe: usize) -> Self {
+        Self {
+            kernel,
+            stencils: (0..npe).map(|_| Vec::with_capacity(4)).collect(),
+            slots: Vec::with_capacity(npe),
+        }
+    }
+}
+
+impl<const DIM: usize, K> LeafVisitor<DIM> for AssemblyVisitor<'_, DIM, K>
 where
     K: FnMut(&Octant<DIM>) -> DenseMatrix,
 {
-    fn leaf(&mut self, leaf: &Octant<DIM>, stack: &mut [Bucket<DIM>], p: u64) {
+    fn leaf(
+        &mut self,
+        leaf: &Octant<DIM>,
+        ctx: &mut Ctx<'_, DIM>,
+        srcs: &mut Vec<([u64; DIM], f64)>,
+        p: u64,
+    ) {
         let npe = nodes_per_elem::<DIM>(p);
         let depth = leaf.level as usize;
-        self.stencils.resize(npe, Vec::new());
+        if self.stencils.len() < npe {
+            self.stencils.resize_with(npe, Vec::new);
+        }
+        self.slots.clear();
+        self.slots.resize(npe, NO_SLOT);
+        let mut hits = 0u64;
+        for (i, c) in ctx.bucket(depth).coords.iter().enumerate() {
+            if let Some(lin) = lattice_linear(leaf, p, c) {
+                self.slots[lin] = i as u32;
+                hits += 1;
+            }
+        }
+        carve_obs::counter("slot_sweep_hits", hits);
         for lin in 0..npe {
-            let idx = lattice_index::<DIM>(lin, p);
-            let c = elem_node_coord(leaf, p, &idx);
             self.stencils[lin].clear();
-            stencil_coord(stack, leaf, depth, &c, 1.0, p, &mut self.stencils[lin]);
+            let s = self.slots[lin];
+            if s != NO_SLOT {
+                let b = ctx.bucket(depth);
+                self.stencils[lin].push((b.ids[s as usize], 1.0));
+            } else {
+                let idx = lattice_index::<DIM>(lin, p);
+                let c = elem_node_coord(leaf, p, &idx);
+                stencil_coord(ctx, leaf, depth, &c, 1.0, p, srcs, &mut self.stencils[lin]);
+            }
         }
         let ke = (self.kernel)(leaf);
         debug_assert_eq!(ke.rows, npe);
@@ -401,7 +949,7 @@ where
                 }
                 for &(ri, rw) in &self.stencils[i] {
                     for &(cj, cw) in &self.stencils[j] {
-                        self.coo.add(ri as usize, cj as usize, rw * cw * v);
+                        ctx.log.push((ri, cj, rw * cw * v));
                     }
                 }
             }
@@ -409,10 +957,202 @@ where
     }
 }
 
+// --- Public entry points: MATVEC ------------------------------------------
+
+/// Applies the global operator `y += A x` matrix-free via octree traversal.
+///
+/// * `elems` — SFC-sorted leaf elements (owned + ghost in the distributed
+///   case); `owned` restricts which leaves apply their elemental kernel.
+/// * `kernel(e, u_e, v_e)` — the elemental operator (`v_e = K_e u_e`).
+///
+/// Convenience wrapper over [`traversal_matvec_ws`] with a throwaway
+/// workspace; hot loops (Krylov iterations) should hold a
+/// [`TraversalWorkspace`] and call the `_ws` / `_par` variants.
+pub fn traversal_matvec<const DIM: usize, K>(
+    elems: &[Octant<DIM>],
+    owned: Range<usize>,
+    curve: Curve,
+    nodes: &NodeSet<DIM>,
+    x: &[f64],
+    y: &mut [f64],
+    kernel: &mut K,
+) where
+    K: FnMut(&Octant<DIM>, &[f64], &mut [f64]),
+{
+    let mut ws = TraversalWorkspace::with_threads(1);
+    traversal_matvec_ws(elems, owned, curve, nodes, x, y, &mut ws, kernel);
+}
+
+/// Sequential matvec reusing `ws`'s bucket arena across calls. Output is
+/// bitwise identical to [`traversal_matvec_par`] at any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn traversal_matvec_ws<const DIM: usize, K>(
+    elems: &[Octant<DIM>],
+    owned: Range<usize>,
+    curve: Curve,
+    nodes: &NodeSet<DIM>,
+    x: &[f64],
+    y: &mut [f64],
+    ws: &mut TraversalWorkspace<DIM>,
+    kernel: &mut K,
+) where
+    K: FnMut(&Octant<DIM>, &[f64], &mut [f64]),
+{
+    assert_eq!(x.len(), nodes.len());
+    assert_eq!(y.len(), nodes.len());
+    if elems.is_empty() || owned.is_empty() {
+        return;
+    }
+    let _obs = carve_obs::scope("matvec");
+    let env = Env {
+        elems,
+        owned,
+        curve,
+        p: nodes.order,
+        carry_values: true,
+        carry_ids: false,
+    };
+    let mut plan = build_spine(&env, ws.split_depth, matvec_root(ws, nodes, x), ws);
+    carve_obs::counter("par_workers", 1);
+    ws.ensure_scratch(1);
+    {
+        let SpinePlan { interior, tasks } = &mut plan;
+        let scr = &mut ws.scratch[0];
+        let mut vis = MatvecVisitor::new(kernel, nodes_per_elem::<DIM>(env.p));
+        for t in tasks.iter_mut() {
+            run_task(&env, t, interior, scr, &mut vis);
+        }
+    }
+    finish_matvec(&mut plan, y);
+    ws.release_plan(plan);
+    ws.emit_arena_counters();
+}
+
+/// Fork-join matvec: subtree tasks are partitioned SFC-contiguously across
+/// up to `ws.threads()` scoped workers, each building its kernel from
+/// `make_kernel`. Deferred ancestor writes replay in SFC order at join, so
+/// the output is **bitwise identical for any thread count** (and equal to
+/// the sequential variants).
+#[allow(clippy::too_many_arguments)]
+pub fn traversal_matvec_par<const DIM: usize, K, F>(
+    elems: &[Octant<DIM>],
+    owned: Range<usize>,
+    curve: Curve,
+    nodes: &NodeSet<DIM>,
+    x: &[f64],
+    y: &mut [f64],
+    ws: &mut TraversalWorkspace<DIM>,
+    make_kernel: &F,
+) where
+    K: FnMut(&Octant<DIM>, &[f64], &mut [f64]),
+    F: Fn() -> K + Sync,
+{
+    assert_eq!(x.len(), nodes.len());
+    assert_eq!(y.len(), nodes.len());
+    if elems.is_empty() || owned.is_empty() {
+        return;
+    }
+    let _obs = carve_obs::scope("matvec");
+    let env = Env {
+        elems,
+        owned,
+        curve,
+        p: nodes.order,
+        carry_values: true,
+        carry_ids: false,
+    };
+    let npe = nodes_per_elem::<DIM>(env.p);
+    let mut plan = build_spine(&env, ws.split_depth, matvec_root(ws, nodes, x), ws);
+    let (chunk, n_workers) = chunking(plan.tasks.len(), ws.threads);
+    carve_obs::counter("par_workers", n_workers as u64);
+    ws.ensure_scratch(n_workers);
+    {
+        let SpinePlan { interior, tasks } = &mut plan;
+        let interior: &[SpineNode<DIM>] = interior;
+        if n_workers <= 1 {
+            let scr = &mut ws.scratch[0];
+            let mut kernel = make_kernel();
+            let mut vis = MatvecVisitor::new(&mut kernel, npe);
+            for t in tasks.iter_mut() {
+                run_task(&env, t, interior, scr, &mut vis);
+            }
+        } else {
+            let env = &env;
+            let snaps: Vec<carve_obs::Snapshot> = std::thread::scope(|s| {
+                let handles: Vec<_> = tasks
+                    .chunks_mut(chunk)
+                    .zip(ws.scratch.iter_mut())
+                    .map(|(tchunk, scr)| {
+                        s.spawn(move || {
+                            carve_obs::detach_thread();
+                            let mut kernel = make_kernel();
+                            let mut vis = MatvecVisitor::new(&mut kernel, npe);
+                            for t in tchunk.iter_mut() {
+                                run_task(env, t, interior, scr, &mut vis);
+                            }
+                            carve_obs::thread_snapshot()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(join_worker).collect()
+            });
+            for snap in &snaps {
+                carve_obs::absorb_rebased(snap);
+            }
+        }
+    }
+    finish_matvec(&mut plan, y);
+    ws.release_plan(plan);
+    ws.emit_arena_counters();
+}
+
+/// Seeds the root bucket (full node set + input vector) from the arena.
+fn matvec_root<const DIM: usize>(
+    ws: &mut TraversalWorkspace<DIM>,
+    nodes: &NodeSet<DIM>,
+    x: &[f64],
+) -> Bucket<DIM> {
+    let mut root = ws.acquire_bucket();
+    root.coords.extend_from_slice(&nodes.coords);
+    root.vin.extend_from_slice(x);
+    root.vout.resize(nodes.len(), 0.0);
+    root
+}
+
+/// Contiguous chunk size and worker count for `n_tasks` under `budget`.
+fn chunking(n_tasks: usize, budget: usize) -> (usize, usize) {
+    let workers = par::worker_count(n_tasks, budget);
+    let chunk = n_tasks.div_ceil(workers).max(1);
+    (chunk, n_tasks.div_ceil(chunk).max(1))
+}
+
+fn join_worker<T>(h: std::thread::ScopedJoinHandle<'_, T>) -> T {
+    match h.join() {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+fn finish_matvec<const DIM: usize>(plan: &mut SpinePlan<DIM>, y: &mut [f64]) {
+    join_spine(plan);
+    let root_vout = if plan.interior.is_empty() {
+        &plan.tasks[0].bucket.vout
+    } else {
+        &plan.interior[0].bucket.vout
+    };
+    for (yi, vo) in y.iter_mut().zip(root_vout) {
+        *yi += vo;
+    }
+}
+
+// --- Public entry points: assembly ----------------------------------------
+
 /// Assembles the global sparse matrix via octree traversal (§3.6): node
 /// *ids* are bucketed instead of values; at each leaf the elemental matrix
 /// entries are emitted with global indices (duplicates merge by addition in
 /// the builder, the PETSc `ADD_VALUES` contract). No bottom-up phase.
+///
+/// Convenience wrapper over [`traversal_assemble_ws`].
 pub fn traversal_assemble<const DIM: usize, K>(
     elems: &[Octant<DIM>],
     owned: Range<usize>,
@@ -424,33 +1164,175 @@ pub fn traversal_assemble<const DIM: usize, K>(
 ) where
     K: FnMut(&Octant<DIM>) -> DenseMatrix,
 {
+    let mut ws = TraversalWorkspace::with_threads(1);
+    traversal_assemble_ws(elems, owned, curve, nodes, global_ids, coo, &mut ws, kernel);
+}
+
+/// Sequential assembly reusing `ws`'s arena.
+#[allow(clippy::too_many_arguments)]
+pub fn traversal_assemble_ws<const DIM: usize, K>(
+    elems: &[Octant<DIM>],
+    owned: Range<usize>,
+    curve: Curve,
+    nodes: &NodeSet<DIM>,
+    global_ids: &[u32],
+    coo: &mut CooBuilder,
+    ws: &mut TraversalWorkspace<DIM>,
+    kernel: &mut K,
+) where
+    K: FnMut(&Octant<DIM>) -> DenseMatrix,
+{
     assert_eq!(global_ids.len(), nodes.len());
     if elems.is_empty() || owned.is_empty() {
         return;
     }
     let _obs = carve_obs::scope("assemble");
-    let root = Bucket {
-        coords: nodes.coords.clone(),
-        parent_slot: Vec::new(),
-        ids: global_ids.to_vec(),
-        vin: Vec::new(),
-        vout: Vec::new(),
-    };
-    let visitor = AssemblyVisitor::<DIM, K> {
-        kernel,
-        coo,
-        stencils: Vec::new(),
-    };
-    let mut tr = Traversal {
+    let env = Env {
         elems,
         owned,
         curve,
         p: nodes.order,
-        visitor,
         carry_values: false,
         carry_ids: true,
     };
-    tr.run(root);
+    let npe = nodes_per_elem::<DIM>(env.p);
+    let mut plan = build_spine(
+        &env,
+        ws.split_depth,
+        assemble_root(ws, nodes, global_ids),
+        ws,
+    );
+    carve_obs::counter("par_workers", 1);
+    ws.ensure_scratch(1);
+    reserve_triplets(&env, npe, coo);
+    {
+        let SpinePlan { interior, tasks } = &mut plan;
+        let scr = &mut ws.scratch[0];
+        let mut vis = AssemblyVisitor::new(kernel, npe);
+        for t in tasks.iter_mut() {
+            run_task(&env, t, interior, scr, &mut vis);
+            drain_log(&mut t.out_log, coo);
+        }
+    }
+    ws.release_plan(plan);
+    ws.emit_arena_counters();
+}
+
+/// Fork-join assembly; per-task triplet buffers are concatenated in SFC
+/// task order, so the emitted triplet sequence — and hence the built CSR —
+/// is identical for any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn traversal_assemble_par<const DIM: usize, K, F>(
+    elems: &[Octant<DIM>],
+    owned: Range<usize>,
+    curve: Curve,
+    nodes: &NodeSet<DIM>,
+    global_ids: &[u32],
+    coo: &mut CooBuilder,
+    ws: &mut TraversalWorkspace<DIM>,
+    make_kernel: &F,
+) where
+    K: FnMut(&Octant<DIM>) -> DenseMatrix,
+    F: Fn() -> K + Sync,
+{
+    assert_eq!(global_ids.len(), nodes.len());
+    if elems.is_empty() || owned.is_empty() {
+        return;
+    }
+    let _obs = carve_obs::scope("assemble");
+    let env = Env {
+        elems,
+        owned,
+        curve,
+        p: nodes.order,
+        carry_values: false,
+        carry_ids: true,
+    };
+    let npe = nodes_per_elem::<DIM>(env.p);
+    let mut plan = build_spine(
+        &env,
+        ws.split_depth,
+        assemble_root(ws, nodes, global_ids),
+        ws,
+    );
+    let (chunk, n_workers) = chunking(plan.tasks.len(), ws.threads);
+    carve_obs::counter("par_workers", n_workers as u64);
+    ws.ensure_scratch(n_workers);
+    reserve_triplets(&env, npe, coo);
+    {
+        let SpinePlan { interior, tasks } = &mut plan;
+        let interior: &[SpineNode<DIM>] = interior;
+        if n_workers <= 1 {
+            let scr = &mut ws.scratch[0];
+            let mut kernel = make_kernel();
+            let mut vis = AssemblyVisitor::new(&mut kernel, npe);
+            for t in tasks.iter_mut() {
+                run_task(&env, t, interior, scr, &mut vis);
+                drain_log(&mut t.out_log, coo);
+            }
+        } else {
+            let env = &env;
+            let snaps: Vec<carve_obs::Snapshot> = std::thread::scope(|s| {
+                let handles: Vec<_> = tasks
+                    .chunks_mut(chunk)
+                    .zip(ws.scratch.iter_mut())
+                    .map(|(tchunk, scr)| {
+                        s.spawn(move || {
+                            carve_obs::detach_thread();
+                            let mut kernel = make_kernel();
+                            let mut vis = AssemblyVisitor::new(&mut kernel, npe);
+                            for t in tchunk.iter_mut() {
+                                run_task(env, t, interior, scr, &mut vis);
+                            }
+                            carve_obs::thread_snapshot()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(join_worker).collect()
+            });
+            for snap in &snaps {
+                carve_obs::absorb_rebased(snap);
+            }
+            for t in tasks.iter_mut() {
+                drain_log(&mut t.out_log, coo);
+            }
+        }
+    }
+    ws.release_plan(plan);
+    ws.emit_arena_counters();
+}
+
+/// Seeds the root bucket (full node set + global ids) from the arena.
+fn assemble_root<const DIM: usize>(
+    ws: &mut TraversalWorkspace<DIM>,
+    nodes: &NodeSet<DIM>,
+    global_ids: &[u32],
+) -> Bucket<DIM> {
+    let mut root = ws.acquire_bucket();
+    root.coords.extend_from_slice(&nodes.coords);
+    root.ids.extend_from_slice(global_ids);
+    root
+}
+
+/// Capacity hint for the assembled triplet stream: `owned leaves × npe²`.
+fn reserve_triplets<const DIM: usize>(env: &Env<'_, DIM>, npe: usize, coo: &mut CooBuilder) {
+    let owned_leaves = env
+        .owned
+        .end
+        .min(env.elems.len())
+        .saturating_sub(env.owned.start);
+    coo.reserve(owned_leaves * npe * npe);
+}
+
+/// Moves one task's triplet buffer into the builder. Sequential paths call
+/// this right after the task runs, while its log is still cache-hot; the
+/// threaded path drains all logs afterwards in SFC task order. Either way
+/// the builder sees the identical triplet sequence.
+fn drain_log(log: &mut OutLog, coo: &mut CooBuilder) {
+    for &(ri, cj, v) in log.iter() {
+        coo.add(ri as usize, cj as usize, v);
+    }
+    log.clear();
 }
 
 #[cfg(test)]
@@ -663,9 +1545,145 @@ mod tests {
         let leaf = &d.phases["matvec/leaf"];
         assert_eq!(leaf.calls, elems.len() as u64);
         assert_eq!(leaf.counters["leaves"], elems.len() as u64);
+        assert!(leaf.counters["slot_sweep_hits"] > 0);
         let td = &d.phases["matvec/top_down"];
         assert!(td.counters["node_copies"] > 0);
         assert_eq!(d.phases["matvec"].calls, 1);
+        assert_eq!(d.phases["matvec"].counters["par_workers"], 1);
+        assert!(d.phases["matvec"].counters["arena_alloc"] > 0);
         assert!(d.phases.contains_key("matvec/bottom_up"));
+    }
+
+    #[test]
+    fn matvec_bitwise_identical_across_thread_counts() {
+        // The ISSUE's determinism property: an adaptive carved 3D mesh,
+        // p ∈ {1, 2}, CARVE_PAR_THREADS ∈ {1, 2, 8} — outputs must agree
+        // bit for bit, with each other AND with the legacy sequential
+        // entry point, including on workspace reuse.
+        let domain = CarvedSolids::<3>::new(vec![Box::new(Sphere::new([0.5; 3], 0.3))]);
+        let t = construct_boundary_refined(&domain, Curve::Hilbert, 2, 4);
+        let elems = construct_balanced(&domain, Curve::Hilbert, &t);
+        for p in [1u64, 2] {
+            let nodes = enumerate_nodes(&domain, &elems, p);
+            let n = nodes.len();
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17 + p);
+            let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut y_ref = vec![0.0; n];
+            traversal_matvec(
+                &elems,
+                0..elems.len(),
+                Curve::Hilbert,
+                &nodes,
+                &x,
+                &mut y_ref,
+                &mut toy_kernel::<3>(p),
+            );
+            for threads in [1usize, 2, 8] {
+                let mut ws = TraversalWorkspace::with_threads(threads);
+                for round in 0..2 {
+                    let mut y = vec![0.0; n];
+                    traversal_matvec_par(
+                        &elems,
+                        0..elems.len(),
+                        Curve::Hilbert,
+                        &nodes,
+                        &x,
+                        &mut y,
+                        &mut ws,
+                        &|| toy_kernel::<3>(p),
+                    );
+                    for (i, (a, b)) in y_ref.iter().zip(&y).enumerate() {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "threads={threads} p={p} round={round} node {i}: {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn assembly_identical_across_thread_counts() {
+        let domain = CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.28))]);
+        let t = construct_boundary_refined(&domain, Curve::Hilbert, 2, 4);
+        let elems = construct_balanced(&domain, Curve::Hilbert, &t);
+        let p = 2u64;
+        let nodes = enumerate_nodes(&domain, &elems, p);
+        let n = nodes.len();
+        let ids: Vec<u32> = (0..n as u32).collect();
+        let build = |threads: usize| {
+            let mut ws = TraversalWorkspace::with_threads(threads);
+            let mut coo = CooBuilder::new(n);
+            traversal_assemble_par(
+                &elems,
+                0..elems.len(),
+                Curve::Hilbert,
+                &nodes,
+                &ids,
+                &mut coo,
+                &mut ws,
+                &|| toy_matrix::<2>(p),
+            );
+            coo.build()
+        };
+        let a1 = build(1);
+        for threads in [2usize, 8] {
+            let at = build(threads);
+            assert_eq!(a1.row_ptr, at.row_ptr, "threads={threads}");
+            assert_eq!(a1.cols, at.cols, "threads={threads}");
+            assert_eq!(a1.vals.len(), at.vals.len());
+            for (i, (v1, vt)) in a1.vals.iter().zip(&at.vals).enumerate() {
+                assert_eq!(v1.to_bits(), vt.to_bits(), "threads={threads} nz {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_allocates_no_new_buckets() {
+        // Two consecutive matvecs through one workspace: the second must be
+        // served entirely from the arena (`arena_alloc` absent, only
+        // `arena_reuse`), for both the sequential and fork-join paths.
+        let _e = carve_obs::force_enabled();
+        let domain = CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.28))]);
+        let t = construct_boundary_refined(&domain, Curve::Hilbert, 2, 4);
+        let elems = construct_balanced(&domain, Curve::Hilbert, &t);
+        let nodes = enumerate_nodes(&domain, &elems, 1);
+        let n = nodes.len();
+        let x = vec![1.0; n];
+        for threads in [1usize, 4] {
+            let mut ws = TraversalWorkspace::with_threads(threads);
+            let run = |ws: &mut TraversalWorkspace<2>| {
+                let before = carve_obs::thread_snapshot();
+                let mut y = vec![0.0; n];
+                traversal_matvec_par(
+                    &elems,
+                    0..elems.len(),
+                    Curve::Hilbert,
+                    &nodes,
+                    &x,
+                    &mut y,
+                    ws,
+                    &|| toy_kernel::<2>(1),
+                );
+                carve_obs::thread_snapshot().diff(&before)
+            };
+            let d1 = run(&mut ws);
+            assert!(
+                d1.phases["matvec"].counters["arena_alloc"] > 0,
+                "cold workspace must allocate (threads={threads})"
+            );
+            let d2 = run(&mut ws);
+            let c2 = &d2.phases["matvec"].counters;
+            assert!(
+                !c2.contains_key("arena_alloc"),
+                "warm workspace allocated bucket vectors (threads={threads}): {c2:?}"
+            );
+            assert!(
+                c2["arena_reuse"] > 0,
+                "warm workspace must reuse the arena (threads={threads})"
+            );
+        }
     }
 }

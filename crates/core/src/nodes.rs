@@ -71,6 +71,35 @@ pub fn nodes_per_elem<const DIM: usize>(p: u64) -> usize {
     ((p + 1) as usize).pow(DIM as u32)
 }
 
+/// Inverse of [`lattice_index`] ∘ [`elem_node_coord`]: maps a nodal
+/// coordinate back to the linear lattice slot of element `e`, or `None`
+/// when the coordinate is not on `e`'s `p`-lattice (a hanging node owned
+/// by a finer neighbor). One divisibility check per axis — the merge-sweep
+/// leaf resolution uses this instead of per-slot binary searches.
+#[inline]
+pub fn lattice_linear<const DIM: usize>(
+    e: &Octant<DIM>,
+    p: u64,
+    coord: &[u64; DIM],
+) -> Option<usize> {
+    let side = e.side() as u64;
+    let mut lin = 0usize;
+    let mut stride = 1usize;
+    for (&ck, &ak) in coord.iter().zip(&e.anchor) {
+        let off = ck.checked_sub(ak as u64 * p)?;
+        if off % side != 0 {
+            return None;
+        }
+        let j = off / side;
+        if j > p {
+            return None;
+        }
+        lin += j as usize * stride;
+        stride *= (p + 1) as usize;
+    }
+    Some(lin)
+}
+
 /// Coordinate of lattice point `idx` (each component `0..=p`) of element `e`.
 #[inline]
 pub fn elem_node_coord<const DIM: usize>(e: &Octant<DIM>, p: u64, idx: &[u64; DIM]) -> [u64; DIM] {
@@ -337,6 +366,30 @@ mod tests {
     use crate::construct::{construct_boundary_refined, construct_uniform};
     use carve_geom::{CarvedSolids, FullDomain, RetainBox, Sphere};
     use carve_sfc::Curve;
+
+    #[test]
+    fn lattice_linear_inverts_lattice_index() {
+        let e = Octant::<3>::ROOT.child(5).child(2);
+        for p in [1u64, 2] {
+            for lin in 0..nodes_per_elem::<3>(p) {
+                let idx = lattice_index::<3>(lin, p);
+                let c = elem_node_coord(&e, p, &idx);
+                assert_eq!(lattice_linear(&e, p, &c), Some(lin), "p={p} lin={lin}");
+            }
+            // Off-lattice coordinates (half-spacing offsets from a finer
+            // neighbor, or outside the closed region) must map to None.
+            let side = e.side() as u64;
+            let mut c = elem_node_coord(&e, p, &[0; 3]);
+            c[0] += side / 2;
+            assert_eq!(lattice_linear(&e, p, &c), None);
+            let mut below = elem_node_coord(&e, p, &[0; 3]);
+            below[1] -= side;
+            assert_eq!(lattice_linear(&e, p, &below), None);
+            let mut beyond = elem_node_coord(&e, p, &[p; 3]);
+            beyond[2] += side;
+            assert_eq!(lattice_linear(&e, p, &beyond), None);
+        }
+    }
 
     #[test]
     fn uniform_grid_node_count_2d() {

@@ -14,13 +14,32 @@ use std::num::NonZeroUsize;
 /// dwarfs the work.
 const MIN_PAR_LEN: usize = 64;
 
+/// Resolves the intra-rank thread budget: `CARVE_PAR_THREADS` when set to a
+/// positive integer, else the machine's `available_parallelism`. Shared by
+/// [`par_map`] and the traversal engine's fork-join so one knob governs all
+/// intra-rank parallelism (and CI can pin it for reproducible runs).
+pub fn thread_budget() -> usize {
+    std::env::var("CARVE_PAR_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Workers to actually fork for `len` units of work under `budget` threads:
+/// never more workers than units, never fewer than one.
+pub fn worker_count(len: usize, budget: usize) -> usize {
+    budget.max(1).min(len.max(1))
+}
+
 /// Maps `f` over `items`, preserving order, splitting the slice into one
 /// contiguous chunk per worker thread. `f` runs exactly once per item.
 pub fn par_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(items: &[T], f: F) -> Vec<R> {
-    let workers = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(items.len().max(1));
+    let workers = worker_count(items.len(), thread_budget());
     if workers <= 1 || items.len() < MIN_PAR_LEN {
         return items.iter().map(f).collect();
     }

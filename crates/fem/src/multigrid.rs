@@ -19,11 +19,15 @@
 //!   Table 1 taken to its conclusion.
 
 use crate::poisson::ElementCache;
-use carve_core::{find_leaf, resolve_slot, traversal_assemble, traversal_matvec, Mesh, SlotRef};
+use carve_core::{
+    find_leaf, resolve_slot, traversal_assemble_ws, traversal_matvec_ws, Mesh, SlotRef,
+    TraversalWorkspace,
+};
 use carve_geom::Subdomain;
 use carve_la::{CooBuilder, DenseMatrix, KrylovResult, LuFactors};
 use carve_sfc::morton::finest_cell_of_point;
 use carve_sfc::Octant;
+use std::sync::Mutex;
 
 /// Sparse interpolation operator stored row-wise (rows = fine nodes,
 /// entries = coarse nodes × weights).
@@ -152,6 +156,15 @@ struct Level<const DIM: usize> {
     from_coarser: Option<Transfer>,
 }
 
+/// Mutable solver state shared by the `&self` operator applications: the
+/// elemental cache (tensor-apply scratch is `&mut`) and the traversal
+/// workspace. One lock per V-cycle smoother apply is noise next to the
+/// traversal itself, and it spares every apply a cache + bucket rebuild.
+struct MgWork<const DIM: usize> {
+    cache: ElementCache<DIM>,
+    ws: TraversalWorkspace<DIM>,
+}
+
 /// Matrix-free geometric-multigrid Poisson solver on a carved mesh
 /// hierarchy (strong Dirichlet at carved and/or cube boundary nodes).
 pub struct Multigrid<const DIM: usize> {
@@ -162,6 +175,7 @@ pub struct Multigrid<const DIM: usize> {
     pub nu_post: usize,
     pub omega: f64,
     scale: f64,
+    work: Mutex<MgWork<DIM>>,
 }
 
 impl<const DIM: usize> Multigrid<DIM> {
@@ -250,17 +264,20 @@ impl<const DIM: usize> Multigrid<DIM> {
         // Coarse operator: assembled + LU.
         let coarse = levels.last().expect("nonempty hierarchy");
         let n = coarse.mesh.num_dofs();
-        let mut coo = CooBuilder::new(n);
+        let npe = carve_core::nodes::nodes_per_elem::<DIM>(order);
+        let mut coo = CooBuilder::with_capacity(n, coarse.mesh.elems.len() * npe * npe);
         let ids: Vec<u32> = (0..n as u32).collect();
+        let mut ws = TraversalWorkspace::with_threads(1);
         let mut kernel =
             |e: &Octant<DIM>| -> DenseMatrix { cache.stiffness(e.bounds_unit().1 * scale) };
-        traversal_assemble(
+        traversal_assemble_ws(
             &coarse.mesh.elems,
             0..coarse.mesh.elems.len(),
             coarse.mesh.curve,
             &coarse.mesh.nodes,
             &ids,
             &mut coo,
+            &mut ws,
             &mut kernel,
         );
         let mut a = coo.build().to_dense();
@@ -282,6 +299,7 @@ impl<const DIM: usize> Multigrid<DIM> {
             nu_post: 2,
             omega: 0.7,
             scale,
+            work: Mutex::new(MgWork { cache, ws }),
         }
     }
 
@@ -297,8 +315,6 @@ impl<const DIM: usize> Multigrid<DIM> {
     /// constrained rows act as identity).
     fn apply(&self, l: usize, x: &[f64], y: &mut [f64]) {
         let lev = &self.levels[l];
-        let order = lev.mesh.order as usize;
-        let cache = ElementCache::<DIM>::new(order);
         // Zero constrained inputs so they don't pollute interior rows, then
         // emit identity on constrained rows.
         let mut xf = x.to_vec();
@@ -309,21 +325,22 @@ impl<const DIM: usize> Multigrid<DIM> {
         }
         y.iter_mut().for_each(|v| *v = 0.0);
         let scale = self.scale;
-        let mut kernel = {
-            let mut cache = cache;
-            move |e: &Octant<DIM>, u: &[f64], v: &mut [f64]| {
-                cache.apply_stiffness_tensor(e.bounds_unit().1 * scale, u, v);
-            }
+        let mut guard = self.work.lock().unwrap_or_else(|e| e.into_inner());
+        let MgWork { cache, ws } = &mut *guard;
+        let mut kernel = |e: &Octant<DIM>, u: &[f64], v: &mut [f64]| {
+            cache.apply_stiffness_tensor(e.bounds_unit().1 * scale, u, v);
         };
-        traversal_matvec(
+        traversal_matvec_ws(
             &lev.mesh.elems,
             0..lev.mesh.elems.len(),
             lev.mesh.curve,
             &lev.mesh.nodes,
             &xf,
             y,
+            ws,
             &mut kernel,
         );
+        drop(guard);
         for (i, &c) in lev.constrained.iter().enumerate() {
             if c {
                 y[i] = x[i];

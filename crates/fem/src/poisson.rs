@@ -3,8 +3,34 @@
 //! vectors, and the sum-factorized (tensor) stiffness application whose
 //! `O(d(p+1)^{d+1})` complexity the paper quotes for its MATVEC.
 
-use crate::basis::{gauss_rule, Tabulated};
+use crate::basis::Tabulated;
 use carve_la::DenseMatrix;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Process-wide memo of reference stiffness/mass pairs keyed `(DIM, p)`.
+/// Building them is `O(npe² · nq^DIM)` quadrature work — far more than the
+/// `O(npe²)` clone a cache hit costs — and solver loops construct
+/// [`ElementCache`]s freely (multigrid levels, per-thread kernel factories),
+/// so the first construction pays and every later one copies.
+type RefOpsMemo = Mutex<HashMap<(usize, usize), (DenseMatrix, DenseMatrix)>>;
+
+fn ref_ops_memo() -> &'static RefOpsMemo {
+    static MEMO: OnceLock<RefOpsMemo> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Memoized [`Tabulated::new`] (keyed `(p, nq)`): quadrature abscissae and
+/// basis tabulations are tiny but rebuilt per element by [`load_vector`],
+/// which is quadratic-cost noise once meshes reach bench sizes.
+pub(crate) fn tabulated_memo(p: usize, nq: usize) -> Tabulated {
+    static MEMO: OnceLock<Mutex<HashMap<(usize, usize), Tabulated>>> = OnceLock::new();
+    let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut m = memo.lock().unwrap_or_else(|e| e.into_inner());
+    m.entry((p, nq))
+        .or_insert_with(|| Tabulated::new(p, nq))
+        .clone()
+}
 
 /// Number of element nodes for order `p` in `DIM` dimensions.
 #[inline]
@@ -25,7 +51,7 @@ fn lattice<const DIM: usize>(linear: usize, base: usize) -> [usize; DIM] {
 /// Reference stiffness matrix on `\[0,1\]^DIM`:
 /// `K[i][j] = ∫ ∇φ_i · ∇φ_j`. Physical stiffness is `h^{DIM-2} · K`.
 pub fn reference_stiffness<const DIM: usize>(p: usize) -> DenseMatrix {
-    let tab = Tabulated::new(p, p + 1);
+    let tab = tabulated_memo(p, p + 1);
     let n = npe::<DIM>(p);
     let nq1 = tab.nq;
     let nqs = nq1.pow(DIM as u32);
@@ -64,7 +90,7 @@ pub fn reference_stiffness<const DIM: usize>(p: usize) -> DenseMatrix {
 
 /// Reference mass matrix on `\[0,1\]^DIM` (physical: `h^DIM · M`).
 pub fn reference_mass<const DIM: usize>(p: usize) -> DenseMatrix {
-    let tab = Tabulated::new(p, p + 1);
+    let tab = tabulated_memo(p, p + 1);
     let n = npe::<DIM>(p);
     let nq1 = tab.nq;
     let nqs = nq1.pow(DIM as u32);
@@ -95,7 +121,11 @@ pub fn reference_mass<const DIM: usize>(p: usize) -> DenseMatrix {
 }
 
 /// Cache of reference operators for one (dimension, order): every element of
-/// side `h` shares them up to a power of `h`.
+/// side `h` shares them up to a power of `h`. Construction hits the
+/// process-wide reference-operator memo, so `new` is cheap after the first
+/// call per `(DIM, p)` — worker-thread kernel factories and multigrid
+/// levels can build their own without re-running quadrature.
+#[derive(Clone)]
 pub struct ElementCache<const DIM: usize> {
     pub p: usize,
     pub kref: DenseMatrix,
@@ -108,12 +138,18 @@ pub struct ElementCache<const DIM: usize> {
 
 impl<const DIM: usize> ElementCache<DIM> {
     pub fn new(p: usize) -> Self {
-        let tab = Tabulated::new(p, p + 1);
+        let (kref, mref) = {
+            let mut memo = ref_ops_memo().lock().unwrap_or_else(|e| e.into_inner());
+            memo.entry((DIM, p))
+                .or_insert_with(|| (reference_stiffness::<DIM>(p), reference_mass::<DIM>(p)))
+                .clone()
+        };
+        let tab = tabulated_memo(p, p + 1);
         let nq = (p + 1).pow(DIM as u32);
         Self {
             p,
-            kref: reference_stiffness::<DIM>(p),
-            mref: reference_mass::<DIM>(p),
+            kref,
+            mref,
             tab,
             scratch_a: vec![0.0; nq],
             scratch_b: vec![0.0; nq],
@@ -254,8 +290,8 @@ pub fn load_vector<const DIM: usize>(
     f: &dyn Fn(&[f64; DIM]) -> f64,
     nq: usize,
 ) -> Vec<f64> {
-    let tab = Tabulated::new(p, nq.max(p + 1));
-    let quad = gauss_rule(nq.max(p + 1));
+    let tab = tabulated_memo(p, nq.max(p + 1));
+    let quad = &tab.quad;
     let n = npe::<DIM>(p);
     let nq1 = quad.points.len();
     let nqs = nq1.pow(DIM as u32);
@@ -287,7 +323,7 @@ pub fn load_vector<const DIM: usize>(
 /// coordinate transform squeezes the cube onto an elongated channel, and
 /// the cause of the condition-number blowup in Table 1.
 pub fn stiffness_matrix_anisotropic<const DIM: usize>(p: usize, h: &[f64; DIM]) -> DenseMatrix {
-    let tab = Tabulated::new(p, p + 1);
+    let tab = tabulated_memo(p, p + 1);
     let n = npe::<DIM>(p);
     let nq1 = tab.nq;
     let nqs = nq1.pow(DIM as u32);

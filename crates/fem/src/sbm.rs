@@ -12,7 +12,7 @@
 //! Without these terms (imposing `u = u_D` at voxel-boundary nodes), Fig. 6
 //! shows first-order convergence; with them, second order is recovered.
 
-use crate::basis::{gauss_rule, Tabulated};
+use crate::basis::gauss_rule;
 use carve_core::{find_leaf, Mesh};
 use carve_la::DenseMatrix;
 use carve_sfc::morton::finest_cell_of_point;
@@ -126,7 +126,7 @@ pub fn sbm_face_terms<const DIM: usize>(
     let (axis, positive) = face;
     let nb = p + 1;
     let n = nb.pow(DIM as u32);
-    let tab = Tabulated::new(p, p + 1);
+    let tab = crate::poisson::tabulated_memo(p, p + 1);
     let quad = gauss_rule(params.nq.clamp(p + 1, 5));
     let nq1 = quad.points.len();
     let free: Vec<usize> = (0..DIM).filter(|&k| k != axis).collect();

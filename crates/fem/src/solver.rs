@@ -3,7 +3,7 @@
 
 use crate::poisson::{load_vector, ElementCache};
 use crate::sbm::{sbm_face_terms, surrogate_faces, SbmParams};
-use carve_core::{resolve_slot, traversal_assemble, Mesh, SlotRef};
+use carve_core::{resolve_slot, traversal_assemble_par, Mesh, SlotRef, TraversalWorkspace};
 use carve_geom::Subdomain;
 use carve_la::{bicgstab, AsmPrecond, CooBuilder, JacobiPrecond, KrylovResult};
 use std::collections::HashMap;
@@ -97,35 +97,44 @@ pub fn solve_poisson<const DIM: usize>(
         }
     }
 
-    // Assemble the matrix via traversal (§3.6).
-    let mut coo = CooBuilder::new(n);
+    // Assemble the matrix via traversal (§3.6), fork-joined across the
+    // intra-rank thread budget; the triplet buffer is pre-sized to the
+    // exact `leaves × npe²` emission count.
+    let npe_a = carve_core::nodes::nodes_per_elem::<DIM>(mesh.order);
+    let mut coo = CooBuilder::with_capacity(n, mesh.elems.len() * npe_a * npe_a);
     let ids: Vec<u32> = (0..n as u32).collect();
-    let mut kernel = |e: &carve_sfc::Octant<DIM>| {
-        let h = e.bounds_unit().1 * scale;
-        let mut ke = cache.stiffness(h);
-        // Locate the element index for face lookups.
-        if !face_mats.is_empty() {
-            if let Ok(idx) = mesh
-                .elems
-                .binary_search_by(|x| carve_sfc::sfc_cmp(mesh.curve, x, e))
-            {
-                if let Some((fa, _)) = face_mats.get(&idx) {
-                    for (x, y) in ke.data.iter_mut().zip(&fa.data) {
-                        *x += y;
+    let cache_ref = &cache;
+    let face_ref = &face_mats;
+    let make_kernel = || {
+        move |e: &carve_sfc::Octant<DIM>| {
+            let h = e.bounds_unit().1 * scale;
+            let mut ke = cache_ref.stiffness(h);
+            // Locate the element index for face lookups.
+            if !face_ref.is_empty() {
+                if let Ok(idx) = mesh
+                    .elems
+                    .binary_search_by(|x| carve_sfc::sfc_cmp(mesh.curve, x, e))
+                {
+                    if let Some((fa, _)) = face_ref.get(&idx) {
+                        for (x, y) in ke.data.iter_mut().zip(&fa.data) {
+                            *x += y;
+                        }
                     }
                 }
             }
+            ke
         }
-        ke
     };
-    traversal_assemble(
+    let mut ws = TraversalWorkspace::new();
+    traversal_assemble_par(
         &mesh.elems,
         0..mesh.elems.len(),
         mesh.curve,
         &mesh.nodes,
         &ids,
         &mut coo,
-        &mut kernel,
+        &mut ws,
+        &make_kernel,
     );
 
     // Right-hand side: volume load + SBM face loads, scattered through

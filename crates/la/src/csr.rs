@@ -19,6 +19,20 @@ impl CooBuilder {
         }
     }
 
+    /// Builder with room for `cap` triplets up front — callers that know the
+    /// emission count (assembly: `leaves × npe²`) avoid incremental regrowth.
+    pub fn with_capacity(n: usize, cap: usize) -> Self {
+        Self {
+            n,
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Reserves room for at least `additional` more triplets.
+    pub fn reserve(&mut self, additional: usize) {
+        self.entries.reserve(additional);
+    }
+
     #[inline]
     pub fn add(&mut self, row: usize, col: usize, val: f64) {
         debug_assert!(row < self.n && col < self.n);

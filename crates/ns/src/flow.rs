@@ -152,9 +152,15 @@ impl<'a, const DIM: usize> FlowSolver<'a, DIM> {
         let u_old_state = self.state.clone();
         let mut linear = KrylovResult::stalled(0, 0.0);
         let mut picard_iters = 0;
+        let npe_full = carve_core::nodes::nodes_per_elem::<DIM>(self.mesh.order);
+        let blk_dofs = npe_full * (DIM + 1);
         for _picard in 0..self.max_picard {
             picard_iters += 1;
-            let mut coo = CooBuilder::new(ndof);
+            // Each element emits at most (npe·(DIM+1))² block entries; sizing
+            // the triplet buffer up front keeps the Picard loop from paying
+            // regrowth copies every nonlinear iteration.
+            let mut coo =
+                CooBuilder::with_capacity(ndof, self.mesh.elems.len() * blk_dofs * blk_dofs);
             let mut rhs = vec![0.0; ndof];
             for (ei, e) in self.mesh.elems.iter().enumerate() {
                 let (emin_u, h_u) = e.bounds_unit();

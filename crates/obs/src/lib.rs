@@ -180,11 +180,54 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 thread_local! {
+    static DETACHED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
     static TLS: Arc<Mutex<ThreadData>> = {
         let d = Arc::new(Mutex::new(ThreadData::default()));
-        lock(&ALL_THREADS).push(Arc::clone(&d));
+        if !DETACHED.with(std::cell::Cell::get) {
+            lock(&ALL_THREADS).push(Arc::clone(&d));
+        }
         d
     };
+}
+
+/// Marks the calling thread as *detached*: its recorder is never registered
+/// in the process-wide registry, so [`snapshot`] / [`aggregate`] consumers
+/// do not see (or double-count) it. Short-lived worker threads that hand
+/// their [`thread_snapshot`] back to a parent rank via [`absorb_rebased`]
+/// call this first — otherwise each fork-join would leak a registry entry
+/// *and* report the same phases twice.
+///
+/// Must be called before the thread's first `scope`/`counter`; once the
+/// recorder exists, detaching is a no-op.
+pub fn detach_thread() {
+    DETACHED.with(|c| c.set(true));
+}
+
+/// Merges a worker thread's snapshot into the *calling* thread's recorder,
+/// re-rooting every phase path under the caller's innermost open scope.
+/// A worker that recorded `"top_down"` while the caller holds a `"matvec"`
+/// scope lands as `"matvec/top_down"` — exactly where the same work would
+/// have been attributed had it run inline. Seconds merge additively, so
+/// absorbed phases report aggregate worker time, not wall-clock.
+pub fn absorb_rebased(worker: &Snapshot) {
+    if !enabled() || worker.is_empty() {
+        return;
+    }
+    let cell = TLS.with(Arc::clone);
+    let mut d = lock(&cell);
+    let prefix = d.stack.last().cloned();
+    for (path, st) in &worker.phases {
+        let full = match &prefix {
+            Some(p) => format!("{p}/{path}"),
+            None => path.clone(),
+        };
+        let e = d.snap.phases.entry(full).or_default();
+        e.calls += st.calls;
+        e.secs += st.secs;
+        for (k, v) in &st.counters {
+            *e.counters.entry(k.clone()).or_insert(0) += v;
+        }
+    }
 }
 
 /// Open phase; records `{calls += 1, secs += elapsed}` under its full
@@ -446,6 +489,59 @@ mod tests {
         let d = snapshot().diff(&before);
         assert_eq!(d.phases["worker"].calls, 4);
         assert_eq!(d.phases["worker"].counters["items"], 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn detached_threads_stay_out_of_global_snapshots() {
+        let _e = force_enabled();
+        let before = snapshot();
+        let worker_snap = std::thread::spawn(|| {
+            detach_thread();
+            {
+                let _g = scope("detached-phase");
+                counter("detached-items", 5);
+            }
+            thread_snapshot()
+        })
+        .join()
+        .expect("worker");
+        // The worker saw its own data locally…
+        assert_eq!(worker_snap.phases["detached-phase"].calls, 1);
+        // …but the global registry never did.
+        let d = snapshot().diff(&before);
+        assert!(
+            !d.phases.contains_key("detached-phase"),
+            "detached thread leaked into global snapshot: {d:?}"
+        );
+    }
+
+    #[test]
+    fn absorb_rebased_nests_under_innermost_scope() {
+        let _e = force_enabled();
+        let mut worker = Snapshot::default();
+        worker.phases.insert(
+            "top_down".into(),
+            PhaseStats {
+                calls: 3,
+                secs: 0.5,
+                counters: BTreeMap::from([("node_copies".to_string(), 7)]),
+            },
+        );
+        let before = thread_snapshot();
+        {
+            let _m = scope("outer");
+            absorb_rebased(&worker);
+            absorb_rebased(&worker);
+        }
+        let d = thread_snapshot().diff(&before);
+        assert_eq!(d.phases["outer/top_down"].calls, 6);
+        assert_eq!(d.phases["outer/top_down"].counters["node_copies"], 14);
+        assert!(!d.phases.contains_key("top_down"), "must rebase, not copy");
+        // Without an open scope, paths pass through unprefixed.
+        let before2 = thread_snapshot();
+        absorb_rebased(&worker);
+        let d2 = thread_snapshot().diff(&before2);
+        assert_eq!(d2.phases["top_down"].calls, 3);
     }
 
     #[test]

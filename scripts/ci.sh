@@ -8,7 +8,10 @@ cd "$(dirname "$0")/.."
 cargo fmt --all --check
 
 cargo build --release --workspace
-cargo test -q --release --workspace
+# Traversal results must be independent of the intra-rank thread budget
+# (bitwise, see DESIGN.md §6d) — run the suite pinned sequential and forked.
+CARVE_PAR_THREADS=1 cargo test -q --release --workspace
+CARVE_PAR_THREADS=4 cargo test -q --release --workspace
 cargo test -q --workspace
 
 # carve-comm additionally denies unwrap/expect crate-wide (lib.rs).
