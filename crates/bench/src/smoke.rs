@@ -9,7 +9,7 @@
 //! and timings within a tolerance.
 
 use carve_comm::run_spmd;
-use carve_core::{DistMesh, Mesh};
+use carve_core::{DistMesh, GhostState, Mesh};
 use carve_fem::{solve_poisson, BcMode, ElementCache, PoissonProblem};
 use carve_geom::{CarvedSolids, RetainBox, Sphere, Subdomain};
 use carve_io::{report_to_json, Json};
@@ -89,11 +89,44 @@ fn dist_snapshots(case: &SmokeCase) -> Vec<Snapshot> {
             }
         };
         for _ in 0..3 {
-            dm.matvec_par(c, &x, &mut y, &mut ws, &make_kernel);
+            dm.matvec_par(c, &x, &mut y, &mut ws, GhostState::OwnedOnly, &make_kernel);
         }
         assert!(
             y.iter().all(|v| v.is_finite()),
             "matvec produced non-finite values"
+        );
+        // A few fused-reduction CG iterations through the same operator:
+        // puts `reductions_fused` and the Krylov-loop exchange pattern
+        // (2 rounds per apply, no trailing consistency read) on the record.
+        let ws_cell = std::cell::RefCell::new(ws);
+        let op = (dm.nodes.len(), |xv: &[f64], yv: &mut [f64]| {
+            let mut kernel = make_kernel();
+            dm.matvec_ws(
+                c,
+                xv,
+                yv,
+                &mut ws_cell.borrow_mut(),
+                GhostState::OwnedOnly,
+                &mut kernel,
+            );
+        });
+        let mut sol = vec![0.0; dm.nodes.len()];
+        let res = {
+            let _obs = carve_obs::scope("krylov_dist");
+            carve_la::cg_with(
+                &op,
+                &x,
+                &mut sol,
+                &carve_la::IdentityPrecond,
+                1e-12,
+                0.0,
+                8,
+                &dm.reducer(c),
+            )
+        };
+        assert!(
+            res.residual.is_finite(),
+            "smoke CG produced a non-finite residual"
         );
         carve_obs::thread_snapshot()
     })

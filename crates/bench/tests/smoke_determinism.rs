@@ -52,9 +52,19 @@ fn smoke_report_is_deterministic_modulo_secs() {
         }
         assert!(counter(&a, w, "matvec/leaf", "leaves") > 0.0);
         assert!(counter(&a, w, "matvec/top_down", "node_copies") > 0.0);
+        // Overlapped exchange: the post happens under `ghost_read` (bytes and
+        // per-neighbor messages counted at send time), while the payloads
+        // land inside the traversal's `matvec/ghost_wait` sub-phase.
         assert!(counter(&a, w, "ghost_read", "bytes_sent") > 0.0);
-        assert!(counter(&a, w, "ghost_read", "bytes_received") > 0.0);
+        assert!(counter(&a, w, "ghost_read", "msg_count") > 0.0);
+        assert!(counter(&a, w, "ghost_read", "neighbor_ranks") > 0.0);
+        assert!(calls(&a, w, "matvec/ghost_wait") > 0.0);
+        assert!(counter(&a, w, "matvec/ghost_wait", "bytes_received") > 0.0);
         assert!(counter(&a, w, "ghost_accumulate", "bytes_sent") > 0.0);
+        // Distributed Krylov stage: every inner-product batch rides one
+        // fused all-reduce, and multi-pair batches record the saving.
+        assert!(calls(&a, w, "krylov_dist/matvec") > 0.0);
+        assert!(counter(&a, w, "krylov_dist", "reductions_fused") > 0.0);
         // Sequential solve phases from the same workload document.
         assert!(calls(&a, w, "assemble") > 0.0);
         assert!(counter(&a, w, "krylov", "iterations") > 0.0);

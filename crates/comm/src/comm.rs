@@ -48,6 +48,24 @@ fn default_timeout() -> Duration {
         .unwrap_or(DEFAULT_TIMEOUT)
 }
 
+/// Environment variable enabling ambient delay injection for every SPMD run
+/// launched without an explicit [`FaultPlan`]. The value is the chaos seed;
+/// `0`, empty, or unset disables it. Used by CI to run the whole test suite
+/// under adversarial message timing (the overlapped ghost-exchange paths
+/// must stay bit-exact when deliveries straggle).
+pub const CHAOS_ENV: &str = "CARVE_CHAOS";
+
+/// Delay-only ambient plan from [`CHAOS_ENV`]: perturbs timing (which is
+/// what the latency-hiding paths must tolerate) without reordering or
+/// duplicating, so even tests that count exact message traffic still pass.
+fn env_chaos_plan() -> Option<FaultPlan> {
+    let seed = std::env::var(CHAOS_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .filter(|&s| s != 0)?;
+    Some(FaultPlan::delay_only(seed))
+}
+
 /// Mutex poisoning is irrelevant here: the abort protocol owns failure
 /// propagation, so a lock held across a panic is still structurally sound.
 fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -259,7 +277,7 @@ impl Comm {
 
     // --- Accounting -------------------------------------------------------
 
-    fn account_send(&self, bytes: u64) {
+    pub(crate) fn account_send(&self, bytes: u64) {
         let mut s = self.stats.get();
         s.bytes_sent += bytes;
         s.messages += 1;
@@ -268,6 +286,7 @@ impl Comm {
         // phase active on this rank thread (e.g. ghost_read, treesort),
         // giving per-phase communication volumes for free.
         carve_obs::counter("bytes_sent", bytes);
+        carve_obs::counter("msg_count", 1);
     }
 
     fn account_recv(&self, bytes: u64) {
@@ -278,7 +297,7 @@ impl Comm {
         carve_obs::counter("bytes_received", bytes);
     }
 
-    fn next_tag(&self) -> u64 {
+    pub(crate) fn next_tag(&self) -> u64 {
         self.tick_op();
         self.flush_deferred();
         let t = self.op_counter.get();
@@ -307,7 +326,7 @@ impl Comm {
     }
 
     /// Sends one packet, applying fault-injection delay/reorder.
-    fn dispatch(&self, to: usize, tag: u64, msg: Box<dyn Any + Send>, salt: u64) {
+    pub(crate) fn dispatch(&self, to: usize, tag: u64, msg: Box<dyn Any + Send>, salt: u64) {
         if let Some(f) = &self.fault {
             let ops = self.ops.get();
             if let Some(d) = f.delay_for(self.rank, ops, salt) {
@@ -336,7 +355,7 @@ impl Comm {
     /// (and chaos tests verify) that parked garbage is never matched.
     /// Duplicates are not accounted in [`CommStats`]: they are faults, not
     /// protocol traffic.
-    fn maybe_duplicate<T: Clone + Send + 'static>(&self, to: usize, tag: u64, v: &[T]) {
+    pub(crate) fn maybe_duplicate<T: Clone + Send + 'static>(&self, to: usize, tag: u64, v: &[T]) {
         if let Some(f) = &self.fault {
             if f.should_duplicate(self.rank, self.ops.get(), to as u64) {
                 let _ = self.senders[to].send((self.rank, tag, Box::new(v.to_vec())));
@@ -437,10 +456,37 @@ impl Comm {
     }
 
     /// Typed receive of a `Vec` payload, with exact-byte receive accounting.
-    fn recv_vec<T: Send + 'static>(&self, from: usize, tag: u64) -> Vec<T> {
+    pub(crate) fn recv_vec<T: Send + 'static>(&self, from: usize, tag: u64) -> Vec<T> {
         let v: Vec<T> = self.recv_raw(from, tag);
         self.account_recv((v.len() * std::mem::size_of::<T>()) as u64);
         v
+    }
+
+    /// Nonblocking matched receive: drains whatever is already queued on the
+    /// channel (parking mismatches in the inbox, as [`Comm::recv_raw`] does)
+    /// and returns the payload if the wanted message has arrived.
+    pub(crate) fn try_match<T: Send + 'static>(&self, from: usize, tag: u64) -> Option<Vec<T>> {
+        self.check_abort();
+        self.flush_deferred();
+        if let Some((f, t, b)) = self.take_from_inbox(from, tag) {
+            let v: Vec<T> = self.downcast_payload(f, t, b);
+            self.account_recv((v.len() * std::mem::size_of::<T>()) as u64);
+            return Some(v);
+        }
+        while let Ok((f, t, b)) = self.receiver.try_recv() {
+            if f == from && t == tag {
+                if let Some(fp) = &self.fault {
+                    if let Some(d) = fp.delay_for(self.rank, self.ops.get(), f as u64 | 0x8000) {
+                        std::thread::sleep(d);
+                    }
+                }
+                let v: Vec<T> = self.downcast_payload(f, t, b);
+                self.account_recv((v.len() * std::mem::size_of::<T>()) as u64);
+                return Some(v);
+            }
+            self.inbox.borrow_mut().push((f, t, b));
+        }
+        None
     }
 
     // --- Point-to-point ---------------------------------------------------
@@ -459,6 +505,28 @@ impl Comm {
     pub fn recv<T: Send + 'static>(&self, from: usize, tag: u64) -> Vec<T> {
         self.tick_op();
         self.recv_vec(from, USER_TAG_BIT | tag)
+    }
+
+    // --- Nonblocking point-to-point ---------------------------------------
+
+    /// Nonblocking send: hands the payload to the transport immediately and
+    /// returns. Delivery order and timing are still subject to fault
+    /// injection (delay/reorder), exactly like [`Comm::send`]; the channel
+    /// transport never blocks the sender, so no send handle is needed.
+    pub fn isend<T: Send + 'static>(&self, to: usize, tag: u64, msg: Vec<T>) {
+        self.send(to, tag, msg);
+    }
+
+    /// Posts a receive and returns a pollable [`RecvHandle`] without
+    /// blocking. Matching is pull-based: the handle completes via
+    /// [`RecvHandle::try_complete`] (nonblocking) or [`RecvHandle::wait`]
+    /// (blocking, with the usual abort polling and watchdog deadline).
+    pub fn irecv_post<T: Send + 'static>(&self, from: usize, tag: u64) -> RecvHandle<T> {
+        self.tick_op();
+        if tag & USER_TAG_BIT != 0 {
+            self.protocol_error("user tag must fit in 63 bits");
+        }
+        RecvHandle::new(from, USER_TAG_BIT | tag)
     }
 
     // --- Collectives ------------------------------------------------------
@@ -590,6 +658,38 @@ impl Comm {
         }
     }
 
+    /// Fused all-reduce of several `f64` scalars in **one** message per
+    /// peer: the whole batch rides a single `all_gatherv` round instead of
+    /// one collective per scalar. Element `k` of the result is the reduction
+    /// of `vals[k]` across ranks, with the same NaN propagation as
+    /// [`Comm::all_reduce_f64`]. This is the transport under the batched
+    /// Krylov reductions (`carve-la`'s `Reduce::dots`).
+    pub fn all_reduce_f64_many(&self, vals: &[f64], op: ReduceOp) -> Vec<f64> {
+        let all = self.all_gatherv(vals.to_vec());
+        let mut out = Vec::with_capacity(vals.len());
+        for k in 0..vals.len() {
+            let lane = all.iter().map(|v| v[k]);
+            out.push(match op {
+                ReduceOp::Sum => lane.sum(),
+                ReduceOp::Min => lane.fold(f64::INFINITY, |a, x| {
+                    if a.is_nan() || x.is_nan() {
+                        f64::NAN
+                    } else {
+                        a.min(x)
+                    }
+                }),
+                ReduceOp::Max => lane.fold(f64::NEG_INFINITY, |a, x| {
+                    if a.is_nan() || x.is_nan() {
+                        f64::NAN
+                    } else {
+                        a.max(x)
+                    }
+                }),
+            });
+        }
+        out
+    }
+
     /// All-reduce for u64.
     pub fn all_reduce_u64(&self, v: u64, op: ReduceOp) -> u64 {
         let all = self.all_gather(v);
@@ -664,6 +764,48 @@ impl Comm {
         } else {
             self.recv_vec(root, tag)
         }
+    }
+}
+
+/// A posted, not-yet-completed receive from [`Comm::irecv_post`] (or the
+/// internal collective-tag variant used by [`crate::ExchangeHandle`]).
+///
+/// The handle is just the match key `(from, tag)`; completion pulls from the
+/// owning rank's channel, so every completion call takes the `Comm` back.
+/// Dropping an uncompleted handle leaks no resources — the unmatched message
+/// simply parks in the inbox like any other out-of-order packet.
+pub struct RecvHandle<T: Send + 'static> {
+    from: usize,
+    tag: u64,
+    _payload: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Send + 'static> RecvHandle<T> {
+    pub(crate) fn new(from: usize, tag: u64) -> Self {
+        RecvHandle {
+            from,
+            tag,
+            _payload: std::marker::PhantomData,
+        }
+    }
+
+    /// The rank this handle is waiting on.
+    pub fn from(&self) -> usize {
+        self.from
+    }
+
+    /// Nonblocking poll: returns the payload if it has arrived. On `None`
+    /// the handle stays postable; fault-injection receive delays apply on a
+    /// successful match exactly as in the blocking path.
+    pub fn try_complete(&self, comm: &Comm) -> Option<Vec<T>> {
+        comm.try_match(self.from, self.tag)
+    }
+
+    /// Blocking completion with abort polling and the watchdog deadline —
+    /// the same failure machinery as [`Comm::recv`], so a lost or misrouted
+    /// message surfaces as a structured timeout naming this `(from, tag)`.
+    pub fn wait(self, comm: &Comm) -> Vec<T> {
+        comm.recv_vec(self.from, self.tag)
     }
 }
 
@@ -746,6 +888,7 @@ where
 {
     assert!(nranks >= 1);
     let timeout = opts.timeout.unwrap_or_else(default_timeout);
+    let ambient_fault = opts.fault.clone().or_else(env_chaos_plan);
     let mut txs = Vec::with_capacity(nranks);
     let mut rxs = Vec::with_capacity(nranks);
     for _ in 0..nranks {
@@ -765,7 +908,7 @@ where
             let senders = Arc::clone(&senders);
             let barrier = Arc::clone(&barrier);
             let abort = Arc::clone(&abort);
-            let fault = opts.fault.clone();
+            let fault = ambient_fault.clone();
             let f = &f;
             handles.push(s.spawn(move || {
                 let comm = Comm {

@@ -53,6 +53,22 @@ impl FaultPlan {
         }
     }
 
+    /// A timing-only plan: bounded random delays on sends/receives, no
+    /// reordering, duplication, or kills. This is the ambient plan behind
+    /// `CARVE_CHAOS`: it scrambles cross-rank interleavings (what the
+    /// latency-hiding exchange paths must tolerate) while leaving message
+    /// counts and delivery order exact, so traffic-counting tests still pass.
+    pub fn delay_only(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            kill: None,
+            delay_prob: 0.25,
+            max_delay: Duration::from_micros(200),
+            reorder_prob: 0.0,
+            duplicate_prob: 0.0,
+        }
+    }
+
     /// A plan that only kills `rank` at op `at_op`.
     pub fn kill_rank(rank: usize, at_op: u64) -> Self {
         FaultPlan {
@@ -140,6 +156,19 @@ mod tests {
         assert!(p.should_kill(3, 10));
         assert!(p.should_kill(3, 11));
         assert!(!p.should_kill(2, 99));
+    }
+
+    #[test]
+    fn delay_only_plan_perturbs_timing_but_nothing_else() {
+        let p = FaultPlan::delay_only(7);
+        let mut delayed = false;
+        for ops in 0..200 {
+            delayed |= p.delay_for(0, ops, 0).is_some();
+            assert!(!p.should_reorder(0, ops, 0));
+            assert!(!p.should_duplicate(0, ops, 0));
+            assert!(!p.should_kill(0, ops));
+        }
+        assert!(delayed, "delay_only should inject at least one delay");
     }
 
     #[test]

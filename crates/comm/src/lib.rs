@@ -36,11 +36,14 @@
 pub mod comm;
 pub mod disttreesort;
 pub mod error;
+pub mod exchange;
 pub mod fault;
 
 pub use comm::{
-    run_spmd, run_spmd_with, try_run_spmd, Comm, CommStats, ReduceOp, SpmdOptions, TIMEOUT_ENV,
+    run_spmd, run_spmd_with, try_run_spmd, Comm, CommStats, RecvHandle, ReduceOp, SpmdOptions,
+    CHAOS_ENV, TIMEOUT_ENV,
 };
 pub use disttreesort::{dist_tree_sort, partition_splitters_by_weight};
 pub use error::{CommError, FailureKind, RankFailure, SpmdError};
+pub use exchange::{ExchangeHandle, PendingRead};
 pub use fault::{FaultPlan, KillSpec};

@@ -17,17 +17,36 @@
 
 use crate::balance::bottom_up_constrain_neighbors;
 use crate::construct::{construct_constrained, construct_uniform};
-use crate::matvec::{traversal_matvec_par, traversal_matvec_ws, TraversalWorkspace};
+use crate::matvec::{
+    traversal_matvec_overlap_par, traversal_matvec_overlap_ws, traversal_matvec_par,
+    traversal_matvec_ws, TraversalWorkspace,
+};
 use crate::nodes::{
     elem_node_coord, enumerate_nodes, lattice_index, nodes_per_elem, resolve_slot, NodeSet, SlotRef,
 };
-use carve_comm::{dist_tree_sort, Comm};
+use carve_comm::{dist_tree_sort, Comm, ExchangeHandle, ReduceOp};
 use carve_geom::{RegionLabel, Subdomain};
+use carve_la::Reduce;
 use carve_sfc::morton::{finest_cell_of_point, point_cmp_morton};
 use carve_sfc::{sfc_cmp, Curve, Octant};
+use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::ops::Range;
+
+/// Requested consistency of a distributed operation's output vector.
+///
+/// `Ghosted` finishes with the trailing owner→user ghost read, so every
+/// rank ends up holding correct values for every node it can address.
+/// `OwnedOnly` skips that round: owned entries are authoritative, ghost
+/// entries are left zeroed by the accumulate. Krylov iterations want
+/// `OwnedOnly` — their inner products mask to owned entries anyway (see
+/// [`DistReduce`]), so each matvec saves a full exchange round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GhostState {
+    OwnedOnly,
+    Ghosted,
+}
 
 /// Per-rank ghost statistics (Fig. 11's raw data).
 #[derive(Clone, Copy, Debug, Default)]
@@ -69,11 +88,19 @@ pub struct DistMesh<const DIM: usize> {
     pub global_id: Vec<u32>,
     pub n_owned_nodes: usize,
     pub n_global_dofs: usize,
-    /// `send_plan[q]` = local indices of owned nodes whose values rank `q`
-    /// needs; `recv_plan[q]` = local indices of ghost nodes owned by `q`
-    /// (ordered to match `q`'s send plan).
-    send_plan: Vec<Vec<u32>>,
-    recv_plan: Vec<Vec<u32>>,
+    /// Persistent neighbor-sparse exchange built once from the send/recv
+    /// plans (`send_plan[q]` = local indices of owned nodes rank `q` reads;
+    /// `recv_plan[q]` = local indices of ghost nodes owned by `q`, ordered
+    /// to match `q`'s send plan). `RefCell` because the exchange mutates
+    /// its lane buffers while the mesh stays logically immutable; the
+    /// communicator is per-rank single-threaded by design, so no exchange
+    /// ever runs concurrently with another on the same mesh.
+    exchange: RefCell<ExchangeHandle>,
+    /// Per-element flag aligned with `elems`: `true` iff the element is
+    /// owned and its stencil closure (direct or hanging) reads at least one
+    /// ghost-owned node — i.e. it must wait for the ghost exchange in the
+    /// overlapped matvec. Ghost elements are always `false`.
+    pub boundary_elem: Vec<bool>,
 }
 
 /// Bin of an octant key among rank splitters: the largest rank whose
@@ -404,6 +431,39 @@ impl<const DIM: usize> DistMesh<DIM> {
         let recv_plan = ghost_req_idx;
         debug_assert!(global_id.iter().all(|&g| g != u32::MAX));
 
+        // --- Interior/boundary element split ------------------------------
+        // An owned element is *boundary* iff any node its stencil closure
+        // reads — directly or through a hanging-node interpolation — is
+        // ghost-owned. Interior elements are safe to traverse while the
+        // ghost exchange is still in flight (§3.5 overlap); only boundary
+        // ones must wait. Ghost elements never apply a kernel: `false`.
+        let mut boundary_elem = vec![false; elems.len()];
+        for (ei, e) in elems.iter().enumerate() {
+            if !owned.contains(&ei) {
+                continue;
+            }
+            'lattice: for lin in 0..npe {
+                let idx = lattice_index::<DIM>(lin, order);
+                let c = elem_node_coord(e, order, &idx);
+                match resolve_slot(&nodes, e, &c) {
+                    SlotRef::Direct(i) => {
+                        if owner[i] != my as u32 {
+                            boundary_elem[ei] = true;
+                            break 'lattice;
+                        }
+                    }
+                    SlotRef::Hanging(st) => {
+                        for (i, _) in st {
+                            if owner[i] != my as u32 {
+                                boundary_elem[ei] = true;
+                                break 'lattice;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
         let labels = elems
             .iter()
             .map(|e| crate::construct::classify_octant(domain, e))
@@ -419,8 +479,8 @@ impl<const DIM: usize> DistMesh<DIM> {
             global_id,
             n_owned_nodes,
             n_global_dofs,
-            send_plan,
-            recv_plan,
+            exchange: RefCell::new(ExchangeHandle::new(&send_plan, &recv_plan)),
+            boundary_elem,
         }
     }
 
@@ -428,131 +488,178 @@ impl<const DIM: usize> DistMesh<DIM> {
         self.owned.len()
     }
 
-    /// Refreshes ghost node entries of `values` from their owners.
-    /// Returns bytes sent by this rank.
+    /// Refreshes ghost node entries of `values` from their owners through
+    /// the persistent neighbor-sparse exchange (recycled lane buffers, only
+    /// actual neighbors). Returns bytes sent by this rank. A 1-rank mesh is
+    /// a zero-comm fast path: no tag tick, no messages, no obs phase.
     pub fn ghost_read(&self, comm: &Comm, values: &mut [f64]) -> u64 {
+        if comm.size() == 1 {
+            return 0;
+        }
         let _obs = carve_obs::scope("ghost_read");
-        let p = comm.size();
-        let mut sends: Vec<Vec<f64>> = Vec::with_capacity(p);
-        let mut bytes = 0u64;
-        for q in 0..p {
-            let payload: Vec<f64> = self.send_plan[q]
-                .iter()
-                .map(|&i| values[i as usize])
-                .collect();
-            bytes += (payload.len() * 8) as u64;
-            sends.push(payload);
-        }
-        let recv = comm.all_to_allv(sends);
-        for (plan, lane) in self.recv_plan.iter().zip(&recv) {
-            for (slot, v) in plan.iter().zip(lane) {
-                values[*slot as usize] = *v;
-            }
-        }
-        bytes
+        self.exchange.borrow_mut().read(comm, values)
     }
 
     /// Sends ghost partial sums to their owners and adds them there; ghost
     /// entries are zeroed locally (their authoritative value now lives at
-    /// the owner).
+    /// the owner). Same neighbor-sparse path and 1-rank fast path as
+    /// [`Self::ghost_read`].
     pub fn ghost_accumulate(&self, comm: &Comm, values: &mut [f64]) -> u64 {
+        if comm.size() == 1 {
+            return 0;
+        }
         let _obs = carve_obs::scope("ghost_accumulate");
-        let p = comm.size();
-        let mut sends: Vec<Vec<f64>> = Vec::with_capacity(p);
-        let mut bytes = 0u64;
-        for q in 0..p {
-            let payload: Vec<f64> = self.recv_plan[q]
-                .iter()
-                .map(|&i| values[i as usize])
-                .collect();
-            bytes += (payload.len() * 8) as u64;
-            sends.push(payload);
-        }
-        for q in 0..p {
-            for &i in &self.recv_plan[q] {
-                values[i as usize] = 0.0;
-            }
-        }
-        let recv = comm.all_to_allv(sends);
-        for (plan, lane) in self.send_plan.iter().zip(&recv) {
-            for (slot, v) in plan.iter().zip(lane) {
-                values[*slot as usize] += *v;
-            }
-        }
-        bytes
+        self.exchange.borrow_mut().accumulate(comm, values)
     }
 
     /// Distributed MATVEC `y = A x` on local vectors (indexed like
-    /// `self.nodes`): ghost-read of `x`, restricted traversal, ghost
-    /// accumulation of `y`, final ghost-read of `y` so every rank holds
-    /// consistent values. Phase timings (matvec top-down/leaf/bottom-up,
-    /// ghost_read/ghost_accumulate) report through `carve-obs`.
+    /// `self.nodes`): post the ghost-read of `x`, traverse interior
+    /// elements while it is in flight, wait (`matvec/ghost_wait`), traverse
+    /// boundary elements, ghost-accumulate `y`, and finish with a ghost-read
+    /// of `y` so every rank holds consistent values ([`GhostState::Ghosted`]
+    /// semantics). Phase timings report through `carve-obs`.
     pub fn matvec<K>(&self, comm: &Comm, x: &[f64], y: &mut [f64], kernel: &mut K)
     where
         K: FnMut(&Octant<DIM>, &[f64], &mut [f64]),
     {
         let mut ws = TraversalWorkspace::with_threads(1);
-        self.matvec_ws(comm, x, y, &mut ws, kernel);
+        self.matvec_ws(comm, x, y, &mut ws, GhostState::Ghosted, kernel);
     }
 
-    /// [`Self::matvec`] reusing a caller-held [`TraversalWorkspace`] so
-    /// Krylov iterations stop re-allocating bucket vectors.
+    /// [`Self::matvec`] reusing a caller-held [`TraversalWorkspace`] (no
+    /// per-apply allocation: the ghosted input lives in the workspace) with
+    /// an explicit output [`GhostState`]. `OwnedOnly` skips the trailing
+    /// consistency read — the right choice inside Krylov loops.
     pub fn matvec_ws<K>(
         &self,
         comm: &Comm,
         x: &[f64],
         y: &mut [f64],
         ws: &mut TraversalWorkspace<DIM>,
+        ghost: GhostState,
         kernel: &mut K,
     ) where
         K: FnMut(&Octant<DIM>, &[f64], &mut [f64]),
     {
-        let mut xg = x.to_vec();
-        self.ghost_read(comm, &mut xg);
+        let mut xg = ws.take_ghost_scratch();
+        xg.clear();
+        xg.extend_from_slice(x);
         y.iter_mut().for_each(|v| *v = 0.0);
-        traversal_matvec_ws(
-            &self.elems,
-            self.owned.clone(),
-            self.curve,
-            &self.nodes,
-            &xg,
-            y,
-            ws,
-            kernel,
-        );
+        if comm.size() == 1 {
+            // Zero-comm fast path: no exchange posted, no tag ticked.
+            traversal_matvec_ws(
+                &self.elems,
+                self.owned.clone(),
+                self.curve,
+                &self.nodes,
+                &xg,
+                y,
+                ws,
+                kernel,
+            );
+            ws.restore_ghost_scratch(xg);
+            return;
+        }
+        {
+            let mut ex = self.exchange.borrow_mut();
+            let pending = {
+                let _obs = carve_obs::scope("ghost_read");
+                ex.post_read(comm, &xg)
+            };
+            let wait = move |v: &mut [f64]| {
+                ex.wait_read(comm, pending, v);
+            };
+            traversal_matvec_overlap_ws(
+                &self.elems,
+                self.owned.clone(),
+                self.curve,
+                &self.nodes,
+                &mut xg,
+                y,
+                ws,
+                &self.boundary_elem,
+                wait,
+                kernel,
+            );
+        }
+        ws.restore_ghost_scratch(xg);
         self.ghost_accumulate(comm, y);
-        self.ghost_read(comm, y);
+        if matches!(ghost, GhostState::Ghosted) {
+            self.ghost_read(comm, y);
+        }
     }
 
-    /// Fork-join [`Self::matvec`]: intra-rank subtree tasks run on up to
-    /// `ws.threads()` workers, each with a kernel from `make_kernel`.
-    /// Output is bitwise identical for any thread count.
+    /// Fork-join [`Self::matvec`]: interior subtree tasks run on up to
+    /// `ws.threads()` workers *while this thread waits on the ghost
+    /// exchange*, then boundary tasks fork after the payloads land. Output
+    /// is bitwise identical for any thread count and to [`Self::matvec_ws`].
     pub fn matvec_par<K, F>(
         &self,
         comm: &Comm,
         x: &[f64],
         y: &mut [f64],
         ws: &mut TraversalWorkspace<DIM>,
+        ghost: GhostState,
         make_kernel: &F,
     ) where
         K: FnMut(&Octant<DIM>, &[f64], &mut [f64]),
         F: Fn() -> K + Sync,
     {
-        let mut xg = x.to_vec();
-        self.ghost_read(comm, &mut xg);
+        let mut xg = ws.take_ghost_scratch();
+        xg.clear();
+        xg.extend_from_slice(x);
         y.iter_mut().for_each(|v| *v = 0.0);
-        traversal_matvec_par(
-            &self.elems,
-            self.owned.clone(),
-            self.curve,
-            &self.nodes,
-            &xg,
-            y,
-            ws,
-            make_kernel,
-        );
+        if comm.size() == 1 {
+            traversal_matvec_par(
+                &self.elems,
+                self.owned.clone(),
+                self.curve,
+                &self.nodes,
+                &xg,
+                y,
+                ws,
+                make_kernel,
+            );
+            ws.restore_ghost_scratch(xg);
+            return;
+        }
+        {
+            let mut ex = self.exchange.borrow_mut();
+            let pending = {
+                let _obs = carve_obs::scope("ghost_read");
+                ex.post_read(comm, &xg)
+            };
+            let wait = move |v: &mut [f64]| {
+                ex.wait_read(comm, pending, v);
+            };
+            traversal_matvec_overlap_par(
+                &self.elems,
+                self.owned.clone(),
+                self.curve,
+                &self.nodes,
+                &mut xg,
+                y,
+                ws,
+                &self.boundary_elem,
+                wait,
+                make_kernel,
+            );
+        }
+        ws.restore_ghost_scratch(xg);
         self.ghost_accumulate(comm, y);
-        self.ghost_read(comm, y);
+        if matches!(ghost, GhostState::Ghosted) {
+            self.ghost_read(comm, y);
+        }
+    }
+
+    /// A [`Reduce`] backend over this mesh's node ownership: hand it to
+    /// `cg_with` / `bicgstab_with` so each batch of inner products rides
+    /// one fused all-reduce.
+    pub fn reducer<'a>(&'a self, comm: &'a Comm) -> DistReduce<'a> {
+        DistReduce {
+            comm,
+            owner: &self.owner,
+        }
     }
 
     /// Ghost statistics for Fig. 11.
@@ -563,7 +670,41 @@ impl<const DIM: usize> DistMesh<DIM> {
             ghost_nodes,
             owned_elems: self.owned.len(),
             ghost_elems: self.elems.len() - self.owned.len(),
-            ghost_read_bytes: self.send_plan.iter().map(|v| (v.len() * 8) as u64).sum(),
+            ghost_read_bytes: self.exchange.borrow().read_bytes(),
+        }
+    }
+}
+
+/// Distributed [`Reduce`] backend: each batch of inner products is computed
+/// as owned-masked partial sums and globally summed with **one** fused
+/// all-reduce message per batch (`all_reduce_f64_many`), instead of one
+/// blocking reduction per dot/norm. Batches of more than one pair bump the
+/// `reductions_fused` obs counter by the number of messages saved.
+pub struct DistReduce<'a> {
+    comm: &'a Comm,
+    /// Owning rank per local node (ghost entries are skipped in the partial
+    /// sums so every value is counted exactly once cluster-wide).
+    owner: &'a [u32],
+}
+
+impl Reduce for DistReduce<'_> {
+    fn dots(&self, pairs: &[(&[f64], &[f64])], out: &mut [f64]) {
+        let my = self.comm.rank() as u32;
+        for (o, (u, v)) in out.iter_mut().zip(pairs) {
+            debug_assert_eq!(u.len(), self.owner.len());
+            debug_assert_eq!(v.len(), self.owner.len());
+            *o = u
+                .iter()
+                .zip(v.iter())
+                .zip(self.owner)
+                .filter(|&(_, &ow)| ow == my)
+                .map(|((a, b), _)| a * b)
+                .sum();
+        }
+        let global = self.comm.all_reduce_f64_many(out, ReduceOp::Sum);
+        out.copy_from_slice(&global);
+        if pairs.len() > 1 {
+            carve_obs::counter("reductions_fused", (pairs.len() - 1) as u64);
         }
     }
 }
@@ -877,5 +1018,231 @@ mod tests {
         for s in &stats {
             assert!(s.eta() < 1.0, "eta should be far from the 1-elem limit");
         }
+    }
+
+    /// Coordinate-keyed pseudo-random field, identical across ranks for any
+    /// node the ranks share (same recipe as `check_dist_matvec`).
+    fn keyed_field<const DIM: usize>(m: &DistMesh<DIM>) -> Vec<f64> {
+        (0..m.nodes.len())
+            .map(|i| {
+                let c = m.nodes.coords[i];
+                let h = c.iter().fold(0u64, |acc, &v| {
+                    acc.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(v)
+                });
+                ((h >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn overlapped_matvec_bitwise_identical_across_threads() {
+        // The interior/boundary overlap split (sequential and fork-join, any
+        // worker count, cold and warm workspaces) must reproduce the plain
+        // distributed MATVEC bit for bit.
+        let p = 3;
+        let splits: Vec<(usize, usize)> = run_spmd(p, |c| {
+            let domain = sphere_domain_2d();
+            let m = DistMesh::<2>::build(c, &domain, Curve::Hilbert, 3, 5, 2);
+            let x = keyed_field(&m);
+            let bits = |v: &[f64]| -> Vec<u64> { v.iter().map(|f| f.to_bits()).collect() };
+            let mut ws = TraversalWorkspace::with_threads(1);
+            let mut y_ref = vec![0.0; x.len()];
+            m.matvec_ws(
+                c,
+                &x,
+                &mut y_ref,
+                &mut ws,
+                GhostState::OwnedOnly,
+                &mut toy_kernel::<2>(),
+            );
+            let mut y_warm = vec![0.0; x.len()];
+            m.matvec_ws(
+                c,
+                &x,
+                &mut y_warm,
+                &mut ws,
+                GhostState::OwnedOnly,
+                &mut toy_kernel::<2>(),
+            );
+            assert_eq!(bits(&y_ref), bits(&y_warm), "warm matvec_ws drifted");
+            let mk = || toy_kernel::<2>();
+            for t in [1usize, 2, 8] {
+                let mut wst = TraversalWorkspace::with_threads(t);
+                for pass in 0..2 {
+                    let mut y = vec![0.0; x.len()];
+                    m.matvec_par(c, &x, &mut y, &mut wst, GhostState::OwnedOnly, &mk);
+                    assert_eq!(
+                        bits(&y_ref),
+                        bits(&y),
+                        "threads={t} pass={pass} rank={}",
+                        c.rank()
+                    );
+                }
+            }
+            let nb = m.owned.clone().filter(|&ei| m.boundary_elem[ei]).count();
+            (m.num_owned_elems() - nb, nb)
+        });
+        // The split must be non-trivial somewhere: interior work is what the
+        // overlap hides latency behind, boundary work is what exercises the
+        // deferred ghost path.
+        assert!(splits.iter().any(|&(int, _)| int > 0), "{splits:?}");
+        assert!(splits.iter().any(|&(_, bnd)| bnd > 0), "{splits:?}");
+    }
+
+    #[test]
+    fn overlapped_matvec_unchanged_under_chaos_delay_and_reorder() {
+        // Seeded delay/reorder/duplication in the transport must not move a
+        // bit of the overlapped fork-join MATVEC: the interior phase never
+        // touches in-flight data and the wait point is a hard barrier.
+        use carve_comm::{run_spmd_with, FaultPlan, SpmdOptions};
+        let p = 4;
+        let run = |fault: Option<FaultPlan>| -> Vec<Vec<([u64; 2], u64)>> {
+            let mut opts = SpmdOptions::default().timeout(std::time::Duration::from_secs(20));
+            opts.fault = fault;
+            run_spmd_with(p, opts, |c| {
+                let domain = sphere_domain_2d();
+                let m = DistMesh::<2>::build(c, &domain, Curve::Hilbert, 3, 5, 1);
+                let x = keyed_field(&m);
+                let mut ws = TraversalWorkspace::with_threads(4);
+                let mut y = vec![0.0; x.len()];
+                let mk = || toy_kernel::<2>();
+                m.matvec_par(c, &x, &mut y, &mut ws, GhostState::Ghosted, &mk);
+                (0..m.nodes.len())
+                    .filter(|&i| m.owner[i] as usize == c.rank())
+                    .map(|i| (m.nodes.coords[i], y[i].to_bits()))
+                    .collect()
+            })
+            .expect("chaos schedule must not break the overlapped matvec")
+        };
+        let clean = run(None);
+        for seed in [11u64, 97] {
+            assert_eq!(run(Some(FaultPlan::chaos(seed))), clean, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn single_rank_matvec_and_ghost_ops_are_zero_comm() {
+        // On one rank every ghost path must collapse to a no-op: no message,
+        // no tag tick, no exchange round — the traversal runs directly on the
+        // caller's vector copied into the workspace scratch.
+        run_spmd(1, |c| {
+            let domain = sphere_domain_2d();
+            let m = DistMesh::<2>::build(c, &domain, Curve::Morton, 3, 5, 2);
+            let before = c.stats().messages;
+            let x = keyed_field(&m);
+            let mut y = vec![0.0; x.len()];
+            let mut ws = TraversalWorkspace::with_threads(2);
+            m.matvec_ws(
+                c,
+                &x,
+                &mut y,
+                &mut ws,
+                GhostState::Ghosted,
+                &mut toy_kernel::<2>(),
+            );
+            assert!(y.iter().all(|v| v.is_finite()));
+            let mk = || toy_kernel::<2>();
+            m.matvec_par(c, &x, &mut y, &mut ws, GhostState::Ghosted, &mk);
+            let mut v = x.clone();
+            assert_eq!(m.ghost_read(c, &mut v), 0);
+            assert_eq!(m.ghost_accumulate(c, &mut v), 0);
+            assert_eq!(
+                c.stats().messages,
+                before,
+                "1-rank fast path must send nothing"
+            );
+        });
+    }
+
+    #[test]
+    fn dist_cg_with_fused_reducer_converges() {
+        // End-to-end Krylov stack: `cg_with` over the overlapped OwnedOnly
+        // MATVEC and the mesh's `DistReduce` (owned-masked partials, one
+        // fused all-reduce per batch). Every rank must agree on the iteration
+        // trajectory and the distributed residual must actually be small.
+        use carve_la::{cg_with, IdentityPrecond};
+        let p = 3;
+        let results: Vec<(bool, usize, f64, f64)> = run_spmd(p, |c| {
+            let domain = sphere_domain_2d();
+            let m = DistMesh::<2>::build(c, &domain, Curve::Hilbert, 3, 4, 1);
+            let n = m.nodes.len();
+            let b = keyed_field(&m);
+            let ws = std::cell::RefCell::new(TraversalWorkspace::with_threads(1));
+            let op = (n, |xv: &[f64], yv: &mut [f64]| {
+                m.matvec_ws(
+                    c,
+                    xv,
+                    yv,
+                    &mut ws.borrow_mut(),
+                    GhostState::OwnedOnly,
+                    &mut toy_kernel::<2>(),
+                );
+            });
+            let mut x = vec![0.0; n];
+            let rd = m.reducer(c);
+            let res = cg_with(&op, &b, &mut x, &IdentityPrecond, 1e-10, 0.0, 500, &rd);
+            // Independent residual check through the distributed operator.
+            let mut ax = vec![0.0; n];
+            m.matvec_ws(
+                c,
+                &x,
+                &mut ax,
+                &mut ws.borrow_mut(),
+                GhostState::OwnedOnly,
+                &mut toy_kernel::<2>(),
+            );
+            let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+            let mut out = [0.0; 2];
+            rd.dots(&[(&r, &r), (&b, &b)], &mut out);
+            (res.converged, res.iterations, out[0].sqrt(), out[1].sqrt())
+        });
+        let it0 = results[0].1;
+        for (converged, iters, rn, bn) in &results {
+            assert!(*converged, "{results:?}");
+            assert_eq!(*iters, it0, "ranks disagreed on the CG trajectory");
+            assert!(*bn > 0.0);
+            assert!(rn <= &(1e-8 * bn), "residual {rn} vs rhs norm {bn}");
+        }
+    }
+
+    #[test]
+    fn warm_dist_matvec_reuses_ghost_scratch_allocation() {
+        // The ghosted input buffer lives in the workspace; a warm second
+        // apply must reuse the exact allocation (no per-apply `to_vec`).
+        run_spmd(2, |c| {
+            let domain = sphere_domain_2d();
+            let m = DistMesh::<2>::build(c, &domain, Curve::Hilbert, 3, 4, 1);
+            let x = keyed_field(&m);
+            let mut y = vec![0.0; x.len()];
+            let mut ws = TraversalWorkspace::with_threads(1);
+            m.matvec_ws(
+                c,
+                &x,
+                &mut y,
+                &mut ws,
+                GhostState::OwnedOnly,
+                &mut toy_kernel::<2>(),
+            );
+            let s = ws.take_ghost_scratch();
+            let (ptr, cap) = (s.as_ptr() as usize, s.capacity());
+            assert!(cap >= x.len());
+            ws.restore_ghost_scratch(s);
+            m.matvec_ws(
+                c,
+                &x,
+                &mut y,
+                &mut ws,
+                GhostState::OwnedOnly,
+                &mut toy_kernel::<2>(),
+            );
+            let s = ws.take_ghost_scratch();
+            assert_eq!(
+                s.as_ptr() as usize,
+                ptr,
+                "warm apply must not reallocate the ghosted input"
+            );
+            assert_eq!(s.capacity(), cap);
+            ws.restore_ghost_scratch(s);
+        });
     }
 }

@@ -30,10 +30,11 @@ pub use construct::{
     check_tree_invariants, classify_octant, construct_boundary_refined, construct_constrained,
     construct_uniform,
 };
-pub use dist::{DistMesh, GhostStats};
+pub use dist::{DistMesh, DistReduce, GhostState, GhostStats};
 pub use matvec::{
     traversal_assemble, traversal_assemble_par, traversal_assemble_ws, traversal_matvec,
-    traversal_matvec_par, traversal_matvec_ws, TraversalWorkspace,
+    traversal_matvec_overlap_par, traversal_matvec_overlap_ws, traversal_matvec_par,
+    traversal_matvec_ws, TraversalWorkspace,
 };
 pub use mesh::{find_leaf, Mesh};
 pub use nodes::{enumerate_nodes, resolve_slot, NodeFlags, NodeSet, SlotRef};

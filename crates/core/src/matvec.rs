@@ -113,6 +113,12 @@ pub struct TraversalWorkspace<const DIM: usize> {
     bucket_pool: Vec<Bucket<DIM>>,
     log_pool: Vec<OutLog>,
     scratch: Vec<WorkerScratch<DIM>>,
+    /// Persistent ghosted copy of the matvec input vector, so repeated
+    /// applies (Krylov iterations) never re-allocate the `x.to_vec()` they
+    /// used to. Borrowed via [`Self::take_ghost_scratch`].
+    ghost_scratch: Vec<f64>,
+    /// Pooled per-task interior/boundary flags for the overlapped matvec.
+    task_flags: Vec<bool>,
     alloc: u64,
     reuse: u64,
 }
@@ -142,9 +148,24 @@ impl<const DIM: usize> TraversalWorkspace<DIM> {
             bucket_pool: Vec::new(),
             log_pool: Vec::new(),
             scratch: Vec::new(),
+            ghost_scratch: Vec::new(),
+            task_flags: Vec::new(),
             alloc: 0,
             reuse: 0,
         }
+    }
+
+    /// Takes the persistent ghosted-input scratch vector (empty the first
+    /// time, with its grown capacity afterwards). Callers fill it with the
+    /// ghosted input, run the traversal, and hand it back via
+    /// [`Self::restore_ghost_scratch`] so the next apply is allocation-free.
+    pub fn take_ghost_scratch(&mut self) -> Vec<f64> {
+        std::mem::take(&mut self.ghost_scratch)
+    }
+
+    /// Returns the ghosted-input scratch for reuse by the next apply.
+    pub fn restore_ghost_scratch(&mut self, v: Vec<f64>) {
+        self.ghost_scratch = v;
     }
 
     /// The intra-rank thread budget this workspace will fork up to.
@@ -1101,6 +1122,309 @@ pub fn traversal_matvec_par<const DIM: usize, K, F>(
             }
         }
     }
+    finish_matvec(&mut plan, y);
+    ws.release_plan(plan);
+    ws.emit_arena_counters();
+}
+
+/// True iff any *owned* element in the task's range touches a ghost node
+/// (per the caller's element classification): such a task must not run
+/// until the ghost exchange has landed.
+fn task_touches_ghosts<const DIM: usize>(
+    t: &Task<DIM>,
+    owned: &Range<usize>,
+    boundary_elem: &[bool],
+) -> bool {
+    let lo = t.range.start.max(owned.start);
+    let hi = t.range.end.min(owned.end);
+    lo < hi && boundary_elem[lo..hi].iter().any(|&b| b)
+}
+
+/// Re-seeds the input values (`vin`) of the spine buckets and the flagged
+/// boundary-task base buckets from the now-complete ghosted vector `xg`,
+/// walking the spine in pre-order (parents precede children by
+/// construction). Only `vin` is touched: interior tasks have already run
+/// and their pending output lives in `vout`s and scatter logs, which this
+/// pass never reads or writes — so the subsequent boundary sweep + ordered
+/// join reproduce the sequential result bit for bit.
+fn refresh_vin<const DIM: usize>(plan: &mut SpinePlan<DIM>, xg: &[f64], flags: &[bool]) {
+    if plan.interior.is_empty() {
+        // Degenerate single-root-element plan: the lone task IS the root
+        // bucket, seeded directly from the input vector.
+        if flags[0] {
+            plan.tasks[0].bucket.vin.copy_from_slice(xg);
+        }
+        return;
+    }
+    plan.interior[0].bucket.vin.copy_from_slice(xg);
+    for node in 0..plan.interior.len() {
+        let kids = std::mem::take(&mut plan.interior[node].kids);
+        for k in &kids {
+            match *k {
+                SpineChild::Interior(ci) => {
+                    let mut b = std::mem::take(&mut plan.interior[ci as usize].bucket);
+                    let pb = &plan.interior[node].bucket;
+                    for (i, &ps) in b.parent_slot.iter().enumerate() {
+                        b.vin[i] = pb.vin[ps as usize];
+                    }
+                    plan.interior[ci as usize].bucket = b;
+                }
+                SpineChild::Task(ti) => {
+                    if !flags[ti as usize] {
+                        continue;
+                    }
+                    let SpinePlan { interior, tasks } = plan;
+                    let t = &mut tasks[ti as usize];
+                    let pb = &interior[node].bucket;
+                    for (i, &ps) in t.bucket.parent_slot.iter().enumerate() {
+                        t.bucket.vin[i] = pb.vin[ps as usize];
+                    }
+                }
+            }
+        }
+        plan.interior[node].kids = kids;
+    }
+}
+
+/// Sequential overlapped-exchange matvec (§3.5). The caller has already
+/// *posted* the nonblocking ghost-read of `xg`'s owned entries; this
+/// traversal runs every interior task (owned elements whose stencil closure
+/// is rank-local) against the stale vector, then calls `wait` — under a
+/// `ghost_wait` sub-phase — to complete the exchange into `xg`, re-seeds
+/// the spine and boundary-task `vin`s (`refresh_vin`), and only then
+/// runs the boundary tasks. The ordered join is unchanged, so the result
+/// is bitwise identical to [`traversal_matvec_ws`] on the post-exchange
+/// vector.
+///
+/// `wait` is invoked exactly once on every path, including empty-owned
+/// ranks — it carries the exchange's collective tag discipline.
+#[allow(clippy::too_many_arguments)]
+pub fn traversal_matvec_overlap_ws<const DIM: usize, K, W>(
+    elems: &[Octant<DIM>],
+    owned: Range<usize>,
+    curve: Curve,
+    nodes: &NodeSet<DIM>,
+    xg: &mut [f64],
+    y: &mut [f64],
+    ws: &mut TraversalWorkspace<DIM>,
+    boundary_elem: &[bool],
+    wait: W,
+    kernel: &mut K,
+) where
+    K: FnMut(&Octant<DIM>, &[f64], &mut [f64]),
+    W: FnOnce(&mut [f64]),
+{
+    assert_eq!(xg.len(), nodes.len());
+    assert_eq!(y.len(), nodes.len());
+    assert_eq!(boundary_elem.len(), elems.len());
+    let _obs = carve_obs::scope("matvec");
+    if elems.is_empty() || owned.is_empty() {
+        let _w = carve_obs::scope("ghost_wait");
+        wait(xg);
+        return;
+    }
+    let env = Env {
+        elems,
+        owned,
+        curve,
+        p: nodes.order,
+        carry_values: true,
+        carry_ids: false,
+    };
+    let mut plan = build_spine(&env, ws.split_depth, matvec_root(ws, nodes, xg), ws);
+    let mut flags = std::mem::take(&mut ws.task_flags);
+    flags.clear();
+    flags.extend(
+        plan.tasks
+            .iter()
+            .map(|t| task_touches_ghosts(t, &env.owned, boundary_elem)),
+    );
+    carve_obs::counter("par_workers", 1);
+    ws.ensure_scratch(1);
+    {
+        let SpinePlan { interior, tasks } = &mut plan;
+        let interior: &[SpineNode<DIM>] = interior;
+        let scr = &mut ws.scratch[0];
+        let mut vis = MatvecVisitor::new(kernel, nodes_per_elem::<DIM>(env.p));
+        for (t, _) in tasks.iter_mut().zip(&flags).filter(|(_, b)| !**b) {
+            run_task(&env, t, interior, scr, &mut vis);
+        }
+    }
+    {
+        let _w = carve_obs::scope("ghost_wait");
+        wait(xg);
+    }
+    refresh_vin(&mut plan, xg, &flags);
+    {
+        let SpinePlan { interior, tasks } = &mut plan;
+        let interior: &[SpineNode<DIM>] = interior;
+        let scr = &mut ws.scratch[0];
+        let mut vis = MatvecVisitor::new(kernel, nodes_per_elem::<DIM>(env.p));
+        for (t, _) in tasks.iter_mut().zip(&flags).filter(|(_, b)| **b) {
+            run_task(&env, t, interior, scr, &mut vis);
+        }
+    }
+    ws.task_flags = flags;
+    finish_matvec(&mut plan, y);
+    ws.release_plan(plan);
+    ws.emit_arena_counters();
+}
+
+/// Fork-join overlapped-exchange matvec: like
+/// [`traversal_matvec_overlap_ws`], but the interior tasks run on scoped
+/// workers *while the main thread blocks on the ghost exchange* (the
+/// communicator is single-threaded by design, so the wait stays on the
+/// spawning thread — which is exactly what gives the overlap), and the
+/// boundary tasks fork again after the refresh. Bitwise identical to every
+/// other matvec variant at any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn traversal_matvec_overlap_par<const DIM: usize, K, F, W>(
+    elems: &[Octant<DIM>],
+    owned: Range<usize>,
+    curve: Curve,
+    nodes: &NodeSet<DIM>,
+    xg: &mut [f64],
+    y: &mut [f64],
+    ws: &mut TraversalWorkspace<DIM>,
+    boundary_elem: &[bool],
+    wait: W,
+    make_kernel: &F,
+) where
+    K: FnMut(&Octant<DIM>, &[f64], &mut [f64]),
+    F: Fn() -> K + Sync,
+    W: FnOnce(&mut [f64]),
+{
+    assert_eq!(xg.len(), nodes.len());
+    assert_eq!(y.len(), nodes.len());
+    assert_eq!(boundary_elem.len(), elems.len());
+    let _obs = carve_obs::scope("matvec");
+    if elems.is_empty() || owned.is_empty() {
+        let _w = carve_obs::scope("ghost_wait");
+        wait(xg);
+        return;
+    }
+    let env = Env {
+        elems,
+        owned,
+        curve,
+        p: nodes.order,
+        carry_values: true,
+        carry_ids: false,
+    };
+    let npe = nodes_per_elem::<DIM>(env.p);
+    let mut plan = build_spine(&env, ws.split_depth, matvec_root(ws, nodes, xg), ws);
+    let mut flags = std::mem::take(&mut ws.task_flags);
+    flags.clear();
+    flags.extend(
+        plan.tasks
+            .iter()
+            .map(|t| task_touches_ghosts(t, &env.owned, boundary_elem)),
+    );
+    let n_interior = flags.iter().filter(|&&b| !b).count();
+    let n_boundary = flags.len() - n_interior;
+    let n_workers = chunking(n_interior.max(1), ws.threads)
+        .1
+        .max(chunking(n_boundary.max(1), ws.threads).1);
+    carve_obs::counter("par_workers", n_workers as u64);
+    ws.ensure_scratch(n_workers);
+    {
+        let SpinePlan { interior, tasks } = &mut plan;
+        let interior: &[SpineNode<DIM>] = interior;
+        let mut intr: Vec<&mut Task<DIM>> = tasks
+            .iter_mut()
+            .zip(&flags)
+            .filter(|(_, b)| !**b)
+            .map(|(t, _)| t)
+            .collect();
+        let (chunk, nw) = chunking(intr.len(), ws.threads);
+        if intr.is_empty() || nw <= 1 {
+            if !intr.is_empty() {
+                let scr = &mut ws.scratch[0];
+                let mut kernel = make_kernel();
+                let mut vis = MatvecVisitor::new(&mut kernel, npe);
+                for t in intr.iter_mut() {
+                    run_task(&env, t, interior, scr, &mut vis);
+                }
+            }
+            let _w = carve_obs::scope("ghost_wait");
+            wait(xg);
+        } else {
+            let env = &env;
+            let snaps: Vec<carve_obs::Snapshot> = std::thread::scope(|s| {
+                let handles: Vec<_> = intr
+                    .chunks_mut(chunk)
+                    .zip(ws.scratch.iter_mut())
+                    .map(|(tchunk, scr)| {
+                        s.spawn(move || {
+                            carve_obs::detach_thread();
+                            let mut kernel = make_kernel();
+                            let mut vis = MatvecVisitor::new(&mut kernel, npe);
+                            for t in tchunk.iter_mut() {
+                                run_task(env, t, interior, scr, &mut vis);
+                            }
+                            carve_obs::thread_snapshot()
+                        })
+                    })
+                    .collect();
+                // The workers chew on interior subtrees while this thread
+                // blocks on the ghost payloads: this is the overlap window.
+                {
+                    let _w = carve_obs::scope("ghost_wait");
+                    wait(xg);
+                }
+                handles.into_iter().map(join_worker).collect()
+            });
+            for snap in &snaps {
+                carve_obs::absorb_rebased(snap);
+            }
+        }
+    }
+    refresh_vin(&mut plan, xg, &flags);
+    {
+        let SpinePlan { interior, tasks } = &mut plan;
+        let interior: &[SpineNode<DIM>] = interior;
+        let mut bnd: Vec<&mut Task<DIM>> = tasks
+            .iter_mut()
+            .zip(&flags)
+            .filter(|(_, b)| **b)
+            .map(|(t, _)| t)
+            .collect();
+        let (chunk, nw) = chunking(bnd.len(), ws.threads);
+        if !bnd.is_empty() {
+            if nw <= 1 {
+                let scr = &mut ws.scratch[0];
+                let mut kernel = make_kernel();
+                let mut vis = MatvecVisitor::new(&mut kernel, npe);
+                for t in bnd.iter_mut() {
+                    run_task(&env, t, interior, scr, &mut vis);
+                }
+            } else {
+                let env = &env;
+                let snaps: Vec<carve_obs::Snapshot> = std::thread::scope(|s| {
+                    let handles: Vec<_> = bnd
+                        .chunks_mut(chunk)
+                        .zip(ws.scratch.iter_mut())
+                        .map(|(tchunk, scr)| {
+                            s.spawn(move || {
+                                carve_obs::detach_thread();
+                                let mut kernel = make_kernel();
+                                let mut vis = MatvecVisitor::new(&mut kernel, npe);
+                                for t in tchunk.iter_mut() {
+                                    run_task(env, t, interior, scr, &mut vis);
+                                }
+                                carve_obs::thread_snapshot()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(join_worker).collect()
+                });
+                for snap in &snaps {
+                    carve_obs::absorb_rebased(snap);
+                }
+            }
+        }
+    }
+    ws.task_flags = flags;
     finish_matvec(&mut plan, y);
     ws.release_plan(plan);
     ws.emit_arena_counters();

@@ -163,6 +163,10 @@ struct Level<const DIM: usize> {
 struct MgWork<const DIM: usize> {
     cache: ElementCache<DIM>,
     ws: TraversalWorkspace<DIM>,
+    /// Constrained-input scratch: `apply` masks Dirichlet entries of `x`
+    /// before the traversal, and recycling this buffer keeps the smoother's
+    /// inner loop free of per-apply allocation.
+    xf: Vec<f64>,
 }
 
 /// Matrix-free geometric-multigrid Poisson solver on a carved mesh
@@ -299,7 +303,11 @@ impl<const DIM: usize> Multigrid<DIM> {
             nu_post: 2,
             omega: 0.7,
             scale,
-            work: Mutex::new(MgWork { cache, ws }),
+            work: Mutex::new(MgWork {
+                cache,
+                ws,
+                xf: Vec::new(),
+            }),
         }
     }
 
@@ -315,18 +323,19 @@ impl<const DIM: usize> Multigrid<DIM> {
     /// constrained rows act as identity).
     fn apply(&self, l: usize, x: &[f64], y: &mut [f64]) {
         let lev = &self.levels[l];
+        y.iter_mut().for_each(|v| *v = 0.0);
+        let scale = self.scale;
+        let mut guard = self.work.lock().unwrap_or_else(|e| e.into_inner());
+        let MgWork { cache, ws, xf } = &mut *guard;
         // Zero constrained inputs so they don't pollute interior rows, then
         // emit identity on constrained rows.
-        let mut xf = x.to_vec();
+        xf.clear();
+        xf.extend_from_slice(x);
         for (i, &c) in lev.constrained.iter().enumerate() {
             if c {
                 xf[i] = 0.0;
             }
         }
-        y.iter_mut().for_each(|v| *v = 0.0);
-        let scale = self.scale;
-        let mut guard = self.work.lock().unwrap_or_else(|e| e.into_inner());
-        let MgWork { cache, ws } = &mut *guard;
         let mut kernel = |e: &Octant<DIM>, u: &[f64], v: &mut [f64]| {
             cache.apply_stiffness_tensor(e.bounds_unit().1 * scale, u, v);
         };
@@ -335,7 +344,7 @@ impl<const DIM: usize> Multigrid<DIM> {
             0..lev.mesh.elems.len(),
             lev.mesh.curve,
             &lev.mesh.nodes,
-            &xf,
+            xf,
             y,
             ws,
             &mut kernel,

@@ -51,13 +51,22 @@ impl CooBuilder {
 
     /// Builds the CSR matrix, merging duplicates by addition.
     pub fn build(mut self) -> CsrMatrix {
+        self.build_and_clear()
+    }
+
+    /// Like [`CooBuilder::build`], but leaves the builder alive with its
+    /// triplet capacity intact, ready for the next assembly. Time-stepping
+    /// loops (e.g. the Picard iteration in `carve-ns`) reassemble a
+    /// same-sparsity system every step; recycling the builder avoids
+    /// re-growing a `leaves × npe²` triplet buffer each time.
+    pub fn build_and_clear(&mut self) -> CsrMatrix {
         self.entries.sort_unstable_by_key(|e| (e.0, e.1));
         let n = self.n;
         let mut row_counts = vec![0usize; n + 1];
         let mut cols: Vec<u32> = Vec::with_capacity(self.entries.len());
         let mut vals: Vec<f64> = Vec::with_capacity(self.entries.len());
         let mut last: Option<(u32, u32)> = None;
-        for (r, c, v) in self.entries {
+        for &(r, c, v) in &self.entries {
             if last == Some((r, c)) {
                 *vals.last_mut().expect("entry exists") += v;
             } else {
@@ -67,6 +76,7 @@ impl CooBuilder {
                 last = Some((r, c));
             }
         }
+        self.entries.clear();
         for i in 0..n {
             row_counts[i + 1] += row_counts[i];
         }
@@ -202,6 +212,22 @@ mod tests {
         assert_eq!(m.get(2, 1), -1.0);
         assert_eq!(m.get(2, 2), 0.0);
         assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn build_and_clear_recycles_builder_capacity() {
+        let mut b = CooBuilder::with_capacity(3, 8);
+        b.add(0, 0, 1.0);
+        b.add(1, 1, 2.0);
+        let cap = b.entries.capacity();
+        let m1 = b.build_and_clear();
+        assert_eq!(m1.get(0, 0), 1.0);
+        assert!(b.is_empty());
+        assert_eq!(b.entries.capacity(), cap, "capacity must survive the build");
+        b.add(0, 1, 4.0);
+        let m2 = b.build_and_clear();
+        assert_eq!(m2.get(0, 1), 4.0);
+        assert_eq!(m2.get(0, 0), 0.0, "stale triplets must not leak through");
     }
 
     #[test]

@@ -4,13 +4,44 @@
 
 use crate::csr::CsrMatrix;
 use crate::dense::LuFactors;
-use crate::vector::{axpy, dot, norm2};
+use crate::vector::{axpy, dot};
 
 /// An abstract linear operator `y = A x` — implemented both by assembled
 /// [`CsrMatrix`] and by the matrix-free traversal MATVEC of `carve-core`.
 pub trait LinOp {
     fn size(&self) -> usize;
     fn apply(&self, x: &[f64], y: &mut [f64]);
+}
+
+/// Batched inner products for the Krylov solvers: `out[k] = pairs[k].0 ·
+/// pairs[k].1`. The solvers group the reductions of one iteration into the
+/// fewest possible batches (CG: 2, BiCGStab: 4) so a distributed
+/// implementation can ride each batch on a *single* fused all-reduce
+/// message instead of one per dot/norm; `carve-core`'s `DistReduce` does
+/// exactly that, masking non-owned entries before the global sum.
+pub trait Reduce {
+    fn dots(&self, pairs: &[(&[f64], &[f64])], out: &mut [f64]);
+}
+
+/// Sequential reduction: plain local dot products. With this reducer,
+/// [`cg_with`] / [`bicgstab_with`] are bitwise identical to [`cg`] /
+/// [`bicgstab`] (which are thin wrappers over it).
+pub struct LocalReduce;
+
+impl Reduce for LocalReduce {
+    fn dots(&self, pairs: &[(&[f64], &[f64])], out: &mut [f64]) {
+        for (o, (u, v)) in out.iter_mut().zip(pairs) {
+            *o = dot(u, v);
+        }
+    }
+}
+
+/// Single inner product through a [`Reduce`] (still one message, just not
+/// fused with anything).
+fn rdot<R: Reduce + ?Sized>(rd: &R, u: &[f64], v: &[f64]) -> f64 {
+    let mut out = [0.0];
+    rd.dots(&[(u, v)], &mut out);
+    out[0]
 }
 
 impl<F: Fn(&[f64], &mut [f64])> LinOp for (usize, F) {
@@ -194,6 +225,26 @@ pub fn cg<A: LinOp, M: Precond>(
     atol: f64,
     max_iter: usize,
 ) -> KrylovResult {
+    cg_with(a, b, x, m, rtol, atol, max_iter, &LocalReduce)
+}
+
+/// CG with an explicit [`Reduce`] backend. The per-iteration reductions are
+/// fused into two batches: `(p·Ap)` and the paired `(r·z, r·r)` after the
+/// preconditioner — the convergence norm reuses the `r·r` from the previous
+/// batch rather than issuing its own reduction, so a distributed run pays 2
+/// messages per iteration instead of 3. With [`LocalReduce`] the arithmetic
+/// is bitwise identical to the unfused history of [`cg`].
+#[allow(clippy::too_many_arguments)]
+pub fn cg_with<A: LinOp, M: Precond, R: Reduce + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x: &mut [f64],
+    m: &M,
+    rtol: f64,
+    atol: f64,
+    max_iter: usize,
+    rd: &R,
+) -> KrylovResult {
     let n = a.size();
     assert_eq!(b.len(), n);
     assert_eq!(x.len(), n);
@@ -202,15 +253,17 @@ pub fn cg<A: LinOp, M: Precond>(
     for (ri, bi) in r.iter_mut().zip(b) {
         *ri = bi - *ri;
     }
-    let bnorm = norm2(b).max(1e-300);
+    let bnorm = rdot(rd, b, b).sqrt().max(1e-300);
     let tol = rtol * bnorm + atol;
     let mut z = vec![0.0; n];
     m.apply(&r, &mut z);
     let mut p = z.clone();
-    let mut rz = dot(&r, &z);
+    let mut pair = [0.0; 2];
+    rd.dots(&[(&r, &z), (&r, &r)], &mut pair);
+    let (mut rz, mut rn2) = (pair[0], pair[1]);
     let mut ap = vec![0.0; n];
     for it in 0..max_iter {
-        let rn = norm2(&r);
+        let rn = rn2.sqrt();
         if !rn.is_finite() {
             return KrylovResult::divergence(it, rn);
         }
@@ -218,7 +271,7 @@ pub fn cg<A: LinOp, M: Precond>(
             return KrylovResult::success(it, rn);
         }
         a.apply(&p, &mut ap);
-        let pap = dot(&p, &ap);
+        let pap = rdot(rd, &p, &ap);
         if pap.abs() < 1e-300 || !pap.is_finite() {
             return KrylovResult::stalled(it, rn);
         }
@@ -226,14 +279,15 @@ pub fn cg<A: LinOp, M: Precond>(
         axpy(alpha, &p, x);
         axpy(-alpha, &ap, &mut r);
         m.apply(&r, &mut z);
-        let rz_new = dot(&r, &z);
-        let beta = rz_new / rz;
-        rz = rz_new;
+        rd.dots(&[(&r, &z), (&r, &r)], &mut pair);
+        let beta = pair[0] / rz;
+        rz = pair[0];
+        rn2 = pair[1];
         for (pi, zi) in p.iter_mut().zip(&z) {
             *pi = zi + beta * *pi;
         }
     }
-    let rn = norm2(&r);
+    let rn = rn2.sqrt();
     KrylovResult {
         converged: rn <= tol,
         iterations: max_iter,
@@ -253,13 +307,33 @@ pub fn bicgstab<A: LinOp, M: Precond>(
     atol: f64,
     max_iter: usize,
 ) -> KrylovResult {
+    bicgstab_with(a, b, x, m, rtol, atol, max_iter, &LocalReduce)
+}
+
+/// BiCGStab with an explicit [`Reduce`] backend. Per iteration the six
+/// reductions of the textbook loop are fused into four batches: the paired
+/// `(r·r, r0·r)` at the top, `r0·v`, the intermediate `s`-norm, and the
+/// paired `(t·t, t·r)` for the stabilizer — 4 messages instead of 6 on a
+/// distributed run. With [`LocalReduce`] the arithmetic is bitwise
+/// identical to the unfused history of [`bicgstab`].
+#[allow(clippy::too_many_arguments)]
+pub fn bicgstab_with<A: LinOp, M: Precond, R: Reduce + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x: &mut [f64],
+    m: &M,
+    rtol: f64,
+    atol: f64,
+    max_iter: usize,
+    rd: &R,
+) -> KrylovResult {
     let n = a.size();
     let mut r = vec![0.0; n];
     a.apply(x, &mut r);
     for (ri, bi) in r.iter_mut().zip(b) {
         *ri = bi - *ri;
     }
-    let bnorm = norm2(b).max(1e-300);
+    let bnorm = rdot(rd, b, b).sqrt().max(1e-300);
     let tol = rtol * bnorm + atol;
     let r0 = r.clone();
     let mut rho = 1.0;
@@ -270,15 +344,17 @@ pub fn bicgstab<A: LinOp, M: Precond>(
     let mut phat = vec![0.0; n];
     let mut shat = vec![0.0; n];
     let mut t = vec![0.0; n];
+    let mut pair = [0.0; 2];
     for it in 0..max_iter {
-        let rn = norm2(&r);
+        rd.dots(&[(&r, &r), (&r0, &r)], &mut pair);
+        let rn = pair[0].sqrt();
+        let rho_new = pair[1];
         if !rn.is_finite() {
             return KrylovResult::divergence(it, rn);
         }
         if rn <= tol {
             return KrylovResult::success(it, rn);
         }
-        let rho_new = dot(&r0, &r);
         if rho_new.abs() < 1e-300 || !rho_new.is_finite() {
             return KrylovResult::stalled(it, rn);
         }
@@ -293,14 +369,14 @@ pub fn bicgstab<A: LinOp, M: Precond>(
         rho = rho_new;
         m.apply(&p, &mut phat);
         a.apply(&phat, &mut v);
-        let r0v = dot(&r0, &v);
+        let r0v = rdot(rd, &r0, &v);
         if r0v.abs() < 1e-300 || !r0v.is_finite() {
             return KrylovResult::stalled(it, rn);
         }
         alpha = rho / r0v;
         // s = r - alpha v  (reuse r)
         axpy(-alpha, &v, &mut r);
-        let sn = norm2(&r);
+        let sn = rdot(rd, &r, &r).sqrt();
         if !sn.is_finite() {
             return KrylovResult::divergence(it + 1, sn);
         }
@@ -310,19 +386,20 @@ pub fn bicgstab<A: LinOp, M: Precond>(
         }
         m.apply(&r, &mut shat);
         a.apply(&shat, &mut t);
-        let tt = dot(&t, &t);
+        rd.dots(&[(&t, &t), (&t, &r)], &mut pair);
+        let tt = pair[0];
         if tt.abs() < 1e-300 || !tt.is_finite() {
             return KrylovResult::stalled(it, sn);
         }
-        omega = dot(&t, &r) / tt;
+        omega = pair[1] / tt;
         axpy(alpha, &phat, x);
         axpy(omega, &shat, x);
         axpy(-omega, &t, &mut r);
         if omega.abs() < 1e-300 {
-            return KrylovResult::stalled(it + 1, norm2(&r));
+            return KrylovResult::stalled(it + 1, rdot(rd, &r, &r).sqrt());
         }
     }
-    let rn = norm2(&r);
+    let rn = rdot(rd, &r, &r).sqrt();
     KrylovResult {
         converged: rn <= tol,
         iterations: max_iter,
@@ -335,6 +412,7 @@ pub fn bicgstab<A: LinOp, M: Precond>(
 mod tests {
     use super::*;
     use crate::csr::CooBuilder;
+    use crate::vector::norm2;
 
     /// 1D Laplacian (tridiagonal SPD).
     fn laplace_1d(n: usize) -> CsrMatrix {
@@ -478,6 +556,97 @@ mod tests {
         let res = cg(&a, &b, &mut x, &IdentityPrecond, 1e-14, 0.0, 3);
         assert!(!res.converged && !res.diverged, "{res:?}");
         assert!(res.residual.is_finite());
+    }
+
+    /// Delegates to [`LocalReduce`] while recording every batch size, so
+    /// tests can assert both bitwise equivalence and message fusion.
+    struct CountingReduce {
+        batches: std::cell::RefCell<Vec<usize>>,
+    }
+
+    impl CountingReduce {
+        fn new() -> Self {
+            CountingReduce {
+                batches: std::cell::RefCell::new(Vec::new()),
+            }
+        }
+    }
+
+    impl Reduce for CountingReduce {
+        fn dots(&self, pairs: &[(&[f64], &[f64])], out: &mut [f64]) {
+            self.batches.borrow_mut().push(pairs.len());
+            LocalReduce.dots(pairs, out);
+        }
+    }
+
+    #[test]
+    fn cg_with_fuses_reductions_and_stays_bitwise_identical() {
+        let a = laplace_1d(100);
+        let b: Vec<f64> = (0..100).map(|i| ((i as f64) * 0.1).sin()).collect();
+        let mut x_plain = vec![0.0; 100];
+        let res_plain = cg(&a, &b, &mut x_plain, &IdentityPrecond, 1e-10, 0.0, 1000);
+        let rd = CountingReduce::new();
+        let mut x_fused = vec![0.0; 100];
+        let res_fused = cg_with(
+            &a,
+            &b,
+            &mut x_fused,
+            &IdentityPrecond,
+            1e-10,
+            0.0,
+            1000,
+            &rd,
+        );
+        assert_eq!(res_plain.iterations, res_fused.iterations);
+        assert_eq!(res_plain.residual.to_bits(), res_fused.residual.to_bits());
+        for (p, f) in x_plain.iter().zip(&x_fused) {
+            assert_eq!(p.to_bits(), f.to_bits());
+        }
+        let batches = rd.batches.borrow();
+        assert!(batches.contains(&2), "no fused batch in {batches:?}");
+        // Setup: bnorm + initial (r·z, r·r). Each full iteration: p·Ap plus
+        // one fused pair — 2 messages, not the 3 of the unfused loop.
+        assert_eq!(batches.len(), 2 + 2 * res_fused.iterations);
+    }
+
+    #[test]
+    fn bicgstab_with_fuses_reductions_and_stays_bitwise_identical() {
+        let a = advdiff_1d(120);
+        let b: Vec<f64> = (0..120).map(|i| 1.0 + (i % 7) as f64).collect();
+        let mut x_plain = vec![0.0; 120];
+        let res_plain = bicgstab(&a, &b, &mut x_plain, &IdentityPrecond, 1e-10, 0.0, 2000);
+        let rd = CountingReduce::new();
+        let mut x_fused = vec![0.0; 120];
+        let res_fused = bicgstab_with(
+            &a,
+            &b,
+            &mut x_fused,
+            &IdentityPrecond,
+            1e-10,
+            0.0,
+            2000,
+            &rd,
+        );
+        assert_eq!(res_plain.iterations, res_fused.iterations);
+        assert_eq!(res_plain.residual.to_bits(), res_fused.residual.to_bits());
+        for (p, f) in x_plain.iter().zip(&x_fused) {
+            assert_eq!(p.to_bits(), f.to_bits());
+        }
+        // Setup: bnorm. Each full iteration: fused (r·r, r0·r), r0·v, s-norm,
+        // fused (t·t, t·r) — 4 messages, not the 6 of the unfused loop.
+        // Depending on whether the run converges at the top-of-loop check or
+        // the s-norm check, the final partial iteration adds 1 or 3 batches.
+        let batches = rd.batches.borrow();
+        let it = res_fused.iterations;
+        assert!(it > 1, "test needs a multi-iteration solve, got {it}");
+        let top_exit = 2 + 4 * it;
+        let snorm_exit = 4 * it;
+        assert!(
+            batches.len() == top_exit || batches.len() == snorm_exit,
+            "batches {} vs expected {top_exit} or {snorm_exit}",
+            batches.len()
+        );
+        assert!(batches.iter().filter(|&&n| n == 2).count() >= it);
     }
 
     #[test]

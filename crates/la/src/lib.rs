@@ -29,6 +29,7 @@ pub use csr::{CooBuilder, CsrMatrix};
 pub use dense::{DenseMatrix, LuFactors};
 pub use gmres::{chebyshev, gmres, lambda_max_estimate};
 pub use krylov::{
-    bicgstab, cg, AsmPrecond, IdentityPrecond, JacobiPrecond, KrylovResult, LinOp, Precond,
+    bicgstab, bicgstab_with, cg, cg_with, AsmPrecond, IdentityPrecond, JacobiPrecond, KrylovResult,
+    LinOp, LocalReduce, Precond, Reduce,
 };
 pub use newton::{newton, NewtonOptions, NewtonResult};

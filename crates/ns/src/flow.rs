@@ -154,14 +154,15 @@ impl<'a, const DIM: usize> FlowSolver<'a, DIM> {
         let mut picard_iters = 0;
         let npe_full = carve_core::nodes::nodes_per_elem::<DIM>(self.mesh.order);
         let blk_dofs = npe_full * (DIM + 1);
+        // Each element emits at most (npe·(DIM+1))² block entries; sizing the
+        // triplet buffer once outside the Picard loop and rebuilding with
+        // `build_and_clear` means every nonlinear iteration reuses the same
+        // triplet and rhs allocations instead of regrowing them.
+        let mut coo = CooBuilder::with_capacity(ndof, self.mesh.elems.len() * blk_dofs * blk_dofs);
+        let mut rhs = vec![0.0; ndof];
         for _picard in 0..self.max_picard {
             picard_iters += 1;
-            // Each element emits at most (npe·(DIM+1))² block entries; sizing
-            // the triplet buffer up front keeps the Picard loop from paying
-            // regrowth copies every nonlinear iteration.
-            let mut coo =
-                CooBuilder::with_capacity(ndof, self.mesh.elems.len() * blk_dofs * blk_dofs);
-            let mut rhs = vec![0.0; ndof];
+            rhs.fill(0.0);
             for (ei, e) in self.mesh.elems.iter().enumerate() {
                 let (emin_u, h_u) = e.bounds_unit();
                 let mut emin = [0.0; DIM];
@@ -205,7 +206,7 @@ impl<'a, const DIM: usize> FlowSolver<'a, DIM> {
                     }
                 }
             }
-            let mut a = coo.build();
+            let mut a = coo.build_and_clear();
             // Strong boundary conditions.
             for i in 0..n {
                 let constrain =

@@ -13,6 +13,10 @@ cargo build --release --workspace
 CARVE_PAR_THREADS=1 cargo test -q --release --workspace
 CARVE_PAR_THREADS=4 cargo test -q --release --workspace
 cargo test -q --workspace
+# Ambient chaos: delay-only fault injection on every simulated-MPI run
+# (CARVE_CHAOS seeds env_chaos_plan). Message counts and results must be
+# schedule-independent, so the whole suite must stay green under it.
+CARVE_CHAOS=29 cargo test -q --release --workspace
 
 # carve-comm additionally denies unwrap/expect crate-wide (lib.rs).
 cargo clippy --workspace --all-targets -- -D warnings
