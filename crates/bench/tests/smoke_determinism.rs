@@ -29,6 +29,32 @@ fn counter(report: &Json, workload: &str, path: &str, name: &str) -> f64 {
         .unwrap_or_else(|| panic!("missing counter {name:?} on {workload}/{path}"))
 }
 
+/// Sums a counter over every phase of a workload — for counters (like the
+/// loss-recovery ones) that land on whichever phase was active when the
+/// lane frame was recovered.
+fn counter_sum(report: &Json, workload: &str, name: &str) -> f64 {
+    fn walk(j: &Json, name: &str, acc: &mut f64) {
+        if let Json::Obj(fields) = j {
+            for (k, v) in fields {
+                if k == "counters" {
+                    if let Some(x) = v.get(name).and_then(Json::as_f64) {
+                        *acc += x;
+                    }
+                } else {
+                    walk(v, name, acc);
+                }
+            }
+        }
+    }
+    let mut acc = 0.0;
+    let w = report
+        .get("workloads")
+        .and_then(|w| w.get(workload))
+        .unwrap_or_else(|| panic!("missing workload {workload:?}"));
+    walk(w, name, &mut acc);
+    acc
+}
+
 #[test]
 fn smoke_report_is_deterministic_modulo_secs() {
     let a = run_smoke();
@@ -73,4 +99,26 @@ fn smoke_report_is_deterministic_modulo_secs() {
             assert!(calls(&a, w, p) > 0.0, "{w}/{p} has zero calls");
         }
     }
+
+    // Recovery workload: a lossy-chaos solve with one injected rank kill.
+    // The supervisor retried exactly once, every rank restored from its
+    // checkpoint, and the lane retry protocol recovered injected drops and
+    // corruption (counts are seed-deterministic; the timing-dependent
+    // `retries`/`backoff_ns` are stripped above instead of asserted).
+    assert!(calls(&a, "recovery", "krylov_recovery") > 0.0);
+    assert!(calls(&a, "recovery", "krylov_recovery/matvec") > 0.0);
+    assert_eq!(
+        counter(&a, "recovery", "recovery/retry", "solve_retries"),
+        1.0
+    );
+    assert!(calls(&a, "recovery", "recovery/restore") > 0.0);
+    assert!(counter_sum(&a, "recovery", "ranks_restored") > 0.0);
+    assert!(
+        counter_sum(&a, "recovery", "drops_detected") > 0.0,
+        "lossy chaos must inject (and the lanes recover) dropped frames"
+    );
+    assert!(
+        counter_sum(&a, "recovery", "corrupt_detected") > 0.0,
+        "lossy chaos must inject (and the lanes recover) corrupted frames"
+    );
 }

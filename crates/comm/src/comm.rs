@@ -11,8 +11,13 @@
 //!   cluster;
 //! * all failures surface as structured [`CommError`]s collected into one
 //!   [`SpmdError`] by [`try_run_spmd`] / [`run_spmd_with`];
-//! * a seeded [`FaultPlan`] can delay, reorder, and duplicate deliveries or
-//!   kill a rank at a chosen op count, deterministically per seed.
+//! * a seeded [`FaultPlan`] can delay, reorder, duplicate, drop, or corrupt
+//!   deliveries, or kill a rank at a chosen op count, deterministically per
+//!   seed;
+//! * the sequenced lane frames of [`crate::ExchangeHandle`] recover dropped
+//!   or corrupted deliveries through a bounded retransmit-retry protocol
+//!   with exponential backoff (`CARVE_RETRY_BASE` / `CARVE_RETRY_MAX`), so
+//!   a lossy schedule still converges to the bitwise fault-free result.
 
 use std::any::{type_name, Any};
 use std::cell::{Cell, RefCell};
@@ -23,7 +28,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::error::{CommError, FailureKind, RankFailure, SpmdError};
-use crate::fault::FaultPlan;
+use crate::fault::{ChaosProfile, FaultPlan};
 
 type Packet = (usize, u64, Box<dyn Any + Send>);
 
@@ -48,22 +53,62 @@ fn default_timeout() -> Duration {
         .unwrap_or(DEFAULT_TIMEOUT)
 }
 
-/// Environment variable enabling ambient delay injection for every SPMD run
-/// launched without an explicit [`FaultPlan`]. The value is the chaos seed;
-/// `0`, empty, or unset disables it. Used by CI to run the whole test suite
-/// under adversarial message timing (the overlapped ghost-exchange paths
-/// must stay bit-exact when deliveries straggle).
+/// Environment variable enabling ambient fault injection for every SPMD run
+/// launched without an explicit [`FaultPlan`]. The value is
+/// `seed[:profile]` where `profile` is `delay` (default), `chaos`, or
+/// `lossy`; a seed of `0`, empty, or unset disables it. Used by CI to run
+/// the whole test suite under adversarial message timing
+/// (`CARVE_CHAOS=29`) and under frame loss + corruption
+/// (`CARVE_CHAOS=29:lossy`) — results must stay bit-exact either way.
 pub const CHAOS_ENV: &str = "CARVE_CHAOS";
 
-/// Delay-only ambient plan from [`CHAOS_ENV`]: perturbs timing (which is
-/// what the latency-hiding paths must tolerate) without reordering or
-/// duplicating, so even tests that count exact message traffic still pass.
+/// Environment variable holding the initial per-lane receive timeout in
+/// (fractional) seconds before the retransmit-retry path asks the
+/// transport's retransmit buffer for a missing frame.
+pub const RETRY_BASE_ENV: &str = "CARVE_RETRY_BASE";
+
+/// Environment variable bounding the number of retransmit-retry attempts
+/// per expected frame; once exhausted the wait falls through to the
+/// watchdog deadline with the retry history in its diagnostic.
+pub const RETRY_MAX_ENV: &str = "CARVE_RETRY_MAX";
+
+/// Default initial per-lane receive timeout: long enough that a healthy
+/// (merely delayed) frame almost always arrives first, short enough that a
+/// genuinely dropped frame costs milliseconds, not the watchdog deadline.
+pub const DEFAULT_RETRY_BASE: Duration = Duration::from_millis(25);
+
+/// Default bound on retransmit-retry attempts per frame.
+pub const DEFAULT_RETRY_MAX: u32 = 10;
+
+/// Ambient plan from [`CHAOS_ENV`]: parses `seed[:profile]` and returns the
+/// profile's seeded plan. Unknown profile names conservatively fall back to
+/// delay-only (ambient injection must never turn a typo into a hard
+/// failure or an unintended traffic perturbation).
 fn env_chaos_plan() -> Option<FaultPlan> {
-    let seed = std::env::var(CHAOS_ENV)
+    let raw = std::env::var(CHAOS_ENV).ok()?;
+    let raw = raw.trim();
+    let (seed_part, profile) = match raw.split_once(':') {
+        Some((s, p)) => (s, ChaosProfile::parse(p)),
+        None => (raw, ChaosProfile::Delay),
+    };
+    let seed = seed_part.trim().parse::<u64>().ok().filter(|&s| s != 0)?;
+    Some(profile.plan(seed))
+}
+
+fn default_retry_base() -> Duration {
+    std::env::var(RETRY_BASE_ENV)
         .ok()
-        .and_then(|s| s.trim().parse::<u64>().ok())
-        .filter(|&s| s != 0)?;
-    Some(FaultPlan::delay_only(seed))
+        .and_then(|s| s.trim().parse::<f64>().ok())
+        .filter(|s| *s > 0.0)
+        .map(Duration::from_secs_f64)
+        .unwrap_or(DEFAULT_RETRY_BASE)
+}
+
+fn default_retry_max() -> u32 {
+    std::env::var(RETRY_MAX_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse::<u32>().ok())
+        .unwrap_or(DEFAULT_RETRY_MAX)
 }
 
 /// Mutex poisoning is irrelevant here: the abort protocol owns failure
@@ -101,6 +146,94 @@ pub struct CommStats {
     pub bytes_received: u64,
     /// Number of messages received.
     pub messages_received: u64,
+}
+
+/// Sequence-numbered, checksummed payload of one exchange-lane message.
+/// The sequence number pins the frame to its exchange round (rejecting
+/// stale retransmitted or duplicated copies); the checksum covers the
+/// sequence number and every payload bit, so in-flight corruption is
+/// detected at the receiver and recovered from the retransmit store.
+#[derive(Clone)]
+pub(crate) struct Frame {
+    seq: u64,
+    checksum: u64,
+    data: Vec<f64>,
+}
+
+/// Splitmix-style rolling hash over the frame identity and payload bits.
+fn frame_checksum(seq: u64, data: &[f64]) -> u64 {
+    let mut h = 0x243F_6A88_85A3_08D3u64 ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= (data.len() as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
+    for v in data {
+        h ^= v.to_bits();
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+    }
+    h
+}
+
+/// Deterministic backoff jitter: a pure function of the lane identity and
+/// attempt number, so concurrent retry timers desynchronize without
+/// introducing run-to-run nondeterminism.
+fn retry_jitter(rank: usize, from: usize, tag: u64, attempt: u32) -> Duration {
+    let mut z = ((rank as u64) << 32)
+        ^ ((from as u64) << 16)
+        ^ tag
+        ^ ((attempt as u64) << 48)
+        ^ 0x5851_F42D_4C95_7F2D;
+    z = z.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 31;
+    Duration::from_micros(z % 1000)
+}
+
+/// The cluster's transport-level retransmit buffer. A frame the fault layer
+/// drops or corrupts in flight parks its pristine copy here — every
+/// reliable link layer keeps such a sender-side buffer — and the receiver's
+/// bounded-retry path fetches it by exact identity `(from, to, tag, seq)`,
+/// standing in for the NACK round-trip a real MPI progress engine would
+/// service asynchronously.
+/// Why a pristine frame copy was parked in the retransmit store. Recovery
+/// counters key off this (not off which recovery path won), so
+/// `drops_detected`/`corrupt_detected` stay pure functions of the fault
+/// seed even when a retry timer races the delivery of a mangled copy.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LossKind {
+    Dropped,
+    Corrupted,
+}
+
+/// One stashed retransmit entry: `(from, to, tag, injected kind, frame)`.
+type StashedFrame = (usize, usize, u64, LossKind, Frame);
+
+#[derive(Default)]
+struct RetransmitStore {
+    frames: Mutex<Vec<StashedFrame>>,
+}
+
+impl RetransmitStore {
+    fn stash(&self, from: usize, to: usize, tag: u64, kind: LossKind, frame: Frame) {
+        lock_ignore_poison(&self.frames).push((from, to, tag, kind, frame));
+    }
+
+    fn fetch(&self, from: usize, to: usize, tag: u64, seq: u64) -> Option<(LossKind, Frame)> {
+        let mut frames = lock_ignore_poison(&self.frames);
+        frames
+            .iter()
+            .position(|(f, t, g, _, fr)| *f == from && *t == to && *g == tag && fr.seq == seq)
+            .map(|pos| {
+                let (_, _, _, kind, frame) = frames.swap_remove(pos);
+                (kind, frame)
+            })
+    }
+}
+
+fn count_recovery(kind: LossKind) {
+    match kind {
+        LossKind::Dropped => carve_obs::counter("drops_detected", 1),
+        LossKind::Corrupted => carve_obs::counter("corrupt_detected", 1),
+    }
 }
 
 struct BarrierState {
@@ -167,6 +300,17 @@ pub struct Comm {
     /// Sends held back by fault-injection reordering, released after the
     /// next send (or at the next blocking op / drop).
     deferred: RefCell<Vec<(usize, Packet)>>,
+    /// Cluster-shared retransmit buffer backing lossy-frame recovery.
+    lost: Arc<RetransmitStore>,
+    /// Initial backoff of the bounded lane-retry loop (`CARVE_RETRY_BASE`).
+    retry_base: Duration,
+    /// Maximum retransmit fetch attempts per lane wait (`CARVE_RETRY_MAX`).
+    retry_max: u32,
+    /// Human-readable description of the exchange currently in flight on
+    /// this rank (neighbor ranks + posted-but-unmatched lane counts);
+    /// appended to watchdog timeout diagnostics so a hung exchange names
+    /// its peer.
+    exchange_note: RefCell<String>,
 }
 
 /// Tags with this bit set are reserved for user point-to-point traffic.
@@ -194,6 +338,10 @@ impl Comm {
             timeout: default_timeout(),
             fault: None,
             deferred: RefCell::new(Vec::new()),
+            lost: Arc::new(RetransmitStore::default()),
+            retry_base: default_retry_base(),
+            retry_max: default_retry_max(),
+            exchange_note: RefCell::new(String::new()),
         }
     }
 
@@ -404,12 +552,28 @@ impl Comm {
         if inbox.len() > 16 {
             parked.push(format!("... {} more", inbox.len() - 16));
         }
-        format!(
+        let mut ctx = format!(
             "waiting on recv(from rank {from}, {}); {} parked message(s) [{}]",
             fmt_tag(tag),
             inbox.len(),
             parked.join(", ")
-        )
+        );
+        let note = self.exchange_note.borrow();
+        if !note.is_empty() {
+            ctx.push_str("; outstanding exchange: ");
+            ctx.push_str(&note);
+        }
+        ctx
+    }
+
+    /// Registers a description of the exchange in flight on this rank so a
+    /// watchdog timeout can name the peer and lane state it was stuck on.
+    pub(crate) fn set_exchange_note(&self, note: String) {
+        *self.exchange_note.borrow_mut() = note;
+    }
+
+    pub(crate) fn clear_exchange_note(&self) {
+        self.exchange_note.borrow_mut().clear();
     }
 
     /// Blocking matched receive with abort polling and watchdog deadline.
@@ -460,6 +624,156 @@ impl Comm {
         let v: Vec<T> = self.recv_raw(from, tag);
         self.account_recv((v.len() * std::mem::size_of::<T>()) as u64);
         v
+    }
+
+    // --- Sequenced frame transport (exchange lanes) ------------------------
+
+    /// Sends one sequence-numbered, checksummed exchange-lane frame. This is
+    /// the only transport the fault layer's `drop_prob`/`corrupt_prob` apply
+    /// to: a dropped frame parks its pristine copy in the cluster retransmit
+    /// store instead of going out, and a corrupted frame goes out bit-flipped
+    /// while the pristine copy parks — either way [`Comm::recv_frame`]
+    /// recovers the original bits, so lossy chaos stays bitwise exact.
+    ///
+    /// Sends are accounted exactly once per frame here, whether or not the
+    /// fault layer interferes, keeping byte/message balances seed-independent.
+    pub(crate) fn send_frame(&self, to: usize, tag: u64, seq: u64, data: Vec<f64>) {
+        self.account_send((data.len() * std::mem::size_of::<f64>()) as u64);
+        let frame = Frame {
+            seq,
+            checksum: frame_checksum(seq, &data),
+            data,
+        };
+        if let Some(f) = &self.fault {
+            let ops = self.ops.get();
+            if f.should_drop(self.rank, ops, to as u64) {
+                self.lost
+                    .stash(self.rank, to, tag, LossKind::Dropped, frame);
+                return;
+            }
+            if f.should_corrupt(self.rank, ops, to as u64) {
+                self.lost
+                    .stash(self.rank, to, tag, LossKind::Corrupted, frame.clone());
+                let mut mangled = frame;
+                match mangled.data.first_mut() {
+                    Some(v) => *v = f64::from_bits(v.to_bits() ^ 1),
+                    None => mangled.checksum ^= 0xDEAD_BEEF,
+                }
+                self.dispatch(to, tag, Box::new(mangled), to as u64);
+                return;
+            }
+            if f.should_duplicate(self.rank, ops, to as u64) {
+                let _ = self.senders[to].send((self.rank, tag, Box::new(frame.clone())));
+            }
+        }
+        self.dispatch(to, tag, Box::new(frame), to as u64);
+    }
+
+    /// Validates an incoming exchange-lane packet against the expected
+    /// sequence number and its checksum. Returns the payload when the frame
+    /// is good; silently discards stale-sequence frames (retransmit
+    /// duplicates); recovers corrupted frames from the retransmit store.
+    fn accept_frame(
+        &self,
+        from: usize,
+        tag: u64,
+        b: Box<dyn Any + Send>,
+        seq: u64,
+    ) -> Option<Vec<f64>> {
+        let frame: Frame = self.downcast_payload(from, tag, b);
+        if frame.seq != seq {
+            return None;
+        }
+        if frame.checksum == frame_checksum(frame.seq, &frame.data) {
+            self.account_recv((frame.data.len() * std::mem::size_of::<f64>()) as u64);
+            return Some(frame.data);
+        }
+        // Checksum mismatch: the mangled copy arrived, which proves the
+        // sender already parked the pristine copy — fetch it immediately.
+        carve_obs::counter("retries", 1);
+        match self.lost.fetch(from, self.rank, tag, seq) {
+            Some((kind, pristine)) => {
+                count_recovery(kind);
+                self.account_recv((pristine.data.len() * std::mem::size_of::<f64>()) as u64);
+                Some(pristine.data)
+            }
+            None => self.protocol_error(format!(
+                "corrupt frame from rank {from} ({}) with no retransmit copy",
+                fmt_tag(tag)
+            )),
+        }
+    }
+
+    /// Blocking receive of one exchange-lane frame with bounded retransmit
+    /// retry. If the frame does not arrive within the current backoff
+    /// window, the retransmit store is polled (standing in for a NACK
+    /// round-trip); backoff doubles with deterministic jitter up to
+    /// `retry_max` attempts, after which the wait falls through to the
+    /// ordinary watchdog deadline with the retry history in its context.
+    pub(crate) fn recv_frame(&self, from: usize, tag: u64, seq: u64, what: &str) -> Vec<f64> {
+        self.flush_deferred();
+        while let Some((f, t, b)) = self.take_from_inbox(from, tag) {
+            if let Some(data) = self.accept_frame(f, t, b, seq) {
+                return data;
+            }
+        }
+        let start = Instant::now();
+        let mut attempt: u32 = 0;
+        let mut backoff = self.retry_base;
+        let mut next_retry = (self.retry_max > 0).then(|| start + backoff);
+        loop {
+            self.check_abort();
+            let waited = start.elapsed();
+            if waited >= self.timeout {
+                self.fail(CommError::Timeout {
+                    rank: self.rank,
+                    op: self.ops.get(),
+                    waited_secs: waited.as_secs_f64(),
+                    context: format!(
+                        "{what}: {attempt} retransmit attempt(s) exhausted; {}",
+                        self.recv_wait_context(from, tag)
+                    ),
+                });
+            }
+            if let Some(deadline) = next_retry {
+                if Instant::now() >= deadline {
+                    attempt += 1;
+                    carve_obs::counter("retries", 1);
+                    if let Some((kind, pristine)) = self.lost.fetch(from, self.rank, tag, seq) {
+                        count_recovery(kind);
+                        self.account_recv(
+                            (pristine.data.len() * std::mem::size_of::<f64>()) as u64,
+                        );
+                        return pristine.data;
+                    }
+                    backoff = backoff * 2 + retry_jitter(self.rank, from, tag, attempt);
+                    carve_obs::counter("backoff_ns", backoff.as_nanos() as u64);
+                    next_retry = (attempt < self.retry_max).then(|| Instant::now() + backoff);
+                }
+            }
+            match self.receiver.recv_timeout(POLL) {
+                Ok((f, t, b)) => {
+                    if f == from && t == tag {
+                        if let Some(fp) = &self.fault {
+                            if let Some(d) =
+                                fp.delay_for(self.rank, self.ops.get(), f as u64 | 0x8000)
+                            {
+                                std::thread::sleep(d);
+                            }
+                        }
+                        if let Some(data) = self.accept_frame(f, t, b, seq) {
+                            return data;
+                        }
+                    } else {
+                        self.inbox.borrow_mut().push((f, t, b));
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.protocol_error("all senders disconnected while receiving frame");
+                }
+            }
+        }
     }
 
     /// Nonblocking matched receive: drains whatever is already queued on the
@@ -902,12 +1216,16 @@ where
         cv: Condvar::new(),
     });
     let abort = Arc::new(AbortState::default());
+    let lost = Arc::new(RetransmitStore::default());
+    let retry_base = default_retry_base();
+    let retry_max = default_retry_max();
     let outcomes: Vec<Result<R, RankFailure>> = std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(nranks);
         for (rank, rx) in rxs.into_iter().enumerate() {
             let senders = Arc::clone(&senders);
             let barrier = Arc::clone(&barrier);
             let abort = Arc::clone(&abort);
+            let lost = Arc::clone(&lost);
             let fault = ambient_fault.clone();
             let f = &f;
             handles.push(s.spawn(move || {
@@ -925,6 +1243,10 @@ where
                     timeout,
                     fault,
                     deferred: RefCell::new(Vec::new()),
+                    lost,
+                    retry_base,
+                    retry_max,
+                    exchange_note: RefCell::new(String::new()),
                 };
                 match panic::catch_unwind(AssertUnwindSafe(|| {
                     let r = f(&comm);

@@ -21,8 +21,17 @@
 //! order (SPMD), including ranks with no neighbors, so the op counter stays
 //! aligned across the cluster. Fault injection (delay / reorder / duplicate)
 //! and the watchdog apply to every lane exactly as on the dense path.
+//!
+//! Loss tolerance: every lane payload travels as a sequence-numbered,
+//! checksummed frame (`Comm::send_frame` / `Comm::recv_frame`). The handle's
+//! monotonic round counter is the sequence number — identical across ranks
+//! by SPMD discipline — so dropped frames are re-fetched from the transport's
+//! retransmit buffer with bounded exponential backoff, corrupted frames are
+//! detected by checksum and replaced with the pristine copy, and stale
+//! retransmit duplicates are discarded by sequence check. Recovery restores
+//! the original payload bits, so lossy chaos stays bitwise exact.
 
-use crate::comm::{Comm, RecvHandle};
+use crate::comm::Comm;
 
 /// One neighbor's worth of exchange state: the peer rank, the local value
 /// indices packed to / scattered from it, and the reusable payload buffer.
@@ -44,12 +53,13 @@ impl Lane {
 }
 
 /// An in-flight ghost read started by [`ExchangeHandle::post_read`] and
-/// finished by [`ExchangeHandle::wait_read`]. Carries the posted receive
-/// handles (one per neighbor lane, in lane order) and the bytes this rank
-/// sent when posting.
+/// finished by [`ExchangeHandle::wait_read`]. Carries the exchange round's
+/// collective tag + frame sequence number and the bytes this rank sent when
+/// posting.
 #[must_use = "a posted exchange must be completed with wait_read"]
 pub struct PendingRead {
-    handles: Vec<RecvHandle<f64>>,
+    tag: u64,
+    seq: u64,
     bytes_sent: u64,
 }
 
@@ -70,6 +80,11 @@ pub struct ExchangeHandle {
     /// Distinct neighbor ranks across both directions (precomputed so the
     /// per-exchange obs counter allocates nothing).
     neighbors: usize,
+    /// Monotonic exchange-round counter, the frame sequence number. Both
+    /// `post_read` and `accumulate` bump it; SPMD discipline keeps it
+    /// identical across ranks, so sender and receiver agree on the expected
+    /// sequence without negotiation.
+    rounds: u64,
 }
 
 impl ExchangeHandle {
@@ -100,7 +115,29 @@ impl ExchangeHandle {
             send,
             recv,
             neighbors: ranks.len(),
+            rounds: 0,
         }
+    }
+
+    /// Registers the posted-but-unmatched lane state with the watchdog: if a
+    /// blocking wait times out while this exchange is outstanding, the
+    /// diagnostic names the peer ranks still owed a message.
+    fn note_outstanding(comm: &Comm, what: &str, seq: u64, lanes: &[Lane], matched: usize) {
+        if lanes.len() == matched {
+            comm.clear_exchange_note();
+            return;
+        }
+        let peers: Vec<String> = lanes
+            .iter()
+            .skip(matched)
+            .map(|l| l.rank.to_string())
+            .collect();
+        comm.set_exchange_note(format!(
+            "{what} round {seq}: {} of {} lane(s) unmatched, awaiting rank(s) [{}]",
+            lanes.len() - matched,
+            lanes.len(),
+            peers.join(", ")
+        ));
     }
 
     /// Number of neighbor ranks this rank exchanges with (union of send and
@@ -120,22 +157,21 @@ impl ExchangeHandle {
     /// immediately so the caller can compute while messages are in flight.
     pub fn post_read(&mut self, comm: &Comm, values: &[f64]) -> PendingRead {
         let tag = comm.next_tag();
+        let seq = self.rounds;
+        self.rounds += 1;
         carve_obs::counter("neighbor_ranks", self.neighbors as u64);
         let mut bytes_sent = 0u64;
         for lane in &mut self.send {
             let payload = lane.pack(values);
             bytes_sent += (payload.len() * 8) as u64;
-            comm.account_send(bytes_sent_of(&payload));
-            comm.maybe_duplicate(lane.rank, tag, &payload);
-            comm.dispatch(lane.rank, tag, Box::new(payload), lane.rank as u64);
+            comm.send_frame(lane.rank, tag, seq, payload);
         }
-        let handles = self
-            .recv
-            .iter()
-            .map(|lane| RecvHandle::new(lane.rank, tag))
-            .collect();
+        // From here until wait_read completes, a watchdog timeout anywhere
+        // on this rank names the peers still owed a lane message.
+        Self::note_outstanding(comm, "ghost read", seq, &self.recv, 0);
         PendingRead {
-            handles,
+            tag,
+            seq,
             bytes_sent,
         }
     }
@@ -145,9 +181,11 @@ impl ExchangeHandle {
     /// `values`. Arriving buffers are parked in their lanes for the next
     /// accumulate to reuse. Returns the bytes sent at post time.
     pub fn wait_read(&mut self, comm: &Comm, pending: PendingRead, values: &mut [f64]) -> u64 {
-        debug_assert_eq!(pending.handles.len(), self.recv.len());
-        for (lane, handle) in self.recv.iter_mut().zip(pending.handles) {
-            let payload = handle.wait(comm);
+        for i in 0..self.recv.len() {
+            Self::note_outstanding(comm, "ghost read", pending.seq, &self.recv, i);
+            let payload =
+                comm.recv_frame(self.recv[i].rank, pending.tag, pending.seq, "ghost read");
+            let lane = &mut self.recv[i];
             if payload.len() != lane.idx.len() {
                 comm.protocol_error(format!(
                     "ghost read from rank {}: got {} values for {} ghost slots",
@@ -161,6 +199,7 @@ impl ExchangeHandle {
             }
             lane.buf = payload;
         }
+        comm.clear_exchange_note();
         pending.bytes_sent
     }
 
@@ -178,6 +217,8 @@ impl ExchangeHandle {
     /// value now lives at the owner). Collective; returns bytes sent.
     pub fn accumulate(&mut self, comm: &Comm, values: &mut [f64]) -> u64 {
         let tag = comm.next_tag();
+        let seq = self.rounds;
+        self.rounds += 1;
         carve_obs::counter("neighbor_ranks", self.neighbors as u64);
         let mut bytes = 0u64;
         for lane in &mut self.recv {
@@ -186,12 +227,12 @@ impl ExchangeHandle {
             for &slot in &lane.idx {
                 values[slot as usize] = 0.0;
             }
-            comm.account_send(bytes_sent_of(&payload));
-            comm.maybe_duplicate(lane.rank, tag, &payload);
-            comm.dispatch(lane.rank, tag, Box::new(payload), lane.rank as u64);
+            comm.send_frame(lane.rank, tag, seq, payload);
         }
-        for lane in &mut self.send {
-            let payload: Vec<f64> = RecvHandle::new(lane.rank, tag).wait(comm);
+        for i in 0..self.send.len() {
+            Self::note_outstanding(comm, "ghost accumulate", seq, &self.send, i);
+            let payload = comm.recv_frame(self.send[i].rank, tag, seq, "ghost accumulate");
+            let lane = &mut self.send[i];
             if payload.len() != lane.idx.len() {
                 comm.protocol_error(format!(
                     "ghost accumulate from rank {}: got {} values for {} owned slots",
@@ -205,12 +246,9 @@ impl ExchangeHandle {
             }
             lane.buf = payload;
         }
+        comm.clear_exchange_note();
         bytes
     }
-}
-
-fn bytes_sent_of(payload: &[f64]) -> u64 {
-    (payload.len() * 8) as u64
 }
 
 #[cfg(test)]
@@ -361,6 +399,171 @@ mod tests {
         let clean = run(None);
         for seed in [5u64, 97] {
             assert_eq!(run(Some(FaultPlan::chaos(seed))), clean, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn lossy_chaos_recovers_bitwise_identical_values() {
+        // Frame drops + corruption must be fully recovered: every exchanged
+        // value bit-identical to the fault-free run, via checksum detection
+        // and the retransmit store.
+        let run = |fault: Option<FaultPlan>| {
+            let mut opts = SpmdOptions::default().timeout(std::time::Duration::from_secs(20));
+            opts.fault = fault;
+            run_spmd_with(4, opts, |c| {
+                let (sp, rp) = ring_plans(c);
+                let mut ex = ExchangeHandle::new(&sp, &rp);
+                let mut out = Vec::new();
+                for round in 0..12 {
+                    let mut v = [(c.rank() * 17 + round) as f64 + 0.125, 0.0];
+                    let pending = ex.post_read(c, &v);
+                    ex.wait_read(c, pending, &mut v);
+                    v[1] += 0.25;
+                    ex.accumulate(c, &mut v);
+                    out.push(v[0]);
+                    out.push(v[1]);
+                }
+                out
+            })
+            .expect("lossy chaos must not break the exchange")
+        };
+        let clean = run(None);
+        for seed in [5u64, 29, 97] {
+            assert_eq!(run(Some(FaultPlan::lossy(seed))), clean, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn every_frame_dropped_still_recovers_exactly() {
+        // drop_prob = 1.0: no frame ever arrives directly; every lane wait
+        // must go through the retry/backoff + retransmit-store path.
+        let plan = FaultPlan {
+            seed: 13,
+            drop_prob: 1.0,
+            ..FaultPlan::default()
+        };
+        let mut opts = SpmdOptions::default().timeout(std::time::Duration::from_secs(20));
+        opts.fault = Some(plan);
+        let res = run_spmd_with(3, opts, |c| {
+            let (sp, rp) = ring_plans(c);
+            let mut ex = ExchangeHandle::new(&sp, &rp);
+            let mut v = [10.0 * (c.rank() as f64 + 1.0), -1.0];
+            ex.read(c, &mut v);
+            v[1]
+        })
+        .expect("dropped frames must be recovered");
+        for (r, ghost) in res.iter().enumerate() {
+            assert_eq!(*ghost, 10.0 * (((r + 1) % 3) as f64 + 1.0), "rank {r}");
+        }
+    }
+
+    #[test]
+    fn every_frame_corrupted_still_recovers_exactly() {
+        // corrupt_prob = 1.0: every frame arrives mangled; the checksum must
+        // catch each one and the pristine copy must replace it.
+        let plan = FaultPlan {
+            seed: 13,
+            corrupt_prob: 1.0,
+            ..FaultPlan::default()
+        };
+        let mut opts = SpmdOptions::default().timeout(std::time::Duration::from_secs(20));
+        opts.fault = Some(plan);
+        let res = run_spmd_with(3, opts, |c| {
+            let (sp, rp) = ring_plans(c);
+            let mut ex = ExchangeHandle::new(&sp, &rp);
+            let mut acc = 0.0;
+            for round in 0..4 {
+                let mut v = [(c.rank() + round) as f64 + 0.5, 0.0];
+                ex.read(c, &mut v);
+                acc += v[1];
+            }
+            acc
+        })
+        .expect("corrupted frames must be recovered");
+        for (r, got) in res.iter().enumerate() {
+            let expect: f64 = (0..4).map(|k| (((r + 1) % 3) + k) as f64 + 0.5).sum();
+            assert_eq!(*got, expect, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn kill_between_post_and_wait_aborts_cleanly() {
+        use crate::comm::ReduceOp;
+        use crate::error::{CommError, FailureKind};
+
+        let body = |c: &Comm| -> (u64, f64) {
+            let (sp, rp) = ring_plans(c);
+            let mut ex = ExchangeHandle::new(&sp, &rp);
+            let mut v = [c.rank() as f64 + 1.0, 0.0];
+            let pending = ex.post_read(c, &v);
+            let at_post = c.op_count();
+            // Overlap-window collective: the kill lands here, after the
+            // victim posted its lanes but before it completed the wait.
+            let s = c.all_reduce_f64(v[0], ReduceOp::Sum);
+            ex.wait_read(c, pending, &mut v);
+            (at_post, s + v[1])
+        };
+        // Probe run: find the victim's op count right after post_read.
+        let at_post = run_spmd(3, body)[1].0;
+
+        let mut opts = SpmdOptions::default().timeout(std::time::Duration::from_secs(20));
+        opts.fault = Some(FaultPlan::chaos(11).with_kill(1, at_post + 1));
+        let err = run_spmd_with(3, opts, body).expect_err("kill must abort the cluster");
+        assert_eq!(err.failed_ranks(), vec![1]);
+        assert!(
+            matches!(
+                &err.primary()[0].kind,
+                FailureKind::Comm(CommError::FaultInjected { rank: 1, .. })
+            ),
+            "{err}"
+        );
+        // Survivors unwound sympathetically — no watchdog timeouts, no
+        // protocol errors from poisoned lane buffers.
+        for f in &err.failures {
+            if f.rank != 1 {
+                assert!(f.is_sympathetic(), "rank {} failure: {f}", f.rank);
+            }
+        }
+    }
+
+    #[test]
+    fn watchdog_timeout_names_exchange_peer() {
+        use crate::error::{CommError, FailureKind};
+        // Rank 1 never posts its exchange round, so rank 0's wait_read must
+        // time out *and name rank 1* via the outstanding-lane diagnostic.
+        let mut opts = SpmdOptions::default().timeout(std::time::Duration::from_millis(200));
+        opts.fault = None;
+        let err = run_spmd_with(2, opts, |c| {
+            let p = c.size();
+            let mut send = vec![Vec::new(); p];
+            let mut recv = vec![Vec::new(); p];
+            if c.rank() == 0 {
+                recv[1] = vec![1];
+                let mut ex = ExchangeHandle::new(&send, &recv);
+                let mut v = [0.0, -1.0];
+                let pending = ex.post_read(c, &v);
+                ex.wait_read(c, pending, &mut v);
+            } else {
+                // Deliberately absent: rank 1 owes rank 0 a lane message.
+                send[0] = vec![0];
+                let _ex = ExchangeHandle::new(&send, &recv);
+                std::thread::sleep(std::time::Duration::from_millis(400));
+            }
+        })
+        .expect_err("missing peer must trip the watchdog");
+        match &err.primary()[0].kind {
+            FailureKind::Comm(CommError::Timeout { context, .. }) => {
+                assert!(context.contains("ghost read"), "context: {context}");
+                assert!(
+                    context.contains("awaiting rank(s) [1]"),
+                    "context: {context}"
+                );
+                assert!(
+                    context.contains("retransmit attempt(s) exhausted"),
+                    "context: {context}"
+                );
+            }
+            other => panic!("expected timeout, got {other:?}"),
         }
     }
 

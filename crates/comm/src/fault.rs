@@ -14,6 +14,17 @@
 //!   the receiver's inbox; a correct matcher must never consume it);
 //! * **kill** — panic a chosen rank once its op counter reaches a chosen
 //!   value, exercising panic containment and cluster abort.
+//! * **drop** — a sequenced lane frame is withheld from the channel (the
+//!   transport keeps the pristine copy in its retransmit buffer, as any
+//!   reliable link layer does); the receiver detects the gap via its
+//!   per-lane timeout and recovers it through the bounded-retry path;
+//! * **corrupt** — a lane frame is delivered with flipped payload bits; the
+//!   receiver's checksum rejects it and recovery fetches the pristine copy.
+//!
+//! Drop and corrupt apply only to the sequence-numbered, checksummed lane
+//! frames of `ExchangeHandle` — the one transport with a retransmit
+//! protocol — so a lossy plan still converges to the bitwise-identical
+//! result of a fault-free run.
 
 use std::time::Duration;
 
@@ -38,6 +49,48 @@ pub struct FaultPlan {
     pub reorder_prob: f64,
     /// Probability of duplicating a collective payload.
     pub duplicate_prob: f64,
+    /// Probability of dropping a sequenced lane frame in flight (the
+    /// transport's retransmit buffer keeps the pristine copy).
+    pub drop_prob: f64,
+    /// Probability of delivering a sequenced lane frame with corrupted
+    /// payload bits (checksum-detectable).
+    pub corrupt_prob: f64,
+}
+
+/// Named ambient-chaos profile selected by `CARVE_CHAOS=seed[:profile]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ChaosProfile {
+    /// Timing-only delays (the conservative default): message counts and
+    /// delivery order stay exact.
+    #[default]
+    Delay,
+    /// Delays + reorders + duplicates (hostile schedules; breaks tests that
+    /// count exact message traffic, so it is opt-in, never ambient CI).
+    Chaos,
+    /// Delays + frame drops + frame corruption: exercises the lane
+    /// retry/backoff recovery protocol on every exchange in the suite.
+    Lossy,
+}
+
+impl ChaosProfile {
+    /// Parses a profile name; unknown names fall back to [`ChaosProfile::Delay`]
+    /// (ambient injection must never turn a typo into a hard failure).
+    pub fn parse(name: &str) -> ChaosProfile {
+        match name.trim() {
+            "chaos" => ChaosProfile::Chaos,
+            "lossy" => ChaosProfile::Lossy,
+            _ => ChaosProfile::Delay,
+        }
+    }
+
+    /// The seeded plan this profile stands for.
+    pub fn plan(self, seed: u64) -> FaultPlan {
+        match self {
+            ChaosProfile::Delay => FaultPlan::delay_only(seed),
+            ChaosProfile::Chaos => FaultPlan::chaos(seed),
+            ChaosProfile::Lossy => FaultPlan::lossy(seed),
+        }
+    }
 }
 
 impl FaultPlan {
@@ -50,6 +103,27 @@ impl FaultPlan {
             max_delay: Duration::from_micros(300),
             reorder_prob: 0.15,
             duplicate_prob: 0.10,
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+        }
+    }
+
+    /// A lossy-link plan: timing delays plus frame drops and corruption on
+    /// the sequenced exchange lanes. Delivery order and message counts of
+    /// the unframed paths stay exact (like [`FaultPlan::delay_only`]), and
+    /// the lane retry/backoff protocol must recover every lost or mangled
+    /// frame bit-exactly — this is the ambient plan behind
+    /// `CARVE_CHAOS=seed:lossy`.
+    pub fn lossy(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            kill: None,
+            delay_prob: 0.20,
+            max_delay: Duration::from_micros(200),
+            reorder_prob: 0.0,
+            duplicate_prob: 0.0,
+            drop_prob: 0.03,
+            corrupt_prob: 0.03,
         }
     }
 
@@ -66,6 +140,8 @@ impl FaultPlan {
             max_delay: Duration::from_micros(200),
             reorder_prob: 0.0,
             duplicate_prob: 0.0,
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
         }
     }
 
@@ -124,6 +200,14 @@ impl FaultPlan {
     pub(crate) fn should_duplicate(&self, rank: usize, ops: u64, salt: u64) -> bool {
         self.duplicate_prob > 0.0 && self.draw(rank, ops, salt ^ 0x3C3C) < self.duplicate_prob
     }
+
+    pub(crate) fn should_drop(&self, rank: usize, ops: u64, salt: u64) -> bool {
+        self.drop_prob > 0.0 && self.draw(rank, ops, salt ^ 0x0F0F) < self.drop_prob
+    }
+
+    pub(crate) fn should_corrupt(&self, rank: usize, ops: u64, salt: u64) -> bool {
+        self.corrupt_prob > 0.0 && self.draw(rank, ops, salt ^ 0xC3C3) < self.corrupt_prob
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +263,46 @@ mod tests {
             assert!(!p.should_reorder(0, ops, 0));
             assert!(!p.should_duplicate(0, ops, 0));
             assert!(!p.should_kill(0, ops));
+            assert!(!p.should_drop(0, ops, 0));
+            assert!(!p.should_corrupt(0, ops, 0));
         }
+    }
+
+    #[test]
+    fn lossy_plan_draws_are_seeded_deterministic() {
+        let a = FaultPlan::lossy(11);
+        let b = FaultPlan::lossy(11);
+        let c = FaultPlan::lossy(12);
+        let (mut drops, mut corrupts, mut differs) = (0, 0, false);
+        for ops in 0..2000 {
+            assert_eq!(a.should_drop(1, ops, 3), b.should_drop(1, ops, 3));
+            assert_eq!(a.should_corrupt(1, ops, 3), b.should_corrupt(1, ops, 3));
+            drops += a.should_drop(1, ops, 3) as usize;
+            corrupts += a.should_corrupt(1, ops, 3) as usize;
+            differs |= a.should_drop(1, ops, 3) != c.should_drop(1, ops, 3);
+        }
+        assert!(
+            drops > 0 && corrupts > 0,
+            "drops {drops} corrupts {corrupts}"
+        );
+        assert!(differs, "different seeds should drop different frames");
+        // Ordering stays exact: lossy never reorders or duplicates.
+        for ops in 0..200 {
+            assert!(!a.should_reorder(0, ops, 0));
+            assert!(!a.should_duplicate(0, ops, 0));
+        }
+    }
+
+    #[test]
+    fn chaos_profile_parses_and_maps_to_plans() {
+        assert_eq!(ChaosProfile::parse("delay"), ChaosProfile::Delay);
+        assert_eq!(ChaosProfile::parse("chaos"), ChaosProfile::Chaos);
+        assert_eq!(ChaosProfile::parse("lossy"), ChaosProfile::Lossy);
+        assert_eq!(ChaosProfile::parse("typo"), ChaosProfile::Delay);
+        let p = ChaosProfile::Lossy.plan(5);
+        assert!(p.drop_prob > 0.0 && p.corrupt_prob > 0.0);
+        assert_eq!(p.reorder_prob, 0.0);
+        let d = ChaosProfile::Delay.plan(5);
+        assert_eq!(d.drop_prob, 0.0);
     }
 }

@@ -17,8 +17,11 @@
 //!   wait carries a watchdog deadline (`CARVE_COMM_TIMEOUT`), and failures
 //!   surface as structured [`SpmdError`]s naming the responsible rank(s).
 //! * [`FaultPlan`] — seeded, deterministic chaos injection (delay / reorder /
-//!   duplicate deliveries, kill a rank at a chosen op count) for stress
-//!   testing the distributed algorithms.
+//!   duplicate / drop / corrupt deliveries, kill a rank at a chosen op
+//!   count) for stress testing the distributed algorithms. Exchange-lane
+//!   traffic is sequence-numbered and checksummed, with bounded
+//!   retry/backoff recovery from a retransmit store (`CARVE_RETRY_BASE`,
+//!   `CARVE_RETRY_MAX`), so lossy chaos converges bit-identically.
 //! * [`disttreesort`] — the distributed sample-sort version of TreeSort used
 //!   by Algorithm 3, with duplicate removal and keep-finer overlap
 //!   resolution across rank boundaries, plus the load-tolerance splitter
@@ -41,9 +44,9 @@ pub mod fault;
 
 pub use comm::{
     run_spmd, run_spmd_with, try_run_spmd, Comm, CommStats, RecvHandle, ReduceOp, SpmdOptions,
-    CHAOS_ENV, TIMEOUT_ENV,
+    CHAOS_ENV, RETRY_BASE_ENV, RETRY_MAX_ENV, TIMEOUT_ENV,
 };
 pub use disttreesort::{dist_tree_sort, partition_splitters_by_weight};
 pub use error::{CommError, FailureKind, RankFailure, SpmdError};
 pub use exchange::{ExchangeHandle, PendingRead};
-pub use fault::{FaultPlan, KillSpec};
+pub use fault::{ChaosProfile, FaultPlan, KillSpec};

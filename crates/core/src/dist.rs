@@ -24,15 +24,18 @@ use crate::matvec::{
 use crate::nodes::{
     elem_node_coord, enumerate_nodes, lattice_index, nodes_per_elem, resolve_slot, NodeSet, SlotRef,
 };
-use carve_comm::{dist_tree_sort, Comm, ExchangeHandle, ReduceOp};
+use carve_comm::{
+    dist_tree_sort, run_spmd_with, Comm, ExchangeHandle, ReduceOp, SpmdError, SpmdOptions,
+};
 use carve_geom::{RegionLabel, Subdomain};
-use carve_la::Reduce;
+use carve_la::{Reduce, SolveCheckpoint};
 use carve_sfc::morton::{finest_cell_of_point, point_cmp_morton};
 use carve_sfc::{sfc_cmp, Curve, Octant};
 use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::Mutex;
 
 /// Requested consistency of a distributed operation's output vector.
 ///
@@ -709,6 +712,102 @@ impl Reduce for DistReduce<'_> {
     }
 }
 
+// --- Solve supervision: cross-attempt checkpoints + retrying SPMD driver ---
+
+/// Per-rank [`SolveCheckpoint`] slots that outlive SPMD attempts: the rank
+/// threads of a killed cluster die, but snapshots flushed here (via
+/// `Checkpointer::with_sink`) survive for the supervisor's next attempt.
+///
+/// Restart consistency: each rank restores its *own* latest snapshot. Under
+/// an asynchronous abort, ranks can be one iteration apart in what they
+/// managed to flush; a Krylov restart from mixed-iteration owned values is
+/// still just a fresh solve from a valid initial guess (ghost values are
+/// re-read from owners on the first matvec), so correctness never depends
+/// on snapshot alignment. Callers that also need a *deterministic* retry
+/// trajectory (the bench recovery stage) arrange the kill away from a
+/// checkpoint-cadence boundary, which pins every rank's latest flushed
+/// snapshot to the same iteration.
+pub struct CheckpointStore {
+    slots: Mutex<Vec<Option<SolveCheckpoint>>>,
+}
+
+impl CheckpointStore {
+    pub fn new(nranks: usize) -> Self {
+        CheckpointStore {
+            slots: Mutex::new(vec![None; nranks]),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Option<SolveCheckpoint>>> {
+        self.slots.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Saves `rank`'s latest snapshot (overwrites the previous one).
+    pub fn save(&self, rank: usize, ckpt: &SolveCheckpoint) {
+        self.lock()[rank] = Some(ckpt.clone());
+    }
+
+    /// This rank's latest surviving snapshot, if any attempt got far enough
+    /// to flush one.
+    pub fn load(&self, rank: usize) -> Option<SolveCheckpoint> {
+        self.lock()[rank].clone()
+    }
+
+    /// Number of ranks holding a snapshot.
+    pub fn saved_count(&self) -> usize {
+        self.lock().iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Drops all snapshots (e.g. between independent solves).
+    pub fn clear(&self) {
+        for slot in self.lock().iter_mut() {
+            *slot = None;
+        }
+    }
+}
+
+/// Runs an SPMD solve under a retry policy: on [`SpmdError`] (rank kill,
+/// watchdog timeout, contained panic) the cluster is relaunched up to
+/// `max_retries` times, with the rank closure told which attempt it is on
+/// so it can restore from a [`CheckpointStore`]. A deterministic fault-plan
+/// kill is stripped before the first retry — the killed node has been
+/// "replaced" — while ambient delay/loss probabilities stay in force, so
+/// retries are exercised under the same chaos that killed the first run.
+///
+/// Each retry is recorded on the supervising thread under the
+/// `recovery/retry` obs phase (counter `solve_retries`); rank closures are
+/// expected to record their restores under `recovery/restore`.
+pub fn supervise_spmd<R, F>(
+    nranks: usize,
+    mut opts: SpmdOptions,
+    max_retries: usize,
+    f: F,
+) -> Result<Vec<R>, SpmdError>
+where
+    R: Send,
+    F: Fn(&Comm, usize) -> R + Send + Sync,
+{
+    let mut attempt = 0usize;
+    loop {
+        let fref = &f;
+        match run_spmd_with(nranks, opts.clone(), move |c| fref(c, attempt)) {
+            Ok(v) => return Ok(v),
+            Err(err) => {
+                if attempt >= max_retries {
+                    return Err(err);
+                }
+                let _recovery = carve_obs::scope("recovery");
+                let _retry = carve_obs::scope("retry");
+                carve_obs::counter("solve_retries", 1);
+                if let Some(fault) = &mut opts.fault {
+                    fault.kill = None;
+                }
+                attempt += 1;
+            }
+        }
+    }
+}
+
 /// Algorithm 3 — `DistributedConstructConstrained`: sorts/partitions the
 /// seeds, constructs each rank's constrained tree, then globally sorts,
 /// dedups, and resolves overlaps keeping finer octants.
@@ -1203,6 +1302,119 @@ mod tests {
             assert!(*bn > 0.0);
             assert!(rn <= &(1e-8 * bn), "residual {rn} vs rhs norm {bn}");
         }
+    }
+
+    #[test]
+    fn supervised_solve_with_rank_kill_recovers_from_checkpoint() {
+        // The acceptance property of the recovery stack: a distributed CG
+        // whose cluster loses one rank mid-solve is relaunched by the
+        // supervisor, restores from the surviving checkpoints, and converges
+        // to the same answer as the uninterrupted solve — doing *fewer*
+        // iterations on the retry than a from-scratch solve would.
+        use carve_la::{cg_checkpointed, Checkpointer, IdentityPrecond};
+        use std::sync::Arc;
+
+        let p = 3;
+        // Rank closure: distributed CG over the traversal matvec, snapshot
+        // every 5 iterations into the cross-attempt store, restore on retry.
+        let solve = |c: &Comm, attempt: usize, store: &CheckpointStore| {
+            let domain = sphere_domain_2d();
+            let m = DistMesh::<2>::build(c, &domain, Curve::Hilbert, 3, 4, 1);
+            let n = m.nodes.len();
+            let b = keyed_field(&m);
+            let ws = std::cell::RefCell::new(TraversalWorkspace::with_threads(1));
+            let op = (n, |xv: &[f64], yv: &mut [f64]| {
+                m.matvec_ws(
+                    c,
+                    xv,
+                    yv,
+                    &mut ws.borrow_mut(),
+                    GhostState::OwnedOnly,
+                    &mut toy_kernel::<2>(),
+                );
+            });
+            let rank = c.rank();
+            let mut x = vec![0.0; n];
+            let mut ck = Checkpointer::new(5)
+                .with_sink(|snap: &carve_la::SolveCheckpoint| store.save(rank, snap));
+            if attempt > 0 {
+                if let Some(snap) = store.load(rank) {
+                    let _restore = carve_obs::scope("recovery");
+                    let _r2 = carve_obs::scope("restore");
+                    carve_obs::counter("ranks_restored", 1);
+                    x.copy_from_slice(&snap.x);
+                    ck = Checkpointer::new(5)
+                        .with_sink(|snap: &carve_la::SolveCheckpoint| store.save(rank, snap))
+                        .resume_from(&snap);
+                }
+            }
+            let rd = m.reducer(c);
+            let res = cg_checkpointed(
+                &op,
+                &b,
+                &mut x,
+                &IdentityPrecond,
+                1e-10,
+                0.0,
+                500,
+                &rd,
+                &mut ck,
+            );
+            let owned: Vec<f64> = x
+                .iter()
+                .zip(&m.owner)
+                .filter(|&(_, &ow)| ow == c.rank() as u32)
+                .map(|(v, _)| *v)
+                .collect();
+            (res.converged, res.iterations, owned)
+        };
+
+        // Uninterrupted reference (also measures ops to place the kill).
+        let probe_store = CheckpointStore::new(p);
+        let probe = run_spmd(p, |c| {
+            let ops_before = c.op_count();
+            let out = solve(c, 0, &probe_store);
+            (ops_before, c.op_count(), out)
+        });
+        let full_iters = probe[0].2 .1;
+        let x_full: Vec<Vec<f64>> = probe.iter().map(|(_, _, o)| o.2.clone()).collect();
+        assert!(probe[0].2 .0, "reference solve converged");
+        assert!(full_iters > 12, "need room for a mid-solve kill");
+
+        // Kill rank 1 roughly 60% through its solve ops: past checkpoint
+        // iteration 10, before the end.
+        let (ops_lo, ops_hi) = (probe[1].0, probe[1].1);
+        let kill_at = ops_lo + (ops_hi - ops_lo) * 6 / 10;
+
+        let store = Arc::new(CheckpointStore::new(p));
+        let opts = SpmdOptions {
+            fault: Some(carve_comm::FaultPlan::kill_rank(1, kill_at)),
+            ..SpmdOptions::default()
+        };
+        let results = {
+            let store = Arc::clone(&store);
+            supervise_spmd(p, opts, 2, move |c, attempt| solve(c, attempt, &store))
+        }
+        .expect("supervisor must recover the solve");
+
+        for (r, (converged, iters, owned)) in results.iter().enumerate() {
+            assert!(*converged, "rank {r} converged after recovery");
+            // The retry restored mid-solve state: it must finish in fewer
+            // iterations than the full solve took.
+            assert!(
+                *iters < full_iters,
+                "rank {r}: retry took {iters} vs full {full_iters} — checkpoint not used"
+            );
+            assert_eq!(owned.len(), x_full[r].len(), "rank {r} owned layout");
+            let scale = x_full[r].iter().map(|v| v.abs()).fold(1.0f64, f64::max);
+            for (a, b) in owned.iter().zip(&x_full[r]) {
+                assert!(
+                    (a - b).abs() <= 1e-7 * scale,
+                    "rank {r}: {a} vs {b} after recovery"
+                );
+            }
+        }
+        assert_eq!(store.saved_count(), p, "every rank checkpointed");
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub use construct::{
     check_tree_invariants, classify_octant, construct_boundary_refined, construct_constrained,
     construct_uniform,
 };
-pub use dist::{DistMesh, DistReduce, GhostState, GhostStats};
+pub use dist::{supervise_spmd, CheckpointStore, DistMesh, DistReduce, GhostState, GhostStats};
 pub use matvec::{
     traversal_assemble, traversal_assemble_par, traversal_assemble_ws, traversal_matvec,
     traversal_matvec_overlap_par, traversal_matvec_overlap_ws, traversal_matvec_par,

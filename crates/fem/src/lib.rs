@@ -25,4 +25,7 @@ pub use poisson::{
     apply_stiffness_tensor, load_vector, mass_matrix, stiffness_matrix, ElementCache,
 };
 pub use sbm::{sbm_face_terms, surrogate_faces, SbmParams, SurrogateFace};
-pub use solver::{solve_poisson, BcMode, PoissonProblem, PoissonSolution};
+pub use solver::{
+    solve_poisson, solve_poisson_supervised, AttemptReport, BcMode, EscalatedSolver,
+    PoissonProblem, PoissonSolution, RankDiagnostic, SolveFailed, SupervisedSolve, Supervisor,
+};

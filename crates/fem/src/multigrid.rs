@@ -315,6 +315,28 @@ impl<const DIM: usize> Multigrid<DIM> {
         self.levels.len()
     }
 
+    /// Applies the finest-level constrained operator `y = A x` (the same
+    /// operator [`Multigrid::solve`] iterates on) — public so escalation
+    /// policies and diagnostics can measure residuals without a solve.
+    pub fn apply_finest(&self, x: &[f64], y: &mut [f64]) {
+        self.apply(0, x, y);
+    }
+
+    /// One V-cycle as a preconditioner application: `z ≈ A⁻¹ r` on the
+    /// finest level, starting from zero.
+    pub fn precondition(&self, r: &[f64], z: &mut [f64]) {
+        z.iter_mut().for_each(|v| *v = 0.0);
+        self.vcycle(0, z, r);
+    }
+
+    /// Doubles the pre/post smoothing sweeps: the escalation knob the solve
+    /// supervisor turns when the Krylov ladder has failed — more smoothing
+    /// buys a stronger (slower) V-cycle without rebuilding the hierarchy.
+    pub fn tighten_smoothing(&mut self) {
+        self.nu_pre *= 2;
+        self.nu_post *= 2;
+    }
+
     pub fn finest(&self) -> &Mesh<DIM> {
         &self.levels[0].mesh
     }
@@ -436,6 +458,22 @@ impl<const DIM: usize> Multigrid<DIM> {
             }
         }
         carve_la::cg(&MgOp(self), b, x, &MgPre(self), rtol, 1e-14, max_iter)
+    }
+}
+
+impl<const DIM: usize> crate::solver::EscalatedSolver for Multigrid<DIM> {
+    fn tighten(&mut self) {
+        self.tighten_smoothing();
+    }
+
+    fn solve_escalated(
+        &self,
+        b: &[f64],
+        x: &mut [f64],
+        rtol: f64,
+        max_iter: usize,
+    ) -> KrylovResult {
+        self.solve(b, x, rtol, max_iter)
     }
 }
 

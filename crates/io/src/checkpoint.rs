@@ -1,0 +1,155 @@
+//! JSON (de)serialization of Krylov [`SolveCheckpoint`]s, so a solve
+//! interrupted by a process-level failure can restart in a *different*
+//! process from its last snapshot (the in-process supervisor keeps
+//! checkpoints in memory; this is the durable escape hatch).
+//!
+//! Schema:
+//!
+//! ```json
+//! {
+//!   "schema": "carve-solve-checkpoint-v1",
+//!   "method": "cg",
+//!   "iteration": 150,
+//!   "residual": 3.2e-7,
+//!   "residual_tail": [5.1e-7, 4.0e-7, 3.2e-7],
+//!   "x": [ ... ],
+//!   "r": [ ... ]
+//! }
+//! ```
+//!
+//! Numbers are written with Rust's shortest-roundtrip `f64` formatting, so
+//! the decoded state is bit-identical to the snapshot for every nonzero
+//! finite value (negative zero decodes as `0.0`, numerically identical; the
+//! JSON writer encodes non-finite values as `null`, but a checkpoint never
+//! contains them: the checkpointer only snapshots finite residual states).
+
+use crate::json::Json;
+use carve_la::SolveCheckpoint;
+
+/// Schema tag stamped into every serialized checkpoint.
+pub const CHECKPOINT_SCHEMA: &str = "carve-solve-checkpoint-v1";
+
+fn vec_to_json(v: &[f64]) -> Json {
+    Json::Arr(v.iter().map(|&x| Json::Num(x)).collect())
+}
+
+fn vec_from_json(j: &Json, key: &str) -> Result<Vec<f64>, String> {
+    match j.get(key) {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|it| {
+                it.as_f64()
+                    .ok_or_else(|| format!("checkpoint: non-number in {key:?}"))
+            })
+            .collect(),
+        _ => Err(format!("checkpoint: missing array field {key:?}")),
+    }
+}
+
+/// Encodes a [`SolveCheckpoint`] as a self-describing JSON object.
+pub fn checkpoint_to_json(ckpt: &SolveCheckpoint) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(CHECKPOINT_SCHEMA.into())),
+        ("method".into(), Json::Str(ckpt.method.clone())),
+        ("iteration".into(), Json::Num(ckpt.iteration as f64)),
+        ("residual".into(), Json::Num(ckpt.residual)),
+        ("residual_tail".into(), vec_to_json(&ckpt.residual_tail)),
+        ("x".into(), vec_to_json(&ckpt.x)),
+        ("r".into(), vec_to_json(&ckpt.r)),
+    ])
+}
+
+/// Decodes a checkpoint written by [`checkpoint_to_json`], validating the
+/// schema tag and the basic shape invariants (`x` and `r` same length).
+pub fn checkpoint_from_json(j: &Json) -> Result<SolveCheckpoint, String> {
+    match j.get("schema").and_then(Json::as_str) {
+        Some(CHECKPOINT_SCHEMA) => {}
+        Some(other) => return Err(format!("checkpoint: unknown schema {other:?}")),
+        None => return Err("checkpoint: missing string field \"schema\"".into()),
+    }
+    let method = j
+        .get("method")
+        .and_then(Json::as_str)
+        .ok_or("checkpoint: missing string field \"method\"")?
+        .to_string();
+    let iteration = j
+        .get("iteration")
+        .and_then(Json::as_f64)
+        .filter(|v| v.is_finite() && *v >= 0.0)
+        .ok_or("checkpoint: missing number field \"iteration\"")? as usize;
+    let residual = j
+        .get("residual")
+        .and_then(Json::as_f64)
+        .ok_or("checkpoint: missing number field \"residual\"")?;
+    let residual_tail = vec_from_json(j, "residual_tail")?;
+    let x = vec_from_json(j, "x")?;
+    let r = vec_from_json(j, "r")?;
+    if x.len() != r.len() {
+        return Err(format!(
+            "checkpoint: x has {} entries but r has {}",
+            x.len(),
+            r.len()
+        ));
+    }
+    Ok(SolveCheckpoint {
+        method,
+        iteration,
+        residual,
+        x,
+        r,
+        residual_tail,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    fn sample() -> SolveCheckpoint {
+        SolveCheckpoint {
+            method: "cg".into(),
+            iteration: 150,
+            residual: 3.25e-7,
+            x: vec![1.0, -2.5, 0.1 + 0.2, f64::MIN_POSITIVE],
+            r: vec![1e-300, 2.0f64.powi(-52), -3.5e18, 7.125],
+            residual_tail: vec![5.1e-7, 4.0e-7, 3.25e-7],
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_bit_exactly() {
+        let ckpt = sample();
+        let text = checkpoint_to_json(&ckpt).to_string_pretty();
+        let parsed = Json::parse(&text).expect("valid json");
+        let back = checkpoint_from_json(&parsed).expect("valid checkpoint");
+        assert_eq!(back.method, ckpt.method);
+        assert_eq!(back.iteration, ckpt.iteration);
+        assert_eq!(back.residual.to_bits(), ckpt.residual.to_bits());
+        assert_eq!(back.x.len(), ckpt.x.len());
+        for (a, b) in back.x.iter().zip(&ckpt.x) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in back.r.iter().zip(&ckpt.r) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(back.residual_tail, ckpt.residual_tail);
+    }
+
+    #[test]
+    fn checkpoint_rejects_malformed_input() {
+        // Wrong schema.
+        let mut j = checkpoint_to_json(&sample());
+        if let Json::Obj(fields) = &mut j {
+            fields[0].1 = Json::Str("bogus-v9".into());
+        }
+        assert!(checkpoint_from_json(&j).is_err());
+        // Mismatched x/r lengths.
+        let mut ckpt = sample();
+        ckpt.r.pop();
+        let j = checkpoint_to_json(&ckpt);
+        assert!(checkpoint_from_json(&j).is_err());
+        // Not even an object.
+        assert!(checkpoint_from_json(&Json::Num(4.0)).is_err());
+    }
+}

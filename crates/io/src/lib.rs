@@ -2,12 +2,14 @@
 //! prints through these), CSV/JSON result files, and legacy-ASCII VTK
 //! unstructured-grid output for visualization (Fig. 14/16 style dumps).
 
+pub mod checkpoint;
 pub mod json;
 pub mod obs_report;
 pub mod results;
 pub mod table;
 pub mod vtk;
 
+pub use checkpoint::{checkpoint_from_json, checkpoint_to_json, CHECKPOINT_SCHEMA};
 pub use json::Json;
 pub use obs_report::{report_from_json, report_to_json};
 pub use results::{ExperimentRecord, Series, ShapeCheck};

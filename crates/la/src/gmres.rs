@@ -40,6 +40,7 @@ pub fn gmres<A: LinOp, M: Precond>(
                 iterations: total_iters,
                 residual: beta,
                 diverged: false,
+                last_finite_residual: Some(beta),
             };
         }
         // Arnoldi with Givens rotations.

@@ -44,6 +44,15 @@ fn rdot<R: Reduce + ?Sized>(rd: &R, u: &[f64], v: &[f64]) -> f64 {
     out[0]
 }
 
+impl<A: LinOp + ?Sized> LinOp for &A {
+    fn size(&self) -> usize {
+        (**self).size()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        (**self).apply(x, y)
+    }
+}
+
 impl<F: Fn(&[f64], &mut [f64])> LinOp for (usize, F) {
     fn size(&self) -> usize {
         self.0
@@ -56,6 +65,12 @@ impl<F: Fn(&[f64], &mut [f64])> LinOp for (usize, F) {
 /// A preconditioner: `z = M⁻¹ r`.
 pub trait Precond {
     fn apply(&self, r: &[f64], z: &mut [f64]);
+}
+
+impl<P: Precond + ?Sized> Precond for &P {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        (**self).apply(r, z)
+    }
 }
 
 /// No preconditioning.
@@ -171,6 +186,8 @@ impl Precond for AsmPrecond {
 #[derive(Clone, Copy, Debug)]
 pub struct KrylovResult {
     pub converged: bool,
+    /// Iterations performed up to the stop — including a divergence stop, so
+    /// an escalation policy knows *where* the iteration went bad.
     pub iterations: usize,
     /// Final absolute residual 2-norm.
     pub residual: f64,
@@ -179,6 +196,12 @@ pub struct KrylovResult {
     /// benign "ran out of iterations / breakdown" non-convergence — a
     /// diverged solve must not be retried with more iterations.
     pub diverged: bool,
+    /// The last *finite* residual norm observed before the stop. Equal to
+    /// `residual` for converged/stalled results; for a diverged result it is
+    /// the residual of the final healthy iteration (None when the very first
+    /// residual was already non-finite), so error reports and escalation
+    /// decisions keep a meaningful magnitude.
+    pub last_finite_residual: Option<f64>,
 }
 
 impl KrylovResult {
@@ -189,6 +212,7 @@ impl KrylovResult {
             iterations,
             residual,
             diverged: false,
+            last_finite_residual: residual.is_finite().then_some(residual),
         }
     }
 
@@ -200,6 +224,7 @@ impl KrylovResult {
             iterations,
             residual,
             diverged: !residual.is_finite(),
+            last_finite_residual: residual.is_finite().then_some(residual),
         }
     }
 
@@ -210,6 +235,149 @@ impl KrylovResult {
             iterations,
             residual,
             diverged: true,
+            last_finite_residual: residual.is_finite().then_some(residual),
+        }
+    }
+
+    /// Attaches the last healthy residual norm to a (typically diverged)
+    /// result, keeping any finite value already recorded.
+    pub fn with_last_finite(mut self, rn: f64) -> Self {
+        if self.last_finite_residual.is_none() && rn.is_finite() {
+            self.last_finite_residual = Some(rn);
+        }
+        self
+    }
+}
+
+/// Environment override for the checkpoint cadence of the checkpointed
+/// Krylov drivers (iterations between snapshots; default 25).
+pub const CKPT_EVERY_ENV: &str = "CARVE_CKPT_EVERY";
+
+const DEFAULT_CKPT_EVERY: usize = 25;
+
+/// Checkpoint cadence: `CARVE_CKPT_EVERY` when set to a positive integer,
+/// 25 otherwise.
+pub fn default_ckpt_every() -> usize {
+    std::env::var(CKPT_EVERY_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_CKPT_EVERY)
+}
+
+/// Restartable snapshot of a Krylov iteration: enough state to resume the
+/// solve (or hand it to a different method) after a rank kill or divergence,
+/// plus a residual-history tail for diagnostics. Serializable via
+/// `carve-io::json` for cross-process restart.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolveCheckpoint {
+    /// Solver that produced the snapshot (`"cg"` / `"bicgstab"`).
+    pub method: String,
+    /// Global iteration index at the snapshot (includes the resume offset,
+    /// so a restarted solve keeps counting where the dead one stopped).
+    pub iteration: usize,
+    /// Residual 2-norm at the snapshot.
+    pub residual: f64,
+    /// Current iterate.
+    pub x: Vec<f64>,
+    /// Current residual vector `b - A x`.
+    pub r: Vec<f64>,
+    /// Up to the last 8 residual norms (oldest first, ending at `residual`).
+    pub residual_tail: Vec<f64>,
+}
+
+/// Checkpoint cadence driver for [`cg_checkpointed`] / [`bicgstab_checkpointed`].
+///
+/// Observes every iteration's residual (cheap: a bounded tail push),
+/// snapshots `x`/`r` every `every` iterations, and optionally streams each
+/// snapshot into a caller-supplied sink (e.g. a cross-attempt store that
+/// survives a killed SPMD cluster). Checkpointing never adds reductions or
+/// changes the iteration arithmetic — the bitwise history is identical to
+/// the un-checkpointed solver.
+pub struct Checkpointer<'a> {
+    every: usize,
+    offset: usize,
+    tail: Vec<f64>,
+    latest: Option<SolveCheckpoint>,
+    #[allow(clippy::type_complexity)]
+    sink: Option<Box<dyn FnMut(&SolveCheckpoint) + 'a>>,
+}
+
+const CKPT_TAIL: usize = 8;
+
+impl<'a> Checkpointer<'a> {
+    /// Snapshot every `every` iterations (clamped to ≥ 1).
+    pub fn new(every: usize) -> Self {
+        Checkpointer {
+            every: every.max(1),
+            offset: 0,
+            tail: Vec::with_capacity(CKPT_TAIL),
+            latest: None,
+            sink: None,
+        }
+    }
+
+    /// Cadence from `CARVE_CKPT_EVERY` (default 25).
+    pub fn from_env() -> Self {
+        Checkpointer::new(default_ckpt_every())
+    }
+
+    /// Streams every snapshot into `sink` as it is taken (in addition to
+    /// keeping [`Checkpointer::latest`]).
+    pub fn with_sink(mut self, sink: impl FnMut(&SolveCheckpoint) + 'a) -> Self {
+        self.sink = Some(Box::new(sink));
+        self
+    }
+
+    /// Seeds the iteration offset and residual tail from a prior snapshot,
+    /// so a restarted solve keeps a monotonic global iteration count. The
+    /// caller is responsible for starting the solve from `from.x`.
+    pub fn resume_from(mut self, from: &SolveCheckpoint) -> Self {
+        self.offset = from.iteration;
+        self.tail = from.residual_tail.clone();
+        self
+    }
+
+    /// Iterations already performed by prior attempts (the resume offset).
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// The most recent snapshot, if any iteration reached the cadence.
+    pub fn latest(&self) -> Option<&SolveCheckpoint> {
+        self.latest.as_ref()
+    }
+
+    /// Consumes the checkpointer, yielding the most recent snapshot.
+    pub fn into_latest(self) -> Option<SolveCheckpoint> {
+        self.latest
+    }
+
+    /// Records one iteration: pushes the residual onto the bounded tail and,
+    /// at the cadence, snapshots the full solver state. Non-finite residuals
+    /// are never snapshotted (a checkpoint must always be a healthy restart
+    /// point).
+    fn observe(&mut self, method: &str, it: usize, rn: f64, x: &[f64], r: &[f64]) {
+        if !rn.is_finite() {
+            return;
+        }
+        if self.tail.len() == CKPT_TAIL {
+            self.tail.remove(0);
+        }
+        self.tail.push(rn);
+        if it.is_multiple_of(self.every) {
+            let ckpt = SolveCheckpoint {
+                method: method.to_string(),
+                iteration: self.offset + it,
+                residual: rn,
+                x: x.to_vec(),
+                r: r.to_vec(),
+                residual_tail: self.tail.clone(),
+            };
+            if let Some(sink) = &mut self.sink {
+                sink(&ckpt);
+            }
+            self.latest = Some(ckpt);
         }
     }
 }
@@ -245,6 +413,40 @@ pub fn cg_with<A: LinOp, M: Precond, R: Reduce + ?Sized>(
     max_iter: usize,
     rd: &R,
 ) -> KrylovResult {
+    cg_impl(a, b, x, m, rtol, atol, max_iter, rd, None)
+}
+
+/// CG with periodic [`SolveCheckpoint`] snapshots: bitwise identical to
+/// [`cg_with`] (checkpointing adds no reductions and touches no iteration
+/// arithmetic), but every `ck.every` iterations the current `(x, r)` state
+/// is snapshotted for restart after a fault.
+#[allow(clippy::too_many_arguments)]
+pub fn cg_checkpointed<A: LinOp, M: Precond, R: Reduce + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x: &mut [f64],
+    m: &M,
+    rtol: f64,
+    atol: f64,
+    max_iter: usize,
+    rd: &R,
+    ck: &mut Checkpointer<'_>,
+) -> KrylovResult {
+    cg_impl(a, b, x, m, rtol, atol, max_iter, rd, Some(ck))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cg_impl<A: LinOp, M: Precond, R: Reduce + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x: &mut [f64],
+    m: &M,
+    rtol: f64,
+    atol: f64,
+    max_iter: usize,
+    rd: &R,
+    mut ck: Option<&mut Checkpointer<'_>>,
+) -> KrylovResult {
     let n = a.size();
     assert_eq!(b.len(), n);
     assert_eq!(x.len(), n);
@@ -262,10 +464,15 @@ pub fn cg_with<A: LinOp, M: Precond, R: Reduce + ?Sized>(
     rd.dots(&[(&r, &z), (&r, &r)], &mut pair);
     let (mut rz, mut rn2) = (pair[0], pair[1]);
     let mut ap = vec![0.0; n];
+    let mut last_finite_rn = f64::NAN;
     for it in 0..max_iter {
         let rn = rn2.sqrt();
         if !rn.is_finite() {
-            return KrylovResult::divergence(it, rn);
+            return KrylovResult::divergence(it, rn).with_last_finite(last_finite_rn);
+        }
+        last_finite_rn = rn;
+        if let Some(ck) = ck.as_deref_mut() {
+            ck.observe("cg", it, rn, x, &r);
         }
         if rn <= tol {
             return KrylovResult::success(it, rn);
@@ -293,6 +500,11 @@ pub fn cg_with<A: LinOp, M: Precond, R: Reduce + ?Sized>(
         iterations: max_iter,
         residual: rn,
         diverged: !rn.is_finite(),
+        last_finite_residual: if rn.is_finite() {
+            Some(rn)
+        } else {
+            last_finite_rn.is_finite().then_some(last_finite_rn)
+        },
     }
 }
 
@@ -327,6 +539,38 @@ pub fn bicgstab_with<A: LinOp, M: Precond, R: Reduce + ?Sized>(
     max_iter: usize,
     rd: &R,
 ) -> KrylovResult {
+    bicgstab_impl(a, b, x, m, rtol, atol, max_iter, rd, None)
+}
+
+/// BiCGStab with periodic [`SolveCheckpoint`] snapshots; see
+/// [`cg_checkpointed`] for the contract.
+#[allow(clippy::too_many_arguments)]
+pub fn bicgstab_checkpointed<A: LinOp, M: Precond, R: Reduce + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x: &mut [f64],
+    m: &M,
+    rtol: f64,
+    atol: f64,
+    max_iter: usize,
+    rd: &R,
+    ck: &mut Checkpointer<'_>,
+) -> KrylovResult {
+    bicgstab_impl(a, b, x, m, rtol, atol, max_iter, rd, Some(ck))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bicgstab_impl<A: LinOp, M: Precond, R: Reduce + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x: &mut [f64],
+    m: &M,
+    rtol: f64,
+    atol: f64,
+    max_iter: usize,
+    rd: &R,
+    mut ck: Option<&mut Checkpointer<'_>>,
+) -> KrylovResult {
     let n = a.size();
     let mut r = vec![0.0; n];
     a.apply(x, &mut r);
@@ -345,12 +589,17 @@ pub fn bicgstab_with<A: LinOp, M: Precond, R: Reduce + ?Sized>(
     let mut shat = vec![0.0; n];
     let mut t = vec![0.0; n];
     let mut pair = [0.0; 2];
+    let mut last_finite_rn = f64::NAN;
     for it in 0..max_iter {
         rd.dots(&[(&r, &r), (&r0, &r)], &mut pair);
         let rn = pair[0].sqrt();
         let rho_new = pair[1];
         if !rn.is_finite() {
-            return KrylovResult::divergence(it, rn);
+            return KrylovResult::divergence(it, rn).with_last_finite(last_finite_rn);
+        }
+        last_finite_rn = rn;
+        if let Some(ck) = ck.as_deref_mut() {
+            ck.observe("bicgstab", it, rn, x, &r);
         }
         if rn <= tol {
             return KrylovResult::success(it, rn);
@@ -378,8 +627,9 @@ pub fn bicgstab_with<A: LinOp, M: Precond, R: Reduce + ?Sized>(
         axpy(-alpha, &v, &mut r);
         let sn = rdot(rd, &r, &r).sqrt();
         if !sn.is_finite() {
-            return KrylovResult::divergence(it + 1, sn);
+            return KrylovResult::divergence(it + 1, sn).with_last_finite(last_finite_rn);
         }
+        last_finite_rn = sn;
         if sn <= tol {
             axpy(alpha, &phat, x);
             return KrylovResult::success(it + 1, sn);
@@ -405,6 +655,11 @@ pub fn bicgstab_with<A: LinOp, M: Precond, R: Reduce + ?Sized>(
         iterations: max_iter,
         residual: rn,
         diverged: !rn.is_finite(),
+        last_finite_residual: if rn.is_finite() {
+            Some(rn)
+        } else {
+            last_finite_rn.is_finite().then_some(last_finite_rn)
+        },
     }
 }
 
@@ -647,6 +902,182 @@ mod tests {
             batches.len()
         );
         assert!(batches.iter().filter(|&&n| n == 2).count() >= it);
+    }
+
+    #[test]
+    fn diverged_result_keeps_iteration_and_last_finite_residual() {
+        // Mid-flight divergence: the point of failure and the last healthy
+        // residual magnitude both survive into the report.
+        let res = KrylovResult::divergence(17, f64::NAN).with_last_finite(0.125);
+        assert!(res.diverged);
+        assert_eq!(res.iterations, 17);
+        assert_eq!(res.last_finite_residual, Some(0.125));
+        // A non-finite "last finite" candidate is rejected.
+        let res = KrylovResult::divergence(3, f64::NAN).with_last_finite(f64::INFINITY);
+        assert_eq!(res.last_finite_residual, None);
+        // End-to-end: NaN contaminates the very first residual — there was
+        // never a healthy iteration to report.
+        let a = laplace_1d(30);
+        let mut b = vec![1.0; 30];
+        b[7] = f64::NAN;
+        let mut x = vec![0.0; 30];
+        let res = cg(&a, &b, &mut x, &IdentityPrecond, 1e-10, 0.0, 100);
+        assert!(res.diverged, "{res:?}");
+        assert_eq!(res.iterations, 0);
+        assert_eq!(res.last_finite_residual, None);
+        // Healthy non-convergence carries its own (finite) residual.
+        let b = vec![1.0; 30];
+        let mut x = vec![0.0; 30];
+        let res = cg(&a, &b, &mut x, &IdentityPrecond, 1e-14, 0.0, 2);
+        assert!(!res.converged && !res.diverged);
+        assert_eq!(res.last_finite_residual, Some(res.residual));
+    }
+
+    #[test]
+    fn checkpointed_cg_is_bitwise_identical_and_snapshots() {
+        let a = laplace_1d(100);
+        let b: Vec<f64> = (0..100).map(|i| ((i as f64) * 0.1).sin()).collect();
+        let mut x_plain = vec![0.0; 100];
+        let res_plain = cg(&a, &b, &mut x_plain, &IdentityPrecond, 1e-10, 0.0, 1000);
+        let rd = CountingReduce::new();
+        let mut ck = Checkpointer::new(10);
+        let mut x_ck = vec![0.0; 100];
+        let res_ck = cg_checkpointed(
+            &a,
+            &b,
+            &mut x_ck,
+            &IdentityPrecond,
+            1e-10,
+            0.0,
+            1000,
+            &rd,
+            &mut ck,
+        );
+        assert_eq!(res_plain.iterations, res_ck.iterations);
+        assert_eq!(res_plain.residual.to_bits(), res_ck.residual.to_bits());
+        for (p, f) in x_plain.iter().zip(&x_ck) {
+            assert_eq!(p.to_bits(), f.to_bits());
+        }
+        // Checkpointing adds no reductions: exact fused-batch count as cg_with.
+        assert_eq!(rd.batches.borrow().len(), 2 + 2 * res_ck.iterations);
+        let ckpt = ck.latest().expect("solve ran past the cadence");
+        assert_eq!(ckpt.method, "cg");
+        assert!(ckpt.iteration >= 10 && ckpt.iteration <= res_ck.iterations);
+        assert_eq!(ckpt.iteration % 10, 0);
+        assert_eq!(ckpt.x.len(), 100);
+        assert_eq!(ckpt.r.len(), 100);
+        assert!(!ckpt.residual_tail.is_empty() && ckpt.residual_tail.len() <= 8);
+        assert_eq!(*ckpt.residual_tail.last().unwrap(), ckpt.residual);
+    }
+
+    #[test]
+    fn cg_restarted_from_checkpoint_matches_uninterrupted_answer() {
+        // "Kill" a solve mid-flight, restart from its last checkpoint, and
+        // converge to the same answer as the uninterrupted run.
+        let a = laplace_1d(120);
+        let b: Vec<f64> = (0..120).map(|i| 1.0 + ((i as f64) * 0.3).cos()).collect();
+        let mut x_full = vec![0.0; 120];
+        let res_full = cg(&a, &b, &mut x_full, &IdentityPrecond, 1e-11, 0.0, 2000);
+        assert!(res_full.converged);
+
+        // First attempt dies after a bounded number of iterations (cap as a
+        // stand-in for a rank kill); its checkpoints survive.
+        let mut ck = Checkpointer::new(5);
+        let mut x1 = vec![0.0; 120];
+        let res1 = cg_checkpointed(
+            &a,
+            &b,
+            &mut x1,
+            &IdentityPrecond,
+            1e-11,
+            0.0,
+            23,
+            &LocalReduce,
+            &mut ck,
+        );
+        assert!(!res1.converged);
+        let ckpt = ck.into_latest().expect("first attempt checkpointed");
+
+        // Restart from the snapshot: seed x and the iteration offset.
+        let mut ck2 = Checkpointer::new(5).resume_from(&ckpt);
+        assert_eq!(ck2.offset(), ckpt.iteration);
+        let mut x2 = ckpt.x.clone();
+        let res2 = cg_checkpointed(
+            &a,
+            &b,
+            &mut x2,
+            &IdentityPrecond,
+            1e-11,
+            0.0,
+            2000,
+            &LocalReduce,
+            &mut ck2,
+        );
+        assert!(res2.converged, "{res2:?}");
+        // Same answer as the uninterrupted solve, to solver tolerance.
+        let scale = x_full.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+        for (u, v) in x_full.iter().zip(&x2) {
+            assert!((u - v).abs() <= 1e-8 * scale.max(1.0), "{u} vs {v}");
+        }
+        // Restart checkpoints carry the global iteration count forward.
+        if let Some(c2) = ck2.latest() {
+            assert!(c2.iteration >= ckpt.iteration);
+        }
+    }
+
+    #[test]
+    fn checkpointer_streams_snapshots_into_sink() {
+        let a = laplace_1d(60);
+        let b = vec![1.0; 60];
+        let seen = std::cell::RefCell::new(Vec::new());
+        let mut ck = Checkpointer::new(4).with_sink(|c: &SolveCheckpoint| {
+            seen.borrow_mut().push(c.iteration);
+        });
+        let mut x = vec![0.0; 60];
+        let res = cg_checkpointed(
+            &a,
+            &b,
+            &mut x,
+            &IdentityPrecond,
+            1e-10,
+            0.0,
+            1000,
+            &LocalReduce,
+            &mut ck,
+        );
+        assert!(res.converged);
+        let seen = seen.borrow();
+        assert!(seen.len() >= 2, "snapshots: {seen:?}");
+        assert!(seen.iter().all(|i| i % 4 == 0));
+        assert!(seen.windows(2).all(|w| w[0] < w[1]), "monotonic: {seen:?}");
+    }
+
+    #[test]
+    fn checkpointed_bicgstab_is_bitwise_identical() {
+        let a = advdiff_1d(120);
+        let b: Vec<f64> = (0..120).map(|i| 1.0 + (i % 7) as f64).collect();
+        let mut x_plain = vec![0.0; 120];
+        let res_plain = bicgstab(&a, &b, &mut x_plain, &IdentityPrecond, 1e-10, 0.0, 2000);
+        let mut ck = Checkpointer::new(5);
+        let mut x_ck = vec![0.0; 120];
+        let res_ck = bicgstab_checkpointed(
+            &a,
+            &b,
+            &mut x_ck,
+            &IdentityPrecond,
+            1e-10,
+            0.0,
+            2000,
+            &LocalReduce,
+            &mut ck,
+        );
+        assert_eq!(res_plain.iterations, res_ck.iterations);
+        assert_eq!(res_plain.residual.to_bits(), res_ck.residual.to_bits());
+        for (p, f) in x_plain.iter().zip(&x_ck) {
+            assert_eq!(p.to_bits(), f.to_bits());
+        }
+        let ckpt = ck.latest().expect("bicgstab checkpointed");
+        assert_eq!(ckpt.method, "bicgstab");
     }
 
     #[test]

@@ -29,7 +29,8 @@ pub use csr::{CooBuilder, CsrMatrix};
 pub use dense::{DenseMatrix, LuFactors};
 pub use gmres::{chebyshev, gmres, lambda_max_estimate};
 pub use krylov::{
-    bicgstab, bicgstab_with, cg, cg_with, AsmPrecond, IdentityPrecond, JacobiPrecond, KrylovResult,
-    LinOp, LocalReduce, Precond, Reduce,
+    bicgstab, bicgstab_checkpointed, bicgstab_with, cg, cg_checkpointed, cg_with,
+    default_ckpt_every, AsmPrecond, Checkpointer, IdentityPrecond, JacobiPrecond, KrylovResult,
+    LinOp, LocalReduce, Precond, Reduce, SolveCheckpoint, CKPT_EVERY_ENV,
 };
 pub use newton::{newton, NewtonOptions, NewtonResult};

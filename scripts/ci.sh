@@ -17,6 +17,11 @@ cargo test -q --workspace
 # (CARVE_CHAOS seeds env_chaos_plan). Message counts and results must be
 # schedule-independent, so the whole suite must stay green under it.
 CARVE_CHAOS=29 cargo test -q --release --workspace
+# Lossy chaos: same seed, but the exchange lanes additionally drop and
+# corrupt frames; the retry/backoff protocol must recover every loss so the
+# suite stays green and bitwise identical to the fault-free run. The short
+# retry base keeps recovery snappy under test load.
+CARVE_CHAOS=29:lossy CARVE_RETRY_BASE=0.01 cargo test -q --release --workspace
 
 # carve-comm additionally denies unwrap/expect crate-wide (lib.rs).
 cargo clippy --workspace --all-targets -- -D warnings
