@@ -1,0 +1,48 @@
+//! Emits the canonical transient adapt trace for the CI adapt-determinism
+//! stage: 3 simulated ranks, transient heat on the 2-D carved sphere,
+//! three adapt cycles with both refinement and coarsening. Traversal
+//! threads come from `CARVE_PAR_THREADS` and ambient chaos from
+//! `CARVE_CHAOS`, so the stage can rerun this binary across a
+//! threads × chaos matrix and diff the serialized `carve-adapt-trace-v1`
+//! documents bitwise.
+//!
+//! Usage: `adapt_trace [OUT.json]` — writes to the path, or stdout.
+
+use carve_comm::run_spmd;
+use carve_fem::{run_transient, TransientConfig};
+use carve_geom::{CarvedSolids, Sphere};
+use carve_io::adapt_trace_to_json;
+
+fn main() {
+    let texts = run_spmd(3, |c| {
+        let domain = CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.28))]);
+        let cfg = TransientConfig {
+            steps: 6,
+            adapt_every: 2,
+            base_level: 3,
+            boundary_level: 5,
+            max_level: 6,
+            min_level: 2,
+            repart_tol: 2.0,
+            dt: 2e-3,
+            threads: 0, // CARVE_PAR_THREADS decides
+            ..TransientConfig::default()
+        };
+        let init = |p: &[f64; 2]| {
+            let dx = p[0] - 0.18;
+            let dy = p[1] - 0.18;
+            (-(dx * dx + dy * dy) / 0.008).exp()
+        };
+        let res = run_transient(c, &domain, &cfg, &init);
+        adapt_trace_to_json(&res.trace).to_string_pretty()
+    });
+    for t in &texts[1..] {
+        assert_eq!(*t, texts[0], "ranks disagree on the adapt trace");
+    }
+    let mut out = texts.into_iter().next().unwrap();
+    out.push('\n');
+    match std::env::args().nth(1) {
+        Some(path) => std::fs::write(&path, out).expect("write adapt trace"),
+        None => print!("{out}"),
+    }
+}

@@ -10,7 +10,7 @@
 //! `BENCH_GATE_MIN_SECS` (phases faster than this in both reports are
 //! ignored as noise, default 0.005).
 
-use carve_bench::smoke::{compare_reports, run_smoke};
+use carve_bench::smoke::{compare_reports, run_smoke, same_machine};
 use carve_io::Json;
 use std::process::ExitCode;
 
@@ -41,10 +41,17 @@ fn main() -> ExitCode {
             let min_secs = env_f64("BENCH_GATE_MIN_SECS", 0.005);
             let failures = compare_reports(&old, &new, tolerance, min_secs);
             if failures.is_empty() {
-                println!(
-                    "bench_smoke: {new_path} within {:.0}% of {old_path}",
-                    tolerance * 100.0
-                );
+                if same_machine(&old, &new) {
+                    println!(
+                        "bench_smoke: {new_path} within {:.0}% of {old_path}",
+                        tolerance * 100.0
+                    );
+                } else {
+                    println!(
+                        "bench_smoke: {old_path} was recorded on different hardware — \
+                         structure matches {new_path}; timings not compared"
+                    );
+                }
                 ExitCode::SUCCESS
             } else {
                 for f in &failures {

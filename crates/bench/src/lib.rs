@@ -15,5 +15,5 @@ pub mod workloads;
 pub use model::{
     analyze_partition, calibrate, copy_estimate, MachineModel, PartitionAnalysis, RankLoad,
 };
-pub use smoke::{compare_reports, run_smoke, strip_secs};
+pub use smoke::{compare_reports, run_smoke, same_machine, strip_secs};
 pub use workloads::*;

@@ -285,8 +285,42 @@ fn recovery_snapshots() -> Vec<Snapshot> {
     .expect("recovery smoke thread panicked")
 }
 
-/// Runs the smoke workloads (two fixed meshes plus the fault-recovery
-/// solve) and returns the full report document:
+/// Transient stage: the dynamic-AMR heat driver on a 2-D carved sphere —
+/// estimator-driven refine/coarsen with incremental ghost patching — so
+/// the `adapt/{mark,refine,repartition,patch}` phases and their counters
+/// ride the perf gate alongside the static workloads.
+fn transient_snapshots() -> Vec<Snapshot> {
+    use carve_fem::{run_transient, TransientConfig};
+    run_spmd(SMOKE_RANKS, |c| {
+        let domain = CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.28))]);
+        let cfg = TransientConfig {
+            steps: 4,
+            adapt_every: 2,
+            base_level: 3,
+            boundary_level: 5,
+            max_level: 6,
+            repart_tol: 2.0,
+            dt: 2e-3,
+            threads: 1,
+            ..TransientConfig::default()
+        };
+        let init = |p: &[f64; 2]| {
+            let dx = p[0] - 0.18;
+            let dy = p[1] - 0.18;
+            (-(dx * dx + dy * dy) / 0.008).exp()
+        };
+        let res = run_transient(c, &domain, &cfg, &init);
+        assert!(
+            res.trace.cycles.len() >= 2,
+            "transient smoke completed too few adapt cycles"
+        );
+        assert!(res.u.iter().all(|v| v.is_finite()));
+        carve_obs::thread_snapshot()
+    })
+}
+
+/// Runs the smoke workloads (two fixed meshes, the fault-recovery solve,
+/// and the transient adapt loop) and returns the full report document:
 /// `{"schema": ..., "workloads": {name: {"ranks": ..., "phases": ...}}}`.
 pub fn run_smoke() -> Json {
     let _e = carve_obs::force_enabled();
@@ -299,10 +333,33 @@ pub fn run_smoke() -> Json {
     }
     let report = carve_obs::aggregate(&recovery_snapshots());
     workloads.push(("recovery".to_string(), report_to_json(&report)));
+    let report = carve_obs::aggregate(&transient_snapshots());
+    workloads.push(("transient".to_string(), report_to_json(&report)));
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     Json::Obj(vec![
         ("schema".into(), Json::Str(SMOKE_SCHEMA.into())),
+        (
+            "machine".into(),
+            Json::Obj(vec![("cpus".into(), Json::Num(cpus as f64))]),
+        ),
         ("workloads".into(), Json::Obj(workloads)),
     ])
+}
+
+/// Whether two reports were recorded on comparable hardware. Reports
+/// predating the machine stamp (or with differing CPU counts) are not:
+/// wall-clock comparisons across machines are noise, so the gate falls
+/// back to structure-only checking for them.
+pub fn same_machine(old: &Json, new: &Json) -> bool {
+    let cpus = |j: &Json| {
+        j.get("machine")
+            .and_then(|m| m.get("cpus"))
+            .and_then(Json::as_f64)
+    };
+    match (cpus(old), cpus(new)) {
+        (Some(a), Some(b)) => a == b,
+        _ => false,
+    }
 }
 
 /// Recursively drops every object field named `"secs"`, `"retries"`, or
@@ -330,8 +387,10 @@ pub fn strip_secs(j: &Json) -> Json {
 /// (empty = pass): a workload or phase present in `old` but missing in
 /// `new`, or a phase whose mean seconds grew beyond `1 + tolerance`
 /// (phases faster than `min_secs` in both reports are exempt — they are
-/// noise at smoke sizes).
+/// noise at smoke sizes). Timing checks only apply between reports from
+/// the same machine ([`same_machine`]); structural checks always apply.
 pub fn compare_reports(old: &Json, new: &Json, tolerance: f64, min_secs: f64) -> Vec<String> {
+    let check_timings = same_machine(old, new);
     let mut failures = Vec::new();
     let old_workloads = match old.get("workloads") {
         Some(Json::Obj(w)) => w,
@@ -359,6 +418,9 @@ pub fn compare_reports(old: &Json, new: &Json, tolerance: f64, min_secs: f64) ->
                     continue;
                 }
             };
+            if !check_timings {
+                continue;
+            }
             let mean = |p: &Json| {
                 p.get("secs")
                     .and_then(|s| s.get("mean"))
@@ -388,15 +450,20 @@ pub fn compare_reports(old: &Json, new: &Json, tolerance: f64, min_secs: f64) ->
 mod tests {
     use super::*;
 
-    fn report(mean: f64) -> Json {
+    fn report_on(mean: f64, cpus: u32) -> Json {
         Json::parse(&format!(
-            r#"{{"schema": "carve-bench-phase-report-v1", "workloads": {{
+            r#"{{"schema": "carve-bench-phase-report-v1",
+                 "machine": {{"cpus": {cpus}}}, "workloads": {{
                  "w": {{"ranks": 2, "phases": {{
                    "matvec": {{"calls": 6, "ranks": 2,
                      "secs": {{"min": {mean}, "mean": {mean}, "max": {mean}}},
                      "counters": {{}}}}}}}}}}}}"#
         ))
         .expect("valid test report")
+    }
+
+    fn report(mean: f64) -> Json {
+        report_on(mean, 4)
     }
 
     #[test]
@@ -410,6 +477,25 @@ mod tests {
         assert!(compare_reports(&report(0.001), &report(0.004), 0.25, 0.005).is_empty());
         // Structural losses fail loudly.
         let empty = Json::parse(r#"{"workloads": {}}"#).unwrap();
+        let fails = compare_reports(&old, &empty, 0.25, 0.005);
+        assert!(fails[0].contains("disappeared"), "{fails:?}");
+    }
+
+    #[test]
+    fn cross_machine_comparison_checks_structure_only() {
+        let old = report_on(0.1, 4);
+        let slow = report_on(10.0, 1);
+        assert!(!same_machine(&old, &slow));
+        // A huge slowdown on different hardware is not a regression...
+        assert!(compare_reports(&old, &slow, 0.25, 0.005).is_empty());
+        // ...and a pre-stamp report never gets timing-compared either...
+        let mut unstamped = report_on(10.0, 1);
+        if let Json::Obj(fields) = &mut unstamped {
+            fields.retain(|(k, _)| k != "machine");
+        }
+        assert!(compare_reports(&old, &unstamped, 0.25, 0.005).is_empty());
+        // ...but a phase disappearing still fails across machines.
+        let empty = Json::parse(r#"{"machine": {"cpus": 1}, "workloads": {}}"#).unwrap();
         let fails = compare_reports(&old, &empty, 0.25, 0.005);
         assert!(fails[0].contains("disappeared"), "{fails:?}");
     }

@@ -121,4 +121,16 @@ fn smoke_report_is_deterministic_modulo_secs() {
         counter_sum(&a, "recovery", "corrupt_detected") > 0.0,
         "lossy chaos must inject (and the lanes recover) corrupted frames"
     );
+
+    // Transient adapt workload: the dynamic-AMR phases are on record, the
+    // marking and incremental-patch stages ran, and refine/coarsen both
+    // fired. `full_rebuilds` counts only repartitioning cycles, so the
+    // patch path (present below) really was incremental.
+    for p in ["adapt", "adapt/mark", "adapt/refine", "adapt/patch"] {
+        assert!(calls(&a, "transient", p) > 0.0, "transient/{p} missing");
+    }
+    assert!(counter_sum(&a, "transient", "elements_refined") > 0.0);
+    assert!(counter_sum(&a, "transient", "elements_coarsened") > 0.0);
+    assert!(counter_sum(&a, "transient", "nodes_interior_fast") > 0.0);
+    assert!(counter_sum(&a, "transient", "iterations") > 0.0);
 }

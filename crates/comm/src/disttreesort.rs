@@ -132,6 +132,20 @@ pub fn rebalance_equal_counts<const DIM: usize>(
     comm.all_to_allv(sends).into_iter().flatten().collect()
 }
 
+/// Global load imbalance factor: `max_rank(n_local) · p / total`. A
+/// perfectly balanced partition gives 1.0; the dynamic-adapt repartition
+/// trigger compares this against its tolerance before paying for a
+/// migration + full mesh rebuild. Collective. An empty global list reports
+/// 1.0 (nothing to balance).
+pub fn load_imbalance(comm: &Comm, n_local: u64) -> f64 {
+    let total = comm.all_reduce_u64(n_local, crate::comm::ReduceOp::Sum);
+    let max = comm.all_reduce_u64(n_local, crate::comm::ReduceOp::Max);
+    if total == 0 {
+        return 1.0;
+    }
+    (max as f64) * (comm.size() as f64) / (total as f64)
+}
+
 /// Splitter selection with load tolerance for the *replay* (sequential
 /// analysis) path: given per-element weights of a globally sorted tree and
 /// optionally the element levels, returns `nparts + 1` boundary indices.
@@ -284,6 +298,23 @@ mod tests {
         assert_eq!(b[1], 30, "cut should snap to the coarse subtree boundary");
         let b0 = partition_splitters_by_weight(&w, Some(&levels), 2, 0.0);
         assert_eq!(b0[1], 32, "zero tolerance keeps the exact split");
+    }
+
+    #[test]
+    fn load_imbalance_reports_max_over_mean() {
+        let res = run_spmd(4, |c| {
+            // Ranks hold 10, 10, 10, 30 elements: max/mean = 30/15 = 2.0.
+            let n = if c.rank() == 3 { 30 } else { 10 };
+            let skewed = load_imbalance(c, n);
+            let even = load_imbalance(c, 7);
+            let empty = load_imbalance(c, 0);
+            (skewed, even, empty)
+        });
+        for (skewed, even, empty) in res {
+            assert_eq!(skewed, 2.0);
+            assert_eq!(even, 1.0);
+            assert_eq!(empty, 1.0, "empty global list is trivially balanced");
+        }
     }
 
     #[test]

@@ -46,7 +46,9 @@ pub use comm::{
     run_spmd, run_spmd_with, try_run_spmd, Comm, CommStats, RecvHandle, ReduceOp, SpmdOptions,
     CHAOS_ENV, RETRY_BASE_ENV, RETRY_MAX_ENV, TIMEOUT_ENV,
 };
-pub use disttreesort::{dist_tree_sort, partition_splitters_by_weight};
+pub use disttreesort::{
+    dist_tree_sort, load_imbalance, partition_splitters_by_weight, rebalance_equal_counts,
+};
 pub use error::{CommError, FailureKind, RankFailure, SpmdError};
 pub use exchange::{ExchangeHandle, PendingRead};
 pub use fault::{ChaosProfile, FaultPlan, KillSpec};

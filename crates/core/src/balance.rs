@@ -93,6 +93,18 @@ pub fn check_2to1<const DIM: usize>(tree: &[Octant<DIM>]) -> Result<(), String> 
     Ok(())
 }
 
+/// Debug-build 2:1 assertion (no-op in release). Coarsening can silently
+/// break balance — a merged parent may now touch a leaf two levels finer —
+/// so every adapt path asserts through this after its rebalance step.
+#[inline]
+pub fn debug_assert_2to1<const DIM: usize>(tree: &[Octant<DIM>], context: &str) {
+    if cfg!(debug_assertions) {
+        if let Err(e) = check_2to1(tree) {
+            panic!("{context}: {e}");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -98,7 +98,7 @@ pub struct DistMesh<const DIM: usize> {
     /// its lane buffers while the mesh stays logically immutable; the
     /// communicator is per-rank single-threaded by design, so no exchange
     /// ever runs concurrently with another on the same mesh.
-    exchange: RefCell<ExchangeHandle>,
+    pub(crate) exchange: RefCell<ExchangeHandle>,
     /// Per-element flag aligned with `elems`: `true` iff the element is
     /// owned and its stencil closure (direct or hanging) reads at least one
     /// ghost-owned node — i.e. it must wait for the ghost exchange in the
@@ -108,7 +108,7 @@ pub struct DistMesh<const DIM: usize> {
 
 /// Bin of an octant key among rank splitters: the largest rank whose
 /// splitter is `<=` the key. Ranks without elements never win a bin.
-fn splitter_bin<const DIM: usize>(
+pub fn splitter_bin<const DIM: usize>(
     splitters: &[Option<Octant<DIM>>],
     curve: Curve,
     key: &Octant<DIM>,
@@ -128,7 +128,7 @@ fn splitter_bin<const DIM: usize>(
 
 /// SFC range of leaf-level keys covered by subtree `n`:
 /// `[first_descendant, last_descendant]`.
-fn descendant_key_range<const DIM: usize>(n: &Octant<DIM>) -> (Octant<DIM>, Octant<DIM>) {
+pub fn descendant_key_range<const DIM: usize>(n: &Octant<DIM>) -> (Octant<DIM>, Octant<DIM>) {
     let first = Octant {
         anchor: n.anchor,
         level: carve_sfc::MAX_LEVEL,
@@ -222,250 +222,22 @@ impl<const DIM: usize> DistMesh<DIM> {
         owned_elems: Vec<Octant<DIM>>,
         order: u64,
     ) -> Self {
-        let p = comm.size();
         let my = comm.rank();
         let splitters: Vec<Option<Octant<DIM>>> = comm.all_gather(owned_elems.first().copied());
 
         // --- Ghost element exchange --------------------------------------
-        let obs_ghost = carve_obs::scope("ghost_elems");
-        // Request regions: same-level neighbors of each owned element and of
-        // its ancestors up to three levels (covers hanging-source chains).
-        let mut regions: Vec<Octant<DIM>> = Vec::new();
-        for e in &owned_elems {
-            let mut a = *e;
-            for _ in 0..4 {
-                regions.push(a);
-                for n in a.neighbors() {
-                    regions.push(n);
-                }
-                if a.level == 0 {
-                    break;
-                }
-                a = a.parent();
-            }
-        }
-        carve_sfc::treesort(&mut regions, curve);
-        regions.dedup();
-        // Route each region to the rank bins covering its descendant range.
-        let mut requests: Vec<Vec<Octant<DIM>>> = (0..p).map(|_| Vec::new()).collect();
-        for n in &regions {
-            let (first, last) = descendant_key_range(n);
-            let b0 = splitter_bin(&splitters, curve, &first);
-            let b1 = splitter_bin(&splitters, curve, &last);
-            for (b, lane) in requests.iter_mut().enumerate().take(b1 + 1).skip(b0) {
-                if b != my {
-                    lane.push(*n);
-                }
-            }
-        }
-        let incoming = comm.all_to_allv(requests);
-        // Reply with owned elements overlapping any requested region.
-        let mut replies: Vec<Vec<Octant<DIM>>> = (0..p).map(|_| Vec::new()).collect();
-        for (q, regs) in incoming.iter().enumerate() {
-            if regs.is_empty() {
-                continue;
-            }
-            for e in &owned_elems {
-                if regs.iter().any(|n| {
-                    n.is_ancestor_or_self(e)
-                        || e.is_ancestor_or_self(n)
-                        || e.closed_regions_touch(n)
-                }) {
-                    replies[q].push(*e);
-                }
-            }
-        }
-        let ghost_in = comm.all_to_allv(replies);
-        let mut elems = owned_elems.clone();
-        for v in ghost_in {
-            elems.extend(v);
-        }
-        carve_sfc::treesort(&mut elems, curve);
-        elems.dedup();
-        // Owned range within the merged list.
-        let owned_start = elems
-            .iter()
-            .position(|e| Some(e) == owned_elems.first())
-            .unwrap_or(0);
-        let owned = owned_start..owned_start + owned_elems.len();
-        debug_assert_eq!(&elems[owned.clone()], &owned_elems[..]);
-        drop(obs_ghost);
+        let (elems, owned) = exchange_ghost_layer(comm, curve, &owned_elems, &splitters);
 
         // --- Nodes --------------------------------------------------------
-        let full_nodes = enumerate_nodes(domain, &elems, order);
-        // Needed set: coords referenced by owned elements directly or via
-        // hanging stencils.
-        let mut needed = vec![false; full_nodes.len()];
-        let npe = nodes_per_elem::<DIM>(order);
-        for e in &elems[owned.clone()] {
-            for lin in 0..npe {
-                let idx = lattice_index::<DIM>(lin, order);
-                let c = elem_node_coord(e, order, &idx);
-                match resolve_slot(&full_nodes, e, &c) {
-                    SlotRef::Direct(i) => needed[i] = true,
-                    SlotRef::Hanging(st) => {
-                        for (i, _) in st {
-                            needed[i] = true;
-                        }
-                    }
-                }
-            }
-        }
-        let mut coords = Vec::new();
-        let mut flags = Vec::new();
-        for (i, &need) in needed.iter().enumerate() {
-            if need {
-                coords.push(full_nodes.coords[i]);
-                flags.push(full_nodes.flags[i]);
-            }
-        }
-        let nodes = NodeSet {
-            order,
-            coords,
-            flags,
-        };
+        let nodes = needed_node_set(domain, &elems, owned.clone(), order);
 
-        // --- Ownership via brokers ----------------------------------------
-        let _obs = carve_obs::scope("ownership");
-        // Broker of a coord = splitter bin of its finest containing cell.
-        let broker_of = |c: &[u64; DIM]| -> usize {
-            let mut pt = [0u64; DIM];
-            for k in 0..DIM {
-                pt[k] = c[k] / order;
-            }
-            splitter_bin(&splitters, curve, &finest_cell_of_point(&pt))
-        };
-        let mut to_broker: Vec<Vec<[u64; DIM]>> = (0..p).map(|_| Vec::new()).collect();
-        for c in &nodes.coords {
-            to_broker[broker_of(c)].push(*c);
-        }
-        let broker_in = comm.all_to_allv(to_broker.clone());
-        // Elect owners: the broker rank itself when it is a user of the
-        // node (the natural SFC owner — the broker is the rank whose
-        // splitter range contains the node's cell), otherwise the minimum
-        // requesting rank.
-        let mut owner_map: HashMap<[u64; DIM], u32> = HashMap::new();
-        for (q, cs) in broker_in.iter().enumerate() {
-            for c in cs {
-                if q == my {
-                    owner_map.insert(*c, my as u32);
-                } else {
-                    owner_map
-                        .entry(*c)
-                        .and_modify(|o| {
-                            if *o != my as u32 {
-                                *o = (*o).min(q as u32)
-                            }
-                        })
-                        .or_insert(q as u32);
-                }
-            }
-        }
-        // Reply to each requester with owners, in request order.
-        let replies: Vec<Vec<u32>> = broker_in
-            .iter()
-            .map(|cs| cs.iter().map(|c| owner_map[c]).collect())
-            .collect();
-        let owner_replies = comm.all_to_allv(replies);
-        // Scatter owner ranks back to node order.
-        let mut owner = vec![u32::MAX; nodes.len()];
-        {
-            let mut cursors = vec![0usize; p];
-            for (i, c) in nodes.coords.iter().enumerate() {
-                let b = broker_of(c);
-                owner[i] = owner_replies[b][cursors[b]];
-                cursors[b] += 1;
-            }
-        }
-
-        // --- Global ids ----------------------------------------------------
-        let n_owned_nodes = owner.iter().filter(|&&o| o == my as u32).count();
-        let offset = comm.exscan_u64(n_owned_nodes as u64) as u32;
-        let n_global_dofs =
-            comm.all_reduce_u64(n_owned_nodes as u64, carve_comm::ReduceOp::Sum) as usize;
-        let mut global_id = vec![u32::MAX; nodes.len()];
-        {
-            let mut next = offset;
-            for i in 0..nodes.len() {
-                if owner[i] == my as u32 {
-                    global_id[i] = next;
-                    next += 1;
-                }
-            }
-        }
-        // Ghosts: request ids from owners.
-        let mut ghost_req: Vec<Vec<[u64; DIM]>> = (0..p).map(|_| Vec::new()).collect();
-        let mut ghost_req_idx: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
-        for (i, &ow) in owner.iter().enumerate() {
-            let o = ow as usize;
-            if o != my {
-                ghost_req[o].push(nodes.coords[i]);
-                ghost_req_idx[o].push(i as u32);
-            }
-        }
-        let req_in = comm.all_to_allv(ghost_req);
-        // Owners answer with global ids and record send plans.
-        let mut send_plan: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
-        let mut id_replies: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
-        for (q, cs) in req_in.iter().enumerate() {
-            for c in cs {
-                let li = nodes
-                    .coords
-                    .binary_search_by(|x| point_cmp_morton(x, c))
-                    // A structured protocol error aborts the whole cluster;
-                    // a bare panic here used to deadlock the other ranks
-                    // inside the next all_to_allv.
-                    .unwrap_or_else(|_| {
-                        comm.protocol_error(format!(
-                            "owner rank {my} missing requested node {c:?} (broker routed a node to a non-user)"
-                        ))
-                    });
-                debug_assert_eq!(owner[li], my as u32, "request routed to non-owner");
-                send_plan[q].push(li as u32);
-                id_replies[q].push(global_id[li]);
-            }
-        }
-        let id_in = comm.all_to_allv(id_replies);
-        for q in 0..p {
-            for (slot, &gid) in ghost_req_idx[q].iter().zip(&id_in[q]) {
-                global_id[*slot as usize] = gid;
-            }
-        }
-        let recv_plan = ghost_req_idx;
-        debug_assert!(global_id.iter().all(|&g| g != u32::MAX));
+        // --- Ownership, global ids, exchange plans -------------------------
+        // The full (all-coords) broker protocol: the incremental patch path
+        // uses the interior fast path instead, which is provably identical.
+        let own = node_ownership_plans(comm, curve, &splitters, &nodes, false);
 
         // --- Interior/boundary element split ------------------------------
-        // An owned element is *boundary* iff any node its stencil closure
-        // reads — directly or through a hanging-node interpolation — is
-        // ghost-owned. Interior elements are safe to traverse while the
-        // ghost exchange is still in flight (§3.5 overlap); only boundary
-        // ones must wait. Ghost elements never apply a kernel: `false`.
-        let mut boundary_elem = vec![false; elems.len()];
-        for (ei, e) in elems.iter().enumerate() {
-            if !owned.contains(&ei) {
-                continue;
-            }
-            'lattice: for lin in 0..npe {
-                let idx = lattice_index::<DIM>(lin, order);
-                let c = elem_node_coord(e, order, &idx);
-                match resolve_slot(&nodes, e, &c) {
-                    SlotRef::Direct(i) => {
-                        if owner[i] != my as u32 {
-                            boundary_elem[ei] = true;
-                            break 'lattice;
-                        }
-                    }
-                    SlotRef::Hanging(st) => {
-                        for (i, _) in st {
-                            if owner[i] != my as u32 {
-                                boundary_elem[ei] = true;
-                                break 'lattice;
-                            }
-                        }
-                    }
-                }
-            }
-        }
+        let boundary_elem = boundary_elem_flags(&elems, owned.clone(), &nodes, &own.owner, my);
 
         let labels = elems
             .iter()
@@ -478,11 +250,11 @@ impl<const DIM: usize> DistMesh<DIM> {
             owned,
             labels,
             nodes,
-            owner,
-            global_id,
-            n_owned_nodes,
-            n_global_dofs,
-            exchange: RefCell::new(ExchangeHandle::new(&send_plan, &recv_plan)),
+            owner: own.owner,
+            global_id: own.global_id,
+            n_owned_nodes: own.n_owned_nodes,
+            n_global_dofs: own.n_global_dofs,
+            exchange: RefCell::new(ExchangeHandle::new(&own.send_plan, &own.recv_plan)),
             boundary_elem,
         }
     }
@@ -806,6 +578,360 @@ where
             }
         }
     }
+}
+
+/// Ghost-element exchange: the region-request protocol shared by
+/// [`DistMesh::finish`], the distributed balance fixpoint, and the
+/// incremental adapt patch. Request regions are the same-level neighbors of
+/// each owned element and of its ancestors up to three levels (covers
+/// hanging-source chains); owners reply with every owned element overlapping
+/// a requested region. Returns the merged, SFC-sorted `(elems, owned)` pair
+/// with the owned elements occupying the contiguous `owned` range.
+pub(crate) fn exchange_ghost_layer<const DIM: usize>(
+    comm: &Comm,
+    curve: Curve,
+    owned_elems: &[Octant<DIM>],
+    splitters: &[Option<Octant<DIM>>],
+) -> (Vec<Octant<DIM>>, Range<usize>) {
+    let p = comm.size();
+    let my = comm.rank();
+    let _obs = carve_obs::scope("ghost_elems");
+    let mut regions: Vec<Octant<DIM>> = Vec::new();
+    for e in owned_elems {
+        let mut a = *e;
+        for _ in 0..4 {
+            regions.push(a);
+            for n in a.neighbors() {
+                regions.push(n);
+            }
+            if a.level == 0 {
+                break;
+            }
+            a = a.parent();
+        }
+    }
+    carve_sfc::treesort(&mut regions, curve);
+    regions.dedup();
+    // Route each region to the rank bins covering its descendant range.
+    let mut requests: Vec<Vec<Octant<DIM>>> = (0..p).map(|_| Vec::new()).collect();
+    for n in &regions {
+        let (first, last) = descendant_key_range(n);
+        let b0 = splitter_bin(splitters, curve, &first);
+        let b1 = splitter_bin(splitters, curve, &last);
+        for (b, lane) in requests.iter_mut().enumerate().take(b1 + 1).skip(b0) {
+            if b != my {
+                lane.push(*n);
+            }
+        }
+    }
+    let incoming = comm.all_to_allv(requests);
+    // Reply with owned elements overlapping any requested region.
+    let mut replies: Vec<Vec<Octant<DIM>>> = (0..p).map(|_| Vec::new()).collect();
+    for (q, regs) in incoming.iter().enumerate() {
+        if regs.is_empty() {
+            continue;
+        }
+        for e in owned_elems {
+            if regs.iter().any(|n| {
+                n.is_ancestor_or_self(e) || e.is_ancestor_or_self(n) || e.closed_regions_touch(n)
+            }) {
+                replies[q].push(*e);
+            }
+        }
+    }
+    let ghost_in = comm.all_to_allv(replies);
+    let mut elems = owned_elems.to_vec();
+    for v in ghost_in {
+        elems.extend(v);
+    }
+    carve_sfc::treesort(&mut elems, curve);
+    elems.dedup();
+    // Owned range within the merged list.
+    let owned_start = elems
+        .iter()
+        .position(|e| Some(e) == owned_elems.first())
+        .unwrap_or(0);
+    let owned = owned_start..owned_start + owned_elems.len();
+    debug_assert_eq!(&elems[owned.clone()], owned_elems);
+    (elems, owned)
+}
+
+/// Enumerates nodes over `elems` and filters down to the *needed* set:
+/// coords referenced by owned elements directly or via hanging stencils.
+pub(crate) fn needed_node_set<const DIM: usize>(
+    domain: &dyn Subdomain<DIM>,
+    elems: &[Octant<DIM>],
+    owned: Range<usize>,
+    order: u64,
+) -> NodeSet<DIM> {
+    let full_nodes = enumerate_nodes(domain, elems, order);
+    let mut needed = vec![false; full_nodes.len()];
+    let npe = nodes_per_elem::<DIM>(order);
+    for e in &elems[owned] {
+        for lin in 0..npe {
+            let idx = lattice_index::<DIM>(lin, order);
+            let c = elem_node_coord(e, order, &idx);
+            match resolve_slot(&full_nodes, e, &c) {
+                SlotRef::Direct(i) => needed[i] = true,
+                SlotRef::Hanging(st) => {
+                    for (i, _) in st {
+                        needed[i] = true;
+                    }
+                }
+            }
+        }
+    }
+    let mut coords = Vec::new();
+    let mut flags = Vec::new();
+    for (i, &need) in needed.iter().enumerate() {
+        if need {
+            coords.push(full_nodes.coords[i]);
+            flags.push(full_nodes.flags[i]);
+        }
+    }
+    NodeSet {
+        order,
+        coords,
+        flags,
+    }
+}
+
+/// Everything the broker protocol decides for a node set.
+pub(crate) struct OwnershipPlans {
+    pub owner: Vec<u32>,
+    pub global_id: Vec<u32>,
+    pub n_owned_nodes: usize,
+    pub n_global_dofs: usize,
+    pub send_plan: Vec<Vec<u32>>,
+    pub recv_plan: Vec<Vec<u32>>,
+}
+
+/// Node ownership election + global DOF ids + ghost exchange plans.
+///
+/// With `fast_interior` set, a node whose adjacent finest cells *all* bin to
+/// this rank is owned locally without any broker traffic: such a node's
+/// broker is this rank (its primary cell bins here) and no other rank can
+/// use it (any user's element covers one of the adjacent cells, and an
+/// element covering a cell binned here is owned here — SFC subtree intervals
+/// are contiguous), so the full protocol would elect this rank anyway.
+/// Only *surface* nodes ride the two broker rounds, which is what makes the
+/// incremental adapt patch O(partition surface) in node traffic instead of
+/// O(volume). The elected owners and ids are bitwise identical either way.
+pub(crate) fn node_ownership_plans<const DIM: usize>(
+    comm: &Comm,
+    curve: Curve,
+    splitters: &[Option<Octant<DIM>>],
+    nodes: &NodeSet<DIM>,
+    fast_interior: bool,
+) -> OwnershipPlans {
+    let p = comm.size();
+    let my = comm.rank();
+    let order = nodes.order;
+    let _obs = carve_obs::scope("ownership");
+    // Broker of a coord = splitter bin of its finest containing cell.
+    let broker_of = |c: &[u64; DIM]| -> usize {
+        let mut pt = [0u64; DIM];
+        for k in 0..DIM {
+            pt[k] = c[k] / order;
+        }
+        splitter_bin(splitters, curve, &finest_cell_of_point(&pt))
+    };
+    // Interior classification: every adjacent finest cell bins to this rank.
+    // Every user of a coord computes the same verdict from the shared
+    // splitters, so the broker rounds below stay globally consistent.
+    let is_interior = |c: &[u64; DIM]| -> bool {
+        let mut pt = [0u64; DIM];
+        for k in 0..DIM {
+            pt[k] = c[k] / order;
+        }
+        adjacent_cells_of_node(&pt)
+            .iter()
+            .all(|cell| splitter_bin(splitters, curve, cell) == my)
+    };
+    let surface: Vec<bool> = if fast_interior {
+        let s: Vec<bool> = nodes.coords.iter().map(|c| !is_interior(c)).collect();
+        let n_surface = s.iter().filter(|&&x| x).count();
+        carve_obs::counter("nodes_interior_fast", (s.len() - n_surface) as u64);
+        carve_obs::counter("nodes_brokered", n_surface as u64);
+        s
+    } else {
+        vec![true; nodes.len()]
+    };
+    let mut to_broker: Vec<Vec<[u64; DIM]>> = (0..p).map(|_| Vec::new()).collect();
+    for (c, &surf) in nodes.coords.iter().zip(&surface) {
+        if surf {
+            to_broker[broker_of(c)].push(*c);
+        }
+    }
+    let broker_in = comm.all_to_allv(to_broker);
+    // Elect owners: the broker rank itself when it is a user of the
+    // node (the natural SFC owner — the broker is the rank whose
+    // splitter range contains the node's cell), otherwise the minimum
+    // requesting rank.
+    let mut owner_map: HashMap<[u64; DIM], u32> = HashMap::new();
+    for (q, cs) in broker_in.iter().enumerate() {
+        for c in cs {
+            if q == my {
+                owner_map.insert(*c, my as u32);
+            } else {
+                owner_map
+                    .entry(*c)
+                    .and_modify(|o| {
+                        if *o != my as u32 {
+                            *o = (*o).min(q as u32)
+                        }
+                    })
+                    .or_insert(q as u32);
+            }
+        }
+    }
+    // Reply to each requester with owners, in request order.
+    let replies: Vec<Vec<u32>> = broker_in
+        .iter()
+        .map(|cs| cs.iter().map(|c| owner_map[c]).collect())
+        .collect();
+    let owner_replies = comm.all_to_allv(replies);
+    // Scatter owner ranks back to node order (interior nodes are this
+    // rank's without a round trip).
+    let mut owner = vec![u32::MAX; nodes.len()];
+    {
+        let mut cursors = vec![0usize; p];
+        for (i, c) in nodes.coords.iter().enumerate() {
+            if !surface[i] {
+                owner[i] = my as u32;
+                continue;
+            }
+            let b = broker_of(c);
+            owner[i] = owner_replies[b][cursors[b]];
+            cursors[b] += 1;
+        }
+    }
+
+    // --- Global ids ----------------------------------------------------
+    let n_owned_nodes = owner.iter().filter(|&&o| o == my as u32).count();
+    let offset = comm.exscan_u64(n_owned_nodes as u64) as u32;
+    let n_global_dofs =
+        comm.all_reduce_u64(n_owned_nodes as u64, carve_comm::ReduceOp::Sum) as usize;
+    let mut global_id = vec![u32::MAX; nodes.len()];
+    {
+        let mut next = offset;
+        for i in 0..nodes.len() {
+            if owner[i] == my as u32 {
+                global_id[i] = next;
+                next += 1;
+            }
+        }
+    }
+    // Ghosts: request ids from owners.
+    let mut ghost_req: Vec<Vec<[u64; DIM]>> = (0..p).map(|_| Vec::new()).collect();
+    let mut ghost_req_idx: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
+    for (i, &ow) in owner.iter().enumerate() {
+        let o = ow as usize;
+        if o != my {
+            ghost_req[o].push(nodes.coords[i]);
+            ghost_req_idx[o].push(i as u32);
+        }
+    }
+    let req_in = comm.all_to_allv(ghost_req);
+    // Owners answer with global ids and record send plans.
+    let mut send_plan: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
+    let mut id_replies: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
+    for (q, cs) in req_in.iter().enumerate() {
+        for c in cs {
+            let li = nodes
+                .coords
+                .binary_search_by(|x| point_cmp_morton(x, c))
+                // A structured protocol error aborts the whole cluster;
+                // a bare panic here used to deadlock the other ranks
+                // inside the next all_to_allv.
+                .unwrap_or_else(|_| {
+                    comm.protocol_error(format!(
+                        "owner rank {my} missing requested node {c:?} (broker routed a node to a non-user)"
+                    ))
+                });
+            debug_assert_eq!(owner[li], my as u32, "request routed to non-owner");
+            send_plan[q].push(li as u32);
+            id_replies[q].push(global_id[li]);
+        }
+    }
+    let id_in = comm.all_to_allv(id_replies);
+    for q in 0..p {
+        for (slot, &gid) in ghost_req_idx[q].iter().zip(&id_in[q]) {
+            global_id[*slot as usize] = gid;
+        }
+    }
+    let recv_plan = ghost_req_idx;
+    debug_assert!(global_id.iter().all(|&g| g != u32::MAX));
+    OwnershipPlans {
+        owner,
+        global_id,
+        n_owned_nodes,
+        n_global_dofs,
+        send_plan,
+        recv_plan,
+    }
+}
+
+/// The finest-level cells adjacent to cell point `pt` (up to `2^DIM`): the
+/// point's own finest cell plus every down-nudged combination along the
+/// axes. Nudges below the low edge are skipped; points on the high edge
+/// clamp inward inside `finest_cell_of_point`, so high-boundary duplicates
+/// collapse onto real cells.
+pub(crate) fn adjacent_cells_of_node<const DIM: usize>(pt: &[u64; DIM]) -> Vec<Octant<DIM>> {
+    let mut cells = Vec::with_capacity(1 << DIM);
+    'combo: for combo in 0..(1usize << DIM) {
+        let mut pt2 = *pt;
+        for (k, v) in pt2.iter_mut().enumerate() {
+            if (combo >> k) & 1 == 1 {
+                if *v == 0 {
+                    continue 'combo;
+                }
+                *v -= 1;
+            }
+        }
+        cells.push(finest_cell_of_point(&pt2));
+    }
+    cells
+}
+
+/// Flags owned elements whose stencil closure (direct or hanging) reads at
+/// least one ghost-owned node — they must wait for the ghost exchange in
+/// the overlapped matvec. Ghost elements are always `false`.
+pub(crate) fn boundary_elem_flags<const DIM: usize>(
+    elems: &[Octant<DIM>],
+    owned: Range<usize>,
+    nodes: &NodeSet<DIM>,
+    owner: &[u32],
+    my: usize,
+) -> Vec<bool> {
+    let npe = nodes_per_elem::<DIM>(nodes.order);
+    let mut boundary_elem = vec![false; elems.len()];
+    for (ei, e) in elems.iter().enumerate() {
+        if !owned.contains(&ei) {
+            continue;
+        }
+        'lattice: for lin in 0..npe {
+            let idx = lattice_index::<DIM>(lin, nodes.order);
+            let c = elem_node_coord(e, nodes.order, &idx);
+            match resolve_slot(nodes, e, &c) {
+                SlotRef::Direct(i) => {
+                    if owner[i] != my as u32 {
+                        boundary_elem[ei] = true;
+                        break 'lattice;
+                    }
+                }
+                SlotRef::Hanging(st) => {
+                    for (i, _) in st {
+                        if owner[i] != my as u32 {
+                            boundary_elem[ei] = true;
+                            break 'lattice;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    boundary_elem
 }
 
 /// Algorithm 3 — `DistributedConstructConstrained`: sorts/partitions the

@@ -16,6 +16,7 @@
 //!   the distributed MATVEC with ghost exchange.
 //! * [`mesh`] — the sequential convenience wrapper.
 
+pub mod adapt;
 pub mod balance;
 pub mod construct;
 pub mod dist;
@@ -25,12 +26,18 @@ pub mod nodes;
 pub mod par;
 pub mod refine;
 
-pub use balance::{bottom_up_constrain_neighbors, check_2to1, construct_balanced};
+pub use adapt::{AdaptOutcome, AdaptParams};
+pub use balance::{
+    bottom_up_constrain_neighbors, check_2to1, construct_balanced, debug_assert_2to1,
+};
 pub use construct::{
     check_tree_invariants, classify_octant, construct_boundary_refined, construct_constrained,
     construct_uniform,
 };
-pub use dist::{supervise_spmd, CheckpointStore, DistMesh, DistReduce, GhostState, GhostStats};
+pub use dist::{
+    descendant_key_range, splitter_bin, supervise_spmd, CheckpointStore, DistMesh, DistReduce,
+    GhostState, GhostStats,
+};
 pub use matvec::{
     traversal_assemble, traversal_assemble_par, traversal_assemble_ws, traversal_matvec,
     traversal_matvec_overlap_par, traversal_matvec_overlap_ws, traversal_matvec_par,
@@ -39,4 +46,4 @@ pub use matvec::{
 pub use mesh::{find_leaf, Mesh};
 pub use nodes::{enumerate_nodes, resolve_slot, NodeFlags, NodeSet, SlotRef};
 pub use par::par_map;
-pub use refine::{adapt_once, construct_from_points, Adapt};
+pub use refine::{adapt_balanced, adapt_once, construct_from_points, Adapt};

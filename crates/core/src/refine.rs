@@ -94,6 +94,23 @@ pub fn adapt_once<const DIM: usize>(
     out
 }
 
+/// [`adapt_once`] followed by a 2:1 rebalance — the safe single-rank adapt
+/// entry point. Coarsening alone can violate balance (a merged parent may
+/// touch leaves two levels finer across a refinement front); this re-runs
+/// [`crate::balance::construct_balanced`] and debug-asserts the invariant
+/// on the result.
+pub fn adapt_balanced<const DIM: usize>(
+    domain: &dyn Subdomain<DIM>,
+    curve: Curve,
+    elems: &[Octant<DIM>],
+    criterion: &dyn Fn(&Octant<DIM>) -> Adapt,
+) -> Vec<Octant<DIM>> {
+    let adapted = adapt_once(domain, curve, elems, criterion);
+    let balanced = crate::balance::construct_balanced(domain, curve, &adapted);
+    crate::balance::debug_assert_2to1(&balanced, "adapt_balanced");
+    balanced
+}
+
 /// Constructs an incomplete tree from a point cloud: leaves are refined
 /// until no leaf holds more than `max_points` points (and carved leaves are
 /// pruned even if points fall inside them — e.g. sensor noise inside the
@@ -261,6 +278,48 @@ mod tests {
         let balanced = construct_balanced(&domain, Curve::Hilbert, &tree);
         check_tree_invariants(&domain, Curve::Hilbert, &balanced).unwrap();
         check_2to1(&balanced).unwrap();
+    }
+
+    #[test]
+    fn coarsening_next_to_refinement_front_restores_balance() {
+        // Regression: start from a balanced tree with a refinement front,
+        // then coarsen the cells right next to the front. adapt_once alone
+        // yields merged parents touching leaves two levels finer — a 2:1
+        // violation — which adapt_balanced must repair.
+        let domain = FullDomain;
+        let base = construct_uniform::<2>(&domain, Curve::Morton, 3);
+        // Build the front: refine the left column twice.
+        let mut tree = base;
+        for _ in 0..2 {
+            tree = adapt_balanced(&domain, Curve::Morton, &tree, &|e: &Octant<2>| {
+                if e.center_unit()[0] < 0.125 {
+                    Adapt::Refine
+                } else {
+                    Adapt::Keep
+                }
+            });
+        }
+        check_2to1(&tree).unwrap();
+        // Coarsen everything right of the front; the band adjacent to the
+        // fine column merges to level 2 while the column stays at level 5.
+        let crit = |e: &Octant<2>| {
+            if e.center_unit()[0] > 0.2 {
+                Adapt::Coarsen
+            } else {
+                Adapt::Keep
+            }
+        };
+        let raw = adapt_once(&domain, Curve::Morton, &tree, &crit);
+        assert!(
+            check_2to1(&raw).is_err(),
+            "scenario must actually break balance without the rebalance step"
+        );
+        let repaired = adapt_balanced(&domain, Curve::Morton, &tree, &crit);
+        check_2to1(&repaired).unwrap();
+        check_tree_invariants(&domain, Curve::Morton, &repaired).unwrap();
+        // The repair is stable: adapting again with all-Keep is identity.
+        let again = adapt_balanced(&domain, Curve::Morton, &repaired, &|_| Adapt::Keep);
+        assert_eq!(again, repaired);
     }
 
     #[test]

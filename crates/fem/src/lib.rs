@@ -11,14 +11,17 @@
 
 pub mod basis;
 pub mod error;
+pub mod estimator;
 pub mod flops;
 pub mod multigrid;
 pub mod poisson;
 pub mod sbm;
 pub mod solver;
+pub mod transient;
 
 pub use basis::{gauss_rule, lagrange_deriv_unit, lagrange_eval_unit, Quadrature};
 pub use error::{l2_linf_error, ErrorNorms};
+pub use estimator::{elem_values_dist, energy_error_indicators, mark_max_strategy};
 pub use flops::FlopCount;
 pub use multigrid::{build_transfer, mg_pcg, Multigrid, Transfer};
 pub use poisson::{
@@ -29,3 +32,4 @@ pub use solver::{
     solve_poisson, solve_poisson_supervised, AttemptReport, BcMode, EscalatedSolver,
     PoissonProblem, PoissonSolution, RankDiagnostic, SolveFailed, SupervisedSolve, Supervisor,
 };
+pub use transient::{run_transient, AdaptiveTimeStepper, TransientConfig, TransientResult};

@@ -2,6 +2,7 @@
 //! prints through these), CSV/JSON result files, and legacy-ASCII VTK
 //! unstructured-grid output for visualization (Fig. 14/16 style dumps).
 
+pub mod adapt_trace;
 pub mod checkpoint;
 pub mod json;
 pub mod obs_report;
@@ -9,6 +10,9 @@ pub mod results;
 pub mod table;
 pub mod vtk;
 
+pub use adapt_trace::{
+    adapt_trace_from_json, adapt_trace_to_json, AdaptCycleRecord, AdaptTrace, ADAPT_TRACE_SCHEMA,
+};
 pub use checkpoint::{checkpoint_from_json, checkpoint_to_json, CHECKPOINT_SCHEMA};
 pub use json::Json;
 pub use obs_report::{report_from_json, report_to_json};

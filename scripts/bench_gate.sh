@@ -13,17 +13,21 @@ cd "$(dirname "$0")/.."
 
 cargo build --release -q -p carve-bench --bin bench_smoke
 
-# Newest prior report = highest PR number among committed BENCH_PR*.json.
-prev=$(ls BENCH_PR*.json 2>/dev/null | sort -V | tail -n 1 || true)
-
 if [[ -n "${BENCH_PR:-}" ]]; then
   k="$BENCH_PR"
-elif [[ -n "$prev" ]]; then
-  k=$(( $(basename "$prev" .json | sed 's/^BENCH_PR//') + 1 ))
 else
-  k=2 # PR numbering starts where the observability layer landed
+  newest=$(ls BENCH_PR*.json 2>/dev/null | sort -V | tail -n 1 || true)
+  if [[ -n "$newest" ]]; then
+    k=$(( $(basename "$newest" .json | sed 's/^BENCH_PR//') + 1 ))
+  else
+    k=2 # PR numbering starts where the observability layer landed
+  fi
 fi
 out="BENCH_PR${k}.json"
+
+# Newest prior report = highest PR number among committed BENCH_PR*.json,
+# excluding this run's own output (a rerun must not diff against itself).
+prev=$(ls BENCH_PR*.json 2>/dev/null | grep -Fxv "$out" | sort -V | tail -n 1 || true)
 
 ./target/release/bench_smoke "$out"
 

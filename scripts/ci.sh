@@ -1,30 +1,121 @@
 #!/usr/bin/env bash
-# Tier-1 gate: formatting, release build + tests, a debug-profile test pass
-# (catches debug_assert!-only failures), clippy and rustdoc with warnings
-# denied. Run before every merge. Works offline (all deps are vendored or std).
+# Tier-1 gate, organized as named stages with per-stage timing and a summary
+# table. Run before every merge. Works offline (all deps are vendored or std).
+#
+#   scripts/ci.sh                      # run every stage in order
+#   CARVE_CI_STAGE=chaos scripts/ci.sh # run one stage by name
+#
+# Stages:
+#   fmt                cargo fmt --check
+#   build              release build of the whole workspace
+#   test-par1          release tests pinned to 1 traversal thread
+#   test-par4          release tests forked to 4 traversal threads
+#   test-debug         debug-profile tests (catches debug_assert!-only bugs)
+#   chaos              release tests under delay-only ambient chaos
+#   chaos-lossy        release tests under drop/corrupt chaos + lane retry
+#   adapt-determinism  adapt_trace bitwise-diffed over threads {1,4} x
+#                      {clean, lossy chaos} (DESIGN.md §7)
+#   clippy             clippy with warnings denied
+#   doc                rustdoc with warnings denied
+#   bench-gate         scripts/bench_gate.sh perf regression gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo fmt --all --check
+STAGES=(fmt build test-par1 test-par4 test-debug chaos chaos-lossy
+        adapt-determinism clippy doc bench-gate)
 
-cargo build --release --workspace
-# Traversal results must be independent of the intra-rank thread budget
-# (bitwise, see DESIGN.md §6d) — run the suite pinned sequential and forked.
-CARVE_PAR_THREADS=1 cargo test -q --release --workspace
-CARVE_PAR_THREADS=4 cargo test -q --release --workspace
-cargo test -q --workspace
-# Ambient chaos: delay-only fault injection on every simulated-MPI run
-# (CARVE_CHAOS seeds env_chaos_plan). Message counts and results must be
-# schedule-independent, so the whole suite must stay green under it.
-CARVE_CHAOS=29 cargo test -q --release --workspace
-# Lossy chaos: same seed, but the exchange lanes additionally drop and
-# corrupt frames; the retry/backoff protocol must recover every loss so the
-# suite stays green and bitwise identical to the fault-free run. The short
-# retry base keeps recovery snappy under test load.
-CARVE_CHAOS=29:lossy CARVE_RETRY_BASE=0.01 cargo test -q --release --workspace
+run_stage() {
+  case "$1" in
+    fmt)
+      cargo fmt --all --check
+      ;;
+    build)
+      cargo build --release --workspace
+      ;;
+    # Traversal results must be independent of the intra-rank thread budget
+    # (bitwise, see DESIGN.md §6d) — run the suite pinned and forked.
+    test-par1)
+      CARVE_PAR_THREADS=1 cargo test -q --release --workspace
+      ;;
+    test-par4)
+      CARVE_PAR_THREADS=4 cargo test -q --release --workspace
+      ;;
+    test-debug)
+      cargo test -q --workspace
+      ;;
+    # Ambient chaos: delay-only fault injection on every simulated-MPI run
+    # (CARVE_CHAOS seeds env_chaos_plan). Message counts and results must be
+    # schedule-independent, so the whole suite must stay green under it.
+    chaos)
+      CARVE_CHAOS=29 cargo test -q --release --workspace
+      ;;
+    # Lossy chaos: same seed, but the exchange lanes additionally drop and
+    # corrupt frames; the retry/backoff protocol must recover every loss so
+    # the suite stays green and bitwise identical to the fault-free run. The
+    # short retry base keeps recovery snappy under test load.
+    chaos-lossy)
+      CARVE_CHAOS=29:lossy CARVE_RETRY_BASE=0.01 cargo test -q --release --workspace
+      ;;
+    # The dynamic-AMR loop must produce one serialized carve-adapt-trace-v1
+    # document — element counts, DOF counts, leaf/field hashes — no matter
+    # the thread budget or chaos schedule. Diff the matrix bitwise.
+    adapt-determinism)
+      cargo build --release -q -p carve-bench --bin adapt_trace
+      local tmp
+      tmp=$(mktemp -d)
+      trap 'rm -rf "$tmp"' RETURN
+      for threads in 1 4; do
+        CARVE_PAR_THREADS=$threads \
+          ./target/release/adapt_trace "$tmp/t${threads}.json"
+        CARVE_PAR_THREADS=$threads CARVE_CHAOS=29:lossy CARVE_RETRY_BASE=0.01 \
+          ./target/release/adapt_trace "$tmp/t${threads}-lossy.json"
+      done
+      for f in t4 t1-lossy t4-lossy; do
+        cmp "$tmp/t1.json" "$tmp/$f.json" \
+          || { echo "ci: adapt trace t1 vs $f differs" >&2; return 1; }
+      done
+      echo "ci: adapt trace bitwise-identical over threads {1,4} x {clean,lossy}"
+      ;;
+    # carve-comm additionally denies unwrap/expect crate-wide (lib.rs).
+    clippy)
+      cargo clippy --workspace --all-targets -- -D warnings
+      ;;
+    doc)
+      RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+      ;;
+    bench-gate)
+      # A CI re-run must not mint a new report number: regenerate the
+      # newest committed report and gate it against its predecessor.
+      local pr="${BENCH_PR:-}"
+      if [[ -z "$pr" ]]; then
+        local newest
+        newest=$(ls BENCH_PR*.json 2>/dev/null | sort -V | tail -n 1 || true)
+        [[ -n "$newest" ]] && pr=$(basename "$newest" .json | sed 's/^BENCH_PR//')
+      fi
+      BENCH_PR="$pr" bash scripts/bench_gate.sh
+      ;;
+    *)
+      echo "ci: unknown stage '$1' (known: ${STAGES[*]})" >&2
+      return 2
+      ;;
+  esac
+}
 
-# carve-comm additionally denies unwrap/expect crate-wide (lib.rs).
-cargo clippy --workspace --all-targets -- -D warnings
-RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+if [[ -n "${CARVE_CI_STAGE:-}" ]]; then
+  selected=("$CARVE_CI_STAGE")
+else
+  selected=("${STAGES[@]}")
+fi
 
-echo "ci: fmt + build + tests (release & debug) + clippy + doc all green"
+summary=()
+for stage in "${selected[@]}"; do
+  echo "ci: ==> $stage"
+  start=$SECONDS
+  run_stage "$stage"
+  summary+=("$(printf '%-18s %5ss  ok' "$stage" "$((SECONDS - start))")")
+done
+
+echo
+echo "ci: summary"
+printf '  %s\n' "${summary[@]}"
+echo "ci: all stages green"
