@@ -6,10 +6,23 @@
 //! wall-clock at rank counts beyond this box is produced by the calibrated
 //! partition-replay model (DESIGN.md §2). Mesh sizes are scaled down from
 //! the paper's 13.5M/17.5M elements (override: CARVE_MESH=large).
+//!
+//! Modes:
+//! - (no args)          — legacy Table 3 run at modest rank counts.
+//! - `--artifact [path]` — build the versioned `carve-scaling-report-v1`
+//!   artifact (P = 256…28672, exact per-rank replay + pinned reference
+//!   model, plus this box's calibrated constants) and write it to `path`
+//!   (default `SCALING_PR8.json`).
+//! - `--check <path>`   — regenerate the artifact structure from source
+//!   (reference model only) and diff it against the committed baseline;
+//!   exit 1 on any drift. This is the CI scaling-gate.
 
-use carve_bench::{analyze_partition, calibrate, ChannelWorkload, SphereWorkload};
+use carve_bench::{
+    analyze_partition, build_artifact, calibrate, check_artifact, ChannelWorkload, SphereWorkload,
+    SCALING_PR,
+};
 use carve_core::Mesh;
-use carve_io::Table;
+use carve_io::{scaling_report_from_json, scaling_report_to_json, Json, ScalingReport, Table};
 
 fn strong_scaling(name: &str, mesh_p1: &Mesh<3>, mesh_p2: &Mesh<3>, ranks: &[usize]) -> (f64, f64) {
     let mut table = Table::new(
@@ -151,7 +164,109 @@ fn weak_meshes_fixed_grain(
     out
 }
 
+/// Prints the artifact's efficiency curves as a Table 3-style summary.
+fn print_artifact_summary(report: &ScalingReport) {
+    let mut table = Table::new(
+        &format!(
+            "carve-scaling-report-v1 (PR {}): grain-normalized efficiency at P = {:?} \
+             (paper Table 3 anchors: channel 0.81/0.90 strong, 0.82/0.86 weak; \
+             sphere 0.90/0.96 strong, 0.74/0.83 weak)",
+            report.pr, report.ranks
+        ),
+        &[
+            "case",
+            "order",
+            "kind",
+            "elems(top)",
+            "eff@16K",
+            "eff@28K",
+            "floor",
+        ],
+    );
+    for c in &report.cases {
+        let eff_at = |ranks: u64| {
+            c.points
+                .iter()
+                .find(|p| p.ranks == ranks)
+                .map_or("-".to_string(), |p| format!("{:.2}", p.efficiency))
+        };
+        table.row(&[
+            c.name.clone(),
+            if c.order == 1 {
+                "linear".into()
+            } else {
+                "quadratic".into()
+            },
+            c.kind.clone(),
+            c.points.last().map_or(0, |p| p.elems).to_string(),
+            eff_at(16384),
+            eff_at(28672),
+            format!("{:.2}", c.efficiency_floor),
+        ]);
+    }
+    table.print();
+}
+
+fn run_artifact(path: &str) {
+    let report = build_artifact(true, &mut |msg| eprintln!("[artifact] {msg}"));
+    let text = scaling_report_to_json(&report).to_string_pretty();
+    std::fs::write(path, text + "\n").unwrap_or_else(|e| panic!("write {path}: {e}"));
+    print_artifact_summary(&report);
+    println!("\nwrote {path}");
+}
+
+fn run_check(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("scaling-gate: cannot read baseline {path}: {e}");
+        std::process::exit(1);
+    });
+    let baseline = Json::parse(&text)
+        .map_err(|e| format!("{e:?}"))
+        .and_then(|j| scaling_report_from_json(&j))
+        .unwrap_or_else(|e| {
+            eprintln!("scaling-gate: malformed baseline {path}: {e}");
+            std::process::exit(1);
+        });
+    let drift = check_artifact(&baseline, &mut |msg| eprintln!("[check] {msg}"));
+    print_artifact_summary(&baseline);
+    if drift.is_empty() {
+        println!(
+            "\nscaling-gate OK: {path} matches source (per-rank structure, digests, \
+             reference-model efficiencies)"
+        );
+        return;
+    }
+    eprintln!("\nscaling-gate FAILED: {} drift(s) vs {path}:", drift.len());
+    for d in &drift {
+        eprintln!("  - {d}");
+    }
+    eprintln!(
+        "If the change is intentional, regenerate with \
+         `repro_scaling --artifact {path}` and commit the result."
+    );
+    std::process::exit(1);
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--artifact") => {
+            let default = format!("SCALING_PR{SCALING_PR}.json");
+            return run_artifact(args.get(1).map_or(default.as_str(), String::as_str));
+        }
+        Some("--check") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: repro_scaling --check <baseline.json>");
+                std::process::exit(2);
+            };
+            return run_check(path);
+        }
+        Some(other) => {
+            eprintln!("unknown option '{other}' (expected --artifact [path] | --check <path>)");
+            std::process::exit(2);
+        }
+        None => {}
+    }
     let large = std::env::var("CARVE_MESH").as_deref() == Ok("large");
     // --- Channel ---------------------------------------------------------
     let chan = ChannelWorkload::new();

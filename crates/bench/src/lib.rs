@@ -9,11 +9,17 @@
 //! on the exact communication volumes.
 
 pub mod model;
+pub mod scaling;
 pub mod smoke;
 pub mod workloads;
 
 pub use model::{
-    analyze_partition, calibrate, copy_estimate, MachineModel, PartitionAnalysis, RankLoad,
+    analyze_partition, calibrate, calibrate_collectives, copy_estimate, MachineModel,
+    PartitionAnalysis, RankLoad,
+};
+pub use scaling::{
+    artifact_specs, build_artifact, build_report_from_specs, check_artifact, digest_loads,
+    CaseSpec, SCALING_PR, SCALING_RANKS,
 };
 pub use smoke::{compare_reports, run_smoke, same_machine, strip_secs};
 pub use workloads::*;

@@ -1,0 +1,433 @@
+//! Rank-by-rank replay harness behind the committed scaling artifact
+//! (`SCALING_PR<k>.json`) and its CI gate.
+//!
+//! The paper's headline claim is MATVEC scaling to 16K/28K Frontera ranks
+//! (Figs. 7–10, Table 3). On one box we cannot time 28K ranks, but we *can*
+//! compute, exactly, what every one of those ranks would hold: the real
+//! SFC partition, node-ownership election, ghost sets, wire bytes, and
+//! neighbor lanes all come from the production algorithms
+//! (`analyze_partition`), evaluated per rank at P ∈ {256 … 28672}. The
+//! pinned α-β-γ reference model then turns those exact structures into
+//! modeled times and efficiency curves. Because the structure is exact and
+//! the model is pinned, the whole artifact is deterministic — so CI can
+//! regenerate it from source and fail on any drift in partitioning, node
+//! resolution, ghost layout, or the model itself.
+
+use crate::model::{analyze_partition, calibrate, calibrate_collectives, MachineModel};
+use crate::workloads::{ChannelWorkload, SphereWorkload};
+use carve_core::Mesh;
+use carve_io::{ModelConstants, ScalingCase, ScalingPoint, ScalingReport};
+use std::collections::HashMap;
+
+/// Rank counts of the artifact series — up through the paper's 16K/28K
+/// Frontera configurations.
+pub const SCALING_RANKS: [usize; 5] = [256, 1024, 4096, 16384, 28672];
+
+/// This PR's artifact number (`SCALING_PR8.json`).
+pub const SCALING_PR: u64 = 8;
+
+/// One scaling series: a named workload at a fixed element order, with one
+/// `(ranks, base_level, boundary_level)` mesh point per rank count. Strong
+/// series repeat one mesh across all rank counts; weak series grow the mesh
+/// with the rank count (re-using the top mesh once the box's build budget
+/// is exhausted — the grain-normalized efficiency stays honest about it).
+pub struct CaseSpec {
+    pub name: &'static str,
+    pub order: u64,
+    /// `"strong"` or `"weak"` (reporting label; the efficiency formula is
+    /// grain-normalized and identical for both).
+    pub kind: &'static str,
+    pub points: Vec<(usize, u8, u8)>,
+}
+
+/// The committed artifact's series: strong and weak curves for the channel
+/// and carved-sphere workloads at linear and quadratic order, mirroring
+/// Figs. 7–10 / Table 3.
+pub fn artifact_specs() -> Vec<CaseSpec> {
+    let strong = |name, order, b, f| CaseSpec {
+        name,
+        order,
+        kind: "strong",
+        points: SCALING_RANKS.iter().map(|&p| (p, b, f)).collect(),
+    };
+    let weak = |name, order, levels: [(u8, u8); 5]| CaseSpec {
+        name,
+        order,
+        kind: "weak",
+        points: SCALING_RANKS
+            .iter()
+            .zip(levels)
+            .map(|(&p, (b, f))| (p, b, f))
+            .collect(),
+    };
+    vec![
+        strong("channel", 1, 7, 10),
+        strong("channel", 2, 6, 9),
+        strong("sphere", 1, 6, 9),
+        strong("sphere", 2, 5, 8),
+        weak("channel", 1, [(4, 7), (5, 8), (6, 9), (7, 10), (7, 10)]),
+        weak("channel", 2, [(4, 7), (5, 8), (6, 9), (6, 9), (6, 9)]),
+        weak("sphere", 1, [(4, 7), (5, 8), (6, 9), (6, 9), (6, 9)]),
+        weak("sphere", 2, [(3, 6), (4, 7), (5, 8), (5, 8), (5, 8)]),
+    ]
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_u64(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Order-fixed FNV-1a fold of the complete per-rank load array — pins every
+/// rank's element count, node ownership, ghost volume, send volume, and
+/// neighbor degree, not just the per-point summaries.
+pub fn digest_loads(a: &crate::model::PartitionAnalysis) -> u64 {
+    let mut h = FNV_OFFSET;
+    for l in &a.loads {
+        h = fnv_u64(h, l.elems as u64);
+        h = fnv_u64(h, l.owned_nodes as u64);
+        h = fnv_u64(h, l.ghost_nodes as u64);
+        h = fnv_u64(h, l.ghost_bytes);
+        h = fnv_u64(h, l.ghost_send_bytes);
+        h = fnv_u64(h, l.neighbors as u64);
+    }
+    h
+}
+
+fn model_constants(m: &MachineModel) -> ModelConstants {
+    ModelConstants {
+        t_leaf: m.t_leaf,
+        t_copy: m.t_copy,
+        alpha: m.alpha,
+        beta: m.beta,
+        gamma: m.gamma,
+    }
+}
+
+fn build_mesh(name: &str, base: u8, boundary: u8, order: u64) -> Mesh<3> {
+    match name {
+        "channel" => ChannelWorkload::new().mesh(base, boundary, order),
+        "sphere" => SphereWorkload::new().mesh(base, boundary, order),
+        other => panic!("unknown scaling workload '{other}'"),
+    }
+}
+
+/// Cache key for one (workload, base, boundary, order, ranks) analysis;
+/// the value carries the finished point plus its grain (elems/rank).
+type AnalysisCache = HashMap<(String, u8, u8, u64, usize), (ScalingPoint, f64)>;
+
+/// Builds a report from explicit specs. Meshes and partition analyses are
+/// cached across cases (strong/weak series share meshes, and the top weak
+/// points repeat whole (mesh, P) pairs).
+pub fn build_report_from_specs(
+    pr: u64,
+    ranks: &[usize],
+    specs: &[CaseSpec],
+    with_calibration: bool,
+    log: &mut dyn FnMut(String),
+) -> ScalingReport {
+    let reference = MachineModel::reference();
+    let mut meshes: HashMap<(String, u8, u8, u64), Mesh<3>> = HashMap::new();
+    let mut analyses: AnalysisCache = HashMap::new();
+    let mut cases = Vec::new();
+    for spec in specs {
+        let mut points = Vec::new();
+        for &(p, b, f) in &spec.points {
+            let akey = (spec.name.to_string(), b, f, spec.order, p);
+            let (point, grain) = *analyses.entry(akey).or_insert_with(|| {
+                let mkey = (spec.name.to_string(), b, f, spec.order);
+                let mesh = meshes.entry(mkey).or_insert_with(|| {
+                    log(format!(
+                        "mesh {} base={b} boundary={f} order={}",
+                        spec.name, spec.order
+                    ));
+                    build_mesh(spec.name, b, f, spec.order)
+                });
+                log(format!(
+                    "analyze {} order={} P={p} ({} elems)",
+                    spec.name,
+                    spec.order,
+                    mesh.num_elems()
+                ));
+                let a = analyze_partition(mesh, p);
+                let loads = &a.loads;
+                let point = ScalingPoint {
+                    ranks: p as u64,
+                    elems: mesh.num_elems() as u64,
+                    dofs: mesh.num_dofs() as u64,
+                    elems_per_rank_min: loads.iter().map(|l| l.elems as u64).min().unwrap(),
+                    elems_per_rank_max: loads.iter().map(|l| l.elems as u64).max().unwrap(),
+                    owned_nodes_max: loads.iter().map(|l| l.owned_nodes as u64).max().unwrap(),
+                    ghost_nodes_max: loads.iter().map(|l| l.ghost_nodes as u64).max().unwrap(),
+                    ghost_bytes_max: loads.iter().map(|l| l.ghost_bytes).max().unwrap(),
+                    send_bytes_max: loads.iter().map(|l| l.ghost_send_bytes).max().unwrap(),
+                    neighbors_max: loads.iter().map(|l| l.neighbors as u64).max().unwrap(),
+                    digest: digest_loads(&a),
+                    t_model: a.modeled_time(&reference).0,
+                    efficiency: 0.0, // filled per case below
+                };
+                let grain = mesh.num_elems() as f64 / p as f64;
+                (point, grain)
+            });
+            points.push((point, grain));
+        }
+        // Grain-normalized efficiency vs the series' first point: the ratio
+        // of per-element parallel cost. For strong series (constant elems)
+        // this reduces to the classical (T_b·P_b)/(T_P·P).
+        let (t0, g0) = (points[0].0.t_model, points[0].1);
+        for (pt, g) in &mut points {
+            pt.efficiency = (t0 / g0) / (pt.t_model / *g);
+        }
+        let min_eff = points
+            .iter()
+            .map(|(pt, _)| pt.efficiency)
+            .fold(f64::INFINITY, f64::min);
+        // Floor with a 0.05 margin under the generated curve, rounded down
+        // to 2 decimals: tightens automatically when the curves improve.
+        let efficiency_floor = (((min_eff - 0.05).max(0.0) * 100.0).floor()) / 100.0;
+        cases.push(ScalingCase {
+            name: spec.name.to_string(),
+            order: spec.order,
+            kind: spec.kind.to_string(),
+            efficiency_floor,
+            points: points.into_iter().map(|(pt, _)| pt).collect(),
+        });
+    }
+    let calibrated_model = if with_calibration {
+        log("calibrate kernel + collective constants".into());
+        let mesh = meshes
+            .remove(&("channel".to_string(), 5, 8, 1))
+            .unwrap_or_else(|| build_mesh("channel", 5, 8, 1));
+        let (m, _) = calibrate(&mesh, 3);
+        let (alpha, gamma) = calibrate_collectives();
+        Some(ModelConstants {
+            t_leaf: m.t_leaf,
+            t_copy: m.t_copy,
+            alpha,
+            beta: m.beta,
+            gamma,
+        })
+    } else {
+        None
+    };
+    ScalingReport {
+        pr,
+        ranks: ranks.iter().map(|&p| p as u64).collect(),
+        reference_model: model_constants(&reference),
+        calibrated_model,
+        cases,
+    }
+}
+
+/// Builds the committed artifact: the full 256→28672 series over all eight
+/// cases, plus (optionally) this box's calibrated constants for context.
+pub fn build_artifact(with_calibration: bool, log: &mut dyn FnMut(String)) -> ScalingReport {
+    build_report_from_specs(
+        SCALING_PR,
+        &SCALING_RANKS,
+        &artifact_specs(),
+        with_calibration,
+        log,
+    )
+}
+
+fn close(a: f64, b: f64) -> bool {
+    // Reference-model arithmetic is deterministic; the tolerance only
+    // absorbs float-formatting round trips and compiler re-association.
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1e-30)
+}
+
+/// Regenerates the artifact structure from source (reference model only —
+/// no calibration, so the check is machine-independent) and diffs it
+/// against `baseline`. Returns one message per drift; empty means the gate
+/// passes.
+pub fn check_artifact(baseline: &ScalingReport, log: &mut dyn FnMut(String)) -> Vec<String> {
+    let mut drift = Vec::new();
+    let current =
+        build_report_from_specs(baseline.pr, &SCALING_RANKS, &artifact_specs(), false, log);
+    if baseline.ranks != current.ranks {
+        drift.push(format!(
+            "rank series: baseline {:?} vs source {:?}",
+            baseline.ranks, current.ranks
+        ));
+    }
+    if baseline.reference_model != current.reference_model {
+        drift.push("reference model constants changed".to_string());
+    }
+    let case_id = |c: &ScalingCase| format!("{}/p{}/{}", c.name, c.order, c.kind);
+    if baseline.cases.len() != current.cases.len() {
+        drift.push(format!(
+            "case count: baseline {} vs source {}",
+            baseline.cases.len(),
+            current.cases.len()
+        ));
+        return drift;
+    }
+    for (b, c) in baseline.cases.iter().zip(&current.cases) {
+        let id = case_id(b);
+        if case_id(c) != id {
+            drift.push(format!(
+                "case order: baseline {id} vs source {}",
+                case_id(c)
+            ));
+            continue;
+        }
+        if b.points.len() != c.points.len() {
+            drift.push(format!("{id}: point count changed"));
+            continue;
+        }
+        for (bp, cp) in b.points.iter().zip(&c.points) {
+            let pid = format!("{id} P={}", bp.ranks);
+            let counts = |p: &ScalingPoint| {
+                [
+                    p.ranks,
+                    p.elems,
+                    p.dofs,
+                    p.elems_per_rank_min,
+                    p.elems_per_rank_max,
+                    p.owned_nodes_max,
+                    p.ghost_nodes_max,
+                    p.ghost_bytes_max,
+                    p.send_bytes_max,
+                    p.neighbors_max,
+                ]
+            };
+            if counts(bp) != counts(cp) {
+                drift.push(format!(
+                    "{pid}: per-rank structure counts changed ({:?} vs {:?})",
+                    counts(bp),
+                    counts(cp)
+                ));
+            }
+            if bp.digest != cp.digest {
+                drift.push(format!(
+                    "{pid}: per-rank load digest {:016x} vs {:016x}",
+                    bp.digest, cp.digest
+                ));
+            }
+            if !close(bp.t_model, cp.t_model) {
+                drift.push(format!(
+                    "{pid}: modeled time {} vs {}",
+                    bp.t_model, cp.t_model
+                ));
+            }
+            if !close(bp.efficiency, cp.efficiency) {
+                drift.push(format!(
+                    "{pid}: efficiency {} vs {}",
+                    bp.efficiency, cp.efficiency
+                ));
+            }
+            // The floor guards against *regressions* even when the baseline
+            // is regenerated: fresh efficiencies must clear the committed
+            // floor on their own.
+            if cp.efficiency < b.efficiency_floor {
+                drift.push(format!(
+                    "{pid}: efficiency {:.3} below committed floor {:.2}",
+                    cp.efficiency, b.efficiency_floor
+                ));
+            }
+        }
+    }
+    drift
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carve_io::{scaling_report_from_json, scaling_report_to_json, Json};
+
+    /// Miniature specs so the gate logic is testable in seconds: the same
+    /// builder/checker code paths as the committed artifact, on a small
+    /// channel mesh at toy rank counts.
+    fn tiny_specs() -> Vec<CaseSpec> {
+        vec![
+            CaseSpec {
+                name: "channel",
+                order: 1,
+                kind: "strong",
+                points: vec![(2, 3, 6), (4, 3, 6), (8, 3, 6)],
+            },
+            CaseSpec {
+                name: "channel",
+                order: 1,
+                kind: "weak",
+                points: vec![(2, 3, 5), (4, 3, 6), (8, 3, 6)],
+            },
+        ]
+    }
+
+    fn tiny_report() -> ScalingReport {
+        build_report_from_specs(8, &[2, 4, 8], &tiny_specs(), false, &mut |_| {})
+    }
+
+    #[test]
+    fn report_is_deterministic_and_round_trips() {
+        let a = tiny_report();
+        let b = tiny_report();
+        assert_eq!(a, b, "replay structure must be deterministic");
+        let text = scaling_report_to_json(&a).to_string_pretty();
+        let back = scaling_report_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, a, "artifact must survive the JSON round trip");
+        // Sanity on the content itself.
+        for c in &a.cases {
+            assert_eq!(c.points[0].efficiency, 1.0, "base point is the anchor");
+            for p in &c.points {
+                assert!(p.efficiency > 0.0 && p.efficiency <= 1.5);
+                assert!(p.efficiency >= c.efficiency_floor);
+                assert!(p.t_model > 0.0);
+                assert!(p.elems_per_rank_min <= p.elems_per_rank_max);
+            }
+        }
+        // Strong series: mesh constant across points.
+        let strong = &a.cases[0];
+        assert!(strong
+            .points
+            .iter()
+            .all(|p| p.elems == strong.points[0].elems));
+    }
+
+    #[test]
+    fn digest_covers_every_load_field() {
+        let mesh = build_mesh("channel", 3, 6, 1);
+        let a = analyze_partition(&mesh, 4);
+        let base = digest_loads(&a);
+        let mut tweaked = a.clone();
+        tweaked.loads[3].neighbors += 1;
+        assert_ne!(base, digest_loads(&tweaked));
+        let mut tweaked = a.clone();
+        tweaked.loads[0].ghost_send_bytes += 8;
+        assert_ne!(base, digest_loads(&tweaked));
+    }
+
+    #[test]
+    fn tampered_baseline_fails_the_check() {
+        // check_artifact regenerates the full artifact (too slow for a unit
+        // test), so exercise the comparison core on the tiny report via the
+        // same field-by-field logic: a self-diff of tiny reports through the
+        // JSON round trip must be empty, and single-field tampering must
+        // produce drift. We inline the comparison by diffing two reports
+        // with the check's helpers.
+        let a = tiny_report();
+        let text = scaling_report_to_json(&a).to_string_pretty();
+        let b = scaling_report_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(a, b);
+        // Tamper: flip one digest → reports differ.
+        let mut t = b.clone();
+        t.cases[0].points[1].digest ^= 1;
+        assert_ne!(a, t);
+        // Tamper: nudge an efficiency beyond the check tolerance.
+        let mut t = b.clone();
+        t.cases[1].points[2].efficiency *= 1.001;
+        assert!(!close(
+            a.cases[1].points[2].efficiency,
+            t.cases[1].points[2].efficiency
+        ));
+        // Within-tolerance formatting noise is accepted.
+        assert!(close(1.0, 1.0 + 1e-12));
+    }
+}

@@ -120,6 +120,8 @@ fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 fn fmt_tag(tag: u64) -> String {
     if tag & USER_TAG_BIT != 0 {
         format!("user tag {}", tag & !USER_TAG_BIT)
+    } else if tag & COLL_DATA_BIT != 0 {
+        format!("collective op {} (data phase)", tag & !COLL_DATA_BIT)
     } else {
         format!("collective op {tag}")
     }
@@ -146,6 +148,15 @@ pub struct CommStats {
     pub bytes_received: u64,
     /// Number of messages received.
     pub messages_received: u64,
+    /// Number of collective operations this rank has entered (barrier,
+    /// all_gather(v), all_reduce_*, exscan, all_to_allv, bcast).
+    pub collective_calls: u64,
+    /// Messages sent from inside collectives. With the tree-structured
+    /// implementations, `collective_messages / collective_calls` is
+    /// O(log2 size) + O(non-empty all_to_allv lanes) — asserted by the
+    /// counter-complexity tests, so an accidental O(size) regression fails
+    /// loudly.
+    pub collective_messages: u64,
 }
 
 /// Sequence-numbered, checksummed payload of one exchange-lane message.
@@ -315,6 +326,15 @@ pub struct Comm {
 
 /// Tags with this bit set are reserved for user point-to-point traffic.
 const USER_TAG_BIT: u64 = 1 << 63;
+
+/// Sub-channel bit for the payload phase of two-phase collectives.
+/// `all_to_allv` runs a bitmap round and a payload round under a *single*
+/// op tag (so the cluster-wide op count per collective call is unchanged);
+/// the payload round sets this bit to keep the two message streams apart in
+/// the `(from, tag)` matcher. It can never alias another tag: user tags
+/// carry [`USER_TAG_BIT`] (bit 63) and plain collective tags come from the
+/// op counter, which stays far below 2^62.
+const COLL_DATA_BIT: u64 = 1 << 62;
 
 impl Comm {
     /// A size-1 communicator: collectives become no-ops/identity. Useful for
@@ -844,10 +864,121 @@ impl Comm {
     }
 
     // --- Collectives ------------------------------------------------------
+    //
+    // All collectives are tree-structured (DESIGN.md §2): dissemination
+    // rounds for barrier/all_gather(v) (and the reductions/scans riding
+    // them), a binomial tree for bcast, and a bitmap round + direct sparse
+    // lanes for all_to_allv. Per-call message count per rank is
+    // ceil(log2 P) (+ the non-empty lane count for all_to_allv) instead of
+    // the P-1 lanes the linear implementations opened, which is what lets
+    // threaded mode mirror the O(log P) collectives the replay model's
+    // α·log2(P) term assumes. Gathered entries are forwarded verbatim and
+    // reductions still fold the rank-ordered gather locally, so results
+    // are bitwise identical to the linear path (property-tested below
+    // against the `#[cfg(test)]` linear oracles, under chaos).
+
+    /// Snapshot at collective entry for per-collective message counting.
+    fn collective_enter(&self) -> u64 {
+        self.stats.get().messages
+    }
+
+    /// Books the messages sent since [`Comm::collective_enter`] under the
+    /// collective counters (`CommStats` + obs), so tests can assert the
+    /// O(log P) complexity per call.
+    fn collective_exit(&self, entry_messages: u64) {
+        let mut s = self.stats.get();
+        let sent = s.messages.saturating_sub(entry_messages);
+        s.collective_calls += 1;
+        s.collective_messages += sent;
+        self.stats.set(s);
+        carve_obs::counter("coll_calls", 1);
+        carve_obs::counter("coll_msgs", sent);
+    }
+
+    /// Dissemination all-gather of one entry per rank: ceil(log2 P) rounds;
+    /// in the round with offset `d = 2^k` each rank passes the
+    /// `min(d, P - d)` entries it holds for ranks `(rank - min(d, P-d), rank]`
+    /// to rank `(rank + d) % P` and receives the matching window from
+    /// `(rank - d) % P`. Entries travel as `(origin_rank, payload)` pairs
+    /// and are never combined, so the rank-ordered result is bitwise
+    /// identical to a linear gather.
+    ///
+    /// Within one call every (sender, receiver) pair occurs at most once:
+    /// the round offsets `2^k`, `k < ceil(log2 P)`, are distinct values in
+    /// `(0, P)`, so the `(from, tag)` matcher never confuses rounds.
+    fn disseminate_gatherv<T: Clone + Send + 'static>(&self, tag: u64, v: Vec<T>) -> Vec<Vec<T>> {
+        let p = self.size;
+        let mut have: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
+        have[self.rank] = Some(v);
+        let mut d = 1usize;
+        while d < p {
+            let to = (self.rank + d) % p;
+            let from = (self.rank + p - d) % p;
+            // The receiver already holds d entries; it is missing at most
+            // p - d, so the window never exceeds min(d, p - d).
+            let window = d.min(p - d);
+            let mut batch: Vec<(u32, Vec<T>)> = Vec::with_capacity(window);
+            for off in (0..window).rev() {
+                let r = (self.rank + p - off) % p;
+                match &have[r] {
+                    Some(e) => batch.push((r as u32, e.clone())),
+                    None => self.protocol_error("disseminate_gatherv: window entry missing"),
+                }
+            }
+            let bytes: u64 = batch
+                .iter()
+                .map(|(_, e)| (e.len() * std::mem::size_of::<T>()) as u64)
+                .sum();
+            self.account_send(bytes);
+            self.maybe_duplicate(to, tag, &batch);
+            self.dispatch(to, tag, Box::new(batch), to as u64);
+            let got: Vec<(u32, Vec<T>)> = self.recv_raw(from, tag);
+            let got_bytes: u64 = got
+                .iter()
+                .map(|(_, e)| (e.len() * std::mem::size_of::<T>()) as u64)
+                .sum();
+            self.account_recv(got_bytes);
+            for (r, e) in got {
+                have[r as usize] = Some(e);
+            }
+            d <<= 1;
+        }
+        have.into_iter()
+            .enumerate()
+            .map(|(r, e)| match e {
+                Some(e) => e,
+                None => self.protocol_error(format!("disseminate_gatherv: no entry for rank {r}")),
+            })
+            .collect()
+    }
 
     /// Barrier across all ranks, with abort polling and watchdog deadline.
+    ///
+    /// Dissemination barrier: ceil(log2 P) zero-byte token rounds per rank;
+    /// after round `k` every rank has (transitively) heard from the `2^(k+1)`
+    /// ranks behind it, so completing all rounds proves every rank entered
+    /// the barrier. (The finalize barrier keeps its condvar implementation:
+    /// it must stay usable for deadline diagnostics after arbitrary user
+    /// code, see `Comm::finalize_barrier`.)
     pub fn barrier(&self) {
-        self.barrier_with_deadline(self.timeout, "barrier");
+        let tag = self.next_tag();
+        if self.size == 1 {
+            return;
+        }
+        let entry = self.collective_enter();
+        let p = self.size;
+        let mut d = 1usize;
+        while d < p {
+            let to = (self.rank + d) % p;
+            let from = (self.rank + p - d) % p;
+            self.account_send(0);
+            self.maybe_duplicate::<u8>(to, tag, &[]);
+            self.dispatch(to, tag, Box::new(Vec::<u8>::new()), to as u64);
+            let _token: Vec<u8> = self.recv_raw(from, tag);
+            self.account_recv(0);
+            d <<= 1;
+        }
+        self.collective_exit(entry);
     }
 
     /// The finalize barrier run by the SPMD driver after user code returns.
@@ -922,28 +1053,16 @@ impl Comm {
     }
 
     /// Gathers a vector from every rank (MPI `Allgatherv`); result `r[i]` is
-    /// rank `i`'s contribution.
+    /// rank `i`'s contribution. Dissemination-structured: ceil(log2 P)
+    /// messages per rank instead of P-1.
     pub fn all_gatherv<T: Clone + Send + 'static>(&self, v: Vec<T>) -> Vec<Vec<T>> {
         let tag = self.next_tag();
         if self.size == 1 {
             return vec![v];
         }
-        let bytes = (v.len() * std::mem::size_of::<T>()) as u64;
-        for to in 0..self.size {
-            if to != self.rank {
-                self.account_send(bytes);
-                self.maybe_duplicate(to, tag, &v);
-                self.dispatch(to, tag, Box::new(v.clone()), to as u64);
-            }
-        }
-        let mut out: Vec<Vec<T>> = Vec::with_capacity(self.size);
-        for from in 0..self.size {
-            if from == self.rank {
-                out.push(v.clone());
-            } else {
-                out.push(self.recv_vec(from, tag));
-            }
-        }
+        let entry = self.collective_enter();
+        let out = self.disseminate_gatherv(tag, v);
+        self.collective_exit(entry);
         out
     }
 
@@ -1022,6 +1141,13 @@ impl Comm {
 
     /// Personalized all-to-all (MPI `Alltoallv`): `sends[i]` goes to rank
     /// `i`; the result's `r[i]` is what rank `i` sent here.
+    ///
+    /// Sparse-lane structure: a dissemination round first gathers every
+    /// rank's destination bitmap (who actually has data for whom), then
+    /// payloads travel only on the non-empty lanes, under the same op tag
+    /// with `COLL_DATA_BIT` set. Empty lanes cost no message at all and
+    /// the self lane never leaves the rank, so a neighbor-sparse exchange
+    /// costs ceil(log2 P) + #neighbors messages instead of P-1.
     pub fn all_to_allv<T: Clone + Send + 'static>(&self, mut sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
         if sends.len() != self.size {
             self.protocol_error(format!(
@@ -1030,6 +1156,139 @@ impl Comm {
                 self.size
             ));
         }
+        let tag = self.next_tag();
+        if self.size == 1 {
+            return sends;
+        }
+        let entry = self.collective_enter();
+        let p = self.size;
+        // Round 1: gather destination bitmaps (bit `to` of rank r's bitmap
+        // is set iff r has a non-empty lane for `to`).
+        let words = p.div_ceil(64);
+        let mut bitmap = vec![0u64; words];
+        for (to, lane) in sends.iter().enumerate() {
+            if to != self.rank && !lane.is_empty() {
+                bitmap[to / 64] |= 1 << (to % 64);
+            }
+        }
+        let bitmaps = self.disseminate_gatherv(tag, bitmap);
+        // Round 2: payloads on the non-empty lanes only.
+        let dtag = tag | COLL_DATA_BIT;
+        for (to, lane) in sends.iter_mut().enumerate() {
+            if to != self.rank && !lane.is_empty() {
+                let payload = std::mem::take(lane);
+                let bytes = (payload.len() * std::mem::size_of::<T>()) as u64;
+                self.account_send(bytes);
+                self.maybe_duplicate(to, dtag, &payload);
+                self.dispatch(to, dtag, Box::new(payload), to as u64);
+            }
+        }
+        let mut out: Vec<Vec<T>> = Vec::with_capacity(p);
+        for (from, lane) in sends.iter_mut().enumerate() {
+            if from == self.rank {
+                out.push(std::mem::take(lane));
+            } else if bitmaps[from][self.rank / 64] >> (self.rank % 64) & 1 == 1 {
+                out.push(self.recv_vec(from, dtag));
+            } else {
+                out.push(Vec::new());
+            }
+        }
+        self.collective_exit(entry);
+        out
+    }
+
+    /// Broadcast from `root` to all ranks, over a binomial tree: the root
+    /// sends to virtual ranks 1, 2, 4, ... and every recipient forwards to
+    /// the subtree below it, so no rank sends more than ceil(log2 P)
+    /// messages and the value reaches all ranks in ceil(log2 P) rounds.
+    pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, v: Option<Vec<T>>) -> Vec<T> {
+        let tag = self.next_tag();
+        let unwrap_root = |v: Option<Vec<T>>| match v {
+            Some(v) => v,
+            None => self.protocol_error("bcast: root must provide the value"),
+        };
+        if self.size == 1 {
+            return unwrap_root(v);
+        }
+        let entry = self.collective_enter();
+        let p = self.size;
+        // Virtual rank: the tree is rooted at vrank 0 regardless of `root`.
+        let vr = (self.rank + p - root) % p;
+        let mut val: Option<Vec<T>> = if vr == 0 { Some(unwrap_root(v)) } else { None };
+        let mut d = 1usize;
+        while d < p {
+            if vr < d {
+                if vr + d < p {
+                    let to = (vr + d + root) % p;
+                    match &val {
+                        Some(x) => {
+                            let bytes = (x.len() * std::mem::size_of::<T>()) as u64;
+                            self.account_send(bytes);
+                            self.maybe_duplicate(to, tag, x);
+                            self.dispatch(to, tag, Box::new(x.clone()), to as u64);
+                        }
+                        None => self.protocol_error("bcast: forwarding before receive"),
+                    }
+                }
+            } else if vr < 2 * d {
+                let from = (vr - d + root) % p;
+                val = Some(self.recv_vec(from, tag));
+            }
+            d <<= 1;
+        }
+        self.collective_exit(entry);
+        match val {
+            Some(x) => x,
+            None => self.protocol_error("bcast: no value after final round"),
+        }
+    }
+}
+
+/// Linear (O(P) lanes per call) reference implementations of the
+/// collectives, kept as the oracle for the tree-structured rewrites: the
+/// property tests below assert the tree results are bitwise identical to
+/// these under seeded chaos. Test-only so production code cannot regress
+/// onto the linear paths.
+#[cfg(test)]
+impl Comm {
+    pub(crate) fn linear_all_gatherv<T: Clone + Send + 'static>(&self, v: Vec<T>) -> Vec<Vec<T>> {
+        let tag = self.next_tag();
+        if self.size == 1 {
+            return vec![v];
+        }
+        let bytes = (v.len() * std::mem::size_of::<T>()) as u64;
+        for to in 0..self.size {
+            if to != self.rank {
+                self.account_send(bytes);
+                self.maybe_duplicate(to, tag, &v);
+                self.dispatch(to, tag, Box::new(v.clone()), to as u64);
+            }
+        }
+        let mut out: Vec<Vec<T>> = Vec::with_capacity(self.size);
+        for from in 0..self.size {
+            if from == self.rank {
+                out.push(v.clone());
+            } else {
+                out.push(self.recv_vec(from, tag));
+            }
+        }
+        out
+    }
+
+    pub(crate) fn linear_all_gather<T: Clone + Send + 'static>(&self, v: T) -> Vec<T> {
+        self.linear_all_gatherv(vec![v])
+            .into_iter()
+            .map(|mut x| match x.pop() {
+                Some(last) if x.is_empty() => last,
+                _ => self.protocol_error("linear_all_gather: expected one element per rank"),
+            })
+            .collect()
+    }
+
+    pub(crate) fn linear_all_to_allv<T: Clone + Send + 'static>(
+        &self,
+        mut sends: Vec<Vec<T>>,
+    ) -> Vec<Vec<T>> {
         let tag = self.next_tag();
         if self.size == 1 {
             return sends;
@@ -1054,8 +1313,11 @@ impl Comm {
         out
     }
 
-    /// Broadcast from `root` to all ranks.
-    pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, v: Option<Vec<T>>) -> Vec<T> {
+    pub(crate) fn linear_bcast<T: Clone + Send + 'static>(
+        &self,
+        root: usize,
+        v: Option<Vec<T>>,
+    ) -> Vec<T> {
         let tag = self.next_tag();
         let unwrap_root = |v: Option<Vec<T>>| match v {
             Some(v) => v,
@@ -1608,5 +1870,292 @@ mod tests {
         c.barrier();
         let out = c.all_to_allv(vec![vec![1u8, 2]]);
         assert_eq!(out, vec![vec![1, 2]]);
+    }
+
+    /// One rank's collective workout, used by the tree-vs-linear oracle
+    /// test. Every result is bit-encoded (f64 via `to_bits`) so NaN and
+    /// signed-zero survive the comparison. `tree` selects the production
+    /// tree-structured path or the `#[cfg(test)]` linear oracle.
+    fn collective_workout(c: &Comm, tree: bool) -> Vec<u64> {
+        let p = c.size();
+        let r = c.rank();
+        let mut out: Vec<u64> = Vec::new();
+        let push_f64s = |out: &mut Vec<u64>, vals: &[f64]| {
+            out.extend(vals.iter().map(|v| v.to_bits()));
+        };
+        let gatherv = |v: Vec<f64>| -> Vec<Vec<f64>> {
+            if tree {
+                c.all_gatherv(v)
+            } else {
+                c.linear_all_gatherv(v)
+            }
+        };
+        // all_gather of a rank-dependent scalar (negative zero on rank 0).
+        let x = if r == 0 { -0.0 } else { r as f64 * 0.5 };
+        let g: Vec<f64> = if tree {
+            c.all_gather(x)
+        } else {
+            c.linear_all_gather(x)
+        };
+        push_f64s(&mut out, &g);
+        // all_gatherv with rank-dependent lengths, including an empty lane.
+        let v: Vec<f64> = (0..r % 3).map(|k| (r * 10 + k) as f64).collect();
+        for lane in gatherv(v) {
+            out.push(lane.len() as u64);
+            push_f64s(&mut out, &lane);
+        }
+        // Reductions, NaN-free and with a NaN contribution on one rank.
+        for op in [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max] {
+            for poison in [false, true] {
+                let val = if poison && r == p / 2 {
+                    f64::NAN
+                } else {
+                    (r as f64 - 1.25) * 3.5
+                };
+                let (scalar, many) = if tree {
+                    (
+                        c.all_reduce_f64(val, op),
+                        c.all_reduce_f64_many(&[val, -val, 0.125], op),
+                    )
+                } else {
+                    // The oracle reductions are the same rank-ordered folds
+                    // over the *linear* gather.
+                    let all = c.linear_all_gather(val);
+                    let fold = |vals: &[f64]| -> f64 {
+                        match op {
+                            ReduceOp::Sum => vals.iter().sum(),
+                            ReduceOp::Min => vals.iter().fold(f64::INFINITY, |a, &x| {
+                                if a.is_nan() || x.is_nan() {
+                                    f64::NAN
+                                } else {
+                                    a.min(x)
+                                }
+                            }),
+                            ReduceOp::Max => vals.iter().fold(f64::NEG_INFINITY, |a, &x| {
+                                if a.is_nan() || x.is_nan() {
+                                    f64::NAN
+                                } else {
+                                    a.max(x)
+                                }
+                            }),
+                        }
+                    };
+                    let batch = c.linear_all_gatherv(vec![val, -val, 0.125]);
+                    let many: Vec<f64> = (0..3)
+                        .map(|k| {
+                            let lane: Vec<f64> = batch.iter().map(|b| b[k]).collect();
+                            fold(&lane)
+                        })
+                        .collect();
+                    (fold(&all), many)
+                };
+                push_f64s(&mut out, &[scalar]);
+                push_f64s(&mut out, &many);
+            }
+        }
+        // u64 reduce + exscan (ride the gather in both paths).
+        if tree {
+            out.push(c.all_reduce_u64(r as u64 + 7, ReduceOp::Max));
+            out.push(c.exscan_u64(r as u64 + 1));
+        } else {
+            let all = c.linear_all_gather(r as u64 + 7);
+            out.push(all.iter().copied().max().unwrap_or(0));
+            let all = c.linear_all_gather(r as u64 + 1);
+            out.push(all[..r].iter().sum());
+        }
+        // bcast from first and last rank.
+        for root in [0, p - 1] {
+            let payload = if r == root {
+                Some(vec![root as u64 * 31 + 5, 77])
+            } else {
+                None
+            };
+            let got = if tree {
+                c.bcast(root, payload)
+            } else {
+                c.linear_bcast(root, payload)
+            };
+            out.extend(got);
+        }
+        // all_to_allv: ring pattern with a self lane, then fully empty.
+        let mut sends: Vec<Vec<u64>> = vec![Vec::new(); p];
+        sends[(r + 1) % p] = vec![r as u64 * 100, r as u64];
+        sends[r].push(r as u64 * 1000);
+        if p > 2 && r.is_multiple_of(2) {
+            sends[(r + 2) % p] = vec![r as u64 + 13];
+        }
+        let round = |s: Vec<Vec<u64>>| -> Vec<Vec<u64>> {
+            if tree {
+                c.all_to_allv(s)
+            } else {
+                c.linear_all_to_allv(s)
+            }
+        };
+        for lane in round(sends) {
+            out.push(lane.len() as u64);
+            out.extend(lane);
+        }
+        for lane in round(vec![Vec::new(); p]) {
+            out.push(lane.len() as u64);
+            out.extend(lane);
+        }
+        out
+    }
+
+    #[test]
+    fn tree_collectives_match_linear_oracle_under_chaos() {
+        // The tree-structured collectives must be bitwise identical to the
+        // linear implementations they replaced — for every op, rank count,
+        // and hostile schedule, including NaN propagation through Min/Max.
+        let plans: [Option<FaultPlan>; 4] = [
+            None,
+            Some(FaultPlan::chaos(11)),
+            Some(FaultPlan::chaos(97)),
+            Some(FaultPlan::lossy(29)),
+        ];
+        for &p in &[1usize, 2, 3, 4, 7, 8, 16] {
+            for plan in &plans {
+                let run = |tree: bool| -> Vec<Vec<u64>> {
+                    let opts = match plan {
+                        Some(f) => SpmdOptions::with_fault(f.clone()),
+                        None => SpmdOptions::default(),
+                    };
+                    match run_spmd_with(p, opts, |c| collective_workout(c, tree)) {
+                        Ok(v) => v,
+                        Err(e) => panic!("workout failed at p={p}: {e}"),
+                    }
+                };
+                assert_eq!(
+                    run(true),
+                    run(false),
+                    "tree vs linear mismatch at p={p}, plan={plan:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn collective_message_counts_are_logarithmic() {
+        // Messages-per-collective must stay O(log2 P): an accidental O(P)
+        // regression fails loudly. Checked through CommStats and through
+        // the obs coll_msgs/coll_calls counters.
+        for &p in &[8usize, 16, 32] {
+            let ceil_log2 = (usize::BITS - (p - 1).leading_zeros()) as u64;
+            let per_op = run_spmd(p, |c| {
+                let _obs = carve_obs::force_enabled();
+                let obs_before = carve_obs::thread_snapshot();
+                let delta = |f: &dyn Fn()| -> u64 {
+                    let before = c.stats().messages;
+                    f();
+                    c.stats().messages - before
+                };
+                let barrier = delta(&|| c.barrier());
+                let gather = delta(&|| {
+                    c.all_gather(c.rank() as u64);
+                });
+                let reduce = delta(&|| {
+                    c.all_reduce_f64(c.rank() as f64, ReduceOp::Sum);
+                });
+                let bcast = delta(&|| {
+                    c.bcast(0, (c.rank() == 0).then(|| vec![1u8, 2]));
+                });
+                let ring = delta(&|| {
+                    let mut sends: Vec<Vec<u64>> = vec![Vec::new(); c.size()];
+                    sends[(c.rank() + 1) % c.size()] = vec![1];
+                    sends[(c.rank() + c.size() - 1) % c.size()] = vec![2];
+                    c.all_to_allv(sends);
+                });
+                let d = carve_obs::thread_snapshot().diff(&obs_before);
+                let obs_count = |name: &str| -> u64 {
+                    d.phases
+                        .values()
+                        .filter_map(|ph| ph.counters.get(name))
+                        .sum()
+                };
+                let s = c.stats();
+                (
+                    barrier,
+                    gather,
+                    reduce,
+                    bcast,
+                    ring,
+                    s.collective_calls,
+                    s.collective_messages,
+                    obs_count("coll_calls"),
+                    obs_count("coll_msgs"),
+                )
+            });
+            for (r, &(barrier, gather, reduce, bcast, ring, calls, msgs, oc, om)) in
+                per_op.iter().enumerate()
+            {
+                let ctx = format!("p={p} rank={r}");
+                assert_eq!(barrier, ceil_log2, "{ctx} barrier");
+                assert_eq!(gather, ceil_log2, "{ctx} all_gather");
+                assert_eq!(reduce, ceil_log2, "{ctx} all_reduce");
+                assert!(bcast <= ceil_log2, "{ctx} bcast sent {bcast}");
+                // Ring all_to_allv: one bitmap round + two neighbor lanes.
+                assert_eq!(ring, ceil_log2 + 2, "{ctx} all_to_allv");
+                // All of it strictly below the linear P-1 cost.
+                for (what, n) in [
+                    ("barrier", barrier),
+                    ("all_gather", gather),
+                    ("all_to_allv", ring),
+                ] {
+                    assert!(n < (p - 1) as u64, "{ctx} {what}: {n} not sublinear");
+                }
+                assert_eq!(calls, 5, "{ctx} collective_calls");
+                assert_eq!(
+                    msgs,
+                    barrier + gather + reduce + bcast + ring,
+                    "{ctx} collective_messages"
+                );
+                // The obs counters mirror CommStats exactly.
+                assert_eq!(oc, calls, "{ctx} obs coll_calls");
+                assert_eq!(om, msgs, "{ctx} obs coll_msgs");
+            }
+        }
+    }
+
+    #[test]
+    fn all_to_allv_skips_empty_lanes() {
+        // Regression for the dense-lane bug: empty lanes must cost zero
+        // messages, self-sends must not leave the rank, and a fully-empty
+        // round is bitmap traffic only.
+        let res = run_spmd(4, |c| {
+            let p = c.size();
+            let r = c.rank();
+            let log2p = 2u64; // ceil(log2 4)
+            let mut obs = Vec::new();
+            // Fully-empty round: no data-phase messages at all.
+            let before = c.stats().messages;
+            let out = c.all_to_allv(vec![Vec::<u64>::new(); p]);
+            assert!(out.iter().all(Vec::is_empty), "rank {r}: {out:?}");
+            obs.push(c.stats().messages - before == log2p);
+            // Self-send-only round: the payload must come back untouched
+            // without a single data message.
+            let mut sends: Vec<Vec<u64>> = vec![Vec::new(); p];
+            sends[r] = vec![r as u64 * 7 + 1];
+            let before = c.stats().messages;
+            let out = c.all_to_allv(sends);
+            obs.push(c.stats().messages - before == log2p);
+            assert_eq!(out[r], vec![r as u64 * 7 + 1], "rank {r}");
+            assert!(out.iter().enumerate().all(|(q, l)| q == r || l.is_empty()));
+            // Sparse round: one neighbor lane plus the self lane.
+            let mut sends: Vec<Vec<u64>> = vec![Vec::new(); p];
+            sends[(r + 1) % p] = vec![r as u64];
+            sends[r] = vec![99];
+            let before = c.stats().messages;
+            let out = c.all_to_allv(sends);
+            obs.push(c.stats().messages - before == log2p + 1);
+            assert_eq!(out[(r + p - 1) % p], vec![(r + p - 1) as u64 % p as u64]);
+            assert_eq!(out[r], vec![99]);
+            obs
+        });
+        for (r, flags) in res.iter().enumerate() {
+            assert!(
+                flags.iter().all(|&ok| ok),
+                "rank {r}: message-count flags {flags:?}"
+            );
+        }
     }
 }

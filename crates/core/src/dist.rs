@@ -60,6 +60,8 @@ pub struct GhostStats {
     pub ghost_elems: usize,
     /// Bytes exchanged per ghost-read of one scalar field.
     pub ghost_read_bytes: u64,
+    /// Ranks this rank exchanges ghost data with (send or receive lanes).
+    pub neighbors: usize,
 }
 
 impl GhostStats {
@@ -446,6 +448,7 @@ impl<const DIM: usize> DistMesh<DIM> {
             owned_elems: self.owned.len(),
             ghost_elems: self.elems.len() - self.owned.len(),
             ghost_read_bytes: self.exchange.borrow().read_bytes(),
+            neighbors: self.exchange.borrow().neighbor_count(),
         }
     }
 }

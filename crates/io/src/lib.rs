@@ -7,6 +7,7 @@ pub mod checkpoint;
 pub mod json;
 pub mod obs_report;
 pub mod results;
+pub mod scaling_report;
 pub mod table;
 pub mod vtk;
 
@@ -17,5 +18,9 @@ pub use checkpoint::{checkpoint_from_json, checkpoint_to_json, CHECKPOINT_SCHEMA
 pub use json::Json;
 pub use obs_report::{report_from_json, report_to_json};
 pub use results::{ExperimentRecord, Series, ShapeCheck};
+pub use scaling_report::{
+    scaling_report_from_json, scaling_report_to_json, ModelConstants, ScalingCase, ScalingPoint,
+    ScalingReport, SCALING_REPORT_SCHEMA,
+};
 pub use table::{write_csv, Table};
 pub use vtk::write_vtk_mesh;

@@ -1,0 +1,373 @@
+//! JSON (de)serialization of the replay-scaling artifact — the
+//! `SCALING_PR<k>.json` document the CI scaling-gate regenerates and diffs
+//! against its committed baseline.
+//!
+//! Schema:
+//!
+//! ```json
+//! {
+//!   "schema": "carve-scaling-report-v1",
+//!   "pr": 8,
+//!   "ranks": [256.0, 1024.0, 4096.0, 16384.0, 28672.0],
+//!   "reference_model": {
+//!     "t_leaf": 1e-6, "t_copy": 5e-9,
+//!     "alpha": 1e-6, "beta": 1e-10, "gamma": 5e-7
+//!   },
+//!   "calibrated_model": { "...": "same shape, machine-dependent, optional" },
+//!   "cases": [
+//!     {
+//!       "name": "channel", "order": 1, "kind": "strong",
+//!       "efficiency_floor": 0.25,
+//!       "points": [
+//!         {
+//!           "ranks": 256, "elems": 601064, "dofs": 615327,
+//!           "elems_per_rank_min": 2348, "elems_per_rank_max": 2348,
+//!           "owned_nodes_max": 2500, "ghost_nodes_max": 400,
+//!           "ghost_bytes_max": 3200, "send_bytes_max": 3300,
+//!           "neighbors_max": 9,
+//!           "digest": "f1d2d2f924e986ac",
+//!           "t_model": 3.1e-3, "efficiency": 1.0
+//!         }
+//!       ]
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! Every count is derived from the *exact* per-rank partition replay
+//! (`carve-bench::analyze_partition`); `digest` is an order-fixed FNV fold
+//! of the full per-rank load arrays (hex string: JSON numbers are f64 and
+//! cannot carry 64 bits losslessly), so the committed artifact pins the
+//! complete per-rank structure, not just the summaries. `t_model` and
+//! `efficiency` come from the pinned `reference_model`, which makes them
+//! machine-independent and bit-reproducible; `calibrated_model` records
+//! this box's measured constants for information only and is ignored by
+//! the gate.
+
+use crate::json::Json;
+
+/// Schema tag stamped into every serialized scaling report.
+pub const SCALING_REPORT_SCHEMA: &str = "carve-scaling-report-v1";
+
+/// α-β-γ machine-model constants as serialized in the report.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ModelConstants {
+    pub t_leaf: f64,
+    pub t_copy: f64,
+    pub alpha: f64,
+    pub beta: f64,
+    pub gamma: f64,
+}
+
+/// One rank count of one scaling series.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScalingPoint {
+    pub ranks: u64,
+    /// Global mesh structure at this point (constant along a strong series,
+    /// growing along a weak one).
+    pub elems: u64,
+    pub dofs: u64,
+    /// Exact per-rank load envelope from the partition replay.
+    pub elems_per_rank_min: u64,
+    pub elems_per_rank_max: u64,
+    pub owned_nodes_max: u64,
+    pub ghost_nodes_max: u64,
+    pub ghost_bytes_max: u64,
+    pub send_bytes_max: u64,
+    pub neighbors_max: u64,
+    /// Order-fixed FNV-1a fold of the full per-rank load array.
+    pub digest: u64,
+    /// Modeled MATVEC wall time under the pinned reference model.
+    pub t_model: f64,
+    /// Strong: cost ratio vs the first point; weak: per-element cost ratio.
+    pub efficiency: f64,
+}
+
+/// One (case, order, strong|weak) efficiency curve.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScalingCase {
+    pub name: String,
+    pub order: u64,
+    /// `"strong"` or `"weak"`.
+    pub kind: String,
+    /// Gate floor: regenerated efficiencies must not drop below this.
+    pub efficiency_floor: f64,
+    pub points: Vec<ScalingPoint>,
+}
+
+/// A whole replay-scaling artifact.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScalingReport {
+    pub pr: u64,
+    pub ranks: Vec<u64>,
+    pub reference_model: ModelConstants,
+    /// Machine-dependent constants measured on the generating box; absent
+    /// in gate-mode regeneration.
+    pub calibrated_model: Option<ModelConstants>,
+    pub cases: Vec<ScalingCase>,
+}
+
+fn num(v: u64) -> Json {
+    Json::Num(v as f64)
+}
+
+fn hex64(v: u64) -> Json {
+    Json::Str(format!("{v:016x}"))
+}
+
+fn model_to_json(m: &ModelConstants) -> Json {
+    Json::Obj(vec![
+        ("t_leaf".into(), Json::Num(m.t_leaf)),
+        ("t_copy".into(), Json::Num(m.t_copy)),
+        ("alpha".into(), Json::Num(m.alpha)),
+        ("beta".into(), Json::Num(m.beta)),
+        ("gamma".into(), Json::Num(m.gamma)),
+    ])
+}
+
+/// Encodes a report as a self-describing JSON object.
+pub fn scaling_report_to_json(r: &ScalingReport) -> Json {
+    let cases = r
+        .cases
+        .iter()
+        .map(|c| {
+            let points = c
+                .points
+                .iter()
+                .map(|p| {
+                    Json::Obj(vec![
+                        ("ranks".into(), num(p.ranks)),
+                        ("elems".into(), num(p.elems)),
+                        ("dofs".into(), num(p.dofs)),
+                        ("elems_per_rank_min".into(), num(p.elems_per_rank_min)),
+                        ("elems_per_rank_max".into(), num(p.elems_per_rank_max)),
+                        ("owned_nodes_max".into(), num(p.owned_nodes_max)),
+                        ("ghost_nodes_max".into(), num(p.ghost_nodes_max)),
+                        ("ghost_bytes_max".into(), num(p.ghost_bytes_max)),
+                        ("send_bytes_max".into(), num(p.send_bytes_max)),
+                        ("neighbors_max".into(), num(p.neighbors_max)),
+                        ("digest".into(), hex64(p.digest)),
+                        ("t_model".into(), Json::Num(p.t_model)),
+                        ("efficiency".into(), Json::Num(p.efficiency)),
+                    ])
+                })
+                .collect();
+            Json::Obj(vec![
+                ("name".into(), Json::Str(c.name.clone())),
+                ("order".into(), num(c.order)),
+                ("kind".into(), Json::Str(c.kind.clone())),
+                ("efficiency_floor".into(), Json::Num(c.efficiency_floor)),
+                ("points".into(), Json::Arr(points)),
+            ])
+        })
+        .collect();
+    let mut fields = vec![
+        ("schema".into(), Json::Str(SCALING_REPORT_SCHEMA.into())),
+        ("pr".into(), num(r.pr)),
+        (
+            "ranks".into(),
+            Json::Arr(r.ranks.iter().map(|&p| num(p)).collect()),
+        ),
+        ("reference_model".into(), model_to_json(&r.reference_model)),
+    ];
+    if let Some(cal) = &r.calibrated_model {
+        fields.push(("calibrated_model".into(), model_to_json(cal)));
+    }
+    fields.push(("cases".into(), Json::Arr(cases)));
+    Json::Obj(fields)
+}
+
+fn get_f64(j: &Json, key: &str, what: &str) -> Result<f64, String> {
+    j.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{what}: missing or non-numeric '{key}'"))
+}
+
+fn get_u64(j: &Json, key: &str, what: &str) -> Result<u64, String> {
+    let v = get_f64(j, key, what)?;
+    if v < 0.0 || v.fract() != 0.0 {
+        return Err(format!("{what}: '{key}' = {v} is not a u64"));
+    }
+    Ok(v as u64)
+}
+
+fn get_str(j: &Json, key: &str, what: &str) -> Result<String, String> {
+    j.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("{what}: missing or non-string '{key}'"))
+}
+
+fn get_hex64(j: &Json, key: &str, what: &str) -> Result<u64, String> {
+    let s = get_str(j, key, what)?;
+    u64::from_str_radix(&s, 16).map_err(|e| format!("{what}: bad hex '{key}': {e}"))
+}
+
+fn model_from_json(j: &Json, what: &str) -> Result<ModelConstants, String> {
+    Ok(ModelConstants {
+        t_leaf: get_f64(j, "t_leaf", what)?,
+        t_copy: get_f64(j, "t_copy", what)?,
+        alpha: get_f64(j, "alpha", what)?,
+        beta: get_f64(j, "beta", what)?,
+        gamma: get_f64(j, "gamma", what)?,
+    })
+}
+
+/// Strict decode: unknown schema versions and malformed fields are errors
+/// (a gate must not silently accept a drifted artifact shape).
+pub fn scaling_report_from_json(j: &Json) -> Result<ScalingReport, String> {
+    let schema = get_str(j, "schema", "report")?;
+    if schema != SCALING_REPORT_SCHEMA {
+        return Err(format!(
+            "unsupported schema '{schema}' (want {SCALING_REPORT_SCHEMA})"
+        ));
+    }
+    let ranks = match j.get("ranks") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|x| {
+                x.as_f64()
+                    .filter(|v| *v >= 1.0 && v.fract() == 0.0)
+                    .map(|v| v as u64)
+                    .ok_or_else(|| "report: bad entry in 'ranks'".to_string())
+            })
+            .collect::<Result<Vec<u64>, String>>()?,
+        _ => return Err("report: missing 'ranks' array".into()),
+    };
+    let cases = match j.get("cases") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|c| {
+                let name = get_str(c, "name", "case")?;
+                let what = format!("case {name}");
+                let points = match c.get("points") {
+                    Some(Json::Arr(pts)) => pts
+                        .iter()
+                        .map(|p| {
+                            Ok(ScalingPoint {
+                                ranks: get_u64(p, "ranks", &what)?,
+                                elems: get_u64(p, "elems", &what)?,
+                                dofs: get_u64(p, "dofs", &what)?,
+                                elems_per_rank_min: get_u64(p, "elems_per_rank_min", &what)?,
+                                elems_per_rank_max: get_u64(p, "elems_per_rank_max", &what)?,
+                                owned_nodes_max: get_u64(p, "owned_nodes_max", &what)?,
+                                ghost_nodes_max: get_u64(p, "ghost_nodes_max", &what)?,
+                                ghost_bytes_max: get_u64(p, "ghost_bytes_max", &what)?,
+                                send_bytes_max: get_u64(p, "send_bytes_max", &what)?,
+                                neighbors_max: get_u64(p, "neighbors_max", &what)?,
+                                digest: get_hex64(p, "digest", &what)?,
+                                t_model: get_f64(p, "t_model", &what)?,
+                                efficiency: get_f64(p, "efficiency", &what)?,
+                            })
+                        })
+                        .collect::<Result<Vec<ScalingPoint>, String>>()?,
+                    _ => return Err(format!("{what}: missing 'points' array")),
+                };
+                Ok(ScalingCase {
+                    order: get_u64(c, "order", &what)?,
+                    kind: get_str(c, "kind", &what)?,
+                    efficiency_floor: get_f64(c, "efficiency_floor", &what)?,
+                    name,
+                    points,
+                })
+            })
+            .collect::<Result<Vec<ScalingCase>, String>>()?,
+        _ => return Err("report: missing 'cases' array".into()),
+    };
+    Ok(ScalingReport {
+        pr: get_u64(j, "pr", "report")?,
+        ranks,
+        reference_model: model_from_json(
+            j.get("reference_model")
+                .ok_or("report: missing 'reference_model'")?,
+            "reference_model",
+        )?,
+        calibrated_model: match j.get("calibrated_model") {
+            Some(m) => Some(model_from_json(m, "calibrated_model")?),
+            None => None,
+        },
+        cases,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScalingReport {
+        let point = |ranks: u64, eff: f64| ScalingPoint {
+            ranks,
+            elems: 601_064,
+            dofs: 615_327,
+            elems_per_rank_min: 20,
+            elems_per_rank_max: 21,
+            owned_nodes_max: 2500,
+            ghost_nodes_max: 444,
+            ghost_bytes_max: 3552,
+            send_bytes_max: 3608,
+            neighbors_max: 11,
+            digest: 0xdead_beef_0123_4567,
+            t_model: 1.25e-4,
+            efficiency: eff,
+        };
+        ScalingReport {
+            pr: 8,
+            ranks: vec![256, 1024, 28672],
+            reference_model: ModelConstants {
+                t_leaf: 1e-6,
+                t_copy: 5e-9,
+                alpha: 1e-6,
+                beta: 1e-10,
+                gamma: 5e-7,
+            },
+            calibrated_model: Some(ModelConstants {
+                t_leaf: 8.1e-7,
+                t_copy: 4.4e-9,
+                alpha: 3.3e-6,
+                beta: 1e-10,
+                gamma: 1.9e-6,
+            }),
+            cases: vec![ScalingCase {
+                name: "channel".into(),
+                order: 1,
+                kind: "strong".into(),
+                efficiency_floor: 0.27,
+                points: vec![point(256, 1.0), point(1024, 0.81), point(28672, 0.29)],
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trips_bitwise() {
+        let r = sample();
+        let text = scaling_report_to_json(&r).to_string_pretty();
+        let back = scaling_report_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+        // And the serialized form is stable (the gate diffs documents).
+        assert_eq!(scaling_report_to_json(&back).to_string_pretty(), text);
+    }
+
+    #[test]
+    fn rejects_unknown_schema_and_bad_fields() {
+        let mut j = scaling_report_to_json(&sample());
+        if let Json::Obj(fields) = &mut j {
+            fields[0].1 = Json::Str("carve-scaling-report-v9".into());
+        }
+        assert!(scaling_report_from_json(&j).is_err());
+        assert!(scaling_report_from_json(&Json::Num(1.0)).is_err());
+        let mut j = scaling_report_to_json(&sample());
+        if let Json::Obj(fields) = &mut j {
+            fields.retain(|(k, _)| k != "reference_model");
+        }
+        assert!(scaling_report_from_json(&j).is_err());
+    }
+
+    #[test]
+    fn calibrated_model_is_optional() {
+        let mut r = sample();
+        r.calibrated_model = None;
+        let text = scaling_report_to_json(&r).to_string_pretty();
+        let back = scaling_report_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+}

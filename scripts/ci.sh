@@ -18,11 +18,14 @@
 #   clippy             clippy with warnings denied
 #   doc                rustdoc with warnings denied
 #   bench-gate         scripts/bench_gate.sh perf regression gate
+#   scaling-gate       repro_scaling --check vs the committed scaling
+#                      artifact (per-rank replay structure at 256..28672
+#                      ranks, digests, reference-model efficiencies)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 STAGES=(fmt build test-par1 test-par4 test-debug chaos chaos-lossy
-        adapt-determinism clippy doc bench-gate)
+        adapt-determinism clippy doc bench-gate scaling-gate)
 
 run_stage() {
   case "$1" in
@@ -93,6 +96,22 @@ run_stage() {
         [[ -n "$newest" ]] && pr=$(basename "$newest" .json | sed 's/^BENCH_PR//')
       fi
       BENCH_PR="$pr" bash scripts/bench_gate.sh
+      ;;
+    # The committed replay-scaling artifact (newest SCALING_PR*.json) must
+    # be regenerable from source, bit-for-bit in its per-rank structure:
+    # any drift in partitioning, node ownership, ghost layout, neighbor
+    # counts, or the pinned reference model fails the gate, as does an
+    # efficiency dropping below the committed floor. Machine-independent —
+    # the check never calibrates.
+    scaling-gate)
+      local newest
+      newest=$(ls SCALING_PR*.json 2>/dev/null | sort -V | tail -n 1 || true)
+      if [[ -z "$newest" ]]; then
+        echo "ci: no SCALING_PR*.json artifact committed" >&2
+        return 1
+      fi
+      cargo build --release -q -p carve-bench --bin repro_scaling
+      ./target/release/repro_scaling --check "$newest"
       ;;
     *)
       echo "ci: unknown stage '$1' (known: ${STAGES[*]})" >&2
