@@ -1,6 +1,8 @@
 //! Ablations ◆ for the design decisions DESIGN.md calls out:
 //! * dense elemental apply vs sum-factorized tensor apply (the
 //!   `O((p+1)^{2d})` vs `O(d(p+1)^{d+1})` trade, Fig. 12's complexity),
+//! * scalar vs batched SoA tensor apply by order and batch width (the
+//!   §6h panel payoff: ns/element as lanes fill),
 //! * cached reference stiffness vs quadrature-on-the-fly elemental
 //!   matrices (why constant-coefficient operators fly and NS doesn't),
 //! * Morton vs Hilbert ordering for the traversal MATVEC.
@@ -45,6 +47,51 @@ fn bench_kernels(c: &mut Criterion) {
                 v[0]
             })
         });
+    }
+    g.finish();
+
+    // Scalar loop vs batched SoA panel at equal element counts: the batched
+    // apply's per-element op sequence is identical, so any delta is pure
+    // layout/vectorization. Throughput is reported per panel (8 applies for
+    // scalar vs one batched call on 8 lanes at width 8).
+    let mut g = c.benchmark_group("batch_ablation");
+    g.sample_size(20);
+    for p in [1usize, 2] {
+        let npe = (p + 1).pow(3);
+        for width in [1usize, 4, 8] {
+            let panel: Vec<f64> = (0..npe * width).map(|i| (i as f64).sin()).collect();
+            g.bench_with_input(
+                BenchmarkId::new(format!("scalar_x{width}"), p),
+                &p,
+                |b, &p| {
+                    let mut cache = ElementCache::<3>::new(p);
+                    let u: Vec<f64> = (0..npe).map(|i| (i as f64).sin()).collect();
+                    let mut v = vec![0.0; npe];
+                    b.iter(|| {
+                        let mut acc = 0.0;
+                        for _ in 0..width {
+                            v.iter_mut().for_each(|x| *x = 0.0);
+                            cache.apply_stiffness_tensor_scaled(0.25, &u, &mut v);
+                            acc += v[0];
+                        }
+                        acc
+                    })
+                },
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("batched_x{width}"), p),
+                &p,
+                |b, &p| {
+                    let mut cache = ElementCache::<3>::new(p);
+                    let mut v = vec![0.0; npe * width];
+                    b.iter(|| {
+                        v.iter_mut().for_each(|x| *x = 0.0);
+                        cache.apply_stiffness_tensor_batched(0.25, width, &panel, &mut v);
+                        v[0]
+                    })
+                },
+            );
+        }
     }
     g.finish();
 

@@ -76,6 +76,59 @@ fn kernel_sweep(mesh: &Mesh<3>, p: usize, reps: usize) -> (f64, u64, u64) {
     (secs, flops, bytes)
 }
 
+/// Same sweep through SoA panels of `width` elements (the §6h batched
+/// leaf path): elements are packed lane-innermost and processed by one
+/// `apply_stiffness_tensor_batched` call per panel. The per-element FP
+/// work is identical to the scalar sweep, so flops/bytes reuse the same
+/// model; only the layout (and thus achieved GFLOP/s) changes.
+fn kernel_sweep_batched(mesh: &Mesh<3>, p: usize, width: usize, reps: usize) -> (f64, u64, u64) {
+    let ne = mesh.num_elems();
+    let npe = (p + 1).pow(3);
+    let mut cache = ElementCache::<3>::new(p);
+    // The batched apply takes one geometric scale per panel, so panels are
+    // same-level runs in mesh (SFC) order — exactly what the traversal's
+    // panel builder produces. At d = 3 the stiffness scale h^{d-2} is h.
+    let scales: Vec<f64> = mesh.elems.iter().map(|e| e.bounds_unit().1).collect();
+    let mut runs: Vec<(usize, usize)> = Vec::new(); // (start, len)
+    let mut start = 0usize;
+    for ei in 1..=ne {
+        if ei == ne || scales[ei] != scales[start] || ei - start == width {
+            runs.push((start, ei - start));
+            start = ei;
+        }
+    }
+    let u: Vec<f64> = (0..ne * npe).map(|i| (i as f64 * 0.01).sin()).collect();
+    let mut panel = vec![0.0f64; npe * width];
+    let mut vout = vec![0.0f64; npe * width];
+    let mut sweep = |black: bool| {
+        for &(s, len) in &runs {
+            for lin in 0..npe {
+                for b in 0..len {
+                    panel[lin * len + b] = u[(s + b) * npe + lin];
+                }
+            }
+            cache.apply_stiffness_tensor_batched(
+                scales[s],
+                len,
+                &panel[..npe * len],
+                &mut vout[..npe * len],
+            );
+        }
+        if black {
+            std::hint::black_box(&vout);
+        }
+    };
+    sweep(false); // warm up
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        sweep(true);
+    }
+    let secs = t0.elapsed().as_secs_f64() / reps as f64;
+    let flops = tensor_apply_flops(3, p) * ne as u64;
+    let bytes = ((2 + 4 * 3) * npe * 8) as u64 * ne as u64;
+    (secs, flops, bytes)
+}
+
 fn main() {
     let bw = stream_bandwidth();
     println!(
@@ -100,22 +153,31 @@ fn main() {
     .enumerate()
     {
         for (pi, (p, mesh)) in [(1usize, m1), (2usize, m2)].iter().enumerate() {
+            let base = if *p == 1 { "linear" } else { "quadratic" };
             let (secs, flops, bytes) = kernel_sweep(mesh, *p, 5);
             let this_ai = flops as f64 / bytes as f64;
             ai[mi][pi] = this_ai;
             table.row(&[
                 name.to_string(),
-                if *p == 1 {
-                    "linear".into()
-                } else {
-                    "quadratic".into()
-                },
+                base.into(),
                 mesh.num_elems().to_string(),
                 format!("{this_ai:.3}"),
                 format!("{:.2}", flops as f64 / secs / 1e9),
                 format!("{:.2}", bytes as f64 / secs / 1e9),
                 format!("{:.0}%", 100.0 * bytes as f64 / secs / bw),
                 format!("{secs:.4}"),
+            ]);
+            // Batched point: same FP work through width-8 SoA panels.
+            let (bsecs, bflops, bbytes) = kernel_sweep_batched(mesh, *p, 8, 5);
+            table.row(&[
+                name.to_string(),
+                format!("{base}-batched8"),
+                mesh.num_elems().to_string(),
+                format!("{:.3}", bflops as f64 / bbytes as f64),
+                format!("{:.2}", bflops as f64 / bsecs / 1e9),
+                format!("{:.2}", bbytes as f64 / bsecs / 1e9),
+                format!("{:.0}%", 100.0 * bbytes as f64 / bsecs / bw),
+                format!("{bsecs:.4}"),
             ]);
         }
     }

@@ -10,11 +10,11 @@
 
 use carve_comm::run_spmd;
 use carve_core::{DistMesh, GhostState, Mesh};
-use carve_fem::{solve_poisson, BcMode, ElementCache, PoissonProblem};
+use carve_fem::{solve_poisson, BcMode, PoissonProblem, StiffnessKernel};
 use carve_geom::{CarvedSolids, RetainBox, Sphere, Subdomain};
 use carve_io::{report_to_json, Json};
 use carve_obs::Snapshot;
-use carve_sfc::{Curve, Octant};
+use carve_sfc::Curve;
 
 /// Simulated ranks for the distributed stage of each workload.
 pub const SMOKE_RANKS: usize = 2;
@@ -82,12 +82,7 @@ fn dist_snapshots(case: &SmokeCase) -> Vec<Snapshot> {
         // One workspace across the three applies: the second and third run
         // entirely from the bucket arena (`arena_reuse` in the report).
         let mut ws = carve_core::TraversalWorkspace::new();
-        let make_kernel = || {
-            let mut cache = ElementCache::<3>::new(1);
-            move |e: &Octant<3>, u: &[f64], v: &mut [f64]| {
-                cache.apply_stiffness_tensor(e.bounds_unit().1 * scale, u, v);
-            }
-        };
+        let make_kernel = || StiffnessKernel::<3>::new(1, scale);
         for _ in 0..3 {
             dm.matvec_par(c, &x, &mut y, &mut ws, GhostState::OwnedOnly, &make_kernel);
         }
@@ -194,12 +189,7 @@ fn recovery_snapshots() -> Vec<Snapshot> {
         let n = dm.nodes.len();
         let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
         let ws = std::cell::RefCell::new(carve_core::TraversalWorkspace::new());
-        let make_kernel = || {
-            let mut cache = ElementCache::<3>::new(1);
-            move |e: &Octant<3>, u: &[f64], v: &mut [f64]| {
-                cache.apply_stiffness_tensor(e.bounds_unit().1 * 16.0, u, v);
-            }
-        };
+        let make_kernel = || StiffnessKernel::<3>::new(1, 16.0);
         let op = (n, |xv: &[f64], yv: &mut [f64]| {
             let mut kernel = make_kernel();
             dm.matvec_ws(
@@ -319,6 +309,55 @@ fn transient_snapshots() -> Vec<Snapshot> {
     })
 }
 
+/// Stamps every `…/leaf` phase of a workload report with the derived
+/// `leaf_ns_per_element` metric (mean per-rank leaf seconds over mean
+/// per-rank leaves processed): the roofline-facing number the batched
+/// kernels are gated on. Timing-valued, so [`strip_secs`] removes it.
+fn add_leaf_ns_per_element(report: &mut Json) {
+    let ranks = report
+        .get("ranks")
+        .and_then(Json::as_f64)
+        .unwrap_or(1.0)
+        .max(1.0);
+    let mut ns_by_path: Vec<(String, f64)> = Vec::new();
+    if let Some(Json::Obj(phases)) = report.get("phases") {
+        for (path, phase) in phases {
+            if path != "leaf" && !path.ends_with("/leaf") {
+                continue;
+            }
+            let mean_secs = phase
+                .get("secs")
+                .and_then(|s| s.get("mean"))
+                .and_then(Json::as_f64);
+            let leaves = phase
+                .get("counters")
+                .and_then(|c| c.get("leaves"))
+                .and_then(Json::as_f64);
+            if let (Some(secs), Some(leaves)) = (mean_secs, leaves) {
+                if leaves > 0.0 {
+                    ns_by_path.push((path.clone(), secs * 1e9 / (leaves / ranks)));
+                }
+            }
+        }
+    }
+    if let Json::Obj(fields) = report {
+        for (k, v) in fields.iter_mut() {
+            if k != "phases" {
+                continue;
+            }
+            if let Json::Obj(phases) = v {
+                for (path, phase) in phases.iter_mut() {
+                    if let Some((_, ns)) = ns_by_path.iter().find(|(p, _)| p == path) {
+                        if let Json::Obj(pf) = phase {
+                            pf.push(("leaf_ns_per_element".into(), Json::Num(*ns)));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Runs the smoke workloads (two fixed meshes, the fault-recovery solve,
 /// and the transient adapt loop) and returns the full report document:
 /// `{"schema": ..., "workloads": {name: {"ranks": ..., "phases": ...}}}`.
@@ -329,7 +368,9 @@ pub fn run_smoke() -> Json {
         let mut snaps = dist_snapshots(case);
         snaps.push(solve_snapshot(case));
         let report = carve_obs::aggregate(&snaps);
-        workloads.push((case.name.to_string(), report_to_json(&report)));
+        let mut json = report_to_json(&report);
+        add_leaf_ns_per_element(&mut json);
+        workloads.push((case.name.to_string(), json));
     }
     let report = carve_obs::aggregate(&recovery_snapshots());
     workloads.push(("recovery".to_string(), report_to_json(&report)));
@@ -362,9 +403,10 @@ pub fn same_machine(old: &Json, new: &Json) -> bool {
     }
 }
 
-/// Recursively drops every object field named `"secs"`, `"retries"`, or
-/// `"backoff_ns"` — the nondeterministic parts of a smoke report. Wall
-/// clock is obvious; the retry counters are timing-dependent because a
+/// Recursively drops every object field named `"secs"`, `"retries"`,
+/// `"backoff_ns"`, or `"leaf_ns_per_element"` — the nondeterministic parts
+/// of a smoke report. Wall clock (and the per-element rate derived from
+/// it) is obvious; the retry counters are timing-dependent because a
 /// dropped frame is recovered either by the receive-side retry timer
 /// (counted) or by a racing duplicate/mangled arrival (not), while
 /// `drops_detected`/`corrupt_detected` are keyed off the *injection* and
@@ -374,7 +416,9 @@ pub fn strip_secs(j: &Json) -> Json {
         Json::Obj(fields) => Json::Obj(
             fields
                 .iter()
-                .filter(|(k, _)| k != "secs" && k != "retries" && k != "backoff_ns")
+                .filter(|(k, _)| {
+                    k != "secs" && k != "retries" && k != "backoff_ns" && k != "leaf_ns_per_element"
+                })
                 .map(|(k, v)| (k.clone(), strip_secs(v)))
                 .collect(),
         ),

@@ -297,7 +297,7 @@ impl<const DIM: usize> DistMesh<DIM> {
     /// semantics). Phase timings report through `carve-obs`.
     pub fn matvec<K>(&self, comm: &Comm, x: &[f64], y: &mut [f64], kernel: &mut K)
     where
-        K: FnMut(&Octant<DIM>, &[f64], &mut [f64]),
+        K: crate::matvec::LeafKernel<DIM>,
     {
         let mut ws = TraversalWorkspace::with_threads(1);
         self.matvec_ws(comm, x, y, &mut ws, GhostState::Ghosted, kernel);
@@ -316,7 +316,7 @@ impl<const DIM: usize> DistMesh<DIM> {
         ghost: GhostState,
         kernel: &mut K,
     ) where
-        K: FnMut(&Octant<DIM>, &[f64], &mut [f64]),
+        K: crate::matvec::LeafKernel<DIM>,
     {
         let mut xg = ws.take_ghost_scratch();
         xg.clear();
@@ -379,7 +379,7 @@ impl<const DIM: usize> DistMesh<DIM> {
         ghost: GhostState,
         make_kernel: &F,
     ) where
-        K: FnMut(&Octant<DIM>, &[f64], &mut [f64]),
+        K: crate::matvec::LeafKernel<DIM>,
         F: Fn() -> K + Sync,
     {
         let mut xg = ws.take_ghost_scratch();

@@ -35,6 +35,23 @@
 //! over the (Morton-sorted) bucket instead of `npe` binary searches.
 //! Observability: `par_workers`, `arena_alloc`, `arena_reuse`, and
 //! `slot_sweep_hits` counters join the existing `leaves` / `node_copies`.
+//!
+//! # Batched leaf panels (DESIGN.md §6h)
+//!
+//! Inside a task, maximal runs of SFC-consecutive same-level sibling leaves
+//! are processed as one structure-of-arrays panel (`npe × batch`, element
+//! lane innermost) when the elemental kernel opts in via
+//! [`LeafKernel::supports_panels`]: each leaf of the run gets its own
+//! merge-sweep slot map, the gathers are hoisted ahead of the batched apply
+//! (they only read `vin`, which the traversal never writes), the kernel
+//! runs once over the whole panel, and the per-leaf scatters + bottom-up
+//! merges then replay in exact SFC element order — scatter of leaf `b+1`
+//! can hit the same parent slots as the merge of leaf `b` through hanging
+//! sources on shared faces, so the two stay interleaved per element exactly
+//! like the scalar path. The result is therefore bitwise identical to the
+//! scalar engine for any batch width (`CARVE_BATCH_WIDTH`), thread count,
+//! and chaos schedule. Counters: `batched_leaves`, `batch_count`,
+//! `scalar_leaves`.
 
 use crate::nodes::{elem_node_coord, lattice_index, lattice_linear, nodes_per_elem, NodeSet};
 use crate::par;
@@ -96,6 +113,14 @@ impl<const DIM: usize> Bucket<DIM> {
 struct WorkerScratch<const DIM: usize> {
     buckets: Vec<Bucket<DIM>>,
     own_stack: Vec<Bucket<DIM>>,
+    /// Per-sibling buckets of the leaf run currently processed as a panel.
+    panel_stack: Vec<Bucket<DIM>>,
+    /// SoA panel values (`npe × batch`, element lane innermost) and the
+    /// per-leaf slot maps of the run — pooled here so steady-state batched
+    /// applies allocate nothing.
+    panel_in: Vec<f64>,
+    panel_out: Vec<f64>,
+    panel_slots: Vec<u32>,
     srcs: Vec<([u64; DIM], f64)>,
     alloc: u64,
     reuse: u64,
@@ -107,9 +132,16 @@ struct WorkerScratch<const DIM: usize> {
 /// `available_parallelism`) and the spine split depth (`CARVE_PAR_SPLIT`
 /// env, default 1). Results never depend on either knob — see the module
 /// docs — only wall-clock does.
+/// Default panel width: one full sibling group in 3D (`2^3`), the natural
+/// maximum run length the traversal produces.
+const DEFAULT_BATCH_WIDTH: usize = 8;
+
 pub struct TraversalWorkspace<const DIM: usize> {
     threads: usize,
     split_depth: u8,
+    /// Maximum leaf-panel width (`CARVE_BATCH_WIDTH` env, default 8;
+    /// 1 disables batching). Results never depend on it.
+    batch_width: usize,
     bucket_pool: Vec<Bucket<DIM>>,
     log_pool: Vec<OutLog>,
     scratch: Vec<WorkerScratch<DIM>>,
@@ -132,19 +164,38 @@ impl<const DIM: usize> TraversalWorkspace<DIM> {
             .filter(|&d| d >= 1)
             .unwrap_or(1)
             .min(8);
-        Self::build(par::thread_budget(), split)
+        let batch = std::env::var("CARVE_BATCH_WIDTH")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&w| w >= 1)
+            .unwrap_or(DEFAULT_BATCH_WIDTH)
+            .min(64);
+        Self::build(par::thread_budget(), split, batch)
     }
 
     /// Workspace with an explicit thread count (tests; avoids racy env
     /// mutation under a parallel test harness).
     pub fn with_threads(threads: usize) -> Self {
-        Self::build(threads, 1)
+        Self::build(threads, 1, DEFAULT_BATCH_WIDTH)
     }
 
-    fn build(threads: usize, split_depth: u8) -> Self {
+    /// Sets the maximum leaf-panel width (builder style; tests). `1`
+    /// disables batching entirely.
+    pub fn with_batch_width(mut self, width: usize) -> Self {
+        self.batch_width = width.max(1);
+        self
+    }
+
+    /// The maximum leaf-panel width batch-capable kernels will see.
+    pub fn batch_width(&self) -> usize {
+        self.batch_width
+    }
+
+    fn build(threads: usize, split_depth: u8, batch_width: usize) -> Self {
         Self {
             threads: threads.max(1),
             split_depth: split_depth.max(1),
+            batch_width: batch_width.max(1),
             bucket_pool: Vec::new(),
             log_pool: Vec::new(),
             scratch: Vec::new(),
@@ -247,6 +298,12 @@ struct Ctx<'a, const DIM: usize> {
     own: Vec<Bucket<DIM>>,
     log: &'a mut OutLog,
     free: &'a mut Vec<Bucket<DIM>>,
+    /// Buckets of the sibling run currently processed as a leaf panel.
+    panel: &'a mut Vec<Bucket<DIM>>,
+    /// SoA panel value buffers and per-leaf slot maps (workspace arena).
+    panel_in: &'a mut Vec<f64>,
+    panel_out: &'a mut Vec<f64>,
+    panel_slots: &'a mut Vec<u32>,
     alloc: &'a mut u64,
     reuse: &'a mut u64,
 }
@@ -449,6 +506,10 @@ struct Env<'a, const DIM: usize> {
     p: u64,
     carry_values: bool,
     carry_ids: bool,
+    /// Maximum leaf-panel width (workspace `batch_width`); the effective
+    /// width is additionally capped by the visitor's [`LeafVisitor::
+    /// panel_width`] and the natural sibling-run length.
+    batch: usize,
 }
 
 /// A spine node: a bucket on the serial prefix of the tree, shared
@@ -649,9 +710,85 @@ fn fill_child_bucket<const DIM: usize>(
     }
 }
 
+// --- Elemental kernel traits ----------------------------------------------
+
+/// Elemental operator for the matvec traversal. `apply` is the scalar
+/// per-element kernel; kernels that can consume structure-of-arrays panels
+/// of SFC-consecutive same-level siblings opt in via
+/// [`Self::supports_panels`] + [`Self::apply_panel`].
+///
+/// Implemented for every `FnMut(&Octant<DIM>, &[f64], &mut [f64])` closure
+/// (scalar-only), so plain-closure call sites need no changes.
+pub trait LeafKernel<const DIM: usize> {
+    /// `v_e += K_e u_e` on one element (`v_e` arrives zeroed).
+    fn apply(&mut self, e: &Octant<DIM>, u: &[f64], v: &mut [f64]);
+
+    /// Whether [`Self::apply_panel`] is implemented; when `false` the
+    /// traversal stays on the scalar per-leaf path.
+    fn supports_panels(&self) -> bool {
+        false
+    }
+
+    /// Applies the operator to a panel of `elems.len()` same-level elements
+    /// in SoA layout: node `lin` of element `b` lives at
+    /// `[lin * batch + b]` (`v` arrives zeroed). Implementations must
+    /// perform each element's floating-point operations in exactly the
+    /// order of [`Self::apply`] so batched and scalar traversals agree
+    /// bitwise.
+    fn apply_panel(&mut self, elems: &[Octant<DIM>], u: &[f64], v: &mut [f64]) {
+        let _ = (elems, u, v);
+        unreachable!("apply_panel called on a kernel without panel support")
+    }
+}
+
+impl<const DIM: usize, F> LeafKernel<DIM> for F
+where
+    F: FnMut(&Octant<DIM>, &[f64], &mut [f64]),
+{
+    fn apply(&mut self, e: &Octant<DIM>, u: &[f64], v: &mut [f64]) {
+        self(e, u, v)
+    }
+}
+
+/// Elemental matrix source for the assembly traversal. Caching kernels
+/// (e.g. per-level matrices on axis-aligned octrees) return a borrow via
+/// [`Self::matrix_ref`] so the traversal skips the per-leaf build + clone;
+/// the emitted triplet stream is identical either way.
+///
+/// Implemented for every `FnMut(&Octant<DIM>) -> DenseMatrix` closure.
+pub trait AssemblyKernel<const DIM: usize> {
+    /// The elemental matrix `K_e` (owned).
+    fn matrix(&mut self, e: &Octant<DIM>) -> DenseMatrix;
+
+    /// Borrowing variant for caching kernels; `None` means "use
+    /// [`Self::matrix`]". Must hold the same values as `matrix`.
+    fn matrix_ref(&mut self, e: &Octant<DIM>) -> Option<&DenseMatrix> {
+        let _ = e;
+        None
+    }
+
+    /// Whether same-level sibling runs should be processed as panels (the
+    /// stencil sweeps batch and the obs counters record it; the triplet
+    /// stream is unchanged either way).
+    fn supports_panels(&self) -> bool {
+        false
+    }
+}
+
+impl<const DIM: usize, F> AssemblyKernel<DIM> for F
+where
+    F: FnMut(&Octant<DIM>) -> DenseMatrix,
+{
+    fn matrix(&mut self, e: &Octant<DIM>) -> DenseMatrix {
+        self(e)
+    }
+}
+
 // --- Task execution -------------------------------------------------------
 
-/// What to do at each owned leaf.
+/// What to do at each owned leaf. Visitors that can consume sibling runs as
+/// panels report a `panel_width() > 1` and implement the three-phase panel
+/// protocol (`gather×B → apply → scatter per leaf in SFC order`).
 trait LeafVisitor<const DIM: usize> {
     fn leaf(
         &mut self,
@@ -660,6 +797,48 @@ trait LeafVisitor<const DIM: usize> {
         srcs: &mut Vec<([u64; DIM], f64)>,
         p: u64,
     );
+
+    /// Maximum sibling-run width this visitor consumes as one panel
+    /// (1 = scalar only).
+    fn panel_width(&self) -> usize {
+        1
+    }
+
+    /// Reads element `b` of a `batch`-wide panel into the visitor's panel
+    /// buffers (must not write any traversal state).
+    fn panel_gather(
+        &mut self,
+        b: usize,
+        batch: usize,
+        leaf: &Octant<DIM>,
+        ctx: &mut Ctx<'_, DIM>,
+        srcs: &mut Vec<([u64; DIM], f64)>,
+        p: u64,
+    ) {
+        let _ = (b, batch, leaf, ctx, srcs, p);
+        unreachable!("panel_gather requires panel_width() > 1")
+    }
+
+    /// Applies the batched operator to the gathered panel.
+    fn panel_apply(&mut self, leaves: &[Octant<DIM>], ctx: &mut Ctx<'_, DIM>, p: u64) {
+        let _ = (leaves, ctx, p);
+        unreachable!("panel_apply requires panel_width() > 1")
+    }
+
+    /// Writes element `b`'s results back; called once per element in SFC
+    /// order, interleaved with the bottom-up merges.
+    fn panel_scatter(
+        &mut self,
+        b: usize,
+        batch: usize,
+        leaf: &Octant<DIM>,
+        ctx: &mut Ctx<'_, DIM>,
+        srcs: &mut Vec<([u64; DIM], f64)>,
+        p: u64,
+    ) {
+        let _ = (b, batch, leaf, ctx, srcs, p);
+        unreachable!("panel_scatter requires panel_width() > 1")
+    }
 }
 
 /// Runs one task to completion against its ancestor prefix.
@@ -678,6 +857,10 @@ fn run_task<const DIM: usize, V: LeafVisitor<DIM>>(
     let WorkerScratch {
         buckets,
         own_stack,
+        panel_stack,
+        panel_in,
+        panel_out,
+        panel_slots,
         srcs,
         alloc,
         reuse,
@@ -688,6 +871,10 @@ fn run_task<const DIM: usize, V: LeafVisitor<DIM>>(
         own: std::mem::take(own_stack),
         log: &mut task.out_log,
         free: buckets,
+        panel: panel_stack,
+        panel_in,
+        panel_out,
+        panel_slots,
         alloc,
         reuse,
     };
@@ -695,6 +882,7 @@ fn run_task<const DIM: usize, V: LeafVisitor<DIM>>(
         if env.owned.contains(&task.range.start) {
             let _obs = carve_obs::scope("leaf");
             carve_obs::counter("leaves", 1);
+            carve_obs::counter("scalar_leaves", 1);
             visitor.leaf(&task.oct, &mut ctx, srcs, env.p);
         }
     } else {
@@ -727,6 +915,7 @@ fn rec<const DIM: usize, V: LeafVisitor<DIM>>(
         if env.owned.contains(&range.start) {
             let _obs = carve_obs::scope("leaf");
             carve_obs::counter("leaves", 1);
+            carve_obs::counter("scalar_leaves", 1);
             visitor.leaf(&subtree, ctx, srcs, env.p);
         }
         return;
@@ -734,6 +923,7 @@ fn rec<const DIM: usize, V: LeafVisitor<DIM>>(
     // Partition the (SFC-sorted) element range by SFC child rank; the
     // runs are contiguous and in rank order.
     let child_level = subtree.level + 1;
+    let bw = env.batch.min(visitor.panel_width());
     let mut lo = range.start;
     for r in 0..(1usize << DIM) {
         let mut hi = lo;
@@ -748,6 +938,27 @@ fn rec<const DIM: usize, V: LeafVisitor<DIM>>(
         if lo >= env.owned.end || hi <= env.owned.start {
             lo = hi;
             continue;
+        }
+        // Batched leaf panels: an element at exactly `child_level` IS one
+        // whole child of this subtree, so a run of consecutive such owned
+        // elements is a run of sibling leaves (distinct, ascending SFC
+        // ranks). Consume it as one SoA panel; the for-loop then naturally
+        // skips the ranks the panel covered, because runs are re-scanned
+        // from the advanced `lo`.
+        if bw >= 2 && hi - lo == 1 && env.elems[lo].level == child_level {
+            let mut q = lo + 1;
+            while q - lo < bw
+                && q < range.end
+                && q < env.owned.end
+                && env.elems[q].level == child_level
+            {
+                q += 1;
+            }
+            if q - lo >= 2 {
+                panel_run(env, lo, q - lo, ctx, srcs, visitor);
+                lo = q;
+                continue;
+            }
         }
         let m = st.sfc_to_morton(env.curve, DIM, r);
         let child_oct = subtree.child(m);
@@ -780,6 +991,83 @@ fn rec<const DIM: usize, V: LeafVisitor<DIM>>(
         lo = hi;
     }
     debug_assert_eq!(lo, range.end, "elements not fully bucketed");
+}
+
+/// Processes `batch` consecutive sibling leaves (`env.elems[lo..lo+batch]`)
+/// as one SoA panel: per-leaf bucket fills, hoisted gathers, one batched
+/// kernel apply, then per-leaf scatter + bottom-up merge in SFC order.
+///
+/// Bitwise identity with the scalar path: the hoisted phases (bucket fill,
+/// merge-sweep, gather) only *read* traversal state (`vin`, coords), which
+/// no leaf ever writes, so moving them ahead of sibling scatters changes no
+/// input value. The write phases — scatter of leaf `b` followed by its
+/// bottom-up merge — stay interleaved per element in SFC order, because
+/// scatter of leaf `b+1` can accumulate into the same parent slots as the
+/// merge of leaf `b` (hanging sources on shared sibling faces recurse into
+/// the parent bucket). Every floating-point accumulation therefore happens
+/// in exactly the scalar order.
+fn panel_run<const DIM: usize, V: LeafVisitor<DIM>>(
+    env: &Env<'_, DIM>,
+    lo: usize,
+    batch: usize,
+    ctx: &mut Ctx<'_, DIM>,
+    srcs: &mut Vec<([u64; DIM], f64)>,
+    visitor: &mut V,
+) {
+    debug_assert!(ctx.panel.is_empty());
+    let pd = ctx.top_depth();
+    // Top-down: fill every sibling's bucket from the shared parent.
+    for b in 0..batch {
+        let obs_td = carve_obs::scope("top_down");
+        let mut bkt = ctx.acquire();
+        fill_child_bucket(
+            ctx.top_bucket(),
+            &env.elems[lo + b],
+            env.p,
+            env.carry_values,
+            env.carry_ids,
+            &mut bkt,
+        );
+        carve_obs::counter("node_copies", bkt.coords.len() as u64);
+        drop(obs_td);
+        ctx.panel.push(bkt);
+    }
+    {
+        let _obs = carve_obs::scope("leaf");
+        carve_obs::counter("leaves", batch as u64);
+        carve_obs::counter("batched_leaves", batch as u64);
+        carve_obs::counter("batch_count", 1);
+        for b in 0..batch {
+            // Temporarily put sibling `b`'s bucket on the own-stack so the
+            // visitor sees the same depth-indexed view as the scalar path.
+            let bkt = std::mem::take(&mut ctx.panel[b]);
+            ctx.own.push(bkt);
+            visitor.panel_gather(b, batch, &env.elems[lo + b], ctx, srcs, env.p);
+            let bkt = ctx.own.pop().expect("panel bucket");
+            ctx.panel[b] = bkt;
+        }
+        visitor.panel_apply(&env.elems[lo..lo + batch], ctx, env.p);
+    }
+    // Scatter + merge per leaf, in SFC order (see the ordering argument in
+    // the doc comment above).
+    for b in 0..batch {
+        let leaf = env.elems[lo + b];
+        let bkt = {
+            let _obs = carve_obs::scope("leaf");
+            let bkt = std::mem::take(&mut ctx.panel[b]);
+            ctx.own.push(bkt);
+            visitor.panel_scatter(b, batch, &leaf, ctx, srcs, env.p);
+            ctx.own.pop().expect("panel bucket")
+        };
+        if env.carry_values {
+            let _obs = carve_obs::scope("bottom_up");
+            for (i, &ps) in bkt.parent_slot.iter().enumerate() {
+                ctx.vout_add(pd, ps as usize, bkt.vout[i]);
+            }
+        }
+        ctx.free.push(bkt);
+    }
+    ctx.panel.clear();
 }
 
 // --- Join (ordered merge) -------------------------------------------------
@@ -852,7 +1140,7 @@ const NO_SLOT: u32 = u32::MAX;
 
 impl<const DIM: usize, K> LeafVisitor<DIM> for MatvecVisitor<'_, DIM, K>
 where
-    K: FnMut(&Octant<DIM>, &[f64], &mut [f64]),
+    K: LeafKernel<DIM>,
 {
     fn leaf(
         &mut self,
@@ -890,7 +1178,7 @@ where
             };
             self.out_vals[lin] = 0.0;
         }
-        (self.kernel)(leaf, &self.in_vals, &mut self.out_vals);
+        self.kernel.apply(leaf, &self.in_vals, &mut self.out_vals);
         for lin in 0..npe {
             let s = self.slots[lin];
             if s != NO_SLOT {
@@ -901,6 +1189,98 @@ where
                 scatter_coord(ctx, leaf, depth, &c, self.out_vals[lin], p, srcs);
             }
         }
+    }
+
+    fn panel_width(&self) -> usize {
+        if self.kernel.supports_panels() {
+            usize::MAX
+        } else {
+            1
+        }
+    }
+
+    fn panel_gather(
+        &mut self,
+        b: usize,
+        batch: usize,
+        leaf: &Octant<DIM>,
+        ctx: &mut Ctx<'_, DIM>,
+        srcs: &mut Vec<([u64; DIM], f64)>,
+        p: u64,
+    ) {
+        let npe = nodes_per_elem::<DIM>(p);
+        let depth = leaf.level as usize;
+        debug_assert_eq!(ctx.top_depth(), depth);
+        // The panel buffers live in the workspace arena; take them out so
+        // the bucket reads below don't conflict with the writes.
+        let mut slots = std::mem::take(ctx.panel_slots);
+        let mut pin = std::mem::take(ctx.panel_in);
+        let mut pout = std::mem::take(ctx.panel_out);
+        if b == 0 {
+            slots.clear();
+            slots.resize(npe * batch, NO_SLOT);
+            pin.clear();
+            pin.resize(npe * batch, 0.0);
+            pout.clear();
+            pout.resize(npe * batch, 0.0);
+        }
+        let my_slots = &mut slots[b * npe..(b + 1) * npe];
+        let mut hits = 0u64;
+        for (i, c) in ctx.bucket(depth).coords.iter().enumerate() {
+            if let Some(lin) = lattice_linear(leaf, p, c) {
+                my_slots[lin] = i as u32;
+                hits += 1;
+            }
+        }
+        carve_obs::counter("slot_sweep_hits", hits);
+        for (lin, &s) in my_slots.iter().enumerate() {
+            // SoA: node `lin` of element `b` at `lin * batch + b`.
+            pin[lin * batch + b] = if s != NO_SLOT {
+                ctx.bucket(depth).vin[s as usize]
+            } else {
+                let idx = lattice_index::<DIM>(lin, p);
+                let c = elem_node_coord(leaf, p, &idx);
+                eval_coord(ctx, leaf, depth, &c, p, srcs)
+            };
+        }
+        *ctx.panel_slots = slots;
+        *ctx.panel_in = pin;
+        *ctx.panel_out = pout;
+    }
+
+    fn panel_apply(&mut self, leaves: &[Octant<DIM>], ctx: &mut Ctx<'_, DIM>, p: u64) {
+        let n = nodes_per_elem::<DIM>(p) * leaves.len();
+        self.kernel
+            .apply_panel(leaves, &ctx.panel_in[..n], &mut ctx.panel_out[..n]);
+    }
+
+    fn panel_scatter(
+        &mut self,
+        b: usize,
+        batch: usize,
+        leaf: &Octant<DIM>,
+        ctx: &mut Ctx<'_, DIM>,
+        srcs: &mut Vec<([u64; DIM], f64)>,
+        p: u64,
+    ) {
+        let npe = nodes_per_elem::<DIM>(p);
+        let depth = leaf.level as usize;
+        debug_assert_eq!(ctx.top_depth(), depth);
+        let slots = std::mem::take(ctx.panel_slots);
+        let pout = std::mem::take(ctx.panel_out);
+        for lin in 0..npe {
+            let s = slots[b * npe + lin];
+            let val = pout[lin * batch + b];
+            if s != NO_SLOT {
+                ctx.vout_add(depth, s as usize, val);
+            } else {
+                let idx = lattice_index::<DIM>(lin, p);
+                let c = elem_node_coord(leaf, p, &idx);
+                scatter_coord(ctx, leaf, depth, &c, val, p, srcs);
+            }
+        }
+        *ctx.panel_slots = slots;
+        *ctx.panel_out = pout;
     }
 }
 
@@ -920,21 +1300,45 @@ impl<'k, const DIM: usize, K> AssemblyVisitor<'k, DIM, K> {
     }
 }
 
-impl<const DIM: usize, K> LeafVisitor<DIM> for AssemblyVisitor<'_, DIM, K>
+/// Emits `W^T K_e W` into the triplet log: every (row stencil) × (col
+/// stencil) product, skipping structural zeros. Shared by the scalar and
+/// panel assembly paths, so the triplet sequence is identical.
+fn emit_triplets(stencils: &[Vec<(u32, f64)>], ke: &DenseMatrix, npe: usize, log: &mut OutLog) {
+    debug_assert_eq!(ke.rows, npe);
+    debug_assert_eq!(ke.cols, npe);
+    for i in 0..npe {
+        for j in 0..npe {
+            let v = ke[(i, j)];
+            if v == 0.0 {
+                continue;
+            }
+            for &(ri, rw) in &stencils[i] {
+                for &(cj, cw) in &stencils[j] {
+                    log.push((ri, cj, rw * cw * v));
+                }
+            }
+        }
+    }
+}
+
+impl<const DIM: usize, K> AssemblyVisitor<'_, DIM, K>
 where
-    K: FnMut(&Octant<DIM>) -> DenseMatrix,
+    K: AssemblyKernel<DIM>,
 {
-    fn leaf(
+    /// Resolves the `npe` lattice stencils of `leaf` into
+    /// `self.stencils[base..base + npe]` (reads only traversal state).
+    fn gather_stencils(
         &mut self,
+        base: usize,
         leaf: &Octant<DIM>,
-        ctx: &mut Ctx<'_, DIM>,
+        ctx: &Ctx<'_, DIM>,
         srcs: &mut Vec<([u64; DIM], f64)>,
         p: u64,
     ) {
         let npe = nodes_per_elem::<DIM>(p);
         let depth = leaf.level as usize;
-        if self.stencils.len() < npe {
-            self.stencils.resize_with(npe, Vec::new);
+        if self.stencils.len() < base + npe {
+            self.stencils.resize_with(base + npe, Vec::new);
         }
         self.slots.clear();
         self.slots.resize(npe, NO_SLOT);
@@ -947,34 +1351,95 @@ where
         }
         carve_obs::counter("slot_sweep_hits", hits);
         for lin in 0..npe {
-            self.stencils[lin].clear();
+            self.stencils[base + lin].clear();
             let s = self.slots[lin];
             if s != NO_SLOT {
                 let b = ctx.bucket(depth);
-                self.stencils[lin].push((b.ids[s as usize], 1.0));
+                self.stencils[base + lin].push((b.ids[s as usize], 1.0));
             } else {
                 let idx = lattice_index::<DIM>(lin, p);
                 let c = elem_node_coord(leaf, p, &idx);
-                stencil_coord(ctx, leaf, depth, &c, 1.0, p, srcs, &mut self.stencils[lin]);
+                stencil_coord(
+                    ctx,
+                    leaf,
+                    depth,
+                    &c,
+                    1.0,
+                    p,
+                    srcs,
+                    &mut self.stencils[base + lin],
+                );
             }
         }
-        let ke = (self.kernel)(leaf);
-        debug_assert_eq!(ke.rows, npe);
-        debug_assert_eq!(ke.cols, npe);
-        // Emit W^T K_e W: every (row stencil) x (col stencil) product.
-        for i in 0..npe {
-            for j in 0..npe {
-                let v = ke[(i, j)];
-                if v == 0.0 {
-                    continue;
-                }
-                for &(ri, rw) in &self.stencils[i] {
-                    for &(cj, cw) in &self.stencils[j] {
-                        ctx.log.push((ri, cj, rw * cw * v));
-                    }
-                }
-            }
+    }
+
+    /// Fetches `K_e` (borrowed from caching kernels, built otherwise) and
+    /// emits the stencil products for the element at `base`.
+    fn emit_elem(&mut self, base: usize, leaf: &Octant<DIM>, log: &mut OutLog, npe: usize) {
+        let stencils = &self.stencils[base..base + npe];
+        if let Some(ke) = self.kernel.matrix_ref(leaf) {
+            emit_triplets(stencils, ke, npe, log);
+        } else {
+            let ke = self.kernel.matrix(leaf);
+            emit_triplets(stencils, &ke, npe, log);
         }
+    }
+}
+
+impl<const DIM: usize, K> LeafVisitor<DIM> for AssemblyVisitor<'_, DIM, K>
+where
+    K: AssemblyKernel<DIM>,
+{
+    fn leaf(
+        &mut self,
+        leaf: &Octant<DIM>,
+        ctx: &mut Ctx<'_, DIM>,
+        srcs: &mut Vec<([u64; DIM], f64)>,
+        p: u64,
+    ) {
+        let npe = nodes_per_elem::<DIM>(p);
+        self.gather_stencils(0, leaf, ctx, srcs, p);
+        self.emit_elem(0, leaf, ctx.log, npe);
+    }
+
+    fn panel_width(&self) -> usize {
+        if self.kernel.supports_panels() {
+            usize::MAX
+        } else {
+            1
+        }
+    }
+
+    fn panel_gather(
+        &mut self,
+        b: usize,
+        _batch: usize,
+        leaf: &Octant<DIM>,
+        ctx: &mut Ctx<'_, DIM>,
+        srcs: &mut Vec<([u64; DIM], f64)>,
+        p: u64,
+    ) {
+        let npe = nodes_per_elem::<DIM>(p);
+        self.gather_stencils(b * npe, leaf, ctx, srcs, p);
+    }
+
+    fn panel_apply(&mut self, _leaves: &[Octant<DIM>], _ctx: &mut Ctx<'_, DIM>, _p: u64) {
+        // Nothing to batch here: the elemental matrices are emitted
+        // per-leaf at scatter time (caching kernels make the fetch O(1)
+        // within a same-level run).
+    }
+
+    fn panel_scatter(
+        &mut self,
+        b: usize,
+        _batch: usize,
+        leaf: &Octant<DIM>,
+        ctx: &mut Ctx<'_, DIM>,
+        _srcs: &mut Vec<([u64; DIM], f64)>,
+        p: u64,
+    ) {
+        let npe = nodes_per_elem::<DIM>(p);
+        self.emit_elem(b * npe, leaf, ctx.log, npe);
     }
 }
 
@@ -998,7 +1463,7 @@ pub fn traversal_matvec<const DIM: usize, K>(
     y: &mut [f64],
     kernel: &mut K,
 ) where
-    K: FnMut(&Octant<DIM>, &[f64], &mut [f64]),
+    K: LeafKernel<DIM>,
 {
     let mut ws = TraversalWorkspace::with_threads(1);
     traversal_matvec_ws(elems, owned, curve, nodes, x, y, &mut ws, kernel);
@@ -1017,7 +1482,7 @@ pub fn traversal_matvec_ws<const DIM: usize, K>(
     ws: &mut TraversalWorkspace<DIM>,
     kernel: &mut K,
 ) where
-    K: FnMut(&Octant<DIM>, &[f64], &mut [f64]),
+    K: LeafKernel<DIM>,
 {
     assert_eq!(x.len(), nodes.len());
     assert_eq!(y.len(), nodes.len());
@@ -1032,6 +1497,7 @@ pub fn traversal_matvec_ws<const DIM: usize, K>(
         p: nodes.order,
         carry_values: true,
         carry_ids: false,
+        batch: ws.batch_width,
     };
     let mut plan = build_spine(&env, ws.split_depth, matvec_root(ws, nodes, x), ws);
     carve_obs::counter("par_workers", 1);
@@ -1065,7 +1531,7 @@ pub fn traversal_matvec_par<const DIM: usize, K, F>(
     ws: &mut TraversalWorkspace<DIM>,
     make_kernel: &F,
 ) where
-    K: FnMut(&Octant<DIM>, &[f64], &mut [f64]),
+    K: LeafKernel<DIM>,
     F: Fn() -> K + Sync,
 {
     assert_eq!(x.len(), nodes.len());
@@ -1081,6 +1547,7 @@ pub fn traversal_matvec_par<const DIM: usize, K, F>(
         p: nodes.order,
         carry_values: true,
         carry_ids: false,
+        batch: ws.batch_width,
     };
     let npe = nodes_per_elem::<DIM>(env.p);
     let mut plan = build_spine(&env, ws.split_depth, matvec_root(ws, nodes, x), ws);
@@ -1211,7 +1678,7 @@ pub fn traversal_matvec_overlap_ws<const DIM: usize, K, W>(
     wait: W,
     kernel: &mut K,
 ) where
-    K: FnMut(&Octant<DIM>, &[f64], &mut [f64]),
+    K: LeafKernel<DIM>,
     W: FnOnce(&mut [f64]),
 {
     assert_eq!(xg.len(), nodes.len());
@@ -1230,6 +1697,7 @@ pub fn traversal_matvec_overlap_ws<const DIM: usize, K, W>(
         p: nodes.order,
         carry_values: true,
         carry_ids: false,
+        batch: ws.batch_width,
     };
     let mut plan = build_spine(&env, ws.split_depth, matvec_root(ws, nodes, xg), ws);
     let mut flags = std::mem::take(&mut ws.task_flags);
@@ -1290,7 +1758,7 @@ pub fn traversal_matvec_overlap_par<const DIM: usize, K, F, W>(
     wait: W,
     make_kernel: &F,
 ) where
-    K: FnMut(&Octant<DIM>, &[f64], &mut [f64]),
+    K: LeafKernel<DIM>,
     F: Fn() -> K + Sync,
     W: FnOnce(&mut [f64]),
 {
@@ -1310,6 +1778,7 @@ pub fn traversal_matvec_overlap_par<const DIM: usize, K, F, W>(
         p: nodes.order,
         carry_values: true,
         carry_ids: false,
+        batch: ws.batch_width,
     };
     let npe = nodes_per_elem::<DIM>(env.p);
     let mut plan = build_spine(&env, ws.split_depth, matvec_root(ws, nodes, xg), ws);
@@ -1486,7 +1955,7 @@ pub fn traversal_assemble<const DIM: usize, K>(
     coo: &mut CooBuilder,
     kernel: &mut K,
 ) where
-    K: FnMut(&Octant<DIM>) -> DenseMatrix,
+    K: AssemblyKernel<DIM>,
 {
     let mut ws = TraversalWorkspace::with_threads(1);
     traversal_assemble_ws(elems, owned, curve, nodes, global_ids, coo, &mut ws, kernel);
@@ -1504,7 +1973,7 @@ pub fn traversal_assemble_ws<const DIM: usize, K>(
     ws: &mut TraversalWorkspace<DIM>,
     kernel: &mut K,
 ) where
-    K: FnMut(&Octant<DIM>) -> DenseMatrix,
+    K: AssemblyKernel<DIM>,
 {
     assert_eq!(global_ids.len(), nodes.len());
     if elems.is_empty() || owned.is_empty() {
@@ -1518,6 +1987,7 @@ pub fn traversal_assemble_ws<const DIM: usize, K>(
         p: nodes.order,
         carry_values: false,
         carry_ids: true,
+        batch: ws.batch_width,
     };
     let npe = nodes_per_elem::<DIM>(env.p);
     let mut plan = build_spine(
@@ -1556,7 +2026,7 @@ pub fn traversal_assemble_par<const DIM: usize, K, F>(
     ws: &mut TraversalWorkspace<DIM>,
     make_kernel: &F,
 ) where
-    K: FnMut(&Octant<DIM>) -> DenseMatrix,
+    K: AssemblyKernel<DIM>,
     F: Fn() -> K + Sync,
 {
     assert_eq!(global_ids.len(), nodes.len());
@@ -1571,6 +2041,7 @@ pub fn traversal_assemble_par<const DIM: usize, K, F>(
         p: nodes.order,
         carry_values: false,
         carry_ids: true,
+        batch: ws.batch_width,
     };
     let npe = nodes_per_elem::<DIM>(env.p);
     let mut plan = build_spine(
@@ -1962,6 +2433,229 @@ mod tests {
                 assert_eq!(v1.to_bits(), vt.to_bits(), "threads={threads} nz {i}");
             }
         }
+    }
+
+    /// Panel-capable twin of [`toy_kernel`]: the scalar apply is the same
+    /// code, and the panel apply performs each element's additions in the
+    /// same order over the SoA layout — so batched and scalar traversals
+    /// must agree bit for bit.
+    struct ToyBatchKernel<const DIM: usize>;
+
+    impl<const DIM: usize> LeafKernel<DIM> for ToyBatchKernel<DIM> {
+        fn apply(&mut self, e: &Octant<DIM>, u: &[f64], v: &mut [f64]) {
+            let h = e.bounds_unit().1;
+            let scale = h.powi(DIM as i32);
+            let npe = u.len();
+            let sum: f64 = u.iter().sum();
+            for i in 0..npe {
+                v[i] = scale * (u[i] + sum / npe as f64);
+            }
+        }
+
+        fn supports_panels(&self) -> bool {
+            true
+        }
+
+        fn apply_panel(&mut self, elems: &[Octant<DIM>], u: &[f64], v: &mut [f64]) {
+            let batch = elems.len();
+            let npe = u.len() / batch;
+            let h = elems[0].bounds_unit().1;
+            let scale = h.powi(DIM as i32);
+            for b in 0..batch {
+                let mut sum = 0.0;
+                for lin in 0..npe {
+                    sum += u[lin * batch + b];
+                }
+                for lin in 0..npe {
+                    v[lin * batch + b] = scale * (u[lin * batch + b] + sum / npe as f64);
+                }
+            }
+        }
+    }
+
+    /// Panel-capable twin of [`toy_matrix`] with a per-level matrix cache
+    /// (the toy matrix depends on the octant only through `h`, i.e. level).
+    struct ToyBatchMatrix<const DIM: usize> {
+        p: u64,
+        levels: Vec<Option<DenseMatrix>>,
+    }
+
+    impl<const DIM: usize> ToyBatchMatrix<DIM> {
+        fn new(p: u64) -> Self {
+            Self {
+                p,
+                levels: vec![None; carve_sfc::MAX_LEVEL as usize + 1],
+            }
+        }
+    }
+
+    impl<const DIM: usize> AssemblyKernel<DIM> for ToyBatchMatrix<DIM> {
+        fn matrix(&mut self, e: &Octant<DIM>) -> DenseMatrix {
+            toy_matrix::<DIM>(self.p)(e)
+        }
+
+        fn matrix_ref(&mut self, e: &Octant<DIM>) -> Option<&DenseMatrix> {
+            let slot = &mut self.levels[e.level as usize];
+            if slot.is_none() {
+                *slot = Some(toy_matrix::<DIM>(self.p)(e));
+            }
+            slot.as_ref()
+        }
+
+        fn supports_panels(&self) -> bool {
+            true
+        }
+    }
+
+    fn check_batched_matvec_matrix<const DIM: usize>(domain: &dyn Subdomain<DIM>, seed: u64) {
+        let t = construct_boundary_refined(domain, Curve::Hilbert, 2, 4);
+        let elems = construct_balanced(domain, Curve::Hilbert, &t);
+        // Node enumeration supports orders 1 and 2; p = 3 panel coverage
+        // lives in carve-fem's batched-apply tests.
+        for p in [1u64, 2] {
+            let nodes = enumerate_nodes(domain, &elems, p);
+            let n = nodes.len();
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed + p);
+            let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut y_ref = vec![0.0; n];
+            traversal_matvec(
+                &elems,
+                0..elems.len(),
+                Curve::Hilbert,
+                &nodes,
+                &x,
+                &mut y_ref,
+                &mut toy_kernel::<DIM>(p),
+            );
+            for threads in [1usize, 2, 8] {
+                for width in [1usize, 2, 3, 4, 8] {
+                    let mut ws = TraversalWorkspace::with_threads(threads).with_batch_width(width);
+                    for round in 0..2 {
+                        let mut y = vec![0.0; n];
+                        traversal_matvec_par(
+                            &elems,
+                            0..elems.len(),
+                            Curve::Hilbert,
+                            &nodes,
+                            &x,
+                            &mut y,
+                            &mut ws,
+                            &|| ToyBatchKernel::<DIM>,
+                        );
+                        for (i, (a, b)) in y_ref.iter().zip(&y).enumerate() {
+                            assert_eq!(
+                                a.to_bits(),
+                                b.to_bits(),
+                                "DIM={DIM} p={p} threads={threads} width={width} \
+                                 round={round} node {i}: {a} vs {b}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_matvec_bitwise_matches_scalar_2d() {
+        let domain = CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.28))]);
+        check_batched_matvec_matrix(&domain, 23);
+    }
+
+    #[test]
+    fn batched_matvec_bitwise_matches_scalar_3d() {
+        let domain = CarvedSolids::<3>::new(vec![Box::new(Sphere::new([0.5; 3], 0.3))]);
+        check_batched_matvec_matrix(&domain, 31);
+    }
+
+    #[test]
+    fn batched_assembly_bitwise_matches_scalar() {
+        let domain = CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.28))]);
+        let t = construct_boundary_refined(&domain, Curve::Hilbert, 2, 4);
+        let elems = construct_balanced(&domain, Curve::Hilbert, &t);
+        for p in [1u64, 2] {
+            let nodes = enumerate_nodes(&domain, &elems, p);
+            let n = nodes.len();
+            let ids: Vec<u32> = (0..n as u32).collect();
+            let mut coo = CooBuilder::new(n);
+            traversal_assemble(
+                &elems,
+                0..elems.len(),
+                Curve::Hilbert,
+                &nodes,
+                &ids,
+                &mut coo,
+                &mut toy_matrix::<2>(p),
+            );
+            let a_ref = coo.build();
+            for threads in [1usize, 2, 8] {
+                for width in [1usize, 4, 8] {
+                    let mut ws = TraversalWorkspace::with_threads(threads).with_batch_width(width);
+                    let mut coo = CooBuilder::new(n);
+                    traversal_assemble_par(
+                        &elems,
+                        0..elems.len(),
+                        Curve::Hilbert,
+                        &nodes,
+                        &ids,
+                        &mut coo,
+                        &mut ws,
+                        &|| ToyBatchMatrix::<2>::new(p),
+                    );
+                    let a = coo.build();
+                    assert_eq!(a_ref.row_ptr, a.row_ptr, "p={p} threads={threads}");
+                    assert_eq!(a_ref.cols, a.cols, "p={p} threads={threads}");
+                    for (i, (v1, v2)) in a_ref.vals.iter().zip(&a.vals).enumerate() {
+                        assert_eq!(
+                            v1.to_bits(),
+                            v2.to_bits(),
+                            "p={p} threads={threads} width={width} nz {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_counters_reconcile_with_leaf_total() {
+        // On a uniform mesh with panels enabled, most leaves batch; the
+        // batched/scalar split must account for every leaf exactly, and
+        // disabling panels (width 1) must route everything scalar.
+        let _e = carve_obs::force_enabled();
+        let elems = construct_uniform::<2>(&FullDomain, Curve::Hilbert, 4);
+        let nodes = enumerate_nodes(&FullDomain, &elems, 1);
+        let n = nodes.len();
+        let x = vec![1.0; n];
+        let run = |width: usize| {
+            let mut ws = TraversalWorkspace::with_threads(1).with_batch_width(width);
+            let before = carve_obs::thread_snapshot();
+            let mut y = vec![0.0; n];
+            traversal_matvec_par(
+                &elems,
+                0..elems.len(),
+                Curve::Hilbert,
+                &nodes,
+                &x,
+                &mut y,
+                &mut ws,
+                &|| ToyBatchKernel::<2>,
+            );
+            carve_obs::thread_snapshot().diff(&before)
+        };
+        let d = run(4);
+        let leaf = &d.phases["matvec/leaf"].counters;
+        assert!(leaf["batched_leaves"] > 0, "no panels fired: {leaf:?}");
+        assert!(leaf["batch_count"] > 0);
+        assert_eq!(
+            leaf["batched_leaves"] + leaf.get("scalar_leaves").copied().unwrap_or(0),
+            leaf["leaves"],
+            "batched + scalar must cover every leaf: {leaf:?}"
+        );
+        let d1 = run(1);
+        let leaf1 = &d1.phases["matvec/leaf"].counters;
+        assert!(!leaf1.contains_key("batched_leaves"), "{leaf1:?}");
+        assert_eq!(leaf1["scalar_leaves"], leaf1["leaves"]);
     }
 
     #[test]

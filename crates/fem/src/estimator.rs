@@ -1,8 +1,9 @@
 //! Per-element error estimation and marking for the dynamic AMR cycle.
 //!
 //! The indicator is the element's *energy seminorm* of the discrete field,
-//! `η_e = sqrt(uₑᵀ Kₑ uₑ) = |u|_{H¹(e)}`: cheap (one dense elemental apply
-//! per owned element, no extra communication), and for the transient heat
+//! `η_e = sqrt(uₑᵀ Kₑ uₑ) = |u|_{H¹(e)}`: cheap (one sum-factorized
+//! elemental apply per owned element with per-level geometric factors from
+//! [`LevelScales`], no extra communication), and for the transient heat
 //! runs it concentrates exactly where the solution has gradient content —
 //! fronts get refined, flat wakes get coarsened. Marking uses the classic
 //! maximum strategy: refine above `θ_r · max η`, coarsen below
@@ -14,7 +15,7 @@
 //! traces — are bitwise reproducible across thread counts and chaos
 //! schedules.
 
-use crate::poisson::ElementCache;
+use crate::poisson::{ElementCache, LevelScales};
 use carve_comm::{Comm, ReduceOp};
 use carve_core::nodes::{elem_node_coord, lattice_index, nodes_per_elem};
 use carve_core::{resolve_slot, Adapt, DistMesh, SlotRef};
@@ -48,11 +49,12 @@ pub fn elem_values_dist<const DIM: usize>(
 /// solve); `scale` is the physical side length of the unit cube.
 pub fn energy_error_indicators<const DIM: usize>(
     dm: &DistMesh<DIM>,
-    cache: &ElementCache<DIM>,
+    cache: &mut ElementCache<DIM>,
     u: &[f64],
     scale: f64,
 ) -> Vec<f64> {
     let npe = nodes_per_elem::<DIM>(dm.order);
+    let scales = LevelScales::new::<DIM>(scale);
     let mut eta = Vec::with_capacity(dm.owned.len());
     let mut ku = vec![0.0; npe];
     for e in &dm.elems[dm.owned.clone()] {
@@ -62,9 +64,8 @@ pub fn energy_error_indicators<const DIM: usize>(
         // yields exactly zero instead of accumulated rounding.
         let shift = vals[0];
         vals.iter_mut().for_each(|v| *v -= shift);
-        let h = e.bounds_unit().1 * scale;
         ku.iter_mut().for_each(|v| *v = 0.0);
-        cache.apply_stiffness_dense(h, &vals, &mut ku);
+        cache.apply_stiffness_tensor_scaled(scales.stiffness(e.level), &vals, &mut ku);
         let energy: f64 = vals.iter().zip(&ku).map(|(a, b)| a * b).sum();
         eta.push(energy.max(0.0).sqrt());
     }
@@ -114,7 +115,7 @@ mod tests {
         let res = run_spmd(2, |c| {
             let domain = CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.28))]);
             let dm = DistMesh::<2>::build(c, &domain, Curve::Hilbert, 3, 4, 1);
-            let cache = ElementCache::<2>::new(1);
+            let mut cache = ElementCache::<2>::new(1);
             // A field varying only for x < 0.5: indicators must vanish on
             // elements strictly right of the ramp.
             let u: Vec<f64> = (0..dm.nodes.len())
@@ -123,7 +124,7 @@ mod tests {
                     (0.5 - x).max(0.0)
                 })
                 .collect();
-            let eta = energy_error_indicators(&dm, &cache, &u, 1.0);
+            let eta = energy_error_indicators(&dm, &mut cache, &u, 1.0);
             for (e, &et) in dm.elems[dm.owned.clone()].iter().zip(&eta) {
                 let (min, _side) = e.bounds_unit();
                 if min[0] >= 0.5 {
@@ -149,9 +150,9 @@ mod tests {
         run_spmd(2, |c| {
             let domain = CarvedSolids::<2>::new(vec![Box::new(Sphere::new([0.5, 0.5], 0.28))]);
             let dm = DistMesh::<2>::build(c, &domain, Curve::Hilbert, 3, 4, 1);
-            let cache = ElementCache::<2>::new(1);
+            let mut cache = ElementCache::<2>::new(1);
             let u = vec![3.25; dm.nodes.len()];
-            let eta = energy_error_indicators(&dm, &cache, &u, 1.0);
+            let eta = energy_error_indicators(&dm, &mut cache, &u, 1.0);
             assert!(eta.iter().all(|e| *e < 1e-12));
             let marks = mark_max_strategy(c, &dm, &eta, 0.5, 0.1);
             assert!(marks.iter().all(|m| *m == Adapt::Keep));

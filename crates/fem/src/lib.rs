@@ -25,7 +25,8 @@ pub use estimator::{elem_values_dist, energy_error_indicators, mark_max_strategy
 pub use flops::FlopCount;
 pub use multigrid::{build_transfer, mg_pcg, Multigrid, Transfer};
 pub use poisson::{
-    apply_stiffness_tensor, load_vector, mass_matrix, stiffness_matrix, ElementCache,
+    apply_stiffness_tensor, load_vector, mass_matrix, stiffness_matrix, ElementCache, HeatKernel,
+    LevelScales, MassKernel, StiffnessKernel, StiffnessMatrixKernel,
 };
 pub use sbm::{sbm_face_terms, surrogate_faces, SbmParams, SurrogateFace};
 pub use solver::{

@@ -18,15 +18,14 @@
 //!   payoff is h-independent iteration counts — the conditioning story of
 //!   Table 1 taken to its conclusion.
 
-use crate::poisson::ElementCache;
+use crate::poisson::{StiffnessKernel, StiffnessMatrixKernel};
 use carve_core::{
     find_leaf, resolve_slot, traversal_assemble_ws, traversal_matvec_ws, Mesh, SlotRef,
     TraversalWorkspace,
 };
 use carve_geom::Subdomain;
-use carve_la::{CooBuilder, DenseMatrix, KrylovResult, LuFactors};
+use carve_la::{CooBuilder, KrylovResult, LuFactors};
 use carve_sfc::morton::finest_cell_of_point;
-use carve_sfc::Octant;
 use std::sync::Mutex;
 
 /// Sparse interpolation operator stored row-wise (rows = fine nodes,
@@ -157,11 +156,12 @@ struct Level<const DIM: usize> {
 }
 
 /// Mutable solver state shared by the `&self` operator applications: the
-/// elemental cache (tensor-apply scratch is `&mut`) and the traversal
-/// workspace. One lock per V-cycle smoother apply is noise next to the
-/// traversal itself, and it spares every apply a cache + bucket rebuild.
+/// panel-capable stiffness kernel (tensor-apply scratch is `&mut`) and the
+/// traversal workspace. One lock per V-cycle smoother apply is noise next
+/// to the traversal itself, and it spares every apply a cache + bucket
+/// rebuild.
 struct MgWork<const DIM: usize> {
-    cache: ElementCache<DIM>,
+    kernel: StiffnessKernel<DIM>,
     ws: TraversalWorkspace<DIM>,
     /// Constrained-input scratch: `apply` masks Dirichlet entries of `x`
     /// before the traversal, and recycling this buffer keeps the smoother's
@@ -178,7 +178,6 @@ pub struct Multigrid<const DIM: usize> {
     pub nu_pre: usize,
     pub nu_post: usize,
     pub omega: f64,
-    scale: f64,
     work: Mutex<MgWork<DIM>>,
 }
 
@@ -216,7 +215,9 @@ impl<const DIM: usize> Multigrid<DIM> {
                 break;
             }
         }
-        let cache = ElementCache::<DIM>::new(order as usize);
+        // Per-level stiffness matrices (h is a function of level only) shared
+        // by the diagonal pass and the coarse assembly below.
+        let mut mat_kernel = StiffnessMatrixKernel::<DIM>::new(order as usize, scale);
         let mut levels: Vec<Level<DIM>> = Vec::with_capacity(meshes.len());
         for (li, mesh) in meshes.into_iter().enumerate() {
             let constrained: Vec<bool> = mesh.nodes.flags.iter().map(|f| constrain(*f)).collect();
@@ -225,8 +226,7 @@ impl<const DIM: usize> Multigrid<DIM> {
             let mut diag = vec![0.0; mesh.num_dofs()];
             let npe = carve_core::nodes::nodes_per_elem::<DIM>(order);
             for e in &mesh.elems {
-                let h = e.bounds_unit().1 * scale;
-                let ke = cache.stiffness(h);
+                let ke = mat_kernel.level_matrix(e.level);
                 for lin in 0..npe {
                     let idx = carve_core::nodes::lattice_index::<DIM>(lin, order);
                     let c = carve_core::nodes::elem_node_coord(e, order, &idx);
@@ -272,8 +272,6 @@ impl<const DIM: usize> Multigrid<DIM> {
         let mut coo = CooBuilder::with_capacity(n, coarse.mesh.elems.len() * npe * npe);
         let ids: Vec<u32> = (0..n as u32).collect();
         let mut ws = TraversalWorkspace::with_threads(1);
-        let mut kernel =
-            |e: &Octant<DIM>| -> DenseMatrix { cache.stiffness(e.bounds_unit().1 * scale) };
         traversal_assemble_ws(
             &coarse.mesh.elems,
             0..coarse.mesh.elems.len(),
@@ -282,7 +280,7 @@ impl<const DIM: usize> Multigrid<DIM> {
             &ids,
             &mut coo,
             &mut ws,
-            &mut kernel,
+            &mut mat_kernel,
         );
         let mut a = coo.build().to_dense();
         for i in 0..n {
@@ -302,9 +300,8 @@ impl<const DIM: usize> Multigrid<DIM> {
             nu_pre: 2,
             nu_post: 2,
             omega: 0.7,
-            scale,
             work: Mutex::new(MgWork {
-                cache,
+                kernel: StiffnessKernel::new(order as usize, scale),
                 ws,
                 xf: Vec::new(),
             }),
@@ -346,9 +343,8 @@ impl<const DIM: usize> Multigrid<DIM> {
     fn apply(&self, l: usize, x: &[f64], y: &mut [f64]) {
         let lev = &self.levels[l];
         y.iter_mut().for_each(|v| *v = 0.0);
-        let scale = self.scale;
         let mut guard = self.work.lock().unwrap_or_else(|e| e.into_inner());
-        let MgWork { cache, ws, xf } = &mut *guard;
+        let MgWork { kernel, ws, xf } = &mut *guard;
         // Zero constrained inputs so they don't pollute interior rows, then
         // emit identity on constrained rows.
         xf.clear();
@@ -358,9 +354,6 @@ impl<const DIM: usize> Multigrid<DIM> {
                 xf[i] = 0.0;
             }
         }
-        let mut kernel = |e: &Octant<DIM>, u: &[f64], v: &mut [f64]| {
-            cache.apply_stiffness_tensor(e.bounds_unit().1 * scale, u, v);
-        };
         traversal_matvec_ws(
             &lev.mesh.elems,
             0..lev.mesh.elems.len(),
@@ -369,7 +362,7 @@ impl<const DIM: usize> Multigrid<DIM> {
             xf,
             y,
             ws,
-            &mut kernel,
+            kernel,
         );
         drop(guard);
         for (i, &c) in lev.constrained.iter().enumerate() {

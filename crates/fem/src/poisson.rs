@@ -4,7 +4,9 @@
 //! `O(d(p+1)^{d+1})` complexity the paper quotes for its MATVEC.
 
 use crate::basis::Tabulated;
+use carve_core::{AssemblyKernel, LeafKernel};
 use carve_la::DenseMatrix;
+use carve_sfc::{Octant, MAX_LEVEL};
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
@@ -134,6 +136,11 @@ pub struct ElementCache<const DIM: usize> {
     scratch_a: Vec<f64>,
     scratch_b: Vec<f64>,
     grads: Vec<f64>,
+    /// SoA panel scratch for the batched applies (`npe × batch`), grown on
+    /// demand and reused across panels.
+    panel_a: Vec<f64>,
+    panel_b: Vec<f64>,
+    panel_g: Vec<f64>,
 }
 
 impl<const DIM: usize> ElementCache<DIM> {
@@ -154,6 +161,17 @@ impl<const DIM: usize> ElementCache<DIM> {
             scratch_a: vec![0.0; nq],
             scratch_b: vec![0.0; nq],
             grads: vec![0.0; nq],
+            panel_a: Vec::new(),
+            panel_b: Vec::new(),
+            panel_g: Vec::new(),
+        }
+    }
+
+    fn ensure_panel_scratch(&mut self, n: usize) {
+        if self.panel_a.len() < n {
+            self.panel_a.resize(n, 0.0);
+            self.panel_b.resize(n, 0.0);
+            self.panel_g.resize(n, 0.0);
         }
     }
 
@@ -195,9 +213,15 @@ impl<const DIM: usize> ElementCache<DIM> {
     /// where `C_k` differentiates along axis `k` at the tensor quadrature
     /// points — `O(d²(p+1)^{d+1})` work instead of `O((p+1)^{2d})`.
     pub fn apply_stiffness_tensor(&mut self, h: f64, u: &[f64], v: &mut [f64]) {
+        self.apply_stiffness_tensor_scaled(h.powi(DIM as i32 - 2), u, v)
+    }
+
+    /// [`Self::apply_stiffness_tensor`] with the geometric factor
+    /// `h^{d-2}` already resolved — the form the per-level scale tables
+    /// ([`LevelScales`]) feed. Bitwise equal to the `h`-taking variant.
+    pub fn apply_stiffness_tensor_scaled(&mut self, scale: f64, u: &[f64], v: &mut [f64]) {
         let p = self.p;
         let nb = p + 1;
-        let scale = h.powi(DIM as i32 - 2);
         let n = nb.pow(DIM as u32);
         debug_assert_eq!(u.len(), n);
         for axis in 0..DIM {
@@ -242,6 +266,155 @@ impl<const DIM: usize> ElementCache<DIM> {
             }
         }
     }
+
+    /// Batched sum-factorized stiffness apply over an SoA panel of `batch`
+    /// same-scale elements: node `lin` of element `b` lives at
+    /// `[lin * batch + b]`. The contractions run with the element lane as
+    /// the contiguous inner dimension ([`contract_axis_batch`]), so the
+    /// inner loops auto-vectorize on stable Rust while each element's
+    /// floating-point operation sequence stays exactly that of
+    /// [`Self::apply_stiffness_tensor_scaled`] — batched and scalar results
+    /// agree bitwise.
+    pub fn apply_stiffness_tensor_batched(
+        &mut self,
+        scale: f64,
+        batch: usize,
+        u: &[f64],
+        v: &mut [f64],
+    ) {
+        let p = self.p;
+        let nb = p + 1;
+        let n = nb.pow(DIM as u32);
+        let nt = n * batch;
+        debug_assert_eq!(u.len(), nt);
+        debug_assert_eq!(v.len(), nt);
+        self.ensure_panel_scratch(nt);
+        for axis in 0..DIM {
+            self.panel_a[..nt].copy_from_slice(u);
+            for m in 0..DIM {
+                contract_axis_batch::<DIM>(
+                    &self.panel_a,
+                    &mut self.panel_b,
+                    if m == axis { &self.tab.g } else { &self.tab.b },
+                    nb,
+                    m,
+                    false,
+                    batch,
+                );
+                std::mem::swap(&mut self.panel_a, &mut self.panel_b);
+            }
+            // Quadrature weights at tensor points, one weight per point
+            // broadcast across the element lanes.
+            for ql in 0..n {
+                let q = lattice::<DIM>(ql, nb);
+                let mut w = 1.0;
+                for &qk in &q {
+                    w *= self.tab.quad.weights[qk];
+                }
+                for b in 0..batch {
+                    self.panel_g[ql * batch + b] = w * self.panel_a[ql * batch + b];
+                }
+            }
+            self.panel_a[..nt].copy_from_slice(&self.panel_g[..nt]);
+            for m in 0..DIM {
+                contract_axis_batch::<DIM>(
+                    &self.panel_a,
+                    &mut self.panel_b,
+                    if m == axis { &self.tab.g } else { &self.tab.b },
+                    nb,
+                    m,
+                    true,
+                    batch,
+                );
+                std::mem::swap(&mut self.panel_a, &mut self.panel_b);
+            }
+            for (vi, &si) in v.iter_mut().zip(&self.panel_a[..nt]) {
+                *vi += scale * si;
+            }
+        }
+    }
+
+    /// Dense mass apply `v += scale · M_ref u` (row dots) — the scalar
+    /// counterpart of [`Self::apply_mass_batched`].
+    pub fn apply_mass_scaled(&self, scale: f64, u: &[f64], v: &mut [f64]) {
+        let n = u.len();
+        for (i, vi) in v.iter_mut().enumerate().take(n) {
+            let row = &self.mref.data[i * n..(i + 1) * n];
+            let mut s = 0.0;
+            for (m, x) in row.iter().zip(u) {
+                s += m * x;
+            }
+            *vi += scale * s;
+        }
+    }
+
+    /// Batched dense mass apply over an SoA panel (the dense fallback for
+    /// operators without a tensor form). Bitwise equal per element to
+    /// [`Self::apply_mass_scaled`].
+    pub fn apply_mass_batched(&mut self, scale: f64, batch: usize, u: &[f64], v: &mut [f64]) {
+        let n = u.len() / batch.max(1);
+        self.ensure_panel_scratch(batch);
+        for i in 0..n {
+            let row = &self.mref.data[i * n..(i + 1) * n];
+            let acc = &mut self.panel_g[..batch];
+            acc.iter_mut().for_each(|a| *a = 0.0);
+            for (j, m) in row.iter().enumerate() {
+                let uj = &u[j * batch..(j + 1) * batch];
+                for (a, x) in acc.iter_mut().zip(uj) {
+                    *a += m * x;
+                }
+            }
+            for (b, &a) in acc.iter().enumerate() {
+                v[i * batch + b] += scale * a;
+            }
+        }
+    }
+
+    /// Fused backward-Euler heat apply `v += hm·M_ref u + hk·K_ref u`
+    /// (row dots, one pass) — the scalar counterpart of
+    /// [`Self::apply_heat_batched`].
+    pub fn apply_heat_scaled(&self, hm: f64, hk: f64, u: &[f64], v: &mut [f64]) {
+        let n = u.len();
+        for (i, vi) in v.iter_mut().enumerate().take(n) {
+            let mrow = &self.mref.data[i * n..(i + 1) * n];
+            let krow = &self.kref.data[i * n..(i + 1) * n];
+            let mut sm = 0.0;
+            let mut sk = 0.0;
+            for ((m, k), x) in mrow.iter().zip(krow).zip(u) {
+                sm += m * x;
+                sk += k * x;
+            }
+            *vi += hm * sm + hk * sk;
+        }
+    }
+
+    /// Batched fused heat apply over an SoA panel. Bitwise equal per
+    /// element to [`Self::apply_heat_scaled`] (independent accumulators
+    /// added in the same row order).
+    pub fn apply_heat_batched(&mut self, hm: f64, hk: f64, batch: usize, u: &[f64], v: &mut [f64]) {
+        let n = u.len() / batch.max(1);
+        self.ensure_panel_scratch(2 * batch);
+        let (accm, rest) = self.panel_g.split_at_mut(batch);
+        let acck = &mut rest[..batch];
+        for i in 0..n {
+            let mrow = &self.mref.data[i * n..(i + 1) * n];
+            let krow = &self.kref.data[i * n..(i + 1) * n];
+            accm.iter_mut().for_each(|a| *a = 0.0);
+            acck.iter_mut().for_each(|a| *a = 0.0);
+            for (j, (m, k)) in mrow.iter().zip(krow).enumerate() {
+                let uj = &u[j * batch..(j + 1) * batch];
+                for (a, x) in accm.iter_mut().zip(uj) {
+                    *a += m * x;
+                }
+                for (a, x) in acck.iter_mut().zip(uj) {
+                    *a += k * x;
+                }
+            }
+            for b in 0..batch {
+                v[i * batch + b] += hm * accm[b] + hk * acck[b];
+            }
+        }
+    }
 }
 
 /// Contracts axis `m` of a `DIM`-dimensional tensor (extent `nb` per axis,
@@ -275,6 +448,50 @@ fn contract_axis<const DIM: usize>(
                     s += m_entry * input[off + in_d * stride];
                 }
                 output[off + out_d * stride] = s;
+            }
+        }
+        base += block;
+    }
+}
+
+/// Batched [`contract_axis`]: the tensor carries a trailing contiguous
+/// element lane of width `batch` (`position = tensor_index * batch + b`),
+/// so the effective stride of axis `m` is `nb^m · batch` and the innermost
+/// loop runs over `stride` contiguous positions — a multiply-add the
+/// compiler auto-vectorizes. Each output position accumulates its `in_d`
+/// products in the same order as the scalar register accumulation, so the
+/// per-element results are bitwise identical.
+fn contract_axis_batch<const DIM: usize>(
+    input: &[f64],
+    output: &mut [f64],
+    mat: &[f64],
+    nb: usize,
+    m: usize,
+    transpose: bool,
+    batch: usize,
+) {
+    let n = nb.pow(DIM as u32) * batch;
+    let stride = nb.pow(m as u32) * batch;
+    output[..n].iter_mut().for_each(|x| *x = 0.0);
+    let block = stride * nb;
+    let mut base = 0;
+    while base < n {
+        for out_d in 0..nb {
+            let orow = base + out_d * stride;
+            for in_d in 0..nb {
+                let m_entry = if transpose {
+                    mat[in_d * nb + out_d]
+                } else {
+                    mat[out_d * nb + in_d]
+                };
+                let irow = base + in_d * stride;
+                let (iseg, oseg) = (
+                    &input[irow..irow + stride],
+                    &mut output[orow..orow + stride],
+                );
+                for (o, x) in oseg.iter_mut().zip(iseg) {
+                    *o += m_entry * x;
+                }
             }
         }
         base += block;
@@ -374,6 +591,220 @@ pub fn mass_matrix<const DIM: usize>(p: usize, h: f64) -> DenseMatrix {
 /// Free-function tensor apply (allocates a cache; prefer [`ElementCache`]).
 pub fn apply_stiffness_tensor<const DIM: usize>(p: usize, h: f64, u: &[f64], v: &mut [f64]) {
     ElementCache::<DIM>::new(p).apply_stiffness_tensor(h, u, v)
+}
+
+// --- Per-level geometric factors -------------------------------------------
+//
+// Octants are axis-aligned cubes, so the element size `h` — and with it every
+// geometric factor the Poisson operators need — is a pure function of the
+// octant's refinement level: `h(l) = scale / 2^l` exactly in f64 (power-of-two
+// division is exact). Precomputing the `h^{DIM-2}` stiffness and `h^DIM` mass
+// scales once per table therefore yields values bitwise identical to calling
+// `bounds_unit().1 * scale` and `powi` per leaf, while removing that work from
+// the innermost traversal loop.
+
+/// Table of per-level geometric scale factors for a `DIM`-dimensional mesh
+/// with domain scale `scale` (physical root side length).
+#[derive(Debug, Clone)]
+pub struct LevelScales {
+    h: [f64; MAX_LEVEL as usize + 1],
+    stiff: [f64; MAX_LEVEL as usize + 1],
+    mass: [f64; MAX_LEVEL as usize + 1],
+}
+
+impl LevelScales {
+    /// Build the table. Each entry is computed exactly as the per-leaf code
+    /// did (`bounds_unit().1 * scale`, then `powi`), so substituting a table
+    /// lookup for the inline computation preserves every bit.
+    pub fn new<const DIM: usize>(scale: f64) -> Self {
+        let mut h = [0.0; MAX_LEVEL as usize + 1];
+        let mut stiff = [0.0; MAX_LEVEL as usize + 1];
+        let mut mass = [0.0; MAX_LEVEL as usize + 1];
+        for l in 0..=MAX_LEVEL as usize {
+            let side = Octant::<DIM>::new([0; DIM], l as u8).bounds_unit().1;
+            let hl = side * scale;
+            h[l] = hl;
+            stiff[l] = hl.powi(DIM as i32 - 2);
+            mass[l] = hl.powi(DIM as i32);
+        }
+        Self { h, stiff, mass }
+    }
+
+    /// Physical element size at `level`.
+    #[inline]
+    pub fn h(&self, level: u8) -> f64 {
+        self.h[level as usize]
+    }
+
+    /// Stiffness scale `h^{DIM-2}` at `level`.
+    #[inline]
+    pub fn stiffness(&self, level: u8) -> f64 {
+        self.stiff[level as usize]
+    }
+
+    /// Mass scale `h^DIM` at `level`.
+    #[inline]
+    pub fn mass(&self, level: u8) -> f64 {
+        self.mass[level as usize]
+    }
+}
+
+// --- Batched leaf kernels ---------------------------------------------------
+//
+// Kernel structs implementing the traversal engine's `LeafKernel` /
+// `AssemblyKernel` traits with `supports_panels() == true`, so runs of
+// same-level SFC-contiguous leaves flow through the SoA panel path
+// (DESIGN.md §6h). Each scalar `apply` reproduces the closure it replaces
+// bit for bit; each `apply_panel` reuses the batched tensor/mass applies,
+// whose per-element op sequence equals the scalar one.
+
+/// Stiffness (Poisson) leaf kernel: `v += h^{DIM-2} · K_ref · u`.
+pub struct StiffnessKernel<const DIM: usize> {
+    cache: ElementCache<DIM>,
+    scales: LevelScales,
+}
+
+impl<const DIM: usize> StiffnessKernel<DIM> {
+    pub fn new(p: usize, scale: f64) -> Self {
+        Self {
+            cache: ElementCache::new(p),
+            scales: LevelScales::new::<DIM>(scale),
+        }
+    }
+}
+
+impl<const DIM: usize> LeafKernel<DIM> for StiffnessKernel<DIM> {
+    fn apply(&mut self, elem: &Octant<DIM>, u: &[f64], v: &mut [f64]) {
+        self.cache
+            .apply_stiffness_tensor_scaled(self.scales.stiffness(elem.level), u, v);
+    }
+
+    fn supports_panels(&self) -> bool {
+        true
+    }
+
+    fn apply_panel(&mut self, elems: &[Octant<DIM>], u: &[f64], v: &mut [f64]) {
+        debug_assert!(elems.iter().all(|e| e.level == elems[0].level));
+        self.cache.apply_stiffness_tensor_batched(
+            self.scales.stiffness(elems[0].level),
+            elems.len(),
+            u,
+            v,
+        );
+    }
+}
+
+/// Mass leaf kernel: `v += h^DIM · M_ref · u`.
+pub struct MassKernel<const DIM: usize> {
+    cache: ElementCache<DIM>,
+    scales: LevelScales,
+}
+
+impl<const DIM: usize> MassKernel<DIM> {
+    pub fn new(p: usize, scale: f64) -> Self {
+        Self {
+            cache: ElementCache::new(p),
+            scales: LevelScales::new::<DIM>(scale),
+        }
+    }
+}
+
+impl<const DIM: usize> LeafKernel<DIM> for MassKernel<DIM> {
+    fn apply(&mut self, elem: &Octant<DIM>, u: &[f64], v: &mut [f64]) {
+        self.cache
+            .apply_mass_scaled(self.scales.mass(elem.level), u, v);
+    }
+
+    fn supports_panels(&self) -> bool {
+        true
+    }
+
+    fn apply_panel(&mut self, elems: &[Octant<DIM>], u: &[f64], v: &mut [f64]) {
+        debug_assert!(elems.iter().all(|e| e.level == elems[0].level));
+        self.cache
+            .apply_mass_batched(self.scales.mass(elems[0].level), elems.len(), u, v);
+    }
+}
+
+/// Backward-Euler heat leaf kernel: `v += (h^DIM · M + dt · h^{DIM-2} · K) u`,
+/// fused so each input value is loaded once per row pair.
+pub struct HeatKernel<const DIM: usize> {
+    cache: ElementCache<DIM>,
+    scales: LevelScales,
+    dt: f64,
+}
+
+impl<const DIM: usize> HeatKernel<DIM> {
+    pub fn new(p: usize, scale: f64, dt: f64) -> Self {
+        Self {
+            cache: ElementCache::new(p),
+            scales: LevelScales::new::<DIM>(scale),
+            dt,
+        }
+    }
+}
+
+impl<const DIM: usize> LeafKernel<DIM> for HeatKernel<DIM> {
+    fn apply(&mut self, elem: &Octant<DIM>, u: &[f64], v: &mut [f64]) {
+        let hm = self.scales.mass(elem.level);
+        let hk = self.dt * self.scales.stiffness(elem.level);
+        self.cache.apply_heat_scaled(hm, hk, u, v);
+    }
+
+    fn supports_panels(&self) -> bool {
+        true
+    }
+
+    fn apply_panel(&mut self, elems: &[Octant<DIM>], u: &[f64], v: &mut [f64]) {
+        debug_assert!(elems.iter().all(|e| e.level == elems[0].level));
+        let hm = self.scales.mass(elems[0].level);
+        let hk = self.dt * self.scales.stiffness(elems[0].level);
+        self.cache.apply_heat_batched(hm, hk, elems.len(), u, v);
+    }
+}
+
+/// Assembly kernel producing the physical stiffness matrix per leaf, with a
+/// lazily-built per-level matrix cache: since `h` depends only on `level`,
+/// two leaves at the same level share one `DenseMatrix` and
+/// [`AssemblyKernel::matrix_ref`] hands the traversal a borrow instead of a
+/// clone.
+pub struct StiffnessMatrixKernel<const DIM: usize> {
+    cache: ElementCache<DIM>,
+    scales: LevelScales,
+    levels: Vec<Option<DenseMatrix>>,
+}
+
+impl<const DIM: usize> StiffnessMatrixKernel<DIM> {
+    pub fn new(p: usize, scale: f64) -> Self {
+        Self {
+            cache: ElementCache::new(p),
+            scales: LevelScales::new::<DIM>(scale),
+            levels: vec![None; MAX_LEVEL as usize + 1],
+        }
+    }
+
+    /// The shared physical stiffness matrix for `level`, built on first use.
+    pub fn level_matrix(&mut self, level: u8) -> &DenseMatrix {
+        let slot = &mut self.levels[level as usize];
+        if slot.is_none() {
+            *slot = Some(self.cache.stiffness(self.scales.h(level)));
+        }
+        slot.as_ref().unwrap()
+    }
+}
+
+impl<const DIM: usize> AssemblyKernel<DIM> for StiffnessMatrixKernel<DIM> {
+    fn matrix(&mut self, elem: &Octant<DIM>) -> DenseMatrix {
+        self.level_matrix(elem.level).clone()
+    }
+
+    fn matrix_ref(&mut self, elem: &Octant<DIM>) -> Option<&DenseMatrix> {
+        Some(self.level_matrix(elem.level))
+    }
+
+    fn supports_panels(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]
@@ -481,5 +912,128 @@ mod tests {
         let k3a = stiffness_matrix::<3>(1, 1.0);
         let k3b = stiffness_matrix::<3>(1, 0.5);
         assert!((k3a[(0, 0)] * 0.5 - k3b[(0, 0)]).abs() < 1e-14);
+    }
+
+    #[test]
+    fn level_scales_match_per_leaf_computation() {
+        for scale in [1.0, 2.5, 0.37] {
+            let s2 = LevelScales::new::<2>(scale);
+            let s3 = LevelScales::new::<3>(scale);
+            for l in 0..=MAX_LEVEL {
+                let h2 = Octant::<2>::new([0; 2], l).bounds_unit().1 * scale;
+                let h3 = Octant::<3>::new([0; 3], l).bounds_unit().1 * scale;
+                assert_eq!(s2.h(l).to_bits(), h2.to_bits());
+                assert_eq!(s2.stiffness(l).to_bits(), h2.powi(0).to_bits());
+                assert_eq!(s2.mass(l).to_bits(), h2.powi(2).to_bits());
+                assert_eq!(s3.h(l).to_bits(), h3.to_bits());
+                assert_eq!(s3.stiffness(l).to_bits(), h3.powi(1).to_bits());
+                assert_eq!(s3.mass(l).to_bits(), h3.powi(3).to_bits());
+            }
+        }
+    }
+
+    /// Runs one batched apply against `batch` scalar applies on the same
+    /// per-element data and demands bitwise equality.
+    fn check_batched_bitwise<const DIM: usize>(p: usize, batch: usize) {
+        use rand::{Rng, SeedableRng};
+        let mut rng =
+            rand_chacha::ChaCha8Rng::seed_from_u64(90 + (DIM * 10 + p) as u64 + batch as u64);
+        let n = npe::<DIM>(p);
+        let mut cache = ElementCache::<DIM>::new(p);
+        // SoA panel: node lin of element b at [lin * batch + b].
+        let panel_u: Vec<f64> = (0..n * batch).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        for (scale, hm, hk) in [(1.0, 0.125, 0.03), (0.4782, 2.0, 0.9)] {
+            let mut panel_v = vec![0.0; n * batch];
+            cache.apply_stiffness_tensor_batched(scale, batch, &panel_u, &mut panel_v);
+            for b in 0..batch {
+                let u: Vec<f64> = (0..n).map(|lin| panel_u[lin * batch + b]).collect();
+                let mut v = vec![0.0; n];
+                cache.apply_stiffness_tensor_scaled(scale, &u, &mut v);
+                for (lin, x) in v.iter().enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        panel_v[lin * batch + b].to_bits(),
+                        "stiffness DIM={DIM} p={p} batch={batch} b={b} lin={lin}"
+                    );
+                }
+            }
+            let mut panel_v = vec![0.0; n * batch];
+            cache.apply_mass_batched(scale, batch, &panel_u, &mut panel_v);
+            for b in 0..batch {
+                let u: Vec<f64> = (0..n).map(|lin| panel_u[lin * batch + b]).collect();
+                let mut v = vec![0.0; n];
+                cache.apply_mass_scaled(scale, &u, &mut v);
+                for (lin, x) in v.iter().enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        panel_v[lin * batch + b].to_bits(),
+                        "mass DIM={DIM} p={p} batch={batch} b={b} lin={lin}"
+                    );
+                }
+            }
+            let mut panel_v = vec![0.0; n * batch];
+            cache.apply_heat_batched(hm, hk, batch, &panel_u, &mut panel_v);
+            for b in 0..batch {
+                let u: Vec<f64> = (0..n).map(|lin| panel_u[lin * batch + b]).collect();
+                let mut v = vec![0.0; n];
+                cache.apply_heat_scaled(hm, hk, &u, &mut v);
+                for (lin, x) in v.iter().enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        panel_v[lin * batch + b].to_bits(),
+                        "heat DIM={DIM} p={p} batch={batch} b={b} lin={lin}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_applies_bitwise_match_scalar() {
+        for p in [1usize, 2, 3] {
+            for batch in [1usize, 3, 4, 8] {
+                check_batched_bitwise::<2>(p, batch);
+                check_batched_bitwise::<3>(p, batch);
+            }
+        }
+    }
+
+    #[test]
+    fn stiffness_kernel_matches_closure() {
+        use carve_core::LeafKernel as _;
+        let scale = 1.75;
+        let p = 2;
+        let mut kern = StiffnessKernel::<3>::new(p, scale);
+        let mut cache = ElementCache::<3>::new(p);
+        let n = npe::<3>(p);
+        let u: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        for level in [0u8, 3, 11] {
+            let e = Octant::<3>::new([0; 3], level);
+            let mut va = vec![0.0; n];
+            let mut vb = vec![0.0; n];
+            kern.apply(&e, &u, &mut va);
+            let h = e.bounds_unit().1 * scale;
+            cache.apply_stiffness_tensor(h, &u, &mut vb);
+            for (a, b) in va.iter().zip(&vb) {
+                assert_eq!(a.to_bits(), b.to_bits(), "level {level}");
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_kernel_levels_share_storage() {
+        use carve_core::AssemblyKernel as _;
+        let mut kern = StiffnessMatrixKernel::<3>::new(1, 1.0);
+        let e = Octant::<3>::new([0; 3], 4);
+        let owned = kern.matrix(&e);
+        let cache = ElementCache::<3>::new(1);
+        let expect = cache.stiffness(LevelScales::new::<3>(1.0).h(4));
+        for i in 0..owned.rows {
+            for j in 0..owned.rows {
+                assert_eq!(owned[(i, j)].to_bits(), expect[(i, j)].to_bits());
+            }
+        }
+        let r = kern.matrix_ref(&e).expect("cached");
+        assert_eq!(r[(0, 0)].to_bits(), owned[(0, 0)].to_bits());
     }
 }

@@ -5,17 +5,76 @@
 //! checkpoint → BiCGStab → tightened multigrid) or a structured
 //! [`SolveFailed`] report.
 
-use crate::poisson::{load_vector, ElementCache};
+use crate::poisson::{load_vector, StiffnessMatrixKernel};
 use crate::sbm::{sbm_face_terms, surrogate_faces, SbmParams};
-use carve_core::{resolve_slot, traversal_assemble_par, Mesh, SlotRef, TraversalWorkspace};
+use carve_core::{
+    resolve_slot, traversal_assemble_par, AssemblyKernel, Mesh, SlotRef, TraversalWorkspace,
+};
 use carve_geom::Subdomain;
 use carve_la::{
     bicgstab, bicgstab_checkpointed, cg_checkpointed, default_ckpt_every, AsmPrecond, Checkpointer,
-    CooBuilder, CsrMatrix, JacobiPrecond, KrylovResult, LinOp, LocalReduce, Precond,
+    CooBuilder, CsrMatrix, DenseMatrix, JacobiPrecond, KrylovResult, LinOp, LocalReduce, Precond,
     SolveCheckpoint,
 };
+use carve_sfc::Octant;
 use std::collections::HashMap;
 use std::fmt;
+
+/// Per-element SBM face contributions, keyed by the octant itself so the
+/// assembly kernel looks them up by value — no per-leaf `binary_search_by`
+/// over the element array.
+type FaceMats<const DIM: usize> = HashMap<Octant<DIM>, (DenseMatrix, Vec<f64>)>;
+
+/// Assembly kernel for the Poisson system: the per-level stiffness matrix
+/// (shared across same-level leaves via [`StiffnessMatrixKernel`]) plus the
+/// element's precomputed SBM face matrix when it has one. `matrix_ref`
+/// hands the traversal a borrow — of the level matrix directly, or of a
+/// scratch sum for the few boundary elements with face terms — so the
+/// common path never clones.
+struct PoissonAssemblyKernel<'a, const DIM: usize> {
+    levels: StiffnessMatrixKernel<DIM>,
+    faces: &'a FaceMats<DIM>,
+    combined: DenseMatrix,
+}
+
+impl<'a, const DIM: usize> PoissonAssemblyKernel<'a, DIM> {
+    fn new(p: usize, scale: f64, faces: &'a FaceMats<DIM>) -> Self {
+        let npe = crate::poisson::npe::<DIM>(p);
+        Self {
+            levels: StiffnessMatrixKernel::new(p, scale),
+            faces,
+            combined: DenseMatrix::zeros(npe, npe),
+        }
+    }
+}
+
+impl<const DIM: usize> AssemblyKernel<DIM> for PoissonAssemblyKernel<'_, DIM> {
+    fn matrix(&mut self, e: &Octant<DIM>) -> DenseMatrix {
+        let mut ke = self.levels.level_matrix(e.level).clone();
+        if let Some((fa, _)) = self.faces.get(e) {
+            for (x, y) in ke.data.iter_mut().zip(&fa.data) {
+                *x += y;
+            }
+        }
+        ke
+    }
+
+    fn matrix_ref(&mut self, e: &Octant<DIM>) -> Option<&DenseMatrix> {
+        if let Some((fa, _)) = self.faces.get(e) {
+            self.combined.clone_from(self.levels.level_matrix(e.level));
+            for (x, y) in self.combined.data.iter_mut().zip(&fa.data) {
+                *x += y;
+            }
+            Some(&self.combined)
+        } else {
+            Some(self.levels.level_matrix(e.level))
+        }
+    }
+
+    fn supports_panels(&self) -> bool {
+        true
+    }
+}
 
 /// How Dirichlet data is imposed on the carved (voxelated) boundary.
 #[derive(Clone, Copy, Debug)]
@@ -66,10 +125,9 @@ fn assemble_poisson_system<const DIM: usize>(
     let n = mesh.num_dofs();
     let p = mesh.order as usize;
     let scale = prob.scale;
-    let cache = ElementCache::<DIM>::new(p);
 
-    // Precompute SBM face contributions per element.
-    let mut face_mats: HashMap<usize, (carve_la::DenseMatrix, Vec<f64>)> = HashMap::new();
+    // Precompute SBM face contributions per element, keyed by octant.
+    let mut face_mats: FaceMats<DIM> = HashMap::new();
     if let BcMode::Sbm(params) = prob.bc {
         let map = prob
             .closest_boundary
@@ -91,7 +149,7 @@ fn assemble_poisson_system<const DIM: usize>(
                 map,
                 prob.dirichlet,
             );
-            match face_mats.entry(f.elem) {
+            match face_mats.entry(*e) {
                 std::collections::hash_map::Entry::Occupied(mut o) => {
                     let (am, bm) = o.get_mut();
                     for (x, y) in am.data.iter_mut().zip(&a.data) {
@@ -114,28 +172,8 @@ fn assemble_poisson_system<const DIM: usize>(
     let npe_a = carve_core::nodes::nodes_per_elem::<DIM>(mesh.order);
     let mut coo = CooBuilder::with_capacity(n, mesh.elems.len() * npe_a * npe_a);
     let ids: Vec<u32> = (0..n as u32).collect();
-    let cache_ref = &cache;
     let face_ref = &face_mats;
-    let make_kernel = || {
-        move |e: &carve_sfc::Octant<DIM>| {
-            let h = e.bounds_unit().1 * scale;
-            let mut ke = cache_ref.stiffness(h);
-            // Locate the element index for face lookups.
-            if !face_ref.is_empty() {
-                if let Ok(idx) = mesh
-                    .elems
-                    .binary_search_by(|x| carve_sfc::sfc_cmp(mesh.curve, x, e))
-                {
-                    if let Some((fa, _)) = face_ref.get(&idx) {
-                        for (x, y) in ke.data.iter_mut().zip(&fa.data) {
-                            *x += y;
-                        }
-                    }
-                }
-            }
-            ke
-        }
-    };
+    let make_kernel = || PoissonAssemblyKernel::<DIM>::new(p, scale, face_ref);
     let mut ws = TraversalWorkspace::new();
     traversal_assemble_par(
         &mesh.elems,
@@ -152,7 +190,7 @@ fn assemble_poisson_system<const DIM: usize>(
     // hanging stencils.
     let mut rhs = vec![0.0; n];
     let npe = carve_core::nodes::nodes_per_elem::<DIM>(mesh.order);
-    for (ei, e) in mesh.elems.iter().enumerate() {
+    for e in mesh.elems.iter() {
         let (emin_u, h_u) = e.bounds_unit();
         let mut emin = [0.0; DIM];
         for k in 0..DIM {
@@ -160,7 +198,7 @@ fn assemble_poisson_system<const DIM: usize>(
         }
         let h = h_u * scale;
         let mut local = load_vector::<DIM>(p, &emin, h, prob.f, p + 2);
-        if let Some((_, fb)) = face_mats.get(&ei) {
+        if let Some((_, fb)) = face_mats.get(e) {
             for (x, y) in local.iter_mut().zip(fb) {
                 *x += y;
             }

@@ -29,7 +29,7 @@
 //! serialized trace.
 
 use crate::estimator::{energy_error_indicators, mark_max_strategy};
-use crate::poisson::ElementCache;
+use crate::poisson::{ElementCache, HeatKernel, MassKernel};
 use carve_comm::{Comm, ReduceOp};
 use carve_core::nodes::{elem_node_coord, lagrange_1d, lattice_index, nodes_per_elem};
 use carve_core::{
@@ -360,7 +360,7 @@ pub fn run_transient<const DIM: usize>(
     } else {
         TraversalWorkspace::with_threads(cfg.threads)
     });
-    let cache = ElementCache::<DIM>::new(p);
+    let mut cache = ElementCache::<DIM>::new(p);
     let params = AdaptParams {
         max_level: cfg.max_level,
         min_level: cfg.min_level,
@@ -368,45 +368,14 @@ pub fn run_transient<const DIM: usize>(
     };
 
     // Backward-Euler operator (M + dt·K) and mass-RHS kernels, built per
-    // worker thread by the parallel traversal.
+    // worker thread by the parallel traversal. The panel-capable kernel
+    // structs reproduce the old inline closures bit for bit (the fused
+    // row-dot op order and per-level scales are identical) while letting
+    // same-level leaf runs flow through the batched SoA path.
     let dt = cfg.dt;
     let scale = cfg.scale;
-    let heat_factory = move || {
-        let cache = ElementCache::<DIM>::new(p);
-        move |e: &Octant<DIM>, vals: &[f64], out: &mut [f64]| {
-            let h = e.bounds_unit().1 * scale;
-            let hm = h.powi(DIM as i32);
-            let hk = dt * h.powi(DIM as i32 - 2);
-            let n = vals.len();
-            for (i, o) in out.iter_mut().enumerate() {
-                let mrow = &cache.mref.data[i * n..(i + 1) * n];
-                let krow = &cache.kref.data[i * n..(i + 1) * n];
-                let mut sm = 0.0;
-                let mut sk = 0.0;
-                for ((m, k), v) in mrow.iter().zip(krow).zip(vals) {
-                    sm += m * v;
-                    sk += k * v;
-                }
-                *o += hm * sm + hk * sk;
-            }
-        }
-    };
-    let mass_factory = move || {
-        let cache = ElementCache::<DIM>::new(p);
-        move |e: &Octant<DIM>, vals: &[f64], out: &mut [f64]| {
-            let h = e.bounds_unit().1 * scale;
-            let hm = h.powi(DIM as i32);
-            let n = vals.len();
-            for (i, o) in out.iter_mut().enumerate() {
-                let mrow = &cache.mref.data[i * n..(i + 1) * n];
-                let mut sm = 0.0;
-                for (m, v) in mrow.iter().zip(vals) {
-                    sm += m * v;
-                }
-                *o += hm * sm;
-            }
-        }
-    };
+    let heat_factory = move || HeatKernel::<DIM>::new(p, scale, dt);
+    let mass_factory = move || MassKernel::<DIM>::new(p, scale);
 
     let constrained_of = |dm: &DistMesh<DIM>| -> Vec<bool> {
         dm.nodes.flags.iter().map(|f| f.is_any_boundary()).collect()
@@ -489,7 +458,7 @@ pub fn run_transient<const DIM: usize>(
             let _adapt = carve_obs::scope("adapt");
             let decisions = {
                 let _mark = carve_obs::scope("mark");
-                let eta = energy_error_indicators(&dm, &cache, &u, cfg.scale);
+                let eta = energy_error_indicators(&dm, &mut cache, &u, cfg.scale);
                 mark_max_strategy(comm, &dm, &eta, cfg.theta_refine, cfg.theta_coarsen)
             };
             let old = OldMesh {

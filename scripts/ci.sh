@@ -15,6 +15,10 @@
 #   chaos-lossy        release tests under drop/corrupt chaos + lane retry
 #   adapt-determinism  adapt_trace bitwise-diffed over threads {1,4} x
 #                      {clean, lossy chaos} (DESIGN.md §7)
+#   leaf-kernel-determinism
+#                      matvec_digest byte-compared over batch widths {1,8}
+#                      x threads {1,4}: the batched SoA leaf path must be
+#                      bitwise identical to the scalar path (DESIGN.md §6h)
 #   clippy             clippy with warnings denied
 #   doc                rustdoc with warnings denied
 #   bench-gate         scripts/bench_gate.sh perf regression gate
@@ -25,7 +29,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 STAGES=(fmt build test-par1 test-par4 test-debug chaos chaos-lossy
-        adapt-determinism clippy doc bench-gate scaling-gate)
+        adapt-determinism leaf-kernel-determinism clippy doc bench-gate
+        scaling-gate)
 
 run_stage() {
   case "$1" in
@@ -78,6 +83,27 @@ run_stage() {
           || { echo "ci: adapt trace t1 vs $f differs" >&2; return 1; }
       done
       echo "ci: adapt trace bitwise-identical over threads {1,4} x {clean,lossy}"
+      ;;
+    # The batched SoA leaf path (CARVE_BATCH_WIDTH, DESIGN.md §6h) must be
+    # bitwise identical to the scalar path (width 1) at any thread budget:
+    # digest the matvec output bits over the width x threads matrix and
+    # byte-compare the documents.
+    leaf-kernel-determinism)
+      cargo build --release -q -p carve-bench --bin matvec_digest
+      local tmp
+      tmp=$(mktemp -d)
+      trap 'rm -rf "$tmp"' RETURN
+      for width in 1 8; do
+        for threads in 1 4; do
+          CARVE_BATCH_WIDTH=$width CARVE_PAR_THREADS=$threads \
+            ./target/release/matvec_digest "$tmp/w${width}-t${threads}.txt"
+        done
+      done
+      for f in w1-t4 w8-t1 w8-t4; do
+        cmp "$tmp/w1-t1.txt" "$tmp/$f.txt" \
+          || { echo "ci: matvec digest w1-t1 vs $f differs" >&2; return 1; }
+      done
+      echo "ci: matvec digest bitwise-identical over widths {1,8} x threads {1,4}"
       ;;
     # carve-comm additionally denies unwrap/expect crate-wide (lib.rs).
     clippy)
