@@ -1,0 +1,56 @@
+//! Request-replay serving bench emitter for the CI `serve-gate` stage.
+//!
+//! ```sh
+//! bench_serve OUT.json          # replay, gate latency + rounds, write full report
+//! bench_serve --check OUT.json  # replay, gate rounds only, write the
+//!                               # latency-stripped (deterministic) document
+//! ```
+//!
+//! The gate runs the full mode once (enforcing the hit-vs-miss latency
+//! floor and the block-CG round budget), then replays `--check` across a
+//! threads × chaos matrix and byte-compares the stripped documents: every
+//! count, round total, and the solution/read digest must be a pure
+//! function of the trace.
+
+use carve_bench::serve::{gate_failures, run_replay};
+use carve_io::{serve_report_strip_latency, serve_report_to_json};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (check_only, out_path) = match args.as_slice() {
+        [flag, out] if flag == "--check" => (true, out.clone()),
+        [out] => (false, out.clone()),
+        _ => {
+            eprintln!("usage: bench_serve OUT.json | bench_serve --check OUT.json");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = run_replay();
+    let failures = gate_failures(&report, !check_only);
+    let json = serve_report_to_json(&report);
+    let doc = if check_only {
+        serve_report_strip_latency(&json)
+    } else {
+        json
+    };
+    let mut text = doc.to_string_pretty();
+    text.push('\n');
+    if let Err(e) = std::fs::write(&out_path, text) {
+        eprintln!("bench_serve: write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if failures.is_empty() {
+        println!(
+            "bench_serve: wrote {out_path} — {} requests, hit/miss speedup {:.1}×, \
+             block {} vs sequential {} rounds",
+            report.requests, report.hit_miss_speedup, report.block_rounds, report.seq_rounds
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("bench_serve: GATE FAILURE: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -10,6 +10,7 @@
 
 pub mod model;
 pub mod scaling;
+pub mod serve;
 pub mod smoke;
 pub mod workloads;
 
@@ -21,5 +22,6 @@ pub use scaling::{
     artifact_specs, build_artifact, build_report_from_specs, check_artifact, digest_loads,
     CaseSpec, SCALING_PR, SCALING_RANKS,
 };
+pub use serve::{gate_failures, run_replay, HIT_SPEEDUP_FLOOR, SERVE_PR, SERVE_RANKS};
 pub use smoke::{compare_reports, run_smoke, same_machine, strip_secs};
 pub use workloads::*;

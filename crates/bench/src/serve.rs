@@ -1,0 +1,377 @@
+//! Request-replay serving bench behind the CI `serve-gate` stage.
+//!
+//! Replays a fixed, deterministic trace of mixed requests — cache-miss
+//! build+solve, cache-hit solve, k-lane block solve, point-query burst —
+//! against the `fem::serve` scenario cache on [`SERVE_RANKS`] simulated
+//! ranks, for both smoke workloads (the §4.5.1 channel and the carved
+//! sphere). The emitted `carve-serve-report-v1` document carries two kinds
+//! of numbers:
+//!
+//! * **Deterministic**: request/cache/eviction counts, collective-round
+//!   costs of the block vs sequential solves (`CommStats`), and a
+//!   `result_digest` folding every solution and point read bit-for-bit.
+//!   Pure functions of the trace — the serve-gate byte-compares them
+//!   across threads × chaos.
+//! * **Machine-dependent**: per-class p50/p99/mean latency and overall
+//!   throughput, gated by floors (hit ≥ [`HIT_SPEEDUP_FLOOR`]× faster than
+//!   miss; block-CG ≤ 1/3 the rounds of sequential CG).
+
+use carve_comm::run_spmd;
+use carve_fem::serve::{geometry_hash, ScenarioCache, ScenarioSpec, ServedField};
+use carve_geom::{CarvedSolids, RetainBox, Sphere, Subdomain};
+use carve_io::{ServeClassStats, ServeReport};
+use carve_sfc::Curve;
+use std::time::Instant;
+
+/// Simulated ranks for the replay.
+pub const SERVE_RANKS: usize = 2;
+
+/// PR number stamped into the serve report.
+pub const SERVE_PR: u64 = 10;
+
+/// Gate floor: cache-hit solve p50 must be at least this many times lower
+/// than cache-miss p50, on every scenario.
+pub const HIT_SPEEDUP_FLOOR: f64 = 5.0;
+
+/// Fixed CG iteration budget per solve: with `rtol = 0` every solve runs
+/// exactly this many iterations, so round counts and solution bits are
+/// pure functions of the trace.
+const SOLVE_ITERS: usize = 6;
+
+/// Lanes per block-solve request (the acceptance point: ≤ 1/3 the rounds
+/// of 4 sequential solves).
+const BLOCK_K: usize = 4;
+
+/// Cache-hit solves replayed per scenario; the middle [`BLOCK_K`] of them
+/// double as the sequential-round baseline for the block comparison.
+const HIT_SOLVES: usize = 6;
+
+/// Points per point-query burst, bursts per scenario.
+const QUERY_POINTS: usize = 48;
+const QUERY_BURSTS: usize = 2;
+
+/// One serving scenario — the two smoke workloads, same shapes and levels
+/// as `smoke::CASES`.
+struct ServeCase {
+    name: &'static str,
+    domain: fn() -> Box<dyn Subdomain<3>>,
+    spec: ScenarioSpec,
+}
+
+fn channel_domain() -> Box<dyn Subdomain<3>> {
+    Box::new(RetainBox::channel([1.0, 1.0 / 16.0, 1.0 / 16.0]))
+}
+
+fn carved_sphere_domain() -> Box<dyn Subdomain<3>> {
+    Box::new(CarvedSolids::new(vec![Box::new(Sphere::new(
+        [0.5; 3], 0.2,
+    ))]))
+}
+
+fn serve_cases() -> Vec<ServeCase> {
+    vec![
+        ServeCase {
+            name: "channel",
+            domain: channel_domain,
+            spec: ScenarioSpec {
+                geometry: geometry_hash("channel:1,1/16,1/16"),
+                curve: Curve::Hilbert,
+                base_level: 3,
+                boundary_level: 5,
+                order: 1,
+                scale: 16.0,
+                mg_min_level: Some(2),
+            },
+        },
+        ServeCase {
+            name: "carved_sphere",
+            domain: carved_sphere_domain,
+            spec: ScenarioSpec {
+                geometry: geometry_hash("carved_sphere:0.5,r0.2"),
+                curve: Curve::Hilbert,
+                base_level: 3,
+                boundary_level: 4,
+                order: 1,
+                scale: 10.0,
+                mg_min_level: Some(2),
+            },
+        },
+    ]
+}
+
+/// Order-fixed FNV-1a fold.
+fn fnv_fold(h: u64, bits: u64) -> u64 {
+    let mut h = h;
+    for shift in [0, 8, 16, 24, 32, 40, 48, 56] {
+        h = (h ^ ((bits >> shift) & 0xff)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn fold_slice(h: u64, xs: &[f64]) -> u64 {
+    xs.iter().fold(h, |h, v| fnv_fold(h, v.to_bits()))
+}
+
+/// `sorted` ascending; nearest-rank quantile.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Smooth coordinate-keyed source term — identical across rank layouts.
+fn source(x: &[f64; 3]) -> f64 {
+    (3.1 * x[0]).sin() * (2.3 * x[1]).cos() + (1.7 * x[2]).sin() + 1.0
+}
+
+/// Deterministic strictly-interior probe points for the query bursts.
+/// Constrained to y, z ∈ (0, 1/16) so they lie inside the retained region
+/// of *both* scenarios (the channel is only 1/16 tall/deep; the sphere
+/// carve at the cube center is far away).
+fn probe_points(burst: usize) -> Vec<[f64; 3]> {
+    (0..QUERY_POINTS)
+        .map(|i| {
+            let t = (i + burst * QUERY_POINTS) as f64 / (QUERY_POINTS * QUERY_BURSTS) as f64;
+            [
+                0.5 + 0.27 * (6.3 * t).cos() * t,
+                0.031 + 0.02 * (5.1 * t).sin(),
+                0.033 + 0.02 * (7.7 * t).cos(),
+            ]
+        })
+        .collect()
+}
+
+/// Everything one rank brings back from the replay.
+struct RankReplay {
+    /// `(class index, seconds)` per timed request, in trace order.
+    samples: Vec<(usize, f64)>,
+    stats: carve_fem::serve::CacheStats,
+    digest: u64,
+    block_rounds: u64,
+    seq_rounds: u64,
+    total_secs: f64,
+}
+
+/// Class index layout: 4 classes per case, trace order.
+fn class_names(cases: &[ServeCase]) -> Vec<String> {
+    let mut names = Vec::new();
+    for c in cases {
+        for kind in ["miss_solve", "hit_solve", "block_solve", "point_query"] {
+            names.push(format!("{}/{kind}", c.name));
+        }
+    }
+    names
+}
+
+fn replay_on_rank(c: &carve_comm::Comm) -> RankReplay {
+    let cases = serve_cases();
+    let mut cache = ScenarioCache::<3>::with_cap_bytes(usize::MAX);
+    let mut samples = Vec::new();
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut block_rounds = 0u64;
+    let mut seq_rounds = 0u64;
+    let t0 = Instant::now();
+    for (ci, case) in cases.iter().enumerate() {
+        let class0 = ci * 4;
+        let domain = (case.domain)();
+
+        // Cache-miss build + solve.
+        let t = Instant::now();
+        let entry = cache.get_or_build(c, &*domain, case.spec);
+        let b0: Vec<f64> = carve_fem::serve::coord_field(&entry.dm, &source);
+        let mut x = vec![0.0; b0.len()];
+        entry.solve(c, &b0, &mut x, 0.0, SOLVE_ITERS);
+        samples.push((class0, t.elapsed().as_secs_f64()));
+        digest = fold_slice(digest, &x[..entry.dm.n_owned_nodes]);
+
+        // Warm cache-hit solves; the middle BLOCK_K are the sequential
+        // round baseline the block solve is compared against.
+        for j in 0..HIT_SOLVES {
+            let t = Instant::now();
+            let entry = cache.get_or_build(c, &*domain, case.spec);
+            let b: Vec<f64> = b0.iter().map(|v| v * (1.0 + j as f64 * 0.05)).collect();
+            let mut x = vec![0.0; b.len()];
+            let rounds0 = c.stats().collective_calls;
+            entry.solve(c, &b, &mut x, 0.0, SOLVE_ITERS);
+            if (1..1 + BLOCK_K).contains(&j) {
+                seq_rounds += c.stats().collective_calls - rounds0;
+            }
+            samples.push((class0 + 1, t.elapsed().as_secs_f64()));
+            digest = fold_slice(digest, &x[..entry.dm.n_owned_nodes]);
+        }
+
+        // One k-lane block solve over the same RHS family as the
+        // sequential baseline (lanes j = 1..=BLOCK_K).
+        {
+            let t = Instant::now();
+            let entry = cache.get_or_build(c, &*domain, case.spec);
+            let bs: Vec<Vec<f64>> = (1..=BLOCK_K)
+                .map(|j| b0.iter().map(|v| v * (1.0 + j as f64 * 0.05)).collect())
+                .collect();
+            let mut xs: Vec<Vec<f64>> = vec![vec![0.0; b0.len()]; BLOCK_K];
+            let rounds0 = c.stats().collective_calls;
+            {
+                let b_refs: Vec<&[f64]> = bs.iter().map(|b| b.as_slice()).collect();
+                let mut x_refs: Vec<&mut [f64]> = xs.iter_mut().map(|x| x.as_mut_slice()).collect();
+                entry.block_solve(c, &b_refs, &mut x_refs, 0.0, SOLVE_ITERS);
+            }
+            block_rounds += c.stats().collective_calls - rounds0;
+            samples.push((class0 + 2, t.elapsed().as_secs_f64()));
+            for x in &xs {
+                digest = fold_slice(digest, &x[..entry.dm.n_owned_nodes]);
+            }
+        }
+
+        // Point-query bursts against the last solved field.
+        for burst in 0..QUERY_BURSTS {
+            let t = Instant::now();
+            let entry = cache.get_or_build(c, &*domain, case.spec);
+            let u = carve_fem::serve::coord_field(&entry.dm, &source);
+            let sf = ServedField { entry, u: &u };
+            let vals = sf.eval_points(c, &probe_points(burst));
+            samples.push((class0 + 3, t.elapsed().as_secs_f64()));
+            digest = fold_slice(digest, &vals);
+        }
+    }
+
+    // Eviction epilogue: zero the budget (everything out), then rebuild
+    // the first scenario — exercises `cache_evictions` and the
+    // rebuild-after-evict miss deterministically.
+    cache.set_cap_bytes(0);
+    {
+        let domain = (cases[0].domain)();
+        let t = Instant::now();
+        let entry = cache.get_or_build(c, &*domain, cases[0].spec);
+        let b: Vec<f64> = carve_fem::serve::coord_field(&entry.dm, &source);
+        let mut x = vec![0.0; b.len()];
+        entry.solve(c, &b, &mut x, 0.0, SOLVE_ITERS);
+        samples.push((0, t.elapsed().as_secs_f64()));
+        digest = fold_slice(digest, &x[..entry.dm.n_owned_nodes]);
+    }
+
+    RankReplay {
+        samples,
+        stats: cache.stats(),
+        digest,
+        block_rounds,
+        seq_rounds,
+        total_secs: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Runs the replay on [`SERVE_RANKS`] simulated ranks and aggregates the
+/// report: latencies from rank 0, the digest folded over every rank's
+/// owned solution bits in rank order.
+pub fn run_replay() -> ServeReport {
+    let cases = serve_cases();
+    let names = class_names(&cases);
+    let ranks = run_spmd(SERVE_RANKS, replay_on_rank);
+    let digest = ranks
+        .iter()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, r| fnv_fold(h, r.digest));
+    let r0 = &ranks[0];
+    let mut by_class: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
+    for &(class, secs) in &r0.samples {
+        by_class[class].push(secs * 1e6);
+    }
+    let classes: Vec<ServeClassStats> = names
+        .iter()
+        .zip(&mut by_class)
+        .map(|(name, lat)| {
+            lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+            ServeClassStats {
+                class: name.clone(),
+                requests: lat.len() as u64,
+                p50_us: percentile(lat, 0.5),
+                p99_us: percentile(lat, 0.99),
+                mean_us: lat.iter().sum::<f64>() / lat.len().max(1) as f64,
+            }
+        })
+        .collect();
+    // Worst-case hit-vs-miss speedup over the scenarios.
+    let speedup = (0..cases.len())
+        .map(|ci| {
+            let miss = classes[ci * 4].p50_us;
+            let hit = classes[ci * 4 + 1].p50_us.max(1e-9);
+            miss / hit
+        })
+        .fold(f64::INFINITY, f64::min);
+    ServeReport {
+        pr: SERVE_PR,
+        ranks: SERVE_RANKS as u64,
+        requests: r0.samples.len() as u64,
+        scenarios: cases.len() as u64,
+        cache_hits: r0.stats.hits,
+        cache_misses: r0.stats.misses,
+        cache_evictions: r0.stats.evictions,
+        cache_admitted_bytes: r0.stats.admitted_bytes,
+        block_rounds: r0.block_rounds,
+        seq_rounds: r0.seq_rounds,
+        result_digest: digest,
+        hit_miss_speedup: speedup,
+        throughput_rps: r0.samples.len() as f64 / r0.total_secs.max(1e-9),
+        classes,
+    }
+}
+
+/// Gate checks on a freshly generated report. Returns failure messages
+/// (empty = pass). `check_latency` is off for the determinism matrix runs
+/// (threads × chaos distort wall-clock, never the deterministic fields).
+pub fn gate_failures(r: &ServeReport, check_latency: bool) -> Vec<String> {
+    let mut fails = Vec::new();
+    if 3 * r.block_rounds > r.seq_rounds {
+        fails.push(format!(
+            "block-CG used {} collective rounds vs {} sequential — wanted ≤ 1/3",
+            r.block_rounds, r.seq_rounds
+        ));
+    }
+    if r.cache_misses != 3 || r.cache_evictions != 2 {
+        fails.push(format!(
+            "cache counters drifted: misses {} (want 3), evictions {} (want 2)",
+            r.cache_misses, r.cache_evictions
+        ));
+    }
+    if check_latency && r.hit_miss_speedup < HIT_SPEEDUP_FLOOR {
+        fails.push(format!(
+            "cache-hit solve only {:.1}× faster than miss (floor {HIT_SPEEDUP_FLOOR}×)",
+            r.hit_miss_speedup
+        ));
+    }
+    fails
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_is_deterministic_and_fuses_rounds() {
+        let a = run_replay();
+        let b = run_replay();
+        // Deterministic fields are pure functions of the (fixed) trace.
+        assert_eq!(a.result_digest, b.result_digest);
+        assert_eq!(a.cache_hits, b.cache_hits);
+        assert_eq!(
+            (a.block_rounds, a.seq_rounds),
+            (b.block_rounds, b.seq_rounds)
+        );
+        // 2 scenarios × (6 hits + 1 block + 2 queries) on a warm cache.
+        assert_eq!(a.cache_hits, 18);
+        assert!(
+            gate_failures(&a, false).is_empty(),
+            "{:?}",
+            gate_failures(&a, false)
+        );
+        // The k=4 block shares rounds: strictly under the 1/3 bar.
+        assert!(3 * a.block_rounds <= a.seq_rounds, "{a:?}");
+        // Hit solves skip build+assembly entirely; even unoptimized debug
+        // builds clear a lax floor (the release gate enforces 5×).
+        assert!(
+            a.hit_miss_speedup > 2.0,
+            "hit vs miss speedup {:.2}",
+            a.hit_miss_speedup
+        );
+    }
+}

@@ -309,6 +309,84 @@ fn transient_snapshots() -> Vec<Snapshot> {
     })
 }
 
+/// Serving stage: the scenario-cache replay in miniature — one cache-miss
+/// build+solve, two cache-hit solves, a k=4 block solve, and a point-query
+/// burst per workload, then an eviction sweep — so the `serve/*` phases
+/// and the `cache_*`/`block_*`/`eval_points` counters ride the perf gate.
+/// Fixed iteration counts with `rtol = 0` keep every counter a pure
+/// function of the trace.
+fn serve_snapshots() -> Vec<Snapshot> {
+    use carve_fem::serve::{coord_field, geometry_hash, ScenarioCache, ScenarioSpec, ServedField};
+    const SERVE_ITERS: usize = 6;
+    run_spmd(SMOKE_RANKS, |c| {
+        let _serve = carve_obs::scope("serve");
+        let mut cache = ScenarioCache::<3>::with_cap_bytes(usize::MAX);
+        for case in &CASES {
+            let domain = (case.domain)();
+            let spec = ScenarioSpec {
+                geometry: geometry_hash(case.name),
+                curve: Curve::Hilbert,
+                base_level: case.base,
+                boundary_level: case.boundary,
+                order: 1,
+                scale: case.scale,
+                mg_min_level: None,
+            };
+            let source = |x: &[f64; 3]| (3.1 * x[0]).sin() * (2.3 * x[1]).cos() + x[2] + 1.0;
+            let b = {
+                let _m = carve_obs::scope("miss_solve");
+                let entry = cache.get_or_build(c, &*domain, spec);
+                let b = coord_field(&entry.dm, &source);
+                let mut x = vec![0.0; b.len()];
+                entry.solve(c, &b, &mut x, 0.0, SERVE_ITERS);
+                b
+            };
+            for _ in 0..2 {
+                let _h = carve_obs::scope("hit_solve");
+                let entry = cache.get_or_build(c, &*domain, spec);
+                let mut x = vec![0.0; b.len()];
+                entry.solve(c, &b, &mut x, 0.0, SERVE_ITERS);
+                assert!(x.iter().all(|v| v.is_finite()));
+            }
+            {
+                let _bk = carve_obs::scope("block_solve");
+                let entry = cache.get_or_build(c, &*domain, spec);
+                let bs: Vec<Vec<f64>> = (0..4)
+                    .map(|j| b.iter().map(|v| v * (1.0 + j as f64 * 0.1)).collect())
+                    .collect();
+                let mut xs: Vec<Vec<f64>> = vec![vec![0.0; b.len()]; 4];
+                let b_refs: Vec<&[f64]> = bs.iter().map(|v| v.as_slice()).collect();
+                let mut x_refs: Vec<&mut [f64]> = xs.iter_mut().map(|v| v.as_mut_slice()).collect();
+                entry.block_solve(c, &b_refs, &mut x_refs, 0.0, SERVE_ITERS);
+            }
+            {
+                let _q = carve_obs::scope("point_query");
+                let entry = cache.get_or_build(c, &*domain, spec);
+                let u = coord_field(&entry.dm, &source);
+                let sf = ServedField { entry, u: &u };
+                // Strictly interior of both retained regions: y, z within
+                // the channel's 1/16 cross-section, clear of the sphere.
+                let pts: Vec<[f64; 3]> = (0..32)
+                    .map(|i| {
+                        let t = i as f64 / 32.0;
+                        [
+                            0.5 + 0.3 * (6.3 * t).cos() * t,
+                            0.031 + 0.02 * (5.1 * t).sin(),
+                            0.033 + 0.02 * (7.7 * t).cos(),
+                        ]
+                    })
+                    .collect();
+                let vals = sf.eval_points(c, &pts);
+                assert!(vals.iter().all(|v| v.is_finite()));
+            }
+        }
+        // Eviction sweep: a zero budget must empty the cache (and count it).
+        cache.set_cap_bytes(0);
+        assert!(cache.is_empty());
+        carve_obs::thread_snapshot()
+    })
+}
+
 /// Stamps every `…/leaf` phase of a workload report with the derived
 /// `leaf_ns_per_element` metric (mean per-rank leaf seconds over mean
 /// per-rank leaves processed): the roofline-facing number the batched
@@ -376,6 +454,8 @@ pub fn run_smoke() -> Json {
     workloads.push(("recovery".to_string(), report_to_json(&report)));
     let report = carve_obs::aggregate(&transient_snapshots());
     workloads.push(("transient".to_string(), report_to_json(&report)));
+    let report = carve_obs::aggregate(&serve_snapshots());
+    workloads.push(("serve".to_string(), report_to_json(&report)));
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     Json::Obj(vec![
         ("schema".into(), Json::Str(SMOKE_SCHEMA.into())),

@@ -133,4 +133,30 @@ fn smoke_report_is_deterministic_modulo_secs() {
     assert!(counter_sum(&a, "transient", "elements_coarsened") > 0.0);
     assert!(counter_sum(&a, "transient", "nodes_interior_fast") > 0.0);
     assert!(counter_sum(&a, "transient", "iterations") > 0.0);
+
+    // Serving workload: the scenario cache and block solver run a fixed
+    // request trace, so every serve counter is a pure function of the seed
+    // (and, via the strip_secs diff above, bitwise reproducible). Two
+    // scenarios: one miss, two hits, one k=4 block solve, one 32-point
+    // query burst each, then a full eviction sweep — counters are summed
+    // over the two rank-local caches by the aggregator.
+    assert_eq!(
+        counter(&a, "serve", "serve/miss_solve", "cache_misses"),
+        4.0
+    );
+    assert!(counter(&a, "serve", "serve/miss_solve", "cache_bytes") > 0.0);
+    assert_eq!(counter(&a, "serve", "serve/hit_solve", "cache_hits"), 8.0);
+    assert_eq!(counter(&a, "serve", "serve/hit_solve", "serve_solves"), 8.0);
+    assert_eq!(
+        counter(&a, "serve", "serve/block_solve", "block_solves"),
+        4.0
+    );
+    assert_eq!(counter(&a, "serve", "serve/block_solve", "block_rhs"), 16.0);
+    assert_eq!(
+        counter(&a, "serve", "serve/point_query", "eval_points"),
+        128.0
+    );
+    assert_eq!(counter(&a, "serve", "serve", "cache_evictions"), 4.0);
+    // The warm solves ride fused reductions like every other Krylov stage.
+    assert!(counter(&a, "serve", "serve/hit_solve", "reductions_fused") > 0.0);
 }

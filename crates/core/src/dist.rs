@@ -487,6 +487,27 @@ impl Reduce for DistReduce<'_> {
     }
 }
 
+/// Adds `reductions_fused` accounting to any [`Reduce`] backend that lacks
+/// it: every multi-pair batch bumps the counter by the rounds it saved over
+/// issuing one reduction per pair, exactly like [`DistReduce`] does
+/// natively. The serving engine's single-rank multigrid path wraps
+/// [`carve_la::LocalReduce`] with this so the fusion discipline of the
+/// preconditioned cycle shows up in the obs report (and in the
+/// seed-determinism gate) even when no communicator is involved.
+///
+/// Do **not** wrap [`DistReduce`] — it already counts, and the wrapper
+/// would double-bump.
+pub struct FusedReduce<'a, R: Reduce + ?Sized>(pub &'a R);
+
+impl<R: Reduce + ?Sized> Reduce for FusedReduce<'_, R> {
+    fn dots(&self, pairs: &[(&[f64], &[f64])], out: &mut [f64]) {
+        self.0.dots(pairs, out);
+        if pairs.len() > 1 {
+            carve_obs::counter("reductions_fused", (pairs.len() - 1) as u64);
+        }
+    }
+}
+
 // --- Solve supervision: cross-attempt checkpoints + retrying SPMD driver ---
 
 /// Per-rank [`SolveCheckpoint`] slots that outlive SPMD attempts: the rank
@@ -1584,6 +1605,79 @@ mod tests {
             );
             assert_eq!(s.capacity(), cap);
             ws.restore_ghost_scratch(s);
+        });
+    }
+
+    /// Back-to-back served solves: the same warm workspace *and* the same
+    /// [`carve_la::KrylovScratch`] pool must hand back the identical buffer
+    /// allocations on the second solve (the serving path's repeat-request
+    /// contract), and the scratch-backed solve must be bitwise identical to
+    /// the allocating one.
+    #[test]
+    fn warm_back_to_back_solves_reuse_krylov_scratch() {
+        run_spmd(2, |c| {
+            let domain = sphere_domain_2d();
+            let m = DistMesh::<2>::build(c, &domain, Curve::Hilbert, 3, 4, 1);
+            let b = keyed_field(&m);
+            let n = m.nodes.len();
+            let ws_cell = std::cell::RefCell::new(TraversalWorkspace::with_threads(1));
+            let op = (n, |xv: &[f64], yv: &mut [f64]| {
+                m.matvec_ws(
+                    c,
+                    xv,
+                    yv,
+                    &mut ws_cell.borrow_mut(),
+                    GhostState::OwnedOnly,
+                    &mut toy_kernel::<2>(),
+                );
+            });
+            let rd = m.reducer(c);
+
+            let mut x_fresh = vec![0.0; n];
+            carve_la::cg_with(
+                &op,
+                &b,
+                &mut x_fresh,
+                &carve_la::IdentityPrecond,
+                0.0,
+                0.0,
+                6,
+                &rd,
+            );
+
+            let mut scratch = carve_la::KrylovScratch::new();
+            let mut first: Option<Vec<usize>> = None;
+            for round in 0..2 {
+                let mut x = vec![0.0; n];
+                carve_la::cg_with_scratch(
+                    &op,
+                    &b,
+                    &mut x,
+                    &carve_la::IdentityPrecond,
+                    0.0,
+                    0.0,
+                    6,
+                    &rd,
+                    &mut scratch,
+                );
+                for (a, bb) in x.iter().zip(&x_fresh) {
+                    assert_eq!(a.to_bits(), bb.to_bits(), "scratch solve drifted");
+                }
+                assert_eq!(scratch.pooled(), 4, "r/z/p/Ap parked between solves");
+                // Drain/restore to read the pooled addresses in LIFO order.
+                let bufs: Vec<Vec<f64>> = (0..4).map(|_| scratch.take(n)).collect();
+                let ptrs: Vec<usize> = bufs.iter().map(|v| v.as_ptr() as usize).collect();
+                for v in bufs.into_iter().rev() {
+                    scratch.put(v);
+                }
+                match &first {
+                    None => first = Some(ptrs),
+                    Some(p0) => assert_eq!(
+                        &ptrs, p0,
+                        "round {round}: warm solve must reuse the exact Krylov buffers"
+                    ),
+                }
+            }
         });
     }
 }

@@ -36,7 +36,7 @@ pub use construct::{
 };
 pub use dist::{
     descendant_key_range, splitter_bin, supervise_spmd, CheckpointStore, DistMesh, DistReduce,
-    GhostState, GhostStats,
+    FusedReduce, GhostState, GhostStats,
 };
 pub use matvec::{
     traversal_assemble, traversal_assemble_par, traversal_assemble_ws, traversal_matvec,

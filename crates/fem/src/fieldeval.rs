@@ -1,0 +1,165 @@
+//! Point evaluation of an FE field on a (distributed) octree mesh.
+//!
+//! Shared by the transient stepper's field transfer (integer nodal-lattice
+//! points, [`NudgePolicy::AnyAxis`]) and the serving engine's
+//! [`crate::serve::ServedField`] reads (arbitrary unit-cube points,
+//! [`NudgePolicy::FaceOnly`]). One implementation, two nudge disciplines:
+//!
+//! * **Coordinates** are given on the *nodal lattice*: the unit cube scaled
+//!   by `p · 2^MAX_LEVEL`, so every node of every admissible element sits on
+//!   an exact integer. Integer lattice coordinates below `2^53` are exactly
+//!   representable in `f64`, and the reference-coordinate arithmetic
+//!   (`latt − p·anchor`, then the scale to `[0, p]`) is bit-for-bit the
+//!   same as the historical `i64` path — the transfer wrapper stays bitwise
+//!   identical to its pre-refactor behavior, which the adapt-determinism CI
+//!   stage pins.
+//! * **Nudging.** A point on a cell face borders up to `2^DIM` cells, and
+//!   the `++` side cell may be carved away or remote. `AnyAxis` tries every
+//!   down-nudge combination on every axis — the transfer discipline, where
+//!   all queried points are mesh nodes and any adjacent cell evaluates them
+//!   consistently. `FaceOnly` nudges only along axes where the point sits
+//!   *exactly* on a face: for interior points the covering leaf is then
+//!   unique, so the evaluated polynomial is the one whose element actually
+//!   contains the point — never an extrapolation from a neighbor — which
+//!   keeps served point reads independent of the rank layout.
+
+use carve_core::nodes::{elem_node_coord, lagrange_1d, lattice_index, nodes_per_elem};
+use carve_core::{find_leaf, resolve_slot, splitter_bin, NodeSet, SlotRef};
+use carve_sfc::morton::finest_cell_of_point;
+use carve_sfc::{Curve, Octant};
+use std::ops::Range;
+
+/// Down-nudge discipline for points on cell faces (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NudgePolicy {
+    /// Try every down-nudge combination on every axis (field-transfer
+    /// semantics: nodes only, any adjacent cell agrees).
+    AnyAxis,
+    /// Nudge only along axes where the point lies exactly on a cell face
+    /// (serving semantics: the covering leaf contains the point).
+    FaceOnly,
+}
+
+/// Borrowed view of an FE field and the mesh it lives on — enough to
+/// evaluate at a point through this rank's owned leaves. Both `Mesh`-like
+/// snapshots (the transfer's `OldMesh`) and live [`carve_core::DistMesh`]es
+/// project onto this.
+pub struct FieldView<'a, const DIM: usize> {
+    pub curve: Curve,
+    pub elems: &'a [Octant<DIM>],
+    /// Owned leaf range: evaluation only uses owned leaves, whose stencil
+    /// closures are fully resolvable in the local node set.
+    pub owned: Range<usize>,
+    pub nodes: &'a NodeSet<DIM>,
+    pub u: &'a [f64],
+}
+
+/// Finest-level cell-grid coordinate of lattice point `latt` along one
+/// axis, plus whether the point sits exactly on a cell face. Exact: cell
+/// coordinates are below `2^21·8`, far inside `f64`'s integer range, and
+/// the quotient's distance to the nearest integer is at least `1/p` when
+/// nonzero — rounding can never carry `floor` across an integer.
+#[inline]
+fn cell_of(latt: f64, p: u64) -> (u64, bool) {
+    let q = latt / p as f64;
+    let fl = q.floor();
+    (fl as u64, q == fl)
+}
+
+/// Evaluates `fv`'s field at nodal-lattice coordinate `latt` using only the
+/// view's owned leaves. `None`: the covering leaf is remote, or the point
+/// is not covered by the (carved) mesh at all.
+pub fn eval_field_lattice<const DIM: usize>(
+    fv: &FieldView<'_, DIM>,
+    latt: &[f64; DIM],
+    policy: NudgePolicy,
+) -> Option<f64> {
+    let p = fv.nodes.order;
+    let mut pt = [0u64; DIM];
+    let mut on_face = [false; DIM];
+    for k in 0..DIM {
+        (pt[k], on_face[k]) = cell_of(latt[k], p);
+    }
+    let mut li = None;
+    'combo: for combo in 0..(1usize << DIM) {
+        let mut pt2 = pt;
+        for (k, v) in pt2.iter_mut().enumerate() {
+            if (combo >> k) & 1 == 1 {
+                if *v == 0 || (policy == NudgePolicy::FaceOnly && !on_face[k]) {
+                    continue 'combo;
+                }
+                *v -= 1;
+            }
+        }
+        if let Some(i) = find_leaf(fv.elems, fv.curve, &finest_cell_of_point(&pt2)) {
+            if fv.owned.contains(&i) {
+                li = Some(i);
+                break;
+            }
+        }
+    }
+    let leaf = &fv.elems[li?];
+    // Reference coordinates inside the leaf, then tensor-Lagrange through
+    // the leaf's (possibly hanging) lattice — the `build_transfer` recipe.
+    let side = leaf.side() as u64;
+    let npe = nodes_per_elem::<DIM>(p);
+    let mut tref = [0.0f64; DIM];
+    for k in 0..DIM {
+        let off = latt[k] - (leaf.anchor[k] as u64 * p) as f64;
+        tref[k] = off / (side * p) as f64 * p as f64;
+    }
+    let mut val = 0.0;
+    for lin in 0..npe {
+        let idx = lattice_index::<DIM>(lin, p);
+        let mut w = 1.0;
+        for k in 0..DIM {
+            w *= lagrange_1d(p, idx[k], tref[k]);
+        }
+        if w.abs() < 1e-14 {
+            continue;
+        }
+        let c = elem_node_coord(leaf, p, &idx);
+        let s = match resolve_slot(fv.nodes, leaf, &c) {
+            SlotRef::Direct(j) => fv.u[j],
+            SlotRef::Hanging(st) => st.iter().map(|&(j, wj)| wj * fv.u[j]).sum(),
+        };
+        val += w * s;
+    }
+    Some(val)
+}
+
+/// Candidate owner ranks for lattice point `latt` under `splitters`: the
+/// splitter bins of every cell the nudge policy may probe, ascending and
+/// deduplicated. The rank owning the covering leaf is always among them (a
+/// leaf's descendant keys bin to its owner), so probing these ranks in
+/// order makes remote evaluation deterministic — the lowest rank that
+/// evaluates wins.
+pub fn candidate_bins<const DIM: usize>(
+    splitters: &[Option<Octant<DIM>>],
+    curve: Curve,
+    p: u64,
+    latt: &[f64; DIM],
+    policy: NudgePolicy,
+) -> Vec<usize> {
+    let mut pt = [0u64; DIM];
+    let mut on_face = [false; DIM];
+    for k in 0..DIM {
+        (pt[k], on_face[k]) = cell_of(latt[k], p);
+    }
+    let mut bins: Vec<usize> = Vec::new();
+    'combo: for combo in 0..(1usize << DIM) {
+        let mut pt2 = pt;
+        for (k, v) in pt2.iter_mut().enumerate() {
+            if (combo >> k) & 1 == 1 {
+                if *v == 0 || (policy == NudgePolicy::FaceOnly && !on_face[k]) {
+                    continue 'combo;
+                }
+                *v -= 1;
+            }
+        }
+        bins.push(splitter_bin(splitters, curve, &finest_cell_of_point(&pt2)));
+    }
+    bins.sort_unstable();
+    bins.dedup();
+    bins
+}

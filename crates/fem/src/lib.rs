@@ -12,16 +12,19 @@
 pub mod basis;
 pub mod error;
 pub mod estimator;
+pub mod fieldeval;
 pub mod flops;
 pub mod multigrid;
 pub mod poisson;
 pub mod sbm;
+pub mod serve;
 pub mod solver;
 pub mod transient;
 
 pub use basis::{gauss_rule, lagrange_deriv_unit, lagrange_eval_unit, Quadrature};
 pub use error::{l2_linf_error, ErrorNorms};
 pub use estimator::{elem_values_dist, energy_error_indicators, mark_max_strategy};
+pub use fieldeval::{candidate_bins, eval_field_lattice, FieldView, NudgePolicy};
 pub use flops::FlopCount;
 pub use multigrid::{build_transfer, mg_pcg, Multigrid, Transfer};
 pub use poisson::{
@@ -29,6 +32,9 @@ pub use poisson::{
     LevelScales, MassKernel, StiffnessKernel, StiffnessMatrixKernel,
 };
 pub use sbm::{sbm_face_terms, surrogate_faces, SbmParams, SurrogateFace};
+pub use serve::{
+    coord_field, geometry_hash, CacheStats, ScenarioCache, ScenarioEntry, ScenarioSpec, ServedField,
+};
 pub use solver::{
     solve_poisson, solve_poisson_supervised, AttemptReport, BcMode, EscalatedSolver,
     PoissonProblem, PoissonSolution, RankDiagnostic, SolveFailed, SupervisedSolve, Supervisor,

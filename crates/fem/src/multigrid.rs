@@ -434,6 +434,24 @@ impl<const DIM: usize> Multigrid<DIM> {
     /// Solves `A x = b` on the finest level with V-cycle-preconditioned CG.
     /// Dirichlet values must already sit in `b` at constrained nodes.
     pub fn solve(&self, b: &[f64], x: &mut [f64], rtol: f64, max_iter: usize) -> KrylovResult {
+        self.solve_with(b, x, rtol, max_iter, &carve_la::LocalReduce)
+    }
+
+    /// [`Multigrid::solve`] with an explicit [`carve_la::Reduce`] backend:
+    /// the outer CG's per-iteration inner products ride the backend's fused
+    /// batches (`(p·Ap)` and the paired `(r·z, r·r)` — 2 rounds per
+    /// iteration instead of 3 unfused), so a distributed or counting
+    /// reducer sees the preconditioned cycle's reduction discipline
+    /// directly. With [`carve_la::LocalReduce`] this is bitwise identical
+    /// to [`Multigrid::solve`].
+    pub fn solve_with<R: carve_la::Reduce + ?Sized>(
+        &self,
+        b: &[f64],
+        x: &mut [f64],
+        rtol: f64,
+        max_iter: usize,
+        rd: &R,
+    ) -> KrylovResult {
         struct MgOp<'a, const DIM: usize>(&'a Multigrid<DIM>);
         impl<'a, const DIM: usize> carve_la::LinOp for MgOp<'a, DIM> {
             fn size(&self) -> usize {
@@ -450,7 +468,7 @@ impl<const DIM: usize> Multigrid<DIM> {
                 self.0.vcycle(0, z, r);
             }
         }
-        carve_la::cg(&MgOp(self), b, x, &MgPre(self), rtol, 1e-14, max_iter)
+        carve_la::cg_with(&MgOp(self), b, x, &MgPre(self), rtol, 1e-14, max_iter, rd)
     }
 }
 
@@ -590,6 +608,93 @@ mod tests {
             assert!(res < 0.6 * res_prev, "V-cycle stalled: {res} vs {res_prev}");
             res_prev = res;
         }
+    }
+
+    /// Dots-round wrapper for asserting the outer CG's fusion discipline.
+    struct CountingReduce {
+        calls: std::cell::RefCell<usize>,
+        pairs: std::cell::RefCell<usize>,
+    }
+
+    impl carve_la::Reduce for CountingReduce {
+        fn dots(&self, pairs: &[(&[f64], &[f64])], out: &mut [f64]) {
+            *self.calls.borrow_mut() += 1;
+            *self.pairs.borrow_mut() += pairs.len();
+            carve_la::LocalReduce.dots(pairs, out);
+        }
+    }
+
+    fn smoke_mg_problem() -> (Multigrid<2>, Vec<f64>) {
+        let domain = FullDomain;
+        let constrain = |fl: carve_core::NodeFlags| fl.is_any_boundary();
+        let mg = Multigrid::<2>::new(&domain, 4, 4, 2, 1, 1.0, &constrain);
+        let n = mg.finest().num_dofs();
+        let b: Vec<f64> = (0..n)
+            .map(|i| {
+                if mg.finest().nodes.flags[i].is_any_boundary() {
+                    0.0
+                } else {
+                    (i as f64 * 0.31).sin()
+                }
+            })
+            .collect();
+        (mg, b)
+    }
+
+    #[test]
+    fn solve_with_issues_two_fused_batches_per_iteration() {
+        // The MG-preconditioned outer CG must pay exactly 2 reduction
+        // rounds per iteration (p·Ap, then the fused (r·z, r·r) pair) plus
+        // 2 setup rounds — the ROADMAP item-2 fusion contract — and stay
+        // bitwise identical to the LocalReduce path of `solve`.
+        let (mg, b) = smoke_mg_problem();
+        let n = b.len();
+        let iters = 5;
+
+        let mut x_plain = vec![0.0; n];
+        mg.solve(&b, &mut x_plain, 0.0, iters);
+
+        let rd = CountingReduce {
+            calls: std::cell::RefCell::new(0),
+            pairs: std::cell::RefCell::new(0),
+        };
+        let mut x = vec![0.0; n];
+        let res = mg.solve_with(&b, &mut x, 0.0, iters, &rd);
+        assert_eq!(res.iterations, iters);
+        assert_eq!(*rd.calls.borrow(), 2 + 2 * iters);
+        // bnorm (1 pair) + init (2) + per iteration pap (1) + rz/rr (2).
+        assert_eq!(*rd.pairs.borrow(), 3 + 3 * iters);
+        for (a, bb) in x.iter().zip(&x_plain) {
+            assert_eq!(a.to_bits(), bb.to_bits());
+        }
+    }
+
+    #[test]
+    fn solve_with_fused_reduce_records_saved_rounds() {
+        // Through `carve_core::FusedReduce` the same solve records the
+        // rounds fusion saved: one per 2-pair batch = max_iter + 1.
+        let (mg, b) = smoke_mg_problem();
+        let iters = 5;
+        let snap = std::thread::spawn(move || {
+            let _on = carve_obs::force_enabled();
+            let mut x = vec![0.0; b.len()];
+            mg.solve_with(
+                &b,
+                &mut x,
+                0.0,
+                iters,
+                &carve_core::FusedReduce(&carve_la::LocalReduce),
+            );
+            carve_obs::thread_snapshot()
+        })
+        .join()
+        .unwrap();
+        let fused: u64 = snap
+            .phases
+            .values()
+            .filter_map(|st| st.counters.get("reductions_fused"))
+            .sum();
+        assert_eq!(fused as usize, iters + 1);
     }
 
     #[test]

@@ -270,7 +270,7 @@ impl<const DIM: usize> ElementCache<DIM> {
     /// Batched sum-factorized stiffness apply over an SoA panel of `batch`
     /// same-scale elements: node `lin` of element `b` lives at
     /// `[lin * batch + b]`. The contractions run with the element lane as
-    /// the contiguous inner dimension ([`contract_axis_batch`]), so the
+    /// the contiguous inner dimension (`contract_axis_batch`), so the
     /// inner loops auto-vectorize on stable Rust while each element's
     /// floating-point operation sequence stays exactly that of
     /// [`Self::apply_stiffness_tensor_scaled`] — batched and scalar results

@@ -29,17 +29,13 @@
 //! serialized trace.
 
 use crate::estimator::{energy_error_indicators, mark_max_strategy};
+use crate::fieldeval::{candidate_bins, eval_field_lattice, FieldView, NudgePolicy};
 use crate::poisson::{ElementCache, HeatKernel, MassKernel};
 use carve_comm::{Comm, ReduceOp};
-use carve_core::nodes::{elem_node_coord, lagrange_1d, lattice_index, nodes_per_elem};
-use carve_core::{
-    find_leaf, resolve_slot, splitter_bin, AdaptParams, DistMesh, GhostState, NodeSet, SlotRef,
-    TraversalWorkspace,
-};
+use carve_core::{AdaptParams, DistMesh, GhostState, NodeSet, TraversalWorkspace};
 use carve_geom::Subdomain;
 use carve_io::{AdaptCycleRecord, AdaptTrace};
 use carve_la::{cg_with, IdentityPrecond};
-use carve_sfc::morton::finest_cell_of_point;
 use carve_sfc::{Curve, Octant};
 use std::cell::RefCell;
 use std::ops::Range;
@@ -144,65 +140,30 @@ struct OldMesh<const DIM: usize> {
     u: Vec<f64>,
 }
 
+impl<const DIM: usize> OldMesh<DIM> {
+    fn view(&self) -> FieldView<'_, DIM> {
+        FieldView {
+            curve: self.curve,
+            elems: &self.elems,
+            owned: self.owned.clone(),
+            nodes: &self.nodes,
+            u: &self.u,
+        }
+    }
+}
+
 /// Evaluates the old FE field at nodal-lattice coordinate `coord`, using
 /// only this rank's *owned* old leaves (their stencil closures are fully
 /// resolvable in the local node set). `None`: the covering leaf is remote
-/// or the point was not covered at all.
+/// or the point was not covered at all. Nodal lattice coordinates are exact
+/// in `f64`, so routing through [`eval_field_lattice`] is bitwise identical
+/// to the historical integer path (the adapt-determinism stage pins this).
 fn eval_old<const DIM: usize>(old: &OldMesh<DIM>, coord: &[u64; DIM]) -> Option<f64> {
-    let p = old.nodes.order;
-    let mut pt = [0u64; DIM];
+    let mut latt = [0.0f64; DIM];
     for k in 0..DIM {
-        pt[k] = coord[k] / p;
+        latt[k] = coord[k] as f64;
     }
-    // The node borders up to 2^DIM cells; a node on an element's upper face
-    // maps to the ++ side cell, which can be carved or remote — try every
-    // down-nudge combination and take the first owned covering leaf.
-    let mut li = None;
-    'combo: for combo in 0..(1usize << DIM) {
-        let mut pt2 = pt;
-        for (k, v) in pt2.iter_mut().enumerate() {
-            if (combo >> k) & 1 == 1 {
-                if *v == 0 {
-                    continue 'combo;
-                }
-                *v -= 1;
-            }
-        }
-        if let Some(i) = find_leaf(&old.elems, old.curve, &finest_cell_of_point(&pt2)) {
-            if old.owned.contains(&i) {
-                li = Some(i);
-                break;
-            }
-        }
-    }
-    let leaf = &old.elems[li?];
-    // Reference coordinates inside the leaf, then tensor-Lagrange through
-    // the leaf's (possibly hanging) lattice — the `build_transfer` recipe.
-    let side = leaf.side() as u64;
-    let npe = nodes_per_elem::<DIM>(p);
-    let mut tref = [0.0f64; DIM];
-    for k in 0..DIM {
-        let off = coord[k] as i64 - (leaf.anchor[k] as u64 * p) as i64;
-        tref[k] = off as f64 / (side * p) as f64 * p as f64;
-    }
-    let mut val = 0.0;
-    for lin in 0..npe {
-        let idx = lattice_index::<DIM>(lin, p);
-        let mut w = 1.0;
-        for k in 0..DIM {
-            w *= lagrange_1d(p, idx[k], tref[k]);
-        }
-        if w.abs() < 1e-14 {
-            continue;
-        }
-        let c = elem_node_coord(leaf, p, &idx);
-        let s = match resolve_slot(&old.nodes, leaf, &c) {
-            SlotRef::Direct(j) => old.u[j],
-            SlotRef::Hanging(st) => st.iter().map(|&(j, wj)| wj * old.u[j]).sum(),
-        };
-        val += w * s;
-    }
-    Some(val)
+    eval_field_lattice(&old.view(), &latt, NudgePolicy::AnyAxis)
 }
 
 /// Interpolates the old field onto the new mesh's nodes: local evaluation
@@ -232,29 +193,11 @@ fn transfer_field<const DIM: usize>(
     let mut node_bins: Vec<Vec<usize>> = Vec::with_capacity(unresolved.len());
     for &i in &unresolved {
         let coord = dm.nodes.coords[i];
-        let mut pt = [0u64; DIM];
+        let mut latt = [0.0f64; DIM];
         for k in 0..DIM {
-            pt[k] = coord[k] / p;
+            latt[k] = coord[k] as f64;
         }
-        let mut bins: Vec<usize> = Vec::new();
-        'combo: for combo in 0..(1usize << DIM) {
-            let mut pt2 = pt;
-            for (k, v) in pt2.iter_mut().enumerate() {
-                if (combo >> k) & 1 == 1 {
-                    if *v == 0 {
-                        continue 'combo;
-                    }
-                    *v -= 1;
-                }
-            }
-            bins.push(splitter_bin(
-                &old.splitters,
-                old.curve,
-                &finest_cell_of_point(&pt2),
-            ));
-        }
-        bins.sort_unstable();
-        bins.dedup();
+        let bins = candidate_bins(&old.splitters, old.curve, p, &latt, NudgePolicy::AnyAxis);
         for &b in &bins {
             if b != my {
                 requests[b].push(coord);

@@ -8,6 +8,7 @@ pub mod json;
 pub mod obs_report;
 pub mod results;
 pub mod scaling_report;
+pub mod serve_report;
 pub mod table;
 pub mod vtk;
 
@@ -21,6 +22,10 @@ pub use results::{ExperimentRecord, Series, ShapeCheck};
 pub use scaling_report::{
     scaling_report_from_json, scaling_report_to_json, ModelConstants, ScalingCase, ScalingPoint,
     ScalingReport, SCALING_REPORT_SCHEMA,
+};
+pub use serve_report::{
+    serve_report_from_json, serve_report_strip_latency, serve_report_to_json, ServeClassStats,
+    ServeReport, SERVE_REPORT_SCHEMA,
 };
 pub use table::{write_csv, Table};
 pub use vtk::write_vtk_mesh;

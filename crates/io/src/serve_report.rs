@@ -1,0 +1,295 @@
+//! JSON (de)serialization of the request-replay serving report — the
+//! document `bench_serve` emits and the CI `serve-gate` stage checks.
+//!
+//! Schema:
+//!
+//! ```json
+//! {
+//!   "schema": "carve-serve-report-v1",
+//!   "pr": 10,
+//!   "ranks": 2,
+//!   "requests": 24,
+//!   "scenarios": 2,
+//!   "cache_hits": 14, "cache_misses": 3, "cache_evictions": 1,
+//!   "cache_admitted_bytes": 1048576,
+//!   "block_rounds": 18, "seq_rounds": 72,
+//!   "result_digest": "f1d2d2f924e986ac",
+//!   "hit_miss_speedup": 11.3,
+//!   "throughput_rps": 950.0,
+//!   "classes": [
+//!     { "class": "channel/hit_solve", "requests": 6,
+//!       "p50_us": 120.0, "p99_us": 180.0, "mean_us": 130.0 }
+//!   ]
+//! }
+//! ```
+//!
+//! Two kinds of fields coexist: **deterministic** request/cache/round
+//! counts and the `result_digest` (an order-fixed FNV fold of every solve's
+//! solution bits and every point read — pure functions of the trace seed,
+//! byte-compared across the serve-gate's threads × chaos matrix), and
+//! **machine-dependent** latency quantiles and throughput (gated by floors,
+//! never diffed). [`serve_report_strip_latency`] projects a document onto
+//! the deterministic subset for the bitwise comparison.
+
+use crate::json::Json;
+
+/// Schema tag stamped into every serialized serve report.
+pub const SERVE_REPORT_SCHEMA: &str = "carve-serve-report-v1";
+
+/// Latency fields removed by [`serve_report_strip_latency`].
+const LATENCY_KEYS: [&str; 5] = [
+    "p50_us",
+    "p99_us",
+    "mean_us",
+    "hit_miss_speedup",
+    "throughput_rps",
+];
+
+/// Per-request-class latency summary (one class per scenario × request
+/// kind, e.g. `"channel/hit_solve"`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeClassStats {
+    pub class: String,
+    pub requests: u64,
+    pub p50_us: f64,
+    pub p99_us: f64,
+    pub mean_us: f64,
+}
+
+/// A whole request-replay serving report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeReport {
+    pub pr: u64,
+    pub ranks: u64,
+    /// Total requests replayed (all classes).
+    pub requests: u64,
+    /// Distinct scenarios the trace touches.
+    pub scenarios: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_evictions: u64,
+    pub cache_admitted_bytes: u64,
+    /// Collective rounds spent by the k-lane block solves…
+    pub block_rounds: u64,
+    /// …and by the equivalent sequential per-RHS solves.
+    pub seq_rounds: u64,
+    /// Order-fixed FNV-1a fold of every solve's solution bits and every
+    /// point-query value — the replay's deterministic fingerprint.
+    pub result_digest: u64,
+    /// Worst-case (minimum over scenarios) miss-p50 / hit-p50 ratio.
+    pub hit_miss_speedup: f64,
+    /// Requests per second over the whole replay.
+    pub throughput_rps: f64,
+    pub classes: Vec<ServeClassStats>,
+}
+
+fn num(v: u64) -> Json {
+    Json::Num(v as f64)
+}
+
+/// Encodes a report as a self-describing JSON object.
+pub fn serve_report_to_json(r: &ServeReport) -> Json {
+    let classes = r
+        .classes
+        .iter()
+        .map(|c| {
+            Json::Obj(vec![
+                ("class".into(), Json::Str(c.class.clone())),
+                ("requests".into(), num(c.requests)),
+                ("p50_us".into(), Json::Num(c.p50_us)),
+                ("p99_us".into(), Json::Num(c.p99_us)),
+                ("mean_us".into(), Json::Num(c.mean_us)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(SERVE_REPORT_SCHEMA.into())),
+        ("pr".into(), num(r.pr)),
+        ("ranks".into(), num(r.ranks)),
+        ("requests".into(), num(r.requests)),
+        ("scenarios".into(), num(r.scenarios)),
+        ("cache_hits".into(), num(r.cache_hits)),
+        ("cache_misses".into(), num(r.cache_misses)),
+        ("cache_evictions".into(), num(r.cache_evictions)),
+        ("cache_admitted_bytes".into(), num(r.cache_admitted_bytes)),
+        ("block_rounds".into(), num(r.block_rounds)),
+        ("seq_rounds".into(), num(r.seq_rounds)),
+        (
+            "result_digest".into(),
+            Json::Str(format!("{:016x}", r.result_digest)),
+        ),
+        ("hit_miss_speedup".into(), Json::Num(r.hit_miss_speedup)),
+        ("throughput_rps".into(), Json::Num(r.throughput_rps)),
+        ("classes".into(), Json::Arr(classes)),
+    ])
+}
+
+fn get_f64(j: &Json, key: &str, what: &str) -> Result<f64, String> {
+    j.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{what}: missing or non-numeric '{key}'"))
+}
+
+fn get_u64(j: &Json, key: &str, what: &str) -> Result<u64, String> {
+    let v = get_f64(j, key, what)?;
+    if v < 0.0 || v.fract() != 0.0 {
+        return Err(format!("{what}: '{key}' = {v} is not a u64"));
+    }
+    Ok(v as u64)
+}
+
+fn get_str(j: &Json, key: &str, what: &str) -> Result<String, String> {
+    j.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("{what}: missing or non-string '{key}'"))
+}
+
+/// Strict decode: unknown schema versions and malformed fields are errors
+/// (a gate must not silently accept a drifted artifact shape).
+pub fn serve_report_from_json(j: &Json) -> Result<ServeReport, String> {
+    let schema = get_str(j, "schema", "report")?;
+    if schema != SERVE_REPORT_SCHEMA {
+        return Err(format!(
+            "unsupported schema '{schema}' (want {SERVE_REPORT_SCHEMA})"
+        ));
+    }
+    let classes = match j.get("classes") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|c| {
+                let class = get_str(c, "class", "class")?;
+                let what = format!("class {class}");
+                Ok(ServeClassStats {
+                    requests: get_u64(c, "requests", &what)?,
+                    p50_us: get_f64(c, "p50_us", &what)?,
+                    p99_us: get_f64(c, "p99_us", &what)?,
+                    mean_us: get_f64(c, "mean_us", &what)?,
+                    class,
+                })
+            })
+            .collect::<Result<Vec<ServeClassStats>, String>>()?,
+        _ => return Err("report: missing 'classes' array".into()),
+    };
+    let digest_s = get_str(j, "result_digest", "report")?;
+    let result_digest = u64::from_str_radix(&digest_s, 16)
+        .map_err(|e| format!("report: bad hex 'result_digest': {e}"))?;
+    Ok(ServeReport {
+        pr: get_u64(j, "pr", "report")?,
+        ranks: get_u64(j, "ranks", "report")?,
+        requests: get_u64(j, "requests", "report")?,
+        scenarios: get_u64(j, "scenarios", "report")?,
+        cache_hits: get_u64(j, "cache_hits", "report")?,
+        cache_misses: get_u64(j, "cache_misses", "report")?,
+        cache_evictions: get_u64(j, "cache_evictions", "report")?,
+        cache_admitted_bytes: get_u64(j, "cache_admitted_bytes", "report")?,
+        block_rounds: get_u64(j, "block_rounds", "report")?,
+        seq_rounds: get_u64(j, "seq_rounds", "report")?,
+        result_digest,
+        hit_miss_speedup: get_f64(j, "hit_miss_speedup", "report")?,
+        throughput_rps: get_f64(j, "throughput_rps", "report")?,
+        classes,
+    })
+}
+
+/// Projects a serve-report document onto its deterministic subset by
+/// recursively dropping every latency field — two replays of the same
+/// trace must serialize to byte-identical stripped documents regardless of
+/// thread budget, chaos plan, or machine speed.
+pub fn serve_report_strip_latency(j: &Json) -> Json {
+    match j {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .iter()
+                .filter(|(k, _)| !LATENCY_KEYS.contains(&k.as_str()))
+                .map(|(k, v)| (k.clone(), serve_report_strip_latency(v)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(serve_report_strip_latency).collect()),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServeReport {
+        let class = |name: &str, n: u64, p50: f64| ServeClassStats {
+            class: name.into(),
+            requests: n,
+            p50_us: p50,
+            p99_us: p50 * 1.8,
+            mean_us: p50 * 1.1,
+        };
+        ServeReport {
+            pr: 10,
+            ranks: 2,
+            requests: 24,
+            scenarios: 2,
+            cache_hits: 14,
+            cache_misses: 3,
+            cache_evictions: 1,
+            cache_admitted_bytes: 1_048_576,
+            block_rounds: 18,
+            seq_rounds: 72,
+            result_digest: 0xf1d2_d2f9_24e9_86ac,
+            hit_miss_speedup: 11.3,
+            throughput_rps: 950.0,
+            classes: vec![
+                class("channel/hit_solve", 6, 120.0),
+                class("channel/miss_solve", 2, 4200.0),
+                class("sphere/block_solve", 4, 600.0),
+                class("sphere/point_query", 12, 40.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_bitwise() {
+        let r = sample();
+        let text = serve_report_to_json(&r).to_string_pretty();
+        let back = serve_report_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(serve_report_to_json(&back).to_string_pretty(), text);
+    }
+
+    #[test]
+    fn rejects_unknown_schema_and_bad_fields() {
+        let mut j = serve_report_to_json(&sample());
+        if let Json::Obj(fields) = &mut j {
+            fields[0].1 = Json::Str("carve-serve-report-v9".into());
+        }
+        assert!(serve_report_from_json(&j).is_err());
+        assert!(serve_report_from_json(&Json::Num(1.0)).is_err());
+        let mut j = serve_report_to_json(&sample());
+        if let Json::Obj(fields) = &mut j {
+            fields.retain(|(k, _)| k != "result_digest");
+        }
+        assert!(serve_report_from_json(&j).is_err());
+    }
+
+    #[test]
+    fn strip_latency_is_invariant_to_timings() {
+        let a = sample();
+        let mut b = sample();
+        b.hit_miss_speedup = 99.9;
+        b.throughput_rps = 1.0;
+        for c in &mut b.classes {
+            c.p50_us *= 3.0;
+            c.p99_us += 17.0;
+            c.mean_us = 0.0;
+        }
+        let sa = serve_report_strip_latency(&serve_report_to_json(&a)).to_string_pretty();
+        let sb = serve_report_strip_latency(&serve_report_to_json(&b)).to_string_pretty();
+        assert_eq!(sa, sb, "stripped documents must ignore latency");
+        assert!(!sa.contains("p50_us") && !sa.contains("throughput_rps"));
+        // Deterministic fields still survive the projection.
+        assert!(sa.contains("result_digest") && sa.contains("cache_hits"));
+        // And a deterministic drift is visible.
+        let mut c = sample();
+        c.cache_hits += 1;
+        let sc = serve_report_strip_latency(&serve_report_to_json(&c)).to_string_pretty();
+        assert_ne!(sa, sc);
+    }
+}

@@ -1,0 +1,585 @@
+//! Block (multi-RHS) conjugate gradients.
+//!
+//! A serving engine answering many queries against one cached operator
+//! solves the *same* SPD system for k different right-hand sides. Running k
+//! independent [`crate::cg_with`] solves costs `k × (2 per iteration + 2
+//! setup)` reduction rounds; on a distributed [`Reduce`] backend every
+//! round is an `all_reduce_f64_many` collective. [`block_cg_with`] runs the
+//! k recurrences in lockstep and *fuses* their reductions: one batched
+//! `(p_j · Ap_j)` round and one batched `(r_j · z_j, r_j · r_j)` round per
+//! iteration regardless of k — the per-iteration collective count drops
+//! from `2k` to `2`.
+//!
+//! The recurrences stay mathematically independent: nothing couples lane j
+//! to lane j' (this is *fused* CG, not a Krylov block method with a shared
+//! subspace). Because [`Reduce::dots`] computes each pair independently —
+//! the distributed backend sums each pair's local partials and ships them
+//! through one elementwise `all_reduce_f64_many` — every lane's scalars are
+//! bitwise identical to the ones a solo [`crate::cg_with`] run would
+//! produce. The identity tests assert exactly that, per lane, for
+//! k ∈ {1, 2, 4}, including lanes that converge (or stall) early.
+//!
+//! Early-exiting lanes are masked out, mirroring the solo control flow
+//! exactly: convergence/divergence is checked at the top of the iteration
+//! (before either batch), and a lane whose `p·Ap` breaks down leaves after
+//! the first batch without contributing to the second — the same return
+//! points [`crate::cg_with`] has. Remaining lanes keep fusing among
+//! themselves.
+//!
+//! Each lane's matvec goes through the caller's [`LinOp`] unchanged, so on
+//! the mesh path it rides the batched SoA leaf panels of `matvec_par`
+//! (ghost exchange is point-to-point and unaffected by fusion).
+
+use crate::krylov::{KrylovResult, KrylovScratch, Lease, LinOp, Precond, Reduce};
+use crate::vector::axpy;
+
+/// Per-lane recurrence state. `rn` caches the top-of-iteration residual
+/// norm so a breakdown exit after the first batch reports the same residual
+/// the solo solver would.
+struct Lane {
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+    rz: f64,
+    rn2: f64,
+    rn: f64,
+    last_finite: f64,
+    tol: f64,
+    result: Option<KrylovResult>,
+}
+
+/// Multi-RHS CG: solves `A x_j = b_j` for every lane j in lockstep, fusing
+/// the per-iteration inner products of all still-active lanes into two
+/// [`Reduce::dots`] batches. Per-lane results are bitwise identical to k
+/// independent [`crate::cg_with`] runs with the same arguments; lanes
+/// converge, stall, or diverge individually at the same iteration the solo
+/// solver would.
+#[allow(clippy::too_many_arguments)]
+pub fn block_cg_with<A: LinOp, M: Precond, R: Reduce + ?Sized>(
+    a: &A,
+    bs: &[&[f64]],
+    xs: &mut [&mut [f64]],
+    m: &M,
+    rtol: f64,
+    atol: f64,
+    max_iter: usize,
+    rd: &R,
+) -> Vec<KrylovResult> {
+    block_cg_impl(a, bs, xs, m, rtol, atol, max_iter, rd, Lease::Fresh)
+}
+
+/// [`block_cg_with`] drawing its `4k` work vectors from a caller-held
+/// [`KrylovScratch`] pool: warm repeat solves on the serving path run
+/// allocation-free. Bitwise identical to [`block_cg_with`].
+#[allow(clippy::too_many_arguments)]
+pub fn block_cg_scratch<A: LinOp, M: Precond, R: Reduce + ?Sized>(
+    a: &A,
+    bs: &[&[f64]],
+    xs: &mut [&mut [f64]],
+    m: &M,
+    rtol: f64,
+    atol: f64,
+    max_iter: usize,
+    rd: &R,
+    scratch: &mut KrylovScratch,
+) -> Vec<KrylovResult> {
+    block_cg_impl(a, bs, xs, m, rtol, atol, max_iter, rd, Lease::Pool(scratch))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn block_cg_impl<A: LinOp, M: Precond, R: Reduce + ?Sized>(
+    a: &A,
+    bs: &[&[f64]],
+    xs: &mut [&mut [f64]],
+    m: &M,
+    rtol: f64,
+    atol: f64,
+    max_iter: usize,
+    rd: &R,
+    mut lease: Lease<'_>,
+) -> Vec<KrylovResult> {
+    let k = bs.len();
+    assert_eq!(xs.len(), k, "one initial guess per right-hand side");
+    let n = a.size();
+    for j in 0..k {
+        assert_eq!(bs[j].len(), n);
+        assert_eq!(xs[j].len(), n);
+    }
+    if k == 0 {
+        return Vec::new();
+    }
+
+    let mut lanes: Vec<Lane> = (0..k)
+        .map(|_| Lane {
+            r: lease.take(n),
+            z: lease.take(n),
+            p: lease.take(n),
+            ap: lease.take(n),
+            rz: 0.0,
+            rn2: 0.0,
+            rn: 0.0,
+            last_finite: f64::NAN,
+            tol: 0.0,
+            result: None,
+        })
+        .collect();
+
+    // Initial residuals, then one fused round for every lane's ‖b‖² and one
+    // for the initial (r·z, r·r) pairs — the same values, bit for bit, the
+    // solo setup computes one lane at a time.
+    for (j, l) in lanes.iter_mut().enumerate() {
+        a.apply(xs[j], &mut l.r);
+        for (ri, bi) in l.r.iter_mut().zip(bs[j]) {
+            *ri = bi - *ri;
+        }
+    }
+    let mut bb = vec![0.0; k];
+    {
+        let pairs: Vec<(&[f64], &[f64])> = bs.iter().map(|b| (*b, *b)).collect();
+        rd.dots(&pairs, &mut bb);
+    }
+    for (j, l) in lanes.iter_mut().enumerate() {
+        l.tol = rtol * bb[j].sqrt().max(1e-300) + atol;
+        m.apply(&l.r, &mut l.z);
+        l.p.copy_from_slice(&l.z);
+    }
+    let mut vals = vec![0.0; 2 * k];
+    {
+        let pairs: Vec<(&[f64], &[f64])> = lanes
+            .iter()
+            .flat_map(|l| {
+                [
+                    (l.r.as_slice(), l.z.as_slice()),
+                    (l.r.as_slice(), l.r.as_slice()),
+                ]
+            })
+            .collect();
+        rd.dots(&pairs, &mut vals);
+    }
+    for (j, l) in lanes.iter_mut().enumerate() {
+        l.rz = vals[2 * j];
+        l.rn2 = vals[2 * j + 1];
+    }
+
+    let mut active: Vec<usize> = (0..k).collect();
+    for it in 0..max_iter {
+        // Top-of-iteration exits, before either batch — the solo solver's
+        // divergence/convergence return points.
+        active.retain(|&j| {
+            let l = &mut lanes[j];
+            let rn = l.rn2.sqrt();
+            l.rn = rn;
+            if !rn.is_finite() {
+                l.result = Some(KrylovResult::divergence(it, rn).with_last_finite(l.last_finite));
+                return false;
+            }
+            l.last_finite = rn;
+            if rn <= l.tol {
+                l.result = Some(KrylovResult::success(it, rn));
+                return false;
+            }
+            true
+        });
+        if active.is_empty() {
+            break;
+        }
+
+        for &j in &active {
+            let l = &mut lanes[j];
+            a.apply(&l.p, &mut l.ap);
+        }
+        // Fused batch 1: every active lane's p·Ap in one round.
+        let mut paps = vec![0.0; active.len()];
+        {
+            let pairs: Vec<(&[f64], &[f64])> = active
+                .iter()
+                .map(|&j| (lanes[j].p.as_slice(), lanes[j].ap.as_slice()))
+                .collect();
+            rd.dots(&pairs, &mut paps);
+        }
+        // Breakdown lanes leave here, after batch 1 and before batch 2 —
+        // the solo solver's stall return point.
+        let mut live = Vec::with_capacity(active.len());
+        for (i, &j) in active.iter().enumerate() {
+            let pap = paps[i];
+            let l = &mut lanes[j];
+            if pap.abs() < 1e-300 || !pap.is_finite() {
+                l.result = Some(KrylovResult::stalled(it, l.rn));
+                continue;
+            }
+            let alpha = l.rz / pap;
+            axpy(alpha, &l.p, xs[j]);
+            axpy(-alpha, &l.ap, &mut l.r);
+            m.apply(&l.r, &mut l.z);
+            live.push(j);
+        }
+        active = live;
+        if active.is_empty() {
+            break;
+        }
+        // Fused batch 2: every surviving lane's (r·z, r·r) pair in one round.
+        let mut vals = vec![0.0; 2 * active.len()];
+        {
+            let pairs: Vec<(&[f64], &[f64])> = active
+                .iter()
+                .flat_map(|&j| {
+                    let l = &lanes[j];
+                    [
+                        (l.r.as_slice(), l.z.as_slice()),
+                        (l.r.as_slice(), l.r.as_slice()),
+                    ]
+                })
+                .collect();
+            rd.dots(&pairs, &mut vals);
+        }
+        for (i, &j) in active.iter().enumerate() {
+            let l = &mut lanes[j];
+            let beta = vals[2 * i] / l.rz;
+            l.rz = vals[2 * i];
+            l.rn2 = vals[2 * i + 1];
+            for (pi, zi) in l.p.iter_mut().zip(&l.z) {
+                *pi = zi + beta * *pi;
+            }
+        }
+    }
+
+    // Lanes still live at the iteration cap get the solo solver's tail.
+    let results: Vec<KrylovResult> = lanes
+        .iter()
+        .map(|l| {
+            l.result.unwrap_or_else(|| {
+                let rn = l.rn2.sqrt();
+                KrylovResult {
+                    converged: rn <= l.tol,
+                    iterations: max_iter,
+                    residual: rn,
+                    diverged: !rn.is_finite(),
+                    last_finite_residual: if rn.is_finite() {
+                        Some(rn)
+                    } else {
+                        l.last_finite.is_finite().then_some(l.last_finite)
+                    },
+                }
+            })
+        })
+        .collect();
+
+    // LIFO restore in reverse loan order (pointer stability for the next
+    // same-shape solve).
+    for l in lanes.into_iter().rev() {
+        lease.put(l.ap);
+        lease.put(l.p);
+        lease.put(l.z);
+        lease.put(l.r);
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::krylov::{cg_with, IdentityPrecond, JacobiPrecond, LocalReduce};
+    use crate::CsrMatrix;
+    use std::cell::RefCell;
+
+    /// Counting wrapper: one `calls` tick per `dots` round, plus the pair
+    /// total, so tests can assert the fusion arithmetic exactly.
+    struct CountingReduce {
+        calls: RefCell<usize>,
+        pairs: RefCell<usize>,
+    }
+
+    impl CountingReduce {
+        fn new() -> Self {
+            Self {
+                calls: RefCell::new(0),
+                pairs: RefCell::new(0),
+            }
+        }
+    }
+
+    impl Reduce for CountingReduce {
+        fn dots(&self, pairs: &[(&[f64], &[f64])], out: &mut [f64]) {
+            *self.calls.borrow_mut() += 1;
+            *self.pairs.borrow_mut() += pairs.len();
+            LocalReduce.dots(pairs, out);
+        }
+    }
+
+    /// SPD test operator: 1-D Laplacian plus a diagonal shift.
+    fn laplacian(n: usize, shift: f64) -> CsrMatrix {
+        let mut coo = crate::CooBuilder::new(n);
+        for i in 0..n {
+            coo.add(i, i, 2.0 + shift);
+            if i > 0 {
+                coo.add(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                coo.add(i, i + 1, -1.0);
+            }
+        }
+        coo.build()
+    }
+
+    fn rhs(n: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s % 1000) as f64 / 500.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn assert_lane_identity(k: usize, rtol: f64, max_iter: usize) {
+        let n = 64;
+        let a = laplacian(n, 0.1);
+        let m = JacobiPrecond::new(&a.diagonal());
+        let bs: Vec<Vec<f64>> = (0..k as u64).map(|s| rhs(n, s + 1)).collect();
+
+        let mut solo_x: Vec<Vec<f64>> = vec![vec![0.0; n]; k];
+        let solo_res: Vec<KrylovResult> = (0..k)
+            .map(|j| {
+                cg_with(
+                    &a,
+                    &bs[j],
+                    &mut solo_x[j],
+                    &m,
+                    rtol,
+                    0.0,
+                    max_iter,
+                    &LocalReduce,
+                )
+            })
+            .collect();
+
+        let mut block_x: Vec<Vec<f64>> = vec![vec![0.0; n]; k];
+        let b_refs: Vec<&[f64]> = bs.iter().map(|b| b.as_slice()).collect();
+        let mut x_refs: Vec<&mut [f64]> = block_x.iter_mut().map(|x| x.as_mut_slice()).collect();
+        let block_res = block_cg_with(
+            &a,
+            &b_refs,
+            &mut x_refs,
+            &m,
+            rtol,
+            0.0,
+            max_iter,
+            &LocalReduce,
+        );
+
+        for j in 0..k {
+            assert_eq!(block_res[j].iterations, solo_res[j].iterations, "lane {j}");
+            assert_eq!(block_res[j].converged, solo_res[j].converged, "lane {j}");
+            assert_eq!(
+                block_res[j].residual.to_bits(),
+                solo_res[j].residual.to_bits(),
+                "lane {j} residual"
+            );
+            for i in 0..n {
+                assert_eq!(
+                    block_x[j][i].to_bits(),
+                    solo_x[j][i].to_bits(),
+                    "lane {j} x[{i}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_cg_matches_solo_bitwise_k1() {
+        assert_lane_identity(1, 1e-10, 400);
+    }
+
+    #[test]
+    fn block_cg_matches_solo_bitwise_k2() {
+        assert_lane_identity(2, 1e-10, 400);
+    }
+
+    #[test]
+    fn block_cg_matches_solo_bitwise_k4() {
+        assert_lane_identity(4, 1e-10, 400);
+    }
+
+    /// A lane whose RHS is a pure eigen-direction of a diagonal operator
+    /// converges in one iteration; the others keep iterating. The early
+    /// lane's exit iteration and bits must match its solo run, and the
+    /// stragglers must be unaffected by the mask.
+    #[test]
+    fn block_cg_masks_converged_early_lane() {
+        let n = 48;
+        let a = laplacian(n, 0.5);
+        let m = IdentityPrecond;
+        // Lane 0: b = A e_17, so x = e_17 is hit by the first CG step.
+        let mut b0 = vec![0.0; n];
+        {
+            let mut e = vec![0.0; n];
+            e[17] = 1.0;
+            a.matvec(&e, &mut b0);
+        }
+        let bs = [b0, rhs(n, 7), rhs(n, 8), rhs(n, 9)];
+
+        let mut solo_x: Vec<Vec<f64>> = vec![vec![0.0; n]; 4];
+        let solo: Vec<KrylovResult> = (0..4)
+            .map(|j| {
+                cg_with(
+                    &a,
+                    &bs[j],
+                    &mut solo_x[j],
+                    &m,
+                    1e-10,
+                    0.0,
+                    300,
+                    &LocalReduce,
+                )
+            })
+            .collect();
+        assert!(
+            solo[0].iterations < solo[1].iterations,
+            "lane 0 must exit early"
+        );
+
+        let mut block_x: Vec<Vec<f64>> = vec![vec![0.0; n]; 4];
+        let b_refs: Vec<&[f64]> = bs.iter().map(|b| b.as_slice()).collect();
+        let mut x_refs: Vec<&mut [f64]> = block_x.iter_mut().map(|x| x.as_mut_slice()).collect();
+        let block = block_cg_with(&a, &b_refs, &mut x_refs, &m, 1e-10, 0.0, 300, &LocalReduce);
+
+        for j in 0..4 {
+            assert_eq!(block[j].iterations, solo[j].iterations, "lane {j}");
+            assert_eq!(
+                block[j].residual.to_bits(),
+                solo[j].residual.to_bits(),
+                "lane {j}"
+            );
+            for i in 0..n {
+                assert_eq!(block_x[j][i].to_bits(), solo_x[j][i].to_bits());
+            }
+        }
+    }
+
+    /// A zero RHS converges at iteration 0 (‖r‖ = 0 ≤ tol): the lane must
+    /// exit before contributing to any batch.
+    #[test]
+    fn block_cg_masks_zero_rhs_lane() {
+        let n = 32;
+        let a = laplacian(n, 0.25);
+        let m = JacobiPrecond::new(&a.diagonal());
+        let bs = [vec![0.0; n], rhs(n, 3)];
+        let mut block_x: Vec<Vec<f64>> = vec![vec![0.0; n]; 2];
+        let b_refs: Vec<&[f64]> = bs.iter().map(|b| b.as_slice()).collect();
+        let mut x_refs: Vec<&mut [f64]> = block_x.iter_mut().map(|x| x.as_mut_slice()).collect();
+        let block = block_cg_with(&a, &b_refs, &mut x_refs, &m, 1e-12, 0.0, 200, &LocalReduce);
+        assert!(block[0].converged);
+        assert_eq!(block[0].iterations, 0);
+        assert!(block_x[0].iter().all(|&v| v == 0.0));
+        assert!(block[1].converged);
+        assert!(block[1].iterations > 0);
+
+        let mut solo_x = vec![0.0; n];
+        let solo = cg_with(&a, &bs[1], &mut solo_x, &m, 1e-12, 0.0, 200, &LocalReduce);
+        assert_eq!(block[1].iterations, solo.iterations);
+        for i in 0..n {
+            assert_eq!(block_x[1][i].to_bits(), solo_x[i].to_bits());
+        }
+    }
+
+    /// Round accounting: with every lane active for all `it` iterations the
+    /// block solver issues `2 + 2·it` dots rounds total — independent of k —
+    /// where k sequential solves issue `k · (2 + 2·it)`.
+    #[test]
+    fn block_cg_fuses_rounds_across_lanes() {
+        let n = 40;
+        let a = laplacian(n, 0.0);
+        let m = IdentityPrecond;
+        let k = 4;
+        let iters = 12;
+        let bs: Vec<Vec<f64>> = (0..k as u64).map(|s| rhs(n, s + 11)).collect();
+
+        // rtol = 0 with a fixed cap: every lane runs exactly `iters`
+        // iterations, so the round count is deterministic.
+        let block_rd = CountingReduce::new();
+        let mut block_x: Vec<Vec<f64>> = vec![vec![0.0; n]; k];
+        let b_refs: Vec<&[f64]> = bs.iter().map(|b| b.as_slice()).collect();
+        let mut x_refs: Vec<&mut [f64]> = block_x.iter_mut().map(|x| x.as_mut_slice()).collect();
+        block_cg_with(&a, &b_refs, &mut x_refs, &m, 0.0, 0.0, iters, &block_rd);
+        let block_rounds = *block_rd.calls.borrow();
+        assert_eq!(block_rounds, 2 + 2 * iters);
+        // Every round carried all k lanes' pairs.
+        assert_eq!(*block_rd.pairs.borrow(), k + 2 * k + iters * (k + 2 * k));
+
+        let seq_rd = CountingReduce::new();
+        for b in &bs {
+            let mut x = vec![0.0; n];
+            cg_with(&a, b, &mut x, &m, 0.0, 0.0, iters, &seq_rd);
+        }
+        let seq_rounds = *seq_rd.calls.borrow();
+        assert_eq!(seq_rounds, k * (2 + 2 * iters));
+        // The acceptance bar: k = 4 must use ≤ 1/3 the rounds.
+        assert!(3 * block_rounds <= seq_rounds);
+    }
+
+    /// Scratch-backed block solves are bitwise identical to allocating ones
+    /// and reuse the exact buffers (pointer-stable) across repeat solves.
+    #[test]
+    fn block_cg_scratch_identity_and_pointer_stability() {
+        let n = 56;
+        let a = laplacian(n, 0.3);
+        let m = JacobiPrecond::new(&a.diagonal());
+        let k = 3;
+        let bs: Vec<Vec<f64>> = (0..k as u64).map(|s| rhs(n, s + 21)).collect();
+        let b_refs: Vec<&[f64]> = bs.iter().map(|b| b.as_slice()).collect();
+
+        let mut fresh_x: Vec<Vec<f64>> = vec![vec![0.0; n]; k];
+        {
+            let mut x_refs: Vec<&mut [f64]> =
+                fresh_x.iter_mut().map(|x| x.as_mut_slice()).collect();
+            block_cg_with(&a, &b_refs, &mut x_refs, &m, 1e-11, 0.0, 300, &LocalReduce);
+        }
+
+        let mut scratch = KrylovScratch::new();
+        let mut first_ptrs = Vec::new();
+        for round in 0..3 {
+            let mut x: Vec<Vec<f64>> = vec![vec![0.0; n]; k];
+            let mut x_refs: Vec<&mut [f64]> = x.iter_mut().map(|x| x.as_mut_slice()).collect();
+            block_cg_scratch(
+                &a,
+                &b_refs,
+                &mut x_refs,
+                &m,
+                1e-11,
+                0.0,
+                300,
+                &LocalReduce,
+                &mut scratch,
+            );
+            for j in 0..k {
+                for i in 0..n {
+                    assert_eq!(x[j][i].to_bits(), fresh_x[j][i].to_bits());
+                }
+            }
+            assert_eq!(scratch.pooled(), 4 * k);
+            let snapshot = scratch_ptrs(&mut scratch, 4 * k, n);
+            if round == 0 {
+                first_ptrs = snapshot;
+            } else {
+                assert_eq!(
+                    snapshot, first_ptrs,
+                    "round {round} reused different buffers"
+                );
+            }
+        }
+    }
+
+    /// Drains and restores the pool to read the buffer addresses in LIFO
+    /// order (take/put round-trips preserve both addresses and order).
+    fn scratch_ptrs(s: &mut KrylovScratch, count: usize, n: usize) -> Vec<usize> {
+        let bufs: Vec<Vec<f64>> = (0..count).map(|_| s.take(n)).collect();
+        let ptrs: Vec<usize> = bufs.iter().map(|b| b.as_ptr() as usize).collect();
+        for b in bufs.into_iter().rev() {
+            s.put(b);
+        }
+        ptrs
+    }
+}

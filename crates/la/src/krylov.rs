@@ -249,6 +249,71 @@ impl KrylovResult {
     }
 }
 
+/// Reusable pool of solver scratch vectors. The Krylov drivers allocate a
+/// handful of length-`n` work buffers per solve (`r`, `z`, `p`, `Ap`, and
+/// the per-RHS panels of the block driver); a serving loop that solves the
+/// same cached system over and over pays that allocation on every request.
+/// Handing the same `KrylovScratch` to [`cg_with_scratch`] /
+/// [`crate::block::block_cg_scratch`] recycles the buffers instead — the
+/// pool is LIFO, so back-to-back same-size solves reuse the exact
+/// allocations (pointer-stable, asserted by the warm-path tests).
+///
+/// Buffers are zero-filled on loan, so a scratch-backed solve is bitwise
+/// identical to the allocating one.
+#[derive(Default)]
+pub struct KrylovScratch {
+    pool: Vec<Vec<f64>>,
+}
+
+impl KrylovScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffers currently parked in the pool (diagnostics/tests).
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Loans the most recently parked buffer (or a fresh one), zero-filled
+    /// to length `n` — so a pooled loan is bitwise indistinguishable from a
+    /// fresh `vec![0.0; n]`.
+    pub fn take(&mut self, n: usize) -> Vec<f64> {
+        let mut v = self.pool.pop().unwrap_or_default();
+        v.clear();
+        v.resize(n, 0.0);
+        v
+    }
+
+    /// Parks a buffer for the next loan (LIFO).
+    pub fn put(&mut self, v: Vec<f64>) {
+        self.pool.push(v);
+    }
+}
+
+/// Internal loan source: a caller-held pool, or fresh allocations for the
+/// scratch-less entry points (which must stay allocation-compatible with
+/// their historical behavior).
+pub(crate) enum Lease<'s> {
+    Pool(&'s mut KrylovScratch),
+    Fresh,
+}
+
+impl Lease<'_> {
+    pub(crate) fn take(&mut self, n: usize) -> Vec<f64> {
+        match self {
+            Lease::Pool(s) => s.take(n),
+            Lease::Fresh => vec![0.0; n],
+        }
+    }
+
+    pub(crate) fn put(&mut self, v: Vec<f64>) {
+        if let Lease::Pool(s) = self {
+            s.put(v);
+        }
+    }
+}
+
 /// Environment override for the checkpoint cadence of the checkpointed
 /// Krylov drivers (iterations between snapshots; default 25).
 pub const CKPT_EVERY_ENV: &str = "CARVE_CKPT_EVERY";
@@ -413,7 +478,7 @@ pub fn cg_with<A: LinOp, M: Precond, R: Reduce + ?Sized>(
     max_iter: usize,
     rd: &R,
 ) -> KrylovResult {
-    cg_impl(a, b, x, m, rtol, atol, max_iter, rd, None)
+    cg_impl(a, b, x, m, rtol, atol, max_iter, rd, None, Lease::Fresh)
 }
 
 /// CG with periodic [`SolveCheckpoint`] snapshots: bitwise identical to
@@ -432,7 +497,37 @@ pub fn cg_checkpointed<A: LinOp, M: Precond, R: Reduce + ?Sized>(
     rd: &R,
     ck: &mut Checkpointer<'_>,
 ) -> KrylovResult {
-    cg_impl(a, b, x, m, rtol, atol, max_iter, rd, Some(ck))
+    cg_impl(a, b, x, m, rtol, atol, max_iter, rd, Some(ck), Lease::Fresh)
+}
+
+/// [`cg_with`] drawing its work vectors from a caller-held
+/// [`KrylovScratch`] pool instead of allocating: the serving path's warm
+/// solves run allocation-free for the length-`n` buffers. Bitwise identical
+/// to [`cg_with`].
+#[allow(clippy::too_many_arguments)]
+pub fn cg_with_scratch<A: LinOp, M: Precond, R: Reduce + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x: &mut [f64],
+    m: &M,
+    rtol: f64,
+    atol: f64,
+    max_iter: usize,
+    rd: &R,
+    scratch: &mut KrylovScratch,
+) -> KrylovResult {
+    cg_impl(
+        a,
+        b,
+        x,
+        m,
+        rtol,
+        atol,
+        max_iter,
+        rd,
+        None,
+        Lease::Pool(scratch),
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -445,25 +540,63 @@ fn cg_impl<A: LinOp, M: Precond, R: Reduce + ?Sized>(
     atol: f64,
     max_iter: usize,
     rd: &R,
+    ck: Option<&mut Checkpointer<'_>>,
+    mut lease: Lease<'_>,
+) -> KrylovResult {
+    let n = a.size();
+    let mut r = lease.take(n);
+    let mut z = lease.take(n);
+    let mut p = lease.take(n);
+    let mut ap = lease.take(n);
+    let res = cg_body(
+        a,
+        b,
+        x,
+        m,
+        rtol,
+        atol,
+        max_iter,
+        rd,
+        ck,
+        (&mut r, &mut z, &mut p, &mut ap),
+    );
+    // LIFO restore in reverse loan order: the next same-size solve gets the
+    // same buffers back in the same roles (pointer stability).
+    lease.put(ap);
+    lease.put(p);
+    lease.put(z);
+    lease.put(r);
+    res
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cg_body<A: LinOp, M: Precond, R: Reduce + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x: &mut [f64],
+    m: &M,
+    rtol: f64,
+    atol: f64,
+    max_iter: usize,
+    rd: &R,
     mut ck: Option<&mut Checkpointer<'_>>,
+    bufs: (&mut Vec<f64>, &mut Vec<f64>, &mut Vec<f64>, &mut Vec<f64>),
 ) -> KrylovResult {
     let n = a.size();
     assert_eq!(b.len(), n);
     assert_eq!(x.len(), n);
-    let mut r = vec![0.0; n];
-    a.apply(x, &mut r);
+    let (r, z, p, ap) = bufs;
+    a.apply(x, r);
     for (ri, bi) in r.iter_mut().zip(b) {
         *ri = bi - *ri;
     }
     let bnorm = rdot(rd, b, b).sqrt().max(1e-300);
     let tol = rtol * bnorm + atol;
-    let mut z = vec![0.0; n];
-    m.apply(&r, &mut z);
-    let mut p = z.clone();
+    m.apply(r, z);
+    p.copy_from_slice(z);
     let mut pair = [0.0; 2];
-    rd.dots(&[(&r, &z), (&r, &r)], &mut pair);
+    rd.dots(&[(r, z), (r, r)], &mut pair);
     let (mut rz, mut rn2) = (pair[0], pair[1]);
-    let mut ap = vec![0.0; n];
     let mut last_finite_rn = f64::NAN;
     for it in 0..max_iter {
         let rn = rn2.sqrt();
@@ -472,25 +605,25 @@ fn cg_impl<A: LinOp, M: Precond, R: Reduce + ?Sized>(
         }
         last_finite_rn = rn;
         if let Some(ck) = ck.as_deref_mut() {
-            ck.observe("cg", it, rn, x, &r);
+            ck.observe("cg", it, rn, x, r);
         }
         if rn <= tol {
             return KrylovResult::success(it, rn);
         }
-        a.apply(&p, &mut ap);
-        let pap = rdot(rd, &p, &ap);
+        a.apply(p, ap);
+        let pap = rdot(rd, p, ap);
         if pap.abs() < 1e-300 || !pap.is_finite() {
             return KrylovResult::stalled(it, rn);
         }
         let alpha = rz / pap;
-        axpy(alpha, &p, x);
-        axpy(-alpha, &ap, &mut r);
-        m.apply(&r, &mut z);
-        rd.dots(&[(&r, &z), (&r, &r)], &mut pair);
+        axpy(alpha, p, x);
+        axpy(-alpha, ap, r);
+        m.apply(r, z);
+        rd.dots(&[(r, z), (r, r)], &mut pair);
         let beta = pair[0] / rz;
         rz = pair[0];
         rn2 = pair[1];
-        for (pi, zi) in p.iter_mut().zip(&z) {
+        for (pi, zi) in p.iter_mut().zip(z.iter()) {
             *pi = zi + beta * *pi;
         }
     }

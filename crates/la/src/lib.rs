@@ -16,6 +16,7 @@
 //!   `condest` computes).
 //! * [`newton()`](newton::newton): Newton with backtracking line search (PETSc `NEWTONLS`).
 
+pub mod block;
 pub mod condest;
 pub mod csr;
 pub mod dense;
@@ -24,13 +25,14 @@ pub mod krylov;
 pub mod newton;
 pub mod vector;
 
+pub use block::{block_cg_scratch, block_cg_with};
 pub use condest::condest;
 pub use csr::{CooBuilder, CsrMatrix};
 pub use dense::{DenseMatrix, LuFactors};
 pub use gmres::{chebyshev, gmres, lambda_max_estimate};
 pub use krylov::{
-    bicgstab, bicgstab_checkpointed, bicgstab_with, cg, cg_checkpointed, cg_with,
+    bicgstab, bicgstab_checkpointed, bicgstab_with, cg, cg_checkpointed, cg_with, cg_with_scratch,
     default_ckpt_every, AsmPrecond, Checkpointer, IdentityPrecond, JacobiPrecond, KrylovResult,
-    LinOp, LocalReduce, Precond, Reduce, SolveCheckpoint, CKPT_EVERY_ENV,
+    KrylovScratch, LinOp, LocalReduce, Precond, Reduce, SolveCheckpoint, CKPT_EVERY_ENV,
 };
 pub use newton::{newton, NewtonOptions, NewtonResult};

@@ -22,6 +22,11 @@
 #   clippy             clippy with warnings denied
 #   doc                rustdoc with warnings denied
 #   bench-gate         scripts/bench_gate.sh perf regression gate
+#   serve-gate         bench_serve request replay: latency floors (cache
+#                      hit ≥5× faster than miss, block-CG ≤1/3 the
+#                      rounds) plus the latency-stripped report
+#                      byte-compared over threads {1,4} x {clean, lossy
+#                      chaos} (DESIGN.md §6i)
 #   scaling-gate       repro_scaling --check vs the committed scaling
 #                      artifact (per-rank replay structure at 256..28672
 #                      ranks, digests, reference-model efficiencies)
@@ -30,7 +35,7 @@ cd "$(dirname "$0")/.."
 
 STAGES=(fmt build test-par1 test-par4 test-debug chaos chaos-lossy
         adapt-determinism leaf-kernel-determinism clippy doc bench-gate
-        scaling-gate)
+        serve-gate scaling-gate)
 
 run_stage() {
   case "$1" in
@@ -122,6 +127,29 @@ run_stage() {
         [[ -n "$newest" ]] && pr=$(basename "$newest" .json | sed 's/^BENCH_PR//')
       fi
       BENCH_PR="$pr" bash scripts/bench_gate.sh
+      ;;
+    # Serving engine gate (DESIGN.md §6i): one full replay enforcing the
+    # hit-vs-miss latency floor and the block-CG round budget, then the
+    # latency-stripped document byte-compared over threads {1,4} x
+    # {clean, lossy chaos} — every request/cache/round count and the
+    # solution/read digest must be a pure function of the trace.
+    serve-gate)
+      cargo build --release -q -p carve-bench --bin bench_serve
+      local tmp
+      tmp=$(mktemp -d)
+      trap 'rm -rf "$tmp"' RETURN
+      ./target/release/bench_serve "$tmp/full.json"
+      for threads in 1 4; do
+        CARVE_PAR_THREADS=$threads \
+          ./target/release/bench_serve --check "$tmp/t${threads}.json"
+        CARVE_PAR_THREADS=$threads CARVE_CHAOS=29:lossy CARVE_RETRY_BASE=0.01 \
+          ./target/release/bench_serve --check "$tmp/t${threads}-lossy.json"
+      done
+      for f in t4 t1-lossy t4-lossy; do
+        cmp "$tmp/t1.json" "$tmp/$f.json" \
+          || { echo "ci: serve replay t1 vs $f differs" >&2; return 1; }
+      done
+      echo "ci: serve replay deterministic over threads {1,4} x {clean,lossy}"
       ;;
     # The committed replay-scaling artifact (newest SCALING_PR*.json) must
     # be regenerable from source, bit-for-bit in its per-rank structure:
